@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks of the local join algorithms: setup and join
+//! phases, uniform and skewed keys — the per-host building blocks whose
+//! measured costs feed the cyclo-join figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mem_joins::{Algorithm, JoinCollector, JoinPredicate};
+use relation::GenSpec;
+
+const TUPLES: usize = 200_000;
+const THREADS: usize = 4;
+
+fn bench_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setup_phase");
+    group.throughput(Throughput::Elements(TUPLES as u64));
+    group.sample_size(10);
+    let s = GenSpec::uniform(TUPLES, 1).generate();
+    for alg in [Algorithm::partitioned_hash(), Algorithm::SortMerge] {
+        let bits = alg.ring_radix_bits(s.len());
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, alg| {
+            b.iter(|| alg.setup_stationary(&s, bits, THREADS));
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_phase");
+    group.throughput(Throughput::Elements(TUPLES as u64));
+    group.sample_size(10);
+    let r = GenSpec::uniform(TUPLES, 2).generate();
+    let s = GenSpec::uniform(TUPLES, 3).generate();
+    for alg in [Algorithm::partitioned_hash(), Algorithm::SortMerge] {
+        let bits = alg.ring_radix_bits(s.len());
+        let state = alg.setup_stationary(&s, bits, THREADS);
+        let frag = alg.prepare_fragment(&r, bits, THREADS);
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, alg| {
+            b.iter(|| {
+                let mut out = JoinCollector::aggregating();
+                alg.join(&state, &frag, &JoinPredicate::Equi, THREADS, &mut out);
+                out.count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_skewed_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_probe_skew");
+    group.sample_size(10);
+    for z in [0.0, 0.6, 0.9] {
+        let n = 50_000;
+        let r = GenSpec::zipf(n, z, 4).generate();
+        let s = GenSpec::zipf(n, z, 5).generate();
+        let alg = Algorithm::partitioned_hash();
+        let bits = alg.ring_radix_bits(s.len());
+        let state = alg.setup_stationary(&s, bits, THREADS);
+        let frag = alg.prepare_fragment(&r, bits, THREADS);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("z={z}")), &z, |b, _| {
+            b.iter(|| {
+                let mut out = JoinCollector::aggregating();
+                alg.join(&state, &frag, &JoinPredicate::Equi, THREADS, &mut out);
+                out.count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_thread_scaling");
+    group.sample_size(10);
+    let r = GenSpec::uniform(TUPLES, 6).generate();
+    let s = GenSpec::uniform(TUPLES, 7).generate();
+    let alg = Algorithm::partitioned_hash();
+    let bits = alg.ring_radix_bits(s.len());
+    let state = alg.setup_stationary(&s, bits, 1);
+    let frag = alg.prepare_fragment(&r, bits, 1);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut out = JoinCollector::aggregating();
+                alg.join(&state, &frag, &JoinPredicate::Equi, t, &mut out);
+                out.count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_setup,
+    bench_join_phase,
+    bench_skewed_probe,
+    bench_thread_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of radix partitioning and chained-table
+//! probing — the cache-conscious inner machinery of the hash join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mem_joins::hash::{CacheParams, ChainedTable, RadixPartitioned};
+use relation::GenSpec;
+
+const TUPLES: usize = 500_000;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix_partition");
+    group.throughput(Throughput::Elements(TUPLES as u64));
+    group.sample_size(10);
+    let rel = GenSpec::uniform(TUPLES, 1).generate();
+    for bits in [4u32, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| RadixPartitioned::new(&rel, bits, &CacheParams::default()).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix_passes");
+    group.sample_size(10);
+    let rel = GenSpec::uniform(TUPLES, 2).generate();
+    for per_pass in [4u32, 6, 12] {
+        let params = CacheParams {
+            max_bits_per_pass: per_pass,
+            ..CacheParams::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("12bits_{per_pass}per_pass")),
+            &params,
+            |b, params| {
+                b.iter(|| RadixPartitioned::new(&rel, 12, params).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table_build_and_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chained_table");
+    group.sample_size(10);
+    let s = GenSpec::uniform(100_000, 3).generate();
+    group.throughput(Throughput::Elements(s.len() as u64));
+    group.bench_function("build_100k", |b| {
+        b.iter(|| ChainedTable::build(&s).len());
+    });
+    let table = ChainedTable::build(&s);
+    let probes = GenSpec::uniform(100_000, 4).generate();
+    group.bench_function("probe_100k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in probes.keys() {
+                hits += table.probe(k).count() as u64;
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning, bench_multi_pass, bench_table_build_and_probe);
+criterion_main!(benches);

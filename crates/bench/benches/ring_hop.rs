@@ -1,0 +1,50 @@
+//! Criterion benchmark of the real-thread ring backend: end-to-end cost of
+//! circulating envelopes through live receiver/join/transmitter entities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use data_roundabout::{run_threaded, RingConfig};
+
+fn bench_thread_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_ring");
+    group.sample_size(10);
+    for hosts in [2usize, 4] {
+        let fragments_per_host = 8;
+        // Each fragment is processed `hosts` times (one visit per host).
+        group.throughput(Throughput::Elements(
+            (hosts * fragments_per_host * hosts) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            b.iter(|| {
+                let fragments: Vec<Vec<Vec<u8>>> = (0..hosts)
+                    .map(|_| (0..fragments_per_host).map(|_| vec![0u8; 4096]).collect())
+                    .collect();
+                run_threaded(&RingConfig::paper(hosts), fragments, |_, _| {})
+                    .fragments_completed
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer_depths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_ring_buffers");
+    group.sample_size(10);
+    for buffers in [1usize, 2, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(buffers), &buffers, |b, &buffers| {
+            b.iter(|| {
+                let fragments: Vec<Vec<Vec<u8>>> =
+                    (0..3).map(|_| (0..8).map(|_| vec![0u8; 1024]).collect()).collect();
+                run_threaded(
+                    &RingConfig::paper(3).with_buffers(buffers),
+                    fragments,
+                    |_, _| {},
+                )
+                .fragments_completed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_ring, bench_buffer_depths);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks of the simulation substrate: event engine
+//! throughput, link reservations, and end-to-end simulated ring runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use data_roundabout::{FixedCostApp, RingConfig, SimRing};
+use simnet::engine::Simulation;
+use simnet::link::{Direction, Link};
+use simnet::time::{SimDuration, SimTime};
+
+fn bench_event_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_engine");
+    let events = 100_000u64;
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(20);
+    group.bench_function("schedule_and_drain", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u64> = Simulation::new();
+            for i in 0..events {
+                sim.schedule_at(SimTime::from_nanos(i * 7 % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            sim.run(|_, e| sum += e);
+            sum
+        });
+    });
+    group.finish();
+}
+
+fn bench_link_reservation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link");
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("reserve_10k", |b| {
+        b.iter(|| {
+            let mut link = Link::paper_10gbe();
+            let mut last = SimTime::ZERO;
+            for _ in 0..n {
+                last = link.reserve(last, Direction::Forward, 1 << 20).arrival;
+            }
+            last
+        });
+    });
+    group.finish();
+}
+
+fn bench_sim_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_ring");
+    group.sample_size(20);
+    for hosts in [2usize, 6, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            b.iter(|| {
+                let app = FixedCostApp::new(
+                    hosts,
+                    SimDuration::from_millis(1),
+                    SimDuration::from_millis(2),
+                );
+                let fragments: Vec<Vec<Vec<u8>>> = (0..hosts)
+                    .map(|_| (0..4).map(|_| vec![0u8; 1 << 16]).collect())
+                    .collect();
+                SimRing::new(RingConfig::paper(hosts), fragments, app)
+                    .run()
+                    .metrics
+                    .fragments_completed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_engine, bench_link_reservation, bench_sim_ring);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation — rotation-unit (fragment) size vs the Figure 5 curve.
+//!
+//! "As RDMA works best on large buffers, we always transfer a whole ring
+//! buffer element and not a single tuple" (§III-D). Cutting each host's
+//! share of R into more, smaller fragments pays the per-work-request
+//! overhead more often and slides down the chunk-size/goodput curve;
+//! too few fragments reduce pipelining granularity. The sweep exposes
+//! both ends.
+//!
+//! ```text
+//! cargo run --release -p cyclo-bench --bin ablate_chunk_size
+//! ```
+
+use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_join::{Algorithm, CycloJoin, RotateSide};
+use relation::paper_uniform_pair;
+
+fn main() {
+    let scale = scale_from_env(0.002);
+    let compute = compute_mode_from_env();
+    let (r, s) = paper_uniform_pair(scale, 29);
+    let per_host = r.len() / 6;
+    println!(
+        "Ablation — fragments per host (rotation-unit size), sort-merge on 6 hosts, \
+         {} tuples/host rotating (scale {scale})\n",
+        per_host
+    );
+
+    let mut rows = Vec::new();
+    for fragments in [1usize, 2, 4, 16, 64, 256] {
+        let frag_bytes = (per_host / fragments).max(1) * 12;
+        let report = CycloJoin::new(r.clone(), s.clone())
+            .algorithm(Algorithm::SortMerge)
+            .hosts(6)
+            .fragments_per_host(fragments)
+            .rotate(RotateSide::R)
+            .compute(compute)
+            .run()
+            .expect("plan should run");
+        rows.push(vec![
+            fragments.to_string(),
+            size_label(frag_bytes as u64),
+            secs(report.join_seconds()),
+            secs(report.sync_seconds()),
+            secs(report.join_window_seconds()),
+        ]);
+    }
+    print_table(
+        &["fragments/host", "unit size", "join [s]", "sync [s]", "window [s]"],
+        &rows,
+    );
+    println!("\nshape: very small units pay the per-message overhead (Figure 5's left");
+    println!("side) and inflate sync; moderate unit counts overlap best.");
+    write_csv(
+        "ablate_chunk_size",
+        &["fragments_per_host", "unit_bytes", "join_s", "sync_s", "window_s"],
+        &rows,
+    );
+}
+
+fn size_label(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1} MB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} kB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}

@@ -1,0 +1,59 @@
+//! Ablation — hash vs sort-merge crossover with ring size (§V-E claim).
+//!
+//! "We expect that [sort-merge join] would overpass [the partitioned hash
+//! join] in Data Roundabout configurations of ≈30 nodes upward (i.e., for
+//! data volumes ≳100 GB)." The analytic cost model evaluates both
+//! algorithms at full paper scale (closed form — nothing is executed) for
+//! rings of 1–64 nodes at the paper's per-node volume.
+//!
+//! ```text
+//! cargo run --release -p cyclo-bench --bin ablate_crossover
+//! ```
+
+use cyclo_bench::{print_table, secs, write_csv};
+use cyclo_join::{crossover_ring_size, predict, Algorithm, CostModel, RingConfig, Workload};
+
+/// 1.6 GB per relation side per node, the Figure 8/11 regime.
+const PER_HOST: usize = 133_000_000;
+
+fn main() {
+    let model = CostModel::paper_xeon();
+    println!("Ablation — hash vs sort-merge total time vs ring size (analytic, paper scale)\n");
+
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4, 6, 8, 12, 16, 24, 32, 40, 48, 64] {
+        let config = RingConfig::paper(n);
+        let workload = Workload::uniform(PER_HOST * n, PER_HOST * n, PER_HOST * n);
+        let hash = predict(&model, &config, &Algorithm::partitioned_hash(), &workload);
+        let smj = predict(&model, &config, &Algorithm::SortMerge, &workload);
+        let volume_gb = 2.0 * (PER_HOST * n) as f64 * 12.0 / 1e9;
+        rows.push(vec![
+            n.to_string(),
+            format!("{volume_gb:.0}"),
+            secs(hash.total().as_secs_f64()),
+            secs(smj.total().as_secs_f64()),
+            if smj.total() < hash.total() { "sort-merge".into() } else { "hash".into() },
+        ]);
+    }
+    print_table(
+        &["nodes", "volume GB", "hash total [s]", "smj total [s]", "winner"],
+        &rows,
+    );
+
+    let crossover = crossover_ring_size(&model, &RingConfig::paper(6), PER_HOST, 128);
+    match crossover {
+        Some(n) => {
+            let volume_gb = 2.0 * (PER_HOST * n) as f64 * 12.0 / 1e9;
+            println!(
+                "\ncrossover at {n} nodes ≈ {volume_gb:.0} GB total \
+                 (paper expectation: ≈30 nodes / ≳100 GB)"
+            );
+        }
+        None => println!("\nno crossover up to 128 nodes — model constants need recalibration"),
+    }
+    write_csv(
+        "ablate_crossover",
+        &["nodes", "volume_gb", "hash_total_s", "smj_total_s", "winner"],
+        &rows,
+    );
+}

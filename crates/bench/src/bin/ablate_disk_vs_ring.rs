@@ -1,0 +1,73 @@
+//! Ablation — distributed main memory vs local disk (§II-C, footnote 1).
+//!
+//! The premise of the Data Roundabout: "it is preferable to keep the hot
+//! set in distributed main memory rather than on disk since state-of-the-
+//! art interconnects not only provide a higher throughput but also a
+//! significantly lower latency than hard disks." This ablation joins the
+//! same data (a) on one host streaming R from a commodity disk, and
+//! (b) on a six-host ring holding everything in distributed RAM.
+//!
+//! ```text
+//! cargo run --release -p cyclo-bench --bin ablate_disk_vs_ring
+//! ```
+
+use cyclo_bench::{print_table, scale_from_env, secs, write_csv};
+use cyclo_join::{Algorithm, CostModel, CycloJoin, RotateSide};
+use relation::{GenSpec, TUPLE_BYTES};
+use simnet::disk::DiskModel;
+
+fn main() {
+    let scale = scale_from_env(0.005);
+    let disk = DiskModel::paper_barracuda();
+    let model = CostModel::paper_xeon();
+    println!("Ablation — local disk streaming vs distributed-RAM ring (scale {scale})\n");
+
+    let mut rows = Vec::new();
+    for hosts in [2usize, 4, 6] {
+        let per_node = ((133_000_000.0 * scale) as usize).max(1);
+        let tuples = per_node * hosts;
+        let r = GenSpec::uniform(tuples, 900).generate();
+        let s = GenSpec::uniform(tuples, 901).generate();
+        let r_bytes = r.byte_volume();
+
+        // (a) Single host: S's hash table fits RAM, R streams from disk.
+        // The join overlaps with the stream, so the wall time is the max
+        // of disk time and compute time — disk wins (badly).
+        let compute = model
+            .join_duration(&Algorithm::partitioned_hash(), tuples, tuples, tuples as u64, 4)
+            .as_secs_f64();
+        let disk_stream = disk
+            .read_time_chunked(r_bytes, r_bytes / (16 << 20).max(1))
+            .as_secs_f64();
+        let local_disk = disk_stream.max(compute);
+
+        // (b) The ring: everything in distributed memory.
+        let ring = CycloJoin::new(r, s)
+            .algorithm(Algorithm::partitioned_hash())
+            .hosts(hosts)
+            .rotate(RotateSide::R)
+            .run()
+            .expect("plan should run");
+        let ring_total = ring.setup_seconds() + ring.join_window_seconds();
+
+        rows.push(vec![
+            hosts.to_string(),
+            format!("{:.1}", tuples as f64 * TUPLE_BYTES as f64 * 2.0 / 1e6),
+            secs(local_disk),
+            secs(ring_total),
+            format!("{:.1}", local_disk / ring_total.max(1e-9)),
+        ]);
+    }
+    print_table(
+        &["nodes", "volume MB", "disk-stream join [s]", "ring total [s]", "ring advantage"],
+        &rows,
+    );
+    println!("\nshape: the disk tops out at 120 MB/s while each ring link moves");
+    println!("~1.1 GB/s and the hosts join in parallel — the gap widens with scale,");
+    println!("which is the §II-C case for a distributed main-memory hot set.");
+    write_csv(
+        "ablate_disk_vs_ring",
+        &["nodes", "volume_mb", "disk_s", "ring_s", "advantage"],
+        &rows,
+    );
+}

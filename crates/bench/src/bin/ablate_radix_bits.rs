@@ -1,0 +1,70 @@
+//! Ablation — does cache-conscious radix partitioning actually matter?
+//!
+//! The radix join's whole point (§IV-C1, Manegold et al. \[22\]) is that
+//! partitioning the build side until each partition + hash table fits in
+//! L2 makes every probe a cache hit. This ablation measures **real
+//! wall-clock time on this machine**: the same probe workload against
+//! tables built with 0 radix bits (one giant table) up to well past the
+//! cache-fitting fan-out.
+//!
+//! ```text
+//! cargo run --release -p cyclo-bench --bin ablate_radix_bits
+//! ```
+
+use cyclo_bench::{print_table, scale_from_env, write_csv};
+use mem_joins::hash::{radix_bits_for, CacheParams, HashJoinState, RadixPartitioned};
+use mem_joins::{timed, JoinCollector};
+use relation::GenSpec;
+
+fn main() {
+    let scale = scale_from_env(0.2);
+    let tuples = ((140_000_000.0 * scale) as usize).max(1);
+    let params = CacheParams::paper_xeon();
+    let auto_bits = radix_bits_for(tuples, &params);
+    println!(
+        "Ablation — radix fan-out vs real probe time, {tuples} tuples/side \
+         (scale {scale}, auto choice: {auto_bits} bits)\n"
+    );
+
+    let s = GenSpec::uniform(tuples, 950).generate();
+    let r = GenSpec::uniform(tuples, 951).generate();
+
+    let mut rows = Vec::new();
+    let mut sweep: Vec<u32> = vec![0, 4, 8, 12];
+    if !sweep.contains(&auto_bits) {
+        sweep.push(auto_bits);
+        sweep.sort_unstable();
+    }
+    for bits in sweep {
+        let (state, build_time) = timed(|| HashJoinState::build_with_bits(&s, bits, &params));
+        let (probe_frag, partition_time) =
+            timed(|| RadixPartitioned::new(&r, bits, &params));
+        let (matches, probe_time) = timed(|| {
+            let mut c = JoinCollector::aggregating();
+            state.probe_partitioned(&probe_frag, 1, &mut c);
+            c.count()
+        });
+        let table_kb_per_partition = state.footprint_bytes() / (1usize << bits) / 1024;
+        rows.push(vec![
+            format!("{bits}{}", if bits == auto_bits { " (auto)" } else { "" }),
+            format!("{}", 1u64 << bits),
+            format!("{table_kb_per_partition}"),
+            format!("{:.3}", build_time.as_secs_f64() + partition_time.as_secs_f64()),
+            format!("{:.3}", probe_time.as_secs_f64()),
+            matches.to_string(),
+        ]);
+    }
+    print_table(
+        &["bits", "partitions", "kB/table", "setup [s]", "probe [s]", "matches"],
+        &rows,
+    );
+    println!("\nshape: partitioning pays once the monolithic table exceeds the CPU's");
+    println!("*last-level* cache (the paper's 2008 Xeon had 4 MB; modern server LLCs");
+    println!("run to hundreds of MB, so the crossover needs bigger tables today).");
+    println!("Past the cache-fitting fan-out, extra partitions only add overhead.");
+    write_csv(
+        "ablate_radix_bits",
+        &["bits", "partitions", "kb_per_table", "setup_s", "probe_s", "matches"],
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! Figure 11 — sort-merge join scale-up: sync time becomes visible.
+//!
+//! With the fast merge phase, "the join phase has become too fast to
+//! fully hide the cost of network communication": join threads wait for
+//! the roundabout (light-gray *sync* bars), and the achieved per-link
+//! throughput approaches the physical 10 Gb/s ceiling (§V-F measures
+//! 1.1 GB/s against the 1.25 GB/s maximum).
+//!
+//! ```text
+//! cargo run --release -p cyclo-bench --bin fig11_smj_scaleup
+//! ```
+
+use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_join::{Algorithm, CycloJoin, RotateSide};
+use relation::GenSpec;
+
+const TUPLES_PER_NODE_SIDE: usize = 133_000_000;
+
+fn main() {
+    let scale = scale_from_env(0.005);
+    let compute = compute_mode_from_env();
+    let per_node = ((TUPLES_PER_NODE_SIDE as f64 * scale) as usize).max(1);
+    println!(
+        "Figure 11 — sort-merge join scale-up, {per_node} tuples/side/node (scale {scale})\n"
+    );
+
+    let mut rows = Vec::new();
+    for hosts in 1..=6 {
+        let tuples = per_node * hosts;
+        let r = GenSpec::uniform(tuples, 110).generate();
+        let s = GenSpec::uniform(tuples, 111).generate();
+        let volume_gb = (r.byte_volume() + s.byte_volume()) as f64 / 1e9 / scale;
+        let report = CycloJoin::new(r, s)
+            .algorithm(Algorithm::SortMerge)
+            .hosts(hosts)
+            .rotate(RotateSide::R)
+            .compute(compute)
+            .run()
+            .expect("plan should run");
+        rows.push(vec![
+            format!("{volume_gb:.1}"),
+            hosts.to_string(),
+            secs(report.setup_seconds()),
+            secs(report.join_seconds()),
+            secs(report.sync_seconds()),
+            format!("{:.2}", report.link_throughput() / 1e9),
+        ]);
+    }
+    print_table(
+        &["paper-scale GB", "nodes", "setup [s]", "join [s]", "sync [s]", "link GB/s"],
+        &rows,
+    );
+
+    let sync_6: f64 = rows[5][4].parse().unwrap();
+    let link_6: f64 = rows[5][5].parse().unwrap();
+    println!(
+        "\nshape check: sync is nonzero at 6 nodes ({sync_6:.3}s) and the link runs at \
+         {link_6:.2} GB/s — near the 1.25 GB/s ceiling, as in §V-F"
+    );
+    write_csv(
+        "fig11_smj_scaleup",
+        &["paper_scale_gb", "nodes", "setup_s", "join_s", "sync_s", "link_gbps"],
+        &rows,
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 5 — RDMA goodput vs transfer-unit size.
+//!
+//! "RDMA requires a minimum chunk size to saturate the link": each work
+//! request carries a fixed cost, so throughput collapses for tiny units
+//! and saturates the 10 Gb/s link only for units around 1 MB and larger
+//! (knee near 4 kB).
+//!
+//! ```text
+//! cargo run --release -p cyclo-bench --bin fig5_chunk_throughput
+//! ```
+
+use cyclo_bench::{print_table, write_csv};
+use simnet::throughput::ChunkThroughput;
+
+fn main() {
+    let model = ChunkThroughput::paper_10gbe();
+    println!("Figure 5 — RDMA goodput vs chunk size over 10 GbE\n");
+
+    let mut rows = Vec::new();
+    let mut size: u64 = 1;
+    while size <= 1 << 30 {
+        let goodput = model.goodput(size);
+        rows.push(vec![
+            size_label(size),
+            format!("{:.3}", goodput.gbit_per_sec()),
+            format!("{:.1}", 100.0 * model.utilization(size)),
+        ]);
+        size *= 4;
+    }
+    print_table(&["chunk", "goodput Gb/s", "of peak %"], &rows);
+
+    let knee = model.chunk_size_for_utilization(0.5);
+    let saturated = model.chunk_size_for_utilization(0.99);
+    println!("\n50 % of peak at {} chunks; ≥99 % of peak at {} chunks", size_label(knee), size_label(saturated));
+    println!("paper shape: saturation begins ≳4 kB, full rate from ≈1 MB units.");
+    write_csv(
+        "fig5_chunk_throughput",
+        &["chunk_bytes", "goodput_gbps", "utilization_pct"],
+        &rows,
+    );
+}
+
+fn size_label(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{} GB", bytes >> 30)
+    } else if bytes >= 1 << 20 {
+        format!("{} MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{} kB", bytes >> 10)
+    } else {
+        format!("{bytes} B")
+    }
+}

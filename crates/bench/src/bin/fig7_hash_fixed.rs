@@ -1,0 +1,69 @@
+//! Figure 7 — hash join: a fixed data set on an increasing ring size.
+//!
+//! The paper joins two 140 M-row tables (2 × 1.6 GB) on 1–6 hosts with the
+//! partitioned hash join. Expected shape: the setup phase shrinks ∝ 1/n
+//! (the hash build is distributed), while the join phase stays constant —
+//! each host still scans all of R once (Equation ⋆).
+//!
+//! ```text
+//! cargo run --release -p cyclo-bench --bin fig7_hash_fixed
+//! CYCLO_SCALE=0.01 cargo run --release -p cyclo-bench --bin fig7_hash_fixed
+//! ```
+
+use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_join::{Algorithm, CycloJoin, RotateSide};
+use relation::paper_uniform_pair;
+
+fn main() {
+    let scale = scale_from_env(0.005);
+    let compute = compute_mode_from_env();
+    let (r, s) = paper_uniform_pair(scale, 7);
+    println!(
+        "Figure 7 — partitioned hash join, fixed {} + {} tuples, ring size 1–6 (scale {scale})\n",
+        r.len(),
+        s.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut single_host_total = 0.0;
+    for hosts in 1..=6 {
+        let report = CycloJoin::new(r.clone(), s.clone())
+            .algorithm(Algorithm::partitioned_hash())
+            .hosts(hosts)
+            .rotate(RotateSide::R)
+            .compute(compute)
+            .run()
+            .expect("plan should run");
+        if hosts == 1 {
+            single_host_total = report.setup_seconds() + report.join_seconds();
+        }
+        rows.push(vec![
+            hosts.to_string(),
+            secs(report.setup_seconds()),
+            secs(report.join_seconds()),
+            secs(report.sync_seconds()),
+            secs(report.setup_seconds() + report.join_seconds()),
+            report.match_count().to_string(),
+        ]);
+    }
+    print_table(
+        &["nodes", "setup [s]", "join [s]", "sync [s]", "total [s]", "matches"],
+        &rows,
+    );
+    println!("\nsingle-host performance line: {single_host_total:.3}s");
+
+    let setup_1: f64 = rows[0][1].parse().unwrap();
+    let setup_6: f64 = rows[5][1].parse().unwrap();
+    let join_1: f64 = rows[0][2].parse().unwrap();
+    let join_6: f64 = rows[5][2].parse().unwrap();
+    println!(
+        "shape check: setup speedup 1→6 nodes = {:.2}× (paper: ≈6×); join ratio = {:.2} (paper: ≈1)",
+        setup_1 / setup_6,
+        join_6 / join_1
+    );
+    write_csv(
+        "fig7_hash_fixed",
+        &["nodes", "setup_s", "join_s", "sync_s", "total_s", "matches"],
+        &rows,
+    );
+}

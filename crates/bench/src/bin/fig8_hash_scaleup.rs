@@ -1,0 +1,69 @@
+//! Figure 8 — hash join scale-up: each node adds 3.2 GB to the data set.
+//!
+//! The per-host volume stays constant while the ring grows, so the setup
+//! phase becomes size-independent and the join phase grows linearly with
+//! the total size of the rotating relation — "cyclo-join makes distributed
+//! memory available to process joins of arbitrary size".
+//!
+//! ```text
+//! cargo run --release -p cyclo-bench --bin fig8_hash_scaleup
+//! ```
+
+use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_join::{Algorithm, CycloJoin, RotateSide};
+use relation::GenSpec;
+
+/// The paper's per-node share: 3.2 GB total per node = 1.6 GB ≈ 133 M
+/// tuples per relation side.
+const TUPLES_PER_NODE_SIDE: usize = 133_000_000;
+
+fn main() {
+    let scale = scale_from_env(0.005);
+    let compute = compute_mode_from_env();
+    let per_node = ((TUPLES_PER_NODE_SIDE as f64 * scale) as usize).max(1);
+    println!(
+        "Figure 8 — partitioned hash join scale-up, {per_node} tuples/side/node (scale {scale})\n"
+    );
+
+    let mut rows = Vec::new();
+    for hosts in 1..=6 {
+        let tuples = per_node * hosts;
+        let r = GenSpec::uniform(tuples, 80).generate();
+        let s = GenSpec::uniform(tuples, 81).generate();
+        let volume_gb = (r.byte_volume() + s.byte_volume()) as f64 / 1e9 / scale;
+        let report = CycloJoin::new(r, s)
+            .algorithm(Algorithm::partitioned_hash())
+            .hosts(hosts)
+            .rotate(RotateSide::R)
+            .compute(compute)
+            .run()
+            .expect("plan should run");
+        rows.push(vec![
+            format!("{volume_gb:.1}"),
+            hosts.to_string(),
+            secs(report.setup_seconds()),
+            secs(report.join_seconds()),
+            secs(report.sync_seconds()),
+        ]);
+    }
+    print_table(
+        &["paper-scale GB", "nodes", "setup [s]", "join [s]", "sync [s]"],
+        &rows,
+    );
+
+    let setup_1: f64 = rows[0][2].parse().unwrap();
+    let setup_6: f64 = rows[5][2].parse().unwrap();
+    let join_1: f64 = rows[0][3].parse().unwrap();
+    let join_6: f64 = rows[5][3].parse().unwrap();
+    println!(
+        "\nshape check: setup 6-node/1-node = {:.2} (paper: ≈1, size-independent); \
+         join 6-node/1-node = {:.2} (paper: ≈6, linear in |R|)",
+        setup_6 / setup_1,
+        join_6 / join_1
+    );
+    write_csv(
+        "fig8_hash_scaleup",
+        &["paper_scale_gb", "nodes", "setup_s", "join_s", "sync_s"],
+        &rows,
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 9 — join phase on skewed (Zipf) data, local vs cyclo-join.
+//!
+//! The paper generates 36 M-tuple relations (412 MB each) with Zipf
+//! factors up to 0.9 and compares the hash-join phase on one host against
+//! a six-host ring. Duplicates pile up hash-chain collisions that degrade
+//! the local join toward nested-loops behaviour; cyclo-join's smaller
+//! per-host partitions keep chains cache-resident — a five-fold advantage
+//! at z = 0.9.
+//!
+//! ```text
+//! cargo run --release -p cyclo-bench --bin fig9_skew
+//! ```
+
+use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_join::{Algorithm, CycloJoin, RotateSide};
+use relation::paper_skew_pair;
+
+fn main() {
+    let scale = scale_from_env(0.002);
+    let compute = compute_mode_from_env();
+    println!("Figure 9 — hash join phase under Zipf skew, local vs 6-host ring (scale {scale})\n");
+
+    let mut rows = Vec::new();
+    for z in [0.0, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9] {
+        let run = |hosts: usize| {
+            let (r, s) = paper_skew_pair(z, scale, 9);
+            CycloJoin::new(r, s)
+                .algorithm(Algorithm::partitioned_hash())
+                .hosts(hosts)
+                .rotate(RotateSide::R)
+                .compute(compute)
+                .run()
+                .expect("plan should run")
+        };
+        let local = run(1);
+        let ring = run(6);
+        assert_eq!(local.match_count(), ring.match_count(), "results must agree");
+        rows.push(vec![
+            format!("{z:.2}"),
+            secs(local.join_seconds()),
+            secs(ring.join_seconds()),
+            format!("{:.2}", local.join_seconds() / ring.join_seconds().max(1e-9)),
+            local.match_count().to_string(),
+        ]);
+    }
+    print_table(
+        &["zipf z", "local join [s]", "cyclo-join [s]", "speedup", "matches"],
+        &rows,
+    );
+
+    let flat: f64 = rows[0][3].parse().unwrap();
+    let skewed: f64 = rows[6][3].parse().unwrap();
+    println!(
+        "\nshape check: speedup grows from {flat:.2}× (uniform — no benefit, per the paper) \
+         to {skewed:.2}× at z = 0.9 (paper: ≈5×)"
+    );
+    write_csv(
+        "fig9_skew",
+        &["zipf_z", "local_join_s", "cyclo_join_s", "speedup", "matches"],
+        &rows,
+    );
+}

@@ -1,0 +1,312 @@
+//! `cyclo` — run a cyclo-join from the command line.
+//!
+//! ```text
+//! cargo run --release -p cyclo-join --bin cyclo -- --hosts 6 --tuples 500000 --zipf 0.8
+//! ```
+//!
+//! Run with `--help` for the full flag list. Results are always verified
+//! against a single-host reference join unless `--no-verify` is given.
+
+use cyclo_join::{
+    advise_from_data, reference_join, Algorithm, ComputeMode, CostModel, CycloJoin,
+    JoinPredicate, RingConfig, RotateSide,
+};
+use data_roundabout::render_timeline;
+use relation::GenSpec;
+use simnet::transport::TransportModel;
+
+const HELP: &str = "\
+cyclo — distributed joins on the Data Roundabout ring
+
+USAGE:
+    cyclo [OPTIONS]
+
+OPTIONS:
+    --hosts <N>          ring size (default 6)
+    --tuples <N>         tuples per relation side (default 200000)
+    --zipf <Z>           Zipf skew factor for the join keys (default: uniform)
+    --algorithm <A>      hash | sort-merge | nested (default: auto)
+    --band <DELTA>       band join |r.key - s.key| <= DELTA (default: equi)
+    --transport <T>      rdma | tcp | toe (default rdma)
+    --threads <N>        join threads per host, 1-4 (default 4)
+    --buffers <N>        ring buffer elements per host (default 2)
+    --fragments <N>      rotation units per host (default 4)
+    --rotate <SIDE>      r | s | auto (default auto)
+    --seed <N>           RNG seed (default 42)
+    --measured           wall-clock-measure real compute instead of modeling
+    --threaded           run on the real-thread backend
+    --no-verify          skip the reference-join verification
+    --trace              print the transport event trace
+    --timeline           print an ASCII per-host timeline of the run
+    --advise             print the cost model's plan advice before running
+    -h, --help           show this help
+";
+
+/// Parsed command-line configuration.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    hosts: usize,
+    tuples: usize,
+    zipf: Option<f64>,
+    algorithm: Option<Algorithm>,
+    band: Option<u32>,
+    transport: TransportModel,
+    threads: usize,
+    buffers: usize,
+    fragments: usize,
+    rotate: RotateSide,
+    seed: u64,
+    measured: bool,
+    threaded: bool,
+    verify: bool,
+    trace: bool,
+    timeline: bool,
+    advise: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            hosts: 6,
+            tuples: 200_000,
+            zipf: None,
+            algorithm: None,
+            band: None,
+            transport: TransportModel::rdma(),
+            threads: 4,
+            buffers: 2,
+            fragments: 4,
+            rotate: RotateSide::Auto,
+            seed: 42,
+            measured: false,
+            threaded: false,
+            verify: true,
+            trace: false,
+            timeline: false,
+            advise: false,
+        }
+    }
+}
+
+/// Parses arguments; returns `Err` with a message for bad input, or
+/// `Ok(None)` when help was requested.
+fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Option<Options>, String> {
+    let mut opts = Options::default();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--hosts" => opts.hosts = parse(&value("--hosts")?, "--hosts")?,
+            "--tuples" => opts.tuples = parse(&value("--tuples")?, "--tuples")?,
+            "--zipf" => opts.zipf = Some(parse(&value("--zipf")?, "--zipf")?),
+            "--band" => opts.band = Some(parse(&value("--band")?, "--band")?),
+            "--threads" => opts.threads = parse(&value("--threads")?, "--threads")?,
+            "--buffers" => opts.buffers = parse(&value("--buffers")?, "--buffers")?,
+            "--fragments" => opts.fragments = parse(&value("--fragments")?, "--fragments")?,
+            "--seed" => opts.seed = parse(&value("--seed")?, "--seed")?,
+            "--algorithm" => {
+                opts.algorithm = Some(match value("--algorithm")?.as_str() {
+                    "hash" => Algorithm::partitioned_hash(),
+                    "sort-merge" => Algorithm::SortMerge,
+                    "nested" => Algorithm::NestedLoops,
+                    other => return Err(format!("unknown algorithm {other:?}")),
+                })
+            }
+            "--transport" => {
+                opts.transport = match value("--transport")?.as_str() {
+                    "rdma" => TransportModel::rdma(),
+                    "tcp" => TransportModel::kernel_tcp(),
+                    "toe" => TransportModel::toe(),
+                    other => return Err(format!("unknown transport {other:?}")),
+                }
+            }
+            "--rotate" => {
+                opts.rotate = match value("--rotate")?.as_str() {
+                    "r" => RotateSide::R,
+                    "s" => RotateSide::S,
+                    "auto" => RotateSide::Auto,
+                    other => return Err(format!("unknown rotation side {other:?}")),
+                }
+            }
+            "--measured" => opts.measured = true,
+            "--threaded" => opts.threaded = true,
+            "--no-verify" => opts.verify = false,
+            "--trace" => opts.trace = true,
+            "--timeline" => opts.timeline = true,
+            "--advise" => opts.advise = true,
+            other => return Err(format!("unknown option {other:?} (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value {value:?} for {flag}"))
+}
+
+fn main() {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{HELP}");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run with --help for usage");
+            std::process::exit(2);
+        }
+    };
+
+    let gen = |seed: u64| match opts.zipf {
+        Some(z) => GenSpec::zipf(opts.tuples, z, seed).generate(),
+        None => GenSpec::uniform(opts.tuples, seed).generate(),
+    };
+    let r = gen(opts.seed);
+    let s = gen(opts.seed.wrapping_add(1));
+    let predicate = match opts.band {
+        Some(delta) => JoinPredicate::band(delta),
+        None => JoinPredicate::Equi,
+    };
+    let reference = opts
+        .verify
+        .then(|| reference_join(&r, &s, &predicate));
+
+    if opts.advise {
+        let advice = advise_from_data(
+            &CostModel::paper_xeon(),
+            &RingConfig::paper(opts.hosts),
+            &r,
+            &s,
+        );
+        println!(
+            "advice: rotate {}, prefer {}",
+            if advice.rotate_s { "S (smaller)" } else { "R" },
+            if advice.prefer_sort_merge {
+                "sort-merge"
+            } else {
+                "partitioned-hash"
+            }
+        );
+    }
+
+    let config = RingConfig {
+        hosts: opts.hosts,
+        buffers_per_host: opts.buffers,
+        join_threads: opts.threads,
+        transport: opts.transport,
+        ..RingConfig::paper(opts.hosts)
+    };
+    let mut plan = CycloJoin::new(r, s)
+        .predicate(predicate)
+        .ring(config)
+        .fragments_per_host(opts.fragments)
+        .rotate(opts.rotate)
+        .trace(opts.trace);
+    if let Some(algorithm) = opts.algorithm {
+        plan = plan.algorithm(algorithm);
+    }
+    if opts.measured {
+        plan = plan.compute(ComputeMode::Measured);
+    }
+
+    let outcome = if opts.threaded {
+        plan.run_threaded().map(|r| (r, None))
+    } else {
+        plan.run_traced().map(|(r, t)| (r, Some(t)))
+    };
+    let (report, trace) = match outcome {
+        Ok(pair) => pair,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    print!("{}", report.render());
+    if opts.timeline {
+        print!("{}", render_timeline(&report.ring, 64));
+    }
+    if let Some(trace) = trace {
+        if opts.trace {
+            print!("{}", trace.render());
+        }
+    }
+    if let Some(reference) = reference {
+        if report.match_count() == reference.count && report.checksum() == reference.checksum {
+            println!("verified: result equals the single-host reference join");
+        } else {
+            eprintln!(
+                "VERIFICATION FAILED: got {} matches, reference has {}",
+                report.match_count(),
+                reference.count
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Options {
+        parse_args(args.iter().map(|s| s.to_string()))
+            .expect("parse should succeed")
+            .expect("not a help invocation")
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let opts = parse_ok(&[]);
+        assert_eq!(opts, Options::default());
+    }
+
+    #[test]
+    fn flags_are_parsed() {
+        let opts = parse_ok(&[
+            "--hosts", "3", "--tuples", "1000", "--zipf", "0.7", "--algorithm", "sort-merge",
+            "--band", "2", "--transport", "tcp", "--threads", "2", "--rotate", "s",
+            "--measured", "--no-verify", "--timeline", "--advise",
+        ]);
+        assert_eq!(opts.hosts, 3);
+        assert_eq!(opts.tuples, 1000);
+        assert_eq!(opts.zipf, Some(0.7));
+        assert_eq!(opts.band, Some(2));
+        assert_eq!(opts.transport.name(), "TCP");
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.rotate, RotateSide::S);
+        assert!(opts.measured);
+        assert!(!opts.verify);
+        assert!(opts.timeline);
+        assert!(opts.advise);
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        let parsed = parse_args(["--help"].iter().map(|s| s.to_string())).unwrap();
+        assert!(parsed.is_none());
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        for args in [
+            vec!["--hosts", "many"],
+            vec!["--algorithm", "bogosort"],
+            vec!["--transport", "carrier-pigeon"],
+            vec!["--rotate", "both"],
+            vec!["--hosts"],
+            vec!["--frobnicate"],
+        ] {
+            assert!(
+                parse_args(args.iter().map(|s| s.to_string())).is_err(),
+                "{args:?} should be rejected"
+            );
+        }
+    }
+}

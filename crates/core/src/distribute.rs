@@ -1,0 +1,200 @@
+//! Spreading the input relations over the ring (§IV-A).
+//!
+//! Cyclo-join assumes both inputs are already distributed before the join
+//! starts — "we do not care how the data is distributed, but we assume that
+//! the distribution of at least S is reasonably even". The default
+//! placement splits both sides into even contiguous chunks; the rotating
+//! side is further cut into per-host fragments (the rotation units that
+//! will each fill one ring-buffer element).
+
+use relation::Relation;
+use serde::{Deserialize, Serialize};
+
+/// Which relation circulates in the ring while the other stays put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RotateSide {
+    /// Rotate `R`, keep `S` stationary (the paper's description).
+    R,
+    /// Rotate `S`, keep `R` stationary.
+    S,
+    /// Rotate whichever relation is smaller — "this may be easier to
+    /// achieve if the smaller of the two input relations is chosen as the
+    /// one that is kept rotating" (§IV-B).
+    #[default]
+    Auto,
+}
+
+impl RotateSide {
+    /// Resolves `Auto` against the actual input sizes. Returns `true` when
+    /// the logical `S` is the side that rotates.
+    pub fn rotates_s(&self, r_tuples: usize, s_tuples: usize) -> bool {
+        match self {
+            RotateSide::R => false,
+            RotateSide::S => true,
+            RotateSide::Auto => s_tuples < r_tuples,
+        }
+    }
+}
+
+/// The physical placement of one cyclo-join run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Stationary partition per host.
+    pub stationary: Vec<Relation>,
+    /// Rotating fragments per host (each inner vec holds that host's
+    /// locally originating rotation units).
+    pub rotating: Vec<Vec<Relation>>,
+    /// True if the logical `S` is the rotating side (sides were swapped).
+    pub swapped: bool,
+}
+
+impl Placement {
+    /// Builds a placement: the rotating side is chunked evenly over hosts
+    /// and then into `fragments_per_host` rotation units each; the
+    /// stationary side is chunked evenly over hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` or `fragments_per_host` is zero.
+    pub fn new(
+        r: &Relation,
+        s: &Relation,
+        hosts: usize,
+        fragments_per_host: usize,
+        rotate: RotateSide,
+    ) -> Self {
+        assert!(hosts > 0, "placement needs at least one host");
+        assert!(
+            fragments_per_host > 0,
+            "placement needs at least one fragment per host"
+        );
+        let swapped = rotate.rotates_s(r.len(), s.len());
+        let (rotating_rel, stationary_rel) = if swapped { (s, r) } else { (r, s) };
+        let stationary = stationary_rel.split_even(hosts);
+        let rotating = rotating_rel
+            .split_even(hosts)
+            .into_iter()
+            .map(|host_share| host_share.split_even(fragments_per_host))
+            .collect();
+        Placement {
+            stationary,
+            rotating,
+            swapped,
+        }
+    }
+
+    /// Number of hosts the placement covers.
+    pub fn hosts(&self) -> usize {
+        self.stationary.len()
+    }
+
+    /// Total rotating tuples across all fragments.
+    pub fn rotating_tuples(&self) -> usize {
+        self.rotating
+            .iter()
+            .flat_map(|frags| frags.iter())
+            .map(Relation::len)
+            .sum()
+    }
+
+    /// Total stationary tuples across all hosts.
+    pub fn stationary_tuples(&self) -> usize {
+        self.stationary.iter().map(Relation::len).sum()
+    }
+
+    /// The largest stationary partition — what the ring-wide radix fan-out
+    /// must be sized for.
+    pub fn max_stationary_tuples(&self) -> usize {
+        self.stationary.iter().map(Relation::len).max().unwrap_or(0)
+    }
+
+    /// The largest single rotation unit in bytes — what each ring-buffer
+    /// element must be sized for.
+    pub fn max_fragment_bytes(&self) -> u64 {
+        self.rotating
+            .iter()
+            .flat_map(|frags| frags.iter())
+            .map(Relation::byte_volume)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::GenSpec;
+
+    #[test]
+    fn placement_conserves_tuples() {
+        let r = GenSpec::uniform(10_000, 1).generate();
+        let s = GenSpec::uniform(8_000, 2).generate();
+        let p = Placement::new(&r, &s, 6, 2, RotateSide::R);
+        assert_eq!(p.rotating_tuples(), 10_000);
+        assert_eq!(p.stationary_tuples(), 8_000);
+        assert_eq!(p.hosts(), 6);
+        assert_eq!(p.rotating.len(), 6);
+        assert_eq!(p.rotating[0].len(), 2);
+        assert!(!p.swapped);
+    }
+
+    #[test]
+    fn auto_rotates_the_smaller_side() {
+        let big = GenSpec::uniform(10_000, 1).generate();
+        let small = GenSpec::uniform(1_000, 2).generate();
+        // R big, S small → S rotates.
+        let p = Placement::new(&big, &small, 3, 2, RotateSide::Auto);
+        assert!(p.swapped);
+        assert_eq!(p.rotating_tuples(), 1_000);
+        assert_eq!(p.stationary_tuples(), 10_000);
+        // R small, S big → R rotates.
+        let p = Placement::new(&small, &big, 3, 2, RotateSide::Auto);
+        assert!(!p.swapped);
+        assert_eq!(p.rotating_tuples(), 1_000);
+    }
+
+    #[test]
+    fn forced_sides_are_honoured() {
+        let r = GenSpec::uniform(100, 1).generate();
+        let s = GenSpec::uniform(10_000, 2).generate();
+        let p = Placement::new(&r, &s, 2, 1, RotateSide::S);
+        assert!(p.swapped);
+        assert_eq!(p.rotating_tuples(), 10_000);
+    }
+
+    #[test]
+    fn stationary_is_reasonably_even() {
+        let r = GenSpec::uniform(1_000, 1).generate();
+        let s = GenSpec::uniform(9_999, 2).generate();
+        let p = Placement::new(&r, &s, 4, 2, RotateSide::R);
+        let sizes: Vec<usize> = p.stationary.iter().map(Relation::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 9_999);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        assert_eq!(p.max_stationary_tuples(), 2_500);
+    }
+
+    #[test]
+    fn fragment_sizing_reported() {
+        let r = GenSpec::uniform(1_200, 1).generate();
+        let s = GenSpec::uniform(1_200, 2).generate();
+        let p = Placement::new(&r, &s, 3, 2, RotateSide::R);
+        // 1200 / 3 hosts / 2 fragments = 200 tuples = 2400 bytes.
+        assert_eq!(p.max_fragment_bytes(), 2_400);
+    }
+
+    #[test]
+    fn single_host_single_fragment() {
+        let r = GenSpec::uniform(50, 1).generate();
+        let s = GenSpec::uniform(50, 2).generate();
+        let p = Placement::new(&r, &s, 1, 1, RotateSide::R);
+        assert_eq!(p.rotating[0].len(), 1);
+        assert_eq!(p.rotating[0][0].len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_rejected() {
+        let r = Relation::new();
+        let _ = Placement::new(&r, &r, 0, 1, RotateSide::R);
+    }
+}

@@ -1,0 +1,391 @@
+//! Execution: wiring cyclo-join onto the Data Roundabout backends.
+//!
+//! The simulated path implements [`RingApp`] so the DES backend drives
+//! setup and per-fragment joins in virtual time; the threaded path runs
+//! the same joins on the real-thread backend for live validation.
+
+use data_roundabout::{
+    HostId, RegisteredPool, RingApp, RingConfig, RingMetrics, SimRing,
+};
+use mem_joins::{
+    Algorithm, JoinCollector, JoinPredicate, OutputMode, PreparedFragment, StationaryState,
+};
+use relation::Relation;
+use simnet::time::SimDuration;
+use simnet::trace::Tracer;
+use simnet::transport::TransportModel;
+use std::sync::Mutex;
+
+use crate::compute::ComputeMode;
+use crate::distribute::Placement;
+use crate::result::DistributedResult;
+
+/// Everything a backend run produces.
+#[derive(Debug)]
+pub(crate) struct ExecOutcome {
+    pub metrics: RingMetrics,
+    pub result: DistributedResult,
+    pub trace: Tracer,
+}
+
+/// Mirrors a predicate for swapped-side execution: `p'(a, b) = p(b, a)`.
+/// Equi and band predicates are symmetric; theta predicates flip their
+/// arguments.
+pub(crate) fn mirror_predicate(p: &JoinPredicate) -> JoinPredicate {
+    match p {
+        JoinPredicate::Equi => JoinPredicate::Equi,
+        JoinPredicate::Band { delta } => JoinPredicate::Band { delta: *delta },
+        JoinPredicate::Theta(f) => {
+            let f = f.clone();
+            JoinPredicate::theta(move |a, b| f(b, a))
+        }
+    }
+}
+
+/// The [`RingApp`] that turns Data Roundabout into cyclo-join.
+struct CycloApp {
+    algorithm: Algorithm,
+    predicate: JoinPredicate,
+    threads: usize,
+    compute: ComputeMode,
+    radix_bits: u32,
+    /// False in the §IV-D ablation mode: fragments rotate in raw form and
+    /// every host re-prepares (re-partitions / re-sorts) each one at
+    /// encounter time instead of reusing the origin host's preparation.
+    ship_prepared: bool,
+    /// Stationary input per host, consumed by `setup`.
+    stationary_inputs: Vec<Option<Relation>>,
+    /// Extra setup-phase cost per host: local fragment preparation plus
+    /// ring-buffer registration.
+    setup_extra: Vec<SimDuration>,
+    states: Vec<Option<StationaryState>>,
+    collectors: Vec<JoinCollector>,
+}
+
+impl RingApp<PreparedFragment> for CycloApp {
+    fn setup(&mut self, host: HostId) -> SimDuration {
+        let s = self.stationary_inputs[host.0]
+            .take()
+            .expect("setup called twice for one host");
+        let (state, build) =
+            self.compute
+                .setup_stationary(&self.algorithm, &s, self.radix_bits, self.threads);
+        self.states[host.0] = Some(state);
+        build + self.setup_extra[host.0]
+    }
+
+    fn process(
+        &mut self,
+        host: HostId,
+        _now: simnet::time::SimTime,
+        fragment: &PreparedFragment,
+    ) -> SimDuration {
+        let state = self.states[host.0]
+            .as_ref()
+            .expect("process before setup completed");
+        if !self.ship_prepared {
+            // Raw shipping: the paper's §IV-D counterfactual. The fragment
+            // arrives unorganized and must be partitioned/sorted here,
+            // once per encounter, before the join phase proper.
+            if let PreparedFragment::Plain(rel) = fragment {
+                let (prepared, d_prep) = self.compute.prepare_fragment(
+                    &self.algorithm,
+                    rel,
+                    self.radix_bits,
+                    self.threads,
+                );
+                let d_join = self.compute.join(
+                    &self.algorithm,
+                    state,
+                    &prepared,
+                    &self.predicate,
+                    self.threads,
+                    &mut self.collectors[host.0],
+                );
+                return d_prep + d_join;
+            }
+        }
+        self.compute.join(
+            &self.algorithm,
+            state,
+            fragment,
+            &self.predicate,
+            self.threads,
+            &mut self.collectors[host.0],
+        )
+    }
+}
+
+/// Prepares all rotating fragments, returning them with per-host prep
+/// time. With `ship_prepared == false` (the §IV-D ablation) fragments are
+/// left raw — preparation then happens per encounter during the join
+/// phase instead of once at the origin.
+fn prepare_all(
+    algorithm: &Algorithm,
+    compute: &ComputeMode,
+    placement: &Placement,
+    radix_bits: u32,
+    threads: usize,
+    ship_prepared: bool,
+) -> (Vec<Vec<PreparedFragment>>, Vec<SimDuration>) {
+    let mut fragments = Vec::with_capacity(placement.rotating.len());
+    let mut prep = vec![SimDuration::ZERO; placement.rotating.len()];
+    for (h, host_frags) in placement.rotating.iter().enumerate() {
+        let mut prepared = Vec::with_capacity(host_frags.len());
+        for frag in host_frags {
+            if ship_prepared {
+                let (pf, d) = compute.prepare_fragment(algorithm, frag, radix_bits, threads);
+                prep[h] += d;
+                prepared.push(pf);
+            } else {
+                prepared.push(PreparedFragment::Plain(frag.clone()));
+            }
+        }
+        fragments.push(prepared);
+    }
+    (fragments, prep)
+}
+
+/// One-time registration cost of each host's ring-buffer pool (RDMA only:
+/// kernel TCP needs no pinned memory, §III-C).
+fn registration_cost(config: &RingConfig, element_bytes: u64) -> SimDuration {
+    match config.transport {
+        TransportModel::Rdma(rnic) => {
+            RegisteredPool::new(config.buffers_per_host, element_bytes.max(1))
+                .registration_cost(&rnic)
+        }
+        _ => SimDuration::ZERO,
+    }
+}
+
+/// Runs cyclo-join on the simulated (virtual-time) backend.
+pub(crate) fn execute_simulated(
+    config: &RingConfig,
+    algorithm: Algorithm,
+    predicate: &JoinPredicate,
+    compute: &ComputeMode,
+    output: OutputMode,
+    placement: Placement,
+    ship_prepared: bool,
+    host_speeds: Option<Vec<f64>>,
+    trace: bool,
+) -> ExecOutcome {
+    let hosts = config.hosts;
+    let predicate = if placement.swapped {
+        mirror_predicate(predicate)
+    } else {
+        predicate.clone()
+    };
+    let radix_bits = algorithm.ring_radix_bits(placement.max_stationary_tuples().max(1));
+    let (fragments, mut setup_extra) = prepare_all(
+        &algorithm,
+        compute,
+        &placement,
+        radix_bits,
+        config.join_threads,
+        ship_prepared,
+    );
+    let reg = registration_cost(config, placement.max_fragment_bytes());
+    for extra in &mut setup_extra {
+        *extra += reg;
+    }
+    let collector_template = {
+        let c = JoinCollector::new(output);
+        if placement.swapped {
+            c.with_swapped_sides()
+        } else {
+            c
+        }
+    };
+    let app = CycloApp {
+        algorithm,
+        predicate,
+        threads: config.join_threads,
+        compute: *compute,
+        radix_bits,
+        ship_prepared,
+        stationary_inputs: placement.stationary.into_iter().map(Some).collect(),
+        setup_extra,
+        states: (0..hosts).map(|_| None).collect(),
+        collectors: (0..hosts).map(|_| collector_template.child()).collect(),
+    };
+    let mut ring = SimRing::new(*config, fragments, app).with_trace(trace);
+    if let Some(speeds) = host_speeds {
+        ring = ring.with_host_speeds(speeds);
+    }
+    let outcome = ring.run();
+    ExecOutcome {
+        metrics: outcome.metrics,
+        result: DistributedResult::new(outcome.app.collectors),
+        trace: outcome.trace,
+    }
+}
+
+/// Runs cyclo-join on the real-thread backend. Setup runs (and is timed)
+/// before the rotation; the reported per-host setup time is stitched into
+/// the returned metrics.
+pub(crate) fn execute_threaded(
+    config: &RingConfig,
+    algorithm: Algorithm,
+    predicate: &JoinPredicate,
+    output: OutputMode,
+    placement: Placement,
+) -> ExecOutcome {
+    let predicate = if placement.swapped {
+        mirror_predicate(predicate)
+    } else {
+        predicate.clone()
+    };
+    let radix_bits = algorithm.ring_radix_bits(placement.max_stationary_tuples().max(1));
+    let threads = config.join_threads;
+    let compute = ComputeMode::Measured;
+    let (fragments, prep) =
+        prepare_all(&algorithm, &compute, &placement, radix_bits, threads, true);
+
+    let mut states = Vec::with_capacity(config.hosts);
+    let mut setup_times = Vec::with_capacity(config.hosts);
+    for (h, s) in placement.stationary.iter().enumerate() {
+        let (state, d) = compute.setup_stationary(&algorithm, s, radix_bits, threads);
+        states.push(state);
+        setup_times.push(d + prep[h]);
+    }
+
+    let collectors: Vec<Mutex<JoinCollector>> = (0..config.hosts)
+        .map(|_| {
+            let c = JoinCollector::new(output);
+            Mutex::new(if placement.swapped {
+                c.with_swapped_sides()
+            } else {
+                c
+            })
+        })
+        .collect();
+
+    let mut metrics = data_roundabout::run_threaded(config, fragments, |host, frag| {
+        let mut collector = collectors[host.0].lock().expect("collector lock poisoned");
+        algorithm.join(&states[host.0], frag, &predicate, threads, &mut collector);
+    });
+    for (h, d) in setup_times.into_iter().enumerate() {
+        metrics.hosts[h].setup = d;
+    }
+    let partials = collectors
+        .into_iter()
+        .map(|m| m.into_inner().expect("collector lock poisoned"))
+        .collect();
+    ExecOutcome {
+        metrics,
+        result: DistributedResult::new(partials),
+        trace: Tracer::disabled(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribute::RotateSide;
+    use relation::GenSpec;
+
+    fn exec_sim(hosts: usize, swap: RotateSide) -> ExecOutcome {
+        let r = GenSpec::uniform(3_000, 10).generate();
+        let s = GenSpec::uniform(2_000, 11).generate();
+        let config = RingConfig::paper(hosts);
+        let placement = Placement::new(&r, &s, hosts, 2, swap);
+        execute_simulated(
+            &config,
+            Algorithm::partitioned_hash(),
+            &JoinPredicate::Equi,
+            &ComputeMode::modeled(),
+            OutputMode::Aggregate,
+            placement,
+            true,
+            None,
+            false,
+        )
+    }
+
+    #[test]
+    fn simulated_execution_produces_the_reference_result() {
+        let r = GenSpec::uniform(3_000, 10).generate();
+        let s = GenSpec::uniform(2_000, 11).generate();
+        let reference = crate::verify::reference_join(&r, &s, &JoinPredicate::Equi);
+        for hosts in [1, 2, 4] {
+            let out = exec_sim(hosts, RotateSide::R);
+            assert_eq!(out.result.count(), reference.count, "hosts={hosts}");
+            assert_eq!(out.result.checksum(), reference.checksum, "hosts={hosts}");
+        }
+    }
+
+    #[test]
+    fn swapped_rotation_matches_unswapped() {
+        let a = exec_sim(3, RotateSide::R);
+        let b = exec_sim(3, RotateSide::S);
+        assert_eq!(a.result.count(), b.result.count());
+        assert_eq!(a.result.checksum(), b.result.checksum());
+    }
+
+    #[test]
+    fn mirror_predicate_flips_theta() {
+        let p = JoinPredicate::theta(|a, b| a < b);
+        let m = mirror_predicate(&p);
+        assert!(p.matches(1, 2));
+        assert!(!m.matches(1, 2));
+        assert!(m.matches(2, 1));
+        // Symmetric predicates mirror to themselves.
+        assert!(mirror_predicate(&JoinPredicate::Equi).is_equi());
+        assert_eq!(mirror_predicate(&JoinPredicate::band(3)).band_delta(), Some(3));
+    }
+
+    #[test]
+    fn threaded_execution_matches_simulated() {
+        let r = GenSpec::uniform(2_000, 20).generate();
+        let s = GenSpec::uniform(2_000, 21).generate();
+        let reference = crate::verify::reference_join(&r, &s, &JoinPredicate::Equi);
+        let config = RingConfig::paper(3).with_join_threads(1);
+        let placement = Placement::new(&r, &s, 3, 2, RotateSide::R);
+        let out = execute_threaded(
+            &config,
+            Algorithm::partitioned_hash(),
+            &JoinPredicate::Equi,
+            OutputMode::Aggregate,
+            placement,
+        );
+        assert_eq!(out.result.count(), reference.count);
+        assert_eq!(out.result.checksum(), reference.checksum);
+        assert!(out.metrics.hosts.iter().all(|h| h.setup > SimDuration::ZERO));
+    }
+
+    #[test]
+    fn rdma_charges_registration_into_setup() {
+        let r = GenSpec::uniform(1_000, 30).generate();
+        let s = GenSpec::uniform(1_000, 31).generate();
+        let placement = |cfg: &RingConfig| Placement::new(&r, &s, cfg.hosts, 2, RotateSide::R);
+        let rdma_cfg = RingConfig::paper(2);
+        let tcp_cfg = RingConfig::paper_tcp(2);
+        let rdma = execute_simulated(
+            &rdma_cfg,
+            Algorithm::partitioned_hash(),
+            &JoinPredicate::Equi,
+            &ComputeMode::modeled(),
+            OutputMode::Aggregate,
+            placement(&rdma_cfg),
+            true,
+            None,
+            false,
+        );
+        let tcp = execute_simulated(
+            &tcp_cfg,
+            Algorithm::partitioned_hash(),
+            &JoinPredicate::Equi,
+            &ComputeMode::modeled(),
+            OutputMode::Aggregate,
+            placement(&tcp_cfg),
+            true,
+            None,
+            false,
+        );
+        assert!(
+            rdma.metrics.setup_time() > tcp.metrics.setup_time(),
+            "RDMA setup must include memory registration"
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! An analytic cost model for whole cyclo-join runs.
+//!
+//! The paper closes by calling for "a complete cost model for cyclo-join"
+//! (§VII); this module is that model: closed-form predictions of the
+//! setup, join and sync phases from the input volumes, ring configuration
+//! and per-tuple compute constants. It powers
+//!
+//! * the §V-E claim check — at which ring size does sort-merge's one-time
+//!   sorting investment overtake the hash join ([`crossover_ring_size`])?
+//! * plan advice — which side to rotate and which algorithm to pick
+//!   ([`advise`]).
+//!
+//! Predictions deliberately mirror the paper's own reasoning:
+//! setup ∝ per-host volume; hash join-phase cost ∝ `|R|` and independent
+//! of the ring size (Equation ⋆); the ring becomes network-bound when the
+//! per-link transfer time of the entire rotating relation exceeds the
+//! per-host busy time (§V-F).
+
+use data_roundabout::RingConfig;
+use mem_joins::Algorithm;
+use serde::{Deserialize, Serialize};
+use simnet::time::SimDuration;
+
+use crate::compute::CostModel;
+
+/// Closed-form phase predictions for one cyclo-join run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhasePrediction {
+    /// Predicted setup time (max over hosts; hosts run in parallel).
+    pub setup: SimDuration,
+    /// Predicted busy join time per host.
+    pub join: SimDuration,
+    /// Predicted synchronization (waiting-for-data) time per host.
+    pub sync: SimDuration,
+}
+
+impl PhasePrediction {
+    /// Predicted end-to-end time.
+    pub fn total(&self) -> SimDuration {
+        self.setup + self.join + self.sync
+    }
+}
+
+/// Workload description for the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Rotating-relation tuples (total, across all hosts).
+    pub rotating_tuples: usize,
+    /// Stationary-relation tuples (total, across all hosts).
+    pub stationary_tuples: usize,
+    /// Expected total match count.
+    pub expected_matches: u64,
+    /// Rotation units per host.
+    pub fragments_per_host: usize,
+}
+
+impl Workload {
+    /// A uniform equi-join workload: matches ≈ |R|·|S| / key-domain.
+    pub fn uniform(rotating: usize, stationary: usize, key_domain: usize) -> Self {
+        let matches =
+            (rotating as f64 * stationary as f64 / key_domain.max(1) as f64).round() as u64;
+        Workload {
+            rotating_tuples: rotating,
+            stationary_tuples: stationary,
+            expected_matches: matches,
+            fragments_per_host: 4,
+        }
+    }
+
+    /// Builds a workload description from the actual input relations,
+    /// using the *exact* equi-join output cardinality (O(|R| + |S|) via
+    /// [`relation::estimate_equi_matches`]) rather than a domain guess.
+    pub fn from_data(
+        rotating: &relation::Relation,
+        stationary: &relation::Relation,
+        fragments_per_host: usize,
+    ) -> Self {
+        Workload {
+            rotating_tuples: rotating.len(),
+            stationary_tuples: stationary.len(),
+            expected_matches: relation::estimate_equi_matches(rotating, stationary),
+            fragments_per_host: fragments_per_host.max(1),
+        }
+    }
+}
+
+/// Predicts the phase breakdown of running `workload` with `alg` on `config`.
+///
+/// ```
+/// use cyclo_join::{predict, Algorithm, CostModel, RingConfig, Workload};
+///
+/// let p = predict(
+///     &CostModel::paper_xeon(),
+///     &RingConfig::paper(6),
+///     &Algorithm::partitioned_hash(),
+///     &Workload::uniform(140_000_000, 140_000_000, 140_000_000),
+/// );
+/// // Six hosts cut the paper's 16 s single-host setup to a few seconds.
+/// assert!(p.setup.as_secs_f64() < 5.0);
+/// ```
+pub fn predict(
+    model: &CostModel,
+    config: &RingConfig,
+    alg: &Algorithm,
+    workload: &Workload,
+) -> PhasePrediction {
+    let n = config.hosts.max(1);
+    let threads = config.join_threads;
+    let r = workload.rotating_tuples;
+    let s_i = workload.stationary_tuples / n;
+    let r_i = r / n;
+    let fragments = (n * workload.fragments_per_host).max(1);
+    let r_frag = r / fragments;
+    let matches_per_encounter = workload.expected_matches / (n as u64 * fragments as u64).max(1);
+
+    let setup = model.setup_duration(alg, s_i, threads)
+        + model.prepare_duration(alg, r_i, threads);
+
+    // Per host: every fragment of R is joined against S_i exactly once.
+    let mut join = SimDuration::ZERO;
+    for _ in 0..fragments {
+        join += model.join_duration(alg, r_frag, s_i, matches_per_encounter, threads);
+    }
+
+    // Per full revolution, the entire rotating relation crosses each link
+    // once (§V-F); the join entity waits whenever the wire is slower than
+    // the local joins.
+    let sync = if n == 1 {
+        SimDuration::ZERO
+    } else {
+        let frag_bytes = (r_frag as u64 * relation::TUPLE_BYTES).max(1);
+        let per_frag_wire = config.effective_wire_seconds(frag_bytes) + config.link_latency;
+        let wire_total = per_frag_wire * fragments as u64;
+        wire_total.saturating_sub(join)
+    };
+
+    PhasePrediction { setup, join, sync }
+}
+
+/// The smallest ring size at which sort-merge join's predicted total beats
+/// the partitioned hash join's for a *scale-up* workload (`per_host`
+/// tuples of each relation added per node, the Figure 8/11 regime).
+/// Returns `None` if no crossover occurs up to `max_hosts`.
+pub fn crossover_ring_size(
+    model: &CostModel,
+    base_config: &RingConfig,
+    per_host_tuples: usize,
+    max_hosts: usize,
+) -> Option<usize> {
+    for n in 1..=max_hosts {
+        let config = RingConfig {
+            hosts: n,
+            ..*base_config
+        };
+        let workload = Workload::uniform(
+            per_host_tuples * n,
+            per_host_tuples * n,
+            per_host_tuples * n,
+        );
+        let hash = predict(model, &config, &Algorithm::partitioned_hash(), &workload);
+        let smj = predict(model, &config, &Algorithm::SortMerge, &workload);
+        if smj.total() < hash.total() {
+            return Some(n);
+        }
+    }
+    None
+}
+
+/// Plan advice derived from the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Advice {
+    /// True if the logical `S` should rotate (it is smaller).
+    pub rotate_s: bool,
+    /// Predicted-faster algorithm for an equi-join of this shape.
+    pub prefer_sort_merge: bool,
+}
+
+/// Advises on rotation side and algorithm for an equi-join of the two
+/// concrete input relations: sizes and the exact match cardinality are
+/// read from the data.
+pub fn advise_from_data(
+    model: &CostModel,
+    config: &RingConfig,
+    r: &relation::Relation,
+    s: &relation::Relation,
+) -> Advice {
+    let rotate_s = s.len() < r.len();
+    let (rot, stat) = if rotate_s { (s, r) } else { (r, s) };
+    let workload = Workload::from_data(rot, stat, 4);
+    let hash = predict(model, config, &Algorithm::partitioned_hash(), &workload);
+    let smj = predict(model, config, &Algorithm::SortMerge, &workload);
+    Advice {
+        rotate_s,
+        prefer_sort_merge: smj.total() < hash.total(),
+    }
+}
+
+/// Advises on rotation side and algorithm for an equi-join of the given
+/// shape on `config`.
+pub fn advise(
+    model: &CostModel,
+    config: &RingConfig,
+    r_tuples: usize,
+    s_tuples: usize,
+    key_domain: usize,
+) -> Advice {
+    let rotate_s = s_tuples < r_tuples;
+    let (rot, stat) = if rotate_s {
+        (s_tuples, r_tuples)
+    } else {
+        (r_tuples, s_tuples)
+    };
+    let workload = Workload::uniform(rot, stat, key_domain);
+    let hash = predict(model, config, &Algorithm::partitioned_hash(), &workload);
+    let smj = predict(model, config, &Algorithm::SortMerge, &workload);
+    Advice {
+        rotate_s,
+        prefer_sort_merge: smj.total() < hash.total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::paper_xeon()
+    }
+
+    /// The paper's Figure 7/8 per-host volume: 1.6 GB per relation side.
+    const PER_HOST: usize = 133_000_000;
+
+    #[test]
+    fn setup_scales_inversely_with_ring_size() {
+        let m = model();
+        let workload = Workload::uniform(140_000_000, 140_000_000, 140_000_000);
+        let one = predict(&m, &RingConfig::paper(1), &Algorithm::partitioned_hash(), &workload);
+        let six = predict(&m, &RingConfig::paper(6), &Algorithm::partitioned_hash(), &workload);
+        let speedup = one.setup.as_secs_f64() / six.setup.as_secs_f64();
+        assert!((5.0..7.0).contains(&speedup), "got {speedup}");
+    }
+
+    #[test]
+    fn hash_join_phase_is_ring_size_independent() {
+        // Equation ⋆: join cost ∝ |R|, constant in n.
+        let m = model();
+        let workload = Workload::uniform(140_000_000, 140_000_000, 140_000_000);
+        let two = predict(&m, &RingConfig::paper(2), &Algorithm::partitioned_hash(), &workload);
+        let six = predict(&m, &RingConfig::paper(6), &Algorithm::partitioned_hash(), &workload);
+        let ratio = two.join.as_secs_f64() / six.join.as_secs_f64();
+        assert!((0.8..1.2).contains(&ratio), "got {ratio}");
+    }
+
+    #[test]
+    fn sort_merge_exposes_sync_at_scale() {
+        // §V-F: with sort-merge the join phase is too fast to hide the
+        // network; sync time appears.
+        let m = model();
+        let config = RingConfig::paper(6);
+        let workload = Workload::uniform(6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
+        let smj = predict(&m, &config, &Algorithm::SortMerge, &workload);
+        let hash = predict(&m, &config, &Algorithm::partitioned_hash(), &workload);
+        assert!(smj.sync > hash.sync, "smj sync {} vs hash {}", smj.sync, hash.sync);
+        assert!(smj.join < hash.join, "merge must be faster than probe");
+        assert!(smj.setup > hash.setup, "sorting must cost more than hashing");
+    }
+
+    #[test]
+    fn crossover_lands_near_thirty_nodes() {
+        // §V-E: "we expect that [sort-merge] would overpass [hash] in Data
+        // Roundabout configurations of ≈30 nodes upward (data volumes
+        // ≳100 GB)".
+        let crossover = crossover_ring_size(&model(), &RingConfig::paper(6), PER_HOST, 128)
+            .expect("a crossover must exist");
+        assert!(
+            (15..=60).contains(&crossover),
+            "crossover at {crossover} nodes, expected ≈30"
+        );
+        // Sanity: ~100 GB total volume at the crossover (R + S, 12 B/tuple).
+        let volume_gb =
+            2.0 * (crossover * PER_HOST) as f64 * 12.0 / 1e9;
+        assert!((40.0..200.0).contains(&volume_gb), "volume {volume_gb} GB");
+    }
+
+    #[test]
+    fn advice_rotates_the_smaller_side() {
+        let a = advise(&model(), &RingConfig::paper(6), 1_000_000, 100_000, 1_000_000);
+        assert!(a.rotate_s);
+        let b = advise(&model(), &RingConfig::paper(6), 100_000, 1_000_000, 1_000_000);
+        assert!(!b.rotate_s);
+    }
+
+    #[test]
+    fn advice_prefers_hash_on_small_rings() {
+        let a = advise(&model(), &RingConfig::paper(6), 6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
+        assert!(!a.prefer_sort_merge, "6 nodes should still favor hash (§V-E)");
+    }
+
+    #[test]
+    fn prediction_total_sums_phases() {
+        let m = model();
+        let p = predict(
+            &m,
+            &RingConfig::paper(4),
+            &Algorithm::SortMerge,
+            &Workload::uniform(1_000_000, 1_000_000, 1_000_000),
+        );
+        assert_eq!(p.total(), p.setup + p.join + p.sync);
+    }
+
+    #[test]
+    fn workload_from_data_uses_exact_matches() {
+        use relation::GenSpec;
+        let r = GenSpec::uniform(2_000, 1).generate();
+        let s = GenSpec::uniform(2_000, 2).generate();
+        let w = Workload::from_data(&r, &s, 4);
+        assert_eq!(w.rotating_tuples, 2_000);
+        assert_eq!(
+            w.expected_matches,
+            relation::estimate_equi_matches(&r, &s)
+        );
+    }
+
+    #[test]
+    fn advise_from_data_matches_advise_on_uniform_inputs() {
+        use relation::GenSpec;
+        let r = GenSpec::uniform(40_000, 3).generate();
+        let s = GenSpec::uniform(10_000, 4).generate();
+        let config = RingConfig::paper(6);
+        let a = advise_from_data(&model(), &config, &r, &s);
+        assert!(a.rotate_s, "the smaller concrete side must rotate");
+    }
+
+    #[test]
+    fn single_host_has_no_sync() {
+        let p = predict(
+            &model(),
+            &RingConfig::paper(1),
+            &Algorithm::partitioned_hash(),
+            &Workload::uniform(1_000_000, 1_000_000, 1_000_000),
+        );
+        assert_eq!(p.sync, SimDuration::ZERO);
+    }
+}

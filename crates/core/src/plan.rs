@@ -1,0 +1,431 @@
+//! The cyclo-join planner/builder — the crate's main entry point.
+//!
+//! ```
+//! use cyclo_join::CycloJoin;
+//! use relation::GenSpec;
+//!
+//! # fn main() -> Result<(), cyclo_join::PlanError> {
+//! let r = GenSpec::uniform(20_000, 1).generate();
+//! let s = GenSpec::uniform(20_000, 2).generate();
+//! let report = CycloJoin::new(r, s).hosts(4).run()?;
+//! assert!(report.match_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use data_roundabout::RingConfig;
+use mem_joins::{Algorithm, JoinPredicate, OutputMode};
+use relation::Relation;
+use simnet::trace::Tracer;
+
+use crate::compute::ComputeMode;
+use crate::distribute::{Placement, RotateSide};
+use crate::exec::{execute_simulated, execute_threaded};
+use crate::report::CycloJoinReport;
+
+/// A configured cyclo-join, built with the builder pattern and executed on
+/// either backend.
+#[derive(Debug, Clone)]
+pub struct CycloJoin {
+    r: Relation,
+    s: Relation,
+    predicate: JoinPredicate,
+    algorithm: Option<Algorithm>,
+    config: RingConfig,
+    fragments_per_host: usize,
+    rotate: RotateSide,
+    compute: ComputeMode,
+    output: OutputMode,
+    ship_prepared: bool,
+    host_speeds: Option<Vec<f64>>,
+    trace: bool,
+}
+
+impl CycloJoin {
+    /// Starts planning the join `r ⋈ s` with the paper's default
+    /// configuration: equi-join, auto-selected algorithm, six RDMA hosts,
+    /// deterministic modeled compute.
+    pub fn new(r: Relation, s: Relation) -> Self {
+        CycloJoin {
+            r,
+            s,
+            predicate: JoinPredicate::Equi,
+            algorithm: None,
+            config: RingConfig::paper(6),
+            fragments_per_host: 4,
+            rotate: RotateSide::Auto,
+            compute: ComputeMode::modeled(),
+            output: OutputMode::Aggregate,
+            ship_prepared: true,
+            host_speeds: None,
+            trace: false,
+        }
+    }
+
+    /// Sets the join predicate (default: equi).
+    pub fn predicate(mut self, predicate: JoinPredicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Forces a local join algorithm (default: the fastest one supporting
+    /// the predicate).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Replaces the whole ring configuration.
+    pub fn ring(mut self, config: RingConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Shortcut: the paper ring with `n` hosts, keeping other settings.
+    pub fn hosts(mut self, n: usize) -> Self {
+        self.config.hosts = n;
+        self
+    }
+
+    /// Number of rotation units each host's share of the rotating relation
+    /// is cut into (default 4).
+    pub fn fragments_per_host(mut self, fragments: usize) -> Self {
+        self.fragments_per_host = fragments;
+        self
+    }
+
+    /// Which side rotates (default: the smaller one).
+    pub fn rotate(mut self, rotate: RotateSide) -> Self {
+        self.rotate = rotate;
+        self
+    }
+
+    /// How compute durations are priced (default: deterministic model).
+    pub fn compute(mut self, compute: ComputeMode) -> Self {
+        self.compute = compute;
+        self
+    }
+
+    /// Output mode: aggregate (default) or materialize every match.
+    pub fn output(mut self, output: OutputMode) -> Self {
+        self.output = output;
+        self
+    }
+
+    /// Controls fragment shipping (§IV-D). By default (`true`) fragments
+    /// are reorganized once at their origin host and the reorganized form
+    /// rotates, amortizing the setup investment over the whole revolution.
+    /// `false` rotates raw fragments instead, forcing every host to
+    /// re-partition/re-sort each fragment at encounter time — the
+    /// counterfactual the setup-amortization ablation measures.
+    pub fn ship_prepared(mut self, ship_prepared: bool) -> Self {
+        self.ship_prepared = ship_prepared;
+        self
+    }
+
+    /// Makes hosts heterogeneous: host `h` joins at `speeds[h]` × nominal
+    /// speed (§V-D studies how the ring absorbs such differences).
+    pub fn host_speeds(mut self, speeds: Vec<f64>) -> Self {
+        self.host_speeds = Some(speeds);
+        self
+    }
+
+    /// Enables transport-event tracing on the simulated backend.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The algorithm that will actually run.
+    pub fn resolved_algorithm(&self) -> Algorithm {
+        self.algorithm
+            .unwrap_or_else(|| Algorithm::for_predicate(&self.predicate))
+    }
+
+    fn validate(&self) -> Result<Algorithm, PlanError> {
+        self.config.validate().map_err(PlanError::InvalidConfig)?;
+        if self.fragments_per_host == 0 {
+            return Err(PlanError::NoFragments);
+        }
+        if let Some(speeds) = &self.host_speeds {
+            if speeds.len() != self.config.hosts {
+                return Err(PlanError::BadQuery(format!(
+                    "host_speeds has {} entries for a {}-host ring",
+                    speeds.len(),
+                    self.config.hosts
+                )));
+            }
+            if !speeds.iter().all(|s| s.is_finite() && *s > 0.0) {
+                return Err(PlanError::BadQuery(
+                    "host_speeds must all be finite and positive".into(),
+                ));
+            }
+        }
+        let algorithm = self.resolved_algorithm();
+        if !algorithm.supports(&self.predicate) {
+            return Err(PlanError::UnsupportedPredicate {
+                algorithm: algorithm.name(),
+                predicate: self.predicate.to_string(),
+            });
+        }
+        Ok(algorithm)
+    }
+
+    fn placement(&self) -> Placement {
+        Placement::new(
+            &self.r,
+            &self.s,
+            self.config.hosts,
+            self.fragments_per_host,
+            self.rotate,
+        )
+    }
+
+    fn report(
+        &self,
+        algorithm: Algorithm,
+        swapped: bool,
+        outcome: crate::exec::ExecOutcome,
+    ) -> (CycloJoinReport, Tracer) {
+        let report = CycloJoinReport {
+            algorithm: algorithm.name(),
+            transport: self.config.transport.name(),
+            hosts: self.config.hosts,
+            join_threads: self.config.join_threads,
+            swapped,
+            data_volume: self.r.byte_volume() + self.s.byte_volume(),
+            cpu: self.config.cpu,
+            ring: outcome.metrics,
+            result: outcome.result,
+        };
+        (report, outcome.trace)
+    }
+
+    /// Runs on the simulated (virtual-time) backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the configuration is inconsistent or the
+    /// chosen algorithm cannot evaluate the predicate.
+    pub fn run(&self) -> Result<CycloJoinReport, PlanError> {
+        self.run_traced().map(|(report, _)| report)
+    }
+
+    /// Like [`CycloJoin::run`] but also returns the transport trace
+    /// (enable it with [`CycloJoin::trace`] first).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CycloJoin::run`].
+    pub fn run_traced(&self) -> Result<(CycloJoinReport, Tracer), PlanError> {
+        let algorithm = self.validate()?;
+        let placement = self.placement();
+        let swapped = placement.swapped;
+        let outcome = execute_simulated(
+            &self.config,
+            algorithm,
+            &self.predicate,
+            &self.compute,
+            self.output,
+            placement,
+            self.ship_prepared,
+            self.host_speeds.clone(),
+            self.trace,
+        );
+        Ok(self.report(algorithm, swapped, outcome))
+    }
+
+    /// Runs on the real-thread backend (wall-clock times, actual
+    /// concurrency).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CycloJoin::run`].
+    pub fn run_threaded(&self) -> Result<CycloJoinReport, PlanError> {
+        let algorithm = self.validate()?;
+        let placement = self.placement();
+        let swapped = placement.swapped;
+        let outcome = execute_threaded(
+            &self.config,
+            algorithm,
+            &self.predicate,
+            self.output,
+            placement,
+        );
+        Ok(self.report(algorithm, swapped, outcome).0)
+    }
+}
+
+/// Why a cyclo-join plan could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The ring configuration is inconsistent.
+    InvalidConfig(data_roundabout::ConfigError),
+    /// The chosen algorithm cannot evaluate the predicate.
+    UnsupportedPredicate {
+        /// The algorithm that was (explicitly) chosen.
+        algorithm: &'static str,
+        /// Display form of the offending predicate.
+        predicate: String,
+    },
+    /// `fragments_per_host` was zero.
+    NoFragments,
+    /// A submitted query is malformed (cyclotron / batch extensions).
+    BadQuery(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::InvalidConfig(e) => write!(f, "{e}"),
+            PlanError::UnsupportedPredicate { algorithm, predicate } => {
+                write!(f, "algorithm {algorithm} cannot evaluate predicate {predicate}")
+            }
+            PlanError::NoFragments => write!(f, "fragments_per_host must be at least 1"),
+            PlanError::BadQuery(reason) => write!(f, "bad query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::reference_join;
+    use relation::GenSpec;
+
+    fn inputs() -> (Relation, Relation) {
+        (
+            GenSpec::uniform(4_000, 100).generate(),
+            GenSpec::uniform(4_000, 101).generate(),
+        )
+    }
+
+    #[test]
+    fn default_plan_runs_and_verifies() {
+        let (r, s) = inputs();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        let report = CycloJoin::new(r, s).run().expect("plan should run");
+        assert_eq!(report.match_count(), reference.count);
+        assert_eq!(report.checksum(), reference.checksum);
+        assert_eq!(report.hosts, 6);
+        assert_eq!(report.algorithm, "partitioned-hash");
+    }
+
+    #[test]
+    fn band_predicate_picks_sort_merge() {
+        let (r, s) = inputs();
+        let reference = reference_join(&r, &s, &JoinPredicate::band(1));
+        let report = CycloJoin::new(r, s)
+            .predicate(JoinPredicate::band(1))
+            .hosts(3)
+            .run()
+            .expect("band plan should run");
+        assert_eq!(report.algorithm, "sort-merge");
+        assert_eq!(report.match_count(), reference.count);
+        assert_eq!(report.checksum(), reference.checksum);
+    }
+
+    #[test]
+    fn explicit_unsupported_algorithm_is_an_error() {
+        let (r, s) = inputs();
+        let err = CycloJoin::new(r, s)
+            .predicate(JoinPredicate::band(1))
+            .algorithm(Algorithm::partitioned_hash())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PlanError::UnsupportedPredicate { .. }));
+        assert!(err.to_string().contains("partitioned-hash"));
+    }
+
+    #[test]
+    fn invalid_ring_is_an_error() {
+        let (r, s) = inputs();
+        let err = CycloJoin::new(r, s).hosts(0).run().unwrap_err();
+        assert!(matches!(err, PlanError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn bad_host_speeds_are_an_error() {
+        let (r, s) = inputs();
+        let err = CycloJoin::new(r.clone(), s.clone())
+            .hosts(3)
+            .host_speeds(vec![1.0, 1.0])
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("host_speeds"));
+        let err = CycloJoin::new(r, s)
+            .hosts(2)
+            .host_speeds(vec![1.0, 0.0])
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn zero_fragments_is_an_error() {
+        let (r, s) = inputs();
+        let err = CycloJoin::new(r, s).fragments_per_host(0).run().unwrap_err();
+        assert_eq!(err, PlanError::NoFragments);
+    }
+
+    #[test]
+    fn ring_sizes_agree_on_the_result() {
+        let (r, s) = inputs();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        for hosts in [1, 2, 3, 5, 6] {
+            let report = CycloJoin::new(r.clone(), s.clone())
+                .hosts(hosts)
+                .run()
+                .expect("plan should run");
+            assert_eq!(report.match_count(), reference.count, "hosts={hosts}");
+            assert_eq!(report.checksum(), reference.checksum, "hosts={hosts}");
+        }
+    }
+
+    #[test]
+    fn setup_time_shrinks_with_ring_size() {
+        // Figure 7's headline: distributing the setup cuts its cost ∝ 1/n.
+        let r = GenSpec::uniform(60_000, 7).generate();
+        let s = GenSpec::uniform(60_000, 8).generate();
+        let run = |hosts| {
+            CycloJoin::new(r.clone(), s.clone())
+                .hosts(hosts)
+                .rotate(RotateSide::R)
+                .run()
+                .expect("plan should run")
+                .setup_seconds()
+        };
+        let one = run(1);
+        let six = run(6);
+        let speedup = one / six;
+        assert!(
+            (4.0..8.0).contains(&speedup),
+            "6-host setup speedup should be ≈6×, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn traced_run_exposes_the_protocol() {
+        let (r, s) = inputs();
+        let (_, trace) = CycloJoin::new(r, s)
+            .hosts(2)
+            .trace(true)
+            .run_traced()
+            .expect("plan should run");
+        assert!(trace.matching("setup done").count() == 2);
+    }
+
+    #[test]
+    fn materialized_output_round_trips() {
+        let r = GenSpec::uniform(500, 9).generate();
+        let s = GenSpec::uniform(500, 10).generate();
+        let report = CycloJoin::new(r.clone(), s.clone())
+            .hosts(2)
+            .output(OutputMode::Materialize)
+            .run()
+            .expect("plan should run");
+        assert_eq!(report.result.matches().count() as u64, report.match_count());
+    }
+}

@@ -1,0 +1,137 @@
+//! Elasticity and failure handling (§II-C, §VII).
+//!
+//! The Data Roundabout's simplicity is what makes it elastic: "a Data
+//! Roundabout system can trivially be extended or shrunken … any failing
+//! node can easily be replaced by another machine (or its role can be
+//! taken over by some other node in the ring)". Because data placement
+//! carries no workload knowledge, reacting to membership changes is pure
+//! repartitioning:
+//!
+//! * [`absorb_host`] — a host leaves (or fails before the join starts);
+//!   its stationary share is taken over by its ring successor;
+//! * [`rebalance`] — re-spread all shares evenly over a new ring size
+//!   (grow or shrink), the planned-elasticity path.
+
+use relation::Relation;
+
+/// Removes `failed` from a per-host partition list, merging its share into
+/// its ring successor (the paper's "role taken over by some other node").
+/// Returns the new partition list, one entry shorter.
+///
+/// # Panics
+///
+/// Panics if `failed` is out of range or the ring would become empty.
+pub fn absorb_host(partitions: Vec<Relation>, failed: usize) -> Vec<Relation> {
+    assert!(
+        failed < partitions.len(),
+        "host {failed} out of range ({} hosts)",
+        partitions.len()
+    );
+    assert!(
+        partitions.len() > 1,
+        "cannot remove the only host in the ring"
+    );
+    let successor = (failed + 1) % partitions.len();
+    let mut out = Vec::with_capacity(partitions.len() - 1);
+    let mut orphan = None;
+    for (i, part) in partitions.into_iter().enumerate() {
+        if i == failed {
+            orphan = Some(part);
+        } else {
+            out.push((i, part));
+        }
+    }
+    let orphan = orphan.expect("failed index checked in range");
+    for (i, part) in &mut out {
+        if *i == successor {
+            part.extend_from(&orphan);
+        }
+    }
+    out.into_iter().map(|(_, part)| part).collect()
+}
+
+/// Re-spreads the union of `partitions` evenly over `new_hosts` hosts —
+/// growing or shrinking the ring "as application workloads demand" (§VII).
+///
+/// # Panics
+///
+/// Panics if `new_hosts` is zero.
+pub fn rebalance(partitions: &[Relation], new_hosts: usize) -> Vec<Relation> {
+    assert!(new_hosts > 0, "a ring needs at least one host");
+    let mut all = Relation::new();
+    for p in partitions {
+        all.extend_from(p);
+    }
+    all.split_even(new_hosts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{relation_checksum, GenSpec};
+
+    fn parts() -> Vec<Relation> {
+        GenSpec::uniform(6_000, 1).generate().split_even(4)
+    }
+
+    #[test]
+    fn absorb_preserves_all_tuples() {
+        let original = parts();
+        let before: usize = original.iter().map(Relation::len).sum();
+        let whole: Relation = {
+            let mut r = Relation::new();
+            for p in &original {
+                r.extend_from(p);
+            }
+            r
+        };
+        let after = absorb_host(original, 2);
+        assert_eq!(after.len(), 3);
+        assert_eq!(after.iter().map(Relation::len).sum::<usize>(), before);
+        let mut merged = Relation::new();
+        for p in &after {
+            merged.extend_from(p);
+        }
+        assert_eq!(relation_checksum(&merged), relation_checksum(&whole));
+    }
+
+    #[test]
+    fn successor_takes_over_the_share() {
+        let original = parts();
+        let failed_len = original[1].len();
+        let successor_len = original[2].len();
+        let after = absorb_host(original, 1);
+        // After removal, index 1 of the new list is the old host 2.
+        assert_eq!(after[1].len(), successor_len + failed_len);
+    }
+
+    #[test]
+    fn last_host_wraps_to_first() {
+        let original = parts();
+        let failed_len = original[3].len();
+        let first_len = original[0].len();
+        let after = absorb_host(original, 3);
+        assert_eq!(after[0].len(), first_len + failed_len);
+    }
+
+    #[test]
+    #[should_panic(expected = "only host")]
+    fn cannot_empty_the_ring() {
+        let single = vec![GenSpec::uniform(10, 0).generate()];
+        let _ = absorb_host(single, 0);
+    }
+
+    #[test]
+    fn rebalance_grows_and_shrinks_evenly() {
+        let original = parts();
+        let total: usize = original.iter().map(Relation::len).sum();
+        for new_hosts in [1, 2, 6, 9] {
+            let re = rebalance(&original, new_hosts);
+            assert_eq!(re.len(), new_hosts);
+            assert_eq!(re.iter().map(Relation::len).sum::<usize>(), total);
+            let max = re.iter().map(Relation::len).max().unwrap();
+            let min = re.iter().map(Relation::len).min().unwrap();
+            assert!(max - min <= 1, "rebalance must be even");
+        }
+    }
+}

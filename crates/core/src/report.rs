@@ -1,0 +1,223 @@
+//! Run reports: the phase breakdowns every paper exhibit is built from.
+
+use data_roundabout::RingMetrics;
+use relation::Checksum;
+use simnet::cpu::CpuSpec;
+#[cfg(test)]
+use simnet::time::SimDuration;
+
+use crate::result::DistributedResult;
+
+/// The complete record of one cyclo-join run.
+#[derive(Debug)]
+pub struct CycloJoinReport {
+    /// Name of the local join algorithm used on every host.
+    pub algorithm: &'static str,
+    /// Name of the transport (RDMA / TOE / TCP).
+    pub transport: &'static str,
+    /// Ring size.
+    pub hosts: usize,
+    /// Join-entity threads per host.
+    pub join_threads: usize,
+    /// Whether the logical `S` was the rotating side.
+    pub swapped: bool,
+    /// Total input volume in bytes (`|R| + |S|`, 12 bytes per tuple).
+    pub data_volume: u64,
+    /// The host CPU spec (for load calculations).
+    pub cpu: CpuSpec,
+    /// Per-host and ring-wide timing/CPU metrics.
+    pub ring: RingMetrics,
+    /// The distributed join result.
+    pub result: DistributedResult,
+}
+
+impl CycloJoinReport {
+    /// Setup-phase wall time in seconds (max over hosts, as the paper
+    /// reports it — hosts set up in parallel).
+    pub fn setup_seconds(&self) -> f64 {
+        self.ring.setup_time().as_secs_f64()
+    }
+
+    /// Join-phase wall time in seconds (max over hosts; includes waiting).
+    pub fn join_window_seconds(&self) -> f64 {
+        self.ring.join_time().as_secs_f64()
+    }
+
+    /// Busy join time in seconds (max over hosts, excluding waiting) — the
+    /// white "join" bars of the figures.
+    pub fn join_seconds(&self) -> f64 {
+        self.ring.join_busy_time().as_secs_f64()
+    }
+
+    /// Synchronization time in seconds (max over hosts) — the light-gray
+    /// "sync" bars of Figures 11 and 12.
+    pub fn sync_seconds(&self) -> f64 {
+        self.ring.sync_time().as_secs_f64()
+    }
+
+    /// End-to-end wall-clock seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.ring.wall_clock.as_secs_f64()
+    }
+
+    /// Mean CPU load over hosts during the join phase (Table I).
+    pub fn join_phase_cpu_load(&self) -> f64 {
+        self.ring.mean_join_phase_load(self.cpu)
+    }
+
+    /// Number of matches in the distributed result.
+    pub fn match_count(&self) -> u64 {
+        self.result.count()
+    }
+
+    /// Checksum of the distributed result.
+    pub fn checksum(&self) -> Checksum {
+        self.result.checksum()
+    }
+
+    /// Achieved per-link throughput in bytes/second (§V-F's comparison
+    /// against the physical 10 Gb/s ceiling).
+    pub fn link_throughput(&self) -> f64 {
+        self.ring.peak_link_throughput()
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} over {} on {} host(s): setup {:.3}s, join {:.3}s, sync {:.3}s, {} matches",
+            self.algorithm,
+            self.transport,
+            self.hosts,
+            self.setup_seconds(),
+            self.join_seconds(),
+            self.sync_seconds(),
+            self.match_count(),
+        )
+    }
+
+    /// A multi-line human-readable report table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cyclo-join: {} ⋈ via {} | transport {} | {} hosts × {} threads\n",
+            volume_label(self.data_volume),
+            self.algorithm,
+            self.transport,
+            self.hosts,
+            self.join_threads,
+        ));
+        out.push_str(&format!(
+            "  phases: setup {:8.3}s  join {:8.3}s  sync {:8.3}s  total {:8.3}s\n",
+            self.setup_seconds(),
+            self.join_seconds(),
+            self.sync_seconds(),
+            self.total_seconds(),
+        ));
+        out.push_str(&format!(
+            "  result: {} matches, checksum {:016x}, cpu load {:.0}%\n",
+            self.match_count(),
+            self.checksum().sum,
+            self.join_phase_cpu_load() * 100.0,
+        ));
+        out.push_str("  per host: setup / busy / sync (s), fragments\n");
+        for (i, h) in self.ring.hosts.iter().enumerate() {
+            out.push_str(&format!(
+                "    H{i}: {:7.3} / {:7.3} / {:7.3}  {:4} fragments\n",
+                h.setup.as_secs_f64(),
+                h.join_busy.as_secs_f64(),
+                h.sync.as_secs_f64(),
+                h.fragments_processed,
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for CycloJoinReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Pretty data-volume label.
+fn volume_label(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.1} GB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.1} MB", bytes as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use data_roundabout::HostMetrics;
+
+    fn sample_report() -> CycloJoinReport {
+        CycloJoinReport {
+            algorithm: "partitioned-hash",
+            transport: "RDMA",
+            hosts: 2,
+            join_threads: 4,
+            swapped: false,
+            data_volume: 3 << 20,
+            cpu: CpuSpec::paper_xeon(),
+            ring: RingMetrics {
+                hosts: vec![
+                    HostMetrics {
+                        setup: SimDuration::from_millis(100),
+                        join_busy: SimDuration::from_millis(400),
+                        sync: SimDuration::from_millis(50),
+                        join_window: SimDuration::from_millis(450),
+                        ..HostMetrics::default()
+                    },
+                    HostMetrics {
+                        setup: SimDuration::from_millis(120),
+                        join_busy: SimDuration::from_millis(380),
+                        sync: SimDuration::from_millis(20),
+                        join_window: SimDuration::from_millis(400),
+                        ..HostMetrics::default()
+                    },
+                ],
+                wall_clock: SimDuration::from_millis(570),
+                fragments_completed: 4,
+            },
+            result: DistributedResult::default(),
+        }
+    }
+
+    #[test]
+    fn phase_accessors_take_maxima() {
+        let r = sample_report();
+        assert!((r.setup_seconds() - 0.12).abs() < 1e-9);
+        assert!((r.join_seconds() - 0.4).abs() < 1e-9);
+        assert!((r.sync_seconds() - 0.05).abs() < 1e-9);
+        assert!((r.total_seconds() - 0.57).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_the_essentials() {
+        let rendered = sample_report().render();
+        assert!(rendered.contains("partitioned-hash"));
+        assert!(rendered.contains("RDMA"));
+        assert!(rendered.contains("H0"));
+        assert!(rendered.contains("H1"));
+        assert!(rendered.contains("3.0 MB"));
+    }
+
+    #[test]
+    fn summary_is_one_line() {
+        let s = sample_report().summary();
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("2 host(s)"));
+    }
+
+    #[test]
+    fn volume_labels() {
+        assert_eq!(volume_label(512), "512 B");
+        assert_eq!(volume_label(2 << 20), "2.0 MB");
+        assert_eq!(volume_label(3 << 30), "3.0 GB");
+    }
+}

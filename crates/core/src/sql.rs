@@ -1,0 +1,522 @@
+//! A minimal SQL front-end — the first step toward the paper's closing
+//! goal, "the establishment of a complete SQL-enabled system" (§VII).
+//!
+//! The supported dialect is deliberately small but real: counting
+//! equi-/band-join queries over named relations, executed as one
+//! cyclo-join revolution per `JOIN` clause.
+//!
+//! ```text
+//! SELECT COUNT(*) FROM r JOIN s ON r.key = s.key
+//! SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WITHIN 2
+//! SELECT COUNT(*) FROM r JOIN s ON r.key = s.key JOIN t ON s.key = t.key
+//! SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WHERE r.key < 1000 AND s.key >= 10
+//! ```
+//!
+//! Relations carry the paper's single 4-byte join key, so every `ON`
+//! clause is of the form `<name>.key = <name>.key`; `WITHIN d` widens an
+//! equality into the band `|a.key − b.key| ≤ d` (handled by the
+//! sort-merge join, §IV-C2).
+//!
+//! ```
+//! use cyclo_join::sql::{execute, parse, Catalog};
+//! use relation::GenSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut catalog = Catalog::new();
+//! catalog.register("orders", GenSpec::uniform(5_000, 1).generate());
+//! catalog.register("customers", GenSpec::uniform(5_000, 2).generate());
+//!
+//! let plan = parse("SELECT COUNT(*) FROM orders JOIN customers ON orders.key = customers.key")?;
+//! let count = execute(&plan, &catalog, 4)?;
+//! assert!(count > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use mem_joins::JoinPredicate;
+use relation::{Relation, Tuple};
+
+use crate::pipeline::JoinPipeline;
+use crate::plan::{CycloJoin, PlanError};
+
+/// A named collection of relations the SQL layer can query.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: HashMap<String, Relation>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers `rel` under `name` (case-insensitive), replacing any
+    /// previous relation of that name.
+    pub fn register(&mut self, name: &str, rel: Relation) {
+        self.relations.insert(name.to_ascii_lowercase(), rel);
+    }
+
+    /// Looks up a relation by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(&name.to_ascii_lowercase())
+    }
+}
+
+/// One `JOIN <relation> ON <left>.key = <right>.key [WITHIN d]` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    /// The joined relation's name.
+    pub relation: String,
+    /// Band half-width (`0` = plain equality).
+    pub within: u32,
+}
+
+/// A `WHERE` condition: `<relation>.key <op> <literal>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    /// The filtered relation's name.
+    pub relation: String,
+    /// Comparison operator: one of `<`, `<=`, `>`, `>=`, `=`.
+    pub op: String,
+    /// The literal the key is compared against.
+    pub literal: u32,
+}
+
+impl Filter {
+    /// Evaluates the condition on a key.
+    fn accepts(&self, key: u32) -> bool {
+        match self.op.as_str() {
+            "<" => key < self.literal,
+            "<=" => key <= self.literal,
+            ">" => key > self.literal,
+            ">=" => key >= self.literal,
+            "=" => key == self.literal,
+            _ => unreachable!("parser only emits known operators"),
+        }
+    }
+}
+
+/// A parsed query: `SELECT COUNT(*) FROM <base> (JOIN ...)+ [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The base (rotating) relation's name.
+    pub base: String,
+    /// The join clauses, in order.
+    pub joins: Vec<JoinClause>,
+    /// `WHERE` conditions, AND-combined, applied per relation before the
+    /// join (selection pushdown — the only sound place for them on a
+    /// rotating-data system: filter before the data ever enters the ring).
+    pub filters: Vec<Filter>,
+}
+
+/// Errors from parsing or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The query text did not match the supported grammar.
+    Parse(String),
+    /// A referenced relation is not in the catalog.
+    UnknownRelation(String),
+    /// The underlying cyclo-join plan failed.
+    Plan(PlanError),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SqlError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
+            SqlError::Plan(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<PlanError> for SqlError {
+    fn from(e: PlanError) -> Self {
+        SqlError::Plan(e)
+    }
+}
+
+/// Splits the query into lowercase word / punctuation tokens.
+fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        match c {
+            c if c.is_alphanumeric() || c == '_' => current.push(c.to_ascii_lowercase()),
+            c if c.is_whitespace() => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            '(' | ')' | '*' | '.' | '=' | ',' => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                tokens.push(c.to_string());
+            }
+            other => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                tokens.push(other.to_string());
+            }
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// A tiny recursive-descent cursor over the token stream.
+struct Cursor {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<&str> {
+        let t = self.tokens.get(self.pos).map(String::as_str);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, expected: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t == expected => Ok(()),
+            Some(t) => Err(SqlError::Parse(format!(
+                "expected {expected:?}, found {t:?}"
+            ))),
+            None => Err(SqlError::Parse(format!(
+                "expected {expected:?}, found end of query"
+            ))),
+        }
+    }
+
+    fn identifier(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.next() {
+            Some(t)
+                if t.chars().next().is_some_and(|c| c.is_alphabetic())
+                    && t.chars().all(|c| c.is_alphanumeric() || c == '_') =>
+            {
+                Ok(t.to_string())
+            }
+            Some(t) => Err(SqlError::Parse(format!("expected {what}, found {t:?}"))),
+            None => Err(SqlError::Parse(format!("expected {what}, found end of query"))),
+        }
+    }
+}
+
+/// Parses `<name>.key`.
+fn key_ref(cursor: &mut Cursor) -> Result<String, SqlError> {
+    let name = cursor.identifier("a relation name")?;
+    cursor.expect(".")?;
+    cursor.expect("key")?;
+    Ok(name)
+}
+
+/// Parses the supported dialect into a [`Query`].
+///
+/// # Errors
+///
+/// Returns [`SqlError::Parse`] with a description of the first violation.
+pub fn parse(text: &str) -> Result<Query, SqlError> {
+    let mut cursor = Cursor {
+        tokens: tokenize(text),
+        pos: 0,
+    };
+    cursor.expect("select")?;
+    cursor.expect("count")?;
+    cursor.expect("(")?;
+    cursor.expect("*")?;
+    cursor.expect(")")?;
+    cursor.expect("from")?;
+    let base = cursor.identifier("the base relation")?;
+
+    let mut joins = Vec::new();
+    // Names joined so far; each ON clause must reference one known side
+    // and the newly joined relation.
+    let mut known = vec![base.clone()];
+    while let Some("join") = cursor.peek() {
+        cursor.next();
+        let relation = cursor.identifier("the joined relation")?;
+        cursor.expect("on")?;
+        let left = key_ref(&mut cursor)?;
+        cursor.expect("=")?;
+        let right = key_ref(&mut cursor)?;
+        let mentions_new = left == relation || right == relation;
+        let mentions_known = known.contains(&left) || known.contains(&right);
+        if !(mentions_new && mentions_known) {
+            return Err(SqlError::Parse(format!(
+                "ON clause must relate {relation:?} to an already-joined relation, \
+                 got {left}.key = {right}.key"
+            )));
+        }
+        let within = if let Some("within") = cursor.peek() {
+            cursor.next();
+            match cursor.next() {
+                Some(n) => n.parse().map_err(|_| {
+                    SqlError::Parse(format!("WITHIN needs a non-negative integer, found {n:?}"))
+                })?,
+                None => {
+                    return Err(SqlError::Parse(
+                        "WITHIN needs a non-negative integer, found end of query".into(),
+                    ))
+                }
+            }
+        } else {
+            0
+        };
+        known.push(relation.clone());
+        joins.push(JoinClause { relation, within });
+    }
+    if joins.is_empty() {
+        return Err(SqlError::Parse(
+            "expected at least one JOIN clause".into(),
+        ));
+    }
+
+    let mut filters = Vec::new();
+    if let Some("where") = cursor.peek() {
+        cursor.next();
+        loop {
+            let relation = key_ref(&mut cursor)?;
+            if !known.contains(&relation) {
+                return Err(SqlError::Parse(format!(
+                    "WHERE references {relation:?}, which is not in the FROM/JOIN list"
+                )));
+            }
+            let op = match cursor.next() {
+                Some(op @ ("<" | ">" | "=")) => {
+                    // Two-character operators arrive as two tokens.
+                    let mut op = op.to_string();
+                    if (op == "<" || op == ">") && cursor.peek() == Some("=") {
+                        cursor.next();
+                        op.push('=');
+                    }
+                    op
+                }
+                Some(t) => {
+                    return Err(SqlError::Parse(format!(
+                        "expected a comparison operator, found {t:?}"
+                    )))
+                }
+                None => {
+                    return Err(SqlError::Parse(
+                        "expected a comparison operator, found end of query".into(),
+                    ))
+                }
+            };
+            let literal = match cursor.next() {
+                Some(n) => n.parse().map_err(|_| {
+                    SqlError::Parse(format!("expected an unsigned integer literal, found {n:?}"))
+                })?,
+                None => {
+                    return Err(SqlError::Parse(
+                        "expected an integer literal, found end of query".into(),
+                    ))
+                }
+            };
+            filters.push(Filter { relation, op, literal });
+            if cursor.peek() == Some("and") {
+                cursor.next();
+            } else {
+                break;
+            }
+        }
+    }
+    if let Some(extra) = cursor.peek() {
+        return Err(SqlError::Parse(format!("unexpected trailing {extra:?}")));
+    }
+    Ok(Query { base, joins, filters })
+}
+
+/// Executes a parsed query on a ring of `hosts`, returning the match count
+/// of the final join.
+///
+/// # Errors
+///
+/// Returns [`SqlError::UnknownRelation`] for names missing from the
+/// catalog, or the underlying [`PlanError`].
+pub fn execute(query: &Query, catalog: &Catalog, hosts: usize) -> Result<u64, SqlError> {
+    let lookup = |name: &str| -> Result<Relation, SqlError> {
+        let rel = catalog
+            .get(name)
+            .ok_or_else(|| SqlError::UnknownRelation(name.to_string()))?;
+        // Selection pushdown: apply this relation's WHERE conditions
+        // before it is distributed or rotated.
+        let filters: Vec<&Filter> = query
+            .filters
+            .iter()
+            .filter(|f| f.relation.eq_ignore_ascii_case(name))
+            .collect();
+        if filters.is_empty() {
+            return Ok(rel.clone());
+        }
+        Ok(rel
+            .iter()
+            .filter(|t| filters.iter().all(|f| f.accepts(t.key)))
+            .collect())
+    };
+    let base = lookup(&query.base)?;
+    let predicate_of = |clause: &JoinClause| {
+        if clause.within == 0 {
+            JoinPredicate::Equi
+        } else {
+            JoinPredicate::band(clause.within)
+        }
+    };
+    if query.joins.len() == 1 {
+        let clause = &query.joins[0];
+        let report = CycloJoin::new(base, lookup(&clause.relation)?)
+            .predicate(predicate_of(clause))
+            .hosts(hosts)
+            .run()?;
+        return Ok(report.match_count());
+    }
+    let mut pipeline = JoinPipeline::new(base).hosts(hosts);
+    for clause in &query.joins {
+        // The intermediate carries the newly joined side's key forward, so
+        // the next ON clause joins against it.
+        pipeline = pipeline.join(lookup(&clause.relation)?, predicate_of(clause), |m| {
+            Tuple::new(m.s_key, m.s_payload)
+        });
+    }
+    Ok(pipeline.run()?.match_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::reference_join;
+    use relation::GenSpec;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("r", GenSpec::uniform(1_500, 1400).generate());
+        c.register("s", GenSpec::uniform(1_500, 1401).generate());
+        c.register("t", GenSpec::uniform(1_500, 1402).generate());
+        c
+    }
+
+    #[test]
+    fn single_join_counts_match_the_reference() {
+        let catalog = catalog();
+        let plan = parse("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key").unwrap();
+        let count = execute(&plan, &catalog, 3).unwrap();
+        let reference = reference_join(
+            catalog.get("r").unwrap(),
+            catalog.get("s").unwrap(),
+            &JoinPredicate::Equi,
+        );
+        assert_eq!(count, reference.count);
+    }
+
+    #[test]
+    fn band_join_via_within() {
+        let catalog = catalog();
+        let plan = parse("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WITHIN 2").unwrap();
+        let count = execute(&plan, &catalog, 3).unwrap();
+        let reference = reference_join(
+            catalog.get("r").unwrap(),
+            catalog.get("s").unwrap(),
+            &JoinPredicate::band(2),
+        );
+        assert_eq!(count, reference.count);
+        assert_eq!(plan.joins[0].within, 2);
+    }
+
+    #[test]
+    fn multi_join_runs_a_pipeline() {
+        let catalog = catalog();
+        let plan = parse(
+            "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key JOIN t ON s.key = t.key",
+        )
+        .unwrap();
+        assert_eq!(plan.joins.len(), 2);
+        let count = execute(&plan, &catalog, 2).unwrap();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let a = parse("select count(*) from r join s on r.key = s.key").unwrap();
+        let b = parse("SELECT COUNT(*) FROM R JOIN S ON R.KEY = S.KEY").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        for (query, needle) in [
+            ("SELECT * FROM r JOIN s ON r.key = s.key", "count"),
+            ("SELECT COUNT(*) FROM r", "JOIN"),
+            ("SELECT COUNT(*) FROM r JOIN s ON r.key = t.key", "already-joined"),
+            ("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WITHIN x", "integer"),
+            ("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key garbage", "trailing"),
+        ] {
+            let err = parse(query).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{query:?} → {err} (expected mention of {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn where_clause_filters_before_the_join() {
+        let catalog = catalog();
+        let plan = parse(
+            "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WHERE r.key < 500 AND s.key >= 10",
+        )
+        .unwrap();
+        assert_eq!(plan.filters.len(), 2);
+        let count = execute(&plan, &catalog, 3).unwrap();
+        let r_filtered: relation::Relation = catalog
+            .get("r")
+            .unwrap()
+            .iter()
+            .filter(|t| t.key < 500)
+            .collect();
+        let s_filtered: relation::Relation = catalog
+            .get("s")
+            .unwrap()
+            .iter()
+            .filter(|t| t.key >= 10)
+            .collect();
+        let reference = reference_join(&r_filtered, &s_filtered, &JoinPredicate::Equi);
+        assert_eq!(count, reference.count);
+    }
+
+    #[test]
+    fn where_operators_parse() {
+        for op in ["<", "<=", ">", ">=", "="] {
+            let q = format!("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WHERE r.key {op} 7");
+            let plan = parse(&q).unwrap();
+            assert_eq!(plan.filters[0].op, op, "{q}");
+            assert_eq!(plan.filters[0].literal, 7);
+        }
+    }
+
+    #[test]
+    fn where_on_unjoined_relation_is_rejected() {
+        let err =
+            parse("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WHERE t.key < 5").unwrap_err();
+        assert!(err.to_string().contains("not in the FROM"));
+    }
+
+    #[test]
+    fn unknown_relations_are_reported() {
+        let plan = parse("SELECT COUNT(*) FROM r JOIN nope ON r.key = nope.key").unwrap();
+        let err = execute(&plan, &catalog(), 2).unwrap_err();
+        assert_eq!(err, SqlError::UnknownRelation("nope".into()));
+    }
+}

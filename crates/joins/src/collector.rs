@@ -1,0 +1,213 @@
+//! Collecting join output.
+//!
+//! At paper-scale volumes, materializing every match is often unnecessary
+//! (and for high-skew workloads, enormous): experiments mostly need the
+//! match count and a verification checksum. A [`JoinCollector`] therefore
+//! runs in one of two modes, and multi-threaded join phases give each
+//! thread its own collector and [`merge`](JoinCollector::merge) them at
+//! the end — no locks on the hot path.
+
+use relation::{Checksum, MatchPair};
+use serde::{Deserialize, Serialize};
+
+/// What a collector retains about the matches that flow through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OutputMode {
+    /// Keep every match (needed when the result feeds further processing).
+    Materialize,
+    /// Keep only the count and checksum (the benchmark default).
+    #[default]
+    Aggregate,
+}
+
+/// Accumulates join matches in the configured [`OutputMode`].
+#[derive(Debug, Clone, Default)]
+pub struct JoinCollector {
+    mode: OutputMode,
+    swap_sides: bool,
+    matches: Vec<MatchPair>,
+    checksum: Checksum,
+}
+
+impl JoinCollector {
+    /// A collector in the given mode.
+    pub fn new(mode: OutputMode) -> Self {
+        JoinCollector {
+            mode,
+            swap_sides: false,
+            matches: Vec::new(),
+            checksum: Checksum::new(),
+        }
+    }
+
+    /// Makes the collector swap the two sides of every match before
+    /// recording it.
+    ///
+    /// Cyclo-join may rotate the *smaller* of the two input relations
+    /// (§IV-B); when the logical `S` rotates, the local joins see it as
+    /// their probe side, and the collector swaps each match back so the
+    /// recorded result is always in `(R, S)` orientation regardless of the
+    /// rotation choice.
+    pub fn with_swapped_sides(mut self) -> Self {
+        self.swap_sides = true;
+        self
+    }
+
+    /// A fresh, empty collector with the same mode and side orientation —
+    /// what parallel join phases hand to each worker thread before merging.
+    pub fn child(&self) -> JoinCollector {
+        JoinCollector {
+            mode: self.mode,
+            swap_sides: self.swap_sides,
+            matches: Vec::new(),
+            checksum: Checksum::new(),
+        }
+    }
+
+    /// A materializing collector.
+    pub fn materializing() -> Self {
+        JoinCollector::new(OutputMode::Materialize)
+    }
+
+    /// An aggregating (count + checksum only) collector.
+    pub fn aggregating() -> Self {
+        JoinCollector::new(OutputMode::Aggregate)
+    }
+
+    /// The collector's mode.
+    pub fn mode(&self) -> OutputMode {
+        self.mode
+    }
+
+    /// Feeds one match into the collector.
+    #[inline]
+    pub fn push(&mut self, m: MatchPair) {
+        let m = if self.swap_sides {
+            MatchPair {
+                key: m.s_key,
+                s_key: m.key,
+                r_payload: m.s_payload,
+                s_payload: m.r_payload,
+            }
+        } else {
+            m
+        };
+        self.checksum.fold_match(&m);
+        if self.mode == OutputMode::Materialize {
+            self.matches.push(m);
+        }
+    }
+
+    /// Number of matches seen.
+    pub fn count(&self) -> u64 {
+        self.checksum.count
+    }
+
+    /// Order-independent checksum over all matches seen.
+    pub fn checksum(&self) -> Checksum {
+        self.checksum
+    }
+
+    /// The materialized matches (empty in aggregate mode).
+    pub fn matches(&self) -> &[MatchPair] {
+        &self.matches
+    }
+
+    /// Absorbs another collector's state (multiset union). Swap orientation
+    /// is applied at [`JoinCollector::push`] time, so merging collectors
+    /// with different orientations is fine — their contents are already
+    /// normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modes differ — merging a materializing collector into
+    /// an aggregating one would silently drop matches.
+    pub fn merge(&mut self, other: JoinCollector) {
+        assert_eq!(
+            self.mode, other.mode,
+            "cannot merge collectors with different output modes"
+        );
+        self.checksum = self.checksum.combine(&other.checksum);
+        if self.mode == OutputMode::Materialize {
+            self.matches.extend(other.matches);
+        }
+    }
+
+    /// Consumes the collector, returning the materialized matches.
+    pub fn into_matches(self) -> Vec<MatchPair> {
+        self.matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::Tuple;
+
+    fn m(k: u32) -> MatchPair {
+        MatchPair::new(Tuple::new(k, 1), Tuple::new(k, 2))
+    }
+
+    #[test]
+    fn aggregate_mode_counts_without_storing() {
+        let mut c = JoinCollector::aggregating();
+        for k in 0..100 {
+            c.push(m(k));
+        }
+        assert_eq!(c.count(), 100);
+        assert!(c.matches().is_empty());
+        assert!(!c.checksum().is_empty());
+    }
+
+    #[test]
+    fn materialize_mode_stores_everything() {
+        let mut c = JoinCollector::materializing();
+        c.push(m(1));
+        c.push(m(2));
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.matches().len(), 2);
+        assert_eq!(c.into_matches().len(), 2);
+    }
+
+    #[test]
+    fn modes_agree_on_checksum() {
+        let mut a = JoinCollector::aggregating();
+        let mut b = JoinCollector::materializing();
+        for k in 0..50 {
+            a.push(m(k));
+            b.push(m(k));
+        }
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn merge_unions_counts_and_checksums() {
+        let mut whole = JoinCollector::aggregating();
+        for k in 0..30 {
+            whole.push(m(k));
+        }
+        let mut left = JoinCollector::aggregating();
+        let mut right = JoinCollector::aggregating();
+        for k in 0..10 {
+            left.push(m(k));
+        }
+        for k in 10..30 {
+            right.push(m(k));
+        }
+        left.merge(right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.checksum(), whole.checksum());
+    }
+
+    #[test]
+    #[should_panic(expected = "different output modes")]
+    fn merging_mixed_modes_panics() {
+        let mut a = JoinCollector::aggregating();
+        a.merge(JoinCollector::materializing());
+    }
+
+    #[test]
+    fn default_is_aggregate() {
+        assert_eq!(JoinCollector::default().mode(), OutputMode::Aggregate);
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal fork-join helpers over crossbeam scoped threads.
+//!
+//! The paper's join phases use all four cores of the testbed machines; our
+//! implementations take an explicit thread count (cyclo-join's §V-G
+//! experiment varies it from 1 to 4) and split work into per-thread shards
+//! that are joined at the end. `threads == 1` runs inline with no spawn
+//! overhead, which also keeps single-threaded runs exactly deterministic
+//! in profilers.
+
+/// Runs `worker(shard_index)` on `threads` scoped threads and returns all
+/// results in shard order.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if any worker panics (the panic is
+/// propagated).
+pub fn fork_join<T, F>(threads: usize, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "fork_join needs at least one thread");
+    if threads == 1 {
+        return vec![worker(0)];
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let worker = &worker;
+                scope.spawn(move |_| worker(i))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fork_join worker panicked"))
+            .collect()
+    })
+    .expect("fork_join scope panicked")
+}
+
+/// Splits `len` items into `shards` contiguous ranges of near-equal size.
+/// Empty ranges appear when `shards > len`.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(shards > 0, "need at least one shard");
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_join_returns_in_shard_order() {
+        let results = fork_join(4, |i| i * 10);
+        assert_eq!(results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn fork_join_single_thread_runs_inline() {
+        let results = fork_join(1, |i| {
+            assert_eq!(i, 0);
+            "inline"
+        });
+        assert_eq!(results, vec!["inline"]);
+    }
+
+    #[test]
+    fn fork_join_actually_parallelizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        fork_join(8, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = fork_join(0, |_| ());
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly() {
+        let ranges = shard_ranges(10, 3);
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        let ranges = shard_ranges(2, 4);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 2);
+        assert_eq!(ranges.len(), 4);
+    }
+
+    #[test]
+    fn shard_ranges_empty_input() {
+        let ranges = shard_ranges(0, 3);
+        assert!(ranges.iter().all(|r| r.is_empty()));
+    }
+}

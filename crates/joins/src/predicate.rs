@@ -1,0 +1,146 @@
+//! Join predicates.
+//!
+//! Cyclo-join poses no restriction on the join predicate (§IV-A): the paper
+//! evaluates equi-joins (hash or sort-merge), notes that the sort-merge
+//! implementation also handles band joins, and falls back to nested loops
+//! for everything else. The same taxonomy is modelled here.
+
+use std::fmt;
+use std::sync::Arc;
+
+use relation::Key;
+
+/// A join predicate `p(r.key, s.key)`.
+#[derive(Clone)]
+pub enum JoinPredicate {
+    /// `r.key = s.key`.
+    Equi,
+    /// `|r.key − s.key| ≤ delta` (band join, DeWitt et al. \[7\]).
+    Band {
+        /// Half-width of the band.
+        delta: u32,
+    },
+    /// An arbitrary theta predicate, evaluated per key pair.
+    Theta(Arc<dyn Fn(Key, Key) -> bool + Send + Sync>),
+}
+
+impl JoinPredicate {
+    /// A band predicate of half-width `delta`.
+    pub fn band(delta: u32) -> Self {
+        JoinPredicate::Band { delta }
+    }
+
+    /// An arbitrary theta predicate.
+    pub fn theta(f: impl Fn(Key, Key) -> bool + Send + Sync + 'static) -> Self {
+        JoinPredicate::Theta(Arc::new(f))
+    }
+
+    /// Evaluates the predicate on a key pair.
+    pub fn matches(&self, r_key: Key, s_key: Key) -> bool {
+        match self {
+            JoinPredicate::Equi => r_key == s_key,
+            JoinPredicate::Band { delta } => r_key.abs_diff(s_key) <= *delta,
+            JoinPredicate::Theta(f) => f(r_key, s_key),
+        }
+    }
+
+    /// True if this is the equality predicate.
+    pub fn is_equi(&self) -> bool {
+        matches!(self, JoinPredicate::Equi)
+    }
+
+    /// The band half-width: 0 for equi, `delta` for band, `None` for theta
+    /// (which has no band structure to exploit).
+    pub fn band_delta(&self) -> Option<u32> {
+        match self {
+            JoinPredicate::Equi => Some(0),
+            JoinPredicate::Band { delta } => Some(*delta),
+            JoinPredicate::Theta(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinPredicate::Equi => write!(f, "Equi"),
+            JoinPredicate::Band { delta } => write!(f, "Band {{ delta: {delta} }}"),
+            JoinPredicate::Theta(_) => write!(f, "Theta(..)"),
+        }
+    }
+}
+
+impl fmt::Display for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinPredicate::Equi => write!(f, "r.key = s.key"),
+            JoinPredicate::Band { delta } => write!(f, "|r.key - s.key| <= {delta}"),
+            JoinPredicate::Theta(_) => write!(f, "theta(r.key, s.key)"),
+        }
+    }
+}
+
+impl Default for JoinPredicate {
+    fn default() -> Self {
+        JoinPredicate::Equi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_matches_only_equal_keys() {
+        let p = JoinPredicate::Equi;
+        assert!(p.matches(5, 5));
+        assert!(!p.matches(5, 6));
+        assert!(p.is_equi());
+        assert_eq!(p.band_delta(), Some(0));
+    }
+
+    #[test]
+    fn band_matches_within_delta() {
+        let p = JoinPredicate::band(2);
+        assert!(p.matches(10, 8));
+        assert!(p.matches(10, 12));
+        assert!(p.matches(10, 10));
+        assert!(!p.matches(10, 13));
+        assert!(!p.matches(10, 7));
+        assert_eq!(p.band_delta(), Some(2));
+    }
+
+    #[test]
+    fn band_zero_equals_equi() {
+        let band = JoinPredicate::band(0);
+        for (r, s) in [(1u32, 1u32), (1, 2), (7, 7), (0, u32::MAX)] {
+            assert_eq!(band.matches(r, s), JoinPredicate::Equi.matches(r, s));
+        }
+    }
+
+    #[test]
+    fn band_handles_unsigned_underflow() {
+        // 0 vs MAX must not wrap around.
+        let p = JoinPredicate::band(5);
+        assert!(!p.matches(0, u32::MAX));
+        assert!(p.matches(0, 5));
+        assert!(p.matches(5, 0));
+    }
+
+    #[test]
+    fn theta_evaluates_arbitrary_predicates() {
+        let p = JoinPredicate::theta(|r, s| r > s && (r - s) % 2 == 0);
+        assert!(p.matches(10, 8));
+        assert!(!p.matches(10, 9));
+        assert!(!p.matches(8, 10));
+        assert_eq!(p.band_delta(), None);
+        assert!(!p.is_equi());
+    }
+
+    #[test]
+    fn debug_and_display_formatting() {
+        assert_eq!(format!("{:?}", JoinPredicate::Equi), "Equi");
+        assert_eq!(format!("{}", JoinPredicate::band(3)), "|r.key - s.key| <= 3");
+        assert_eq!(format!("{:?}", JoinPredicate::theta(|_, _| true)), "Theta(..)");
+    }
+}

@@ -1,0 +1,18 @@
+//! Sort-merge join.
+//!
+//! The **setup phase** sorts both inputs by join key ([`SortedRun`],
+//! produced by a parallel merge sort — the paper sorts `R_i` and `S_i` in
+//! parallel with a qsort-based routine). The **join phase** merges the two
+//! sorted runs with a strictly sequential, cache-friendly access pattern;
+//! it naturally supports band joins and splits the probe side across
+//! threads for multi-core execution.
+//!
+//! Sorting costs far more than building hash tables, but in cyclo-join the
+//! sort is a one-time investment amortized over the whole revolution
+//! (§V-E), and the merge phase is ~2× faster than hash probing.
+
+pub mod join;
+pub mod run;
+
+pub use join::{merge_join, SortMergeState};
+pub use run::SortedRun;

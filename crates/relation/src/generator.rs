@@ -1,0 +1,227 @@
+//! Reproducible workload generators for the paper's experiments.
+//!
+//! All generators are seeded and deterministic: the same [`GenSpec`]
+//! produces the same relation on every run, so experiments and tests are
+//! exactly repeatable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::relation::Relation;
+use crate::tuple::{Key, Tuple, TUPLE_BYTES};
+use crate::zipf::Zipf;
+
+/// Distribution of join keys in a generated relation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// Keys drawn uniformly from `0 .. domain`.
+    Uniform {
+        /// Exclusive upper bound of the key domain.
+        domain: Key,
+    },
+    /// Keys drawn from a Zipf distribution over `domain` ranks.
+    ///
+    /// Rank `k` (1-based) is mapped to key `k - 1`, so the hottest key is 0.
+    Zipf {
+        /// Number of distinct ranks.
+        domain: Key,
+        /// The Zipf factor `z` (`0` = uniform, paper sweeps up to `0.9`).
+        z: f64,
+    },
+    /// Key `i` for tuple `i` (every key unique, sorted ascending).
+    Sequential,
+}
+
+/// Full specification of a generated relation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenSpec {
+    /// Number of tuples to generate.
+    pub tuples: usize,
+    /// Join-key distribution.
+    pub distribution: KeyDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GenSpec {
+    /// A uniform workload in the paper's style: `tuples` rows whose 4-byte
+    /// keys are uniform over a domain as large as the relation itself.
+    pub fn uniform(tuples: usize, seed: u64) -> Self {
+        GenSpec {
+            tuples,
+            distribution: KeyDistribution::Uniform {
+                domain: tuples.max(1) as Key,
+            },
+            seed,
+        }
+    }
+
+    /// A Zipf-skewed workload with factor `z` over a domain as large as the
+    /// relation (Figure 9's setup).
+    pub fn zipf(tuples: usize, z: f64, seed: u64) -> Self {
+        GenSpec {
+            tuples,
+            distribution: KeyDistribution::Zipf {
+                domain: tuples.max(1) as Key,
+                z,
+            },
+            seed,
+        }
+    }
+
+    /// A sequential (unique, sorted) key workload.
+    pub fn sequential(tuples: usize, seed: u64) -> Self {
+        GenSpec {
+            tuples,
+            distribution: KeyDistribution::Sequential,
+            seed,
+        }
+    }
+
+    /// Number of tuples whose 12-byte logical size adds up to `bytes`.
+    pub fn tuples_for_volume(bytes: u64) -> usize {
+        (bytes / TUPLE_BYTES) as usize
+    }
+
+    /// Generates the relation.
+    pub fn generate(&self) -> Relation {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rel = Relation::with_capacity(self.tuples);
+        match self.distribution {
+            KeyDistribution::Uniform { domain } => {
+                let domain = domain.max(1);
+                for i in 0..self.tuples {
+                    let key = rng.gen_range(0..domain);
+                    rel.push(Tuple::new(key, payload_for(i, key)));
+                }
+            }
+            KeyDistribution::Zipf { domain, z } => {
+                let zipf = Zipf::new(domain.max(1) as u64, z);
+                for i in 0..self.tuples {
+                    let key = (zipf.sample(&mut rng) - 1) as Key;
+                    rel.push(Tuple::new(key, payload_for(i, key)));
+                }
+            }
+            KeyDistribution::Sequential => {
+                for i in 0..self.tuples {
+                    let key = i as Key;
+                    rel.push(Tuple::new(key, payload_for(i, key)));
+                }
+            }
+        }
+        rel
+    }
+}
+
+/// Deterministic payload: encodes the row number and key so result
+/// verification can detect any tuple loss, duplication or corruption.
+fn payload_for(row: usize, key: Key) -> u64 {
+    ((row as u64) << 32) | key as u64
+}
+
+/// The paper's §V-B workload at a given scale: two relations of
+/// 140 million 12-byte tuples each (2 × 1.6 GB) with uniform 4-byte keys.
+///
+/// `scale = 1.0` reproduces the full volume; the default harness scale is
+/// far smaller. R and S get different seeds derived from `seed`.
+pub fn paper_uniform_pair(scale: f64, seed: u64) -> (Relation, Relation) {
+    let tuples = scaled_tuples(140_000_000, scale);
+    let r = GenSpec::uniform(tuples, seed).generate();
+    let s = GenSpec::uniform(tuples, seed.wrapping_add(0x9e37_79b9)).generate();
+    (r, s)
+}
+
+/// The paper's §V-D skew workload at a given scale: 36 million 12-byte
+/// tuples (412 MB) per relation, Zipf-distributed keys with factor `z`.
+pub fn paper_skew_pair(z: f64, scale: f64, seed: u64) -> (Relation, Relation) {
+    let tuples = scaled_tuples(36_000_000, scale);
+    let r = GenSpec::zipf(tuples, z, seed).generate();
+    let s = GenSpec::zipf(tuples, z, seed.wrapping_add(0x9e37_79b9)).generate();
+    (r, s)
+}
+
+fn scaled_tuples(full: usize, scale: f64) -> usize {
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "scale must be finite and positive, got {scale}"
+    );
+    ((full as f64 * scale).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = GenSpec::uniform(10_000, 7);
+        assert_eq!(spec.generate(), spec.generate());
+        let other_seed = GenSpec::uniform(10_000, 8).generate();
+        assert_ne!(spec.generate(), other_seed);
+    }
+
+    #[test]
+    fn uniform_covers_domain_roughly_evenly() {
+        let rel = GenSpec::uniform(100_000, 3).generate();
+        let domain = 100_000u32;
+        let below_half = rel.keys().iter().filter(|&&k| k < domain / 2).count();
+        let frac = below_half as f64 / rel.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "half-domain fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_keys() {
+        let skewed = GenSpec::zipf(100_000, 0.9, 3).generate();
+        let hot = skewed.keys().iter().filter(|&&k| k == 0).count();
+        // With z=0.9 over 100k ranks, rank 1 gets far more than 1/100000.
+        assert!(hot > 500, "hottest key should dominate, got {hot} copies");
+    }
+
+    #[test]
+    fn sequential_keys_are_unique_and_sorted() {
+        let rel = GenSpec::sequential(1000, 0).generate();
+        assert!(rel.is_sorted_by_key());
+        let mut keys = rel.keys().to_vec();
+        keys.dedup();
+        assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    fn payload_encodes_row_and_key() {
+        let rel = GenSpec::sequential(10, 0).generate();
+        let t = rel.get(4).unwrap();
+        assert_eq!(t.payload >> 32, 4);
+        assert_eq!(t.payload as u32, t.key);
+    }
+
+    #[test]
+    fn tuples_for_volume_inverts_byte_volume() {
+        let n = GenSpec::tuples_for_volume(1_200);
+        assert_eq!(n, 100);
+        let rel = GenSpec::uniform(n, 0).generate();
+        assert_eq!(rel.byte_volume(), 1_200);
+    }
+
+    #[test]
+    fn paper_pairs_scale() {
+        let (r, s) = paper_uniform_pair(0.0001, 1);
+        assert_eq!(r.len(), 14_000);
+        assert_eq!(s.len(), 14_000);
+        assert_ne!(r, s, "R and S must use different seeds");
+        let (r2, _) = paper_skew_pair(0.5, 0.0001, 1);
+        assert_eq!(r2.len(), 3_600);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be finite and positive")]
+    fn zero_scale_rejected() {
+        let _ = paper_uniform_pair(0.0, 1);
+    }
+
+    #[test]
+    fn zero_tuples_is_fine() {
+        let rel = GenSpec::uniform(0, 0).generate();
+        assert!(rel.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! The tuple model: 12-byte tuples with a 4-byte join key.
+//!
+//! The paper's workloads use fixed-width 12-byte tuples — a 4-byte integer
+//! join key plus 8 bytes of payload (enough to carry a row id or a packed
+//! attribute). We keep exactly that layout for all volume accounting, even
+//! though the in-memory representation is columnar.
+
+use serde::{Deserialize, Serialize};
+
+/// The join key type: a 4-byte unsigned integer, as in the paper.
+pub type Key = u32;
+
+/// The payload type: 8 opaque bytes.
+pub type Payload = u64;
+
+/// Logical width of one tuple in bytes (4-byte key + 8-byte payload).
+pub const TUPLE_BYTES: u64 = 12;
+
+/// One logical tuple of a relation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tuple {
+    /// The join key.
+    pub key: Key,
+    /// The payload carried alongside the key.
+    pub payload: Payload,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    pub fn new(key: Key, payload: Payload) -> Self {
+        Tuple { key, payload }
+    }
+}
+
+impl From<(Key, Payload)> for Tuple {
+    fn from((key, payload): (Key, Payload)) -> Self {
+        Tuple { key, payload }
+    }
+}
+
+impl std::fmt::Display for Tuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {:#x})", self.key, self.payload)
+    }
+}
+
+/// A pair of matched tuples produced by a join: the payloads of the `R` and
+/// `S` sides plus the key they matched on.
+///
+/// For equi-joins both sides share `key`; for band joins `key` is the `R`
+/// side's key (the probe key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MatchPair {
+    /// Join key of the `R`-side tuple.
+    pub key: Key,
+    /// Join key of the `S`-side tuple (equal to `key` for equi-joins).
+    pub s_key: Key,
+    /// Payload of the `R`-side tuple.
+    pub r_payload: Payload,
+    /// Payload of the `S`-side tuple.
+    pub s_payload: Payload,
+}
+
+impl MatchPair {
+    /// Creates a match pair from the two joined tuples.
+    pub fn new(r: Tuple, s: Tuple) -> Self {
+        MatchPair {
+            key: r.key,
+            s_key: s.key,
+            r_payload: r.payload,
+            s_payload: s.payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_width_is_paper_width() {
+        assert_eq!(TUPLE_BYTES, 12);
+    }
+
+    #[test]
+    fn tuple_ordering_is_key_major() {
+        let a = Tuple::new(1, 999);
+        let b = Tuple::new(2, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn match_pair_captures_both_sides() {
+        let m = MatchPair::new(Tuple::new(5, 0xaa), Tuple::new(5, 0xbb));
+        assert_eq!(m.key, 5);
+        assert_eq!(m.s_key, 5);
+        assert_eq!(m.r_payload, 0xaa);
+        assert_eq!(m.s_payload, 0xbb);
+    }
+
+    #[test]
+    fn conversion_from_pair() {
+        let t: Tuple = (3u32, 4u64).into();
+        assert_eq!(t, Tuple::new(3, 4));
+    }
+}

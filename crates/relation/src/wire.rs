@@ -1,0 +1,206 @@
+//! Wire format: relations as flat byte buffers.
+//!
+//! A real Data Roundabout DMAs ring-buffer elements directly out of and
+//! into registered memory, so the rotating unit must have a defined flat
+//! layout. This module provides it: a fixed header (magic, version, tuple
+//! count, integrity checksum) followed by the key column and the payload
+//! column, all little-endian. The in-process backends move owned
+//! structures for speed, but the format keeps the system honest — and
+//! testable — about what would actually cross the network.
+//!
+//! Layout:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "CYCJ"
+//! 4       4     version (1)
+//! 8       8     tuple count n
+//! 16      8     checksum over both columns
+//! 24      4·n   keys   (u32 LE)
+//! 24+4n   8·n   payloads (u64 LE)
+//! ```
+
+use crate::relation::Relation;
+use crate::tuple::{Key, Payload};
+
+/// First bytes of every encoded relation.
+pub const MAGIC: [u8; 4] = *b"CYCJ";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Header size in bytes.
+pub const HEADER_BYTES: usize = 24;
+
+/// Errors decoding a wire buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than a header.
+    TooShort,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Buffer length inconsistent with the declared tuple count.
+    LengthMismatch {
+        /// Bytes the declared tuple count requires.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// Integrity checksum mismatch (corrupted transfer).
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TooShort => write!(f, "buffer shorter than the wire header"),
+            DecodeError::BadMagic => write!(f, "bad magic bytes (not a relation buffer)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: header implies {expected} bytes, got {actual}")
+            }
+            DecodeError::ChecksumMismatch => write!(f, "checksum mismatch: buffer corrupted"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encoded size of a relation with `tuples` rows.
+pub const fn encoded_len(tuples: usize) -> usize {
+    HEADER_BYTES + tuples * 12
+}
+
+/// Serializes `rel` into a fresh buffer.
+pub fn encode(rel: &Relation) -> Vec<u8> {
+    let n = rel.len();
+    let mut out = Vec::with_capacity(encoded_len(n));
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&column_checksum(rel).to_le_bytes());
+    for &k in rel.keys() {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+    for &p in rel.payloads() {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a buffer produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated, foreign, versioned-ahead or
+/// corrupted buffers.
+pub fn decode(bytes: &[u8]) -> Result<Relation, DecodeError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(DecodeError::TooShort);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let expected = encoded_len(n);
+    if bytes.len() != expected {
+        return Err(DecodeError::LengthMismatch {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+    let declared_checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+
+    let keys_end = HEADER_BYTES + 4 * n;
+    let mut keys: Vec<Key> = Vec::with_capacity(n);
+    for chunk in bytes[HEADER_BYTES..keys_end].chunks_exact(4) {
+        keys.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+    }
+    let mut payloads: Vec<Payload> = Vec::with_capacity(n);
+    for chunk in bytes[keys_end..].chunks_exact(8) {
+        payloads.push(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+    }
+    let rel = Relation::from_columns(keys.into(), payloads.into());
+    if column_checksum(&rel) != declared_checksum {
+        return Err(DecodeError::ChecksumMismatch);
+    }
+    Ok(rel)
+}
+
+/// Order-*dependent* integrity checksum over both columns (FNV-1a style);
+/// unlike the order-independent result checksums, a transfer must preserve
+/// tuple order exactly.
+fn column_checksum(rel: &Relation) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in rel.iter() {
+        h ^= t.key as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        h ^= t.payload;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GenSpec;
+    use crate::relation::Relation;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        for tuples in [0usize, 1, 7, 1000] {
+            let rel = GenSpec::uniform(tuples, 42).generate();
+            let bytes = encode(&rel);
+            assert_eq!(bytes.len(), encoded_len(tuples));
+            let back = decode(&bytes).expect("decode should succeed");
+            assert_eq!(back, rel);
+        }
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected() {
+        let rel = GenSpec::uniform(100, 1).generate();
+        let bytes = encode(&rel);
+        assert_eq!(decode(&bytes[..10]), Err(DecodeError::TooShort));
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 4]),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_buffers_are_rejected() {
+        let mut bytes = encode(&GenSpec::uniform(10, 2).generate());
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut bytes = encode(&GenSpec::uniform(10, 3).generate());
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let rel = GenSpec::uniform(500, 4).generate();
+        let mut bytes = encode(&rel);
+        // Flip one payload bit deep in the buffer.
+        let idx = bytes.len() - 3;
+        bytes[idx] ^= 0x01;
+        assert_eq!(decode(&bytes), Err(DecodeError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn order_matters_for_the_wire_checksum() {
+        let a = Relation::from_pairs([(1, 10), (2, 20)]);
+        let b = Relation::from_pairs([(2, 20), (1, 10)]);
+        assert_ne!(encode(&a), encode(&b));
+    }
+}

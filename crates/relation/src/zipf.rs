@@ -1,0 +1,207 @@
+//! Zipf-distributed key sampling.
+//!
+//! The paper's skew experiments (Figure 9) generate join keys from a Zipf
+//! distribution with varying factor `z`: `P(k) ∝ 1 / k^z` for ranks
+//! `k ∈ 1..=n`. `z = 0` is uniform; at `z = 0.9` a handful of keys receive
+//! an exponentially large number of duplicates, which is what degrades the
+//! hash join toward nested-loops behaviour.
+//!
+//! Sampling uses rejection–inversion (Hörmann & Derflinger, 1996): O(1)
+//! expected time per sample with no precomputed tables, so generating
+//! millions of skewed keys is cheap at any domain size.
+
+use rand::Rng;
+
+/// A Zipf sampler over ranks `1..=n` with exponent `z ≥ 0`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use relation::Zipf;
+///
+/// let zipf = Zipf::new(1_000, 0.9);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=1_000).contains(&rank));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    z: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with exponent `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or `z` is negative or not finite.
+    pub fn new(n: u64, z: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(z.is_finite() && z >= 0.0, "Zipf exponent must be ≥ 0, got {z}");
+        let mut zipf = Zipf {
+            n,
+            z,
+            h_x1: 0.0,
+            h_n: 0.0,
+            s: 0.0,
+        };
+        zipf.h_x1 = zipf.h(1.5) - 1.0;
+        zipf.h_n = zipf.h(n as f64 + 0.5);
+        zipf.s = 2.0 - zipf.h_inv(zipf.h(2.5) - Self::pow_neg(2.0, z));
+        zipf
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `z`.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    fn pow_neg(x: f64, z: f64) -> f64 {
+        x.powf(-z)
+    }
+
+    /// `H(x) = ∫ x^-z dx`: `(x^(1-z) - 1)/(1-z)` with the `z = 1` limit `ln x`.
+    fn h(&self, x: f64) -> f64 {
+        let one_minus = 1.0 - self.z;
+        if one_minus.abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(one_minus) - 1.0) / one_minus
+        }
+    }
+
+    /// Inverse of [`Zipf::h`].
+    fn h_inv(&self, x: f64) -> f64 {
+        let one_minus = 1.0 - self.z;
+        if one_minus.abs() < 1e-12 {
+            x.exp()
+        } else {
+            (1.0 + one_minus * x).powf(1.0 / one_minus)
+        }
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // z = 0 is exactly uniform; skip the rejection machinery.
+        if self.z == 0.0 {
+            return rng.gen_range(1..=self.n);
+        }
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if (k - x).abs() <= self.s
+                || u >= self.h(k + 0.5) - Self::pow_neg(k, self.z)
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: f64, n: u64, samples: usize) -> Vec<u64> {
+        let zipf = Zipf::new(n, z);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..samples {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let zipf = Zipf::new(100, 0.9);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let counts = histogram(0.0, 10, 100_000);
+        for &c in &counts[1..] {
+            let expected = 10_000.0;
+            assert!(
+                (c as f64 - expected).abs() / expected < 0.1,
+                "uniform bucket off by >10 %: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_ratio_matches_exponent() {
+        // P(1)/P(2) should be 2^z.
+        for &z in &[0.5, 0.9, 1.2] {
+            let counts = histogram(z, 1000, 400_000);
+            let ratio = counts[1] as f64 / counts[2] as f64;
+            let expected = 2f64.powf(z);
+            assert!(
+                (ratio - expected).abs() / expected < 0.1,
+                "z={z}: ratio {ratio} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass() {
+        let mild = histogram(0.3, 100, 100_000);
+        let heavy = histogram(0.9, 100, 100_000);
+        assert!(heavy[1] > mild[1], "z=0.9 must put more mass on rank 1");
+    }
+
+    #[test]
+    fn exponent_one_special_case_works() {
+        let counts = histogram(1.0, 50, 200_000);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "z=1: P(1)/P(2) ≈ 2, got {ratio}");
+    }
+
+    #[test]
+    fn single_element_domain() {
+        let zipf = Zipf::new(1, 0.9);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_rejected() {
+        let _ = Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn negative_exponent_rejected() {
+        let _ = Zipf::new(10, -0.1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let zipf = Zipf::new(1000, 0.7);
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        for _ in 0..1000 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+}

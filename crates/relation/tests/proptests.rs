@@ -1,0 +1,113 @@
+//! Property-based tests of the storage and generation substrate.
+
+use proptest::prelude::*;
+use relation::{
+    hash_partition, partition_of, relation_checksum, Checksum, GenSpec, MatchPair, Relation,
+    Tuple, Zipf,
+};
+
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((any::<u32>(), any::<u64>()), 0..400)
+        .prop_map(Relation::from_pairs)
+}
+
+proptest! {
+    /// split_even conserves the relation: concatenation reproduces it
+    /// exactly (order included), sizes differ by at most one.
+    #[test]
+    fn split_even_conserves(rel in relation_strategy(), parts in 1usize..12) {
+        let pieces = rel.split_even(parts);
+        prop_assert_eq!(pieces.len(), parts);
+        let mut merged = Relation::new();
+        for p in &pieces {
+            merged.extend_from(p);
+        }
+        prop_assert_eq!(&merged, &rel);
+        let max = pieces.iter().map(Relation::len).max().unwrap_or(0);
+        let min = pieces.iter().map(Relation::len).min().unwrap_or(0);
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Hash partitioning conserves the multiset and keeps equal keys
+    /// together.
+    #[test]
+    fn hash_partition_conserves(rel in relation_strategy(), parts in 1usize..8) {
+        let pieces = hash_partition(&rel, parts);
+        let total: usize = pieces.iter().map(Relation::len).sum();
+        prop_assert_eq!(total, rel.len());
+        let mut merged = Relation::new();
+        for p in &pieces {
+            merged.extend_from(p);
+        }
+        prop_assert_eq!(relation_checksum(&merged), relation_checksum(&rel));
+        for (i, p) in pieces.iter().enumerate() {
+            for &k in p.keys() {
+                prop_assert_eq!(partition_of(k, parts), i);
+            }
+        }
+    }
+
+    /// Sorting preserves the multiset and orders keys.
+    #[test]
+    fn sort_preserves_multiset(rel in relation_strategy()) {
+        let mut sorted = rel.clone();
+        sorted.sort_by_key();
+        prop_assert!(sorted.is_sorted_by_key());
+        prop_assert_eq!(relation_checksum(&sorted), relation_checksum(&rel));
+        prop_assert_eq!(sorted.len(), rel.len());
+    }
+
+    /// The checksum is order-independent and partition-independent.
+    #[test]
+    fn checksum_is_commutative(
+        pairs in prop::collection::vec((any::<u32>(), any::<u64>(), any::<u64>()), 0..100),
+        split in 0usize..100,
+    ) {
+        let matches: Vec<MatchPair> = pairs
+            .iter()
+            .map(|&(k, rp, sp)| MatchPair::new(Tuple::new(k, rp), Tuple::new(k, sp)))
+            .collect();
+        let whole: Checksum = matches.iter().copied().collect();
+        let cut = split.min(matches.len());
+        let left: Checksum = matches[..cut].iter().copied().collect();
+        let right: Checksum = matches[cut..].iter().copied().collect();
+        prop_assert_eq!(left.combine(&right), whole);
+        let mut reversed = matches.clone();
+        reversed.reverse();
+        let rev: Checksum = reversed.into_iter().collect();
+        prop_assert_eq!(rev, whole);
+    }
+
+    /// Generators are deterministic and produce the requested cardinality.
+    #[test]
+    fn generators_are_deterministic(tuples in 0usize..2_000, seed in any::<u64>(), z in 0.0f64..1.2) {
+        let a = GenSpec::zipf(tuples, z, seed).generate();
+        let b = GenSpec::zipf(tuples, z, seed).generate();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), tuples);
+        prop_assert_eq!(a.byte_volume(), tuples as u64 * 12);
+    }
+
+    /// Zipf samples always land in the domain.
+    #[test]
+    fn zipf_stays_in_domain(n in 1u64..100_000, z in 0.0f64..2.0, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let zipf = Zipf::new(n, z);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let k = zipf.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    /// Slicing then merging reproduces any contiguous segmentation.
+    #[test]
+    fn slice_round_trip(rel in relation_strategy(), at in 0usize..400) {
+        let cut = at.min(rel.len());
+        let left = rel.slice(0, cut);
+        let right = rel.slice(cut, rel.len());
+        let mut merged = left.clone();
+        merged.extend_from(&right);
+        prop_assert_eq!(merged, rel);
+    }
+}

@@ -1,0 +1,108 @@
+//! The statically allocated, registered ring-buffer element pool.
+//!
+//! RDMA can only DMA into memory that was registered (pinned, translated)
+//! with the NIC ahead of time, and registration is expensive enough that
+//! on-demand allocation is infeasible at speed (§III-C). Data Roundabout
+//! therefore sizes and registers its whole pool of ring-buffer elements
+//! once, at startup, and reuses the elements for the entire join execution
+//! (§III-D). [`RegisteredPool`] models that pool and prices its one-time
+//! registration cost, which cyclo-join charges into the setup phase.
+
+use serde::{Deserialize, Serialize};
+use simnet::rnic::RnicConfig;
+use simnet::time::SimDuration;
+
+/// A host's pool of registered ring-buffer elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisteredPool {
+    elements: usize,
+    element_bytes: u64,
+}
+
+impl RegisteredPool {
+    /// A pool of `elements` buffer elements of `element_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(elements: usize, element_bytes: u64) -> Self {
+        assert!(elements > 0, "pool needs at least one element");
+        assert!(element_bytes > 0, "elements must have a positive size");
+        RegisteredPool {
+            elements,
+            element_bytes,
+        }
+    }
+
+    /// Number of buffer elements.
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// Size of one element in bytes.
+    pub fn element_bytes(&self) -> u64 {
+        self.element_bytes
+    }
+
+    /// Total registered bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.elements as u64 * self.element_bytes
+    }
+
+    /// One-time CPU cost of registering the whole pool with the RNIC.
+    pub fn registration_cost(&self, rnic: &RnicConfig) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for _ in 0..self.elements {
+            total += rnic.registration_cost(self.element_bytes);
+        }
+        total
+    }
+
+    /// What registering this pool *per transfer* would cost if it were done
+    /// on demand instead — the cost the static design avoids. Provided for
+    /// the documentation benches; equals the per-element registration cost.
+    pub fn on_demand_cost_per_transfer(&self, rnic: &RnicConfig) -> SimDuration {
+        rnic.registration_cost(self.element_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_dimensions() {
+        let pool = RegisteredPool::new(2, 16 << 20);
+        assert_eq!(pool.elements(), 2);
+        assert_eq!(pool.element_bytes(), 16 << 20);
+        assert_eq!(pool.total_bytes(), 32 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_elements_rejected() {
+        let _ = RegisteredPool::new(0, 1024);
+    }
+
+    #[test]
+    fn registration_cost_scales_with_elements_and_size() {
+        let rnic = RnicConfig::paper_t3();
+        let small = RegisteredPool::new(2, 1 << 20).registration_cost(&rnic);
+        let more = RegisteredPool::new(4, 1 << 20).registration_cost(&rnic);
+        let bigger = RegisteredPool::new(2, 4 << 20).registration_cost(&rnic);
+        assert!(more > small);
+        assert!(bigger > small);
+    }
+
+    #[test]
+    fn static_registration_beats_on_demand_quickly() {
+        // Registering once and reusing beats re-registering per transfer
+        // as soon as more than `elements` transfers happen.
+        let rnic = RnicConfig::paper_t3();
+        let pool = RegisteredPool::new(2, 16 << 20);
+        let static_cost = pool.registration_cost(&rnic);
+        let per_transfer = pool.on_demand_cost_per_transfer(&rnic);
+        let transfers = 100u64;
+        assert!(static_cost < per_transfer * transfers);
+    }
+}

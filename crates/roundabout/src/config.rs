@@ -1,0 +1,212 @@
+//! Ring configuration.
+
+use serde::{Deserialize, Serialize};
+use simnet::cpu::CpuSpec;
+use simnet::link::Link;
+use simnet::throughput::{Bandwidth, ChunkThroughput};
+use simnet::time::SimDuration;
+use simnet::transport::TransportModel;
+
+/// Full configuration of a Data Roundabout instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingConfig {
+    /// Number of hosts in the ring.
+    pub hosts: usize,
+    /// Statically allocated ring-buffer elements per host. At least 2 are
+    /// needed to overlap communication with computation (one being
+    /// processed while another is in flight); 1 disables overlap — the
+    /// configuration the buffer-depth ablation measures.
+    pub buffers_per_host: usize,
+    /// Join-entity worker threads per host (the paper varies 1–4).
+    pub join_threads: usize,
+    /// Host CPU description.
+    pub cpu: CpuSpec,
+    /// Transport cost model (RDMA / TOE / kernel TCP).
+    pub transport: TransportModel,
+    /// Peak link bandwidth between neighboring hosts.
+    pub link_bandwidth: Bandwidth,
+    /// Fixed per-message transfer overhead (drives the Figure 5 curve).
+    pub per_message_overhead: SimDuration,
+    /// One-way link propagation latency.
+    pub link_latency: SimDuration,
+}
+
+impl RingConfig {
+    /// The paper's testbed: quad-core 2.33 GHz Xeons, 10 GbE iWARP RNICs,
+    /// RDMA transport, 2 ring-buffer elements, 4 join threads.
+    pub fn paper(hosts: usize) -> Self {
+        RingConfig {
+            hosts,
+            buffers_per_host: 2,
+            join_threads: 4,
+            cpu: CpuSpec::paper_xeon(),
+            transport: TransportModel::rdma(),
+            link_bandwidth: Bandwidth::from_gbit_per_sec(10.0),
+            per_message_overhead: SimDuration::from_nanos(3_300),
+            link_latency: SimDuration::from_micros(5),
+        }
+    }
+
+    /// Same testbed but with the software-TCP transport (§V-G).
+    pub fn paper_tcp(hosts: usize) -> Self {
+        RingConfig {
+            transport: TransportModel::kernel_tcp(),
+            ..RingConfig::paper(hosts)
+        }
+    }
+
+    /// Builder-style override of the transport.
+    pub fn with_transport(mut self, transport: TransportModel) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Builder-style override of the join thread count.
+    pub fn with_join_threads(mut self, threads: usize) -> Self {
+        self.join_threads = threads;
+        self
+    }
+
+    /// Builder-style override of the per-host buffer count.
+    pub fn with_buffers(mut self, buffers: usize) -> Self {
+        self.buffers_per_host = buffers;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: at least one
+    /// host, at least one buffer, at least one join thread, and no more
+    /// join threads than cores.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.hosts == 0 {
+            return Err(ConfigError::new("ring needs at least one host"));
+        }
+        if self.buffers_per_host == 0 {
+            return Err(ConfigError::new("each host needs at least one ring buffer element"));
+        }
+        if self.join_threads == 0 {
+            return Err(ConfigError::new("join entity needs at least one thread"));
+        }
+        if self.join_threads > self.cpu.cores as usize {
+            return Err(ConfigError::new(
+                "more join threads than CPU cores is never modelled as a speedup",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The link model this configuration describes.
+    pub fn link(&self) -> Link {
+        Link::new(
+            ChunkThroughput::new(self.link_bandwidth, self.per_message_overhead),
+            self.link_latency,
+        )
+    }
+
+    /// The wire rate actually achievable for a message of `bytes`.
+    ///
+    /// RDMA runs at the link's chunk-size-dependent goodput. Software TCP
+    /// is additionally capped by what its (single) transmitter thread can
+    /// push through the kernel stack — the per-core rule-of-thumb rate.
+    pub fn effective_wire_seconds(&self, bytes: u64) -> SimDuration {
+        let link_time = self
+            .link()
+            .throughput()
+            .transfer_time(bytes);
+        match self.transport {
+            TransportModel::Rdma(_) => link_time,
+            TransportModel::KernelTcp(m) | TransportModel::Toe(m) => {
+                let cpu_bound = SimDuration::from_secs_f64(
+                    bytes as f64 / m.per_core_rate(self.cpu).bytes_per_sec(),
+                );
+                link_time.max(cpu_bound)
+            }
+        }
+    }
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig::paper(6)
+    }
+}
+
+/// A configuration constraint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    fn new(message: &'static str) -> Self {
+        ConfigError { message }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid ring configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        for hosts in 1..=6 {
+            assert!(RingConfig::paper(hosts).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_caught() {
+        assert!(RingConfig::paper(0).validate().is_err());
+        assert!(RingConfig::paper(2).with_buffers(0).validate().is_err());
+        assert!(RingConfig::paper(2).with_join_threads(0).validate().is_err());
+        assert!(RingConfig::paper(2).with_join_threads(5).validate().is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = RingConfig::paper(0).validate().unwrap_err();
+        assert!(err.to_string().contains("at least one host"));
+    }
+
+    #[test]
+    fn rdma_wire_time_is_link_bound() {
+        let cfg = RingConfig::paper(2);
+        let t = cfg.effective_wire_seconds(16 << 20);
+        // 16 MB at 1.25 GB/s ≈ 13.4 ms.
+        let secs = t.as_secs_f64();
+        assert!((0.012..0.015).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn tcp_wire_time_is_cpu_bound() {
+        let rdma = RingConfig::paper(2);
+        let tcp = RingConfig::paper_tcp(2);
+        let bytes = 16 << 20;
+        assert!(
+            tcp.effective_wire_seconds(bytes) > rdma.effective_wire_seconds(bytes),
+            "the kernel-TCP transmitter thread must be slower than the RNIC"
+        );
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = RingConfig::paper(3)
+            .with_join_threads(2)
+            .with_buffers(4)
+            .with_transport(TransportModel::toe());
+        assert_eq!(cfg.join_threads, 2);
+        assert_eq!(cfg.buffers_per_host, 4);
+        assert_eq!(cfg.transport.name(), "TOE");
+    }
+}

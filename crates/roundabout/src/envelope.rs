@@ -1,0 +1,153 @@
+//! Envelopes: the unit of data that circulates in the Data Roundabout.
+//!
+//! The transport layer always moves a *whole ring-buffer element* — never a
+//! single tuple (§III-D) — so the circulating unit is an [`Envelope`]: an
+//! opaque payload plus the routing state the ring needs (origin host and
+//! remaining hops). After a full revolution (`hops_remaining == 0` once
+//! every host processed it) an envelope retires at the host that consumed
+//! it last, freeing its buffer element.
+
+use serde::{Deserialize, Serialize};
+use simnet::topology::HostId;
+
+/// Payloads the roundabout can carry: anything that knows its wire size.
+pub trait PayloadBytes {
+    /// Number of bytes this payload occupies in a ring-buffer element (and
+    /// therefore on the wire when forwarded).
+    fn payload_bytes(&self) -> u64;
+}
+
+impl PayloadBytes for relation::Relation {
+    fn payload_bytes(&self) -> u64 {
+        self.byte_volume()
+    }
+}
+
+impl PayloadBytes for mem_joins::PreparedFragment {
+    fn payload_bytes(&self) -> u64 {
+        self.byte_volume()
+    }
+}
+
+impl PayloadBytes for Vec<u8> {
+    fn payload_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+/// Identifier of a circulating fragment, unique within one run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FragmentId(pub usize);
+
+impl std::fmt::Display for FragmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// One circulating ring-buffer element.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope<P> {
+    /// Identity of the fragment inside.
+    pub id: FragmentId,
+    /// Host the fragment started at.
+    pub origin: HostId,
+    /// Hosts that still need to process this envelope (including the one
+    /// currently holding it). Starts at the ring size; the envelope is
+    /// forwarded while the count stays positive after processing.
+    pub hops_remaining: usize,
+    /// The data.
+    pub payload: P,
+}
+
+impl<P: PayloadBytes> Envelope<P> {
+    /// Creates an envelope at its origin for a ring of `ring_size` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_size` is zero.
+    pub fn new(id: FragmentId, origin: HostId, ring_size: usize, payload: P) -> Self {
+        assert!(ring_size > 0, "ring size must be positive");
+        Envelope {
+            id,
+            origin,
+            hops_remaining: ring_size,
+            payload,
+        }
+    }
+
+    /// Bytes this envelope occupies on the wire.
+    pub fn bytes(&self) -> u64 {
+        self.payload.payload_bytes()
+    }
+
+    /// Marks one processing step done. Returns `true` if the envelope must
+    /// still be forwarded to the next host, `false` if it retires here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an already retired envelope.
+    pub fn consume_hop(&mut self) -> bool {
+        assert!(self.hops_remaining > 0, "envelope already completed its revolution");
+        self.hops_remaining -= 1;
+        self.hops_remaining > 0
+    }
+
+    /// True once every host has processed the envelope.
+    pub fn is_retired(&self) -> bool {
+        self.hops_remaining == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(ring: usize) -> Envelope<Vec<u8>> {
+        Envelope::new(FragmentId(0), HostId(0), ring, vec![0u8; 100])
+    }
+
+    #[test]
+    fn full_revolution_consumes_all_hops() {
+        let mut e = env(4);
+        assert!(e.consume_hop()); // processed at H0, forward
+        assert!(e.consume_hop()); // H1
+        assert!(e.consume_hop()); // H2
+        assert!(!e.consume_hop()); // H3: retire
+        assert!(e.is_retired());
+    }
+
+    #[test]
+    fn single_host_ring_retires_immediately() {
+        let mut e = env(1);
+        assert!(!e.consume_hop());
+        assert!(e.is_retired());
+    }
+
+    #[test]
+    #[should_panic(expected = "already completed")]
+    fn over_consuming_panics() {
+        let mut e = env(1);
+        let _ = e.consume_hop();
+        let _ = e.consume_hop();
+    }
+
+    #[test]
+    fn bytes_come_from_the_payload() {
+        assert_eq!(env(2).bytes(), 100);
+        let rel = relation::GenSpec::uniform(10, 0).generate();
+        let e = Envelope::new(FragmentId(1), HostId(1), 2, rel);
+        assert_eq!(e.bytes(), 120);
+    }
+
+    #[test]
+    fn prepared_fragment_payload_bytes() {
+        use mem_joins::{Algorithm, PreparedFragment};
+        let rel = relation::GenSpec::uniform(50, 1).generate();
+        let frag: PreparedFragment = Algorithm::SortMerge.prepare_fragment(&rel, 0, 1);
+        let e = Envelope::new(FragmentId(2), HostId(0), 3, frag);
+        assert_eq!(e.bytes(), 600);
+    }
+}

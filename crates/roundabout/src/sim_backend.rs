@@ -1,0 +1,909 @@
+//! The simulated ring backend: Data Roundabout inside a discrete-event
+//! simulation.
+//!
+//! Every host runs the paper's three asynchronous entities (§III-D):
+//!
+//! * the **receiver** accepts envelopes into pre-reserved ring-buffer
+//!   elements (an RDMA receive requires a pre-posted buffer, so the slot
+//!   is reserved at the *sender's* send time, not at arrival);
+//! * the **join entity** processes one buffer at a time, FIFO;
+//! * the **transmitter** forwards processed envelopes clockwise, but only
+//!   when the successor has a free buffer element (credit-based flow
+//!   control) — this is the mechanism that lets a slow host "borrow" time
+//!   from the ring without stalling it immediately (§V-D).
+//!
+//! Time and CPU model:
+//!
+//! * transfers occupy the hop link for their serialization time (chunk-size
+//!   curve of Figure 5); software TCP is additionally capped by what one
+//!   transmitter thread can push through the kernel (§V-G);
+//! * per transferred envelope, the transport's CPU cost model charges both
+//!   endpoints (Figure 3 categories);
+//! * join durations come from the application; under TCP they are inflated
+//!   by cache pollution and — when the join threads plus communication
+//!   demand exceed the cores — by CPU contention:
+//!   `d_eff = pollution × max(d, (threads·d + comm_cpu) / cores)`.
+//!   Under RDMA, `d_eff = d`: the join "is never interrupted by the
+//!   network".
+
+use std::collections::VecDeque;
+
+use simnet::cpu::{CostCategory, CpuAccount};
+use simnet::rnic::{Completion, MemoryRegion, QueuePair, Rnic, WorkRequest};
+use simnet::engine::Simulation;
+use simnet::link::Link;
+use simnet::throughput::{Bandwidth, ChunkThroughput};
+use simnet::time::{SimDuration, SimTime};
+use simnet::topology::{HostId, RingNetwork};
+use simnet::trace::Tracer;
+use simnet::transport::TransportModel;
+
+use crate::app::RingApp;
+use crate::config::RingConfig;
+use crate::envelope::{Envelope, PayloadBytes};
+use crate::metrics::{HostMetrics, RingMetrics};
+
+/// Safety valve: no legitimate run needs more events than this per fragment
+/// and host.
+const EVENT_BUDGET_PER_UNIT: u64 = 64;
+
+/// Event budget for continuous (Data Cyclotron) rotations, which end when
+/// the application says so rather than when fragments retire.
+const CONTINUOUS_EVENT_BUDGET: u64 = 50_000_000;
+
+/// The outcome of a simulated ring run.
+#[derive(Debug)]
+pub struct SimOutcome<A> {
+    /// Timing and CPU metrics.
+    pub metrics: RingMetrics,
+    /// The application, with whatever state it accumulated.
+    pub app: A,
+    /// The event trace (empty unless tracing was enabled).
+    pub trace: Tracer,
+}
+
+/// An envelope at the join entity, remembering whether it occupies a slot
+/// of the host's receive pool (locally injected fragments live in local
+/// memory and do not). Zero-copy processing reads the buffer element in
+/// place, so the slot stays held *through* the join and is released when
+/// the join entity finishes with it; the transmit path then stages from
+/// the processed element, so forwarding never holds receive credit. That
+/// is what makes the credit scheme deadlock-free: every held slot is
+/// released after a bounded amount of join work, never while waiting for
+/// downstream credit.
+#[derive(Debug)]
+struct Held<P> {
+    env: Envelope<P>,
+    pooled: bool,
+}
+
+#[derive(Debug)]
+struct HostState<P> {
+    incoming: VecDeque<Held<P>>,
+    processing: Option<Held<P>>,
+    outgoing: VecDeque<Envelope<P>>,
+    /// Receive-pool slots in use (reserved for in-flight transfers or
+    /// occupied by received envelopes still on this host).
+    pool_used: usize,
+    /// Transmitter busy with an in-flight send.
+    sending: bool,
+    setup_done: Option<SimTime>,
+    last_join_done: SimTime,
+    join_busy: SimDuration,
+    join_cpu: CpuAccount,
+    fragments_processed: usize,
+    bytes_forwarded: u64,
+}
+
+impl<P> HostState<P> {
+    fn new() -> Self {
+        HostState {
+            incoming: VecDeque::new(),
+            processing: None,
+            outgoing: VecDeque::new(),
+            pool_used: 0,
+            sending: false,
+            setup_done: None,
+            last_join_done: SimTime::ZERO,
+            join_busy: SimDuration::ZERO,
+            join_cpu: CpuAccount::new(),
+            fragments_processed: 0,
+            bytes_forwarded: 0,
+        }
+    }
+}
+
+enum RingEvent<P> {
+    SetupDone { host: HostId },
+    JoinDone { host: HostId },
+    Arrived { to: HostId, env: Envelope<P> },
+    SendDone { from: HostId, completion: Option<Completion> },
+}
+
+/// A configured, ready-to-run simulated ring.
+pub struct SimRing<P, A> {
+    config: RingConfig,
+    fragments: Vec<Vec<P>>,
+    app: A,
+    trace: bool,
+    continuous: bool,
+    host_speed: Option<Vec<f64>>,
+}
+
+impl<P: PayloadBytes, A: RingApp<P>> SimRing<P, A> {
+    /// Prepares a run: `fragments[h]` are the local fragments host `h`
+    /// contributes to the rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `fragments.len()` differs
+    /// from the configured host count.
+    pub fn new(config: RingConfig, fragments: Vec<Vec<P>>, app: A) -> Self {
+        config.validate().expect("invalid ring configuration");
+        assert_eq!(
+            fragments.len(),
+            config.hosts,
+            "need one fragment list per host ({} hosts, {} lists)",
+            config.hosts,
+            fragments.len()
+        );
+        SimRing {
+            config,
+            fragments,
+            app,
+            trace: false,
+            continuous: false,
+            host_speed: None,
+        }
+    }
+
+    /// Makes hosts heterogeneous: host `h`'s join durations are divided by
+    /// `speed[h]` (1.0 = nominal, 0.5 = half speed). The paper's §V-D
+    /// observes that "the ring buffer mechanism of Data Roundabout
+    /// balances differences in the execution speeds of the participating
+    /// hosts" — this knob lets benchmarks inject exactly such differences.
+    ///
+    /// # Panics
+    ///
+    /// `run` panics if the vector length differs from the host count or
+    /// any factor is not finite and positive.
+    pub fn with_host_speeds(mut self, speed: Vec<f64>) -> Self {
+        self.host_speed = Some(speed);
+        self
+    }
+
+    /// Enables event tracing for this run.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Switches to *continuous* rotation — the Data Cyclotron mode:
+    /// envelopes never retire (they keep circulating after a full
+    /// revolution) and the run ends when the application's
+    /// [`RingApp::finished`] hook returns `true`.
+    ///
+    /// # Panics
+    ///
+    /// `run` panics if the app never finishes within the event budget —
+    /// a safety valve against rotations that spin forever.
+    pub fn continuous(mut self) -> Self {
+        self.continuous = true;
+        self
+    }
+
+    /// Runs the ring to quiescence and returns metrics, app and trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run ends with unfinished fragments (which would mean
+    /// a flow-control deadlock — a bug, not a configuration problem).
+    pub fn run(self) -> SimOutcome<A> {
+        Runner::new(self).run()
+    }
+}
+
+/// The effective hop link: RDMA runs at the RNIC-saturated goodput curve;
+/// software TCP is capped by its transmitter thread's per-core rate.
+fn effective_link(config: &RingConfig) -> Link {
+    let peak = match config.transport {
+        TransportModel::Rdma(_) => config.link_bandwidth,
+        TransportModel::KernelTcp(m) | TransportModel::Toe(m) => {
+            let cpu_cap = m.per_core_rate(config.cpu);
+            if cpu_cap.bytes_per_sec() < config.link_bandwidth.bytes_per_sec() {
+                cpu_cap
+            } else {
+                config.link_bandwidth
+            }
+        }
+    };
+    Link::new(
+        ChunkThroughput::new(peak, config.per_message_overhead),
+        config.link_latency,
+    )
+}
+
+struct Runner<P, A> {
+    config: RingConfig,
+    app: A,
+    continuous: bool,
+    stopped: bool,
+    network: RingNetwork,
+    hosts: Vec<HostState<P>>,
+    /// Per-host RNIC state (RDMA transport only): the NIC, its send queue
+    /// pair, and the registered region backing the ring-buffer pool.
+    /// Transfers are posted as work requests against the registered
+    /// region, exactly as on real hardware; the registration *cost* is
+    /// charged by the application layer during setup (it owns the
+    /// setup-phase accounting).
+    rnics: Vec<Option<(Rnic, QueuePair, MemoryRegion)>>,
+    host_speed: Option<Vec<f64>>,
+    next_wr_id: u64,
+    fragments_total: usize,
+    fragments_completed: usize,
+    wall_clock: SimTime,
+    tracer: Tracer,
+}
+
+impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
+    fn new(ring: SimRing<P, A>) -> Self {
+        let n = ring.config.hosts;
+        if let Some(speed) = &ring.host_speed {
+            assert_eq!(speed.len(), n, "need one speed factor per host");
+            assert!(
+                speed.iter().all(|s| s.is_finite() && *s > 0.0),
+                "host speed factors must be finite and positive"
+            );
+        }
+        let network = RingNetwork::new(n, effective_link(&ring.config));
+        let mut hosts: Vec<HostState<P>> = (0..n).map(|_| HostState::new()).collect();
+        let mut next_id = 0usize;
+        let fragments_total: usize = ring.fragments.iter().map(Vec::len).sum();
+        let max_fragment_bytes = ring
+            .fragments
+            .iter()
+            .flat_map(|f| f.iter())
+            .map(PayloadBytes::payload_bytes)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let rnics: Vec<Option<(Rnic, QueuePair, MemoryRegion)>> = (0..n)
+            .map(|_| match ring.config.transport {
+                TransportModel::Rdma(cfg) => {
+                    let mut rnic = Rnic::new(cfg);
+                    let (region, _cost) = rnic.register(
+                        SimTime::ZERO,
+                        max_fragment_bytes * ring.config.buffers_per_host as u64,
+                    );
+                    Some((rnic, QueuePair::new(), region))
+                }
+                _ => None,
+            })
+            .collect();
+        for (h, frags) in ring.fragments.into_iter().enumerate() {
+            for payload in frags {
+                let env = Envelope::new(
+                    crate::envelope::FragmentId(next_id),
+                    HostId(h),
+                    n,
+                    payload,
+                );
+                next_id += 1;
+                // Local fragments enter the join queue directly; they live
+                // in local memory, not in the receive pool.
+                hosts[h].incoming.push_back(Held { env, pooled: false });
+            }
+        }
+        Runner {
+            config: ring.config,
+            app: ring.app,
+            continuous: ring.continuous,
+            stopped: false,
+            network,
+            hosts,
+            rnics,
+            host_speed: ring.host_speed,
+            next_wr_id: 0,
+            fragments_total,
+            fragments_completed: 0,
+            wall_clock: SimTime::ZERO,
+            tracer: if ring.trace {
+                Tracer::enabled()
+            } else {
+                Tracer::disabled()
+            },
+        }
+    }
+
+    fn run(mut self) -> SimOutcome<A> {
+        let budget = if self.continuous {
+            // Continuous rotations are open-ended; give them a generous
+            // but finite budget so a never-finishing app fails loudly.
+            CONTINUOUS_EVENT_BUDGET
+        } else {
+            EVENT_BUDGET_PER_UNIT
+                * (self.fragments_total as u64 + 1)
+                * (self.config.hosts as u64 + 1)
+        };
+        let mut sim: Simulation<RingEvent<P>> = Simulation::new().with_event_limit(budget);
+        for h in 0..self.config.hosts {
+            let d = self.app.setup(HostId(h));
+            sim.schedule_in(d, RingEvent::SetupDone { host: HostId(h) });
+        }
+        while let Some(ev) = sim.step() {
+            self.handle(&mut sim, ev);
+            if self.stopped {
+                break;
+            }
+        }
+        self.wall_clock = sim.now();
+        if self.continuous {
+            assert!(
+                self.stopped || self.fragments_total == 0,
+                "continuous rotation drained its event queue without the app                  declaring itself finished — the ring stalled"
+            );
+        } else {
+            assert_eq!(
+                self.fragments_completed, self.fragments_total,
+                "ring run quiesced with unfinished fragments — flow-control deadlock"
+            );
+        }
+        self.finish()
+    }
+
+    fn handle(&mut self, sim: &mut Simulation<RingEvent<P>>, ev: RingEvent<P>) {
+        match ev {
+            RingEvent::SetupDone { host } => {
+                self.hosts[host.0].setup_done = Some(sim.now());
+                self.hosts[host.0].last_join_done = sim.now();
+                self.tracer.record(sim.now(), host, "setup done");
+                self.try_start_join(sim, host);
+            }
+            RingEvent::JoinDone { host } => {
+                self.on_join_done(sim, host);
+            }
+            RingEvent::Arrived { to, env } => {
+                self.on_arrived(sim, to, env);
+            }
+            RingEvent::SendDone { from, completion } => {
+                self.on_send_done(sim, from, completion);
+            }
+        }
+    }
+
+    fn on_arrived(&mut self, sim: &mut Simulation<RingEvent<P>>, to: HostId, env: Envelope<P>) {
+        // Receiver-side CPU cost of the transfer. For RDMA this is only
+        // reaping the completion of the pre-posted receive; for TCP it is
+        // the full copy/stack/interrupt bill.
+        let cost = match self.config.transport {
+            TransportModel::Rdma(cfg) => {
+                let mut acc = CpuAccount::new();
+                acc.charge(CostCategory::Driver, cfg.completion_overhead);
+                acc
+            }
+            _ => self
+                .config
+                .transport
+                .comm_cpu(self.config.cpu, env.bytes(), 1),
+        };
+        self.hosts[to.0].join_cpu.merge(&cost);
+        self.tracer
+            .record(sim.now(), to, format!("received {} ({} B)", env.id, env.bytes()));
+        self.hosts[to.0].incoming.push_back(Held { env, pooled: true });
+        self.try_start_join(sim, to);
+    }
+
+    fn on_join_done(&mut self, sim: &mut Simulation<RingEvent<P>>, host: HostId) {
+        let held = self.hosts[host.0]
+            .processing
+            .take()
+            .expect("JoinDone without an envelope in processing");
+        let state = &mut self.hosts[host.0];
+        state.fragments_processed += 1;
+        state.last_join_done = sim.now();
+        if held.pooled {
+            // The join entity is done reading the buffer element in place;
+            // its receive credit returns and may unblock our predecessor.
+            state.pool_used -= 1;
+            let prev = self.network.prev(host);
+            self.try_send(sim, prev);
+        }
+        let mut env = held.env;
+        let id = env.id;
+        if self.continuous {
+            if self.app.finished() {
+                self.tracer
+                    .record(sim.now(), host, "application finished — stopping rotation");
+                self.stopped = true;
+                return;
+            }
+            // The hot set never retires: reset the hop budget and keep it
+            // circulating (single-host "rings" just requeue locally).
+            env.hops_remaining = self.config.hosts.max(2);
+            if self.config.hosts == 1 {
+                self.hosts[host.0].incoming.push_back(Held { env, pooled: false });
+            } else {
+                self.hosts[host.0].outgoing.push_back(env);
+                self.try_send(sim, host);
+            }
+        } else if env.consume_hop() {
+            self.tracer
+                .record(sim.now(), host, format!("processed {id}, queueing forward"));
+            self.hosts[host.0].outgoing.push_back(env);
+            self.try_send(sim, host);
+        } else {
+            self.tracer.record(sim.now(), host, format!("retired {id}"));
+            self.fragments_completed += 1;
+        }
+        self.try_start_join(sim, host);
+    }
+
+    fn on_send_done(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        from: HostId,
+        completion: Option<Completion>,
+    ) {
+        self.hosts[from.0].sending = false;
+        if let (Some(completion), Some((_, qp, _))) = (completion, self.rnics[from.0].as_mut()) {
+            // Reap the send completion from the CQ — the signal that the
+            // buffer element may be reused.
+            qp.complete(completion);
+            let reaped = qp.poll_cq();
+            debug_assert_eq!(reaped.map(|c| c.wr_id), Some(completion.wr_id));
+        }
+        self.try_send(sim, from);
+    }
+
+    /// Starts the join entity on the next queued envelope, if idle.
+    fn try_start_join(&mut self, sim: &mut Simulation<RingEvent<P>>, host: HostId) {
+        let state = &self.hosts[host.0];
+        if state.setup_done.is_none() || state.processing.is_some() || state.incoming.is_empty() {
+            return;
+        }
+        let held = self.hosts[host.0].incoming.pop_front().expect("checked non-empty");
+        let d_base = self.app.process(host, sim.now(), &held.env.payload);
+        let d_base = match &self.host_speed {
+            Some(speed) => d_base * (1.0 / speed[host.0]),
+            None => d_base,
+        };
+        let d_eff = self.effective_join_duration(d_base, held.env.bytes());
+        let state = &mut self.hosts[host.0];
+        state
+            .join_cpu
+            .charge(CostCategory::Compute, d_base * self.config.join_threads as u64);
+        state.join_busy += d_eff;
+        self.tracer
+            .record(sim.now(), host, format!("join start {} for {}", held.env.id, d_eff));
+        self.hosts[host.0].processing = Some(held);
+        sim.schedule_in(d_eff, RingEvent::JoinDone { host });
+    }
+
+    /// Applies the transport's interference model to a base join duration.
+    fn effective_join_duration(&self, d_base: SimDuration, bytes: u64) -> SimDuration {
+        let pollution = self.config.transport.pollution_factor();
+        if self.config.transport.is_rdma() || self.config.hosts == 1 {
+            return d_base;
+        }
+        // Per processed envelope the host both receives and sends one
+        // envelope of comparable size.
+        let comm_cpu = self
+            .config
+            .transport
+            .comm_cpu(self.config.cpu, bytes, 1)
+            .total_busy()
+            * 2;
+        let threads = self.config.join_threads as u64;
+        let cores = self.config.cpu.cores as u64;
+        let contended = (d_base * threads + comm_cpu) / cores;
+        d_base.max(contended) * pollution
+    }
+
+    /// Forwards the next outgoing envelope if the transmitter is free and
+    /// the successor has a free buffer element.
+    fn try_send(&mut self, sim: &mut Simulation<RingEvent<P>>, host: HostId) {
+        if self.config.hosts == 1 {
+            return;
+        }
+        let next = self.network.next(host);
+        if self.hosts[host.0].sending
+            || self.hosts[host.0].outgoing.is_empty()
+            || self.hosts[next.0].pool_used >= self.config.buffers_per_host
+        {
+            return;
+        }
+        let env = self.hosts[host.0].outgoing.pop_front().expect("checked non-empty");
+        let bytes = env.bytes();
+        // Pre-post the receive buffer at the successor.
+        self.hosts[next.0].pool_used += 1;
+        let mut pending_completion = None;
+        let reservation = if let Some((rnic, qp, region)) = self.rnics[host.0].as_mut() {
+            // RDMA: post a work request against the registered region; the
+            // RNIC moves the data autonomously. Host CPU pays only the
+            // posting cost.
+            let wr = WorkRequest {
+                wr_id: self.next_wr_id,
+                region: region.id,
+                bytes,
+            };
+            self.next_wr_id += 1;
+            let link = self
+                .network
+                .outgoing_link_mut(host)
+                .expect("multi-host ring has links");
+            let outcome = qp.post_send(rnic, link, sim.now(), simnet::link::Direction::Forward, wr);
+            self.hosts[host.0]
+                .join_cpu
+                .charge(CostCategory::Driver, outcome.post_cpu);
+            pending_completion = Some(outcome.completion);
+            outcome.reservation
+        } else {
+            // Software TCP: the kernel does the moving; charge the full
+            // per-byte CPU bill to the sender.
+            let cost = self.config.transport.comm_cpu(self.config.cpu, bytes, 1);
+            self.hosts[host.0].join_cpu.merge(&cost);
+            self.network.reserve_hop(sim.now(), host, bytes)
+        };
+        self.hosts[host.0].sending = true;
+        self.hosts[host.0].bytes_forwarded += bytes;
+        self.tracer.record(
+            sim.now(),
+            host,
+            format!("send {} ({} B) → {}", env.id, bytes, next),
+        );
+        sim.schedule_at(
+            reservation.wire_free,
+            RingEvent::SendDone {
+                from: host,
+                completion: pending_completion,
+            },
+        );
+        sim.schedule_at(reservation.arrival, RingEvent::Arrived { to: next, env });
+    }
+
+    fn finish(self) -> SimOutcome<A> {
+        let hosts: Vec<HostMetrics> = self
+            .hosts
+            .iter()
+            .map(|h| {
+                let setup_done = h.setup_done.unwrap_or(SimTime::ZERO);
+                let window = h.last_join_done.saturating_duration_since(setup_done);
+                HostMetrics {
+                    setup: setup_done.saturating_duration_since(SimTime::ZERO),
+                    join_busy: h.join_busy,
+                    sync: window.saturating_sub(h.join_busy),
+                    join_window: window,
+                    cpu: h.join_cpu,
+                    fragments_processed: h.fragments_processed,
+                    bytes_forwarded: h.bytes_forwarded,
+                }
+            })
+            .collect();
+        let metrics = RingMetrics {
+            hosts,
+            wall_clock: self.wall_clock.saturating_duration_since(SimTime::ZERO),
+            fragments_completed: self.fragments_completed,
+        };
+        SimOutcome {
+            metrics,
+            app: self.app,
+            trace: self.tracer,
+        }
+    }
+}
+
+/// Bandwidth helper re-exported for harness code that wants to express the
+/// configured TCP cap.
+pub fn tcp_wire_cap(config: &RingConfig) -> Bandwidth {
+    effective_link(config).throughput().peak()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::FixedCostApp;
+
+    fn payloads(hosts: usize, per_host: usize, bytes: usize) -> Vec<Vec<Vec<u8>>> {
+        (0..hosts)
+            .map(|_| (0..per_host).map(|_| vec![0u8; bytes]).collect())
+            .collect()
+    }
+
+    fn small_config(hosts: usize) -> RingConfig {
+        RingConfig::paper(hosts)
+    }
+
+    #[test]
+    fn every_host_processes_every_fragment() {
+        let hosts = 4;
+        let app = FixedCostApp::new(
+            hosts,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(2),
+        );
+        let out = SimRing::new(small_config(hosts), payloads(hosts, 3, 1 << 20), app).run();
+        assert_eq!(out.metrics.fragments_completed, 12);
+        for h in &out.metrics.hosts {
+            assert_eq!(h.fragments_processed, 12, "each host sees all fragments");
+        }
+        assert_eq!(out.app.processed, vec![12; hosts]);
+    }
+
+    #[test]
+    fn single_host_ring_needs_no_network() {
+        let app = FixedCostApp::new(1, SimDuration::from_millis(5), SimDuration::from_millis(10));
+        let out = SimRing::new(small_config(1), payloads(1, 4, 1 << 20), app).run();
+        assert_eq!(out.metrics.fragments_completed, 4);
+        assert_eq!(out.metrics.hosts[0].bytes_forwarded, 0);
+        // 5 ms setup + 4 × 10 ms joins.
+        assert_eq!(out.metrics.wall_clock, SimDuration::from_millis(45));
+        assert_eq!(out.metrics.sync_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn communication_overlaps_computation_with_rdma() {
+        // Joins slow enough to hide transfers: no sync time expected.
+        let hosts = 3;
+        let app = FixedCostApp::new(
+            hosts,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(50),
+        );
+        let out = SimRing::new(small_config(hosts), payloads(hosts, 2, 1 << 20), app).run();
+        // A 1 MB transfer takes ~0.85 ms — far below the 50 ms join.
+        let sync = out.metrics.sync_time();
+        assert!(
+            sync < SimDuration::from_millis(5),
+            "sync should be hidden, got {sync}"
+        );
+    }
+
+    #[test]
+    fn fast_joins_expose_sync_time() {
+        // Joins much faster than transfers: the join entity must wait.
+        let hosts = 3;
+        let app = FixedCostApp::new(
+            hosts,
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(100),
+        );
+        let out = SimRing::new(small_config(hosts), payloads(hosts, 4, 16 << 20), app).run();
+        // A 16 MB transfer takes ~13 ms; joins take 0.1 ms.
+        let sync = out.metrics.sync_time();
+        assert!(
+            sync > SimDuration::from_millis(20),
+            "transfers must dominate, got sync {sync}"
+        );
+    }
+
+    #[test]
+    fn tcp_runs_slower_than_rdma() {
+        let hosts = 4;
+        let mk_app = || {
+            FixedCostApp::new(
+                hosts,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(5),
+            )
+        };
+        let rdma = SimRing::new(small_config(hosts), payloads(hosts, 3, 4 << 20), mk_app()).run();
+        let tcp = SimRing::new(
+            RingConfig::paper_tcp(hosts),
+            payloads(hosts, 3, 4 << 20),
+            mk_app(),
+        )
+        .run();
+        assert!(
+            tcp.metrics.join_time() > rdma.metrics.join_time(),
+            "TCP join phase ({}) must exceed RDMA ({})",
+            tcp.metrics.join_time(),
+            rdma.metrics.join_time()
+        );
+    }
+
+    #[test]
+    fn tcp_charges_communication_cpu() {
+        let hosts = 2;
+        let app = FixedCostApp::new(
+            hosts,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(5),
+        );
+        let out = SimRing::new(
+            RingConfig::paper_tcp(hosts),
+            payloads(hosts, 2, 4 << 20),
+            app,
+        )
+        .run();
+        let copy = out.metrics.hosts[0].cpu.busy(CostCategory::DataCopy);
+        assert!(copy > SimDuration::ZERO, "TCP must charge data-copy CPU");
+        let rdma_out = SimRing::new(
+            small_config(hosts),
+            payloads(hosts, 2, 4 << 20),
+            FixedCostApp::new(hosts, SimDuration::from_millis(1), SimDuration::from_millis(5)),
+        )
+        .run();
+        assert_eq!(
+            rdma_out.metrics.hosts[0].cpu.busy(CostCategory::DataCopy),
+            SimDuration::ZERO,
+            "RDMA must not copy payload on the CPU"
+        );
+    }
+
+    #[test]
+    fn buffer_depth_one_still_completes() {
+        let hosts = 3;
+        let app = FixedCostApp::new(
+            hosts,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(2),
+        );
+        let cfg = small_config(hosts).with_buffers(1);
+        let out = SimRing::new(cfg, payloads(hosts, 4, 1 << 20), app).run();
+        assert_eq!(out.metrics.fragments_completed, 12);
+    }
+
+    #[test]
+    fn deeper_buffers_reduce_sync() {
+        let hosts = 4;
+        let run = |buffers: usize| {
+            let app = FixedCostApp::new(
+                hosts,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(8),
+            );
+            let cfg = small_config(hosts).with_buffers(buffers);
+            SimRing::new(cfg, payloads(hosts, 4, 8 << 20), app)
+                .run()
+                .metrics
+        };
+        let shallow = run(1);
+        let deep = run(3);
+        assert!(
+            deep.join_time() <= shallow.join_time(),
+            "deep buffers {} vs shallow {}",
+            deep.join_time(),
+            shallow.join_time()
+        );
+    }
+
+    #[test]
+    fn uneven_fragment_distribution_completes() {
+        let hosts = 3;
+        let app = FixedCostApp::new(
+            hosts,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(2),
+        );
+        let mut frags = payloads(hosts, 0, 0);
+        frags[0] = (0..5).map(|_| vec![0u8; 1 << 20]).collect();
+        let out = SimRing::new(small_config(hosts), frags, app).run();
+        assert_eq!(out.metrics.fragments_completed, 5);
+        for h in &out.metrics.hosts {
+            assert_eq!(h.fragments_processed, 5);
+        }
+    }
+
+    #[test]
+    fn empty_run_finishes_after_setup() {
+        let hosts = 2;
+        let app = FixedCostApp::new(hosts, SimDuration::from_millis(3), SimDuration::ZERO);
+        let out = SimRing::new(small_config(hosts), payloads(hosts, 0, 0), app).run();
+        assert_eq!(out.metrics.fragments_completed, 0);
+        assert_eq!(out.metrics.wall_clock, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn trace_records_the_protocol() {
+        let hosts = 2;
+        let app = FixedCostApp::new(
+            hosts,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(2),
+        );
+        let out = SimRing::new(small_config(hosts), payloads(hosts, 1, 1 << 20), app)
+            .with_trace(true)
+            .run();
+        assert!(out.trace.matching("setup done").count() == 2);
+        assert!(out.trace.matching("send").count() >= 1);
+        assert!(out.trace.matching("retired").count() == 2);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_schedule() {
+        let hosts = 3;
+        let run = || {
+            let app = FixedCostApp::new(
+                hosts,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(2),
+            );
+            SimRing::new(small_config(hosts), payloads(hosts, 3, 2 << 20), app)
+                .run()
+                .metrics
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// App for continuous-mode tests: finishes after a target number of
+    /// processed buffers.
+    struct CountingApp {
+        processed: usize,
+        target: usize,
+    }
+
+    impl RingApp<Vec<u8>> for CountingApp {
+        fn setup(&mut self, _host: HostId) -> SimDuration {
+            SimDuration::from_micros(10)
+        }
+
+        fn process(
+            &mut self,
+            _host: HostId,
+            _now: simnet::time::SimTime,
+            _payload: &Vec<u8>,
+        ) -> SimDuration {
+            self.processed += 1;
+            SimDuration::from_micros(50)
+        }
+
+        fn finished(&self) -> bool {
+            self.processed >= self.target
+        }
+    }
+
+    #[test]
+    fn continuous_mode_circulates_past_one_revolution() {
+        let hosts = 3;
+        let per_host = 2;
+        // One revolution = hosts × total fragments = 18 processings; ask
+        // for several revolutions' worth.
+        let target = hosts * hosts * per_host * 4;
+        let app = CountingApp {
+            processed: 0,
+            target,
+        };
+        let out = SimRing::new(small_config(hosts), payloads(hosts, per_host, 4096), app)
+            .continuous()
+            .run();
+        assert!(out.app.processed >= target);
+        // Every host kept processing well beyond a single revolution.
+        for h in &out.metrics.hosts {
+            assert!(h.fragments_processed > hosts * per_host);
+        }
+    }
+
+    #[test]
+    fn continuous_mode_stops_promptly_when_finished() {
+        let hosts = 2;
+        let app = CountingApp {
+            processed: 0,
+            target: 1,
+        };
+        let out = SimRing::new(small_config(hosts), payloads(hosts, 3, 1024), app)
+            .continuous()
+            .run();
+        // Stopped at (or just past) the first processed buffer.
+        assert!(out.app.processed <= 2, "got {}", out.app.processed);
+    }
+
+    #[test]
+    fn continuous_single_host_requeues_locally() {
+        let app = CountingApp {
+            processed: 0,
+            target: 10,
+        };
+        let out = SimRing::new(small_config(1), payloads(1, 2, 1024), app)
+            .continuous()
+            .run();
+        assert!(out.app.processed >= 10);
+        assert_eq!(out.metrics.hosts[0].bytes_forwarded, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one fragment list per host")]
+    fn fragment_list_shape_is_validated() {
+        let app = FixedCostApp::new(2, SimDuration::ZERO, SimDuration::ZERO);
+        let _ = SimRing::new(small_config(2), payloads(3, 1, 10), app);
+    }
+}

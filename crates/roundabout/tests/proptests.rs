@@ -1,0 +1,118 @@
+//! Property-based tests of the Data Roundabout transport protocol.
+
+use data_roundabout::{run_threaded, FixedCostApp, RingConfig, SimRing};
+use proptest::prelude::*;
+use simnet::time::SimDuration;
+
+fn payloads(counts: &[usize], bytes: usize) -> Vec<Vec<Vec<u8>>> {
+    counts
+        .iter()
+        .map(|&n| (0..n).map(|_| vec![0u8; bytes]).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: every fragment completes its revolution and every
+    /// host processes every fragment exactly once — for any ring size,
+    /// buffer depth, fragment distribution and payload size.
+    #[test]
+    fn sim_ring_conserves_fragments(
+        counts in prop::collection::vec(0usize..6, 1..8),
+        buffers in 1usize..5,
+        kilobytes in 1usize..64,
+        join_ms in 0u64..8,
+    ) {
+        let hosts = counts.len();
+        let total: usize = counts.iter().sum();
+        let app = FixedCostApp::new(
+            hosts,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(join_ms),
+        );
+        let config = RingConfig::paper(hosts).with_buffers(buffers);
+        let out = SimRing::new(config, payloads(&counts, kilobytes << 10), app).run();
+        prop_assert_eq!(out.metrics.fragments_completed, total);
+        for h in &out.metrics.hosts {
+            prop_assert_eq!(h.fragments_processed, total);
+        }
+        prop_assert_eq!(
+            out.app.processed.iter().sum::<usize>(),
+            total * hosts
+        );
+    }
+
+    /// Byte accounting: every multi-host fragment crosses exactly
+    /// `hosts − 1` links, so total forwarded bytes are exact.
+    #[test]
+    fn sim_ring_accounts_bytes(
+        counts in prop::collection::vec(0usize..5, 2..6),
+        bytes in 1usize..100_000,
+    ) {
+        let hosts = counts.len();
+        let total: usize = counts.iter().sum();
+        let app = FixedCostApp::new(hosts, SimDuration::ZERO, SimDuration::from_micros(10));
+        let out = SimRing::new(RingConfig::paper(hosts), payloads(&counts, bytes), app).run();
+        prop_assert_eq!(
+            out.metrics.total_bytes_forwarded(),
+            (total * bytes * (hosts - 1)) as u64
+        );
+    }
+
+    /// Virtual phase accounting is consistent on every host.
+    #[test]
+    fn sim_ring_phase_accounting(
+        counts in prop::collection::vec(0usize..5, 1..7),
+        buffers in 1usize..4,
+    ) {
+        let hosts = counts.len();
+        let app = FixedCostApp::new(
+            hosts,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(3),
+        );
+        let config = RingConfig::paper(hosts).with_buffers(buffers);
+        let out = SimRing::new(config, payloads(&counts, 4096), app).run();
+        for h in &out.metrics.hosts {
+            prop_assert_eq!(h.join_busy + h.sync, h.join_window);
+            prop_assert_eq!(h.setup, SimDuration::from_millis(2));
+        }
+    }
+
+    /// The real-thread backend conserves fragments under any interleaving.
+    #[test]
+    fn thread_ring_conserves_fragments(
+        counts in prop::collection::vec(0usize..5, 1..6),
+        buffers in 1usize..4,
+    ) {
+        let hosts = counts.len();
+        let total: usize = counts.iter().sum();
+        let config = RingConfig::paper(hosts).with_buffers(buffers);
+        let metrics = run_threaded(&config, payloads(&counts, 64), |_, _| {});
+        prop_assert_eq!(metrics.fragments_completed, total);
+        for h in &metrics.hosts {
+            prop_assert_eq!(h.fragments_processed, total);
+        }
+    }
+
+    /// Determinism: identical simulated runs produce identical metrics.
+    #[test]
+    fn sim_ring_is_deterministic(
+        counts in prop::collection::vec(0usize..4, 1..6),
+        join_us in 0u64..5_000,
+    ) {
+        let hosts = counts.len();
+        let run = || {
+            let app = FixedCostApp::new(
+                hosts,
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(join_us),
+            );
+            SimRing::new(RingConfig::paper(hosts), payloads(&counts, 1024), app)
+                .run()
+                .metrics
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

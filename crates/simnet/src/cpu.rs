@@ -1,0 +1,297 @@
+//! Host CPU model and per-category cycle accounting.
+//!
+//! The paper's Figure 3 and Table I are statements about *where CPU cycles
+//! go* during high-speed communication: payload copying dominates, protocol
+//! processing is minor, and only RDMA frees the host CPU almost entirely.
+//! [`CpuAccount`] accumulates busy core-time per [`CostCategory`] so the
+//! benchmark harness can print exactly those breakdowns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Static description of a host CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Number of physical cores.
+    pub cores: u32,
+    /// Clock frequency in GHz.
+    pub ghz: f64,
+}
+
+impl CpuSpec {
+    /// Creates a CPU spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `ghz` is not finite and positive.
+    pub fn new(cores: u32, ghz: f64) -> Self {
+        assert!(cores > 0, "a CPU needs at least one core");
+        assert!(
+            ghz.is_finite() && ghz > 0.0,
+            "clock frequency must be finite and positive, got {ghz}"
+        );
+        CpuSpec { cores, ghz }
+    }
+
+    /// The paper's testbed CPU: quad-core Intel Xeon at 2.33 GHz.
+    pub fn paper_xeon() -> Self {
+        CpuSpec::new(4, 2.33)
+    }
+
+    /// Converts a cycle count into busy time on one core.
+    pub fn cycles_to_time(&self, cycles: f64) -> SimDuration {
+        SimDuration::from_secs_f64(cycles / (self.ghz * 1e9))
+    }
+
+    /// Total core-seconds available over a wall-clock window.
+    pub fn capacity(&self, window: SimDuration) -> f64 {
+        self.cores as f64 * window.as_secs_f64()
+    }
+}
+
+impl Default for CpuSpec {
+    fn default() -> Self {
+        CpuSpec::paper_xeon()
+    }
+}
+
+/// Where CPU cycles were spent. The categories mirror the stacked bars of
+/// the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostCategory {
+    /// Useful application work (the join itself).
+    Compute,
+    /// Moving payload bytes across the memory bus (kernel↔user copies).
+    DataCopy,
+    /// Running the TCP/IP protocol state machines.
+    NetworkStack,
+    /// Process/context switches and the cache pollution they cause.
+    ContextSwitch,
+    /// NIC driver work: interrupts, descriptor management, WR posting.
+    Driver,
+}
+
+impl CostCategory {
+    /// All categories, in Figure 3's stacking order.
+    pub const ALL: [CostCategory; 5] = [
+        CostCategory::Compute,
+        CostCategory::DataCopy,
+        CostCategory::NetworkStack,
+        CostCategory::ContextSwitch,
+        CostCategory::Driver,
+    ];
+
+    /// Index into per-category arrays.
+    fn index(self) -> usize {
+        match self {
+            CostCategory::Compute => 0,
+            CostCategory::DataCopy => 1,
+            CostCategory::NetworkStack => 2,
+            CostCategory::ContextSwitch => 3,
+            CostCategory::Driver => 4,
+        }
+    }
+
+    /// Human-readable label used in harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostCategory::Compute => "compute",
+            CostCategory::DataCopy => "data copying",
+            CostCategory::NetworkStack => "network stack",
+            CostCategory::ContextSwitch => "context switches",
+            CostCategory::Driver => "driver",
+        }
+    }
+}
+
+impl fmt::Display for CostCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated busy core-time per cost category on one host.
+///
+/// Times are *core*-seconds: two cores busy for 1 s accumulate 2 s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CpuAccount {
+    busy: [SimDuration; 5],
+}
+
+impl CpuAccount {
+    /// An account with zero time in every category.
+    pub fn new() -> Self {
+        CpuAccount::default()
+    }
+
+    /// Charges `core_time` of busy time to `category`.
+    pub fn charge(&mut self, category: CostCategory, core_time: SimDuration) {
+        self.busy[category.index()] += core_time;
+    }
+
+    /// Busy core-time accumulated in `category`.
+    pub fn busy(&self, category: CostCategory) -> SimDuration {
+        self.busy[category.index()]
+    }
+
+    /// Total busy core-time across all categories.
+    pub fn total_busy(&self) -> SimDuration {
+        self.busy.iter().copied().sum()
+    }
+
+    /// Communication overhead: everything except useful compute.
+    pub fn overhead(&self) -> SimDuration {
+        self.total_busy() - self.busy(CostCategory::Compute)
+    }
+
+    /// Fraction of total busy time spent in `category` (0 if idle).
+    pub fn fraction(&self, category: CostCategory) -> f64 {
+        let total = self.total_busy().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.busy(category).as_secs_f64() / total
+        }
+    }
+
+    /// CPU load over a wall-clock window on `spec`: busy core-seconds
+    /// divided by available core-seconds, clamped to `1.0`.
+    ///
+    /// This is the quantity reported in the paper's Table I ("100 % refers
+    /// to all four cores being completely busy").
+    pub fn load(&self, spec: CpuSpec, window: SimDuration) -> f64 {
+        let capacity = spec.capacity(window);
+        if capacity == 0.0 {
+            return 0.0;
+        }
+        (self.total_busy().as_secs_f64() / capacity).min(1.0)
+    }
+
+    /// Adds every category of `other` into `self`.
+    pub fn merge(&mut self, other: &CpuAccount) {
+        for c in CostCategory::ALL {
+            self.charge(c, other.busy(c));
+        }
+    }
+}
+
+/// A window of CPU observation: an account plus the wall-clock span it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuWindow {
+    /// Start of the observation window.
+    pub from: SimTime,
+    /// End of the observation window.
+    pub to: SimTime,
+    /// Busy time accumulated inside the window.
+    pub account: CpuAccount,
+}
+
+impl CpuWindow {
+    /// Length of the window.
+    pub fn span(&self) -> SimDuration {
+        self.to.saturating_duration_since(self.from)
+    }
+
+    /// Load over this window on the given CPU.
+    pub fn load(&self, spec: CpuSpec) -> f64 {
+        self.account.load(spec, self.span())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_converts_cycles() {
+        let spec = CpuSpec::new(4, 2.0);
+        // 2e9 cycles at 2 GHz = 1 s.
+        assert_eq!(spec.cycles_to_time(2e9), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn capacity_scales_with_cores() {
+        let spec = CpuSpec::new(4, 2.33);
+        assert!((spec.capacity(SimDuration::from_secs(2)) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = CpuSpec::new(0, 1.0);
+    }
+
+    #[test]
+    fn account_accumulates_per_category() {
+        let mut acc = CpuAccount::new();
+        acc.charge(CostCategory::Compute, SimDuration::from_millis(30));
+        acc.charge(CostCategory::DataCopy, SimDuration::from_millis(50));
+        acc.charge(CostCategory::DataCopy, SimDuration::from_millis(10));
+        assert_eq!(acc.busy(CostCategory::DataCopy), SimDuration::from_millis(60));
+        assert_eq!(acc.total_busy(), SimDuration::from_millis(90));
+        assert_eq!(acc.overhead(), SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn fractions_sum_to_one_when_busy() {
+        let mut acc = CpuAccount::new();
+        for (i, c) in CostCategory::ALL.into_iter().enumerate() {
+            acc.charge(c, SimDuration::from_millis((i as u64 + 1) * 10));
+        }
+        let sum: f64 = CostCategory::ALL.iter().map(|&c| acc.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_is_busy_over_capacity() {
+        let spec = CpuSpec::new(4, 1.0);
+        let mut acc = CpuAccount::new();
+        acc.charge(CostCategory::Compute, SimDuration::from_secs(2));
+        // 2 core-seconds over a 1 s window on 4 cores = 50 %.
+        assert!((acc.load(spec, SimDuration::from_secs(1)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_clamps_at_full() {
+        let spec = CpuSpec::new(1, 1.0);
+        let mut acc = CpuAccount::new();
+        acc.charge(CostCategory::Compute, SimDuration::from_secs(10));
+        assert_eq!(acc.load(spec, SimDuration::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn merge_combines_accounts() {
+        let mut a = CpuAccount::new();
+        a.charge(CostCategory::Driver, SimDuration::from_nanos(5));
+        let mut b = CpuAccount::new();
+        b.charge(CostCategory::Driver, SimDuration::from_nanos(7));
+        b.charge(CostCategory::Compute, SimDuration::from_nanos(1));
+        a.merge(&b);
+        assert_eq!(a.busy(CostCategory::Driver), SimDuration::from_nanos(12));
+        assert_eq!(a.busy(CostCategory::Compute), SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn window_load() {
+        let w = CpuWindow {
+            from: SimTime::from_nanos(0),
+            to: SimTime::from_nanos(1_000_000_000),
+            account: {
+                let mut acc = CpuAccount::new();
+                acc.charge(CostCategory::Compute, SimDuration::from_secs(1));
+                acc
+            },
+        };
+        assert!((w.load(CpuSpec::new(4, 1.0)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_account_has_zero_fractions() {
+        let acc = CpuAccount::new();
+        assert_eq!(acc.fraction(CostCategory::Compute), 0.0);
+        assert_eq!(acc.load(CpuSpec::default(), SimDuration::from_secs(1)), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Commodity hard-disk model — the baseline the Data Roundabout replaces.
+//!
+//! The paper's footnote 1 (§II-C): "The latest Seagate Barracuda drive
+//! offers up to 120 MB/s at a latency of a few milliseconds. A 10 Gigabit
+//! Ethernet, on the other hand, provides about 1200 MB/s with a latency
+//! in the order of a few microseconds." Keeping the hot set in distributed
+//! main memory is preferable to local disk because the interconnect beats
+//! the disk by an order of magnitude in throughput and by three in
+//! latency — this module prices that baseline so benchmarks can show it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::throughput::Bandwidth;
+use crate::time::SimDuration;
+
+/// A sequential-access commodity disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskModel {
+    /// Sustained sequential bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Access (seek + rotational) latency paid once per request.
+    pub access_latency: SimDuration,
+}
+
+impl DiskModel {
+    /// The paper's reference drive: 120 MB/s, a few milliseconds of latency.
+    pub fn paper_barracuda() -> Self {
+        DiskModel {
+            bandwidth: Bandwidth::from_mb_per_sec(120.0),
+            access_latency: SimDuration::from_millis(4),
+        }
+    }
+
+    /// Time to read `bytes` sequentially in one request.
+    pub fn read_time(&self, bytes: u64) -> SimDuration {
+        self.access_latency + self.bandwidth.transfer_time(bytes)
+    }
+
+    /// Time to read `bytes` split into `requests` separate accesses
+    /// (each pays the access latency).
+    pub fn read_time_chunked(&self, bytes: u64, requests: u64) -> SimDuration {
+        let requests = requests.max(1);
+        self.bandwidth.transfer_time(bytes) + self.access_latency * requests
+    }
+
+    /// Effective throughput when reading in chunks of `chunk` bytes.
+    pub fn effective_bandwidth(&self, chunk: u64) -> Bandwidth {
+        let t = self.read_time(chunk).as_secs_f64();
+        Bandwidth::from_bytes_per_sec((chunk as f64 / t).max(f64::MIN_POSITIVE))
+    }
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel::paper_barracuda()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_read_time() {
+        let disk = DiskModel::paper_barracuda();
+        // 120 MB at 120 MB/s ≈ 1 s + 4 ms seek.
+        let t = disk.read_time(120_000_000).as_secs_f64();
+        assert!((t - 1.004).abs() < 1e-6, "got {t}");
+    }
+
+    #[test]
+    fn chunked_reads_pay_latency_per_request() {
+        let disk = DiskModel::paper_barracuda();
+        let whole = disk.read_time_chunked(120_000_000, 1);
+        let chopped = disk.read_time_chunked(120_000_000, 1000);
+        assert!(chopped.as_secs_f64() - whole.as_secs_f64() > 3.9);
+    }
+
+    #[test]
+    fn paper_footnote_comparison_holds() {
+        // 10 GbE beats the disk ≈10× in throughput and ≫100× in latency.
+        let disk = DiskModel::paper_barracuda();
+        let net = Bandwidth::from_gbit_per_sec(10.0);
+        let ratio = net.bytes_per_sec() / disk.bandwidth.bytes_per_sec();
+        assert!((9.0..12.0).contains(&ratio), "throughput ratio {ratio}");
+        assert!(disk.access_latency > SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn small_random_reads_collapse_throughput() {
+        let disk = DiskModel::paper_barracuda();
+        let eff = disk.effective_bandwidth(4096);
+        assert!(
+            eff.bytes_per_sec() < 2e6,
+            "4 kB random reads should crawl, got {} B/s",
+            eff.bytes_per_sec()
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns a virtual clock and an [`EventQueue`]. Client code
+//! (e.g. the Data Roundabout simulation backend) defines its own event type
+//! `E`, seeds the queue, and drives the simulation with a handler that may
+//! schedule further events:
+//!
+//! ```
+//! use simnet::engine::Simulation;
+//! use simnet::time::SimDuration;
+//!
+//! #[derive(Debug)]
+//! enum Ev { Ping(u32), Done }
+//!
+//! let mut sim = Simulation::new();
+//! sim.schedule_in(SimDuration::ZERO, Ev::Ping(0));
+//! sim.run(|sim, ev| match ev {
+//!     Ev::Ping(n) if n < 3 => {
+//!         sim.schedule_in(SimDuration::from_micros(10), Ev::Ping(n + 1));
+//!     }
+//!     Ev::Ping(_) => sim.schedule_in(SimDuration::ZERO, Ev::Done),
+//!     Ev::Done => {}
+//! });
+//! assert_eq!(sim.now().as_nanos(), 30_000);
+//! ```
+//!
+//! The run loop is single-threaded and deterministic; see
+//! [`EventQueue`] for the ordering guarantees.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation over a client-defined event type `E`.
+#[derive(Debug)]
+pub struct Simulation<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+    limit: Option<u64>,
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation with the clock at [`SimTime::ZERO`] and no events.
+    pub fn new() -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+            limit: None,
+        }
+    }
+
+    /// Caps the total number of events processed by [`Simulation::run`].
+    ///
+    /// Exceeding the cap makes `run` panic — this is a guard against
+    /// accidentally non-terminating event cascades in tests, not a
+    /// production control knob.
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at the absolute virtual time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the simulated past (`at < self.now()`);
+    /// scheduling *at* the current instant is allowed.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "schedule_at: cannot schedule into the past ({} < {})",
+            at,
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Removes and returns the next event, advancing the clock to its due time.
+    pub fn step(&mut self) -> Option<E> {
+        let (time, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue produced an out-of-order event");
+        self.now = time;
+        self.processed += 1;
+        if let Some(limit) = self.limit {
+            assert!(
+                self.processed <= limit,
+                "simulation exceeded its event limit of {limit} events — \
+                 likely a non-terminating event cascade"
+            );
+        }
+        Some(event)
+    }
+
+    /// Runs the simulation to quiescence: pops events in order, advancing the
+    /// clock, and hands each to `handler` (which may schedule more events).
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Simulation<E>, E),
+    {
+        while let Some(event) = self.step() {
+            handler(self, event);
+        }
+    }
+
+    /// Like [`Simulation::run`] but stops (without processing further events)
+    /// once the clock would pass `deadline`. Events due exactly at the
+    /// deadline are still processed. Returns `true` if the queue drained
+    /// before the deadline.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F) -> bool
+    where
+        F: FnMut(&mut Simulation<E>, E),
+    {
+        loop {
+            match self.queue.peek_time() {
+                None => return true,
+                Some(t) if t > deadline => return false,
+                Some(_) => {
+                    let event = self.step().expect("peeked event must pop");
+                    handler(self, event);
+                }
+            }
+        }
+    }
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Simulation::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_to_event_times() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule_at(SimTime::from_nanos(100), 1);
+        sim.schedule_at(SimTime::from_nanos(50), 2);
+        assert_eq!(sim.step(), Some(2));
+        assert_eq!(sim.now(), SimTime::from_nanos(50));
+        assert_eq!(sim.step(), Some(1));
+        assert_eq!(sim.now(), SimTime::from_nanos(100));
+        assert_eq!(sim.step(), None);
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule_in(SimDuration::from_nanos(1), 0);
+        let mut seen = Vec::new();
+        sim.run(|sim, n| {
+            seen.push((sim.now().as_nanos(), n));
+            if n < 4 {
+                sim.schedule_in(SimDuration::from_nanos(10), n + 1);
+            }
+        });
+        assert_eq!(seen, vec![(1, 0), (11, 1), (21, 2), (31, 3), (41, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.schedule_at(SimTime::from_nanos(10), ());
+        sim.step();
+        sim.schedule_at(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn zero_delay_events_run_at_current_instant() {
+        let mut sim: Simulation<&str> = Simulation::new();
+        sim.schedule_at(SimTime::from_nanos(10), "first");
+        let mut order = Vec::new();
+        sim.run(|sim, ev| {
+            order.push(ev);
+            if ev == "first" {
+                sim.schedule_in(SimDuration::ZERO, "second");
+            }
+        });
+        assert_eq!(order, vec!["first", "second"]);
+        assert_eq!(sim.now(), SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim: Simulation<u64> = Simulation::new();
+        for t in [10u64, 20, 30, 40] {
+            sim.schedule_at(SimTime::from_nanos(t), t);
+        }
+        let mut seen = Vec::new();
+        let drained = sim.run_until(SimTime::from_nanos(20), |_, e| seen.push(e));
+        assert!(!drained);
+        assert_eq!(seen, vec![10, 20]);
+        assert_eq!(sim.pending(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_runaway_cascades() {
+        let mut sim: Simulation<()> = Simulation::new().with_event_limit(100);
+        sim.schedule_in(SimDuration::from_nanos(1), ());
+        sim.run(|sim, ()| sim.schedule_in(SimDuration::from_nanos(1), ()));
+    }
+
+    #[test]
+    fn events_processed_counts() {
+        let mut sim: Simulation<u8> = Simulation::new();
+        for _ in 0..5 {
+            sim.schedule_in(SimDuration::ZERO, 0);
+        }
+        sim.run(|_, _| {});
+        assert_eq!(sim.events_processed(), 5);
+    }
+}

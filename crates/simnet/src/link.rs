@@ -1,0 +1,230 @@
+//! Point-to-point link model with FIFO occupancy.
+//!
+//! A [`Link`] is a full-duplex pipe between two hosts. Each direction
+//! serializes messages one after another (a message occupies the wire for
+//! its serialization time), then the message propagates for a fixed latency.
+//! Callers *reserve* capacity: [`Link::reserve`] returns when the transfer
+//! starts and when the last byte arrives at the receiver, and advances the
+//! link's internal busy-until marker. The caller is responsible for
+//! scheduling its own completion event at the returned arrival time — the
+//! link itself is a passive analytic resource, which keeps the event count
+//! (and thus simulation cost) at one event per transfer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::throughput::ChunkThroughput;
+use crate::time::{SimDuration, SimTime};
+
+/// Direction of travel over a full-duplex link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// From the link's A endpoint to its B endpoint.
+    Forward,
+    /// From the link's B endpoint to its A endpoint.
+    Backward,
+}
+
+/// The outcome of reserving link capacity for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// When the first byte enters the wire (≥ the requested time if queued).
+    pub start: SimTime,
+    /// When the sender-side NIC is done serializing and can accept the next
+    /// message in this direction.
+    pub wire_free: SimTime,
+    /// When the last byte has arrived at the receiver.
+    pub arrival: SimTime,
+}
+
+impl Reservation {
+    /// Total time from request to arrival at the receiver.
+    pub fn total_from(&self, requested: SimTime) -> SimDuration {
+        self.arrival.saturating_duration_since(requested)
+    }
+}
+
+/// A full-duplex point-to-point link with per-direction FIFO serialization.
+///
+/// ```
+/// use simnet::link::{Direction, Link};
+/// use simnet::time::SimTime;
+///
+/// let mut link = Link::paper_10gbe();
+/// let r = link.reserve(SimTime::ZERO, Direction::Forward, 16 << 20);
+/// // 16 MB at ~1.25 GB/s arrives after ≈13.4 ms.
+/// assert!((0.012..0.015).contains(&r.arrival.as_secs_f64()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    throughput: ChunkThroughput,
+    latency: SimDuration,
+    busy_until_fwd: SimTime,
+    busy_until_bwd: SimTime,
+    bytes_fwd: u64,
+    bytes_bwd: u64,
+    messages: u64,
+}
+
+impl Link {
+    /// Creates an idle link with the given goodput model and propagation latency.
+    pub fn new(throughput: ChunkThroughput, latency: SimDuration) -> Self {
+        Link {
+            throughput,
+            latency,
+            busy_until_fwd: SimTime::ZERO,
+            busy_until_bwd: SimTime::ZERO,
+            bytes_fwd: 0,
+            bytes_bwd: 0,
+            messages: 0,
+        }
+    }
+
+    /// The paper's testbed link: 10 GbE with a few microseconds of latency.
+    pub fn paper_10gbe() -> Self {
+        Link::new(ChunkThroughput::paper_10gbe(), SimDuration::from_micros(5))
+    }
+
+    /// The goodput model in force on this link.
+    pub fn throughput(&self) -> ChunkThroughput {
+        self.throughput
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Total payload bytes that have crossed the link in `dir`.
+    pub fn bytes_transferred(&self, dir: Direction) -> u64 {
+        match dir {
+            Direction::Forward => self.bytes_fwd,
+            Direction::Backward => self.bytes_bwd,
+        }
+    }
+
+    /// Total messages reserved across both directions.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// When the wire in `dir` becomes free for a new message.
+    pub fn busy_until(&self, dir: Direction) -> SimTime {
+        match dir {
+            Direction::Forward => self.busy_until_fwd,
+            Direction::Backward => self.busy_until_bwd,
+        }
+    }
+
+    /// Reserves the wire in `dir` for a message of `bytes`, requested at `now`.
+    ///
+    /// The message starts when the wire frees up (FIFO behind earlier
+    /// reservations), occupies it for its serialization time, and arrives a
+    /// propagation latency after the last byte left.
+    pub fn reserve(&mut self, now: SimTime, dir: Direction, bytes: u64) -> Reservation {
+        let busy_until = match dir {
+            Direction::Forward => &mut self.busy_until_fwd,
+            Direction::Backward => &mut self.busy_until_bwd,
+        };
+        let start = if *busy_until > now { *busy_until } else { now };
+        let wire_free = start + self.throughput.transfer_time(bytes);
+        *busy_until = wire_free;
+        match dir {
+            Direction::Forward => self.bytes_fwd += bytes,
+            Direction::Backward => self.bytes_bwd += bytes,
+        }
+        self.messages += 1;
+        Reservation {
+            start,
+            wire_free,
+            arrival: wire_free + self.latency,
+        }
+    }
+
+    /// Achieved goodput in `dir` over the window ending at `now`, assuming
+    /// the link has been in use since `since`.
+    pub fn achieved_goodput(&self, dir: Direction, since: SimTime, now: SimTime) -> f64 {
+        let window = now.saturating_duration_since(since).as_secs_f64();
+        if window == 0.0 {
+            return 0.0;
+        }
+        self.bytes_transferred(dir) as f64 / window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::Bandwidth;
+
+    fn test_link() -> Link {
+        // 1 GB/s, zero per-message overhead, 1 µs latency: easy arithmetic.
+        Link::new(
+            ChunkThroughput::new(Bandwidth::from_bytes_per_sec(1e9), SimDuration::ZERO),
+            SimDuration::from_micros(1),
+        )
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut link = test_link();
+        let r = link.reserve(SimTime::from_nanos(500), Direction::Forward, 1_000);
+        assert_eq!(r.start, SimTime::from_nanos(500));
+        // 1000 B at 1 GB/s = 1 µs serialization.
+        assert_eq!(r.wire_free, SimTime::from_nanos(1_500));
+        assert_eq!(r.arrival, SimTime::from_nanos(2_500));
+    }
+
+    #[test]
+    fn back_to_back_messages_queue_fifo() {
+        let mut link = test_link();
+        let r1 = link.reserve(SimTime::ZERO, Direction::Forward, 1_000);
+        let r2 = link.reserve(SimTime::ZERO, Direction::Forward, 1_000);
+        assert_eq!(r2.start, r1.wire_free);
+        assert_eq!(r2.arrival, r1.arrival + SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut link = test_link();
+        let fwd = link.reserve(SimTime::ZERO, Direction::Forward, 1_000_000);
+        let bwd = link.reserve(SimTime::ZERO, Direction::Backward, 1_000);
+        assert_eq!(bwd.start, SimTime::ZERO, "backward dir must not queue behind forward");
+        assert!(bwd.arrival < fwd.arrival);
+    }
+
+    #[test]
+    fn byte_and_message_accounting() {
+        let mut link = test_link();
+        link.reserve(SimTime::ZERO, Direction::Forward, 100);
+        link.reserve(SimTime::ZERO, Direction::Forward, 200);
+        link.reserve(SimTime::ZERO, Direction::Backward, 50);
+        assert_eq!(link.bytes_transferred(Direction::Forward), 300);
+        assert_eq!(link.bytes_transferred(Direction::Backward), 50);
+        assert_eq!(link.messages(), 3);
+    }
+
+    #[test]
+    fn reservation_total_from_includes_queueing() {
+        let mut link = test_link();
+        link.reserve(SimTime::ZERO, Direction::Forward, 2_000);
+        let r = link.reserve(SimTime::ZERO, Direction::Forward, 1_000);
+        // Queued 2 µs, serialized 1 µs, latency 1 µs.
+        assert_eq!(r.total_from(SimTime::ZERO), SimDuration::from_micros(4));
+    }
+
+    #[test]
+    fn late_request_on_idle_wire_does_not_wait() {
+        let mut link = test_link();
+        link.reserve(SimTime::ZERO, Direction::Forward, 1_000);
+        let r = link.reserve(SimTime::from_nanos(100_000), Direction::Forward, 1_000);
+        assert_eq!(r.start, SimTime::from_nanos(100_000));
+    }
+
+    #[test]
+    fn achieved_goodput_reflects_transfers() {
+        let mut link = test_link();
+        let r = link.reserve(SimTime::ZERO, Direction::Forward, 1_000_000);
+        let g = link.achieved_goodput(Direction::Forward, SimTime::ZERO, r.wire_free);
+        assert!((g - 1e9).abs() / 1e9 < 0.01);
+    }
+}

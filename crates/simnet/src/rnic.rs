@@ -1,0 +1,408 @@
+//! RDMA-enabled NIC (RNIC) model.
+//!
+//! The model exposes the interface contract that shapes Data Roundabout's
+//! design (paper §III):
+//!
+//! * **Memory registration is expensive** — buffers must be registered
+//!   (pinned, translated) before any transfer; registration cost makes
+//!   on-demand allocation infeasible, which is why the ring-buffer pool is
+//!   allocated and registered once up front.
+//! * **Asynchronous work-request operation** — transfers are initiated by
+//!   posting [`WorkRequest`]s to a [`QueuePair`]; the RNIC processes them
+//!   autonomously and signals [`Completion`]s through a completion queue.
+//!   Posting costs a small, fixed amount of host CPU (the only host cost).
+//! * **Zero copy** — payload crosses the memory bus exactly once per host;
+//!   no host CPU cycles are spent on the payload itself.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::{CostCategory, CpuAccount, CpuSpec};
+use crate::link::{Direction, Link, Reservation};
+use crate::time::{SimDuration, SimTime};
+
+/// Static cost parameters of an RNIC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RnicConfig {
+    /// Fixed cost of registering a memory region (syscalls, setup).
+    pub registration_base: SimDuration,
+    /// Additional registration cost per page (pinning, address translation).
+    pub registration_per_page: SimDuration,
+    /// Page size used for the per-page registration cost.
+    pub page_size: u64,
+    /// Host CPU cost of posting one work request.
+    pub post_overhead: SimDuration,
+    /// Host CPU cost charged per completion reaped from the CQ.
+    pub completion_overhead: SimDuration,
+    /// Memory-bus crossings per payload byte (1 with direct data placement).
+    pub bus_crossings: u32,
+}
+
+impl RnicConfig {
+    /// Model of the paper's Chelsio T3 iWARP RNIC.
+    pub fn paper_t3() -> Self {
+        RnicConfig {
+            registration_base: SimDuration::from_micros(30),
+            registration_per_page: SimDuration::from_nanos(300),
+            page_size: 4096,
+            post_overhead: SimDuration::from_nanos(300),
+            completion_overhead: SimDuration::from_nanos(200),
+            bus_crossings: 1,
+        }
+    }
+
+    /// Host CPU time to register a region of `bytes`.
+    pub fn registration_cost(&self, bytes: u64) -> SimDuration {
+        let pages = bytes.div_ceil(self.page_size);
+        self.registration_base + self.registration_per_page * pages
+    }
+}
+
+impl Default for RnicConfig {
+    fn default() -> Self {
+        RnicConfig::paper_t3()
+    }
+}
+
+/// Handle to a registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryRegionId(u64);
+
+/// A registered memory region: the RNIC may DMA into/out of it without any
+/// operating-system involvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRegion {
+    /// Identity of the region.
+    pub id: MemoryRegionId,
+    /// Length in bytes.
+    pub len: u64,
+    /// When registration finished.
+    pub registered_at: SimTime,
+}
+
+/// A work request: "transfer `bytes` out of region `region`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkRequest {
+    /// Caller-chosen identifier, echoed in the matching [`Completion`].
+    pub wr_id: u64,
+    /// Source region for the transfer.
+    pub region: MemoryRegionId,
+    /// Payload size.
+    pub bytes: u64,
+}
+
+/// Signalled when a work request has fully executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The `wr_id` of the completed request.
+    pub wr_id: u64,
+    /// Payload size of the completed transfer.
+    pub bytes: u64,
+    /// Virtual time at which the last byte arrived at the peer.
+    pub completed_at: SimTime,
+}
+
+/// An RNIC attached to a host: owns registered regions and accounts the
+/// (small) host CPU cost of driving it.
+#[derive(Debug, Clone)]
+pub struct Rnic {
+    config: RnicConfig,
+    next_region: u64,
+    regions: Vec<MemoryRegion>,
+    /// Host CPU spent on registration (setup-time cost).
+    registration_cpu: SimDuration,
+}
+
+impl Rnic {
+    /// Creates an RNIC with the given cost parameters.
+    pub fn new(config: RnicConfig) -> Self {
+        Rnic {
+            config,
+            next_region: 0,
+            regions: Vec::new(),
+            registration_cpu: SimDuration::ZERO,
+        }
+    }
+
+    /// The RNIC's cost parameters.
+    pub fn config(&self) -> &RnicConfig {
+        &self.config
+    }
+
+    /// Registers a memory region of `bytes`, returning the region handle and
+    /// the host CPU time the registration consumed.
+    pub fn register(&mut self, now: SimTime, bytes: u64) -> (MemoryRegion, SimDuration) {
+        let cost = self.config.registration_cost(bytes);
+        self.registration_cpu += cost;
+        let region = MemoryRegion {
+            id: MemoryRegionId(self.next_region),
+            len: bytes,
+            registered_at: now + cost,
+        };
+        self.next_region += 1;
+        self.regions.push(region);
+        (region, cost)
+    }
+
+    /// Looks up a registered region.
+    pub fn region(&self, id: MemoryRegionId) -> Option<&MemoryRegion> {
+        self.regions.iter().find(|r| r.id == id)
+    }
+
+    /// Number of currently registered regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total host CPU time spent registering memory so far.
+    pub fn registration_cpu(&self) -> SimDuration {
+        self.registration_cpu
+    }
+}
+
+/// One side of an RDMA connection: a send queue bound to one direction of a
+/// link, plus its completion queue.
+///
+/// The queue pair is an analytic resource in the same style as
+/// [`Link`]: posting returns the completion time, and the caller schedules
+/// its own event. Completions are also retained in an internal CQ so tests
+/// can poll them in order.
+#[derive(Debug, Clone, Default)]
+pub struct QueuePair {
+    outstanding: u64,
+    completions: VecDeque<Completion>,
+    posted: u64,
+    bytes_posted: u64,
+}
+
+/// The outcome of posting a work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostOutcome {
+    /// Host CPU consumed by the post itself (charge to [`CostCategory::Driver`]).
+    pub post_cpu: SimDuration,
+    /// The link reservation backing the transfer.
+    pub reservation: Reservation,
+    /// The completion that will be signalled at `reservation.arrival`.
+    pub completion: Completion,
+}
+
+impl QueuePair {
+    /// Creates an idle queue pair.
+    pub fn new() -> Self {
+        QueuePair::default()
+    }
+
+    /// Posts `wr` for transmission over `link` in direction `dir` at `now`.
+    ///
+    /// Returns the host CPU cost of posting and the reservation; the caller
+    /// must call [`QueuePair::complete`] when the arrival time is reached
+    /// (i.e. when its completion event fires).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wr.bytes` exceeds the registered region's length — an
+    /// RNIC refuses DMA outside registered memory.
+    pub fn post_send(
+        &mut self,
+        rnic: &Rnic,
+        link: &mut Link,
+        now: SimTime,
+        dir: Direction,
+        wr: WorkRequest,
+    ) -> PostOutcome {
+        let region = rnic
+            .region(wr.region)
+            .expect("post_send: unknown memory region");
+        assert!(
+            wr.bytes <= region.len,
+            "post_send: work request of {} bytes exceeds region of {} bytes",
+            wr.bytes,
+            region.len
+        );
+        let reservation = link.reserve(now, dir, wr.bytes);
+        self.outstanding += 1;
+        self.posted += 1;
+        self.bytes_posted += wr.bytes;
+        PostOutcome {
+            post_cpu: rnic.config().post_overhead,
+            reservation,
+            completion: Completion {
+                wr_id: wr.wr_id,
+                bytes: wr.bytes,
+                completed_at: reservation.arrival,
+            },
+        }
+    }
+
+    /// Records `completion` in the CQ (called when its event fires).
+    pub fn complete(&mut self, completion: Completion) {
+        assert!(
+            self.outstanding > 0,
+            "complete: completion without an outstanding work request"
+        );
+        self.outstanding -= 1;
+        self.completions.push_back(completion);
+    }
+
+    /// Polls the completion queue, FIFO.
+    pub fn poll_cq(&mut self) -> Option<Completion> {
+        self.completions.pop_front()
+    }
+
+    /// Work requests posted but not yet completed.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// Total work requests posted over the queue pair's lifetime.
+    pub fn posted(&self) -> u64 {
+        self.posted
+    }
+
+    /// Total payload bytes posted.
+    pub fn bytes_posted(&self) -> u64 {
+        self.bytes_posted
+    }
+}
+
+/// Per-transfer host-CPU account for RDMA: a tiny driver charge per work
+/// request and nothing per byte. Compare [`TcpModel::breakdown`].
+///
+/// [`TcpModel::breakdown`]: crate::tcp::TcpModel::breakdown
+pub fn rdma_transfer_account(config: &RnicConfig, work_requests: u64) -> CpuAccount {
+    let mut acc = CpuAccount::new();
+    acc.charge(
+        CostCategory::Driver,
+        (config.post_overhead + config.completion_overhead) * work_requests,
+    );
+    acc
+}
+
+/// RDMA's per-byte CPU cost expressed against a CPU spec, for comparison
+/// with the TCP rule of thumb. Depends on the message size: bigger chunks
+/// amortize the posting cost over more bytes.
+pub fn rdma_cycles_per_byte(config: &RnicConfig, spec: CpuSpec, chunk: u64) -> f64 {
+    let per_wr = (config.post_overhead + config.completion_overhead).as_secs_f64();
+    per_wr * spec.ghz * 1e9 / chunk as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::{Bandwidth, ChunkThroughput};
+
+    fn test_link() -> Link {
+        Link::new(
+            ChunkThroughput::new(Bandwidth::from_bytes_per_sec(1e9), SimDuration::ZERO),
+            SimDuration::from_micros(1),
+        )
+    }
+
+    #[test]
+    fn registration_cost_scales_with_pages() {
+        let cfg = RnicConfig::paper_t3();
+        let one_page = cfg.registration_cost(1);
+        let many_pages = cfg.registration_cost(100 * 4096);
+        assert_eq!(one_page, cfg.registration_base + cfg.registration_per_page);
+        assert_eq!(
+            many_pages,
+            cfg.registration_base + cfg.registration_per_page * 100
+        );
+    }
+
+    #[test]
+    fn register_accumulates_cpu_and_regions() {
+        let mut rnic = Rnic::new(RnicConfig::paper_t3());
+        let (r1, c1) = rnic.register(SimTime::ZERO, 1 << 20);
+        let (r2, c2) = rnic.register(SimTime::ZERO, 1 << 20);
+        assert_ne!(r1.id, r2.id);
+        assert_eq!(rnic.region_count(), 2);
+        assert_eq!(rnic.registration_cpu(), c1 + c2);
+        assert!(rnic.region(r1.id).is_some());
+    }
+
+    #[test]
+    fn post_send_reserves_link_and_completes() {
+        let mut rnic = Rnic::new(RnicConfig::paper_t3());
+        let mut link = test_link();
+        let mut qp = QueuePair::new();
+        let (region, _) = rnic.register(SimTime::ZERO, 1 << 20);
+        let wr = WorkRequest {
+            wr_id: 7,
+            region: region.id,
+            bytes: 1_000_000,
+        };
+        let out = qp.post_send(&rnic, &mut link, SimTime::ZERO, Direction::Forward, wr);
+        assert_eq!(out.post_cpu, rnic.config().post_overhead);
+        assert_eq!(qp.outstanding(), 1);
+        assert_eq!(out.completion.wr_id, 7);
+        assert_eq!(out.completion.completed_at, out.reservation.arrival);
+
+        qp.complete(out.completion);
+        assert_eq!(qp.outstanding(), 0);
+        assert_eq!(qp.poll_cq().unwrap().wr_id, 7);
+        assert!(qp.poll_cq().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds region")]
+    fn oversized_work_request_rejected() {
+        let mut rnic = Rnic::new(RnicConfig::paper_t3());
+        let mut link = test_link();
+        let mut qp = QueuePair::new();
+        let (region, _) = rnic.register(SimTime::ZERO, 1024);
+        let wr = WorkRequest {
+            wr_id: 0,
+            region: region.id,
+            bytes: 2048,
+        };
+        qp.post_send(&rnic, &mut link, SimTime::ZERO, Direction::Forward, wr);
+    }
+
+    #[test]
+    fn rdma_account_is_driver_only_and_tiny() {
+        let cfg = RnicConfig::paper_t3();
+        let acc = rdma_transfer_account(&cfg, 10);
+        assert_eq!(acc.busy(CostCategory::DataCopy), SimDuration::ZERO);
+        assert_eq!(acc.busy(CostCategory::NetworkStack), SimDuration::ZERO);
+        assert!(acc.busy(CostCategory::Driver) > SimDuration::ZERO);
+        // Ten 1 MB messages cost 5 µs of CPU; kernel TCP would cost ~30 ms.
+        assert!(acc.total_busy() < SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn rdma_cycles_per_byte_amortize_with_chunk_size() {
+        let cfg = RnicConfig::paper_t3();
+        let spec = CpuSpec::paper_xeon();
+        let small = rdma_cycles_per_byte(&cfg, spec, 4 << 10);
+        let big = rdma_cycles_per_byte(&cfg, spec, 1 << 20);
+        assert!(big < small);
+        // At 1 MB chunks RDMA costs well under 0.01 cycles/byte vs TCP's 8.
+        assert!(big < 0.01, "got {big}");
+    }
+
+    #[test]
+    fn queue_pair_statistics() {
+        let mut rnic = Rnic::new(RnicConfig::paper_t3());
+        let mut link = test_link();
+        let mut qp = QueuePair::new();
+        let (region, _) = rnic.register(SimTime::ZERO, 1 << 20);
+        for i in 0..3 {
+            let out = qp.post_send(
+                &rnic,
+                &mut link,
+                SimTime::ZERO,
+                Direction::Forward,
+                WorkRequest {
+                    wr_id: i,
+                    region: region.id,
+                    bytes: 100,
+                },
+            );
+            qp.complete(out.completion);
+        }
+        assert_eq!(qp.posted(), 3);
+        assert_eq!(qp.bytes_posted(), 300);
+    }
+}

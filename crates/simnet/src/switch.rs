@@ -1,0 +1,220 @@
+//! The physical star: a switch fabric carrying the logical ring.
+//!
+//! The Data Roundabout is a *logical* ring "currently implemented using a
+//! star-shaped physical network" (§II-C) — every host connects to one
+//! switch (the paper's Nortel 10 GbE switch module), and each ring hop is
+//! an uplink into the fabric plus a downlink out of it. With a
+//! non-blocking fabric this is indistinguishable from dedicated
+//! point-to-point links (which is why the rest of the simulator models
+//! hops directly); with an oversubscribed backplane, hops contend — this
+//! module makes that distinction testable.
+
+
+use crate::link::Reservation;
+use crate::throughput::{Bandwidth, ChunkThroughput};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::HostId;
+
+/// A switch fabric with per-port links and an aggregate backplane budget.
+#[derive(Debug, Clone)]
+pub struct SwitchFabric {
+    ports: usize,
+    port_model: ChunkThroughput,
+    latency: SimDuration,
+    /// Aggregate fabric capacity in bytes/second. A non-blocking switch
+    /// has `ports × port-rate`; oversubscribed fabrics have less.
+    backplane: Bandwidth,
+    /// Per-port wire occupancy (uplink of the sending host).
+    uplink_busy: Vec<SimTime>,
+    /// Per-port wire occupancy (downlink of the receiving host).
+    downlink_busy: Vec<SimTime>,
+    /// Fabric-wide serialization point for the backplane budget.
+    backplane_busy: SimTime,
+    bytes_switched: u64,
+}
+
+impl SwitchFabric {
+    /// A fabric of `ports` ports, each running `port_model`, with the
+    /// given one-way latency and backplane capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(
+        ports: usize,
+        port_model: ChunkThroughput,
+        latency: SimDuration,
+        backplane: Bandwidth,
+    ) -> Self {
+        assert!(ports > 0, "a switch needs at least one port");
+        SwitchFabric {
+            ports,
+            port_model,
+            latency,
+            backplane,
+            uplink_busy: vec![SimTime::ZERO; ports],
+            downlink_busy: vec![SimTime::ZERO; ports],
+            backplane_busy: SimTime::ZERO,
+            bytes_switched: 0,
+        }
+    }
+
+    /// A non-blocking switch in the paper's style: the backplane carries
+    /// every port at full rate simultaneously.
+    pub fn non_blocking(ports: usize) -> Self {
+        let model = ChunkThroughput::paper_10gbe();
+        let aggregate =
+            Bandwidth::from_bytes_per_sec(model.peak().bytes_per_sec() * ports as f64);
+        SwitchFabric::new(ports, model, SimDuration::from_micros(5), aggregate)
+    }
+
+    /// An oversubscribed switch whose backplane carries only `factor` of
+    /// the sum of port rates (`factor < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn oversubscribed(ports: usize, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "oversubscription factor must be in (0, 1], got {factor}"
+        );
+        let model = ChunkThroughput::paper_10gbe();
+        let aggregate = Bandwidth::from_bytes_per_sec(
+            model.peak().bytes_per_sec() * ports as f64 * factor,
+        );
+        SwitchFabric::new(ports, model, SimDuration::from_micros(5), aggregate)
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Total bytes that have crossed the fabric.
+    pub fn bytes_switched(&self) -> u64 {
+        self.bytes_switched
+    }
+
+    /// Reserves a transfer of `bytes` from `from` to `to` at `now`.
+    ///
+    /// The transfer serializes on three resources in order: the sender's
+    /// uplink, the backplane share, and the receiver's downlink. With a
+    /// non-blocking backplane the middle stage never delays anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port index is out of range or `from == to`.
+    pub fn reserve(&mut self, now: SimTime, from: HostId, to: HostId, bytes: u64) -> Reservation {
+        assert!(from.0 < self.ports && to.0 < self.ports, "port out of range");
+        assert_ne!(from, to, "a host does not switch traffic to itself");
+        let wire = self.port_model.transfer_time(bytes);
+
+        // Uplink: the sender's port.
+        let up_start = self.uplink_busy[from.0].max(now);
+        let up_free = up_start + wire;
+        self.uplink_busy[from.0] = up_free;
+
+        // Backplane: a fabric-wide budget. Time to move `bytes` through
+        // the shared fabric; a non-blocking fabric is so fast per byte
+        // that this never becomes the bottleneck.
+        let bp_time = self.backplane.transfer_time(bytes);
+        let bp_start = self.backplane_busy.max(up_start);
+        let bp_free = bp_start + bp_time;
+        self.backplane_busy = bp_free;
+
+        // Downlink: the receiver's port; cannot finish before both the
+        // uplink serialization and the backplane stage are done.
+        let down_start = self.downlink_busy[to.0].max(up_start);
+        let down_free = down_start + wire;
+        self.downlink_busy[to.0] = down_free;
+
+        let last = up_free.max(bp_free).max(down_free);
+        self.bytes_switched += bytes;
+        Reservation {
+            start: up_start,
+            wire_free: up_free,
+            arrival: last + self.latency,
+        }
+    }
+}
+
+/// Checks whether a fabric behaves as non-blocking for a ring workload:
+/// every host forwarding `bytes` to its clockwise neighbor simultaneously
+/// should complete in (approximately) one port-serialization time.
+pub fn ring_hop_completion(fabric: &mut SwitchFabric, bytes: u64) -> SimDuration {
+    let ports = fabric.ports();
+    let mut latest = SimTime::ZERO;
+    for p in 0..ports {
+        let r = fabric.reserve(
+            SimTime::ZERO,
+            HostId(p),
+            HostId((p + 1) % ports),
+            bytes,
+        );
+        latest = latest.max(r.arrival);
+    }
+    latest.saturating_duration_since(SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_blocking_star_equals_dedicated_links() {
+        // All six hosts forward 16 MB clockwise at once: a non-blocking
+        // fabric completes in one wire time + latency, like the direct
+        // ring links the simulator normally uses.
+        let mut fabric = SwitchFabric::non_blocking(6);
+        let bytes = 16 << 20;
+        let completion = ring_hop_completion(&mut fabric, bytes);
+        let direct = ChunkThroughput::paper_10gbe().transfer_time(bytes)
+            + SimDuration::from_micros(5);
+        let ratio = completion.as_secs_f64() / direct.as_secs_f64();
+        assert!(
+            (0.99..1.30).contains(&ratio),
+            "non-blocking star should match direct links, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn oversubscription_slows_the_ring() {
+        let bytes = 16 << 20;
+        let full = ring_hop_completion(&mut SwitchFabric::non_blocking(6), bytes);
+        let half = ring_hop_completion(&mut SwitchFabric::oversubscribed(6, 0.5), bytes);
+        let quarter = ring_hop_completion(&mut SwitchFabric::oversubscribed(6, 0.25), bytes);
+        assert!(half > full);
+        assert!(quarter > half);
+        // At 4:1 oversubscription the fabric is ≈4× slower for all-to-all
+        // simultaneous forwarding.
+        let ratio = quarter.as_secs_f64() / full.as_secs_f64();
+        assert!((2.5..5.0).contains(&ratio), "got {ratio}");
+    }
+
+    #[test]
+    fn ports_serialize_their_own_traffic() {
+        let mut fabric = SwitchFabric::non_blocking(4);
+        let a = fabric.reserve(SimTime::ZERO, HostId(0), HostId(1), 1 << 20);
+        let b = fabric.reserve(SimTime::ZERO, HostId(0), HostId(2), 1 << 20);
+        assert_eq!(b.start, a.wire_free, "same uplink must serialize");
+        let c = fabric.reserve(SimTime::ZERO, HostId(3), HostId(2), 1 << 20);
+        assert_eq!(c.start, SimTime::ZERO, "different uplink starts at once");
+        assert!(c.arrival > b.start, "shared downlink must queue");
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut fabric = SwitchFabric::non_blocking(3);
+        fabric.reserve(SimTime::ZERO, HostId(0), HostId(1), 100);
+        fabric.reserve(SimTime::ZERO, HostId(1), HostId(2), 200);
+        assert_eq!(fabric.bytes_switched(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not switch traffic to itself")]
+    fn self_traffic_rejected() {
+        let mut fabric = SwitchFabric::non_blocking(2);
+        fabric.reserve(SimTime::ZERO, HostId(0), HostId(0), 1);
+    }
+}

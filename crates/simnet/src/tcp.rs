@@ -1,0 +1,234 @@
+//! Software (kernel) TCP cost model.
+//!
+//! Traditional TCP burns host CPU in proportion to the data rate — the
+//! folklore figure the paper cites (Foong et al.) is **1 GHz of CPU per
+//! 1 Gb/s of throughput**, i.e. ~8 cycles per payload byte. Crucially,
+//! protocol processing is *not* where the cycles go: payload copying
+//! across the memory bus dominates (~50 %), followed by context switches,
+//! with the actual network stack and driver work being minor (Figure 3).
+//!
+//! The model distinguishes plain kernel TCP from a TCP-offload-engine
+//! (TOE) setup, where the protocol stack runs on the NIC but payload
+//! copying and most context switching remain — which is why the paper
+//! finds TOE "usually yields only little advantage".
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::{CostCategory, CpuAccount, CpuSpec};
+use crate::throughput::Bandwidth;
+use crate::time::SimDuration;
+
+/// How the per-byte CPU cost of software TCP splits across cost categories.
+///
+/// Fractions are of the *kernel TCP* total; they need not sum to 1 for
+/// offloaded variants (the missing share is work moved to the NIC).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostFractions {
+    /// Payload copies across the memory bus (kernel ↔ user ↔ NIC).
+    pub data_copy: f64,
+    /// TCP/IP protocol state machine processing.
+    pub network_stack: f64,
+    /// Context switches and interrupt handling.
+    pub context_switch: f64,
+    /// NIC driver and descriptor management.
+    pub driver: f64,
+}
+
+impl CostFractions {
+    /// Sum of all fractions.
+    pub fn total(&self) -> f64 {
+        self.data_copy + self.network_stack + self.context_switch + self.driver
+    }
+}
+
+/// Cost model for software-based TCP communication on a host.
+///
+/// ```
+/// use simnet::cpu::CpuSpec;
+/// use simnet::tcp::TcpModel;
+///
+/// // Moving 1 GB through kernel TCP costs seconds of CPU...
+/// let tcp = TcpModel::kernel_tcp();
+/// let cost = tcp.cpu_time(CpuSpec::paper_xeon(), 1 << 30);
+/// assert!(cost.as_secs_f64() > 1.0);
+/// // ...about half of it in payload copying.
+/// use simnet::cpu::CostCategory;
+/// let breakdown = tcp.breakdown(CpuSpec::paper_xeon(), 1 << 30);
+/// assert!(breakdown.fraction(CostCategory::DataCopy) > 0.45);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpModel {
+    /// Host CPU cycles consumed per payload byte at full software TCP.
+    ///
+    /// 8 cycles/byte is the "1 GHz per 1 Gb/s" rule of thumb.
+    pub cycles_per_byte: f64,
+    /// How the cycles split across categories.
+    pub fractions: CostFractions,
+    /// Memory-bus crossings per payload byte (the paper assumes 3 for
+    /// kernel TCP: NIC→kernel buffer, kernel→user, plus protection copies).
+    pub bus_crossings: u32,
+    /// Multiplicative slowdown on co-scheduled *compute* threads caused by
+    /// cache pollution and context switches when communication competes for
+    /// the same cores.
+    pub cache_pollution: f64,
+}
+
+impl TcpModel {
+    /// Plain kernel TCP (Berkeley sockets, no offload) — Figure 3 left bar.
+    pub fn kernel_tcp() -> Self {
+        TcpModel {
+            cycles_per_byte: 8.0,
+            fractions: CostFractions {
+                data_copy: 0.50,
+                network_stack: 0.17,
+                context_switch: 0.20,
+                driver: 0.13,
+            },
+            bus_crossings: 3,
+            cache_pollution: 1.25,
+        }
+    }
+
+    /// TCP with full protocol offload to the NIC (TOE) — Figure 3 middle
+    /// bar. The stack is gone and context switching is reduced, but payload
+    /// copying (the dominant cost) remains.
+    pub fn toe() -> Self {
+        TcpModel {
+            cycles_per_byte: 8.0,
+            fractions: CostFractions {
+                data_copy: 0.50,
+                network_stack: 0.0,
+                context_switch: 0.15,
+                driver: 0.13,
+            },
+            bus_crossings: 2,
+            cache_pollution: 1.18,
+        }
+    }
+
+    /// Total host CPU time (core-seconds) to push or receive `bytes` of
+    /// payload on the given CPU.
+    pub fn cpu_time(&self, spec: CpuSpec, bytes: u64) -> SimDuration {
+        spec.cycles_to_time(self.cycles_per_byte * self.fractions.total() * bytes as f64)
+    }
+
+    /// Per-category CPU account for transferring `bytes` of payload.
+    pub fn breakdown(&self, spec: CpuSpec, bytes: u64) -> CpuAccount {
+        let mut acc = CpuAccount::new();
+        let base = self.cycles_per_byte * bytes as f64;
+        let f = self.fractions;
+        acc.charge(CostCategory::DataCopy, spec.cycles_to_time(base * f.data_copy));
+        acc.charge(
+            CostCategory::NetworkStack,
+            spec.cycles_to_time(base * f.network_stack),
+        );
+        acc.charge(
+            CostCategory::ContextSwitch,
+            spec.cycles_to_time(base * f.context_switch),
+        );
+        acc.charge(CostCategory::Driver, spec.cycles_to_time(base * f.driver));
+        acc
+    }
+
+    /// The throughput ceiling one core can sustain for this model on `spec`.
+    ///
+    /// With 8 cycles/byte on a 2.33 GHz core that is ≈ 291 MB/s ≈ 2.3 Gb/s
+    /// per core — the reason the paper's TCP runs cannot hide communication
+    /// behind computation.
+    pub fn per_core_rate(&self, spec: CpuSpec) -> Bandwidth {
+        let cycles = self.cycles_per_byte * self.fractions.total();
+        Bandwidth::from_bytes_per_sec(spec.ghz * 1e9 / cycles)
+    }
+
+    /// Memory-bus traffic generated by `bytes` of payload.
+    pub fn bus_bytes(&self, bytes: u64) -> u64 {
+        bytes * self.bus_crossings as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_of_thumb_holds() {
+        // 1 GHz per 1 Gb/s: a 1 GHz core saturates at 1 Gb/s = 125 MB/s.
+        let model = TcpModel {
+            fractions: CostFractions {
+                data_copy: 1.0,
+                network_stack: 0.0,
+                context_switch: 0.0,
+                driver: 0.0,
+            },
+            ..TcpModel::kernel_tcp()
+        };
+        let rate = model.per_core_rate(CpuSpec::new(1, 1.0));
+        assert!((rate.gbit_per_sec() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn copying_dominates_kernel_tcp() {
+        let model = TcpModel::kernel_tcp();
+        let acc = model.breakdown(CpuSpec::paper_xeon(), 1 << 30);
+        // Figure 3: data copying is roughly half the total cost and larger
+        // than every other single category.
+        let copy = acc.fraction(CostCategory::DataCopy);
+        assert!((copy - 0.5).abs() < 0.02, "copy fraction ≈ 50 %, got {copy}");
+        for c in [
+            CostCategory::NetworkStack,
+            CostCategory::ContextSwitch,
+            CostCategory::Driver,
+        ] {
+            assert!(acc.fraction(c) < copy);
+        }
+    }
+
+    #[test]
+    fn toe_saves_only_the_stack() {
+        let spec = CpuSpec::paper_xeon();
+        let bytes = 100 << 20;
+        let tcp = TcpModel::kernel_tcp().cpu_time(spec, bytes);
+        let toe = TcpModel::toe().cpu_time(spec, bytes);
+        assert!(toe < tcp, "TOE must be cheaper than kernel TCP");
+        // ... but only modestly so ("only little advantage").
+        let saving = 1.0 - toe.as_secs_f64() / tcp.as_secs_f64();
+        assert!(
+            (0.1..0.4).contains(&saving),
+            "TOE saving should be modest, got {saving}"
+        );
+    }
+
+    #[test]
+    fn cpu_time_is_linear_in_bytes() {
+        let spec = CpuSpec::paper_xeon();
+        let m = TcpModel::kernel_tcp();
+        let t1 = m.cpu_time(spec, 1 << 20).as_secs_f64();
+        let t2 = m.cpu_time(spec, 2 << 20).as_secs_f64();
+        assert!((t2 / t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_total_matches_cpu_time() {
+        let spec = CpuSpec::paper_xeon();
+        let m = TcpModel::kernel_tcp();
+        let bytes = 10 << 20;
+        let total = m.breakdown(spec, bytes).total_busy().as_secs_f64();
+        let direct = m.cpu_time(spec, bytes).as_secs_f64();
+        assert!((total - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bus_traffic_multiplies_crossings() {
+        assert_eq!(TcpModel::kernel_tcp().bus_bytes(1000), 3000);
+        assert_eq!(TcpModel::toe().bus_bytes(1000), 2000);
+    }
+
+    #[test]
+    fn paper_bus_contention_example() {
+        // §III-A: 10 Gb/s full duplex with 3 crossings ⇒ ~7.5 GB/s bus traffic.
+        let m = TcpModel::kernel_tcp();
+        let full_duplex_bytes_per_sec = 2.0 * 1.25e9;
+        let bus = m.bus_bytes(full_duplex_bytes_per_sec as u64) as f64;
+        assert!((bus - 7.5e9).abs() / 7.5e9 < 0.01);
+    }
+}

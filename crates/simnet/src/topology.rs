@@ -1,0 +1,178 @@
+//! Ring topology: hosts connected clockwise by point-to-point links.
+//!
+//! Host `i` forwards to host `(i + 1) % n` over link `i` (paper Figure 1 —
+//! the physical network was a star through a switch, but the logical
+//! structure is the ring, and each host only ever talks to its direct
+//! neighbors).
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::{Direction, Link, Reservation};
+use crate::time::SimTime;
+
+/// Identifier of a host in the ring, `0 .. n`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct HostId(pub usize);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "H{}", self.0)
+    }
+}
+
+/// A ring of `n` hosts with a clockwise link between each adjacent pair.
+#[derive(Debug, Clone)]
+pub struct RingNetwork {
+    links: Vec<Link>,
+}
+
+impl RingNetwork {
+    /// Builds a ring of `hosts` nodes, cloning `link` for every hop.
+    ///
+    /// A single-host "ring" has no links: rotation degenerates to the local
+    /// case, which the simulator handles without special-casing callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn new(hosts: usize, link: Link) -> Self {
+        assert!(hosts > 0, "a ring needs at least one host");
+        let links = if hosts == 1 {
+            Vec::new()
+        } else {
+            vec![link; hosts]
+        };
+        RingNetwork { links }
+    }
+
+    /// Number of hosts in the ring.
+    pub fn hosts(&self) -> usize {
+        if self.links.is_empty() {
+            1
+        } else {
+            self.links.len()
+        }
+    }
+
+    /// The clockwise successor of `host`.
+    pub fn next(&self, host: HostId) -> HostId {
+        HostId((host.0 + 1) % self.hosts())
+    }
+
+    /// The clockwise predecessor of `host`.
+    pub fn prev(&self, host: HostId) -> HostId {
+        HostId((host.0 + self.hosts() - 1) % self.hosts())
+    }
+
+    /// The link carrying traffic from `host` to its successor, if any.
+    pub fn outgoing_link(&self, host: HostId) -> Option<&Link> {
+        self.links.get(host.0)
+    }
+
+    /// Mutable access to the link out of `host`, for callers that drive
+    /// transfers through an RNIC queue pair instead of [`RingNetwork::reserve_hop`].
+    pub fn outgoing_link_mut(&mut self, host: HostId) -> Option<&mut Link> {
+        self.links.get_mut(host.0)
+    }
+
+    /// Reserves the clockwise hop out of `from` for `bytes`, at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-host ring (there is no link to reserve) or if
+    /// `from` is out of range.
+    pub fn reserve_hop(&mut self, now: SimTime, from: HostId, bytes: u64) -> Reservation {
+        assert!(
+            !self.links.is_empty(),
+            "reserve_hop: a single-host ring has no links"
+        );
+        let link = self
+            .links
+            .get_mut(from.0)
+            .expect("reserve_hop: host out of range");
+        link.reserve(now, Direction::Forward, bytes)
+    }
+
+    /// Total bytes that crossed the hop out of `from`.
+    pub fn hop_bytes(&self, from: HostId) -> u64 {
+        self.links
+            .get(from.0)
+            .map_or(0, |l| l.bytes_transferred(Direction::Forward))
+    }
+
+    /// Iterator over all host ids in the ring.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> {
+        (0..self.hosts()).map(HostId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn ring_wraps_around() {
+        let ring = RingNetwork::new(6, Link::paper_10gbe());
+        assert_eq!(ring.next(HostId(0)), HostId(1));
+        assert_eq!(ring.next(HostId(5)), HostId(0));
+        assert_eq!(ring.prev(HostId(0)), HostId(5));
+        assert_eq!(ring.prev(HostId(3)), HostId(2));
+    }
+
+    #[test]
+    fn single_host_ring_has_no_links() {
+        let ring = RingNetwork::new(1, Link::paper_10gbe());
+        assert_eq!(ring.hosts(), 1);
+        assert_eq!(ring.next(HostId(0)), HostId(0));
+        assert!(ring.outgoing_link(HostId(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn empty_ring_rejected() {
+        let _ = RingNetwork::new(0, Link::paper_10gbe());
+    }
+
+    #[test]
+    fn hops_use_independent_links() {
+        let mut ring = RingNetwork::new(3, Link::paper_10gbe());
+        let r0 = ring.reserve_hop(SimTime::ZERO, HostId(0), 1 << 20);
+        let r1 = ring.reserve_hop(SimTime::ZERO, HostId(1), 1 << 20);
+        // Different links: both start immediately, no queueing between hops.
+        assert_eq!(r0.start, SimTime::ZERO);
+        assert_eq!(r1.start, SimTime::ZERO);
+        assert_eq!(ring.hop_bytes(HostId(0)), 1 << 20);
+        assert_eq!(ring.hop_bytes(HostId(2)), 0);
+    }
+
+    #[test]
+    fn same_hop_serializes() {
+        let mut ring = RingNetwork::new(2, Link::paper_10gbe());
+        let r0 = ring.reserve_hop(SimTime::ZERO, HostId(0), 1 << 20);
+        let r1 = ring.reserve_hop(SimTime::ZERO, HostId(0), 1 << 20);
+        assert_eq!(r1.start, r0.wire_free);
+    }
+
+    #[test]
+    fn host_ids_enumerates_all() {
+        let ring = RingNetwork::new(4, Link::paper_10gbe());
+        let ids: Vec<usize> = ring.host_ids().map(|h| h.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_host_ring_has_two_directed_links() {
+        // In a 2-ring, H0→H1 and H1→H0 are distinct links (full duplex pairs),
+        // so simultaneous forwarding in both "directions" does not contend.
+        let mut ring = RingNetwork::new(2, Link::paper_10gbe());
+        let a = ring.reserve_hop(SimTime::ZERO, HostId(0), 1 << 20);
+        let b = ring.reserve_hop(SimTime::ZERO, HostId(1), 1 << 20);
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(b.start, SimTime::ZERO);
+        assert!(a.arrival > SimTime::ZERO + SimDuration::from_micros(100));
+        assert_eq!(a.arrival, b.arrival);
+    }
+}

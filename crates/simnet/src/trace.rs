@@ -1,0 +1,147 @@
+//! Lightweight event tracing for simulations.
+//!
+//! A [`Tracer`] records timestamped, host-attributed records. It is off by
+//! default (zero cost beyond a branch); tests and debugging sessions enable
+//! it to assert on or print the exact interleaving a simulation produced.
+
+use std::fmt;
+
+use crate::time::SimTime;
+use crate::topology::HostId;
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Host the event belongs to, if any.
+    pub host: Option<HostId>,
+    /// Free-form description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.host {
+            Some(h) => write!(f, "[{} {}] {}", self.time, h, self.message),
+            None => write!(f, "[{}] {}", self.time, self.message),
+        }
+    }
+}
+
+/// Collects trace records when enabled; drops them when disabled.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+}
+
+impl Tracer {
+    /// A disabled tracer (records nothing).
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// An enabled tracer.
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a host-attributed event (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, host: HostId, message: impl Into<String>) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                time,
+                host: Some(host),
+                message: message.into(),
+            });
+        }
+    }
+
+    /// Records a global (host-less) event (no-op when disabled).
+    pub fn record_global(&mut self, time: SimTime, message: impl Into<String>) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                time,
+                host: None,
+                message: message.into(),
+            });
+        }
+    }
+
+    /// All records, in recording order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records whose message contains `needle`.
+    pub fn matching<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.message.contains(needle))
+    }
+
+    /// Renders the full trace, one record per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(SimTime::ZERO, HostId(0), "ignored");
+        t.record_global(SimTime::ZERO, "ignored");
+        assert!(t.records().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_tracer_keeps_order() {
+        let mut t = Tracer::enabled();
+        t.record(SimTime::from_nanos(1), HostId(0), "first");
+        t.record(SimTime::from_nanos(2), HostId(1), "second");
+        t.record_global(SimTime::from_nanos(3), "third");
+        let msgs: Vec<&str> = t.records().iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["first", "second", "third"]);
+        assert_eq!(t.records()[2].host, None);
+    }
+
+    #[test]
+    fn matching_filters_by_substring() {
+        let mut t = Tracer::enabled();
+        t.record(SimTime::ZERO, HostId(0), "buffer forwarded");
+        t.record(SimTime::ZERO, HostId(0), "join done");
+        t.record(SimTime::ZERO, HostId(1), "buffer forwarded");
+        assert_eq!(t.matching("forwarded").count(), 2);
+        assert_eq!(t.matching("join").count(), 1);
+    }
+
+    #[test]
+    fn render_formats_lines() {
+        let mut t = Tracer::enabled();
+        t.record(SimTime::from_nanos(1_500), HostId(2), "hello");
+        let rendered = t.render();
+        assert!(rendered.contains("H2"));
+        assert!(rendered.contains("hello"));
+        assert!(rendered.ends_with('\n'));
+    }
+}

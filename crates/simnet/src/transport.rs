@@ -1,0 +1,154 @@
+//! Unified view over the three transport cost models the paper compares:
+//! kernel TCP, TCP-offload (TOE), and RDMA.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::{CpuAccount, CpuSpec};
+use crate::rnic::{rdma_transfer_account, RnicConfig};
+use crate::tcp::TcpModel;
+
+/// Which transport drives the Data Roundabout, with its cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TransportModel {
+    /// Software TCP in the kernel (Berkeley sockets).
+    KernelTcp(TcpModel),
+    /// TCP with the protocol stack offloaded to the NIC.
+    Toe(TcpModel),
+    /// Remote Direct Memory Access.
+    Rdma(RnicConfig),
+}
+
+impl TransportModel {
+    /// Kernel TCP with the paper's default cost constants.
+    pub fn kernel_tcp() -> Self {
+        TransportModel::KernelTcp(TcpModel::kernel_tcp())
+    }
+
+    /// TOE with the paper's default cost constants.
+    pub fn toe() -> Self {
+        TransportModel::Toe(TcpModel::toe())
+    }
+
+    /// RDMA with the paper's default cost constants.
+    pub fn rdma() -> Self {
+        TransportModel::Rdma(RnicConfig::paper_t3())
+    }
+
+    /// True for the RDMA transport.
+    pub fn is_rdma(&self) -> bool {
+        matches!(self, TransportModel::Rdma(_))
+    }
+
+    /// Short name for harness output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportModel::KernelTcp(_) => "TCP",
+            TransportModel::Toe(_) => "TOE",
+            TransportModel::Rdma(_) => "RDMA",
+        }
+    }
+
+    /// Host CPU consumed to move `bytes` of payload split into `messages`
+    /// transfer units (per host side: the same cost arises on sender and
+    /// receiver).
+    pub fn comm_cpu(&self, spec: CpuSpec, bytes: u64, messages: u64) -> CpuAccount {
+        match self {
+            TransportModel::KernelTcp(m) | TransportModel::Toe(m) => m.breakdown(spec, bytes),
+            TransportModel::Rdma(cfg) => rdma_transfer_account(cfg, messages),
+        }
+    }
+
+    /// Multiplicative slowdown suffered by compute threads while this
+    /// transport is actively moving data on the same host (cache pollution
+    /// plus context-switch disturbance; §V-G).
+    pub fn pollution_factor(&self) -> f64 {
+        match self {
+            TransportModel::KernelTcp(m) | TransportModel::Toe(m) => m.cache_pollution,
+            TransportModel::Rdma(_) => 1.0,
+        }
+    }
+
+    /// Memory-bus traffic caused by `bytes` of payload on one host.
+    pub fn bus_bytes(&self, bytes: u64) -> u64 {
+        match self {
+            TransportModel::KernelTcp(m) | TransportModel::Toe(m) => m.bus_bytes(bytes),
+            TransportModel::Rdma(cfg) => bytes * cfg.bus_crossings as u64,
+        }
+    }
+}
+
+impl fmt::Display for TransportModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Default for TransportModel {
+    fn default() -> Self {
+        TransportModel::rdma()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn figure3_ordering_holds() {
+        // Figure 3: kernel TCP > TOE >> RDMA in host CPU overhead.
+        let spec = CpuSpec::paper_xeon();
+        let bytes = 1u64 << 30;
+        let messages = bytes / (1 << 20);
+        let tcp = TransportModel::kernel_tcp()
+            .comm_cpu(spec, bytes, messages)
+            .total_busy();
+        let toe = TransportModel::toe()
+            .comm_cpu(spec, bytes, messages)
+            .total_busy();
+        let rdma = TransportModel::rdma()
+            .comm_cpu(spec, bytes, messages)
+            .total_busy();
+        assert!(tcp > toe, "TCP ({tcp}) must exceed TOE ({toe})");
+        assert!(toe > rdma, "TOE ({toe}) must exceed RDMA ({rdma})");
+        // RDMA is more than an order of magnitude cheaper.
+        assert!(rdma.as_secs_f64() * 10.0 < tcp.as_secs_f64());
+    }
+
+    #[test]
+    fn only_tcp_pollutes_caches() {
+        assert!(TransportModel::kernel_tcp().pollution_factor() > 1.0);
+        assert!(TransportModel::toe().pollution_factor() > 1.0);
+        assert_eq!(TransportModel::rdma().pollution_factor(), 1.0);
+    }
+
+    #[test]
+    fn bus_traffic_ordering() {
+        let payload = 1 << 20;
+        let tcp = TransportModel::kernel_tcp().bus_bytes(payload);
+        let toe = TransportModel::toe().bus_bytes(payload);
+        let rdma = TransportModel::rdma().bus_bytes(payload);
+        assert!(tcp > toe && toe > rdma);
+        assert_eq!(rdma, payload);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TransportModel::kernel_tcp().name(), "TCP");
+        assert_eq!(TransportModel::toe().name(), "TOE");
+        assert_eq!(TransportModel::rdma().name(), "RDMA");
+        assert!(TransportModel::rdma().is_rdma());
+        assert!(!TransportModel::kernel_tcp().is_rdma());
+    }
+
+    #[test]
+    fn rdma_cost_scales_with_messages_not_bytes() {
+        let spec = CpuSpec::paper_xeon();
+        let few = TransportModel::rdma().comm_cpu(spec, 1 << 30, 10).total_busy();
+        let many = TransportModel::rdma().comm_cpu(spec, 1 << 30, 1000).total_busy();
+        assert!(many > few);
+        assert!(many < SimDuration::from_millis(1));
+    }
+}

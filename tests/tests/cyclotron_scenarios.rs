@@ -1,0 +1,80 @@
+//! Integration scenarios for the continuous Data Cyclotron mode.
+
+use cyclo_join::cyclotron::{DataCyclotron, QueryArrival};
+use cyclo_join::{reference_join, Algorithm, JoinPredicate};
+use data_roundabout::HostId;
+use relation::GenSpec;
+use simnet::time::SimDuration;
+
+#[test]
+fn mixed_algorithm_queries_on_one_rotation() {
+    let hot = GenSpec::uniform(4_000, 1300).generate();
+    let s_hash = GenSpec::uniform(1_000, 1301).generate();
+    let s_band = GenSpec::uniform(1_000, 1302).generate();
+    let band = JoinPredicate::band(2);
+    let report = DataCyclotron::new(hot.clone())
+        .hosts(4)
+        .submit(QueryArrival::equi(SimDuration::ZERO, HostId(0), s_hash.clone()))
+        .submit(QueryArrival {
+            at: SimDuration::from_millis(2),
+            home: HostId(3),
+            stationary: s_band.clone(),
+            predicate: band.clone(),
+            algorithm: Algorithm::SortMerge,
+        })
+        .run()
+        .expect("cyclotron should run");
+    let ref_hash = reference_join(&hot, &s_hash, &JoinPredicate::Equi);
+    let ref_band = reference_join(&hot, &s_band, &band);
+    assert_eq!(report.queries[0].count, ref_hash.count);
+    assert_eq!(report.queries[0].checksum, ref_hash.checksum);
+    assert_eq!(report.queries[1].count, ref_band.count);
+    assert_eq!(report.queries[1].checksum, ref_band.checksum);
+}
+
+#[test]
+fn skewed_hot_set_queries_verify() {
+    let hot = GenSpec::zipf(3_000, 0.9, 1310).generate();
+    let s = GenSpec::zipf(1_000, 0.9, 1311).generate();
+    let reference = reference_join(&hot, &s, &JoinPredicate::Equi);
+    let report = DataCyclotron::new(hot)
+        .hosts(3)
+        .submit(QueryArrival::equi(SimDuration::ZERO, HostId(1), s))
+        .run()
+        .expect("cyclotron should run");
+    assert_eq!(report.queries[0].count, reference.count);
+    assert_eq!(report.queries[0].checksum, reference.checksum);
+}
+
+#[test]
+fn cyclotron_runs_are_deterministic() {
+    let run = || {
+        let hot = GenSpec::uniform(2_000, 1320).generate();
+        let s = GenSpec::uniform(800, 1321).generate();
+        let report = DataCyclotron::new(hot)
+            .hosts(3)
+            .submit(QueryArrival::equi(SimDuration::from_millis(1), HostId(2), s))
+            .run()
+            .expect("cyclotron should run");
+        (
+            report.queries[0].completed,
+            report.queries[0].count,
+            report.queries[0].checksum,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn later_arrivals_never_complete_before_earlier_identical_ones() {
+    let hot = GenSpec::uniform(3_000, 1330).generate();
+    let s = GenSpec::uniform(800, 1331).generate();
+    let report = DataCyclotron::new(hot)
+        .hosts(4)
+        .submit(QueryArrival::equi(SimDuration::ZERO, HostId(0), s.clone()))
+        .submit(QueryArrival::equi(SimDuration::from_millis(30), HostId(0), s))
+        .run()
+        .expect("cyclotron should run");
+    assert!(report.queries[1].completed >= report.queries[0].completed);
+    assert_eq!(report.queries[0].count, report.queries[1].count);
+}

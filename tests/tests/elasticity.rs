@@ -1,0 +1,73 @@
+//! Elasticity and failure handling across the stack: membership changes
+//! repartition data but never change the join result (§II-C).
+
+use cyclo_join::{absorb_host, rebalance, reference_join, CycloJoin, JoinPredicate};
+use relation::{relation_checksum, GenSpec, Relation};
+
+fn merge(parts: &[Relation]) -> Relation {
+    let mut out = Relation::new();
+    for p in parts {
+        out.extend_from(p);
+    }
+    out
+}
+
+#[test]
+fn join_survives_any_single_host_failure() {
+    let r = GenSpec::uniform(2_400, 500).generate();
+    let s = GenSpec::uniform(2_400, 501).generate();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+    let hosts = 5;
+    let parts = s.split_even(hosts);
+    for failed in 0..hosts {
+        let survivors = absorb_host(parts.clone(), failed);
+        let s_again = merge(&survivors);
+        assert_eq!(
+            relation_checksum(&s_again),
+            relation_checksum(&s),
+            "absorb must not lose data (failed host {failed})"
+        );
+        let report = CycloJoin::new(r.clone(), s_again)
+            .hosts(hosts - 1)
+            .run()
+            .expect("plan should run");
+        assert_eq!(report.match_count(), reference.count, "failed host {failed}");
+        assert_eq!(report.checksum(), reference.checksum, "failed host {failed}");
+    }
+}
+
+#[test]
+fn repeated_failures_down_to_one_host() {
+    let r = GenSpec::uniform(1_200, 510).generate();
+    let s = GenSpec::uniform(1_200, 511).generate();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+    let mut parts = s.split_even(6);
+    while parts.len() > 1 {
+        parts = absorb_host(parts, 0);
+        let report = CycloJoin::new(r.clone(), merge(&parts))
+            .hosts(parts.len())
+            .run()
+            .expect("plan should run");
+        assert_eq!(report.match_count(), reference.count, "{} hosts", parts.len());
+    }
+}
+
+#[test]
+fn growing_the_ring_preserves_results_and_speeds_setup() {
+    let r = GenSpec::uniform(30_000, 520).generate();
+    let s = GenSpec::uniform(30_000, 521).generate();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+    let small = CycloJoin::new(r.clone(), s.clone())
+        .hosts(2)
+        .run()
+        .expect("plan should run");
+    let parts = rebalance(&s.split_even(2), 8);
+    assert_eq!(parts.len(), 8);
+    let big = CycloJoin::new(r, merge(&parts)).hosts(8).run().expect("plan should run");
+    assert_eq!(small.match_count(), reference.count);
+    assert_eq!(big.match_count(), reference.count);
+    assert!(
+        big.setup_seconds() < small.setup_seconds(),
+        "more hosts must shrink the setup phase"
+    );
+}

@@ -1,0 +1,177 @@
+//! End-to-end correctness: every cyclo-join configuration must produce
+//! exactly the multiset of matches a trusted single-host join produces.
+
+use cyclo_join::{
+    reference_join, Algorithm, ComputeMode, CycloJoin, JoinPredicate, OutputMode, RotateSide,
+};
+use relation::{GenSpec, Relation};
+
+fn uniform_pair(n: usize, seed: u64) -> (Relation, Relation) {
+    (
+        GenSpec::uniform(n, seed).generate(),
+        GenSpec::uniform(n, seed + 1).generate(),
+    )
+}
+
+#[test]
+fn all_algorithms_all_ring_sizes_match_reference() {
+    let (r, s) = uniform_pair(3_000, 200);
+    for (alg, pred) in [
+        (Algorithm::partitioned_hash(), JoinPredicate::Equi),
+        (Algorithm::SortMerge, JoinPredicate::Equi),
+        (Algorithm::NestedLoops, JoinPredicate::Equi),
+        (Algorithm::SortMerge, JoinPredicate::band(2)),
+        (Algorithm::NestedLoops, JoinPredicate::band(2)),
+    ] {
+        let reference = reference_join(&r, &s, &pred);
+        for hosts in [1usize, 2, 3, 6] {
+            let report = CycloJoin::new(r.clone(), s.clone())
+                .algorithm(alg)
+                .predicate(pred.clone())
+                .hosts(hosts)
+                .run()
+                .expect("plan should run");
+            assert_eq!(
+                report.match_count(),
+                reference.count,
+                "{alg} {pred} hosts={hosts}: count"
+            );
+            assert_eq!(
+                report.checksum(),
+                reference.checksum,
+                "{alg} {pred} hosts={hosts}: checksum"
+            );
+        }
+    }
+}
+
+#[test]
+fn fragment_count_does_not_change_the_result() {
+    let (r, s) = uniform_pair(2_400, 210);
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+    for fragments in [1usize, 2, 5, 16, 64] {
+        let report = CycloJoin::new(r.clone(), s.clone())
+            .hosts(4)
+            .fragments_per_host(fragments)
+            .run()
+            .expect("plan should run");
+        assert_eq!(report.match_count(), reference.count, "fragments={fragments}");
+        assert_eq!(report.checksum(), reference.checksum, "fragments={fragments}");
+    }
+}
+
+#[test]
+fn skewed_inputs_match_reference() {
+    for z in [0.5, 0.9] {
+        let r = GenSpec::zipf(1_500, z, 220).generate();
+        let s = GenSpec::zipf(1_500, z, 221).generate();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        let report = CycloJoin::new(r, s)
+            .hosts(6)
+            .run()
+            .expect("plan should run");
+        assert_eq!(report.match_count(), reference.count, "z={z}");
+        assert_eq!(report.checksum(), reference.checksum, "z={z}");
+    }
+}
+
+#[test]
+fn rotation_side_does_not_change_the_result() {
+    let r = GenSpec::uniform(2_000, 230).generate();
+    let s = GenSpec::uniform(500, 231).generate();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+    for rotate in [RotateSide::R, RotateSide::S, RotateSide::Auto] {
+        let report = CycloJoin::new(r.clone(), s.clone())
+            .hosts(3)
+            .rotate(rotate)
+            .run()
+            .expect("plan should run");
+        assert_eq!(report.match_count(), reference.count, "{rotate:?}");
+        assert_eq!(report.checksum(), reference.checksum, "{rotate:?}");
+    }
+}
+
+#[test]
+fn swapped_materialized_matches_are_in_canonical_orientation() {
+    let r = GenSpec::uniform(400, 240).generate();
+    let s = GenSpec::uniform(100, 241).generate();
+    // Force S to rotate: matches are produced sides-swapped internally.
+    let report = CycloJoin::new(r.clone(), s.clone())
+        .hosts(2)
+        .rotate(RotateSide::S)
+        .output(OutputMode::Materialize)
+        .run()
+        .expect("plan should run");
+    assert!(report.swapped);
+    for m in report.result.matches() {
+        // The R side of every stored match must come from the logical R.
+        assert!(
+            r.iter().any(|t| t.key == m.key && t.payload == m.r_payload),
+            "match {m:?} has a non-R left side"
+        );
+        assert!(
+            s.iter().any(|t| t.key == m.s_key && t.payload == m.s_payload),
+            "match {m:?} has a non-S right side"
+        );
+    }
+}
+
+#[test]
+fn measured_compute_mode_matches_reference() {
+    let (r, s) = uniform_pair(2_000, 250);
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+    let report = CycloJoin::new(r, s)
+        .hosts(3)
+        .compute(ComputeMode::Measured)
+        .run()
+        .expect("plan should run");
+    assert_eq!(report.match_count(), reference.count);
+    assert_eq!(report.checksum(), reference.checksum);
+    assert!(report.total_seconds() > 0.0);
+}
+
+#[test]
+fn theta_predicates_run_via_nested_loops() {
+    let (r, s) = uniform_pair(300, 260);
+    let pred = JoinPredicate::theta(|a, b| a > b && (a - b) % 3 == 0);
+    let reference = reference_join(&r, &s, &pred);
+    let report = CycloJoin::new(r, s)
+        .predicate(pred)
+        .hosts(3)
+        .run()
+        .expect("plan should run");
+    assert_eq!(report.algorithm, "nested-loops");
+    assert_eq!(report.match_count(), reference.count);
+    assert_eq!(report.checksum(), reference.checksum);
+}
+
+#[test]
+fn empty_and_disjoint_inputs() {
+    // Empty R.
+    let empty = Relation::new();
+    let s = GenSpec::uniform(500, 270).generate();
+    let report = CycloJoin::new(empty.clone(), s.clone())
+        .hosts(3)
+        .run()
+        .expect("plan should run");
+    assert_eq!(report.match_count(), 0);
+
+    // Disjoint key ranges: no matches.
+    let low = Relation::from_pairs((0..500u32).map(|k| (k, k as u64)));
+    let high = Relation::from_pairs((10_000..10_500u32).map(|k| (k, k as u64)));
+    let report = CycloJoin::new(low, high).hosts(4).run().expect("plan should run");
+    assert_eq!(report.match_count(), 0);
+}
+
+#[test]
+fn tiny_inputs_on_large_rings() {
+    // Fewer tuples than hosts × fragments: many empty fragments.
+    let (r, s) = uniform_pair(7, 280);
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+    let report = CycloJoin::new(r, s)
+        .hosts(6)
+        .fragments_per_host(4)
+        .run()
+        .expect("plan should run");
+    assert_eq!(report.match_count(), reference.count);
+}

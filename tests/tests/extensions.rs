@@ -1,0 +1,139 @@
+//! Integration tests of the extension features: shared rotation,
+//! N-way pipelines, shipping modes, and the run timeline.
+
+use cyclo_join::concurrent::ConcurrentJoins;
+use cyclo_join::pipeline::JoinPipeline;
+use cyclo_join::{reference_join, Algorithm, CycloJoin, JoinPredicate, RotateSide};
+use data_roundabout::render_timeline;
+use relation::{GenSpec, Tuple};
+
+#[test]
+fn shipping_modes_agree_on_results() {
+    for alg in [Algorithm::partitioned_hash(), Algorithm::SortMerge] {
+        let r = GenSpec::uniform(2_000, 900).generate();
+        let s = GenSpec::uniform(2_000, 901).generate();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        let shipped = CycloJoin::new(r.clone(), s.clone())
+            .algorithm(alg)
+            .hosts(4)
+            .rotate(RotateSide::R)
+            .ship_prepared(true)
+            .run()
+            .expect("shipped plan");
+        let raw = CycloJoin::new(r, s)
+            .algorithm(alg)
+            .hosts(4)
+            .rotate(RotateSide::R)
+            .ship_prepared(false)
+            .run()
+            .expect("raw plan");
+        assert_eq!(shipped.checksum(), reference.checksum);
+        assert_eq!(raw.checksum(), reference.checksum);
+        // Raw shipping must pay preparation per encounter: join phase up,
+        // setup down.
+        assert!(
+            raw.join_seconds() > shipped.join_seconds(),
+            "{alg:?}: raw join {} vs shipped {}",
+            raw.join_seconds(),
+            shipped.join_seconds()
+        );
+        assert!(raw.setup_seconds() < shipped.setup_seconds());
+    }
+}
+
+#[test]
+fn concurrent_batch_on_ring_sizes() {
+    let hot = GenSpec::uniform(2_400, 910).generate();
+    let s1 = GenSpec::uniform(1_200, 911).generate();
+    let s2 = GenSpec::zipf(1_200, 0.8, 912).generate();
+    let ref1 = reference_join(&hot, &s1, &JoinPredicate::Equi);
+    let ref2 = reference_join(&hot, &s2, &JoinPredicate::Equi);
+    for hosts in [1usize, 3, 6] {
+        let report = ConcurrentJoins::new(hot.clone())
+            .query(s1.clone(), JoinPredicate::Equi)
+            .query(s2.clone(), JoinPredicate::Equi)
+            .hosts(hosts)
+            .run()
+            .expect("batch should run");
+        assert_eq!(report.queries[0].count, ref1.count, "hosts={hosts}");
+        assert_eq!(report.queries[0].checksum, ref1.checksum, "hosts={hosts}");
+        assert_eq!(report.queries[1].count, ref2.count, "hosts={hosts}");
+        assert_eq!(report.queries[1].checksum, ref2.checksum, "hosts={hosts}");
+    }
+}
+
+#[test]
+fn pipeline_then_concurrent_compose() {
+    // A pipeline stage feeding a concurrent batch: exercises both
+    // extensions' interop through the public API.
+    let base = GenSpec::uniform(900, 920).generate();
+    let s1 = GenSpec::uniform(900, 921).generate();
+    let pipeline = JoinPipeline::new(base)
+        .join(s1, JoinPredicate::Equi, |m| Tuple::new(m.key, m.r_payload))
+        .hosts(3)
+        .run()
+        .expect("pipeline should run");
+    assert_eq!(pipeline.stages.len(), 1);
+    assert!(pipeline.match_count() > 0);
+}
+
+#[test]
+fn timeline_renders_a_real_run() {
+    let r = GenSpec::uniform(5_000, 930).generate();
+    let s = GenSpec::uniform(5_000, 931).generate();
+    let report = CycloJoin::new(r, s).hosts(4).run().expect("plan should run");
+    let rendered = render_timeline(&report.ring, 60);
+    assert_eq!(rendered.lines().count(), 5, "4 host lanes + legend");
+    for i in 0..4 {
+        assert!(rendered.contains(&format!("H{i}")));
+    }
+    assert!(rendered.contains('#'), "setup must appear");
+    assert!(rendered.contains('='), "join time must appear");
+}
+
+#[test]
+fn stragglers_change_timing_not_results() {
+    let r = GenSpec::uniform(2_000, 940).generate();
+    let s = GenSpec::uniform(2_000, 941).generate();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+    let slow = CycloJoin::new(r.clone(), s.clone())
+        .hosts(4)
+        .host_speeds(vec![1.0, 0.25, 1.0, 1.0])
+        .run()
+        .expect("straggler plan");
+    let nominal = CycloJoin::new(r, s).hosts(4).run().expect("nominal plan");
+    assert_eq!(slow.checksum(), reference.checksum);
+    assert_eq!(nominal.checksum(), reference.checksum);
+    assert!(
+        slow.join_window_seconds() > nominal.join_window_seconds(),
+        "a quarter-speed host must stretch the join phase"
+    );
+}
+
+#[test]
+fn deeper_buffers_shield_fast_hosts_from_a_straggler() {
+    let r = GenSpec::uniform(30_000, 950).generate();
+    let s = GenSpec::uniform(30_000, 951).generate();
+    let run = |buffers: usize| {
+        let report = CycloJoin::new(r.clone(), s.clone())
+            .ring(cyclo_join::RingConfig::paper(6).with_buffers(buffers))
+            .rotate(RotateSide::R)
+            .host_speeds(vec![1.0, 1.0, 0.5, 1.0, 1.0, 1.0])
+            .run()
+            .expect("plan should run");
+        report
+            .ring
+            .hosts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, h)| h.sync.as_secs_f64())
+            .fold(0.0, f64::max)
+    };
+    let shallow = run(1);
+    let deep = run(4);
+    assert!(
+        deep < shallow,
+        "deeper ring buffers must absorb the straggler: {deep:.4} vs {shallow:.4}"
+    );
+}

@@ -1,0 +1,110 @@
+//! The analytic cost model must agree with the simulator it abstracts:
+//! closed-form phase predictions land within a small factor of the
+//! simulated (modeled-compute) execution across configurations.
+
+use cyclo_join::{predict, Algorithm, CostModel, CycloJoin, RingConfig, RotateSide, Workload};
+use relation::GenSpec;
+
+fn assert_close(label: &str, predicted: f64, simulated: f64, factor: f64) {
+    if simulated < 1e-6 && predicted < 1e-6 {
+        return; // both negligible
+    }
+    let ratio = predicted / simulated.max(1e-9);
+    assert!(
+        (1.0 / factor..factor).contains(&ratio),
+        "{label}: predicted {predicted:.6}s vs simulated {simulated:.6}s (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn predictions_track_the_simulator_for_hash_joins() {
+    let model = CostModel::paper_xeon();
+    for hosts in [1usize, 3, 6] {
+        let tuples = 120_000;
+        let r = GenSpec::uniform(tuples, 1200).generate();
+        let s = GenSpec::uniform(tuples, 1201).generate();
+        let workload = Workload::from_data(&r, &s, 4);
+        let config = RingConfig::paper(hosts);
+        let predicted = predict(&model, &config, &Algorithm::partitioned_hash(), &workload);
+        let report = CycloJoin::new(r, s)
+            .algorithm(Algorithm::partitioned_hash())
+            .ring(config)
+            .rotate(RotateSide::R)
+            .run()
+            .expect("plan should run");
+        assert_close(
+            &format!("hash setup, {hosts} hosts"),
+            predicted.setup.as_secs_f64(),
+            report.setup_seconds(),
+            2.0,
+        );
+        assert_close(
+            &format!("hash join, {hosts} hosts"),
+            predicted.join.as_secs_f64(),
+            report.join_seconds(),
+            2.0,
+        );
+    }
+}
+
+#[test]
+fn predictions_track_the_simulator_for_sort_merge() {
+    let model = CostModel::paper_xeon();
+    let tuples = 120_000;
+    let r = GenSpec::uniform(tuples, 1210).generate();
+    let s = GenSpec::uniform(tuples, 1211).generate();
+    let workload = Workload::from_data(&r, &s, 4);
+    let config = RingConfig::paper(6);
+    let predicted = predict(&model, &config, &Algorithm::SortMerge, &workload);
+    let report = CycloJoin::new(r, s)
+        .algorithm(Algorithm::SortMerge)
+        .ring(config)
+        .rotate(RotateSide::R)
+        .run()
+        .expect("plan should run");
+    assert_close(
+        "smj setup",
+        predicted.setup.as_secs_f64(),
+        report.setup_seconds(),
+        2.0,
+    );
+    assert_close(
+        "smj join",
+        predicted.join.as_secs_f64(),
+        report.join_seconds(),
+        2.0,
+    );
+}
+
+#[test]
+fn prediction_ranks_algorithms_like_the_simulator() {
+    // Whatever the absolute error, the model must order hash vs sort-merge
+    // the same way the simulator does on small rings (hash wins, §V-E).
+    let model = CostModel::paper_xeon();
+    let tuples = 100_000;
+    let r = GenSpec::uniform(tuples, 1220).generate();
+    let s = GenSpec::uniform(tuples, 1221).generate();
+    let workload = Workload::from_data(&r, &s, 4);
+    let config = RingConfig::paper(6);
+
+    let pred_hash = predict(&model, &config, &Algorithm::partitioned_hash(), &workload);
+    let pred_smj = predict(&model, &config, &Algorithm::SortMerge, &workload);
+
+    let run = |alg: Algorithm| {
+        let report = CycloJoin::new(r.clone(), s.clone())
+            .algorithm(alg)
+            .ring(config)
+            .rotate(RotateSide::R)
+            .run()
+            .expect("plan should run");
+        report.setup_seconds() + report.join_window_seconds()
+    };
+    let sim_hash = run(Algorithm::partitioned_hash());
+    let sim_smj = run(Algorithm::SortMerge);
+
+    assert_eq!(
+        pred_hash.total() < pred_smj.total(),
+        sim_hash < sim_smj,
+        "model and simulator disagree on the winner"
+    );
+}

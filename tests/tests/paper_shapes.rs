@@ -1,0 +1,170 @@
+//! The paper's headline result *shapes*, asserted as integration tests so
+//! a regression in any layer (cost model, transport, orchestration) fails
+//! loudly. These mirror the benchmark harness binaries at test scale.
+
+use cyclo_join::{Algorithm, CycloJoin, RingConfig, RotateSide};
+use relation::{paper_skew_pair, paper_uniform_pair, GenSpec};
+
+/// Figure 7: fixed data set, growing ring ⇒ setup ∝ 1/n, join ≈ constant.
+#[test]
+fn fig7_shape_setup_shrinks_join_constant() {
+    let (r, s) = paper_uniform_pair(0.0005, 70);
+    let run = |hosts: usize| {
+        CycloJoin::new(r.clone(), s.clone())
+            .algorithm(Algorithm::partitioned_hash())
+            .hosts(hosts)
+            .rotate(RotateSide::R)
+            .run()
+            .expect("plan should run")
+    };
+    let one = run(1);
+    let six = run(6);
+    let setup_speedup = one.setup_seconds() / six.setup_seconds();
+    assert!(
+        (4.0..8.0).contains(&setup_speedup),
+        "setup speedup {setup_speedup:.2}, expected ≈6×"
+    );
+    let join_ratio = six.join_seconds() / one.join_seconds();
+    assert!(
+        (0.7..1.3).contains(&join_ratio),
+        "join ratio {join_ratio:.2}, expected ≈1 (Equation ⋆)"
+    );
+}
+
+/// Figure 8: constant per-host volume ⇒ setup constant, join linear.
+#[test]
+fn fig8_shape_scaleup() {
+    let per_node = 60_000;
+    let run = |hosts: usize| {
+        let r = GenSpec::uniform(per_node * hosts, 80).generate();
+        let s = GenSpec::uniform(per_node * hosts, 81).generate();
+        CycloJoin::new(r, s)
+            .algorithm(Algorithm::partitioned_hash())
+            .hosts(hosts)
+            .rotate(RotateSide::R)
+            .run()
+            .expect("plan should run")
+    };
+    let one = run(1);
+    let six = run(6);
+    let setup_ratio = six.setup_seconds() / one.setup_seconds();
+    assert!(
+        (0.8..1.3).contains(&setup_ratio),
+        "setup ratio {setup_ratio:.2}, expected ≈1 (size-independent)"
+    );
+    let join_ratio = six.join_seconds() / one.join_seconds();
+    assert!(
+        (4.0..8.0).contains(&join_ratio),
+        "join ratio {join_ratio:.2}, expected ≈6 (linear in |R|)"
+    );
+}
+
+/// Figure 9: under heavy skew cyclo-join beats the local join severalfold;
+/// under uniform keys it does not help.
+#[test]
+fn fig9_shape_skew_resilience() {
+    let run = |z: f64, hosts: usize| {
+        let (r, s) = paper_skew_pair(z, 0.0005, 90);
+        CycloJoin::new(r, s)
+            .algorithm(Algorithm::partitioned_hash())
+            .hosts(hosts)
+            .rotate(RotateSide::R)
+            .run()
+            .expect("plan should run")
+            .join_seconds()
+    };
+    let uniform_speedup = run(0.0, 1) / run(0.0, 6);
+    let skew_speedup = run(0.9, 1) / run(0.9, 6);
+    assert!(
+        uniform_speedup < 2.0,
+        "uniform data should see little join-phase benefit, got {uniform_speedup:.2}×"
+    );
+    assert!(
+        skew_speedup > 3.0,
+        "z=0.9 should see a severalfold benefit (paper: ≈5×), got {skew_speedup:.2}×"
+    );
+    assert!(skew_speedup > 2.0 * uniform_speedup);
+}
+
+/// Figures 10/11: sort-merge trades a much higher setup for a faster join
+/// phase, and at scale its join is too fast to hide the network (sync).
+#[test]
+fn fig10_11_shape_sort_merge() {
+    let (r, s) = paper_uniform_pair(0.0005, 100);
+    let hash = CycloJoin::new(r.clone(), s.clone())
+        .algorithm(Algorithm::partitioned_hash())
+        .hosts(6)
+        .rotate(RotateSide::R)
+        .run()
+        .expect("hash plan");
+    let smj = CycloJoin::new(r, s)
+        .algorithm(Algorithm::SortMerge)
+        .hosts(6)
+        .rotate(RotateSide::R)
+        .run()
+        .expect("smj plan");
+    assert!(
+        smj.setup_seconds() > 2.0 * hash.setup_seconds(),
+        "sorting must cost much more than hashing: {:.4} vs {:.4}",
+        smj.setup_seconds(),
+        hash.setup_seconds()
+    );
+    assert!(
+        smj.join_seconds() < hash.join_seconds(),
+        "the merge phase must beat probing: {:.4} vs {:.4}",
+        smj.join_seconds(),
+        hash.join_seconds()
+    );
+    assert!(
+        smj.sync_seconds() >= hash.sync_seconds(),
+        "the faster join phase cannot hide more of the network"
+    );
+}
+
+/// Figure 12 / Table I: RDMA beats TCP at every thread count; the gap is
+/// widest with all cores joining; RDMA reaches full CPU utilization.
+#[test]
+fn fig12_table1_shape_rdma_vs_tcp() {
+    let tuples = 120_000;
+    let run = |threads: usize, tcp: bool| {
+        let r = GenSpec::uniform(tuples, 120).generate();
+        let s = GenSpec::uniform(tuples, 121).generate();
+        let config = if tcp {
+            RingConfig::paper_tcp(6)
+        } else {
+            RingConfig::paper(6)
+        };
+        CycloJoin::new(r, s)
+            .algorithm(Algorithm::partitioned_hash())
+            .ring(config.with_join_threads(threads))
+            .rotate(RotateSide::R)
+            .run()
+            .expect("plan should run")
+    };
+    let mut gaps = Vec::new();
+    for threads in 1..=4 {
+        let rdma = run(threads, false);
+        let tcp = run(threads, true);
+        let gap = (tcp.join_seconds() + tcp.sync_seconds())
+            / (rdma.join_seconds() + rdma.sync_seconds());
+        assert!(gap > 1.0, "TCP must be slower at {threads} threads, gap {gap:.2}");
+        gaps.push(gap);
+        if threads == 4 {
+            let rdma_load = rdma.join_phase_cpu_load();
+            let tcp_load = tcp.join_phase_cpu_load();
+            assert!(rdma_load > 0.95, "RDMA at 4 threads ≈ 100 %, got {rdma_load:.2}");
+            assert!(tcp_load < 0.95, "TCP must plateau below 100 %, got {tcp_load:.2}");
+        }
+        if threads == 1 {
+            let rdma_load = rdma.join_phase_cpu_load();
+            assert!(
+                (0.2..0.35).contains(&rdma_load),
+                "RDMA at 1 thread ≈ 25 %, got {rdma_load:.2}"
+            );
+        }
+    }
+    assert!(
+        gaps[3] > gaps[0],
+        "the RDMA advantage must be widest at 4 threads: {gaps:?}"
+    );
+}

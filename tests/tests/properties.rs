@@ -1,0 +1,163 @@
+//! Property-based tests: randomized workloads and configurations must
+//! always satisfy the cyclo-join invariants.
+
+use cyclo_join::{reference_join, Algorithm, CycloJoin, JoinPredicate, RingConfig, RotateSide};
+use proptest::prelude::*;
+use relation::{GenSpec, KeyDistribution, Relation};
+
+/// Strategy: a small relation with an arbitrary mix of key distributions.
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    (0usize..600, 0u64..1_000, 0usize..3).prop_map(|(tuples, seed, dist)| {
+        let spec = match dist {
+            0 => GenSpec::uniform(tuples, seed),
+            1 => GenSpec::zipf(tuples, 0.9, seed),
+            _ => GenSpec {
+                tuples,
+                distribution: KeyDistribution::Uniform {
+                    domain: 16, // tiny domain: many duplicates
+                },
+                seed,
+            },
+        };
+        spec.generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The distributed result always equals the reference, whatever the
+    /// data, ring size, fragmentation, or rotation side.
+    #[test]
+    fn cyclo_join_equals_reference(
+        r in relation_strategy(),
+        s in relation_strategy(),
+        hosts in 1usize..7,
+        fragments in 1usize..6,
+        rotate_s in any::<bool>(),
+    ) {
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        let report = CycloJoin::new(r, s)
+            .hosts(hosts)
+            .fragments_per_host(fragments)
+            .rotate(if rotate_s { RotateSide::S } else { RotateSide::R })
+            .run()
+            .expect("plan should run");
+        prop_assert_eq!(report.match_count(), reference.count);
+        prop_assert_eq!(report.checksum(), reference.checksum);
+    }
+
+    /// Hash join and sort-merge join agree on every equi-join.
+    #[test]
+    fn algorithms_agree(
+        r in relation_strategy(),
+        s in relation_strategy(),
+        hosts in 1usize..5,
+    ) {
+        let hash = CycloJoin::new(r.clone(), s.clone())
+            .algorithm(Algorithm::partitioned_hash())
+            .hosts(hosts)
+            .run()
+            .expect("hash plan");
+        let smj = CycloJoin::new(r, s)
+            .algorithm(Algorithm::SortMerge)
+            .hosts(hosts)
+            .run()
+            .expect("smj plan");
+        prop_assert_eq!(hash.match_count(), smj.match_count());
+        prop_assert_eq!(hash.checksum(), smj.checksum());
+    }
+
+    /// Every host processes every fragment exactly once, and all fragments
+    /// complete their revolution.
+    #[test]
+    fn conservation_of_fragments(
+        r in relation_strategy(),
+        s in relation_strategy(),
+        hosts in 1usize..7,
+        fragments in 1usize..5,
+        buffers in 1usize..4,
+    ) {
+        let report = CycloJoin::new(r, s)
+            .ring(RingConfig::paper(hosts).with_buffers(buffers))
+            .fragments_per_host(fragments)
+            .run()
+            .expect("plan should run");
+        let total_fragments = hosts * fragments;
+        prop_assert_eq!(report.ring.fragments_completed, total_fragments);
+        for h in &report.ring.hosts {
+            prop_assert_eq!(h.fragments_processed, total_fragments);
+        }
+    }
+
+    /// Band joins widen monotonically: a larger delta can only add matches.
+    #[test]
+    fn band_join_is_monotone_in_delta(
+        r in relation_strategy(),
+        s in relation_strategy(),
+        delta in 0u32..8,
+    ) {
+        let run = |d: u32| {
+            CycloJoin::new(r.clone(), s.clone())
+                .predicate(JoinPredicate::band(d))
+                .hosts(3)
+                .run()
+                .expect("band plan")
+                .match_count()
+        };
+        prop_assert!(run(delta) <= run(delta + 1));
+    }
+
+    /// Virtual phase accounting is internally consistent:
+    /// busy + sync ≈ join window, and nothing is negative.
+    #[test]
+    fn phase_accounting_is_consistent(
+        r in relation_strategy(),
+        s in relation_strategy(),
+        hosts in 1usize..7,
+    ) {
+        let report = CycloJoin::new(r, s).hosts(hosts).run().expect("plan should run");
+        for h in &report.ring.hosts {
+            let busy_plus_sync = h.join_busy + h.sync;
+            prop_assert_eq!(busy_plus_sync, h.join_window);
+        }
+        prop_assert!(report.total_seconds() >= report.setup_seconds());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The continuous cyclotron serves any batch of random arrivals with
+    /// exact results and monotone completion for same-host duplicates.
+    #[test]
+    fn cyclotron_serves_random_arrivals(
+        hot in relation_strategy(),
+        queries in prop::collection::vec((0u64..50, 0usize..4, 0usize..400, 0u64..1000), 1..4),
+    ) {
+        use cyclo_join::cyclotron::{DataCyclotron, QueryArrival};
+        use data_roundabout::HostId;
+        use simnet::time::SimDuration;
+
+        prop_assume!(!hot.is_empty());
+        let hosts = 4;
+        let mut cyclotron = DataCyclotron::new(hot.clone()).hosts(hosts);
+        let mut stationaries = Vec::new();
+        for &(at_ms, home, tuples, seed) in &queries {
+            let s = GenSpec::uniform(tuples, seed).generate();
+            stationaries.push(s.clone());
+            cyclotron = cyclotron.submit(QueryArrival::equi(
+                SimDuration::from_millis(at_ms),
+                HostId(home % hosts),
+                s,
+            ));
+        }
+        let report = cyclotron.run().expect("cyclotron should run");
+        for (q, s) in report.queries.iter().zip(&stationaries) {
+            let reference = reference_join(&hot, s, &JoinPredicate::Equi);
+            prop_assert_eq!(q.count, reference.count);
+            prop_assert_eq!(q.checksum, reference.checksum);
+            prop_assert!(q.completed >= q.arrived);
+        }
+    }
+}

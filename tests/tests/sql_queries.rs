@@ -1,0 +1,73 @@
+//! End-to-end SQL: text → plan → revolutions → verified counts.
+
+use cyclo_join::sql::{execute, parse, Catalog};
+use cyclo_join::{reference_join, JoinPredicate};
+use relation::GenSpec;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register("r", GenSpec::uniform(2_000, 1500).generate());
+    c.register("s", GenSpec::zipf(2_000, 0.8, 1501).generate());
+    c.register("t", GenSpec::uniform(2_000, 1502).generate());
+    c
+}
+
+#[test]
+fn sql_counts_agree_with_reference_joins() {
+    let catalog = catalog();
+    for (query, predicate) in [
+        (
+            "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key",
+            JoinPredicate::Equi,
+        ),
+        (
+            "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WITHIN 3",
+            JoinPredicate::band(3),
+        ),
+    ] {
+        let plan = parse(query).expect("query should parse");
+        let count = execute(&plan, &catalog, 4).expect("query should run");
+        let reference = reference_join(
+            catalog.get("r").unwrap(),
+            catalog.get("s").unwrap(),
+            &predicate,
+        );
+        assert_eq!(count, reference.count, "{query}");
+    }
+}
+
+#[test]
+fn sql_ring_size_does_not_change_the_count() {
+    let catalog = catalog();
+    let plan = parse("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key").unwrap();
+    let counts: Vec<u64> = [1usize, 3, 6]
+        .iter()
+        .map(|&hosts| execute(&plan, &catalog, hosts).expect("query should run"))
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn three_way_sql_matches_a_manual_pipeline() {
+    use cyclo_join::pipeline::JoinPipeline;
+    use relation::Tuple;
+
+    let catalog = catalog();
+    let plan = parse(
+        "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key JOIN t ON s.key = t.key",
+    )
+    .unwrap();
+    let sql_count = execute(&plan, &catalog, 3).expect("query should run");
+
+    let manual = JoinPipeline::new(catalog.get("r").unwrap().clone())
+        .join(catalog.get("s").unwrap().clone(), JoinPredicate::Equi, |m| {
+            Tuple::new(m.s_key, m.s_payload)
+        })
+        .join(catalog.get("t").unwrap().clone(), JoinPredicate::Equi, |m| {
+            Tuple::new(m.s_key, m.s_payload)
+        })
+        .hosts(3)
+        .run()
+        .expect("pipeline should run");
+    assert_eq!(sql_count, manual.match_count());
+}
