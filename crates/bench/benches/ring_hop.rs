@@ -19,6 +19,7 @@ fn bench_thread_ring(c: &mut Criterion) {
                     .map(|_| (0..fragments_per_host).map(|_| vec![0u8; 4096]).collect())
                     .collect();
                 run_threaded(&RingConfig::paper(hosts), fragments, |_, _| {})
+                    .expect("ring should run")
                     .fragments_completed
             });
         });
@@ -39,6 +40,7 @@ fn bench_buffer_depths(c: &mut Criterion) {
                     fragments,
                     |_, _| {},
                 )
+                .expect("ring should run")
                 .fragments_completed
             });
         });

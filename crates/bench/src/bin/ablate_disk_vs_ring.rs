@@ -37,7 +37,7 @@ fn main() {
             .join_duration(&Algorithm::partitioned_hash(), tuples, tuples, tuples as u64, 4)
             .as_secs_f64();
         let disk_stream = disk
-            .read_time_chunked(r_bytes, r_bytes / (16 << 20).max(1))
+            .read_time_chunked(r_bytes, (r_bytes / (16 << 20)).max(1))
             .as_secs_f64();
         let local_disk = disk_stream.max(compute);
 

@@ -5,7 +5,7 @@
 //! the same joins on the real-thread backend for live validation.
 
 use data_roundabout::{
-    HostId, RegisteredPool, RingApp, RingConfig, RingMetrics, SimRing,
+    FaultPlan, HostId, RegisteredPool, RingApp, RingConfig, RingError, RingMetrics, SimRing,
 };
 use mem_joins::{
     Algorithm, JoinCollector, JoinPredicate, OutputMode, PreparedFragment, StationaryState,
@@ -55,9 +55,16 @@ struct CycloApp {
     ship_prepared: bool,
     /// Stationary input per host, consumed by `setup`.
     stationary_inputs: Vec<Option<Relation>>,
+    /// Raw stationary partitions, retained only under fault injection so a
+    /// ring survivor can rebuild a dead host's state ([`RingApp::absorb`]).
+    stationary_raw: Vec<Relation>,
     /// Extra setup-phase cost per host: local fragment preparation plus
     /// ring-buffer registration.
     setup_extra: Vec<SimDuration>,
+    /// Stationary state per *logical role* (role `i` = the partition `S_i`
+    /// originally placed on host `i`). Under ring healing a role's state
+    /// may be rebuilt on a surviving host; the index keeps meaning the
+    /// role, not the machine.
     states: Vec<Option<StationaryState>>,
     collectors: Vec<JoinCollector>,
 }
@@ -114,6 +121,61 @@ impl RingApp<PreparedFragment> for CycloApp {
             &mut self.collectors[host.0],
         )
     }
+
+    fn process_roles(
+        &mut self,
+        host: HostId,
+        roles: &[usize],
+        _now: simnet::time::SimTime,
+        fragment: &PreparedFragment,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        // Raw shipping (§IV-D ablation): reorganize once per encounter,
+        // shared by however many roles this host serves.
+        let mut reprepared = None;
+        if !self.ship_prepared {
+            if let PreparedFragment::Plain(rel) = fragment {
+                let (prepared, d_prep) = self.compute.prepare_fragment(
+                    &self.algorithm,
+                    rel,
+                    self.radix_bits,
+                    self.threads,
+                );
+                total += d_prep;
+                reprepared = Some(prepared);
+            }
+        }
+        let frag = reprepared.as_ref().unwrap_or(fragment);
+        for &role in roles {
+            let state = self.states[role]
+                .as_ref()
+                .expect("join against a role whose stationary state is absent");
+            total += self.compute.join(
+                &self.algorithm,
+                state,
+                frag,
+                &self.predicate,
+                self.threads,
+                &mut self.collectors[host.0],
+            );
+        }
+        total
+    }
+
+    fn absorb(&mut self, _survivor: HostId, failed: HostId) -> SimDuration {
+        // Ring healing: rebuild the orphaned role's stationary state on the
+        // survivor, priced like the original setup of that share.
+        let share = crate::recovery::takeover(&self.stationary_raw, failed.0)
+            .expect("ring healing needs the raw stationary partitions of a multi-host ring");
+        let (state, d) = self.compute.setup_stationary(
+            &self.algorithm,
+            &share,
+            self.radix_bits,
+            self.threads,
+        );
+        self.states[failed.0] = Some(state);
+        d
+    }
 }
 
 /// Prepares all rotating fragments, returning them with per-host prep
@@ -159,6 +221,7 @@ fn registration_cost(config: &RingConfig, element_bytes: u64) -> SimDuration {
 }
 
 /// Runs cyclo-join on the simulated (virtual-time) backend.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_simulated(
     config: &RingConfig,
     algorithm: Algorithm,
@@ -168,6 +231,7 @@ pub(crate) fn execute_simulated(
     placement: Placement,
     ship_prepared: bool,
     host_speeds: Option<Vec<f64>>,
+    fault_plan: Option<FaultPlan>,
     trace: bool,
 ) -> ExecOutcome {
     let hosts = config.hosts;
@@ -197,6 +261,13 @@ pub(crate) fn execute_simulated(
             c
         }
     };
+    // Keep raw partitions only when faults can kill hosts: they are the
+    // source a survivor rebuilds an orphaned role's state from.
+    let stationary_raw = if fault_plan.is_some() {
+        placement.stationary.clone()
+    } else {
+        Vec::new()
+    };
     let app = CycloApp {
         algorithm,
         predicate,
@@ -205,6 +276,7 @@ pub(crate) fn execute_simulated(
         radix_bits,
         ship_prepared,
         stationary_inputs: placement.stationary.into_iter().map(Some).collect(),
+        stationary_raw,
         setup_extra,
         states: (0..hosts).map(|_| None).collect(),
         collectors: (0..hosts).map(|_| collector_template.child()).collect(),
@@ -212,6 +284,9 @@ pub(crate) fn execute_simulated(
     let mut ring = SimRing::new(*config, fragments, app).with_trace(trace);
     if let Some(speeds) = host_speeds {
         ring = ring.with_host_speeds(speeds);
+    }
+    if let Some(plan) = fault_plan {
+        ring = ring.with_fault_plan(plan);
     }
     let outcome = ring.run();
     ExecOutcome {
@@ -230,7 +305,8 @@ pub(crate) fn execute_threaded(
     predicate: &JoinPredicate,
     output: OutputMode,
     placement: Placement,
-) -> ExecOutcome {
+    fault_plan: Option<&FaultPlan>,
+) -> Result<ExecOutcome, RingError> {
     let predicate = if placement.swapped {
         mirror_predicate(predicate)
     } else {
@@ -261,10 +337,14 @@ pub(crate) fn execute_threaded(
         })
         .collect();
 
-    let mut metrics = data_roundabout::run_threaded(config, fragments, |host, frag| {
+    let join_visit = |host: HostId, frag: &PreparedFragment| {
         let mut collector = collectors[host.0].lock().expect("collector lock poisoned");
         algorithm.join(&states[host.0], frag, &predicate, threads, &mut collector);
-    });
+    };
+    let mut metrics = match fault_plan {
+        Some(plan) => data_roundabout::run_threaded_reliable(config, plan, fragments, join_visit)?,
+        None => data_roundabout::run_threaded(config, fragments, join_visit)?,
+    };
     for (h, d) in setup_times.into_iter().enumerate() {
         metrics.hosts[h].setup = d;
     }
@@ -272,11 +352,11 @@ pub(crate) fn execute_threaded(
         .into_iter()
         .map(|m| m.into_inner().expect("collector lock poisoned"))
         .collect();
-    ExecOutcome {
+    Ok(ExecOutcome {
         metrics,
         result: DistributedResult::new(partials),
         trace: Tracer::disabled(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -298,6 +378,7 @@ mod tests {
             OutputMode::Aggregate,
             placement,
             true,
+            None,
             None,
             false,
         )
@@ -348,7 +429,9 @@ mod tests {
             &JoinPredicate::Equi,
             OutputMode::Aggregate,
             placement,
-        );
+            None,
+        )
+        .expect("threaded run");
         assert_eq!(out.result.count(), reference.count);
         assert_eq!(out.result.checksum(), reference.checksum);
         assert!(out.metrics.hosts.iter().all(|h| h.setup > SimDuration::ZERO));
@@ -370,6 +453,7 @@ mod tests {
             placement(&rdma_cfg),
             true,
             None,
+            None,
             false,
         );
         let tcp = execute_simulated(
@@ -380,6 +464,7 @@ mod tests {
             OutputMode::Aggregate,
             placement(&tcp_cfg),
             true,
+            None,
             None,
             false,
         );

@@ -71,11 +71,12 @@ pub use concurrent::{ConcurrentJoins, ConcurrentReport, QueryOutcome};
 pub use cyclotron::{CyclotronReport, DataCyclotron, QueryArrival};
 pub use distribute::{Placement, RotateSide};
 pub use model::{
-    advise, advise_from_data, crossover_ring_size, predict, Advice, PhasePrediction, Workload,
+    advise, advise_from_data, crossover_ring_size, predict, predict_degraded, Advice,
+    PhasePrediction, Workload,
 };
 pub use pipeline::{JoinPipeline, PipelineReport};
 pub use plan::{CycloJoin, PlanError};
-pub use recovery::{absorb_host, rebalance};
+pub use recovery::{absorb_host, rebalance, takeover, RecoveryError};
 pub use report::CycloJoinReport;
 pub use result::DistributedResult;
 pub use sql::{Catalog, Query, SqlError};
@@ -83,5 +84,5 @@ pub use ternary::{TernaryJoin, TernaryReport};
 pub use verify::{reference_join, Reference};
 
 // Re-exports so downstream users can drive everything from one crate.
-pub use data_roundabout::{RingConfig, RingMetrics};
+pub use data_roundabout::{FaultPlan, HostId, RingConfig, RingError, RingMetrics};
 pub use mem_joins::{Algorithm, JoinPredicate, OutputMode};

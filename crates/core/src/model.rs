@@ -16,7 +16,7 @@
 //! per-link transfer time of the entire rotating relation exceeds the
 //! per-host busy time (§V-F).
 
-use data_roundabout::RingConfig;
+use data_roundabout::{FaultPlan, HostId, RingConfig};
 use mem_joins::Algorithm;
 use serde::{Deserialize, Serialize};
 use simnet::time::SimDuration;
@@ -135,6 +135,98 @@ pub fn predict(
     };
 
     PhasePrediction { setup, join, sync }
+}
+
+/// Like [`predict`], but degraded by a [`FaultPlan`]: the closed-form
+/// counterpart of a chaos run, for sizing timeouts and retransmission
+/// budgets before running one.
+///
+/// The degradations mirror how the transport actually behaves:
+///
+/// * **stragglers** stretch the busy join phase by the worst slowdown
+///   factor (the ring rotates at the pace of its slowest member);
+/// * **lossy / corrupting links** multiply the wire time by the expected
+///   attempt count `1 / (1 − p)` — the loss rate is estimated by sampling
+///   the plan's own deterministic dice, so the prediction uses exactly the
+///   distribution the run will see;
+/// * **pauses** stall the whole rotation for their window — credit flow
+///   control backpressures the ring around a frozen-but-live host;
+/// * **crashes** add the failure-detection latency (the full escalating
+///   retransmission schedule, `ack_timeout × (2^(max_retransmits+1) − 1)`)
+///   plus the takeover setup of the orphaned share, and shift the dead
+///   hosts' join work onto the survivors.
+pub fn predict_degraded(
+    model: &CostModel,
+    config: &RingConfig,
+    alg: &Algorithm,
+    workload: &Workload,
+    plan: &FaultPlan,
+) -> PhasePrediction {
+    let base = predict(model, config, alg, workload);
+    let n = config.hosts.max(1);
+
+    // Stragglers: the worst per-host slowdown bounds the rotation pace.
+    let worst_slowdown = (0..n)
+        .map(|h| plan.slowdown(HostId(h)))
+        .fold(1.0f64, f64::min);
+    let mut join = base.join;
+    if worst_slowdown != 1.0 {
+        join = join * (1.0 / worst_slowdown);
+    }
+
+    // Dead hosts: their share of the rotation is served by survivors.
+    let dead = plan.crashes().len().min(n.saturating_sub(1));
+    if dead > 0 {
+        join = join * (n as f64 / (n - dead) as f64);
+    }
+
+    // Unreliable links: expected attempts per transfer from the plan's own
+    // dice (sampled, since decisions are per (seq, attempt) and exact).
+    const SAMPLES: u64 = 512;
+    let worst_failure_rate = (0..n)
+        .map(|h| {
+            let failures = (0..SAMPLES)
+                .filter(|&s| {
+                    plan.should_drop(HostId(h), s, 1) || plan.should_corrupt(HostId(h), s, 1)
+                })
+                .count();
+            failures as f64 / SAMPLES as f64
+        })
+        .fold(0.0f64, f64::max)
+        .min(0.99);
+    let mut sync = base.sync;
+    if worst_failure_rate > 0.0 {
+        // Retransmissions inflate the wire time. The wire is busy for at
+        // least `sync + join` (it is fully hidden only when joins are
+        // slower); the extra attempts' worth of wire time surfaces as
+        // waiting.
+        let attempts = 1.0 / (1.0 - worst_failure_rate);
+        sync += (base.sync + base.join) * (attempts - 1.0);
+    }
+
+    // Pauses: a paused host stalls the whole rotation for its pause
+    // window — credit flow control backpressures the ring, it does not
+    // route around a live host.
+    for p in plan.pauses() {
+        if p.host.0 < n {
+            sync += p.duration;
+        }
+    }
+
+    // Crashes: detection (the escalating timeout ladder) + rebuilding the
+    // orphaned stationary share on the survivor.
+    if dead > 0 {
+        let ladder = (1u64 << (config.max_retransmits + 1)).saturating_sub(1);
+        let s_share = workload.stationary_tuples / n;
+        let takeover = model.setup_duration(alg, s_share, config.join_threads);
+        sync += config.ack_timeout * ladder * dead as u64 + takeover * dead as u64;
+    }
+
+    PhasePrediction {
+        setup: base.setup,
+        join,
+        sync,
+    }
 }
 
 /// The smallest ring size at which sort-merge join's predicted total beats
@@ -340,5 +432,83 @@ mod tests {
             &Workload::uniform(1_000_000, 1_000_000, 1_000_000),
         );
         assert_eq!(p.sync, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quiet_plan_predicts_the_baseline() {
+        let m = model();
+        let config = RingConfig::paper(6);
+        let w = Workload::uniform(6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
+        let alg = Algorithm::partitioned_hash();
+        let base = predict(&m, &config, &alg, &w);
+        let quiet = predict_degraded(&m, &config, &alg, &w, &FaultPlan::seeded(9));
+        assert_eq!(quiet, base, "no faults, no degradation");
+    }
+
+    #[test]
+    fn stragglers_stretch_the_join_phase() {
+        let m = model();
+        let config = RingConfig::paper(6);
+        let w = Workload::uniform(6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
+        let alg = Algorithm::partitioned_hash();
+        let base = predict(&m, &config, &alg, &w);
+        let plan = FaultPlan::seeded(9).slow_host(HostId(1), 0.5);
+        let slow = predict_degraded(&m, &config, &alg, &w, &plan);
+        let ratio = slow.join.as_secs_f64() / base.join.as_secs_f64();
+        assert!((1.9..2.1).contains(&ratio), "half speed doubles the join, got {ratio}");
+        assert_eq!(slow.setup, base.setup, "stragglers do not touch setup");
+    }
+
+    #[test]
+    fn lossy_links_inflate_sync() {
+        let m = model();
+        let config = RingConfig::paper(6);
+        let w = Workload::uniform(6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
+        let alg = Algorithm::SortMerge;
+        let base = predict(&m, &config, &alg, &w);
+        let plan = FaultPlan::seeded(11).lossy_link(HostId(2), 0.3);
+        let lossy = predict_degraded(&m, &config, &alg, &w, &plan);
+        assert!(lossy.sync > base.sync, "retransmissions must surface as waiting");
+        assert_eq!(lossy.join, base.join, "losses cost wire time, not compute");
+    }
+
+    #[test]
+    fn a_pause_adds_its_window_to_sync() {
+        use simnet::time::SimTime;
+        let m = model();
+        let config = RingConfig::paper(6);
+        let w = Workload::uniform(6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
+        let alg = Algorithm::partitioned_hash();
+        let base = predict(&m, &config, &alg, &w);
+        let plan = FaultPlan::seeded(5).pause_host(
+            HostId(2),
+            SimTime::ZERO + SimDuration::from_millis(10),
+            SimDuration::from_millis(50),
+        );
+        let paused = predict_degraded(&m, &config, &alg, &w, &plan);
+        assert_eq!(paused.sync, base.sync + SimDuration::from_millis(50));
+        assert_eq!(paused.join, base.join, "a pause is a stall, not extra work");
+    }
+
+    #[test]
+    fn a_crash_adds_detection_takeover_and_extra_join_work() {
+        use simnet::time::SimTime;
+        let m = model();
+        let config = RingConfig::paper(6);
+        let w = Workload::uniform(6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
+        let alg = Algorithm::partitioned_hash();
+        let base = predict(&m, &config, &alg, &w);
+        let plan = FaultPlan::seeded(3)
+            .crash_host(HostId(4), SimTime::ZERO + SimDuration::from_millis(10));
+        let degraded = predict_degraded(&m, &config, &alg, &w, &plan);
+        assert!(degraded.sync > base.sync, "detection ladder + takeover setup");
+        let ratio = degraded.join.as_secs_f64() / base.join.as_secs_f64();
+        assert!(
+            (1.15..1.25).contains(&ratio),
+            "five survivors carry six roles (6/5 = 1.2), got {ratio}"
+        );
+        // The detection ladder alone is a hard lower bound on the extra sync.
+        let ladder = config.ack_timeout * ((1u64 << (config.max_retransmits + 1)) - 1);
+        assert!(degraded.sync >= base.sync + ladder);
     }
 }

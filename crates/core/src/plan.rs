@@ -13,7 +13,7 @@
 //! # }
 //! ```
 
-use data_roundabout::RingConfig;
+use data_roundabout::{FaultPlan, RingConfig, RingError};
 use mem_joins::{Algorithm, JoinPredicate, OutputMode};
 use relation::Relation;
 use simnet::trace::Tracer;
@@ -38,6 +38,7 @@ pub struct CycloJoin {
     output: OutputMode,
     ship_prepared: bool,
     host_speeds: Option<Vec<f64>>,
+    fault_plan: Option<FaultPlan>,
     trace: bool,
 }
 
@@ -58,6 +59,7 @@ impl CycloJoin {
             output: OutputMode::Aggregate,
             ship_prepared: true,
             host_speeds: None,
+            fault_plan: None,
             trace: false,
         }
     }
@@ -130,6 +132,16 @@ impl CycloJoin {
         self
     }
 
+    /// Attaches a deterministic fault schedule (crashes, lossy links,
+    /// pauses, stragglers). Attaching a plan — even a quiet one — switches
+    /// the transport into its acknowledged, retransmitting mode; scheduled
+    /// crashes are healed mid-revolution by the ring survivors without
+    /// losing or duplicating a single fragment visit.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Enables transport-event tracing on the simulated backend.
     pub fn trace(mut self, trace: bool) -> Self {
         self.trace = trace;
@@ -158,6 +170,31 @@ impl CycloJoin {
             if !speeds.iter().all(|s| s.is_finite() && *s > 0.0) {
                 return Err(PlanError::BadQuery(
                     "host_speeds must all be finite and positive".into(),
+                ));
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            if self.config.hosts > 64 {
+                return Err(PlanError::BadQuery(
+                    "fault injection supports at most 64 hosts (exactly-once role bitmask)"
+                        .into(),
+                ));
+            }
+            let out_of_range = plan
+                .crashes()
+                .iter()
+                .map(|c| c.host)
+                .chain(plan.pauses().iter().map(|p| p.host))
+                .find(|h| h.0 >= self.config.hosts);
+            if let Some(h) = out_of_range {
+                return Err(PlanError::BadQuery(format!(
+                    "fault plan targets host {} of a {}-host ring",
+                    h.0, self.config.hosts
+                )));
+            }
+            if self.config.hosts == 1 && !plan.crashes().is_empty() {
+                return Err(PlanError::BadQuery(
+                    "cannot heal a single-host ring around a crash".into(),
                 ));
             }
         }
@@ -230,6 +267,7 @@ impl CycloJoin {
             placement,
             self.ship_prepared,
             self.host_speeds.clone(),
+            self.fault_plan.clone(),
             self.trace,
         );
         Ok(self.report(algorithm, swapped, outcome))
@@ -251,7 +289,12 @@ impl CycloJoin {
             &self.predicate,
             self.output,
             placement,
-        );
+            self.fault_plan.as_ref(),
+        )
+        .map_err(|e| match e {
+            RingError::Config(c) => PlanError::InvalidConfig(c),
+            other => PlanError::Backend(other),
+        })?;
         Ok(self.report(algorithm, swapped, outcome).0)
     }
 }
@@ -272,6 +315,9 @@ pub enum PlanError {
     NoFragments,
     /// A submitted query is malformed (cyclotron / batch extensions).
     BadQuery(String),
+    /// The ring backend refused to run (e.g. a fault class the thread
+    /// backend does not support).
+    Backend(RingError),
 }
 
 impl std::fmt::Display for PlanError {
@@ -283,6 +329,7 @@ impl std::fmt::Display for PlanError {
             }
             PlanError::NoFragments => write!(f, "fragments_per_host must be at least 1"),
             PlanError::BadQuery(reason) => write!(f, "bad query: {reason}"),
+            PlanError::Backend(e) => write!(f, "{e}"),
         }
     }
 }
@@ -415,6 +462,89 @@ mod tests {
             .run_traced()
             .expect("plan should run");
         assert!(trace.matching("setup done").count() == 2);
+    }
+
+    #[test]
+    fn a_mid_revolution_crash_heals_and_verifies() {
+        use data_roundabout::HostId;
+        use simnet::time::{SimDuration, SimTime};
+        let (r, s) = inputs();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        // Baseline run: establishes the timeline so the crash can be
+        // placed squarely inside the join phase.
+        let baseline = CycloJoin::new(r.clone(), s.clone())
+            .hosts(6)
+            .run()
+            .expect("baseline should run");
+        assert!(baseline.fault_free(), "no plan, no fault counters");
+        let mid = baseline.setup_seconds()
+            + 0.5 * (baseline.total_seconds() - baseline.setup_seconds());
+        let plan = FaultPlan::seeded(1234)
+            .crash_host(HostId(2), SimTime::ZERO + SimDuration::from_secs_f64(mid));
+        let config = RingConfig::paper(6).with_ack_timeout(SimDuration::from_millis(2));
+        let report = CycloJoin::new(r, s)
+            .ring(config)
+            .fault_plan(plan)
+            .run()
+            .expect("the healed ring should finish the join");
+        assert_eq!(report.match_count(), reference.count);
+        assert_eq!(report.checksum(), reference.checksum);
+        assert_eq!(report.heal_events(), 1);
+        assert!(report.retransmits() > 0, "death detection retransmits first");
+        assert!(report.detection_latency_seconds() > 0.0);
+        assert!(!report.fault_free());
+    }
+
+    #[test]
+    fn fault_plans_must_target_the_ring() {
+        use data_roundabout::HostId;
+        use simnet::time::{SimDuration, SimTime};
+        let (r, s) = inputs();
+        let plan = FaultPlan::seeded(1)
+            .crash_host(HostId(7), SimTime::ZERO + SimDuration::from_millis(1));
+        let err = CycloJoin::new(r, s).hosts(3).fault_plan(plan).run().unwrap_err();
+        assert!(err.to_string().contains("targets host 7"), "got: {err}");
+    }
+
+    #[test]
+    fn single_host_rings_cannot_heal() {
+        use data_roundabout::HostId;
+        use simnet::time::{SimDuration, SimTime};
+        let (r, s) = inputs();
+        let plan = FaultPlan::seeded(1)
+            .crash_host(HostId(0), SimTime::ZERO + SimDuration::from_millis(1));
+        let err = CycloJoin::new(r, s).hosts(1).fault_plan(plan).run().unwrap_err();
+        assert!(err.to_string().contains("single-host"), "got: {err}");
+    }
+
+    #[test]
+    fn threaded_backend_repairs_a_lossy_link() {
+        use data_roundabout::HostId;
+        use simnet::time::SimDuration;
+        let (r, s) = inputs();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        let plan = FaultPlan::seeded(77).lossy_link(HostId(0), 0.3);
+        let config = RingConfig::paper(3).with_ack_timeout(SimDuration::from_millis(15));
+        let report = CycloJoin::new(r, s)
+            .ring(config)
+            .fault_plan(plan)
+            .run_threaded()
+            .expect("retransmissions should repair the link");
+        assert_eq!(report.match_count(), reference.count);
+        assert_eq!(report.checksum(), reference.checksum);
+        assert!(report.retransmits() > 0, "a 30% lossy link must retransmit");
+    }
+
+    #[test]
+    fn threaded_backend_rejects_crash_plans() {
+        use data_roundabout::HostId;
+        use simnet::time::{SimDuration, SimTime};
+        let (r, s) = inputs();
+        let plan = FaultPlan::seeded(1)
+            .crash_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(1));
+        let err = CycloJoin::new(r, s).hosts(3).fault_plan(plan).run_threaded().unwrap_err();
+        assert!(matches!(err, PlanError::Backend(_)), "got: {err:?}");
+        assert!(err.to_string().contains("simulated backend"), "got: {err}");
     }
 
     #[test]

@@ -9,28 +9,68 @@
 //!
 //! * [`absorb_host`] — a host leaves (or fails before the join starts);
 //!   its stationary share is taken over by its ring successor;
+//! * [`takeover`] — mid-revolution variant: the orphaned share itself,
+//!   handed to the survivor that heals the ring around a crash;
 //! * [`rebalance`] — re-spread all shares evenly over a new ring size
 //!   (grow or shrink), the planned-elasticity path.
+//!
+//! All of these return typed [`RecoveryError`]s instead of panicking:
+//! recovery code runs exactly when the system is already degraded, and a
+//! recovery routine that aborts the process turns a survivable fault into
+//! an outage.
 
 use relation::Relation;
+
+/// Why a recovery action could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The failed host index does not exist in the partition list.
+    HostOutOfRange {
+        /// The host index that was claimed to have failed.
+        failed: usize,
+        /// Number of hosts actually in the ring.
+        hosts: usize,
+    },
+    /// The requested action would leave the ring without any host.
+    EmptyRing,
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::HostOutOfRange { failed, hosts } => {
+                write!(f, "host {failed} out of range ({hosts} hosts)")
+            }
+            RecoveryError::EmptyRing => {
+                write!(f, "cannot remove the only host in the ring")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// Removes `failed` from a per-host partition list, merging its share into
 /// its ring successor (the paper's "role taken over by some other node").
 /// Returns the new partition list, one entry shorter.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `failed` is out of range or the ring would become empty.
-pub fn absorb_host(partitions: Vec<Relation>, failed: usize) -> Vec<Relation> {
-    assert!(
-        failed < partitions.len(),
-        "host {failed} out of range ({} hosts)",
-        partitions.len()
-    );
-    assert!(
-        partitions.len() > 1,
-        "cannot remove the only host in the ring"
-    );
+/// [`RecoveryError::HostOutOfRange`] if `failed` is not a valid host and
+/// [`RecoveryError::EmptyRing`] if the ring would become empty.
+pub fn absorb_host(
+    partitions: Vec<Relation>,
+    failed: usize,
+) -> Result<Vec<Relation>, RecoveryError> {
+    if failed >= partitions.len() {
+        return Err(RecoveryError::HostOutOfRange {
+            failed,
+            hosts: partitions.len(),
+        });
+    }
+    if partitions.len() == 1 {
+        return Err(RecoveryError::EmptyRing);
+    }
     let successor = (failed + 1) % partitions.len();
     let mut out = Vec::with_capacity(partitions.len() - 1);
     let mut orphan = None;
@@ -47,22 +87,52 @@ pub fn absorb_host(partitions: Vec<Relation>, failed: usize) -> Vec<Relation> {
             part.extend_from(&orphan);
         }
     }
-    out.into_iter().map(|(_, part)| part).collect()
+    Ok(out.into_iter().map(|(_, part)| part).collect())
+}
+
+/// The mid-revolution takeover: returns a copy of the stationary share
+/// orphaned by `failed`, for the ring survivor that absorbs the dead
+/// host's role while the rotation is still in progress. Unlike
+/// [`absorb_host`] this does not reshape the partition list — during ring
+/// healing the logical roles keep their identities (the exactly-once
+/// ledger is per role), only their placement changes.
+///
+/// # Errors
+///
+/// [`RecoveryError::HostOutOfRange`] if `failed` is not a valid host and
+/// [`RecoveryError::EmptyRing`] if there is no other host left to take
+/// the share over.
+pub fn takeover(partitions: &[Relation], failed: usize) -> Result<Relation, RecoveryError> {
+    if failed >= partitions.len() {
+        return Err(RecoveryError::HostOutOfRange {
+            failed,
+            hosts: partitions.len(),
+        });
+    }
+    if partitions.len() == 1 {
+        return Err(RecoveryError::EmptyRing);
+    }
+    Ok(partitions[failed].clone())
 }
 
 /// Re-spreads the union of `partitions` evenly over `new_hosts` hosts —
 /// growing or shrinking the ring "as application workloads demand" (§VII).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `new_hosts` is zero.
-pub fn rebalance(partitions: &[Relation], new_hosts: usize) -> Vec<Relation> {
-    assert!(new_hosts > 0, "a ring needs at least one host");
+/// [`RecoveryError::EmptyRing`] if `new_hosts` is zero.
+pub fn rebalance(
+    partitions: &[Relation],
+    new_hosts: usize,
+) -> Result<Vec<Relation>, RecoveryError> {
+    if new_hosts == 0 {
+        return Err(RecoveryError::EmptyRing);
+    }
     let mut all = Relation::new();
     for p in partitions {
         all.extend_from(p);
     }
-    all.split_even(new_hosts)
+    Ok(all.split_even(new_hosts))
 }
 
 #[cfg(test)]
@@ -85,7 +155,7 @@ mod tests {
             }
             r
         };
-        let after = absorb_host(original, 2);
+        let after = absorb_host(original, 2).unwrap();
         assert_eq!(after.len(), 3);
         assert_eq!(after.iter().map(Relation::len).sum::<usize>(), before);
         let mut merged = Relation::new();
@@ -100,7 +170,7 @@ mod tests {
         let original = parts();
         let failed_len = original[1].len();
         let successor_len = original[2].len();
-        let after = absorb_host(original, 1);
+        let after = absorb_host(original, 1).unwrap();
         // After removal, index 1 of the new list is the old host 2.
         assert_eq!(after[1].len(), successor_len + failed_len);
     }
@@ -110,15 +180,37 @@ mod tests {
         let original = parts();
         let failed_len = original[3].len();
         let first_len = original[0].len();
-        let after = absorb_host(original, 3);
+        let after = absorb_host(original, 3).unwrap();
         assert_eq!(after[0].len(), first_len + failed_len);
     }
 
     #[test]
-    #[should_panic(expected = "only host")]
     fn cannot_empty_the_ring() {
         let single = vec![GenSpec::uniform(10, 0).generate()];
-        let _ = absorb_host(single, 0);
+        assert_eq!(absorb_host(single, 0), Err(RecoveryError::EmptyRing));
+    }
+
+    #[test]
+    fn out_of_range_host_is_a_typed_error() {
+        let err = absorb_host(parts(), 9).unwrap_err();
+        assert_eq!(err, RecoveryError::HostOutOfRange { failed: 9, hosts: 4 });
+        assert!(err.to_string().contains("host 9 out of range"));
+    }
+
+    #[test]
+    fn takeover_returns_the_orphaned_share() {
+        let original = parts();
+        let share = takeover(&original, 2).unwrap();
+        assert_eq!(
+            relation_checksum(&share),
+            relation_checksum(&original[2]),
+            "the survivor receives exactly the dead host's share"
+        );
+        assert_eq!(takeover(&original[..1], 0), Err(RecoveryError::EmptyRing));
+        assert!(matches!(
+            takeover(&original, 4),
+            Err(RecoveryError::HostOutOfRange { failed: 4, hosts: 4 })
+        ));
     }
 
     #[test]
@@ -126,12 +218,17 @@ mod tests {
         let original = parts();
         let total: usize = original.iter().map(Relation::len).sum();
         for new_hosts in [1, 2, 6, 9] {
-            let re = rebalance(&original, new_hosts);
+            let re = rebalance(&original, new_hosts).unwrap();
             assert_eq!(re.len(), new_hosts);
             assert_eq!(re.iter().map(Relation::len).sum::<usize>(), total);
             let max = re.iter().map(Relation::len).max().unwrap();
             let min = re.iter().map(Relation::len).min().unwrap();
             assert!(max - min <= 1, "rebalance must be even");
         }
+    }
+
+    #[test]
+    fn rebalance_to_zero_hosts_is_rejected() {
+        assert_eq!(rebalance(&parts(), 0), Err(RecoveryError::EmptyRing));
     }
 }

@@ -81,6 +81,40 @@ impl CycloJoinReport {
         self.ring.peak_link_throughput()
     }
 
+    /// Ring-healing events: confirmed host deaths the surviving ring
+    /// bypassed mid-revolution.
+    pub fn heal_events(&self) -> usize {
+        self.ring.heal_events
+    }
+
+    /// Worst-case failure-detection latency in seconds (crash → the
+    /// predecessor exhausting its retransmission budget).
+    pub fn detection_latency_seconds(&self) -> f64 {
+        self.ring.detection_latency.as_secs_f64()
+    }
+
+    /// Total hop retransmissions across all hosts.
+    pub fn retransmits(&self) -> u64 {
+        self.ring.total_retransmits()
+    }
+
+    /// Total corrupted deliveries detected by receive-side checksums.
+    pub fn checksum_mismatches(&self) -> u64 {
+        self.ring.total_checksum_mismatches()
+    }
+
+    /// Fragments re-sent from their origin after dying in a crashed
+    /// host's buffers.
+    pub fn fragments_resent(&self) -> usize {
+        self.ring.fragments_resent
+    }
+
+    /// True if the run saw no faults at all (the baseline invariant:
+    /// runs without a fault plan must always report this).
+    pub fn fault_free(&self) -> bool {
+        self.ring.fault_free()
+    }
+
     /// One-line summary.
     pub fn summary(&self) -> String {
         format!(
@@ -119,6 +153,17 @@ impl CycloJoinReport {
             self.checksum().sum,
             self.join_phase_cpu_load() * 100.0,
         ));
+        if !self.fault_free() {
+            out.push_str(&format!(
+                "  faults: {} heal(s), detection {:.3}s, {} retransmit(s), \
+                 {} checksum mismatch(es), {} fragment(s) re-sent\n",
+                self.heal_events(),
+                self.detection_latency_seconds(),
+                self.retransmits(),
+                self.checksum_mismatches(),
+                self.fragments_resent(),
+            ));
+        }
         out.push_str("  per host: setup / busy / sync (s), fragments\n");
         for (i, h) in self.ring.hosts.iter().enumerate() {
             out.push_str(&format!(
@@ -183,6 +228,7 @@ mod tests {
                 ],
                 wall_clock: SimDuration::from_millis(570),
                 fragments_completed: 4,
+                ..RingMetrics::default()
             },
             result: DistributedResult::default(),
         }
@@ -212,6 +258,26 @@ mod tests {
         let s = sample_report().summary();
         assert_eq!(s.lines().count(), 1);
         assert!(s.contains("2 host(s)"));
+    }
+
+    #[test]
+    fn fault_line_appears_only_on_faulty_runs() {
+        let clean = sample_report();
+        assert!(clean.fault_free());
+        assert!(!clean.render().contains("faults:"));
+        let mut faulty = sample_report();
+        faulty.ring.heal_events = 1;
+        faulty.ring.detection_latency = SimDuration::from_millis(75);
+        faulty.ring.hosts[0].retransmits = 4;
+        faulty.ring.fragments_resent = 2;
+        assert!(!faulty.fault_free());
+        assert_eq!(faulty.heal_events(), 1);
+        assert_eq!(faulty.retransmits(), 4);
+        assert_eq!(faulty.fragments_resent(), 2);
+        assert!((faulty.detection_latency_seconds() - 0.075).abs() < 1e-9);
+        let rendered = faulty.render();
+        assert!(rendered.contains("faults: 1 heal(s)"));
+        assert!(rendered.contains("4 retransmit(s)"));
     }
 
     #[test]

@@ -11,9 +11,10 @@ use std::sync::Arc;
 use relation::Key;
 
 /// A join predicate `p(r.key, s.key)`.
-#[derive(Clone)]
+#[derive(Clone, Default)]
 pub enum JoinPredicate {
     /// `r.key = s.key`.
+    #[default]
     Equi,
     /// `|r.key − s.key| ≤ delta` (band join, DeWitt et al. \[7\]).
     Band {
@@ -77,12 +78,6 @@ impl fmt::Display for JoinPredicate {
             JoinPredicate::Band { delta } => write!(f, "|r.key - s.key| <= {delta}"),
             JoinPredicate::Theta(_) => write!(f, "theta(r.key, s.key)"),
         }
-    }
-}
-
-impl Default for JoinPredicate {
-    fn default() -> Self {
-        JoinPredicate::Equi
     }
 }
 

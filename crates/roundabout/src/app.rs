@@ -32,6 +32,33 @@ pub trait RingApp<P> {
     fn finished(&self) -> bool {
         false
     }
+
+    /// Fault-tolerant processing: the join entity at `host` processes one
+    /// buffer *on behalf of the logical roles in `roles`* — after ring
+    /// healing a survivor serves its own stationary partition plus every
+    /// partition it absorbed from dead predecessors, and an envelope must
+    /// be joined against exactly the not-yet-visited ones. The default
+    /// forwards to [`RingApp::process`] once, which is correct for
+    /// transport-level apps that do not distinguish partitions.
+    fn process_roles(
+        &mut self,
+        host: HostId,
+        roles: &[usize],
+        now: SimTime,
+        payload: &P,
+    ) -> SimDuration {
+        let _ = roles;
+        self.process(host, now, payload)
+    }
+
+    /// Ring healing: `survivor` takes over the stationary partition of the
+    /// logical role `failed` (rebuilding hash tables / sorted runs for the
+    /// orphaned `S_i`). Returns the virtual duration of that takeover.
+    /// The default is free, which suits apps without per-host state.
+    fn absorb(&mut self, survivor: HostId, failed: HostId) -> SimDuration {
+        let _ = (survivor, failed);
+        SimDuration::ZERO
+    }
 }
 
 /// A trivial app for transport-level tests: fixed setup and per-buffer

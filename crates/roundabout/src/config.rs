@@ -29,6 +29,14 @@ pub struct RingConfig {
     pub per_message_overhead: SimDuration,
     /// One-way link propagation latency.
     pub link_latency: SimDuration,
+    /// Per-hop acknowledgement timeout of the reliable transport (only
+    /// consulted when a fault plan is attached): how long a sender waits
+    /// for the successor's ack before retransmitting. Must comfortably
+    /// exceed the largest fragment's serialization time.
+    pub ack_timeout: SimDuration,
+    /// Retransmissions attempted (with exponential backoff) before the
+    /// sender declares its successor dead and triggers ring healing.
+    pub max_retransmits: u32,
 }
 
 impl RingConfig {
@@ -44,6 +52,8 @@ impl RingConfig {
             link_bandwidth: Bandwidth::from_gbit_per_sec(10.0),
             per_message_overhead: SimDuration::from_nanos(3_300),
             link_latency: SimDuration::from_micros(5),
+            ack_timeout: SimDuration::from_millis(25),
+            max_retransmits: 4,
         }
     }
 
@@ -73,6 +83,18 @@ impl RingConfig {
         self
     }
 
+    /// Builder-style override of the reliable transport's ack timeout.
+    pub fn with_ack_timeout(mut self, timeout: SimDuration) -> Self {
+        self.ack_timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the retransmission budget.
+    pub fn with_max_retransmits(mut self, retransmits: u32) -> Self {
+        self.max_retransmits = retransmits;
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -93,6 +115,11 @@ impl RingConfig {
         if self.join_threads > self.cpu.cores as usize {
             return Err(ConfigError::new(
                 "more join threads than CPU cores is never modelled as a speedup",
+            ));
+        }
+        if self.ack_timeout.is_zero() {
+            return Err(ConfigError::new(
+                "the reliable transport needs a positive ack timeout",
             ));
         }
         Ok(())
@@ -204,9 +231,22 @@ mod tests {
         let cfg = RingConfig::paper(3)
             .with_join_threads(2)
             .with_buffers(4)
-            .with_transport(TransportModel::toe());
+            .with_transport(TransportModel::toe())
+            .with_ack_timeout(SimDuration::from_millis(3))
+            .with_max_retransmits(7);
         assert_eq!(cfg.join_threads, 2);
         assert_eq!(cfg.buffers_per_host, 4);
         assert_eq!(cfg.transport.name(), "TOE");
+        assert_eq!(cfg.ack_timeout, SimDuration::from_millis(3));
+        assert_eq!(cfg.max_retransmits, 7);
+    }
+
+    #[test]
+    fn zero_ack_timeout_is_rejected() {
+        let err = RingConfig::paper(2)
+            .with_ack_timeout(SimDuration::ZERO)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("ack timeout"));
     }
 }

@@ -15,11 +15,34 @@ pub trait PayloadBytes {
     /// Number of bytes this payload occupies in a ring-buffer element (and
     /// therefore on the wire when forwarded).
     fn payload_bytes(&self) -> u64;
+
+    /// Content checksum used by the reliable transport to detect corrupted
+    /// deliveries. The default folds only the byte size — types that can
+    /// afford it should hash their content (relations reuse
+    /// [`relation::relation_checksum`]).
+    fn payload_checksum(&self) -> u64 {
+        mix64(self.payload_bytes() ^ 0xc0ff_ee00_d15e_a5e5)
+    }
+}
+
+/// splitmix64-style finalizer shared by the default checksum impls.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
 }
 
 impl PayloadBytes for relation::Relation {
     fn payload_bytes(&self) -> u64 {
         self.byte_volume()
+    }
+
+    fn payload_checksum(&self) -> u64 {
+        let c = relation::relation_checksum(self);
+        c.sum ^ mix64(c.count)
     }
 }
 
@@ -32,6 +55,16 @@ impl PayloadBytes for mem_joins::PreparedFragment {
 impl PayloadBytes for Vec<u8> {
     fn payload_bytes(&self) -> u64 {
         self.len() as u64
+    }
+
+    fn payload_checksum(&self) -> u64 {
+        // FNV-1a over the bytes: cheap and content-sensitive.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in self {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 }
 
@@ -58,6 +91,17 @@ pub struct Envelope<P> {
     /// currently holding it). Starts at the ring size; the envelope is
     /// forwarded while the count stays positive after processing.
     pub hops_remaining: usize,
+    /// Transfer sequence number, stamped by the reliable transport on each
+    /// send attempt (0 on the classic, unacknowledged path).
+    pub seq: u64,
+    /// Content checksum taken at origination; the reliable transport
+    /// verifies it on every receive to detect in-flight corruption.
+    pub checksum: u64,
+    /// Bitmask of logical stationary partitions (`S_i` roles) that already
+    /// processed this envelope. Only maintained by the fault-tolerant
+    /// path, where ring healing makes hop counting insufficient; it is the
+    /// exactly-once ledger that survives retransmissions and re-sends.
+    pub visited: u64,
     /// The data.
     pub payload: P,
 }
@@ -70,10 +114,14 @@ impl<P: PayloadBytes> Envelope<P> {
     /// Panics if `ring_size` is zero.
     pub fn new(id: FragmentId, origin: HostId, ring_size: usize, payload: P) -> Self {
         assert!(ring_size > 0, "ring size must be positive");
+        let checksum = payload.payload_checksum();
         Envelope {
             id,
             origin,
             hops_remaining: ring_size,
+            seq: 0,
+            checksum,
+            visited: 0,
             payload,
         }
     }
@@ -81,6 +129,21 @@ impl<P: PayloadBytes> Envelope<P> {
     /// Bytes this envelope occupies on the wire.
     pub fn bytes(&self) -> u64 {
         self.payload.payload_bytes()
+    }
+
+    /// Verifies the stored checksum against the payload content.
+    pub fn checksum_ok(&self) -> bool {
+        self.checksum == self.payload.payload_checksum()
+    }
+
+    /// Marks the logical roles in `mask` as processed (fault-tolerant path).
+    pub fn mark_visited(&mut self, mask: u64) {
+        self.visited |= mask;
+    }
+
+    /// True once every role in `full_mask` has processed the envelope.
+    pub fn visited_all(&self, full_mask: u64) -> bool {
+        self.visited & full_mask == full_mask
     }
 
     /// Marks one processing step done. Returns `true` if the envelope must
@@ -140,6 +203,29 @@ mod tests {
         let rel = relation::GenSpec::uniform(10, 0).generate();
         let e = Envelope::new(FragmentId(1), HostId(1), 2, rel);
         assert_eq!(e.bytes(), 120);
+    }
+
+    #[test]
+    fn checksum_verifies_content() {
+        let mut e = env(2);
+        assert!(e.checksum_ok());
+        e.payload[0] ^= 0xff;
+        assert!(!e.checksum_ok(), "content change must break the checksum");
+        let rel = relation::GenSpec::uniform(10, 0).generate();
+        let e = Envelope::new(FragmentId(1), HostId(0), 2, rel);
+        assert!(e.checksum_ok());
+    }
+
+    #[test]
+    fn visited_mask_accumulates_roles() {
+        let mut e = env(3);
+        let full = 0b111;
+        assert!(!e.visited_all(full));
+        e.mark_visited(0b001);
+        e.mark_visited(0b100);
+        assert!(!e.visited_all(full));
+        e.mark_visited(0b010);
+        assert!(e.visited_all(full));
     }
 
     #[test]

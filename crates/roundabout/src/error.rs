@@ -1,0 +1,69 @@
+//! Typed errors of the ring backends.
+
+use crate::config::ConfigError;
+
+/// Why a ring run could not start (or was refused), so callers can degrade
+/// gracefully instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// The configuration violated an internal constraint.
+    Config(ConfigError),
+    /// `fragments.len()` did not match the configured host count.
+    Shape {
+        /// Host count the configuration asked for.
+        expected: usize,
+        /// Fragment lists actually supplied.
+        got: usize,
+    },
+    /// The requested fault class is not supported by this backend (e.g.
+    /// host crashes on the thread backend, which has no ring healing).
+    UnsupportedFault(&'static str),
+}
+
+impl From<ConfigError> for RingError {
+    fn from(e: ConfigError) -> Self {
+        RingError::Config(e)
+    }
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::Config(e) => write!(f, "{e}"),
+            RingError::Shape { expected, got } => write!(
+                f,
+                "need one fragment list per host ({expected} hosts, {got} lists)"
+            ),
+            RingError::UnsupportedFault(what) => write!(f, "unsupported fault: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RingError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RingConfig;
+
+    #[test]
+    fn config_errors_convert_and_display() {
+        let err: RingError = RingConfig::paper(0).validate().unwrap_err().into();
+        assert!(err.to_string().contains("at least one host"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn shape_error_names_both_counts() {
+        let err = RingError::Shape { expected: 3, got: 5 };
+        assert!(err.to_string().contains("3 hosts"));
+        assert!(err.to_string().contains("5 lists"));
+    }
+}

@@ -39,6 +39,7 @@ pub mod app;
 pub mod buffer;
 pub mod config;
 pub mod envelope;
+pub mod error;
 pub mod metrics;
 pub mod sim_backend;
 pub mod thread_backend;
@@ -47,8 +48,10 @@ pub use app::{FixedCostApp, RingApp};
 pub use buffer::RegisteredPool;
 pub use config::{ConfigError, RingConfig};
 pub use envelope::{Envelope, FragmentId, PayloadBytes};
+pub use error::RingError;
 pub use metrics::{render_timeline, HostMetrics, RingMetrics};
 pub use sim_backend::{SimOutcome, SimRing};
-pub use thread_backend::run_threaded;
+pub use thread_backend::{run_threaded, run_threaded_reliable};
 
+pub use simnet::fault::FaultPlan;
 pub use simnet::topology::HostId;

@@ -29,6 +29,12 @@ pub struct HostMetrics {
     pub fragments_processed: usize,
     /// Payload bytes this host forwarded to its successor.
     pub bytes_forwarded: u64,
+    /// Transfers this host retransmitted after an ack timeout (reliable
+    /// transport only; zero on the classic path).
+    pub retransmits: u64,
+    /// Envelopes this host rejected at receive time because their content
+    /// checksum did not match (each one provokes a retransmission).
+    pub checksum_mismatches: u64,
 }
 
 impl HostMetrics {
@@ -52,6 +58,16 @@ pub struct RingMetrics {
     pub wall_clock: SimDuration,
     /// Total fragments that completed a full revolution.
     pub fragments_completed: usize,
+    /// Ring-healing events: confirmed host deaths the surviving ring
+    /// bypassed mid-revolution (zero without fault injection).
+    pub heal_events: usize,
+    /// Worst-case failure-detection latency over all heal events: virtual
+    /// time between a host's crash and its predecessor exhausting the
+    /// retransmission budget and declaring it dead.
+    pub detection_latency: SimDuration,
+    /// Fragments re-sent from their origin because a copy was lost in a
+    /// dead host's buffers.
+    pub fragments_resent: usize,
 }
 
 impl RingMetrics {
@@ -106,6 +122,26 @@ impl RingMetrics {
         self.hosts.iter().map(|h| h.bytes_forwarded).sum()
     }
 
+    /// Total retransmissions across all hosts (reliable transport only).
+    pub fn total_retransmits(&self) -> u64 {
+        self.hosts.iter().map(|h| h.retransmits).sum()
+    }
+
+    /// Total checksum mismatches detected across all hosts.
+    pub fn total_checksum_mismatches(&self) -> u64 {
+        self.hosts.iter().map(|h| h.checksum_mismatches).sum()
+    }
+
+    /// True if the run saw no faults at all: no retransmissions, no
+    /// corruption, no healing. Baseline runs must satisfy this.
+    pub fn fault_free(&self) -> bool {
+        self.heal_events == 0
+            && self.fragments_resent == 0
+            && self.detection_latency.is_zero()
+            && self.total_retransmits() == 0
+            && self.total_checksum_mismatches() == 0
+    }
+
     /// Achieved per-link throughput (bytes forwarded by the busiest host
     /// over its join window), the quantity §V-F compares against the
     /// 10 Gb/s ceiling.
@@ -134,6 +170,7 @@ mod tests {
             cpu,
             fragments_processed: 1,
             bytes_forwarded: 1_000_000,
+            ..HostMetrics::default()
         }
     }
 
@@ -143,6 +180,7 @@ mod tests {
             hosts: vec![host(10, 100, 5), host(12, 90, 20)],
             wall_clock: SimDuration::from_millis(130),
             fragments_completed: 2,
+            ..RingMetrics::default()
         };
         assert_eq!(m.setup_time(), SimDuration::from_millis(12));
         assert_eq!(m.join_time(), SimDuration::from_millis(110));
@@ -157,6 +195,24 @@ mod tests {
         assert_eq!(m.setup_time(), SimDuration::ZERO);
         assert_eq!(m.join_time(), SimDuration::ZERO);
         assert_eq!(m.mean_join_phase_load(CpuSpec::paper_xeon()), 0.0);
+        assert!(m.fault_free());
+    }
+
+    #[test]
+    fn fault_counters_sum_and_flag() {
+        let mut m = RingMetrics {
+            hosts: vec![host(0, 1, 0), host(0, 1, 0)],
+            ..RingMetrics::default()
+        };
+        assert!(m.fault_free());
+        m.hosts[0].retransmits = 3;
+        m.hosts[1].checksum_mismatches = 2;
+        m.heal_events = 1;
+        m.detection_latency = SimDuration::from_millis(40);
+        m.fragments_resent = 5;
+        assert_eq!(m.total_retransmits(), 3);
+        assert_eq!(m.total_checksum_mismatches(), 2);
+        assert!(!m.fault_free());
     }
 
     #[test]
@@ -173,6 +229,7 @@ mod tests {
             hosts: vec![host(0, 100, 0)],
             wall_clock: SimDuration::from_millis(100),
             fragments_completed: 1,
+            ..RingMetrics::default()
         };
         // 1 MB over 100 ms = 10 MB/s.
         assert!((m.peak_link_throughput() - 1e7).abs() < 1e3);
@@ -236,6 +293,7 @@ mod timeline_tests {
             hosts: vec![host(10, 30, 10), host(10, 40, 0)],
             wall_clock: SimDuration::from_millis(50),
             fragments_completed: 1,
+            ..RingMetrics::default()
         };
         let rendered = render_timeline(&metrics, 50);
         assert!(rendered.contains("H0 |"));
@@ -258,6 +316,7 @@ mod timeline_tests {
             hosts: vec![host(0, 100, 0)],
             wall_clock: SimDuration::from_millis(100),
             fragments_completed: 1,
+            ..RingMetrics::default()
         };
         let rendered = render_timeline(&metrics, 60);
         let lane = rendered.lines().next().unwrap();

@@ -26,9 +26,10 @@
 //!   Under RDMA, `d_eff = d`: the join "is never interrupted by the
 //!   network".
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use simnet::cpu::{CostCategory, CpuAccount};
+use simnet::fault::FaultPlan;
 use simnet::rnic::{Completion, MemoryRegion, QueuePair, Rnic, WorkRequest};
 use simnet::engine::Simulation;
 use simnet::link::Link;
@@ -50,6 +51,15 @@ const EVENT_BUDGET_PER_UNIT: u64 = 64;
 /// Event budget for continuous (Data Cyclotron) rotations, which end when
 /// the application says so rather than when fragments retire.
 const CONTINUOUS_EVENT_BUDGET: u64 = 50_000_000;
+
+/// The reliable transport's fault path needs room for acks, timeouts,
+/// retransmissions and probes on top of the classic event stream.
+const FAULT_BUDGET_FACTOR: u64 = 8;
+const FAULT_BUDGET_SLACK: u64 = 100_000;
+
+/// Wire size of a per-hop acknowledgement (a control message riding the
+/// backward direction of the full-duplex hop link).
+const ACK_BYTES: u64 = 64;
 
 /// The outcome of a simulated ring run.
 #[derive(Debug)]
@@ -118,6 +128,155 @@ enum RingEvent<P> {
     JoinDone { host: HostId },
     Arrived { to: HostId, env: Envelope<P> },
     SendDone { from: HostId, completion: Option<Completion> },
+    /// The receiver's NIC acknowledged transfer `seq` (fault mode only).
+    AckArrived { seq: u64 },
+    /// The sender's retransmission timer for attempt `attempt` of transfer
+    /// `seq` fired (stale if the transfer was acked or re-attempted since).
+    AckTimeout { seq: u64, attempt: u32 },
+    /// A sender blocked on its successor's full receive pool probes it.
+    ProbeTimeout { from: HostId, to: HostId, attempt: u32 },
+    /// Scheduled adversity from the fault plan.
+    Crash { host: HostId },
+    Pause { host: HostId },
+    Resume { host: HostId },
+    /// The ring-healing successor finished rebuilding the absorbed
+    /// stationary partitions and may join again.
+    AbsorbDone { host: HostId },
+}
+
+/// One unacknowledged transfer of the reliable transport.
+struct InFlight<P> {
+    from: HostId,
+    to: HostId,
+    /// Pristine copy for retransmission (corruption is injected on the
+    /// transmitted clone, never on this master).
+    env: Envelope<P>,
+    /// Send attempts made so far (1 = the initial transmission).
+    attempts: u32,
+    /// Whether the most recent attempt put an intact copy on the wire
+    /// toward a then-live receiver. Consulted during healing to decide
+    /// between "the receiver has it" and "lost — re-send from origin".
+    maybe_live: bool,
+}
+
+/// Bookkeeping of the fault-tolerant transport, present only when a
+/// [`FaultPlan`] is attached. The classic path never touches it, so runs
+/// without a plan are byte-identical to the pre-fault backend.
+struct FaultCtx<P> {
+    plan: FaultPlan,
+    /// Ground truth: the host stopped acting (its buffers are retained
+    /// until healing salvages them).
+    crashed: Vec<bool>,
+    /// Routing truth: a peer exhausted its retransmission budget and the
+    /// ring now bypasses this host.
+    confirmed_dead: Vec<bool>,
+    paused: Vec<bool>,
+    /// Successor busy rebuilding absorbed partitions (joins gated).
+    absorbing: Vec<bool>,
+    /// Logical stationary partitions (`S_i` roles) each host serves;
+    /// starts as `roles[h] == [h]` and grows through healing.
+    roles: Vec<Vec<usize>>,
+    next_seq: u64,
+    in_flight: BTreeMap<u64, InFlight<P>>,
+    /// Transfers accepted by some receiver — dedupes the copies that
+    /// spurious retransmissions deliver twice.
+    accepted_seqs: HashSet<u64>,
+    /// Transfers rerouted at their sender after the receiver's death was
+    /// confirmed; a late arrival of the original copy at the corpse must
+    /// not be salvaged a second time.
+    requeued: HashSet<u64>,
+    /// Stop-and-wait: the transfer each host is awaiting an ack for.
+    awaiting: Vec<Option<u64>>,
+    /// Outstanding pool-blocked probe per sender: `(target, attempt)`.
+    probing: Vec<Option<(HostId, u32)>>,
+    retransmits: Vec<u64>,
+    checksum_mismatches: Vec<u64>,
+    heal_events: usize,
+    fragments_resent: usize,
+    detection_latency: SimDuration,
+    /// `visited` mask covering every logical role.
+    full_mask: u64,
+    /// Last instant of real progress (setup, join, retirement, absorb) —
+    /// the fault-mode wall clock, so trailing ack chatter does not pad the
+    /// reported runtime.
+    last_progress: SimTime,
+}
+
+impl<P> FaultCtx<P> {
+    fn new(plan: FaultPlan, hosts: usize) -> Self {
+        FaultCtx {
+            plan,
+            crashed: vec![false; hosts],
+            confirmed_dead: vec![false; hosts],
+            paused: vec![false; hosts],
+            absorbing: vec![false; hosts],
+            roles: (0..hosts).map(|h| vec![h]).collect(),
+            next_seq: 1,
+            in_flight: BTreeMap::new(),
+            accepted_seqs: HashSet::new(),
+            requeued: HashSet::new(),
+            awaiting: vec![None; hosts],
+            probing: vec![None; hosts],
+            retransmits: vec![0; hosts],
+            checksum_mismatches: vec![0; hosts],
+            heal_events: 0,
+            fragments_resent: 0,
+            detection_latency: SimDuration::ZERO,
+            full_mask: if hosts >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << hosts) - 1
+            },
+            last_progress: SimTime::ZERO,
+        }
+    }
+
+    /// Bitmask of the roles `host` currently serves.
+    fn role_mask(&self, host: HostId) -> u64 {
+        self.roles[host.0].iter().fold(0u64, |m, r| m | (1u64 << r))
+    }
+
+    /// The nearest clockwise successor the ring still routes to (`host`
+    /// itself when it is the sole survivor).
+    fn next_alive(&self, host: HostId) -> HostId {
+        let n = self.confirmed_dead.len();
+        for step in 1..=n {
+            let h = (host.0 + step) % n;
+            if !self.confirmed_dead[h] {
+                return HostId(h);
+            }
+        }
+        host
+    }
+
+    /// The nearest counterclockwise predecessor still routed to.
+    fn prev_alive(&self, host: HostId) -> HostId {
+        let n = self.confirmed_dead.len();
+        for step in 1..=n {
+            let h = (host.0 + n - (step % n)) % n;
+            if !self.confirmed_dead[h] {
+                return HostId(h);
+            }
+        }
+        host
+    }
+
+    /// Where a salvaged fragment re-enters the ring: its origin, or (when
+    /// the origin itself crashed) the nearest not-crashed host after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when every host crashed — there is nobody left to re-send.
+    fn inject_target(&self, origin: HostId) -> HostId {
+        let n = self.crashed.len();
+        for step in 0..n {
+            let h = (origin.0 + step) % n;
+            if !self.crashed[h] {
+                return HostId(h);
+            }
+        }
+        panic!("every host crashed — no survivor left to re-send lost fragments");
+    }
 }
 
 /// A configured, ready-to-run simulated ring.
@@ -128,9 +287,10 @@ pub struct SimRing<P, A> {
     trace: bool,
     continuous: bool,
     host_speed: Option<Vec<f64>>,
+    fault_plan: Option<FaultPlan>,
 }
 
-impl<P: PayloadBytes, A: RingApp<P>> SimRing<P, A> {
+impl<P: PayloadBytes + Clone, A: RingApp<P>> SimRing<P, A> {
     /// Prepares a run: `fragments[h]` are the local fragments host `h`
     /// contributes to the rotation.
     ///
@@ -154,7 +314,27 @@ impl<P: PayloadBytes, A: RingApp<P>> SimRing<P, A> {
             trace: false,
             continuous: false,
             host_speed: None,
+            fault_plan: None,
         }
+    }
+
+    /// Attaches a deterministic [`FaultPlan`] and switches the transport
+    /// into its reliable mode: sequence-numbered, checksummed envelopes
+    /// with per-hop acknowledgement, timeout-driven retransmission with
+    /// bounded exponential backoff, and mid-revolution ring healing when a
+    /// host's death is confirmed. Attaching even a quiet plan changes the
+    /// protocol (acks flow); omitting the plan keeps the classic path
+    /// byte-identical to the unreliable backend.
+    ///
+    /// # Panics
+    ///
+    /// `run` panics if the plan is combined with continuous rotation, if a
+    /// crash is scheduled on a single-host ring (there is nobody left to
+    /// heal), or if the ring has more than 64 hosts (the exactly-once
+    /// ledger is a 64-bit role bitmask).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Makes hosts heterogeneous: host `h`'s join durations are divided by
@@ -243,9 +423,10 @@ struct Runner<P, A> {
     fragments_completed: usize,
     wall_clock: SimTime,
     tracer: Tracer,
+    fault: Option<FaultCtx<P>>,
 }
 
-impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
+impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
     fn new(ring: SimRing<P, A>) -> Self {
         let n = ring.config.hosts;
         if let Some(speed) = &ring.host_speed {
@@ -253,6 +434,17 @@ impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
             assert!(
                 speed.iter().all(|s| s.is_finite() && *s > 0.0),
                 "host speed factors must be finite and positive"
+            );
+        }
+        if let Some(plan) = &ring.fault_plan {
+            assert!(
+                !ring.continuous,
+                "fault injection requires run-to-retirement mode, not continuous rotation"
+            );
+            assert!(n <= 64, "the exactly-once role bitmask supports at most 64 hosts");
+            assert!(
+                n > 1 || plan.crashes().is_empty(),
+                "cannot heal a single-host ring around a crash"
             );
         }
         let network = RingNetwork::new(n, effective_link(&ring.config));
@@ -312,11 +504,12 @@ impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
             } else {
                 Tracer::disabled()
             },
+            fault: ring.fault_plan.map(|plan| FaultCtx::new(plan, n)),
         }
     }
 
     fn run(mut self) -> SimOutcome<A> {
-        let budget = if self.continuous {
+        let mut budget = if self.continuous {
             // Continuous rotations are open-ended; give them a generous
             // but finite budget so a never-finishing app fails loudly.
             CONTINUOUS_EVENT_BUDGET
@@ -325,10 +518,22 @@ impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
                 * (self.fragments_total as u64 + 1)
                 * (self.config.hosts as u64 + 1)
         };
+        if self.fault.is_some() {
+            budget = budget * FAULT_BUDGET_FACTOR + FAULT_BUDGET_SLACK;
+        }
         let mut sim: Simulation<RingEvent<P>> = Simulation::new().with_event_limit(budget);
         for h in 0..self.config.hosts {
             let d = self.app.setup(HostId(h));
             sim.schedule_in(d, RingEvent::SetupDone { host: HostId(h) });
+        }
+        if let Some(f) = &self.fault {
+            for c in f.plan.crashes() {
+                sim.schedule_at(c.at, RingEvent::Crash { host: c.host });
+            }
+            for p in f.plan.pauses() {
+                sim.schedule_at(p.at, RingEvent::Pause { host: p.host });
+                sim.schedule_at(p.at + p.duration, RingEvent::Resume { host: p.host });
+            }
         }
         while let Some(ev) = sim.step() {
             self.handle(&mut sim, ev);
@@ -336,7 +541,12 @@ impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
                 break;
             }
         }
-        self.wall_clock = sim.now();
+        self.wall_clock = match &self.fault {
+            // Trailing ack/timeout chatter after the last retirement must
+            // not pad the reported runtime.
+            Some(f) => f.last_progress,
+            None => sim.now(),
+        };
         if self.continuous {
             assert!(
                 self.stopped || self.fragments_total == 0,
@@ -352,6 +562,14 @@ impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
     }
 
     fn handle(&mut self, sim: &mut Simulation<RingEvent<P>>, ev: RingEvent<P>) {
+        if self.fault.is_some() {
+            // Temporarily take the fault context so handlers can borrow it
+            // alongside the host states.
+            let mut f = self.fault.take().expect("checked is_some");
+            self.handle_fault(sim, &mut f, ev);
+            self.fault = Some(f);
+            return;
+        }
         match ev {
             RingEvent::SetupDone { host } => {
                 self.hosts[host.0].setup_done = Some(sim.now());
@@ -368,6 +586,625 @@ impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
             RingEvent::SendDone { from, completion } => {
                 self.on_send_done(sim, from, completion);
             }
+            RingEvent::AckArrived { .. }
+            | RingEvent::AckTimeout { .. }
+            | RingEvent::ProbeTimeout { .. }
+            | RingEvent::Crash { .. }
+            | RingEvent::Pause { .. }
+            | RingEvent::Resume { .. }
+            | RingEvent::AbsorbDone { .. } => {
+                unreachable!("fault-mode event scheduled without a fault plan")
+            }
+        }
+    }
+
+    fn handle_fault(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        ev: RingEvent<P>,
+    ) {
+        match ev {
+            RingEvent::SetupDone { host } => {
+                if f.crashed[host.0] {
+                    return;
+                }
+                self.hosts[host.0].setup_done = Some(sim.now());
+                self.hosts[host.0].last_join_done = sim.now();
+                f.last_progress = f.last_progress.max(sim.now());
+                self.tracer.record(sim.now(), host, "setup done");
+                self.try_start_join_fault(sim, f, host);
+            }
+            RingEvent::JoinDone { host } => self.on_join_done_fault(sim, f, host),
+            RingEvent::Arrived { to, env } => self.on_arrived_fault(sim, f, to, env),
+            RingEvent::SendDone { from, completion } => {
+                self.hosts[from.0].sending = false;
+                if let (Some(c), Some((_, qp, _))) = (completion, self.rnics[from.0].as_mut()) {
+                    // Retransmissions can leave several completions queued;
+                    // reap leniently rather than insisting on strict pairing.
+                    qp.complete(c);
+                    let _ = qp.poll_cq();
+                }
+                if !f.crashed[from.0] {
+                    self.try_send_fault(sim, f, from);
+                }
+            }
+            RingEvent::AckArrived { seq } => self.on_ack_arrived(sim, f, seq),
+            RingEvent::AckTimeout { seq, attempt } => self.on_ack_timeout(sim, f, seq, attempt),
+            RingEvent::ProbeTimeout { from, to, attempt } => {
+                self.on_probe_timeout(sim, f, from, to, attempt)
+            }
+            RingEvent::Crash { host } => {
+                if f.crashed[host.0] {
+                    return;
+                }
+                f.crashed[host.0] = true;
+                self.tracer.record(sim.now(), host, "crashed");
+            }
+            RingEvent::Pause { host } => {
+                if f.crashed[host.0] {
+                    return;
+                }
+                f.paused[host.0] = true;
+                self.tracer.record(sim.now(), host, "paused");
+            }
+            RingEvent::Resume { host } => {
+                if f.crashed[host.0] {
+                    return;
+                }
+                f.paused[host.0] = false;
+                self.tracer.record(sim.now(), host, "resumed");
+                self.try_start_join_fault(sim, f, host);
+                self.try_send_fault(sim, f, host);
+            }
+            RingEvent::AbsorbDone { host } => {
+                if f.crashed[host.0] {
+                    return;
+                }
+                f.absorbing[host.0] = false;
+                f.last_progress = f.last_progress.max(sim.now());
+                self.tracer.record(sim.now(), host, "absorb complete");
+                self.try_start_join_fault(sim, f, host);
+                self.try_send_fault(sim, f, host);
+            }
+        }
+    }
+
+    /// Fault-mode receive: NIC-level checksum verification, duplicate
+    /// suppression and acknowledgement, all active even while the host's
+    /// software is paused. A crashed host's NIC is a black hole.
+    fn on_arrived_fault(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        to: HostId,
+        env: Envelope<P>,
+    ) {
+        let seq = env.seq;
+        if f.crashed[to.0] {
+            if let Some(entry) = f.in_flight.get_mut(&seq) {
+                // The sender still tracks this transfer; its timeout path
+                // will retransmit or reroute. The copy itself dies here.
+                entry.maybe_live = false;
+            } else if !f.requeued.remove(&seq) {
+                // The sender healed past this transfer believing the copy
+                // delivered — salvage it from the wire.
+                self.resend_from_origin(sim, f, env);
+            }
+            return;
+        }
+        if !env.checksum_ok() {
+            f.checksum_mismatches[to.0] += 1;
+            self.tracer
+                .record(sim.now(), to, format!("checksum mismatch on {}", env.id));
+            // No ack: the sender's timeout drives the retransmission.
+            return;
+        }
+        // Ack at NIC level on the backward channel of the sender's link, so
+        // acks never contend with payload and paused hosts still answer.
+        if let Some(entry) = f.in_flight.get(&seq) {
+            let ack = self.network.reserve_hop_back(sim.now(), entry.from, ACK_BYTES);
+            sim.schedule_at(ack.arrival, RingEvent::AckArrived { seq });
+        }
+        if !f.accepted_seqs.insert(seq) {
+            // A spurious retransmission delivered a second copy.
+            self.tracer
+                .record(sim.now(), to, format!("duplicate {} dropped", env.id));
+            return;
+        }
+        let cost = match self.config.transport {
+            TransportModel::Rdma(cfg) => {
+                let mut acc = CpuAccount::new();
+                acc.charge(CostCategory::Driver, cfg.completion_overhead);
+                acc
+            }
+            _ => self
+                .config
+                .transport
+                .comm_cpu(self.config.cpu, env.bytes(), 1),
+        };
+        self.hosts[to.0].join_cpu.merge(&cost);
+        self.tracer
+            .record(sim.now(), to, format!("received {} ({} B)", env.id, env.bytes()));
+        self.hosts[to.0].incoming.push_back(Held { env, pooled: true });
+        self.try_start_join_fault(sim, f, to);
+    }
+
+    fn on_ack_arrived(&mut self, sim: &mut Simulation<RingEvent<P>>, f: &mut FaultCtx<P>, seq: u64) {
+        let Some(entry) = f.in_flight.remove(&seq) else {
+            return; // transfer already settled (healed or superseded)
+        };
+        if f.awaiting[entry.from.0] == Some(seq) {
+            f.awaiting[entry.from.0] = None;
+        }
+        if !f.crashed[entry.from.0] {
+            self.try_send_fault(sim, f, entry.from);
+        }
+    }
+
+    fn on_ack_timeout(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        seq: u64,
+        attempt: u32,
+    ) {
+        let (from, to, attempts) = match f.in_flight.get(&seq) {
+            Some(e) => (e.from, e.to, e.attempts),
+            None => return, // acked or rerouted in the meantime
+        };
+        if attempts != attempt {
+            return; // stale timer of an earlier attempt
+        }
+        if f.crashed[from.0] {
+            return; // dead senders do not retransmit; healing recovers this
+        }
+        if f.confirmed_dead[to.0] {
+            // Someone else confirmed the death first: reroute this transfer
+            // to the head of the queue so it takes the healed path next.
+            let entry = f.in_flight.remove(&seq).expect("looked up above");
+            f.requeued.insert(seq);
+            if f.awaiting[from.0] == Some(seq) {
+                f.awaiting[from.0] = None;
+            }
+            self.hosts[from.0].outgoing.push_front(entry.env);
+            self.try_send_fault(sim, f, from);
+            return;
+        }
+        if attempts > self.config.max_retransmits {
+            // Budget exhausted: the successor is dead. (A live receiver
+            // always acks eventually — corruption rerolls per attempt.)
+            self.confirm_death(sim, f, to);
+            return;
+        }
+        let entry = f.in_flight.get_mut(&seq).expect("looked up above");
+        entry.attempts += 1;
+        f.retransmits[from.0] += 1;
+        self.tracer.record(
+            sim.now(),
+            from,
+            format!("retransmit {} (attempt {})", entry.env.id, attempt + 1),
+        );
+        self.transmit_attempt(sim, f, seq);
+    }
+
+    fn on_probe_timeout(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        from: HostId,
+        to: HostId,
+        attempt: u32,
+    ) {
+        if f.probing[from.0] != Some((to, attempt)) {
+            return; // stale probe
+        }
+        if f.crashed[from.0] {
+            f.probing[from.0] = None;
+            return;
+        }
+        let blocked = !self.hosts[from.0].outgoing.is_empty()
+            && !self.hosts[from.0].sending
+            && f.awaiting[from.0].is_none()
+            && !f.confirmed_dead[to.0]
+            && f.next_alive(from) == to
+            && self.hosts[to.0].pool_used >= self.config.buffers_per_host;
+        if !blocked {
+            f.probing[from.0] = None;
+            self.try_send_fault(sim, f, from);
+            return;
+        }
+        if f.crashed[to.0] {
+            // The probe went unanswered: a crashed NIC. Count attempts with
+            // the same budget and backoff as data retransmissions.
+            if attempt > self.config.max_retransmits {
+                f.probing[from.0] = None;
+                self.confirm_death(sim, f, to);
+            } else {
+                f.probing[from.0] = Some((to, attempt + 1));
+                let backoff = self.config.ack_timeout * (1u64 << attempt.min(20));
+                sim.schedule_in(
+                    backoff,
+                    RingEvent::ProbeTimeout { from, to, attempt: attempt + 1 },
+                );
+            }
+        } else {
+            // The successor's NIC answered: alive, just slow or paused.
+            // Keep watching at the base interval.
+            f.probing[from.0] = Some((to, 1));
+            sim.schedule_in(
+                self.config.ack_timeout,
+                RingEvent::ProbeTimeout { from, to, attempt: 1 },
+            );
+        }
+    }
+
+    /// Fault-mode join start: computes the set of not-yet-visited roles
+    /// this host serves, marks them in the exactly-once ledger at join
+    /// *start* (joins are atomic units whose output is modeled as durably
+    /// streamed at process time), and forwards fully-covered envelopes
+    /// without joining.
+    fn try_start_join_fault(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        host: HostId,
+    ) {
+        loop {
+            let state = &self.hosts[host.0];
+            if f.crashed[host.0]
+                || f.paused[host.0]
+                || f.absorbing[host.0]
+                || state.setup_done.is_none()
+                || state.processing.is_some()
+                || state.incoming.is_empty()
+            {
+                return;
+            }
+            let mut held = self.hosts[host.0].incoming.pop_front().expect("checked non-empty");
+            let apply = f.role_mask(host) & !held.env.visited;
+            if apply == 0 {
+                // Every partition this host serves already joined this
+                // fragment (healed-route pass-through): forward unjoined.
+                if held.pooled {
+                    self.hosts[host.0].pool_used -= 1;
+                    let prev = f.prev_alive(host);
+                    self.try_send_fault(sim, f, prev);
+                }
+                self.tracer
+                    .record(sim.now(), host, format!("pass-through {}", held.env.id));
+                self.route_onward_fault(sim, f, host, held.env);
+                continue;
+            }
+            held.env.mark_visited(apply);
+            let roles: Vec<usize> = f.roles[host.0]
+                .iter()
+                .copied()
+                .filter(|r| apply & (1u64 << r) != 0)
+                .collect();
+            let d_base = self.app.process_roles(host, &roles, sim.now(), &held.env.payload);
+            let d_base = match &self.host_speed {
+                Some(speed) => d_base * (1.0 / speed[host.0]),
+                None => d_base,
+            };
+            let slowdown = f.plan.slowdown(host);
+            let d_base = if slowdown == 1.0 {
+                d_base
+            } else {
+                d_base * (1.0 / slowdown)
+            };
+            let d_eff = self.effective_join_duration(d_base, held.env.bytes());
+            let state = &mut self.hosts[host.0];
+            state
+                .join_cpu
+                .charge(CostCategory::Compute, d_base * self.config.join_threads as u64);
+            state.join_busy += d_eff;
+            self.tracer
+                .record(sim.now(), host, format!("join start {} for {}", held.env.id, d_eff));
+            self.hosts[host.0].processing = Some(held);
+            sim.schedule_in(d_eff, RingEvent::JoinDone { host });
+            return;
+        }
+    }
+
+    fn on_join_done_fault(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        host: HostId,
+    ) {
+        if f.crashed[host.0] {
+            // The join died with the host; healing salvages its envelope.
+            return;
+        }
+        let held = self.hosts[host.0]
+            .processing
+            .take()
+            .expect("JoinDone without an envelope in processing");
+        let state = &mut self.hosts[host.0];
+        state.fragments_processed += 1;
+        state.last_join_done = sim.now();
+        f.last_progress = f.last_progress.max(sim.now());
+        if held.pooled {
+            state.pool_used -= 1;
+            let prev = f.prev_alive(host);
+            self.try_send_fault(sim, f, prev);
+        }
+        self.tracer
+            .record(sim.now(), host, format!("processed {}, routing onward", held.env.id));
+        self.route_onward_fault(sim, f, host, held.env);
+        self.try_start_join_fault(sim, f, host);
+    }
+
+    /// Retires a fully-visited envelope or queues it for the next hop.
+    fn route_onward_fault(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        host: HostId,
+        env: Envelope<P>,
+    ) {
+        let id = env.id;
+        if env.visited_all(f.full_mask) {
+            self.tracer.record(sim.now(), host, format!("retired {id}"));
+            self.fragments_completed += 1;
+            f.last_progress = f.last_progress.max(sim.now());
+            return;
+        }
+        self.hosts[host.0].outgoing.push_back(env);
+        self.try_send_fault(sim, f, host);
+    }
+
+    /// Fault-mode transmit: stop-and-wait per sender with the successor
+    /// chosen through the healed routing table.
+    fn try_send_fault(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        host: HostId,
+    ) {
+        if self.config.hosts == 1 {
+            return;
+        }
+        if f.crashed[host.0] || f.paused[host.0] {
+            return;
+        }
+        if self.hosts[host.0].sending
+            || f.awaiting[host.0].is_some()
+            || self.hosts[host.0].outgoing.is_empty()
+        {
+            return;
+        }
+        let next = f.next_alive(host);
+        if next == host {
+            // Sole survivor: remaining rotation work loops back locally.
+            while let Some(env) = self.hosts[host.0].outgoing.pop_front() {
+                self.hosts[host.0].incoming.push_back(Held { env, pooled: false });
+            }
+            self.try_start_join_fault(sim, f, host);
+            return;
+        }
+        if self.hosts[next.0].pool_used >= self.config.buffers_per_host {
+            // Blocked on the successor's receive pool. Probe it so a corpse
+            // with a full pool is still detected (no data, no ack timeout).
+            if f.probing[host.0].is_none() {
+                f.probing[host.0] = Some((next, 1));
+                sim.schedule_in(
+                    self.config.ack_timeout,
+                    RingEvent::ProbeTimeout { from: host, to: next, attempt: 1 },
+                );
+            }
+            return;
+        }
+        f.probing[host.0] = None;
+        let mut env = self.hosts[host.0].outgoing.pop_front().expect("checked non-empty");
+        self.hosts[next.0].pool_used += 1;
+        let seq = f.next_seq;
+        f.next_seq += 1;
+        env.seq = seq;
+        f.awaiting[host.0] = Some(seq);
+        f.in_flight.insert(
+            seq,
+            InFlight { from: host, to: next, env, attempts: 1, maybe_live: false },
+        );
+        self.transmit_attempt(sim, f, seq);
+    }
+
+    /// Puts one attempt of transfer `seq` on the wire, rolling the fault
+    /// plan's dice for this `(link, seq, attempt)` tuple.
+    fn transmit_attempt(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        seq: u64,
+    ) {
+        let (from, to, bytes, attempt) = {
+            let e = f.in_flight.get(&seq).expect("transmit of unknown transfer");
+            (e.from, e.to, e.env.bytes(), e.attempts)
+        };
+        let dropped = f.plan.should_drop(from, seq, attempt);
+        let corrupt = !dropped && f.plan.should_corrupt(from, seq, attempt);
+        let spike = f.plan.delay_spike(from, seq, attempt);
+        let sent = {
+            let e = f.in_flight.get_mut(&seq).expect("looked up above");
+            e.maybe_live = !dropped && !corrupt && !f.crashed[to.0];
+            let mut s = e.env.clone();
+            if corrupt {
+                // In-flight bit flips: the receiver's checksum verification
+                // rejects the copy and withholds the ack.
+                s.checksum = !s.checksum;
+            }
+            s
+        };
+        let mut pending_completion = None;
+        let reservation = if let Some((rnic, qp, region)) = self.rnics[from.0].as_mut() {
+            let wr = WorkRequest {
+                wr_id: self.next_wr_id,
+                region: region.id,
+                bytes,
+            };
+            self.next_wr_id += 1;
+            let link = self
+                .network
+                .outgoing_link_mut(from)
+                .expect("multi-host ring has links");
+            let outcome = qp.post_send(rnic, link, sim.now(), simnet::link::Direction::Forward, wr);
+            self.hosts[from.0]
+                .join_cpu
+                .charge(CostCategory::Driver, outcome.post_cpu);
+            pending_completion = Some(outcome.completion);
+            outcome.reservation
+        } else {
+            let cost = self.config.transport.comm_cpu(self.config.cpu, bytes, 1);
+            self.hosts[from.0].join_cpu.merge(&cost);
+            self.network.reserve_hop(sim.now(), from, bytes)
+        };
+        self.hosts[from.0].sending = true;
+        self.hosts[from.0].bytes_forwarded += bytes;
+        self.tracer.record(
+            sim.now(),
+            from,
+            format!("send {} ({} B) → {}", sent.id, bytes, to),
+        );
+        sim.schedule_at(
+            reservation.wire_free,
+            RingEvent::SendDone { from, completion: pending_completion },
+        );
+        if !dropped {
+            sim.schedule_at(reservation.arrival + spike, RingEvent::Arrived { to, env: sent });
+        }
+        let rto = self.config.ack_timeout * (1u64 << (attempt - 1).min(20));
+        sim.schedule_in(rto, RingEvent::AckTimeout { seq, attempt });
+    }
+
+    /// A peer exhausted its retransmission budget against `dead`: bypass
+    /// it, let its successor absorb the orphaned stationary partitions, and
+    /// re-send every fragment copy lost in its buffers from the fragment's
+    /// origin — mid-revolution ring healing.
+    fn confirm_death(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        dead: HostId,
+    ) {
+        if f.confirmed_dead[dead.0] {
+            return;
+        }
+        assert!(
+            f.crashed[dead.0],
+            "retransmission budget exhausted against a live host — raise max_retransmits \
+             or lower the corruption rate; the failure detector must not kill live hosts"
+        );
+        f.confirmed_dead[dead.0] = true;
+        assert!(
+            f.confirmed_dead.iter().any(|d| !d),
+            "every host died — nothing left to heal the ring"
+        );
+        f.heal_events += 1;
+        let crash_at = f.plan.crash_time(dead).expect("confirmed host has a scheduled crash");
+        let latency = sim.now().saturating_duration_since(crash_at);
+        f.detection_latency = f.detection_latency.max(latency);
+        self.tracer.record(
+            sim.now(),
+            dead,
+            format!("confirmed dead ({latency} after crash); healing ring"),
+        );
+
+        // 1. The ring successor absorbs the orphaned stationary partitions.
+        let successor = f.next_alive(dead);
+        let orphaned: Vec<usize> = std::mem::take(&mut f.roles[dead.0]);
+        let mut absorb_cost = SimDuration::ZERO;
+        for &r in &orphaned {
+            absorb_cost += self.app.absorb(successor, HostId(r));
+            f.roles[successor.0].push(r);
+            self.tracer
+                .record(sim.now(), successor, format!("absorbed role S{r}"));
+        }
+        if !orphaned.is_empty() {
+            self.hosts[successor.0]
+                .join_cpu
+                .charge(CostCategory::Compute, absorb_cost);
+            self.hosts[successor.0].join_busy += absorb_cost;
+            f.absorbing[successor.0] = true;
+            sim.schedule_in(absorb_cost, RingEvent::AbsorbDone { host: successor });
+        }
+
+        // 2. Salvage every fragment copy lost in the dead host's buffers.
+        let mut lost: Vec<Envelope<P>> = Vec::new();
+        let dead_state = &mut self.hosts[dead.0];
+        lost.extend(dead_state.incoming.drain(..).map(|h| h.env));
+        lost.extend(dead_state.processing.take().map(|h| h.env));
+        lost.extend(dead_state.outgoing.drain(..));
+        dead_state.pool_used = 0;
+        dead_state.sending = false;
+        f.awaiting[dead.0] = None;
+        f.probing[dead.0] = None;
+
+        // 3. Settle in-flight transfers touching the corpse: transfers *to*
+        //    it reroute at their sender; transfers *from* it either survive
+        //    at the receiver (only the ack back to the corpse was lost) or
+        //    are genuinely gone and join the re-send set.
+        let touching: Vec<u64> = f
+            .in_flight
+            .iter()
+            .filter(|(_, e)| e.to == dead || e.from == dead)
+            .map(|(s, _)| *s)
+            .collect();
+        for seq in touching {
+            let entry = f.in_flight.remove(&seq).expect("listed above");
+            if entry.to == dead {
+                f.requeued.insert(seq);
+                if f.awaiting[entry.from.0] == Some(seq) {
+                    f.awaiting[entry.from.0] = None;
+                }
+                self.hosts[entry.from.0].outgoing.push_front(entry.env);
+            } else if !entry.maybe_live {
+                lost.push(entry.env);
+            }
+        }
+        for env in lost {
+            self.resend_from_origin(sim, f, env);
+        }
+
+        // 4. Kick every survivor: blocked transmitters now route around the
+        //    corpse, and salvaged fragments may be waiting to be joined.
+        for h in 0..self.config.hosts {
+            if !f.confirmed_dead[h] && !f.crashed[h] {
+                self.try_send_fault(sim, f, HostId(h));
+                self.try_start_join_fault(sim, f, HostId(h));
+            }
+        }
+    }
+
+    /// Re-injects a fragment whose only live copy was lost with a dead
+    /// host, from its origin (the fragment's home, which still holds it).
+    fn resend_from_origin(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        mut env: Envelope<P>,
+    ) {
+        if env.visited_all(f.full_mask) {
+            // The dead host crashed between starting and finishing the last
+            // join; the output is modeled as streamed at process time, so
+            // the fragment simply retires.
+            self.tracer
+                .record(sim.now(), env.origin, format!("retired {} (salvaged)", env.id));
+            self.fragments_completed += 1;
+            f.last_progress = f.last_progress.max(sim.now());
+            return;
+        }
+        let target = f.inject_target(env.origin);
+        env.seq = 0;
+        f.fragments_resent += 1;
+        self.tracer
+            .record(sim.now(), target, format!("re-sent {} from origin", env.id));
+        if f.role_mask(target) & !env.visited != 0 {
+            self.hosts[target.0].incoming.push_back(Held { env, pooled: false });
+            self.try_start_join_fault(sim, f, target);
+        } else {
+            self.hosts[target.0].outgoing.push_back(env);
+            self.try_send_fault(sim, f, target);
         }
     }
 
@@ -562,10 +1399,12 @@ impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
     }
 
     fn finish(self) -> SimOutcome<A> {
+        let fault = self.fault.as_ref();
         let hosts: Vec<HostMetrics> = self
             .hosts
             .iter()
-            .map(|h| {
+            .enumerate()
+            .map(|(i, h)| {
                 let setup_done = h.setup_done.unwrap_or(SimTime::ZERO);
                 let window = h.last_join_done.saturating_duration_since(setup_done);
                 HostMetrics {
@@ -576,6 +1415,8 @@ impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
                     cpu: h.join_cpu,
                     fragments_processed: h.fragments_processed,
                     bytes_forwarded: h.bytes_forwarded,
+                    retransmits: fault.map_or(0, |f| f.retransmits[i]),
+                    checksum_mismatches: fault.map_or(0, |f| f.checksum_mismatches[i]),
                 }
             })
             .collect();
@@ -583,6 +1424,9 @@ impl<P: PayloadBytes, A: RingApp<P>> Runner<P, A> {
             hosts,
             wall_clock: self.wall_clock.saturating_duration_since(SimTime::ZERO),
             fragments_completed: self.fragments_completed,
+            heal_events: fault.map_or(0, |f| f.heal_events),
+            detection_latency: fault.map_or(SimDuration::ZERO, |f| f.detection_latency),
+            fragments_resent: fault.map_or(0, |f| f.fragments_resent),
         };
         SimOutcome {
             metrics,
@@ -905,5 +1749,188 @@ mod tests {
     fn fragment_list_shape_is_validated() {
         let app = FixedCostApp::new(2, SimDuration::ZERO, SimDuration::ZERO);
         let _ = SimRing::new(small_config(2), payloads(3, 1, 10), app);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    use simnet::fault::FaultPlan;
+    use simnet::time::SimTime;
+
+    fn fixed_app(hosts: usize) -> FixedCostApp {
+        FixedCostApp::new(
+            hosts,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(2),
+        )
+    }
+
+    #[test]
+    fn quiet_plan_reports_zero_fault_counters() {
+        let hosts = 4;
+        let classic = SimRing::new(small_config(hosts), payloads(hosts, 3, 1 << 20), fixed_app(hosts)).run();
+        let reliable = SimRing::new(small_config(hosts), payloads(hosts, 3, 1 << 20), fixed_app(hosts))
+            .with_fault_plan(FaultPlan::seeded(9))
+            .run();
+        assert!(reliable.metrics.fault_free(), "{:?}", reliable.metrics);
+        assert_eq!(reliable.metrics.fragments_completed, 12);
+        assert_eq!(reliable.app.processed, classic.app.processed);
+        // The acknowledged transport is stop-and-wait per hop; acks are tiny
+        // backward-direction messages, so the slowdown stays marginal.
+        let base = classic.metrics.wall_clock.as_secs_f64();
+        let rel = reliable.metrics.wall_clock.as_secs_f64();
+        assert!(
+            rel <= base * 1.10,
+            "quiet reliable transport must stay within 10% of classic: {rel} vs {base}"
+        );
+    }
+
+    #[test]
+    fn crash_mid_revolution_heals_and_completes() {
+        let hosts = 4;
+        let plan = FaultPlan::seeded(5).crash_host(HostId(2), SimTime::from_nanos(5_000_000));
+        let cfg = small_config(hosts)
+            .with_ack_timeout(SimDuration::from_millis(5))
+            .with_max_retransmits(3);
+        let out = SimRing::new(cfg, payloads(hosts, 2, 1 << 20), fixed_app(hosts))
+            .with_fault_plan(plan)
+            .with_trace(true)
+            .run();
+        // Every fragment still completes a logical full revolution: the
+        // successor absorbed the dead host's role, and origin re-sends
+        // replaced whatever died in H2's buffers.
+        assert_eq!(out.metrics.fragments_completed, 8, "trace:\n{:?}", out.trace);
+        assert_eq!(out.metrics.heal_events, 1);
+        assert!(out.metrics.detection_latency > SimDuration::ZERO);
+        assert!(out.metrics.total_retransmits() > 0, "death is detected via timeouts");
+        assert!(out.trace.matching("confirmed dead").count() >= 1);
+        assert!(out.trace.matching("absorbed role").count() >= 1);
+        assert!(out.metrics.hosts[2].fragments_processed < 8);
+    }
+
+    #[test]
+    fn crash_is_deterministic() {
+        let run = || {
+            let hosts = 4;
+            let plan = FaultPlan::seeded(5).crash_host(HostId(1), SimTime::from_nanos(4_000_000));
+            let cfg = small_config(hosts)
+                .with_ack_timeout(SimDuration::from_millis(5))
+                .with_max_retransmits(3);
+            SimRing::new(cfg, payloads(hosts, 2, 1 << 20), fixed_app(hosts))
+                .with_fault_plan(plan)
+                .run()
+                .metrics
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lossy_link_retransmits_until_delivery() {
+        let hosts = 3;
+        let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.3);
+        let cfg = small_config(hosts).with_ack_timeout(SimDuration::from_millis(5));
+        let out = SimRing::new(cfg, payloads(hosts, 4, 1 << 20), fixed_app(hosts))
+            .with_fault_plan(plan)
+            .run();
+        assert_eq!(out.metrics.fragments_completed, 12);
+        assert_eq!(out.app.processed, vec![12; hosts]);
+        assert!(out.metrics.hosts[0].retransmits > 0);
+        assert_eq!(out.metrics.heal_events, 0, "losses alone must not kill hosts");
+    }
+
+    #[test]
+    fn corrupt_link_counts_mismatches_at_the_receiver() {
+        let hosts = 3;
+        let plan = FaultPlan::seeded(7).corrupt_link(HostId(1), 0.5);
+        let cfg = small_config(hosts).with_ack_timeout(SimDuration::from_millis(5));
+        let out = SimRing::new(cfg, payloads(hosts, 4, 1 << 20), fixed_app(hosts))
+            .with_fault_plan(plan)
+            .run();
+        assert_eq!(out.metrics.fragments_completed, 12);
+        assert!(out.metrics.hosts[2].checksum_mismatches > 0, "{:?}", out.metrics);
+        assert!(out.metrics.hosts[1].retransmits > 0);
+    }
+
+    #[test]
+    fn paused_host_backpressures_without_dying() {
+        let hosts = 3;
+        let plan = FaultPlan::seeded(0).pause_host(
+            HostId(1),
+            SimTime::from_nanos(2_000_000),
+            SimDuration::from_millis(40),
+        );
+        let quiet = SimRing::new(small_config(hosts), payloads(hosts, 2, 1 << 20), fixed_app(hosts))
+            .with_fault_plan(FaultPlan::seeded(0))
+            .run();
+        let out = SimRing::new(small_config(hosts), payloads(hosts, 2, 1 << 20), fixed_app(hosts))
+            .with_fault_plan(plan)
+            .with_trace(true)
+            .run();
+        assert_eq!(out.metrics.fragments_completed, 6);
+        assert_eq!(out.app.processed, vec![6; hosts]);
+        // The NIC keeps acknowledging while the software is frozen, so the
+        // failure detector must not fire.
+        assert_eq!(out.metrics.heal_events, 0);
+        assert!(out.trace.matching("paused").count() >= 1);
+        assert!(out.trace.matching("resumed").count() >= 1);
+        assert!(
+            out.metrics.wall_clock > quiet.metrics.wall_clock,
+            "a 40 ms freeze must stretch the run: {} vs {}",
+            out.metrics.wall_clock,
+            quiet.metrics.wall_clock
+        );
+    }
+
+    #[test]
+    fn straggler_slowdown_stretches_the_join_phase() {
+        let hosts = 3;
+        let run = |plan: FaultPlan| {
+            SimRing::new(small_config(hosts), payloads(hosts, 3, 1 << 20), fixed_app(hosts))
+                .with_fault_plan(plan)
+                .run()
+                .metrics
+        };
+        let quiet = run(FaultPlan::seeded(0));
+        let slow = run(FaultPlan::seeded(0).slow_host(HostId(1), 0.25));
+        assert_eq!(slow.fragments_completed, 9);
+        assert!(
+            slow.hosts[1].join_busy > quiet.hosts[1].join_busy,
+            "a 4× straggler must be busy longer"
+        );
+        assert!(slow.wall_clock > quiet.wall_clock);
+    }
+
+    #[test]
+    fn delay_spikes_are_absorbed() {
+        let hosts = 3;
+        let plan = FaultPlan::seeded(3).delay_spikes(HostId(0), 0.5, SimDuration::from_millis(1));
+        let out = SimRing::new(small_config(hosts), payloads(hosts, 3, 1 << 20), fixed_app(hosts))
+            .with_fault_plan(plan)
+            .run();
+        assert_eq!(out.metrics.fragments_completed, 9);
+        assert_eq!(out.app.processed, vec![9; hosts]);
+    }
+
+    #[test]
+    #[should_panic(expected = "run-to-retirement")]
+    fn continuous_mode_rejects_fault_plans() {
+        let app = CountingApp {
+            processed: 0,
+            target: 5,
+        };
+        let _ = SimRing::new(small_config(2), payloads(2, 1, 1024), app)
+            .continuous()
+            .with_fault_plan(FaultPlan::seeded(0))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "single-host ring")]
+    fn single_host_crash_is_rejected() {
+        let plan = FaultPlan::seeded(0).crash_host(HostId(0), SimTime::from_nanos(1));
+        let _ = SimRing::new(small_config(1), payloads(1, 1, 1024), fixed_app(1))
+            .with_fault_plan(plan)
+            .run();
     }
 }

@@ -17,16 +17,26 @@
 //!   provides the asynchrony that lets the join thread keep working while
 //!   a send is blocked downstream — the join thread itself never blocks on
 //!   the network.
+//!
+//! [`run_threaded_reliable`] runs the same ring over an *unreliable*
+//! medium: a [`FaultPlan`] may drop, corrupt or delay each hop transfer,
+//! and every hop is protected by the acknowledged stop-and-wait protocol
+//! the simulated backend uses — sequence numbers, checksum verification at
+//! receive, and timeout-driven retransmission with exponential backoff.
+//! Host crashes and pauses are *not* supported here (ring healing needs
+//! the simulator's virtual time); plans scheduling them are rejected.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, TryRecvError};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError};
+use simnet::fault::FaultPlan;
 use simnet::time::SimDuration;
 use simnet::topology::HostId;
 
 use crate::config::RingConfig;
 use crate::envelope::{Envelope, FragmentId, PayloadBytes};
+use crate::error::RingError;
 use crate::metrics::{HostMetrics, RingMetrics};
 
 /// Runs the ring on real threads. `fragments[h]` are host `h`'s local
@@ -39,7 +49,7 @@ use crate::metrics::{HostMetrics, RingMetrics};
 /// // Three hosts, two fragments each: every host sees all six.
 /// let fragments: Vec<Vec<Vec<u8>>> =
 ///     (0..3).map(|_| vec![vec![0u8; 64]; 2]).collect();
-/// let metrics = run_threaded(&RingConfig::paper(3), fragments, |_, _| {});
+/// let metrics = run_threaded(&RingConfig::paper(3), fragments, |_, _| {}).unwrap();
 /// assert_eq!(metrics.fragments_completed, 6);
 /// ```
 ///
@@ -47,25 +57,35 @@ use crate::metrics::{HostMetrics, RingMetrics};
 /// shape (setup is zero here — run any setup before calling and time it
 /// yourself; CPU accounts contain compute time only).
 ///
+/// # Errors
+///
+/// Returns [`RingError::Config`] for an invalid configuration and
+/// [`RingError::Shape`] when `fragments.len() != config.hosts`.
+///
 /// # Panics
 ///
-/// Panics if the configuration is invalid or a worker thread panics.
-pub fn run_threaded<P, F>(config: &RingConfig, fragments: Vec<Vec<P>>, process: F) -> RingMetrics
+/// Panics if a worker thread panics.
+pub fn run_threaded<P, F>(
+    config: &RingConfig,
+    fragments: Vec<Vec<P>>,
+    process: F,
+) -> Result<RingMetrics, RingError>
 where
     P: PayloadBytes + Send,
     F: Fn(HostId, &P) + Sync,
 {
-    config.validate().expect("invalid ring configuration");
-    assert_eq!(
-        fragments.len(),
-        config.hosts,
-        "need one fragment list per host"
-    );
+    config.validate()?;
+    if fragments.len() != config.hosts {
+        return Err(RingError::Shape {
+            expected: config.hosts,
+            got: fragments.len(),
+        });
+    }
     let n = config.hosts;
     let total: usize = fragments.iter().map(Vec::len).sum();
 
     if n == 1 {
-        return run_single_host(fragments, process);
+        return Ok(run_single_host(fragments, process));
     }
 
     // ring_rx[h]: the receive buffer pool of host h.
@@ -87,7 +107,7 @@ where
         let mut tx_handles = Vec::with_capacity(n);
         for (h, (frags, (rx, next_tx))) in fragments
             .into_iter()
-            .zip(ring_rx.into_iter().zip(ring_tx.into_iter()))
+            .zip(ring_rx.into_iter().zip(ring_tx))
             .enumerate()
         {
             let (out_tx, out_rx) = unbounded::<Envelope<P>>();
@@ -121,18 +141,297 @@ where
         .into_iter()
         .map(Option::unwrap)
         .enumerate()
-        .map(|(h, s)| s.into_metrics(config, forwarded[h].load(Ordering::Relaxed)))
+        .map(|(h, s)| s.into_metrics(config, forwarded[h].load(Ordering::Relaxed), 0, 0))
         .collect();
     let wall = hosts
         .iter()
         .map(|h| h.join_window)
         .max()
         .unwrap_or(SimDuration::ZERO);
-    RingMetrics {
+    Ok(RingMetrics {
         hosts,
         wall_clock: wall,
         fragments_completed: total,
+        ..RingMetrics::default()
+    })
+}
+
+/// Runs the ring on real threads over an unreliable medium described by
+/// `plan`, with every hop protected by the acknowledged transport.
+///
+/// Each hop gets a *wire* channel (capacity 1 — the link carries one
+/// transfer at a time), an acknowledgement channel back, and a dedicated
+/// receiver thread in front of the host's buffer pool. The transmitter
+/// stamps each envelope with a per-link sequence number and runs
+/// stop-and-wait: send a copy (the plan's dice may drop it, corrupt its
+/// checksum, or delay it), then await the ack for `ack_timeout × 2^(a−1)`
+/// on attempt `a`; on timeout it retransmits from the pristine master. The
+/// receiver verifies the content checksum (counting mismatches and staying
+/// silent so the sender retransmits), re-acks duplicates without
+/// redelivering them, and acks *before* depositing into the buffer pool —
+/// acknowledgement is a NIC-level statement of intact receipt, so
+/// downstream backpressure never masquerades as loss.
+///
+/// ```
+/// use data_roundabout::{run_threaded_reliable, FaultPlan, RingConfig};
+/// use simnet::topology::HostId;
+///
+/// let fragments: Vec<Vec<Vec<u8>>> =
+///     (0..3).map(|_| vec![vec![7u8; 64]; 2]).collect();
+/// let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.3);
+/// let metrics =
+///     run_threaded_reliable(&RingConfig::paper(3), &plan, fragments, |_, _| {}).unwrap();
+/// // Losses are repaired: every fragment still completes its revolution.
+/// assert_eq!(metrics.fragments_completed, 6);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`RingError::Config`] / [`RingError::Shape`] as
+/// [`run_threaded`] does, and [`RingError::UnsupportedFault`] when the
+/// plan schedules host crashes or pauses — those need the simulated
+/// backend's virtual time and ring healing.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics, or if a transfer exhausts the
+/// retransmission budget (`max_retransmits`) — on this backend every host
+/// is alive, so an exhausted budget means the timeout is too tight or the
+/// loss rate too high to ever succeed.
+pub fn run_threaded_reliable<P, F>(
+    config: &RingConfig,
+    plan: &FaultPlan,
+    fragments: Vec<Vec<P>>,
+    process: F,
+) -> Result<RingMetrics, RingError>
+where
+    P: PayloadBytes + Send + Clone,
+    F: Fn(HostId, &P) + Sync,
+{
+    config.validate()?;
+    if fragments.len() != config.hosts {
+        return Err(RingError::Shape {
+            expected: config.hosts,
+            got: fragments.len(),
+        });
     }
+    if !plan.crashes().is_empty() || !plan.pauses().is_empty() {
+        return Err(RingError::UnsupportedFault(
+            "host crashes and pauses need the simulated backend's ring healing",
+        ));
+    }
+    let n = config.hosts;
+    let total: usize = fragments.iter().map(Vec::len).sum();
+
+    if n == 1 {
+        return Ok(run_single_host(fragments, process));
+    }
+
+    // Per-hop channels, indexed by the *sending* host h of the hop
+    // h → h+1: the wire itself, and the acknowledgements flowing back.
+    let mut wire_tx = Vec::with_capacity(n);
+    let mut wire_rx = Vec::with_capacity(n);
+    let mut ack_tx = Vec::with_capacity(n);
+    let mut ack_rx = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (wtx, wrx) = bounded::<Envelope<P>>(1);
+        let (atx, arx) = unbounded::<u64>();
+        wire_tx.push(wtx);
+        wire_rx.push(wrx);
+        ack_tx.push(atx);
+        ack_rx.push(arx);
+    }
+    // Receive buffer pools, indexed by the owning host.
+    let mut pool_tx = Vec::with_capacity(n);
+    let mut pool_rx = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (ptx, prx) = bounded::<Envelope<P>>(config.buffers_per_host);
+        pool_tx.push(ptx);
+        pool_rx.push(prx);
+    }
+    // Receiver of host h fronts the hop out of its predecessor: it reads
+    // wire_rx[h-1] and acks into ack_tx[h-1].
+    wire_rx.rotate_right(1);
+    ack_tx.rotate_right(1);
+
+    let forwarded: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let retransmits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mismatches: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mut host_stats: Vec<Option<JoinStats>> = (0..n).map(|_| None).collect();
+
+    let ack_timeout = Duration::from_secs_f64(config.ack_timeout.as_secs_f64());
+    let max_retransmits = config.max_retransmits;
+
+    crossbeam::thread::scope(|scope| {
+        let mut join_handles = Vec::with_capacity(n);
+        let mut aux_handles = Vec::with_capacity(2 * n);
+        let iter = fragments
+            .into_iter()
+            .zip(pool_rx.into_iter().zip(pool_tx))
+            .zip(wire_tx.into_iter().zip(ack_rx))
+            .zip(wire_rx.into_iter().zip(ack_tx))
+            .enumerate();
+        for (h, (((frags, (prx, ptx)), (wtx, arx)), (wrx, atx))) in iter {
+            let (out_tx, out_rx) = unbounded::<Envelope<P>>();
+            let process = &process;
+            let forwarded = &forwarded;
+            let retransmits = &retransmits;
+            let mismatches = &mismatches;
+            join_handles.push(scope.spawn(move |_| {
+                join_entity(HostId(h), n, total, frags, prx, out_tx, process)
+            }));
+            aux_handles.push(scope.spawn(move |_| {
+                reliable_transmitter(
+                    HostId(h),
+                    plan,
+                    ack_timeout,
+                    max_retransmits,
+                    out_rx,
+                    wtx,
+                    arx,
+                    &forwarded[h],
+                    &retransmits[h],
+                );
+            }));
+            aux_handles.push(scope.spawn(move |_| {
+                reliable_receiver(wrx, atx, ptx, &mismatches[h]);
+            }));
+        }
+        for (h, handle) in join_handles.into_iter().enumerate() {
+            host_stats[h] = Some(handle.join().expect("join thread panicked"));
+        }
+        for handle in aux_handles {
+            handle.join().expect("transport thread panicked");
+        }
+    })
+    .expect("ring thread scope panicked");
+
+    let hosts: Vec<HostMetrics> = host_stats
+        .into_iter()
+        .map(Option::unwrap)
+        .enumerate()
+        .map(|(h, s)| {
+            s.into_metrics(
+                config,
+                forwarded[h].load(Ordering::Relaxed),
+                retransmits[h].load(Ordering::Relaxed),
+                mismatches[h].load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    let wall = hosts
+        .iter()
+        .map(|h| h.join_window)
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    Ok(RingMetrics {
+        hosts,
+        wall_clock: wall,
+        fragments_completed: total,
+        ..RingMetrics::default()
+    })
+}
+
+/// Stop-and-wait sender side of one reliable hop.
+#[allow(clippy::too_many_arguments)]
+fn reliable_transmitter<P>(
+    host: HostId,
+    plan: &FaultPlan,
+    ack_timeout: Duration,
+    max_retransmits: u32,
+    out_rx: crossbeam::channel::Receiver<Envelope<P>>,
+    wire_tx: crossbeam::channel::Sender<Envelope<P>>,
+    ack_rx: crossbeam::channel::Receiver<u64>,
+    forwarded: &AtomicU64,
+    retransmits: &AtomicU64,
+) where
+    P: PayloadBytes + Send + Clone,
+{
+    let mut next_seq = 0u64;
+    for mut env in out_rx.iter() {
+        next_seq += 1;
+        env.seq = next_seq;
+        let seq = next_seq;
+        let mut attempt = 1u32;
+        loop {
+            let dropped = plan.should_drop(host, seq, attempt);
+            let corrupt = !dropped && plan.should_corrupt(host, seq, attempt);
+            let spike = plan.delay_spike(host, seq, attempt);
+            if !dropped {
+                let mut copy = env.clone();
+                if corrupt {
+                    copy.checksum = !copy.checksum;
+                }
+                if !spike.is_zero() {
+                    std::thread::sleep(Duration::from_secs_f64(spike.as_secs_f64()));
+                }
+                forwarded.fetch_add(copy.bytes(), Ordering::Relaxed);
+                wire_tx
+                    .send(copy)
+                    .expect("successor's receiver exited early");
+            }
+            // Await the ack with exponential backoff on retries. Stale acks
+            // (duplicate re-acks of earlier transfers) are drained silently.
+            let rto = ack_timeout * (1u32 << (attempt - 1).min(20));
+            let deadline = Instant::now() + rto;
+            let acked = loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match ack_rx.recv_timeout(remaining) {
+                    Ok(s) if s == seq => break true,
+                    Ok(_) => continue,
+                    Err(RecvTimeoutError::Timeout) => break false,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("successor's receiver exited with a transfer unacknowledged")
+                    }
+                }
+            };
+            if acked {
+                break;
+            }
+            assert!(
+                attempt <= max_retransmits,
+                "retransmission budget exhausted on a live ring — raise ack_timeout \
+                 or max_retransmits, or lower the loss rate"
+            );
+            attempt += 1;
+            retransmits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // Dropping wire_tx closes the successor's receiver.
+}
+
+/// Receiver side of one reliable hop: the NIC in front of the buffer pool.
+fn reliable_receiver<P>(
+    wire_rx: crossbeam::channel::Receiver<Envelope<P>>,
+    ack_tx: crossbeam::channel::Sender<u64>,
+    pool_tx: crossbeam::channel::Sender<Envelope<P>>,
+    mismatches: &AtomicU64,
+) where
+    P: PayloadBytes + Send,
+{
+    let mut last_seq = 0u64;
+    for env in wire_rx.iter() {
+        if !env.checksum_ok() {
+            // Corrupted in flight: count it and stay silent — the sender's
+            // timeout turns the silence into a retransmission.
+            mismatches.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if env.seq <= last_seq {
+            // Duplicate of an already delivered transfer (its ack raced the
+            // sender's timeout): re-ack, do not deliver twice.
+            let _ = ack_tx.send(env.seq);
+            continue;
+        }
+        last_seq = env.seq;
+        // Ack before depositing: receipt is acknowledged at the NIC even
+        // when the buffer pool exerts backpressure on the wire.
+        let _ = ack_tx.send(env.seq);
+        if pool_tx.send(env).is_err() {
+            break;
+        }
+    }
+    // Dropping ack_tx / pool_tx unblocks the neighbors' shutdown.
 }
 
 /// What a join thread measured about itself.
@@ -144,7 +443,13 @@ struct JoinStats {
 }
 
 impl JoinStats {
-    fn into_metrics(self, config: &RingConfig, bytes_forwarded: u64) -> HostMetrics {
+    fn into_metrics(
+        self,
+        config: &RingConfig,
+        bytes_forwarded: u64,
+        retransmits: u64,
+        checksum_mismatches: u64,
+    ) -> HostMetrics {
         let mut cpu = simnet::cpu::CpuAccount::new();
         cpu.charge(
             simnet::cpu::CostCategory::Compute,
@@ -158,6 +463,8 @@ impl JoinStats {
             cpu,
             fragments_processed: self.processed,
             bytes_forwarded,
+            retransmits,
+            checksum_mismatches,
         }
     }
 }
@@ -247,17 +554,20 @@ where
         cpu: simnet::cpu::CpuAccount::new(),
         fragments_processed: processed,
         bytes_forwarded: 0,
+        ..HostMetrics::default()
     };
     RingMetrics {
         hosts: vec![host],
         wall_clock: started.elapsed().into(),
         fragments_completed: processed,
+        ..RingMetrics::default()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simnet::time::SimTime;
     use std::sync::atomic::AtomicUsize;
 
     fn payloads(hosts: usize, per_host: usize, bytes: usize) -> Vec<Vec<Vec<u8>>> {
@@ -272,17 +582,19 @@ mod tests {
         let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
         let metrics = run_threaded(&RingConfig::paper(hosts), payloads(hosts, 3, 64), |h, _| {
             counts[h.0].fetch_add(1, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         assert_eq!(metrics.fragments_completed, 12);
         for c in &counts {
             assert_eq!(c.load(Ordering::SeqCst), 12);
         }
         assert_eq!(metrics.total_bytes_forwarded() as usize, 12 * 64 * (hosts - 1));
+        assert!(metrics.fault_free());
     }
 
     #[test]
     fn single_host_processes_locally() {
-        let metrics = run_threaded(&RingConfig::paper(1), payloads(1, 5, 8), |_, _| {});
+        let metrics = run_threaded(&RingConfig::paper(1), payloads(1, 5, 8), |_, _| {}).unwrap();
         assert_eq!(metrics.fragments_completed, 5);
         assert_eq!(metrics.hosts[0].bytes_forwarded, 0);
     }
@@ -293,7 +605,7 @@ mod tests {
         // on the flow control.
         let hosts = 5;
         let cfg = RingConfig::paper(hosts).with_buffers(1);
-        let metrics = run_threaded(&cfg, payloads(hosts, 8, 16), |_, _| {});
+        let metrics = run_threaded(&cfg, payloads(hosts, 8, 16), |_, _| {}).unwrap();
         assert_eq!(metrics.fragments_completed, 40);
     }
 
@@ -302,7 +614,7 @@ mod tests {
         let hosts = 3;
         let mut frags = payloads(hosts, 0, 0);
         frags[2] = (0..7).map(|_| vec![0u8; 32]).collect();
-        let metrics = run_threaded(&RingConfig::paper(hosts), frags, |_, _| {});
+        let metrics = run_threaded(&RingConfig::paper(hosts), frags, |_, _| {}).unwrap();
         assert_eq!(metrics.fragments_completed, 7);
         for h in &metrics.hosts {
             assert_eq!(h.fragments_processed, 7);
@@ -316,14 +628,15 @@ mod tests {
             if h.0 == 1 {
                 std::thread::sleep(Duration::from_millis(2));
             }
-        });
+        })
+        .unwrap();
         assert_eq!(metrics.fragments_completed, 6);
         assert!(metrics.hosts[1].join_busy >= SimDuration::from_millis(12));
     }
 
     #[test]
     fn empty_run_completes() {
-        let metrics = run_threaded(&RingConfig::paper(3), payloads(3, 0, 0), |_, _| {});
+        let metrics = run_threaded(&RingConfig::paper(3), payloads(3, 0, 0), |_, _| {}).unwrap();
         assert_eq!(metrics.fragments_completed, 0);
     }
 
@@ -334,8 +647,110 @@ mod tests {
         for round in 0..10 {
             let hosts = 2 + (round % 4);
             let metrics =
-                run_threaded(&RingConfig::paper(hosts), payloads(hosts, 6, 8), |_, _| {});
+                run_threaded(&RingConfig::paper(hosts), payloads(hosts, 6, 8), |_, _| {}).unwrap();
             assert_eq!(metrics.fragments_completed, hosts * 6, "round {round}");
         }
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let err = run_threaded(&RingConfig::paper(0), vec![], |_: HostId, _: &Vec<u8>| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::Config(_)));
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let err =
+            run_threaded(&RingConfig::paper(3), payloads(2, 1, 8), |_, _| {}).unwrap_err();
+        assert_eq!(err, RingError::Shape { expected: 3, got: 2 });
+    }
+
+    #[test]
+    fn reliable_quiet_plan_is_fault_free() {
+        let hosts = 3;
+        let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
+        let metrics = run_threaded_reliable(
+            &RingConfig::paper(hosts),
+            &FaultPlan::seeded(1),
+            payloads(hosts, 3, 32),
+            |h, _| {
+                counts[h.0].fetch_add(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+        assert_eq!(metrics.fragments_completed, 9);
+        for c in &counts {
+            assert_eq!(c.load(Ordering::SeqCst), 9);
+        }
+        assert!(metrics.fault_free(), "quiet plan must report zero fault counters");
+    }
+
+    #[test]
+    fn lossy_link_is_repaired_by_retransmission() {
+        let hosts = 3;
+        let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.4);
+        let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
+        let cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(20));
+        let metrics = run_threaded_reliable(&cfg, &plan, payloads(hosts, 4, 32), |h, _| {
+            counts[h.0].fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(metrics.fragments_completed, 12);
+        // Exactly-once delivery despite losses: no host saw a duplicate.
+        for c in &counts {
+            assert_eq!(c.load(Ordering::SeqCst), 12);
+        }
+        assert!(
+            metrics.hosts[0].retransmits > 0,
+            "the lossy link must have provoked retransmissions"
+        );
+    }
+
+    #[test]
+    fn corrupt_link_is_detected_by_checksums() {
+        let hosts = 3;
+        let plan = FaultPlan::seeded(7).corrupt_link(HostId(0), 0.5);
+        let cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(20));
+        let metrics =
+            run_threaded_reliable(&cfg, &plan, payloads(hosts, 4, 32), |_, _| {}).unwrap();
+        assert_eq!(metrics.fragments_completed, 12);
+        // Corruption on the hop out of H0 is detected by H1's receiver and
+        // repaired by H0's retransmissions.
+        assert!(metrics.hosts[1].checksum_mismatches > 0, "{metrics:?}");
+        assert!(metrics.hosts[0].retransmits > 0);
+        assert_eq!(
+            metrics.total_checksum_mismatches(),
+            metrics.hosts[1].checksum_mismatches,
+            "only H1 receives from the corrupting link"
+        );
+    }
+
+    #[test]
+    fn delay_spikes_do_not_lose_envelopes() {
+        let hosts = 3;
+        let plan =
+            FaultPlan::seeded(3).delay_spikes(HostId(1), 0.5, SimDuration::from_micros(200));
+        let metrics = run_threaded_reliable(
+            &RingConfig::paper(hosts),
+            &plan,
+            payloads(hosts, 3, 16),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(metrics.fragments_completed, 9);
+    }
+
+    #[test]
+    fn crash_plans_are_rejected() {
+        let plan = FaultPlan::seeded(0).crash_host(HostId(1), SimTime::from_nanos(1));
+        let err = run_threaded_reliable(
+            &RingConfig::paper(3),
+            &plan,
+            payloads(3, 1, 8),
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
     }
 }

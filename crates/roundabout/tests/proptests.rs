@@ -89,7 +89,7 @@ proptest! {
         let hosts = counts.len();
         let total: usize = counts.iter().sum();
         let config = RingConfig::paper(hosts).with_buffers(buffers);
-        let metrics = run_threaded(&config, payloads(&counts, 64), |_, _| {});
+        let metrics = run_threaded(&config, payloads(&counts, 64), |_, _| {}).unwrap();
         prop_assert_eq!(metrics.fragments_completed, total);
         for h in &metrics.hosts {
             prop_assert_eq!(h.fragments_processed, total);

@@ -1,0 +1,386 @@
+//! Deterministic fault injection for simulated runs.
+//!
+//! A [`FaultPlan`] is a *schedule* of adversity attached to a simulation:
+//! host crashes and pause/resume windows pinned to virtual instants,
+//! per-link drop / corruption / delay-spike probabilities, and straggler
+//! slowdown factors. Everything is seeded: link-level decisions are pure
+//! functions of `(seed, link, sequence number, attempt)`, so two runs with
+//! the same plan and inputs inject byte-identical faults regardless of how
+//! the backend orders its events — the property that makes chaos tests
+//! reproducible and bisectable.
+//!
+//! The plan only *describes* faults. Interpreting them — dropping an
+//! envelope, wiping a host's buffers, healing the ring — is the transport
+//! layer's job (see `data_roundabout`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::HostId;
+
+/// A host crash pinned to a virtual instant. The host stops processing,
+/// acknowledging and transmitting; everything in its buffers is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashFault {
+    /// The host that dies.
+    pub host: HostId,
+    /// Virtual time of death.
+    pub at: SimTime,
+}
+
+/// A pause/resume window: the host's *software* freezes (no joins, no
+/// forwarding) but its NIC keeps acknowledging and buffering arrivals, so
+/// neighbors see backpressure rather than death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PauseFault {
+    /// The host that freezes.
+    pub host: HostId,
+    /// Virtual time the freeze begins.
+    pub at: SimTime,
+    /// Length of the freeze.
+    pub duration: SimDuration,
+}
+
+/// Stochastic misbehavior of the link *out of* one host, evaluated
+/// independently per transfer attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Source host of the link.
+    pub from: HostId,
+    /// Probability a transfer is silently lost.
+    pub drop_probability: f64,
+    /// Probability a transfer arrives with a corrupted payload (detected
+    /// by the receiver's checksum verification).
+    pub corrupt_probability: f64,
+    /// Probability a transfer suffers an additional delay spike.
+    pub delay_probability: f64,
+    /// Extra latency added when a delay spike hits.
+    pub delay_spike: SimDuration,
+}
+
+impl LinkFault {
+    fn quiet(from: HostId) -> Self {
+        LinkFault {
+            from,
+            drop_probability: 0.0,
+            corrupt_probability: 0.0,
+            delay_probability: 0.0,
+            delay_spike: SimDuration::ZERO,
+        }
+    }
+}
+
+/// A deterministic schedule of faults for one simulated run.
+///
+/// ```
+/// use simnet::fault::FaultPlan;
+/// use simnet::time::{SimDuration, SimTime};
+/// use simnet::topology::HostId;
+///
+/// let plan = FaultPlan::seeded(42)
+///     .crash_host(HostId(2), SimTime::from_nanos(5_000_000))
+///     .lossy_link(HostId(0), 0.1)
+///     .slow_host(HostId(1), 0.5);
+/// assert_eq!(plan.crash_time(HostId(2)), Some(SimTime::from_nanos(5_000_000)));
+/// assert!(plan.slowdown(HostId(1)) < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    crashes: Vec<CrashFault>,
+    pauses: Vec<PauseFault>,
+    links: Vec<LinkFault>,
+    /// `(host, factor)`: the host joins at `factor ×` nominal speed.
+    slowdowns: Vec<(HostId, f64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed. Attaching an empty plan enables
+    /// the reliable (acknowledged) transport without injecting any faults.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Schedules a hard crash of `host` at virtual time `at`.
+    pub fn crash_host(mut self, host: HostId, at: SimTime) -> Self {
+        self.crashes.push(CrashFault { host, at });
+        self
+    }
+
+    /// Schedules a pause of `host` at `at`, resumed after `duration`.
+    pub fn pause_host(mut self, host: HostId, at: SimTime, duration: SimDuration) -> Self {
+        self.pauses.push(PauseFault { host, at, duration });
+        self
+    }
+
+    /// Makes the link out of `from` drop each transfer with probability `p`.
+    pub fn lossy_link(mut self, from: HostId, p: f64) -> Self {
+        self.link_mut(from).drop_probability = clamp_probability(p);
+        self
+    }
+
+    /// Makes the link out of `from` corrupt each transfer with probability
+    /// `p` (detected by the receiver's checksum and treated as a loss).
+    pub fn corrupt_link(mut self, from: HostId, p: f64) -> Self {
+        self.link_mut(from).corrupt_probability = clamp_probability(p);
+        self
+    }
+
+    /// Adds `extra` latency to each transfer out of `from` with
+    /// probability `p` — the tail-latency spikes that provoke spurious
+    /// retransmissions.
+    pub fn delay_spikes(mut self, from: HostId, p: f64, extra: SimDuration) -> Self {
+        let link = self.link_mut(from);
+        link.delay_probability = clamp_probability(p);
+        link.delay_spike = extra;
+        self
+    }
+
+    /// Makes `host` a straggler joining at `factor ×` nominal speed
+    /// (`0.5` = half speed). Factors must be finite and positive.
+    pub fn slow_host(mut self, host: HostId, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slowdown factor must be finite and positive, got {factor}"
+        );
+        self.slowdowns.push((host, factor));
+        self
+    }
+
+    /// The seed link-level decisions are derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Virtual time `host` crashes, if scheduled.
+    pub fn crash_time(&self, host: HostId) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .filter(|c| c.host == host)
+            .map(|c| c.at)
+            .min()
+    }
+
+    /// All scheduled crashes.
+    pub fn crashes(&self) -> &[CrashFault] {
+        &self.crashes
+    }
+
+    /// All scheduled pause windows.
+    pub fn pauses(&self) -> &[PauseFault] {
+        &self.pauses
+    }
+
+    /// The slowdown factor of `host` (1.0 when not a straggler; factors
+    /// multiply if the host appears more than once).
+    pub fn slowdown(&self, host: HostId) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|(h, _)| *h == host)
+            .map(|(_, f)| f)
+            .product()
+    }
+
+    /// True if the plan schedules no faults at all (attaching it still
+    /// switches the transport into reliable mode).
+    pub fn is_quiet(&self) -> bool {
+        self.crashes.is_empty()
+            && self.pauses.is_empty()
+            && self.slowdowns.is_empty()
+            && self.links.iter().all(|l| {
+                l.drop_probability == 0.0
+                    && l.corrupt_probability == 0.0
+                    && l.delay_probability == 0.0
+            })
+    }
+
+    /// Whether transfer attempt `attempt` of sequence `seq` on the link out
+    /// of `from` is dropped. Pure in `(seed, from, seq, attempt)`.
+    pub fn should_drop(&self, from: HostId, seq: u64, attempt: u32) -> bool {
+        match self.link(from) {
+            Some(l) if l.drop_probability > 0.0 => {
+                unit_f64(self.decision(from, seq, attempt, Channel::Drop)) < l.drop_probability
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the transfer arrives corrupted (mutually exclusive channels:
+    /// a dropped transfer is never also reported corrupted).
+    pub fn should_corrupt(&self, from: HostId, seq: u64, attempt: u32) -> bool {
+        match self.link(from) {
+            Some(l) if l.corrupt_probability > 0.0 => {
+                unit_f64(self.decision(from, seq, attempt, Channel::Corrupt))
+                    < l.corrupt_probability
+            }
+            _ => false,
+        }
+    }
+
+    /// Extra delay the transfer suffers (zero when no spike hits).
+    pub fn delay_spike(&self, from: HostId, seq: u64, attempt: u32) -> SimDuration {
+        match self.link(from) {
+            Some(l) if l.delay_probability > 0.0 => {
+                if unit_f64(self.decision(from, seq, attempt, Channel::Delay))
+                    < l.delay_probability
+                {
+                    l.delay_spike
+                } else {
+                    SimDuration::ZERO
+                }
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    fn link(&self, from: HostId) -> Option<&LinkFault> {
+        self.links.iter().find(|l| l.from == from)
+    }
+
+    fn link_mut(&mut self, from: HostId) -> &mut LinkFault {
+        if let Some(i) = self.links.iter().position(|l| l.from == from) {
+            &mut self.links[i]
+        } else {
+            self.links.push(LinkFault::quiet(from));
+            self.links.last_mut().expect("just pushed")
+        }
+    }
+
+    /// One deterministic 64-bit decision word per (link, seq, attempt,
+    /// channel) tuple: a splitmix64 finalizer over the packed inputs.
+    fn decision(&self, from: HostId, seq: u64, attempt: u32, channel: Channel) -> u64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((from.0 as u64) << 48)
+            .wrapping_add(seq.wrapping_mul(0x2545_f491_4f6c_dd1d))
+            .wrapping_add((attempt as u64) << 8)
+            .wrapping_add(channel as u64);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x
+    }
+}
+
+/// Independent decision channels per transfer attempt.
+#[derive(Clone, Copy)]
+enum Channel {
+    Drop = 1,
+    Corrupt = 2,
+    Delay = 3,
+}
+
+fn clamp_probability(p: f64) -> f64 {
+    assert!(p.is_finite(), "probability must be finite, got {p}");
+    p.clamp(0.0, 1.0)
+}
+
+/// Maps a 64-bit word to a uniform float in `[0, 1)` (53 high bits).
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_quiet_and_injects_nothing() {
+        let plan = FaultPlan::seeded(7);
+        assert!(plan.is_quiet());
+        assert_eq!(plan.crash_time(HostId(0)), None);
+        assert_eq!(plan.slowdown(HostId(0)), 1.0);
+        for seq in 0..100 {
+            assert!(!plan.should_drop(HostId(0), seq, 1));
+            assert!(!plan.should_corrupt(HostId(0), seq, 1));
+            assert_eq!(plan.delay_spike(HostId(0), seq, 1), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(1).lossy_link(HostId(0), 0.5);
+        let b = FaultPlan::seeded(1).lossy_link(HostId(0), 0.5);
+        let c = FaultPlan::seeded(2).lossy_link(HostId(0), 0.5);
+        let pattern = |p: &FaultPlan| -> Vec<bool> {
+            (0..256).map(|s| p.should_drop(HostId(0), s, 1)).collect()
+        };
+        assert_eq!(pattern(&a), pattern(&b));
+        assert_ne!(pattern(&a), pattern(&c));
+    }
+
+    #[test]
+    fn drop_rate_approximates_probability() {
+        let plan = FaultPlan::seeded(11).lossy_link(HostId(1), 0.3);
+        let drops = (0..10_000)
+            .filter(|&s| plan.should_drop(HostId(1), s, 1))
+            .count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((0.25..0.35).contains(&rate), "got {rate}");
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let plan = FaultPlan::seeded(3)
+            .lossy_link(HostId(0), 0.5)
+            .corrupt_link(HostId(0), 0.5);
+        let drops: Vec<bool> = (0..128).map(|s| plan.should_drop(HostId(0), s, 1)).collect();
+        let corrupts: Vec<bool> = (0..128)
+            .map(|s| plan.should_corrupt(HostId(0), s, 1))
+            .collect();
+        assert_ne!(drops, corrupts, "channels must not mirror each other");
+    }
+
+    #[test]
+    fn attempts_reroll_the_dice() {
+        // A transfer dropped on attempt 1 must not be doomed forever:
+        // retransmissions get fresh decisions.
+        let plan = FaultPlan::seeded(5).lossy_link(HostId(0), 0.5);
+        let survives = (0..64).any(|seq| {
+            plan.should_drop(HostId(0), seq, 1) && !plan.should_drop(HostId(0), seq, 2)
+        });
+        assert!(survives, "some retransmission must get through");
+    }
+
+    #[test]
+    fn crash_and_pause_schedules_are_queryable() {
+        let t = SimTime::from_nanos(1_000);
+        let plan = FaultPlan::seeded(0)
+            .crash_host(HostId(3), t)
+            .pause_host(HostId(1), t, SimDuration::from_millis(2));
+        assert_eq!(plan.crash_time(HostId(3)), Some(t));
+        assert_eq!(plan.crash_time(HostId(1)), None);
+        assert_eq!(plan.crashes().len(), 1);
+        assert_eq!(plan.pauses().len(), 1);
+        assert!(!plan.is_quiet());
+    }
+
+    #[test]
+    fn slowdowns_multiply() {
+        let plan = FaultPlan::seeded(0)
+            .slow_host(HostId(2), 0.5)
+            .slow_host(HostId(2), 0.5);
+        assert!((plan.slowdown(HostId(2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_spikes_return_the_configured_extra() {
+        let extra = SimDuration::from_micros(500);
+        let plan = FaultPlan::seeded(9).delay_spikes(HostId(0), 1.0, extra);
+        assert_eq!(plan.delay_spike(HostId(0), 0, 1), extra);
+        let quiet = FaultPlan::seeded(9).delay_spikes(HostId(0), 0.0, extra);
+        assert_eq!(quiet.delay_spike(HostId(0), 0, 1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let plan = FaultPlan::seeded(0).lossy_link(HostId(0), 2.0);
+        assert!(plan.should_drop(HostId(0), 0, 1), "p=1 drops everything");
+    }
+}

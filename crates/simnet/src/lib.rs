@@ -15,7 +15,10 @@
 //!   ([`tcp::TcpModel`]) and a unifying [`transport::TransportModel`],
 //! * **CPU accounting** per cost category for Table I-style load reports
 //!   ([`cpu::CpuAccount`]),
-//! * a **ring topology** ([`topology::RingNetwork`]) and a [`trace::Tracer`].
+//! * a **ring topology** ([`topology::RingNetwork`]) and a [`trace::Tracer`],
+//! * a deterministic **fault-injection schedule** ([`fault::FaultPlan`]):
+//!   seeded host crashes, pause windows, link drops/corruption/delay
+//!   spikes and straggler slowdowns for chaos testing.
 //!
 //! Everything is single-threaded and pure: the same inputs produce the same
 //! virtual-time schedule, bit for bit.
@@ -43,6 +46,7 @@ pub mod cpu;
 pub mod disk;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod rnic;
 pub mod switch;
@@ -56,6 +60,7 @@ pub mod transport;
 pub use cpu::{CostCategory, CpuAccount, CpuSpec};
 pub use disk::DiskModel;
 pub use engine::Simulation;
+pub use fault::FaultPlan;
 pub use link::{Direction, Link, Reservation};
 pub use rnic::{Rnic, RnicConfig};
 pub use switch::SwitchFabric;

@@ -95,6 +95,26 @@ impl RingNetwork {
         link.reserve(now, Direction::Forward, bytes)
     }
 
+    /// Reserves the *backward* direction of the hop out of `from` for a
+    /// small control message (acknowledgements travel against the data
+    /// flow on the full-duplex link, so they never contend with payload
+    /// transfers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-host ring or if `from` is out of range.
+    pub fn reserve_hop_back(&mut self, now: SimTime, from: HostId, bytes: u64) -> Reservation {
+        assert!(
+            !self.links.is_empty(),
+            "reserve_hop_back: a single-host ring has no links"
+        );
+        let link = self
+            .links
+            .get_mut(from.0)
+            .expect("reserve_hop_back: host out of range");
+        link.reserve(now, Direction::Backward, bytes)
+    }
+
     /// Total bytes that crossed the hop out of `from`.
     pub fn hop_bytes(&self, from: HostId) -> u64 {
         self.links
@@ -154,6 +174,17 @@ mod tests {
         let r0 = ring.reserve_hop(SimTime::ZERO, HostId(0), 1 << 20);
         let r1 = ring.reserve_hop(SimTime::ZERO, HostId(0), 1 << 20);
         assert_eq!(r1.start, r0.wire_free);
+    }
+
+    #[test]
+    fn acks_travel_backward_without_contending() {
+        let mut ring = RingNetwork::new(3, Link::paper_10gbe());
+        let data = ring.reserve_hop(SimTime::ZERO, HostId(0), 1 << 20);
+        let ack = ring.reserve_hop_back(SimTime::ZERO, HostId(0), 64);
+        // The backward direction is free even while data occupies forward.
+        assert_eq!(ack.start, SimTime::ZERO);
+        assert!(ack.arrival < data.arrival);
+        assert_eq!(ring.hop_bytes(HostId(0)), 1 << 20, "data bytes only");
     }
 
     #[test]

@@ -90,6 +90,12 @@ impl Tracer {
         self.records.iter().filter(move |r| r.message.contains(needle))
     }
 
+    /// Number of records whose message contains `needle` (shorthand for
+    /// `matching(needle).count()`, common in protocol assertions).
+    pub fn count_matching(&self, needle: &str) -> usize {
+        self.matching(needle).count()
+    }
+
     /// Renders the full trace, one record per line.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -30,7 +30,7 @@ fn main() -> Result<(), PlanError> {
     // 2. Host 3 fails: its stationary share is absorbed by its successor,
     //    and the join re-runs on the surviving five hosts.
     let parts = s.split_even(6);
-    let survivors = absorb_host(parts, 3);
+    let survivors = absorb_host(parts, 3).expect("host 3 exists in a six-host ring");
     let s_after_failure: Relation = {
         let mut merged = Relation::new();
         for p in &survivors {
@@ -42,7 +42,7 @@ fn main() -> Result<(), PlanError> {
     println!("5 hosts (1 failed): {count5} matches in {t5:.3}s");
 
     // 3. Demand grows: rebalance onto nine hosts and run again.
-    let rebalanced = rebalance(&survivors, 9);
+    let rebalanced = rebalance(&survivors, 9).expect("nine hosts is a valid ring size");
     assert_eq!(rebalanced.len(), 9);
     let (count9, t9) = run_on(9, &r, &s)?;
     println!("9 hosts (grown):    {count9} matches in {t9:.3}s");

@@ -8,7 +8,8 @@ for bin in fig3_cpu_breakdown fig5_chunk_throughput fig7_hash_fixed \
            fig8_hash_scaleup fig9_skew fig10_smj_fixed fig11_smj_scaleup \
            fig12_rdma_vs_tcp table1_cpu_load \
            ablate_crossover ablate_setup_amortization ablate_buffer_depth \
-           ablate_chunk_size ablate_rotation_choice ablate_shared_rotation ablate_disk_vs_ring ablate_radix_bits ablate_straggler ext_cyclotron; do
+           ablate_chunk_size ablate_rotation_choice ablate_shared_rotation ablate_disk_vs_ring ablate_radix_bits ablate_straggler \
+           ablate_fault_recovery ext_cyclotron; do
   echo
   echo "================================================================"
   echo "== $bin"

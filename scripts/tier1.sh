@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, full test suite, and a warning-free clippy
+# pass over every target (benches, examples, tests included).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

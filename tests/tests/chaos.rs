@@ -1,0 +1,236 @@
+//! Chaos scenarios: deterministic fault injection against full joins.
+//!
+//! Every scenario runs a complete cyclo-join under a seeded [`FaultPlan`]
+//! and holds the result to the same standard as a healthy run: the match
+//! count and checksum must equal the single-host [`reference_join`], and
+//! the per-host metrics must show exactly-once fragment processing. The
+//! seeds make every scenario bit-for-bit reproducible.
+
+use cyclo_join::{
+    reference_join, CycloJoin, CycloJoinReport, FaultPlan, HostId, JoinPredicate, PlanError,
+    RingConfig,
+};
+use relation::{GenSpec, Relation};
+use simnet::time::{SimDuration, SimTime};
+
+fn inputs() -> (Relation, Relation) {
+    (
+        GenSpec::uniform(6_000, 900).generate(),
+        GenSpec::uniform(6_000, 901).generate(),
+    )
+}
+
+fn chaos_config(hosts: usize) -> RingConfig {
+    // A short ack timeout keeps the failure-detection ladder well inside
+    // the join window of these small test joins.
+    RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(2))
+}
+
+/// Join-event totals can never exceed one per (fragment, role) pair:
+/// the exactly-once ledger, read off the public metrics.
+fn assert_exactly_once(report: &CycloJoinReport) {
+    let role_visits: usize = report.ring.hosts.iter().map(|h| h.fragments_processed).sum();
+    let ceiling = report.ring.fragments_completed * report.hosts;
+    assert!(
+        role_visits <= ceiling,
+        "{role_visits} join events exceed the {ceiling} distinct (fragment, role) pairs"
+    );
+}
+
+/// Crash one of six hosts when the rotation is `frac` of the way through
+/// its revolution; the surviving five must finish the join exactly.
+fn crash_at_fraction(frac: f64) {
+    let (r, s) = inputs();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+
+    let baseline = CycloJoin::new(r.clone(), s.clone())
+        .ring(chaos_config(6))
+        .run()
+        .expect("baseline should run");
+    let revolution = baseline.total_seconds() - baseline.setup_seconds();
+    let crash_at = baseline.setup_seconds() + frac * revolution;
+
+    let plan = FaultPlan::seeded(4242)
+        .crash_host(HostId(3), SimTime::ZERO + SimDuration::from_secs_f64(crash_at));
+    let report = CycloJoin::new(r, s)
+        .ring(chaos_config(6))
+        .fault_plan(plan)
+        .run()
+        .expect("the healed ring should finish the join");
+
+    assert_eq!(report.match_count(), reference.count, "crash at {frac}");
+    assert_eq!(report.checksum(), reference.checksum, "crash at {frac}");
+    assert_eq!(report.heal_events(), 1, "exactly one host died");
+    assert!(report.retransmits() > 0, "death detection retransmits first");
+    assert!(report.detection_latency_seconds() > 0.0);
+    assert!(!report.fault_free());
+    assert_exactly_once(&report);
+}
+
+#[test]
+fn crash_at_quarter_revolution_heals() {
+    crash_at_fraction(0.25);
+}
+
+#[test]
+fn crash_at_half_revolution_heals() {
+    crash_at_fraction(0.5);
+}
+
+#[test]
+fn crash_at_three_quarter_revolution_heals() {
+    crash_at_fraction(0.75);
+}
+
+#[test]
+fn lossy_link_retransmits_but_never_loses_a_fragment() {
+    let (r, s) = inputs();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+    let plan = FaultPlan::seeded(7).lossy_link(HostId(1), 0.25);
+    let report = CycloJoin::new(r, s)
+        .ring(chaos_config(4))
+        .fault_plan(plan)
+        .run()
+        .expect("retransmissions should repair the link");
+    assert_eq!(report.match_count(), reference.count);
+    assert_eq!(report.checksum(), reference.checksum);
+    assert!(report.retransmits() > 0, "a 25% lossy link must retransmit");
+    assert_eq!(report.heal_events(), 0, "loss is not death");
+    assert_exactly_once(&report);
+}
+
+#[test]
+fn corrupted_envelopes_are_caught_by_checksums() {
+    let (r, s) = inputs();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+    let plan = FaultPlan::seeded(21).corrupt_link(HostId(0), 0.25);
+    let report = CycloJoin::new(r, s)
+        .ring(chaos_config(4))
+        .fault_plan(plan)
+        .run()
+        .expect("corrupted hops should be retransmitted");
+    assert_eq!(report.match_count(), reference.count);
+    assert_eq!(report.checksum(), reference.checksum);
+    assert!(report.checksum_mismatches() > 0, "the receiver must catch corruption");
+    assert!(report.retransmits() > 0, "a corrupted hop is retried");
+    assert_eq!(report.heal_events(), 0);
+    assert_exactly_once(&report);
+}
+
+#[test]
+fn paused_host_resumes_without_being_declared_dead() {
+    let (r, s) = inputs();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+
+    let baseline = CycloJoin::new(r.clone(), s.clone())
+        .ring(chaos_config(4))
+        .run()
+        .expect("baseline should run");
+    let mid = baseline.setup_seconds()
+        + 0.5 * (baseline.total_seconds() - baseline.setup_seconds());
+
+    let plan = FaultPlan::seeded(99).pause_host(
+        HostId(2),
+        SimTime::ZERO + SimDuration::from_secs_f64(mid),
+        SimDuration::from_millis(40),
+    );
+    let report = CycloJoin::new(r, s)
+        .ring(chaos_config(4))
+        .fault_plan(plan)
+        .run()
+        .expect("a paused host backpressures, it does not die");
+
+    assert_eq!(report.match_count(), reference.count);
+    assert_eq!(report.checksum(), reference.checksum);
+    assert_eq!(report.heal_events(), 0, "a pause must never be treated as a crash");
+    assert!(
+        report.total_seconds() > baseline.total_seconds(),
+        "a mid-revolution stall must show up in the wall clock"
+    );
+    assert_exactly_once(&report);
+}
+
+#[test]
+fn disabled_faults_leave_the_baseline_untouched() {
+    let (r, s) = inputs();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+
+    let baseline = CycloJoin::new(r.clone(), s.clone())
+        .ring(chaos_config(6))
+        .run()
+        .expect("baseline should run");
+    let quiet = CycloJoin::new(r, s)
+        .ring(chaos_config(6))
+        .fault_plan(FaultPlan::seeded(123))
+        .run()
+        .expect("a quiet plan should run");
+
+    for report in [&baseline, &quiet] {
+        assert_eq!(report.match_count(), reference.count);
+        assert_eq!(report.checksum(), reference.checksum);
+        assert!(report.fault_free(), "all fault counters must be zero");
+        assert_eq!(report.heal_events(), 0);
+        assert_eq!(report.retransmits(), 0);
+        assert_eq!(report.checksum_mismatches(), 0);
+        assert_eq!(report.fragments_resent(), 0);
+        assert_eq!(report.detection_latency_seconds(), 0.0);
+    }
+    // Dropping the plan entirely restores the classic transport: the
+    // simulation is deterministic, so the timings match the baseline
+    // exactly.
+    let rerun = CycloJoin::new(
+        GenSpec::uniform(6_000, 900).generate(),
+        GenSpec::uniform(6_000, 901).generate(),
+    )
+    .ring(chaos_config(6))
+    .run()
+    .expect("rerun should run");
+    assert_eq!(baseline.total_seconds(), rerun.total_seconds());
+    assert_eq!(baseline.setup_seconds(), rerun.setup_seconds());
+    assert_eq!(baseline.sync_seconds(), rerun.sync_seconds());
+    // A quiet plan still pays for acknowledged stop-and-wait transport
+    // (one in-flight envelope per hop, 64 B acks) — but nothing more.
+    assert!(
+        quiet.total_seconds() < 2.5 * baseline.total_seconds(),
+        "ack transport premium out of bounds: {} vs {}",
+        quiet.total_seconds(),
+        baseline.total_seconds()
+    );
+}
+
+#[test]
+fn chaos_runs_are_reproducible() {
+    let (r, s) = inputs();
+    let run = || {
+        let plan = FaultPlan::seeded(4242).crash_host(
+            HostId(3),
+            SimTime::ZERO + SimDuration::from_millis(60),
+        );
+        CycloJoin::new(r.clone(), s.clone())
+            .ring(chaos_config(6))
+            .fault_plan(plan)
+            .run()
+            .expect("chaos run should complete")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.match_count(), b.match_count());
+    assert_eq!(a.checksum(), b.checksum());
+    assert_eq!(a.total_seconds(), b.total_seconds());
+    assert_eq!(a.retransmits(), b.retransmits());
+    assert_eq!(a.detection_latency_seconds(), b.detection_latency_seconds());
+}
+
+#[test]
+fn fault_plans_are_validated_before_running() {
+    let (r, s) = inputs();
+    let plan = FaultPlan::seeded(1)
+        .crash_host(HostId(9), SimTime::ZERO + SimDuration::from_millis(1));
+    let err = CycloJoin::new(r, s)
+        .ring(chaos_config(4))
+        .fault_plan(plan)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, PlanError::BadQuery(_)), "got: {err:?}");
+    assert!(err.to_string().contains("targets host 9"), "got: {err}");
+}

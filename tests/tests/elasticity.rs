@@ -20,7 +20,7 @@ fn join_survives_any_single_host_failure() {
     let hosts = 5;
     let parts = s.split_even(hosts);
     for failed in 0..hosts {
-        let survivors = absorb_host(parts.clone(), failed);
+        let survivors = absorb_host(parts.clone(), failed).expect("failed host is in range");
         let s_again = merge(&survivors);
         assert_eq!(
             relation_checksum(&s_again),
@@ -43,7 +43,7 @@ fn repeated_failures_down_to_one_host() {
     let reference = reference_join(&r, &s, &JoinPredicate::Equi);
     let mut parts = s.split_even(6);
     while parts.len() > 1 {
-        parts = absorb_host(parts, 0);
+        parts = absorb_host(parts, 0).expect("more than one host remains");
         let report = CycloJoin::new(r.clone(), merge(&parts))
             .hosts(parts.len())
             .run()
@@ -61,7 +61,7 @@ fn growing_the_ring_preserves_results_and_speeds_setup() {
         .hosts(2)
         .run()
         .expect("plan should run");
-    let parts = rebalance(&s.split_even(2), 8);
+    let parts = rebalance(&s.split_even(2), 8).expect("eight hosts is a valid ring size");
     assert_eq!(parts.len(), 8);
     let big = CycloJoin::new(r, merge(&parts)).hosts(8).run().expect("plan should run");
     assert_eq!(small.match_count(), reference.count);

@@ -46,7 +46,8 @@ fn ring_of_serialized_buffers_produces_the_reference_join() {
             1,
             &mut collector,
         );
-    });
+    })
+    .expect("ring should run");
     assert_eq!(metrics.fragments_completed, hosts * 3);
 
     let (count, checksum) = collectors.iter().fold(

@@ -1,0 +1,12 @@
+//! Offline shim for `crossbeam` (see `third_party/README.md`).
+//!
+//! Provides the two surfaces the workspace uses — `channel` (MPMC bounded
+//! and unbounded channels with disconnect semantics) and `thread::scope`
+//! (scoped spawning) — as thin, fully functional layers over the standard
+//! library. Semantics match crossbeam for everything the ring protocol
+//! relies on: blocking send honors bounded capacity (credit-based flow
+//! control), receivers drain remaining messages after all senders drop,
+//! and scope propagates worker panics as `Err`.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,92 @@
+//! Scoped threads mirroring `crossbeam::thread::scope` over
+//! `std::thread::scope`.
+//!
+//! Differences from std that the shim papers over: crossbeam's spawn
+//! closures receive the scope as an argument (enabling nested spawns), and
+//! `scope` itself returns `Err` instead of panicking when a spawned thread
+//! panics un-joined.
+
+use std::any::Any;
+
+/// Result of a scope or a join: `Err` carries the panic payload.
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle; passed to `scope`'s closure and to every spawned
+/// closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so it
+    /// can spawn siblings (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, non-`'static` threads can be
+/// spawned; all are joined before `scope` returns. Returns `Err` with the
+/// panic payload if the closure or any un-joined spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn panic_surfaces_as_err() {
+        let result = scope(|s| {
+            s.spawn::<_, ()>(|_| panic!("worker down"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline shim for `proptest` (see `third_party/README.md`).
+//!
+//! Implements the subset of the proptest 1.x API the workspace's property
+//! tests use: the `proptest!` macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), `prop_assert*`,
+//! `prop_assume!`, `any::<T>()`, numeric range strategies, tuple
+//! strategies, `prop::collection::vec`, and `Strategy::prop_map`.
+//!
+//! Cases are generated from a deterministic per-test seed (hash of the
+//! test name), so failures are reproducible by re-running the test. There
+//! is **no shrinking**: a failing case reports the panic from the assert
+//! macros directly.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `use proptest::prelude::*;` — everything the tests touch by name.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use strategy::{any, Any, Just, Map, RangeStrategy, Strategy};
+
+/// The body of each generated case runs inside a closure returning this:
+/// `Err(Rejected)` means `prop_assume!` rejected the case (it is skipped,
+/// not failed).
+#[doc(hidden)]
+pub struct Rejected;
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Skips the current case (without failing) when the assumption does not
+/// hold. Only valid inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// expands to a zero-argument test that runs `config.cases` deterministic
+/// cases. Attributes written on the fn (including `#[test]`) are
+/// preserved.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng =
+                $crate::test_runner::TestRng::from_name(stringify!($name));
+            for _case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(
+                        &($strategy),
+                        &mut rng,
+                    );
+                )+
+                let outcome: ::core::result::Result<(), $crate::Rejected> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err($crate::Rejected) = outcome {
+                    // Case rejected by prop_assume!: skipped, not a failure.
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}

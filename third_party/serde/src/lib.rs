@@ -1,0 +1,15 @@
+//! Offline shim for `serde` (see `third_party/README.md`).
+//!
+//! Provides the `Serialize`/`Deserialize` traits and re-exports the no-op
+//! derive macros. The workspace uses the derives purely as
+//! documentation-of-intent on metric/report structs; nothing serializes
+//! through serde at runtime, so the traits carry no methods.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive` (see `third_party/README.md`).
+//!
+//! The derives expand to nothing: the workspace decorates structs with
+//! `#[derive(Serialize)]` as documentation-of-intent but never routes data
+//! through serde, so an empty expansion keeps every use site compiling
+//! without pulling in syn/quote.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
