@@ -62,5 +62,10 @@ fn bench_table_build_and_probe(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioning, bench_multi_pass, bench_table_build_and_probe);
+criterion_group!(
+    benches,
+    bench_partitioning,
+    bench_multi_pass,
+    bench_table_build_and_probe
+);
 criterion_main!(benches);

@@ -31,19 +31,24 @@ fn bench_buffer_depths(c: &mut Criterion) {
     let mut group = c.benchmark_group("thread_ring_buffers");
     group.sample_size(10);
     for buffers in [1usize, 2, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(buffers), &buffers, |b, &buffers| {
-            b.iter(|| {
-                let fragments: Vec<Vec<Vec<u8>>> =
-                    (0..3).map(|_| (0..8).map(|_| vec![0u8; 1024]).collect()).collect();
-                run_threaded(
-                    &RingConfig::paper(3).with_buffers(buffers),
-                    fragments,
-                    |_, _| {},
-                )
-                .expect("ring should run")
-                .fragments_completed
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buffers),
+            &buffers,
+            |b, &buffers| {
+                b.iter(|| {
+                    let fragments: Vec<Vec<Vec<u8>>> = (0..3)
+                        .map(|_| (0..8).map(|_| vec![0u8; 1024]).collect())
+                        .collect();
+                    run_threaded(
+                        &RingConfig::paper(3).with_buffers(buffers),
+                        fragments,
+                        |_, _| {},
+                    )
+                    .expect("ring should run")
+                    .fragments_completed
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -67,5 +67,10 @@ fn bench_sim_ring(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_engine, bench_link_reservation, bench_sim_ring);
+criterion_group!(
+    benches,
+    bench_event_engine,
+    bench_link_reservation,
+    bench_sim_ring
+);
 criterion_main!(benches);

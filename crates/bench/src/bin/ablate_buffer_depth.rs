@@ -11,7 +11,10 @@
 //! cargo run --release -p cyclo-bench --bin ablate_buffer_depth
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RingConfig, RotateSide};
 use relation::paper_uniform_pair;
 
@@ -25,6 +28,8 @@ fn main() {
         s.len()
     );
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for buffers in [1usize, 2, 3, 4, 8] {
         let report = CycloJoin::new(r.clone(), s.clone())
@@ -32,6 +37,7 @@ fn main() {
             .ring(RingConfig::paper(6).with_buffers(buffers))
             .rotate(RotateSide::R)
             .compute(compute)
+            .trace(trace.is_some())
             .run()
             .expect("plan should run");
         rows.push(vec![
@@ -40,6 +46,10 @@ fn main() {
             secs(report.sync_seconds()),
             secs(report.join_window_seconds()),
         ]);
+        traced = Some(report);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
         &["buffers/host", "join [s]", "sync [s]", "join window [s]"],

@@ -11,7 +11,10 @@
 //! cargo run --release -p cyclo-bench --bin ablate_chunk_size
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RotateSide};
 use relation::paper_uniform_pair;
 
@@ -26,6 +29,8 @@ fn main() {
         per_host
     );
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for fragments in [1usize, 2, 4, 16, 64, 256] {
         let frag_bytes = (per_host / fragments).max(1) * 12;
@@ -35,6 +40,7 @@ fn main() {
             .fragments_per_host(fragments)
             .rotate(RotateSide::R)
             .compute(compute)
+            .trace(trace.is_some())
             .run()
             .expect("plan should run");
         rows.push(vec![
@@ -44,16 +50,32 @@ fn main() {
             secs(report.sync_seconds()),
             secs(report.join_window_seconds()),
         ]);
+        traced = Some(report);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
-        &["fragments/host", "unit size", "join [s]", "sync [s]", "window [s]"],
+        &[
+            "fragments/host",
+            "unit size",
+            "join [s]",
+            "sync [s]",
+            "window [s]",
+        ],
         &rows,
     );
     println!("\nshape: very small units pay the per-message overhead (Figure 5's left");
     println!("side) and inflate sync; moderate unit counts overlap best.");
     write_csv(
         "ablate_chunk_size",
-        &["fragments_per_host", "unit_bytes", "join_s", "sync_s", "window_s"],
+        &[
+            "fragments_per_host",
+            "unit_bytes",
+            "join_s",
+            "sync_s",
+            "window_s",
+        ],
         &rows,
     );
 }

@@ -32,11 +32,21 @@ fn main() {
             format!("{volume_gb:.0}"),
             secs(hash.total().as_secs_f64()),
             secs(smj.total().as_secs_f64()),
-            if smj.total() < hash.total() { "sort-merge".into() } else { "hash".into() },
+            if smj.total() < hash.total() {
+                "sort-merge".into()
+            } else {
+                "hash".into()
+            },
         ]);
     }
     print_table(
-        &["nodes", "volume GB", "hash total [s]", "smj total [s]", "winner"],
+        &[
+            "nodes",
+            "volume GB",
+            "hash total [s]",
+            "smj total [s]",
+            "winner",
+        ],
         &rows,
     );
 
@@ -53,7 +63,13 @@ fn main() {
     }
     write_csv(
         "ablate_crossover",
-        &["nodes", "volume_gb", "hash_total_s", "smj_total_s", "winner"],
+        &[
+            "nodes",
+            "volume_gb",
+            "hash_total_s",
+            "smj_total_s",
+            "winner",
+        ],
         &rows,
     );
 }

@@ -11,7 +11,9 @@
 //! cargo run --release -p cyclo-bench --bin ablate_disk_vs_ring
 //! ```
 
-use cyclo_bench::{print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    export_trace, print_table, scale_from_env, secs, trace_path_from_args, write_csv,
+};
 use cyclo_join::{Algorithm, CostModel, CycloJoin, RotateSide};
 use relation::{GenSpec, TUPLE_BYTES};
 use simnet::disk::DiskModel;
@@ -22,6 +24,8 @@ fn main() {
     let model = CostModel::paper_xeon();
     println!("Ablation — local disk streaming vs distributed-RAM ring (scale {scale})\n");
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for hosts in [2usize, 4, 6] {
         let per_node = ((133_000_000.0 * scale) as usize).max(1);
@@ -34,7 +38,13 @@ fn main() {
         // The join overlaps with the stream, so the wall time is the max
         // of disk time and compute time — disk wins (badly).
         let compute = model
-            .join_duration(&Algorithm::partitioned_hash(), tuples, tuples, tuples as u64, 4)
+            .join_duration(
+                &Algorithm::partitioned_hash(),
+                tuples,
+                tuples,
+                tuples as u64,
+                4,
+            )
             .as_secs_f64();
         let disk_stream = disk
             .read_time_chunked(r_bytes, (r_bytes / (16 << 20)).max(1))
@@ -46,6 +56,7 @@ fn main() {
             .algorithm(Algorithm::partitioned_hash())
             .hosts(hosts)
             .rotate(RotateSide::R)
+            .trace(trace.is_some())
             .run()
             .expect("plan should run");
         let ring_total = ring.setup_seconds() + ring.join_window_seconds();
@@ -57,9 +68,19 @@ fn main() {
             secs(ring_total),
             format!("{:.1}", local_disk / ring_total.max(1e-9)),
         ]);
+        traced = Some(ring);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
-        &["nodes", "volume MB", "disk-stream join [s]", "ring total [s]", "ring advantage"],
+        &[
+            "nodes",
+            "volume MB",
+            "disk-stream join [s]",
+            "ring total [s]",
+            "ring advantage",
+        ],
         &rows,
     );
     println!("\nshape: the disk tops out at 120 MB/s while each ring link moves");

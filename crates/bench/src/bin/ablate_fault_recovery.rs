@@ -17,7 +17,10 @@
 //! cargo run --release -p cyclo-bench --bin ablate_fault_recovery
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{
     predict_degraded, reference_join, Algorithm, CostModel, CycloJoin, FaultPlan, HostId,
     JoinPredicate, RingConfig, RotateSide, Workload,
@@ -53,17 +56,25 @@ fn main() {
     let scenarios: Vec<(&str, Option<FaultPlan>)> = vec![
         ("baseline (no plan)", None),
         ("quiet plan (ack transport)", Some(FaultPlan::seeded(61))),
-        ("lossy link 10%", Some(FaultPlan::seeded(61).lossy_link(HostId(1), 0.10))),
-        ("lossy link 30%", Some(FaultPlan::seeded(61).lossy_link(HostId(1), 0.30))),
-        ("corrupt link 10%", Some(FaultPlan::seeded(61).corrupt_link(HostId(4), 0.10))),
-        ("straggler at half speed", Some(FaultPlan::seeded(61).slow_host(HostId(2), 0.5))),
+        (
+            "lossy link 10%",
+            Some(FaultPlan::seeded(61).lossy_link(HostId(1), 0.10)),
+        ),
+        (
+            "lossy link 30%",
+            Some(FaultPlan::seeded(61).lossy_link(HostId(1), 0.30)),
+        ),
+        (
+            "corrupt link 10%",
+            Some(FaultPlan::seeded(61).corrupt_link(HostId(4), 0.10)),
+        ),
+        (
+            "straggler at half speed",
+            Some(FaultPlan::seeded(61).slow_host(HostId(2), 0.5)),
+        ),
         (
             "host paused 50 ms",
-            Some(FaultPlan::seeded(61).pause_host(
-                HostId(2),
-                mid_t,
-                SimDuration::from_millis(50),
-            )),
+            Some(FaultPlan::seeded(61).pause_host(HostId(2), mid_t, SimDuration::from_millis(50))),
         ),
         (
             "crash mid-revolution",
@@ -73,23 +84,32 @@ fn main() {
 
     let model = CostModel::paper_xeon();
     let workload = Workload::from_data(&r, &s, 4);
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for (label, plan) in &scenarios {
         let mut join = CycloJoin::new(r.clone(), s.clone())
             .algorithm(Algorithm::partitioned_hash())
             .ring(config)
             .rotate(RotateSide::R)
-            .compute(compute);
+            .compute(compute)
+            .trace(trace.is_some());
         if let Some(p) = plan {
             join = join.fault_plan(p.clone());
         }
         let report = join.run().expect("faulted run should still complete");
-        let verified = report.match_count() == reference.count
-            && report.checksum() == reference.checksum;
+        let verified =
+            report.match_count() == reference.count && report.checksum() == reference.checksum;
         let predicted = plan.as_ref().map(|p| {
-            predict_degraded(&model, &config, &Algorithm::partitioned_hash(), &workload, p)
-                .total()
-                .as_secs_f64()
+            predict_degraded(
+                &model,
+                &config,
+                &Algorithm::partitioned_hash(),
+                &workload,
+                p,
+            )
+            .total()
+            .as_secs_f64()
         });
         rows.push(vec![
             label.to_string(),
@@ -103,6 +123,13 @@ fn main() {
             if verified { "yes".into() } else { "NO".into() },
         ]);
         assert!(verified, "{label}: join result diverged from the reference");
+        traced = Some(report);
+    }
+    // The last scenario is the mid-revolution crash — the most interesting
+    // profile: the exported trace shows the detection ladder, the heal
+    // event, and the successor's absorb span.
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
         &[

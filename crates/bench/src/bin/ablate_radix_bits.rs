@@ -37,8 +37,7 @@ fn main() {
     }
     for bits in sweep {
         let (state, build_time) = timed(|| HashJoinState::build_with_bits(&s, bits, &params));
-        let (probe_frag, partition_time) =
-            timed(|| RadixPartitioned::new(&r, bits, &params));
+        let (probe_frag, partition_time) = timed(|| RadixPartitioned::new(&r, bits, &params));
         let (matches, probe_time) = timed(|| {
             let mut c = JoinCollector::aggregating();
             state.probe_partitioned(&probe_frag, 1, &mut c);
@@ -49,13 +48,23 @@ fn main() {
             format!("{bits}{}", if bits == auto_bits { " (auto)" } else { "" }),
             format!("{}", 1u64 << bits),
             format!("{table_kb_per_partition}"),
-            format!("{:.3}", build_time.as_secs_f64() + partition_time.as_secs_f64()),
+            format!(
+                "{:.3}",
+                build_time.as_secs_f64() + partition_time.as_secs_f64()
+            ),
             format!("{:.3}", probe_time.as_secs_f64()),
             matches.to_string(),
         ]);
     }
     print_table(
-        &["bits", "partitions", "kB/table", "setup [s]", "probe [s]", "matches"],
+        &[
+            "bits",
+            "partitions",
+            "kB/table",
+            "setup [s]",
+            "probe [s]",
+            "matches",
+        ],
         &rows,
     );
     println!("\nshape: partitioning pays once the monolithic table exceeds the CPU's");
@@ -64,7 +73,14 @@ fn main() {
     println!("Past the cache-fitting fan-out, extra partitions only add overhead.");
     write_csv(
         "ablate_radix_bits",
-        &["bits", "partitions", "kb_per_table", "setup_s", "probe_s", "matches"],
+        &[
+            "bits",
+            "partitions",
+            "kb_per_table",
+            "setup_s",
+            "probe_s",
+            "matches",
+        ],
         &rows,
     );
 }

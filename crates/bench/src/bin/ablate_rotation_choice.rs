@@ -9,7 +9,10 @@
 //! cargo run --release -p cyclo-bench --bin ablate_rotation_choice
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RotateSide};
 use relation::GenSpec;
 
@@ -23,6 +26,8 @@ fn main() {
          sort-merge on 6 hosts (scale {scale})\n"
     );
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for (label, rotate) in [
         ("rotate big (R)", RotateSide::R),
@@ -36,24 +41,44 @@ fn main() {
             .hosts(6)
             .rotate(rotate)
             .compute(compute)
+            .trace(trace.is_some())
             .run()
             .expect("plan should run");
         rows.push(vec![
             label.to_string(),
-            if report.swapped { "S".into() } else { "R".into() },
+            if report.swapped {
+                "S".into()
+            } else {
+                "R".into()
+            },
             secs(report.setup_seconds()),
             secs(report.join_seconds()),
             secs(report.sync_seconds()),
             secs(report.total_seconds()),
             report.match_count().to_string(),
         ]);
+        traced = Some(report);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
-        &["policy", "rotating", "setup [s]", "join [s]", "sync [s]", "total [s]", "matches"],
+        &[
+            "policy",
+            "rotating",
+            "setup [s]",
+            "join [s]",
+            "sync [s]",
+            "total [s]",
+            "matches",
+        ],
         &rows,
     );
 
-    assert_eq!(rows[0][6], rows[1][6], "both rotations must produce the same result");
+    assert_eq!(
+        rows[0][6], rows[1][6],
+        "both rotations must produce the same result"
+    );
     let big_total: f64 = rows[0][5].parse().unwrap();
     let small_total: f64 = rows[1][5].parse().unwrap();
     println!(
@@ -62,7 +87,9 @@ fn main() {
     );
     write_csv(
         "ablate_rotation_choice",
-        &["policy", "rotating", "setup_s", "join_s", "sync_s", "total_s", "matches"],
+        &[
+            "policy", "rotating", "setup_s", "join_s", "sync_s", "total_s", "matches",
+        ],
         &rows,
     );
 }

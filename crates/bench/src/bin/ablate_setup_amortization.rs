@@ -11,7 +11,10 @@
 //! cargo run --release -p cyclo-bench --bin ablate_setup_amortization
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RotateSide};
 use relation::paper_uniform_pair;
 
@@ -25,6 +28,8 @@ fn main() {
         s.len()
     );
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for (alg, name) in [
         (Algorithm::partitioned_hash(), "hash"),
@@ -38,6 +43,7 @@ fn main() {
                     .rotate(RotateSide::R)
                     .compute(compute)
                     .ship_prepared(ship_prepared)
+                    .trace(trace.is_some())
                     .run()
                     .expect("plan should run")
             };
@@ -60,7 +66,11 @@ fn main() {
                 secs(naive_total),
                 format!("{:.2}", naive_total / amortized_total.max(1e-9)),
             ]);
+            traced = Some(amortized);
         }
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
         &[

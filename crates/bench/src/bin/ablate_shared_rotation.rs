@@ -10,7 +10,9 @@
 //! cargo run --release -p cyclo-bench --bin ablate_shared_rotation
 //! ```
 
-use cyclo_bench::{print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    export_trace, print_table, scale_from_env, secs, trace_path_from_args, write_csv,
+};
 use cyclo_join::concurrent::ConcurrentJoins;
 use cyclo_join::{CycloJoin, JoinPredicate, RotateSide};
 use relation::GenSpec;
@@ -25,6 +27,8 @@ fn main() {
     );
 
     let hot = GenSpec::uniform(hot_tuples, 700).generate();
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for k in [1usize, 2, 4, 8] {
         let stationaries: Vec<_> = (0..k)
@@ -45,9 +49,12 @@ fn main() {
                 let r = CycloJoin::new(hot.clone(), s.clone())
                     .hosts(6)
                     .rotate(RotateSide::R)
+                    .trace(trace.is_some())
                     .run()
                     .expect("plan should run");
-                (r.total_seconds(), r.ring.total_bytes_forwarded())
+                let totals = (r.total_seconds(), r.ring.total_bytes_forwarded());
+                traced = Some(r);
+                totals
             })
             .fold((0.0, 0u64), |(ts, tb), (s, b)| (ts + s, tb + b));
 
@@ -57,8 +64,14 @@ fn main() {
             secs(seq_seconds),
             format!("{:.1}", batch.bytes_forwarded() as f64 / 1e6),
             format!("{:.1}", seq_bytes as f64 / 1e6),
-            format!("{:.2}", seq_bytes as f64 / batch.bytes_forwarded().max(1) as f64),
+            format!(
+                "{:.2}",
+                seq_bytes as f64 / batch.bytes_forwarded().max(1) as f64
+            ),
         ]);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
         &[
@@ -76,7 +89,14 @@ fn main() {
     println!("whenever the ring — not the CPU — is the bottleneck.");
     write_csv(
         "ablate_shared_rotation",
-        &["queries", "batch_s", "sequential_s", "batch_mb", "sequential_mb", "network_saving"],
+        &[
+            "queries",
+            "batch_s",
+            "sequential_s",
+            "batch_mb",
+            "sequential_mb",
+            "network_saving",
+        ],
         &rows,
     );
 }

@@ -12,7 +12,10 @@
 //! cargo run --release -p cyclo-bench --bin ablate_straggler
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RingConfig, RotateSide};
 use relation::paper_uniform_pair;
 
@@ -35,6 +38,8 @@ fn main() {
         v
     };
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for (label, slow, buffers) in [
         ("homogeneous", 1.0, 2usize),
@@ -49,6 +54,7 @@ fn main() {
             .rotate(RotateSide::R)
             .compute(compute)
             .host_speeds(speeds(slow))
+            .trace(trace.is_some())
             .run()
             .expect("plan should run");
         // How long do the FAST hosts sit idle because of the straggler?
@@ -67,9 +73,19 @@ fn main() {
             secs(fast_sync),
             secs(report.total_seconds()),
         ]);
+        traced = Some(report);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
-        &["configuration", "buffers", "join window [s]", "fast-host sync [s]", "total [s]"],
+        &[
+            "configuration",
+            "buffers",
+            "join window [s]",
+            "fast-host sync [s]",
+            "total [s]",
+        ],
         &rows,
     );
 
@@ -82,7 +98,13 @@ fn main() {
     );
     write_csv(
         "ablate_straggler",
-        &["configuration", "buffers", "join_window_s", "fast_sync_s", "total_s"],
+        &[
+            "configuration",
+            "buffers",
+            "join_window_s",
+            "fast_sync_s",
+            "total_s",
+        ],
         &rows,
     );
 }

@@ -51,7 +51,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["concurrent queries", "mean latency [s]", "max latency [s]", "rotation [s]", "fragments"],
+        &[
+            "concurrent queries",
+            "mean latency [s]",
+            "max latency [s]",
+            "rotation [s]",
+            "fragments",
+        ],
         &rows,
     );
 
@@ -64,7 +70,13 @@ fn main() {
     );
     write_csv(
         "ext_cyclotron",
-        &["concurrent_queries", "mean_latency_s", "max_latency_s", "rotation_s", "fragments"],
+        &[
+            "concurrent_queries",
+            "mean_latency_s",
+            "max_latency_s",
+            "rotation_s",
+            "fragments",
+        ],
         &rows,
     );
 }

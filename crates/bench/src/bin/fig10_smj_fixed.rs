@@ -8,7 +8,10 @@
 //! cargo run --release -p cyclo-bench --bin fig10_smj_fixed
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RotateSide};
 use relation::paper_uniform_pair;
 
@@ -22,6 +25,8 @@ fn main() {
         s.len()
     );
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for hosts in 1..=6 {
         let report = CycloJoin::new(r.clone(), s.clone())
@@ -29,6 +34,7 @@ fn main() {
             .hosts(hosts)
             .rotate(RotateSide::R)
             .compute(compute)
+            .trace(trace.is_some())
             .run()
             .expect("plan should run");
         rows.push(vec![
@@ -38,6 +44,10 @@ fn main() {
             secs(report.sync_seconds()),
             secs(report.setup_seconds() + report.join_window_seconds()),
         ]);
+        traced = Some(report);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
         &["nodes", "setup [s]", "join [s]", "sync [s]", "total [s]"],

@@ -10,7 +10,10 @@
 //! cargo run --release -p cyclo-bench --bin fig11_smj_scaleup
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RotateSide};
 use relation::GenSpec;
 
@@ -20,10 +23,10 @@ fn main() {
     let scale = scale_from_env(0.005);
     let compute = compute_mode_from_env();
     let per_node = ((TUPLES_PER_NODE_SIDE as f64 * scale) as usize).max(1);
-    println!(
-        "Figure 11 — sort-merge join scale-up, {per_node} tuples/side/node (scale {scale})\n"
-    );
+    println!("Figure 11 — sort-merge join scale-up, {per_node} tuples/side/node (scale {scale})\n");
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for hosts in 1..=6 {
         let tuples = per_node * hosts;
@@ -35,6 +38,7 @@ fn main() {
             .hosts(hosts)
             .rotate(RotateSide::R)
             .compute(compute)
+            .trace(trace.is_some())
             .run()
             .expect("plan should run");
         rows.push(vec![
@@ -45,9 +49,20 @@ fn main() {
             secs(report.sync_seconds()),
             format!("{:.2}", report.link_throughput() / 1e9),
         ]);
+        traced = Some(report);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
-        &["paper-scale GB", "nodes", "setup [s]", "join [s]", "sync [s]", "link GB/s"],
+        &[
+            "paper-scale GB",
+            "nodes",
+            "setup [s]",
+            "join [s]",
+            "sync [s]",
+            "link GB/s",
+        ],
         &rows,
     );
 
@@ -59,7 +74,14 @@ fn main() {
     );
     write_csv(
         "fig11_smj_scaleup",
-        &["paper_scale_gb", "nodes", "setup_s", "join_s", "sync_s", "link_gbps"],
+        &[
+            "paper_scale_gb",
+            "nodes",
+            "setup_s",
+            "join_s",
+            "sync_s",
+            "link_gbps",
+        ],
         &rows,
     );
 }

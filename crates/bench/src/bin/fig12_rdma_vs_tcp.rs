@@ -12,7 +12,10 @@
 //! cargo run --release -p cyclo-bench --bin fig12_rdma_vs_tcp
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RingConfig, RotateSide};
 use relation::GenSpec;
 
@@ -26,6 +29,8 @@ fn main() {
         "Figure 12 — hash join phase, RDMA vs kernel TCP, 6 hosts, {tuples} tuples/side (scale {scale})\n"
     );
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for threads in 1..=4 {
         let mut per_transport = Vec::new();
@@ -40,6 +45,7 @@ fn main() {
                 .ring(config)
                 .rotate(RotateSide::R)
                 .compute(compute)
+                .trace(trace.is_some())
                 .run()
                 .expect("plan should run");
             per_transport.push(report);
@@ -58,9 +64,20 @@ fn main() {
                     / (rdma.join_seconds() + rdma.sync_seconds()).max(1e-9)
             ),
         ]);
+        traced = per_transport.into_iter().next();
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
-        &["threads", "RDMA join [s]", "RDMA sync [s]", "TCP join [s]", "TCP sync [s]", "TCP/RDMA"],
+        &[
+            "threads",
+            "RDMA join [s]",
+            "RDMA sync [s]",
+            "TCP join [s]",
+            "TCP sync [s]",
+            "TCP/RDMA",
+        ],
         &rows,
     );
 
@@ -72,7 +89,14 @@ fn main() {
     );
     write_csv(
         "fig12_rdma_vs_tcp",
-        &["threads", "rdma_join_s", "rdma_sync_s", "tcp_join_s", "tcp_sync_s", "tcp_over_rdma"],
+        &[
+            "threads",
+            "rdma_join_s",
+            "rdma_sync_s",
+            "tcp_join_s",
+            "tcp_sync_s",
+            "tcp_over_rdma",
+        ],
         &rows,
     );
 }

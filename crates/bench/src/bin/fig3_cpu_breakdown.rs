@@ -54,7 +54,14 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["transport", "data copy %", "ctx switch %", "net stack %", "driver %", "total %"],
+        &[
+            "transport",
+            "data copy %",
+            "ctx switch %",
+            "net stack %",
+            "driver %",
+            "total %",
+        ],
         &rows,
     );
 
@@ -71,7 +78,14 @@ fn main() {
     println!("RDMA reduces the total by orders of magnitude.");
     write_csv(
         "fig3_cpu_breakdown",
-        &["transport", "data_copy_pct", "ctx_switch_pct", "net_stack_pct", "driver_pct", "total_pct"],
+        &[
+            "transport",
+            "data_copy_pct",
+            "ctx_switch_pct",
+            "net_stack_pct",
+            "driver_pct",
+            "total_pct",
+        ],
         &rows,
     );
 }

@@ -31,7 +31,11 @@ fn main() {
 
     let knee = model.chunk_size_for_utilization(0.5);
     let saturated = model.chunk_size_for_utilization(0.99);
-    println!("\n50 % of peak at {} chunks; ≥99 % of peak at {} chunks", size_label(knee), size_label(saturated));
+    println!(
+        "\n50 % of peak at {} chunks; ≥99 % of peak at {} chunks",
+        size_label(knee),
+        size_label(saturated)
+    );
     println!("paper shape: saturation begins ≳4 kB, full rate from ≈1 MB units.");
     write_csv(
         "fig5_chunk_throughput",

@@ -10,7 +10,10 @@
 //! CYCLO_SCALE=0.01 cargo run --release -p cyclo-bench --bin fig7_hash_fixed
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RotateSide};
 use relation::paper_uniform_pair;
 
@@ -24,6 +27,8 @@ fn main() {
         s.len()
     );
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     let mut single_host_total = 0.0;
     for hosts in 1..=6 {
@@ -32,6 +37,7 @@ fn main() {
             .hosts(hosts)
             .rotate(RotateSide::R)
             .compute(compute)
+            .trace(trace.is_some())
             .run()
             .expect("plan should run");
         if hosts == 1 {
@@ -45,9 +51,20 @@ fn main() {
             secs(report.setup_seconds() + report.join_seconds()),
             report.match_count().to_string(),
         ]);
+        traced = Some(report);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
-        &["nodes", "setup [s]", "join [s]", "sync [s]", "total [s]", "matches"],
+        &[
+            "nodes",
+            "setup [s]",
+            "join [s]",
+            "sync [s]",
+            "total [s]",
+            "matches",
+        ],
         &rows,
     );
     println!("\nsingle-host performance line: {single_host_total:.3}s");

@@ -9,7 +9,10 @@
 //! cargo run --release -p cyclo-bench --bin fig8_hash_scaleup
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RotateSide};
 use relation::GenSpec;
 
@@ -25,6 +28,8 @@ fn main() {
         "Figure 8 — partitioned hash join scale-up, {per_node} tuples/side/node (scale {scale})\n"
     );
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for hosts in 1..=6 {
         let tuples = per_node * hosts;
@@ -36,6 +41,7 @@ fn main() {
             .hosts(hosts)
             .rotate(RotateSide::R)
             .compute(compute)
+            .trace(trace.is_some())
             .run()
             .expect("plan should run");
         rows.push(vec![
@@ -45,9 +51,19 @@ fn main() {
             secs(report.join_seconds()),
             secs(report.sync_seconds()),
         ]);
+        traced = Some(report);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
-        &["paper-scale GB", "nodes", "setup [s]", "join [s]", "sync [s]"],
+        &[
+            "paper-scale GB",
+            "nodes",
+            "setup [s]",
+            "join [s]",
+            "sync [s]",
+        ],
         &rows,
     );
 

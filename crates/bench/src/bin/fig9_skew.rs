@@ -11,7 +11,10 @@
 //! cargo run --release -p cyclo-bench --bin fig9_skew
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, secs, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, secs, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RotateSide};
 use relation::paper_skew_pair;
 
@@ -20,6 +23,8 @@ fn main() {
     let compute = compute_mode_from_env();
     println!("Figure 9 — hash join phase under Zipf skew, local vs 6-host ring (scale {scale})\n");
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for z in [0.0, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9] {
         let run = |hosts: usize| {
@@ -29,22 +34,40 @@ fn main() {
                 .hosts(hosts)
                 .rotate(RotateSide::R)
                 .compute(compute)
+                .trace(trace.is_some())
                 .run()
                 .expect("plan should run")
         };
         let local = run(1);
         let ring = run(6);
-        assert_eq!(local.match_count(), ring.match_count(), "results must agree");
+        assert_eq!(
+            local.match_count(),
+            ring.match_count(),
+            "results must agree"
+        );
         rows.push(vec![
             format!("{z:.2}"),
             secs(local.join_seconds()),
             secs(ring.join_seconds()),
-            format!("{:.2}", local.join_seconds() / ring.join_seconds().max(1e-9)),
+            format!(
+                "{:.2}",
+                local.join_seconds() / ring.join_seconds().max(1e-9)
+            ),
             local.match_count().to_string(),
         ]);
+        traced = Some(ring);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
-        &["zipf z", "local join [s]", "cyclo-join [s]", "speedup", "matches"],
+        &[
+            "zipf z",
+            "local join [s]",
+            "cyclo-join [s]",
+            "speedup",
+            "matches",
+        ],
         &rows,
     );
 
@@ -56,7 +79,13 @@ fn main() {
     );
     write_csv(
         "fig9_skew",
-        &["zipf_z", "local_join_s", "cyclo_join_s", "speedup", "matches"],
+        &[
+            "zipf_z",
+            "local_join_s",
+            "cyclo_join_s",
+            "speedup",
+            "matches",
+        ],
         &rows,
     );
 }

@@ -10,7 +10,10 @@
 //! cargo run --release -p cyclo-bench --bin table1_cpu_load
 //! ```
 
-use cyclo_bench::{compute_mode_from_env, print_table, scale_from_env, write_csv};
+use cyclo_bench::{
+    compute_mode_from_env, export_trace, print_table, scale_from_env, trace_path_from_args,
+    write_csv,
+};
 use cyclo_join::{Algorithm, CycloJoin, RingConfig, RotateSide};
 use relation::GenSpec;
 
@@ -26,6 +29,8 @@ fn main() {
     let tuples = ((PAPER_TUPLES as f64 * scale) as usize).max(1);
     println!("Table I — CPU load during the join phase (6 hosts, {tuples} tuples/side)\n");
 
+    let trace = trace_path_from_args();
+    let mut traced = None;
     let mut rows = Vec::new();
     for threads in 1..=4 {
         let mut loads = Vec::new();
@@ -40,9 +45,11 @@ fn main() {
                 .ring(config)
                 .rotate(RotateSide::R)
                 .compute(compute)
+                .trace(trace.is_some())
                 .run()
                 .expect("plan should run");
             loads.push(report.join_phase_cpu_load() * 100.0);
+            traced = Some(report);
         }
         rows.push(vec![
             format!("{threads} thread{}", if threads > 1 { "s" } else { "" }),
@@ -51,6 +58,9 @@ fn main() {
             format!("{:.0} %", loads[1]),
             format!("({} %)", PAPER_RDMA[threads - 1]),
         ]);
+    }
+    if let (Some(path), Some(report)) = (&trace, &traced) {
+        export_trace(path, report);
     }
     print_table(
         &["", "cpu load TCP", "paper", "cpu load RDMA", "paper"],
@@ -62,7 +72,13 @@ fn main() {
     println!("plateaus below full utilization at 4 (cache pollution + switches).");
     write_csv(
         "table1_cpu_load",
-        &["threads", "tcp_load_pct", "paper_tcp_pct", "rdma_load_pct", "paper_rdma_pct"],
+        &[
+            "threads",
+            "tcp_load_pct",
+            "paper_tcp_pct",
+            "rdma_load_pct",
+            "paper_rdma_pct",
+        ],
         &rows,
     );
 }

@@ -14,9 +14,9 @@
 //!   join execution instead of the deterministic calibrated cost model.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use cyclo_join::ComputeMode;
+use cyclo_join::{ComputeMode, CycloJoinReport};
 
 /// Reads the volume scale factor, with a per-binary default.
 pub fn scale_from_env(default: f64) -> f64 {
@@ -33,11 +33,39 @@ pub fn scale_from_env(default: f64) -> f64 {
 /// Reads the compute mode: deterministic model by default, measured if
 /// `CYCLO_MEASURED=1`.
 pub fn compute_mode_from_env() -> ComputeMode {
-    if std::env::var("CYCLO_MEASURED").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("CYCLO_MEASURED")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         ComputeMode::Measured
     } else {
         ComputeMode::modeled()
     }
+}
+
+/// Parses `--trace <PATH>` from this binary's command line.
+///
+/// Exhibit binaries accept `--trace <path>`: span tracing is enabled on the
+/// exhibit's plans and the Chrome trace-event JSON profile of a
+/// representative run is written to the path (open it in `chrome://tracing`
+/// or <https://ui.perfetto.dev>). Returns `None` when the flag is absent.
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let path = args
+                .next()
+                .unwrap_or_else(|| panic!("--trace requires a path"));
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
+/// Writes `report`'s Chrome trace-event JSON profile to `path`.
+pub fn export_trace(path: &Path, report: &CycloJoinReport) {
+    fs::write(path, report.chrome_trace()).expect("could not write trace file");
+    println!("[trace] {}", path.display());
 }
 
 /// Where result CSVs go: `crates/bench/results/`.
@@ -83,7 +111,10 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
     println!("{}", line(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -116,8 +147,7 @@ mod tests {
             &["a", "b"],
             &[vec!["1".into(), "2".into()]],
         );
-        let content =
-            std::fs::read_to_string(results_dir().join("unit_test_exhibit.csv")).unwrap();
+        let content = std::fs::read_to_string(results_dir().join("unit_test_exhibit.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
     }
 

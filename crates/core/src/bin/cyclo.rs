@@ -8,8 +8,8 @@
 //! against a single-host reference join unless `--no-verify` is given.
 
 use cyclo_join::{
-    advise_from_data, reference_join, Algorithm, ComputeMode, CostModel, CycloJoin,
-    JoinPredicate, RingConfig, RotateSide,
+    advise_from_data, reference_join, Algorithm, ComputeMode, CostModel, CycloJoin, JoinPredicate,
+    RingConfig, RotateSide,
 };
 use data_roundabout::render_timeline;
 use relation::GenSpec;
@@ -36,7 +36,9 @@ OPTIONS:
     --measured           wall-clock-measure real compute instead of modeling
     --threaded           run on the real-thread backend
     --no-verify          skip the reference-join verification
-    --trace              print the transport event trace
+    --trace <PATH>       write a Chrome trace-event JSON profile to PATH
+                         (open in chrome://tracing or https://ui.perfetto.dev)
+    --trace-text         print the transport event trace (simulated backend)
     --timeline           print an ASCII per-host timeline of the run
     --advise             print the cost model's plan advice before running
     -h, --help           show this help
@@ -59,7 +61,8 @@ struct Options {
     measured: bool,
     threaded: bool,
     verify: bool,
-    trace: bool,
+    trace: Option<String>,
+    trace_text: bool,
     timeline: bool,
     advise: bool,
 }
@@ -81,7 +84,8 @@ impl Default for Options {
             measured: false,
             threaded: false,
             verify: true,
-            trace: false,
+            trace: None,
+            trace_text: false,
             timeline: false,
             advise: false,
         }
@@ -134,7 +138,8 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Option<Options>
             "--measured" => opts.measured = true,
             "--threaded" => opts.threaded = true,
             "--no-verify" => opts.verify = false,
-            "--trace" => opts.trace = true,
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--trace-text" => opts.trace_text = true,
             "--timeline" => opts.timeline = true,
             "--advise" => opts.advise = true,
             other => return Err(format!("unknown option {other:?} (try --help)")),
@@ -173,9 +178,7 @@ fn main() {
         Some(delta) => JoinPredicate::band(delta),
         None => JoinPredicate::Equi,
     };
-    let reference = opts
-        .verify
-        .then(|| reference_join(&r, &s, &predicate));
+    let reference = opts.verify.then(|| reference_join(&r, &s, &predicate));
 
     if opts.advise {
         let advice = advise_from_data(
@@ -207,7 +210,7 @@ fn main() {
         .ring(config)
         .fragments_per_host(opts.fragments)
         .rotate(opts.rotate)
-        .trace(opts.trace);
+        .trace(opts.trace.is_some() || opts.trace_text);
     if let Some(algorithm) = opts.algorithm {
         plan = plan.algorithm(algorithm);
     }
@@ -233,9 +236,20 @@ fn main() {
         print!("{}", render_timeline(&report.ring, 64));
     }
     if let Some(trace) = trace {
-        if opts.trace {
+        if opts.trace_text {
             print!("{}", trace.render());
         }
+    }
+    if let Some(path) = &opts.trace {
+        let summary = report.revolution_summary();
+        if !summary.is_empty() {
+            print!("{summary}");
+        }
+        if let Err(err) = std::fs::write(path, report.chrome_trace()) {
+            eprintln!("error: could not write trace to {path}: {err}");
+            std::process::exit(1);
+        }
+        println!("trace: wrote Chrome trace-event JSON to {path}");
     }
     if let Some(reference) = reference {
         if report.match_count() == reference.count && report.checksum() == reference.checksum {
@@ -270,9 +284,29 @@ mod tests {
     #[test]
     fn flags_are_parsed() {
         let opts = parse_ok(&[
-            "--hosts", "3", "--tuples", "1000", "--zipf", "0.7", "--algorithm", "sort-merge",
-            "--band", "2", "--transport", "tcp", "--threads", "2", "--rotate", "s",
-            "--measured", "--no-verify", "--timeline", "--advise",
+            "--hosts",
+            "3",
+            "--tuples",
+            "1000",
+            "--zipf",
+            "0.7",
+            "--algorithm",
+            "sort-merge",
+            "--band",
+            "2",
+            "--transport",
+            "tcp",
+            "--threads",
+            "2",
+            "--rotate",
+            "s",
+            "--measured",
+            "--no-verify",
+            "--timeline",
+            "--advise",
+            "--trace",
+            "out.json",
+            "--trace-text",
         ]);
         assert_eq!(opts.hosts, 3);
         assert_eq!(opts.tuples, 1000);
@@ -285,6 +319,8 @@ mod tests {
         assert!(!opts.verify);
         assert!(opts.timeline);
         assert!(opts.advise);
+        assert_eq!(opts.trace.as_deref(), Some("out.json"));
+        assert!(opts.trace_text);
     }
 
     #[test]
@@ -301,6 +337,7 @@ mod tests {
             vec!["--transport", "carrier-pigeon"],
             vec!["--rotate", "both"],
             vec!["--hosts"],
+            vec!["--trace"],
             vec!["--frobnicate"],
         ] {
             assert!(

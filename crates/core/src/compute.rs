@@ -14,7 +14,9 @@
 //!   used by tests and by sweeps at paper-scale volumes that would be too
 //!   slow to execute at `scale = 1.0`.
 
-use mem_joins::{timed, Algorithm, JoinCollector, JoinPredicate, PreparedFragment, StationaryState};
+use mem_joins::{
+    timed, Algorithm, JoinCollector, JoinPredicate, PreparedFragment, StationaryState,
+};
 use relation::Relation;
 use serde::{Deserialize, Serialize};
 use simnet::time::SimDuration;
@@ -81,7 +83,12 @@ impl CostModel {
     }
 
     /// Modeled duration of `prepare_fragment` for `alg` over `r_tuples`.
-    pub fn prepare_duration(&self, alg: &Algorithm, r_tuples: usize, threads: usize) -> SimDuration {
+    pub fn prepare_duration(
+        &self,
+        alg: &Algorithm,
+        r_tuples: usize,
+        threads: usize,
+    ) -> SimDuration {
         let t = threads.max(1) as f64;
         let n = r_tuples as f64;
         match alg {

@@ -166,16 +166,22 @@ impl ConcurrentJoins {
             .iter()
             .map(|q| {
                 let stationary_parts = q.stationary.split_even(hosts);
-                let bits = q
-                    .algorithm
-                    .ring_radix_bits(stationary_parts.iter().map(Relation::len).max().unwrap_or(1));
+                let bits = q.algorithm.ring_radix_bits(
+                    stationary_parts
+                        .iter()
+                        .map(Relation::len)
+                        .max()
+                        .unwrap_or(1),
+                );
                 QueryState {
                     algorithm: q.algorithm,
                     predicate: q.predicate.clone(),
                     bits,
                     stationary_inputs: stationary_parts.into_iter().map(Some).collect(),
                     states: (0..hosts).map(|_| None).collect(),
-                    collectors: (0..hosts).map(|_| JoinCollector::new(self.output)).collect(),
+                    collectors: (0..hosts)
+                        .map(|_| JoinCollector::new(self.output))
+                        .collect(),
                 }
             })
             .collect();
@@ -236,9 +242,9 @@ impl RingApp<Relation> for MultiQueryApp {
             let s = q.stationary_inputs[host.0]
                 .take()
                 .expect("setup called twice for one host");
-            let (state, d) =
-                self.compute
-                    .setup_stationary(&q.algorithm, &s, q.bits, self.threads);
+            let (state, d) = self
+                .compute
+                .setup_stationary(&q.algorithm, &s, q.bits, self.threads);
             q.states[host.0] = Some(state);
             total += d;
         }
@@ -366,7 +372,11 @@ mod tests {
         ]) {
             let reference = reference_join(&hot, s, &pred);
             assert_eq!(outcome.count, reference.count, "{}", outcome.algorithm);
-            assert_eq!(outcome.checksum, reference.checksum, "{}", outcome.algorithm);
+            assert_eq!(
+                outcome.checksum, reference.checksum,
+                "{}",
+                outcome.algorithm
+            );
         }
     }
 
@@ -398,8 +408,9 @@ mod tests {
     fn batch_beats_sequential_runs_on_network_volume() {
         // k sequential cyclo-joins rotate R k times; the batch rotates once.
         let hot = GenSpec::uniform(4_000, 620).generate();
-        let stationaries: Vec<Relation> =
-            (0..3).map(|i| GenSpec::uniform(1_000, 630 + i).generate()).collect();
+        let stationaries: Vec<Relation> = (0..3)
+            .map(|i| GenSpec::uniform(1_000, 630 + i).generate())
+            .collect();
         let batch = {
             let mut b = ConcurrentJoins::new(hot.clone()).hosts(4);
             for s in &stationaries {

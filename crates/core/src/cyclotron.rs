@@ -255,7 +255,10 @@ impl RingApp<TaggedFragment> for CyclotronApp {
             }
             // Activation: build the stationary state on first contact.
             if q.state.is_none() {
-                let bits = q.arrival.algorithm.ring_radix_bits(q.arrival.stationary.len());
+                let bits = q
+                    .arrival
+                    .algorithm
+                    .ring_radix_bits(q.arrival.stationary.len());
                 let (state, d) = self.compute.setup_stationary(
                     &q.arrival.algorithm,
                     &q.arrival.stationary,
@@ -269,7 +272,10 @@ impl RingApp<TaggedFragment> for CyclotronApp {
             if q.seen[fragment.id] {
                 continue; // coverage complete for this fragment already
             }
-            let bits = q.arrival.algorithm.ring_radix_bits(q.arrival.stationary.len());
+            let bits = q
+                .arrival
+                .algorithm
+                .ring_radix_bits(q.arrival.stationary.len());
             let (prepared, d_prep) = self.compute.prepare_fragment(
                 &q.arrival.algorithm,
                 &fragment.data,
@@ -331,7 +337,10 @@ impl CyclotronReport {
         if self.queries.is_empty() {
             return 0.0;
         }
-        self.queries.iter().map(|q| q.latency.as_secs_f64()).sum::<f64>()
+        self.queries
+            .iter()
+            .map(|q| q.latency.as_secs_f64())
+            .sum::<f64>()
             / self.queries.len() as f64
     }
 
@@ -445,7 +454,10 @@ mod tests {
 
     #[test]
     fn no_queries_stops_immediately() {
-        let report = DataCyclotron::new(hot()).hosts(3).run().expect("should run");
+        let report = DataCyclotron::new(hot())
+            .hosts(3)
+            .run()
+            .expect("should run");
         assert!(report.queries.is_empty());
         assert_eq!(report.mean_latency(), 0.0);
     }

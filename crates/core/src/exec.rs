@@ -11,7 +11,8 @@ use mem_joins::{
     Algorithm, JoinCollector, JoinPredicate, OutputMode, PreparedFragment, StationaryState,
 };
 use relation::Relation;
-use simnet::time::SimDuration;
+use simnet::span::{SpanKind, SpanTracer};
+use simnet::time::{SimDuration, SimTime};
 use simnet::trace::Tracer;
 use simnet::transport::TransportModel;
 use std::sync::Mutex;
@@ -26,6 +27,7 @@ pub(crate) struct ExecOutcome {
     pub metrics: RingMetrics,
     pub result: DistributedResult,
     pub trace: Tracer,
+    pub spans: SpanTracer,
 }
 
 /// Mirrors a predicate for swapped-side execution: `p'(a, b) = p(b, a)`.
@@ -167,12 +169,9 @@ impl RingApp<PreparedFragment> for CycloApp {
         // survivor, priced like the original setup of that share.
         let share = crate::recovery::takeover(&self.stationary_raw, failed.0)
             .expect("ring healing needs the raw stationary partitions of a multi-host ring");
-        let (state, d) = self.compute.setup_stationary(
-            &self.algorithm,
-            &share,
-            self.radix_bits,
-            self.threads,
-        );
+        let (state, d) =
+            self.compute
+                .setup_stationary(&self.algorithm, &share, self.radix_bits, self.threads);
         self.states[failed.0] = Some(state);
         d
     }
@@ -293,12 +292,14 @@ pub(crate) fn execute_simulated(
         metrics: outcome.metrics,
         result: DistributedResult::new(outcome.app.collectors),
         trace: outcome.trace,
+        spans: outcome.spans,
     }
 }
 
 /// Runs cyclo-join on the real-thread backend. Setup runs (and is timed)
 /// before the rotation; the reported per-host setup time is stitched into
-/// the returned metrics.
+/// the returned metrics, and — when `trace` is set — per-host `Setup`
+/// spans are stitched ahead of the ring's spans on one common timeline.
 pub(crate) fn execute_threaded(
     config: &RingConfig,
     algorithm: Algorithm,
@@ -306,6 +307,7 @@ pub(crate) fn execute_threaded(
     output: OutputMode,
     placement: Placement,
     fault_plan: Option<&FaultPlan>,
+    trace: bool,
 ) -> Result<ExecOutcome, RingError> {
     let predicate = if placement.swapped {
         mirror_predicate(predicate)
@@ -338,24 +340,50 @@ pub(crate) fn execute_threaded(
         .collect();
 
     let join_visit = |host: HostId, frag: &PreparedFragment| {
-        let mut collector = collectors[host.0].lock().expect("collector lock poisoned");
+        // A join that panicked on this host poisons the collector; recover
+        // the inner value so concurrent joins keep collecting while the
+        // ring tears down with a typed error instead of a panic storm.
+        let mut collector = collectors[host.0]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         algorithm.join(&states[host.0], frag, &predicate, threads, &mut collector);
     };
-    let mut metrics = match fault_plan {
-        Some(plan) => data_roundabout::run_threaded_reliable(config, plan, fragments, join_visit)?,
-        None => data_roundabout::run_threaded(config, fragments, join_visit)?,
+    let (mut metrics, mut ring_spans) = match fault_plan {
+        Some(plan) => data_roundabout::run_threaded_reliable_traced(
+            config, plan, fragments, join_visit, trace,
+        )?,
+        None => data_roundabout::run_threaded_traced(config, fragments, join_visit, trace)?,
     };
+    let mut spans = if trace {
+        SpanTracer::enabled()
+    } else {
+        SpanTracer::disabled()
+    };
+    // The ring measured its spans from the rotation start; the setup phase
+    // ran before it. Stitch one timeline: setup spans at the origin, ring
+    // spans shifted past the longest setup (the rotation barrier).
+    let max_setup = setup_times
+        .iter()
+        .copied()
+        .fold(SimDuration::ZERO, SimDuration::max);
+    ring_spans.shift(max_setup);
     for (h, d) in setup_times.into_iter().enumerate() {
         metrics.hosts[h].setup = d;
+        spans.span(h, SpanKind::Setup, "setup", SimTime::ZERO, d);
     }
+    spans.merge(ring_spans);
     let partials = collectors
         .into_iter()
-        .map(|m| m.into_inner().expect("collector lock poisoned"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        })
         .collect();
     Ok(ExecOutcome {
         metrics,
         result: DistributedResult::new(partials),
         trace: Tracer::disabled(),
+        spans,
     })
 }
 
@@ -413,7 +441,10 @@ mod tests {
         assert!(m.matches(2, 1));
         // Symmetric predicates mirror to themselves.
         assert!(mirror_predicate(&JoinPredicate::Equi).is_equi());
-        assert_eq!(mirror_predicate(&JoinPredicate::band(3)).band_delta(), Some(3));
+        assert_eq!(
+            mirror_predicate(&JoinPredicate::band(3)).band_delta(),
+            Some(3)
+        );
     }
 
     #[test]
@@ -430,11 +461,94 @@ mod tests {
             OutputMode::Aggregate,
             placement,
             None,
+            false,
         )
         .expect("threaded run");
         assert_eq!(out.result.count(), reference.count);
         assert_eq!(out.result.checksum(), reference.checksum);
-        assert!(out.metrics.hosts.iter().all(|h| h.setup > SimDuration::ZERO));
+        assert!(out
+            .metrics
+            .hosts
+            .iter()
+            .all(|h| h.setup > SimDuration::ZERO));
+        assert!(!out.spans.is_enabled());
+    }
+
+    /// Regression: a panicking join predicate used to take the whole
+    /// process down — the worker's panic poisoned the shared collector
+    /// lock and every other thread then panicked in `.lock().expect(...)`
+    /// or in channel teardown. It must surface as one typed
+    /// [`RingError::Teardown`] instead.
+    #[test]
+    fn panicking_predicate_is_a_typed_teardown_error() {
+        let r = GenSpec::uniform(2_000, 40).generate();
+        let s = GenSpec::uniform(2_000, 41).generate();
+        let config = RingConfig::paper(3).with_join_threads(1);
+        let placement = Placement::new(&r, &s, 3, 2, RotateSide::R);
+        let panicky = JoinPredicate::theta(|_, _| panic!("injected predicate failure"));
+        let err = execute_threaded(
+            &config,
+            Algorithm::NestedLoops,
+            &panicky,
+            OutputMode::Aggregate,
+            placement,
+            None,
+            false,
+        )
+        .expect_err("a panicking predicate must fail the run");
+        assert!(
+            matches!(err, RingError::Teardown(_)),
+            "expected a teardown error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn traced_threaded_run_stitches_setup_and_reconciles() {
+        use simnet::span::counter;
+        let r = GenSpec::uniform(2_000, 50).generate();
+        let s = GenSpec::uniform(2_000, 51).generate();
+        let config = RingConfig::paper(3).with_join_threads(1);
+        let placement = Placement::new(&r, &s, 3, 2, RotateSide::R);
+        let out = execute_threaded(
+            &config,
+            Algorithm::partitioned_hash(),
+            &JoinPredicate::Equi,
+            OutputMode::Aggregate,
+            placement,
+            None,
+            true,
+        )
+        .expect("threaded run");
+        assert!(out.spans.is_enabled());
+        for (h, m) in out.metrics.hosts.iter().enumerate() {
+            assert_eq!(
+                out.spans.total(h, SpanKind::Setup),
+                m.setup,
+                "host {h} setup"
+            );
+            assert_eq!(out.spans.busy_total(h), m.join_busy, "host {h} join_busy");
+            assert_eq!(out.spans.total(h, SpanKind::Sync), m.sync, "host {h} sync");
+        }
+        // The stitched timeline puts every ring span after every setup span.
+        let max_setup = out
+            .metrics
+            .hosts
+            .iter()
+            .map(|h| h.setup)
+            .fold(SimDuration::ZERO, SimDuration::max);
+        for s in out.spans.spans() {
+            if s.kind != SpanKind::Setup {
+                assert!(
+                    s.start >= SimTime::ZERO + max_setup,
+                    "ring span {s:?} starts before the rotation barrier"
+                );
+            }
+        }
+        let c = out.spans.counters();
+        assert_eq!(
+            c.get(counter::FRAGMENTS_RETIRED) as usize,
+            out.metrics.fragments_completed
+        );
     }
 
     #[test]

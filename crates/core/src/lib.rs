@@ -86,3 +86,4 @@ pub use verify::{reference_join, Reference};
 // Re-exports so downstream users can drive everything from one crate.
 pub use data_roundabout::{FaultPlan, HostId, RingConfig, RingError, RingMetrics};
 pub use mem_joins::{Algorithm, JoinPredicate, OutputMode};
+pub use simnet::span::{SpanKind, SpanTracer};

@@ -113,8 +113,7 @@ pub fn predict(
     let r_frag = r / fragments;
     let matches_per_encounter = workload.expected_matches / (n as u64 * fragments as u64).max(1);
 
-    let setup = model.setup_duration(alg, s_i, threads)
-        + model.prepare_duration(alg, r_i, threads);
+    let setup = model.setup_duration(alg, s_i, threads) + model.prepare_duration(alg, r_i, threads);
 
     // Per host: every fragment of R is joined against S_i exactly once.
     let mut join = SimDuration::ZERO;
@@ -326,8 +325,18 @@ mod tests {
     fn setup_scales_inversely_with_ring_size() {
         let m = model();
         let workload = Workload::uniform(140_000_000, 140_000_000, 140_000_000);
-        let one = predict(&m, &RingConfig::paper(1), &Algorithm::partitioned_hash(), &workload);
-        let six = predict(&m, &RingConfig::paper(6), &Algorithm::partitioned_hash(), &workload);
+        let one = predict(
+            &m,
+            &RingConfig::paper(1),
+            &Algorithm::partitioned_hash(),
+            &workload,
+        );
+        let six = predict(
+            &m,
+            &RingConfig::paper(6),
+            &Algorithm::partitioned_hash(),
+            &workload,
+        );
         let speedup = one.setup.as_secs_f64() / six.setup.as_secs_f64();
         assert!((5.0..7.0).contains(&speedup), "got {speedup}");
     }
@@ -337,8 +346,18 @@ mod tests {
         // Equation ⋆: join cost ∝ |R|, constant in n.
         let m = model();
         let workload = Workload::uniform(140_000_000, 140_000_000, 140_000_000);
-        let two = predict(&m, &RingConfig::paper(2), &Algorithm::partitioned_hash(), &workload);
-        let six = predict(&m, &RingConfig::paper(6), &Algorithm::partitioned_hash(), &workload);
+        let two = predict(
+            &m,
+            &RingConfig::paper(2),
+            &Algorithm::partitioned_hash(),
+            &workload,
+        );
+        let six = predict(
+            &m,
+            &RingConfig::paper(6),
+            &Algorithm::partitioned_hash(),
+            &workload,
+        );
         let ratio = two.join.as_secs_f64() / six.join.as_secs_f64();
         assert!((0.8..1.2).contains(&ratio), "got {ratio}");
     }
@@ -352,9 +371,17 @@ mod tests {
         let workload = Workload::uniform(6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
         let smj = predict(&m, &config, &Algorithm::SortMerge, &workload);
         let hash = predict(&m, &config, &Algorithm::partitioned_hash(), &workload);
-        assert!(smj.sync > hash.sync, "smj sync {} vs hash {}", smj.sync, hash.sync);
+        assert!(
+            smj.sync > hash.sync,
+            "smj sync {} vs hash {}",
+            smj.sync,
+            hash.sync
+        );
         assert!(smj.join < hash.join, "merge must be faster than probe");
-        assert!(smj.setup > hash.setup, "sorting must cost more than hashing");
+        assert!(
+            smj.setup > hash.setup,
+            "sorting must cost more than hashing"
+        );
     }
 
     #[test]
@@ -369,23 +396,43 @@ mod tests {
             "crossover at {crossover} nodes, expected ≈30"
         );
         // Sanity: ~100 GB total volume at the crossover (R + S, 12 B/tuple).
-        let volume_gb =
-            2.0 * (crossover * PER_HOST) as f64 * 12.0 / 1e9;
+        let volume_gb = 2.0 * (crossover * PER_HOST) as f64 * 12.0 / 1e9;
         assert!((40.0..200.0).contains(&volume_gb), "volume {volume_gb} GB");
     }
 
     #[test]
     fn advice_rotates_the_smaller_side() {
-        let a = advise(&model(), &RingConfig::paper(6), 1_000_000, 100_000, 1_000_000);
+        let a = advise(
+            &model(),
+            &RingConfig::paper(6),
+            1_000_000,
+            100_000,
+            1_000_000,
+        );
         assert!(a.rotate_s);
-        let b = advise(&model(), &RingConfig::paper(6), 100_000, 1_000_000, 1_000_000);
+        let b = advise(
+            &model(),
+            &RingConfig::paper(6),
+            100_000,
+            1_000_000,
+            1_000_000,
+        );
         assert!(!b.rotate_s);
     }
 
     #[test]
     fn advice_prefers_hash_on_small_rings() {
-        let a = advise(&model(), &RingConfig::paper(6), 6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
-        assert!(!a.prefer_sort_merge, "6 nodes should still favor hash (§V-E)");
+        let a = advise(
+            &model(),
+            &RingConfig::paper(6),
+            6 * PER_HOST,
+            6 * PER_HOST,
+            6 * PER_HOST,
+        );
+        assert!(
+            !a.prefer_sort_merge,
+            "6 nodes should still favor hash (§V-E)"
+        );
     }
 
     #[test]
@@ -407,10 +454,7 @@ mod tests {
         let s = GenSpec::uniform(2_000, 2).generate();
         let w = Workload::from_data(&r, &s, 4);
         assert_eq!(w.rotating_tuples, 2_000);
-        assert_eq!(
-            w.expected_matches,
-            relation::estimate_equi_matches(&r, &s)
-        );
+        assert_eq!(w.expected_matches, relation::estimate_equi_matches(&r, &s));
     }
 
     #[test]
@@ -455,7 +499,10 @@ mod tests {
         let plan = FaultPlan::seeded(9).slow_host(HostId(1), 0.5);
         let slow = predict_degraded(&m, &config, &alg, &w, &plan);
         let ratio = slow.join.as_secs_f64() / base.join.as_secs_f64();
-        assert!((1.9..2.1).contains(&ratio), "half speed doubles the join, got {ratio}");
+        assert!(
+            (1.9..2.1).contains(&ratio),
+            "half speed doubles the join, got {ratio}"
+        );
         assert_eq!(slow.setup, base.setup, "stragglers do not touch setup");
     }
 
@@ -468,7 +515,10 @@ mod tests {
         let base = predict(&m, &config, &alg, &w);
         let plan = FaultPlan::seeded(11).lossy_link(HostId(2), 0.3);
         let lossy = predict_degraded(&m, &config, &alg, &w, &plan);
-        assert!(lossy.sync > base.sync, "retransmissions must surface as waiting");
+        assert!(
+            lossy.sync > base.sync,
+            "retransmissions must surface as waiting"
+        );
         assert_eq!(lossy.join, base.join, "losses cost wire time, not compute");
     }
 
@@ -501,7 +551,10 @@ mod tests {
         let plan = FaultPlan::seeded(3)
             .crash_host(HostId(4), SimTime::ZERO + SimDuration::from_millis(10));
         let degraded = predict_degraded(&m, &config, &alg, &w, &plan);
-        assert!(degraded.sync > base.sync, "detection ladder + takeover setup");
+        assert!(
+            degraded.sync > base.sync,
+            "detection ladder + takeover setup"
+        );
         let ratio = degraded.join.as_secs_f64() / base.join.as_secs_f64();
         assert!(
             (1.15..1.25).contains(&ratio),

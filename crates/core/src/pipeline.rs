@@ -217,7 +217,9 @@ mod tests {
         let s1 = GenSpec::uniform(500, 841).generate();
         let s2 = GenSpec::uniform(500, 842).generate();
         let report = JoinPipeline::new(base)
-            .join(s1, JoinPredicate::band(1), |m| Tuple::new(m.s_key, m.r_payload))
+            .join(s1, JoinPredicate::band(1), |m| {
+                Tuple::new(m.s_key, m.r_payload)
+            })
             .join(s2, JoinPredicate::Equi, |m| Tuple::new(m.key, m.s_payload))
             .hosts(2)
             .run()

@@ -142,7 +142,9 @@ impl CycloJoin {
         self
     }
 
-    /// Enables transport-event tracing on the simulated backend.
+    /// Enables tracing: the free-text transport trace on the simulated
+    /// backend, and — on both backends — the structured span/event tracer
+    /// exported by [`CycloJoinReport::chrome_trace`].
     pub fn trace(mut self, trace: bool) -> Self {
         self.trace = trace;
         self
@@ -176,8 +178,7 @@ impl CycloJoin {
         if let Some(plan) = &self.fault_plan {
             if self.config.hosts > 64 {
                 return Err(PlanError::BadQuery(
-                    "fault injection supports at most 64 hosts (exactly-once role bitmask)"
-                        .into(),
+                    "fault injection supports at most 64 hosts (exactly-once role bitmask)".into(),
                 ));
             }
             let out_of_range = plan
@@ -234,6 +235,7 @@ impl CycloJoin {
             cpu: self.config.cpu,
             ring: outcome.metrics,
             result: outcome.result,
+            spans: outcome.spans,
         };
         (report, outcome.trace)
     }
@@ -290,6 +292,7 @@ impl CycloJoin {
             self.output,
             placement,
             self.fault_plan.as_ref(),
+            self.trace,
         )
         .map_err(|e| match e {
             RingError::Config(c) => PlanError::InvalidConfig(c),
@@ -324,8 +327,14 @@ impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanError::InvalidConfig(e) => write!(f, "{e}"),
-            PlanError::UnsupportedPredicate { algorithm, predicate } => {
-                write!(f, "algorithm {algorithm} cannot evaluate predicate {predicate}")
+            PlanError::UnsupportedPredicate {
+                algorithm,
+                predicate,
+            } => {
+                write!(
+                    f,
+                    "algorithm {algorithm} cannot evaluate predicate {predicate}"
+                )
             }
             PlanError::NoFragments => write!(f, "fragments_per_host must be at least 1"),
             PlanError::BadQuery(reason) => write!(f, "bad query: {reason}"),
@@ -413,7 +422,10 @@ mod tests {
     #[test]
     fn zero_fragments_is_an_error() {
         let (r, s) = inputs();
-        let err = CycloJoin::new(r, s).fragments_per_host(0).run().unwrap_err();
+        let err = CycloJoin::new(r, s)
+            .fragments_per_host(0)
+            .run()
+            .unwrap_err();
         assert_eq!(err, PlanError::NoFragments);
     }
 
@@ -477,8 +489,8 @@ mod tests {
             .run()
             .expect("baseline should run");
         assert!(baseline.fault_free(), "no plan, no fault counters");
-        let mid = baseline.setup_seconds()
-            + 0.5 * (baseline.total_seconds() - baseline.setup_seconds());
+        let mid =
+            baseline.setup_seconds() + 0.5 * (baseline.total_seconds() - baseline.setup_seconds());
         let plan = FaultPlan::seeded(1234)
             .crash_host(HostId(2), SimTime::ZERO + SimDuration::from_secs_f64(mid));
         let config = RingConfig::paper(6).with_ack_timeout(SimDuration::from_millis(2));
@@ -490,7 +502,10 @@ mod tests {
         assert_eq!(report.match_count(), reference.count);
         assert_eq!(report.checksum(), reference.checksum);
         assert_eq!(report.heal_events(), 1);
-        assert!(report.retransmits() > 0, "death detection retransmits first");
+        assert!(
+            report.retransmits() > 0,
+            "death detection retransmits first"
+        );
         assert!(report.detection_latency_seconds() > 0.0);
         assert!(!report.fault_free());
     }
@@ -500,9 +515,13 @@ mod tests {
         use data_roundabout::HostId;
         use simnet::time::{SimDuration, SimTime};
         let (r, s) = inputs();
-        let plan = FaultPlan::seeded(1)
-            .crash_host(HostId(7), SimTime::ZERO + SimDuration::from_millis(1));
-        let err = CycloJoin::new(r, s).hosts(3).fault_plan(plan).run().unwrap_err();
+        let plan =
+            FaultPlan::seeded(1).crash_host(HostId(7), SimTime::ZERO + SimDuration::from_millis(1));
+        let err = CycloJoin::new(r, s)
+            .hosts(3)
+            .fault_plan(plan)
+            .run()
+            .unwrap_err();
         assert!(err.to_string().contains("targets host 7"), "got: {err}");
     }
 
@@ -511,9 +530,13 @@ mod tests {
         use data_roundabout::HostId;
         use simnet::time::{SimDuration, SimTime};
         let (r, s) = inputs();
-        let plan = FaultPlan::seeded(1)
-            .crash_host(HostId(0), SimTime::ZERO + SimDuration::from_millis(1));
-        let err = CycloJoin::new(r, s).hosts(1).fault_plan(plan).run().unwrap_err();
+        let plan =
+            FaultPlan::seeded(1).crash_host(HostId(0), SimTime::ZERO + SimDuration::from_millis(1));
+        let err = CycloJoin::new(r, s)
+            .hosts(1)
+            .fault_plan(plan)
+            .run()
+            .unwrap_err();
         assert!(err.to_string().contains("single-host"), "got: {err}");
     }
 
@@ -540,9 +563,13 @@ mod tests {
         use data_roundabout::HostId;
         use simnet::time::{SimDuration, SimTime};
         let (r, s) = inputs();
-        let plan = FaultPlan::seeded(1)
-            .crash_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(1));
-        let err = CycloJoin::new(r, s).hosts(3).fault_plan(plan).run_threaded().unwrap_err();
+        let plan =
+            FaultPlan::seeded(1).crash_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(1));
+        let err = CycloJoin::new(r, s)
+            .hosts(3)
+            .fault_plan(plan)
+            .run_threaded()
+            .unwrap_err();
         assert!(matches!(err, PlanError::Backend(_)), "got: {err:?}");
         assert!(err.to_string().contains("simulated backend"), "got: {err}");
     }

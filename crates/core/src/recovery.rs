@@ -193,7 +193,13 @@ mod tests {
     #[test]
     fn out_of_range_host_is_a_typed_error() {
         let err = absorb_host(parts(), 9).unwrap_err();
-        assert_eq!(err, RecoveryError::HostOutOfRange { failed: 9, hosts: 4 });
+        assert_eq!(
+            err,
+            RecoveryError::HostOutOfRange {
+                failed: 9,
+                hosts: 4
+            }
+        );
         assert!(err.to_string().contains("host 9 out of range"));
     }
 
@@ -209,7 +215,10 @@ mod tests {
         assert_eq!(takeover(&original[..1], 0), Err(RecoveryError::EmptyRing));
         assert!(matches!(
             takeover(&original, 4),
-            Err(RecoveryError::HostOutOfRange { failed: 4, hosts: 4 })
+            Err(RecoveryError::HostOutOfRange {
+                failed: 4,
+                hosts: 4
+            })
         ));
     }
 

@@ -3,7 +3,7 @@
 use data_roundabout::RingMetrics;
 use relation::Checksum;
 use simnet::cpu::CpuSpec;
-#[cfg(test)]
+use simnet::span::{SpanKind, SpanTracer};
 use simnet::time::SimDuration;
 
 use crate::result::DistributedResult;
@@ -29,6 +29,9 @@ pub struct CycloJoinReport {
     pub ring: RingMetrics,
     /// The distributed join result.
     pub result: DistributedResult,
+    /// Structured spans/events/counters of the run (disabled unless the
+    /// plan enabled tracing); export with [`CycloJoinReport::chrome_trace`].
+    pub spans: SpanTracer,
 }
 
 impl CycloJoinReport {
@@ -176,6 +179,55 @@ impl CycloJoinReport {
         }
         out
     }
+
+    /// Exports the structured trace as Chrome trace-event JSON, ready for
+    /// `chrome://tracing` or <https://ui.perfetto.dev>. Empty-but-valid
+    /// when the run was not traced.
+    pub fn chrome_trace(&self) -> String {
+        self.spans.to_chrome_trace()
+    }
+
+    /// Per-revolution, per-host timeline summary built from the traced
+    /// join spans: revolution `k` covers the joins each fragment performs
+    /// at its `k`-th stop (hop `k` of the rotation). Returns one line per
+    /// (host, hop) pair that saw work, plus a header; empty when the run
+    /// was not traced.
+    pub fn revolution_summary(&self) -> String {
+        let joins: Vec<_> = self
+            .spans
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Join)
+            .collect();
+        if joins.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("  per host, per hop of the revolution: joins (busy s)\n");
+        for h in 0..self.hosts {
+            let mut line = format!("    H{h}:");
+            let mut any = false;
+            for hop in 0..self.hosts.max(1) {
+                let (count, busy) = joins
+                    .iter()
+                    .filter(|s| s.host == h && s.hop == Some(hop))
+                    .fold((0usize, SimDuration::ZERO), |(c, d), s| {
+                        (c + 1, d.saturating_add(s.duration))
+                    });
+                if count > 0 {
+                    line.push_str(&format!(
+                        "  hop {hop}: {count} ({:.3}s)",
+                        busy.as_secs_f64()
+                    ));
+                    any = true;
+                }
+            }
+            if any {
+                line.push('\n');
+                out.push_str(&line);
+            }
+        }
+        out
+    }
 }
 
 impl std::fmt::Display for CycloJoinReport {
@@ -231,6 +283,7 @@ mod tests {
                 ..RingMetrics::default()
             },
             result: DistributedResult::default(),
+            spans: SpanTracer::disabled(),
         }
     }
 
@@ -285,5 +338,51 @@ mod tests {
         assert_eq!(volume_label(512), "512 B");
         assert_eq!(volume_label(2 << 20), "2.0 MB");
         assert_eq!(volume_label(3 << 30), "3.0 GB");
+    }
+
+    #[test]
+    fn untraced_report_has_no_revolution_summary() {
+        let r = sample_report();
+        assert!(r.revolution_summary().is_empty());
+        // The Chrome export is still a valid (empty) document.
+        assert!(r.chrome_trace().starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn revolution_summary_groups_joins_by_host_and_hop() {
+        use simnet::time::SimTime;
+        let mut r = sample_report();
+        let mut spans = SpanTracer::enabled();
+        spans.span_with_hop(
+            0,
+            SpanKind::Join,
+            "join F0",
+            SimTime::from_nanos(0),
+            SimDuration::from_millis(10),
+            Some(0),
+        );
+        spans.span_with_hop(
+            0,
+            SpanKind::Join,
+            "join F1",
+            SimTime::from_nanos(1),
+            SimDuration::from_millis(20),
+            Some(1),
+        );
+        spans.span_with_hop(
+            1,
+            SpanKind::Join,
+            "join F0",
+            SimTime::from_nanos(2),
+            SimDuration::from_millis(5),
+            Some(1),
+        );
+        r.spans = spans;
+        let summary = r.revolution_summary();
+        assert!(summary.contains("H0:"), "{summary}");
+        assert!(summary.contains("hop 0: 1 (0.010s)"), "{summary}");
+        assert!(summary.contains("hop 1: 1 (0.020s)"), "{summary}");
+        assert!(summary.contains("H1:"), "{summary}");
+        assert!(summary.contains("hop 1: 1 (0.005s)"), "{summary}");
     }
 }

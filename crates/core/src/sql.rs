@@ -211,7 +211,9 @@ impl Cursor {
                 Ok(t.to_string())
             }
             Some(t) => Err(SqlError::Parse(format!("expected {what}, found {t:?}"))),
-            None => Err(SqlError::Parse(format!("expected {what}, found end of query"))),
+            None => Err(SqlError::Parse(format!(
+                "expected {what}, found end of query"
+            ))),
         }
     }
 }
@@ -280,9 +282,7 @@ pub fn parse(text: &str) -> Result<Query, SqlError> {
         joins.push(JoinClause { relation, within });
     }
     if joins.is_empty() {
-        return Err(SqlError::Parse(
-            "expected at least one JOIN clause".into(),
-        ));
+        return Err(SqlError::Parse("expected at least one JOIN clause".into()));
     }
 
     let mut filters = Vec::new();
@@ -326,7 +326,11 @@ pub fn parse(text: &str) -> Result<Query, SqlError> {
                     ))
                 }
             };
-            filters.push(Filter { relation, op, literal });
+            filters.push(Filter {
+                relation,
+                op,
+                literal,
+            });
             if cursor.peek() == Some("and") {
                 cursor.next();
             } else {
@@ -337,7 +341,11 @@ pub fn parse(text: &str) -> Result<Query, SqlError> {
     if let Some(extra) = cursor.peek() {
         return Err(SqlError::Parse(format!("unexpected trailing {extra:?}")));
     }
-    Ok(Query { base, joins, filters })
+    Ok(Query {
+        base,
+        joins,
+        filters,
+    })
 }
 
 /// Executes a parsed query on a ring of `hosts`, returning the match count
@@ -438,10 +446,8 @@ mod tests {
     #[test]
     fn multi_join_runs_a_pipeline() {
         let catalog = catalog();
-        let plan = parse(
-            "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key JOIN t ON s.key = t.key",
-        )
-        .unwrap();
+        let plan = parse("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key JOIN t ON s.key = t.key")
+            .unwrap();
         assert_eq!(plan.joins.len(), 2);
         let count = execute(&plan, &catalog, 2).unwrap();
         assert!(count > 0);
@@ -459,9 +465,18 @@ mod tests {
         for (query, needle) in [
             ("SELECT * FROM r JOIN s ON r.key = s.key", "count"),
             ("SELECT COUNT(*) FROM r", "JOIN"),
-            ("SELECT COUNT(*) FROM r JOIN s ON r.key = t.key", "already-joined"),
-            ("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WITHIN x", "integer"),
-            ("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key garbage", "trailing"),
+            (
+                "SELECT COUNT(*) FROM r JOIN s ON r.key = t.key",
+                "already-joined",
+            ),
+            (
+                "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WITHIN x",
+                "integer",
+            ),
+            (
+                "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key garbage",
+                "trailing",
+            ),
         ] {
             let err = parse(query).unwrap_err();
             assert!(

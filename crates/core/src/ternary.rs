@@ -84,10 +84,7 @@ impl TernaryJoin {
     /// # Errors
     ///
     /// Propagates [`PlanError`] from either revolution.
-    pub fn run(
-        self,
-        rekey: impl Fn(&MatchPair) -> Tuple,
-    ) -> Result<TernaryReport, PlanError> {
+    pub fn run(self, rekey: impl Fn(&MatchPair) -> Tuple) -> Result<TernaryReport, PlanError> {
         let first = CycloJoin::new(self.r, self.s)
             .predicate(self.first_predicate)
             .hosts(self.hosts)

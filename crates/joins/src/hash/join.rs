@@ -263,8 +263,7 @@ mod tests {
         let params = CacheParams::tiny_for_tests();
         let s = GenSpec::uniform(2_000, 30).generate();
         let state = HashJoinState::build(&s, &params);
-        let fragments: Vec<Relation> =
-            GenSpec::uniform(4_000, 31).generate().split_even(4);
+        let fragments: Vec<Relation> = GenSpec::uniform(4_000, 31).generate().split_even(4);
         let mut total = JoinCollector::aggregating();
         for frag in &fragments {
             state.probe(frag, &params, 2, &mut total);

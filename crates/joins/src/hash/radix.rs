@@ -58,12 +58,7 @@ impl RadixPartitioned {
     /// the per-partition pieces are concatenated. The partition *multisets*
     /// equal the sequential result; only the order of tuples within each
     /// partition differs.
-    pub fn new_parallel(
-        rel: &Relation,
-        bits: u32,
-        params: &CacheParams,
-        threads: usize,
-    ) -> Self {
+    pub fn new_parallel(rel: &Relation, bits: u32, params: &CacheParams, threads: usize) -> Self {
         if threads <= 1 || rel.len() < 4 * threads {
             return RadixPartitioned::new(rel, bits, params);
         }
@@ -258,7 +253,11 @@ mod tests {
         let part = RadixPartitioned::new(&rel, 4, &CacheParams::default());
         let idx = radix_of(7, 4);
         assert_eq!(
-            part.partition(idx).keys().iter().filter(|&&k| k == 7).count(),
+            part.partition(idx)
+                .keys()
+                .iter()
+                .filter(|&&k| k == 7)
+                .count(),
             3
         );
     }
@@ -270,7 +269,10 @@ mod tests {
         let expected = rel.len() as f64 / 16.0;
         for p in part.partitions() {
             let dev = (p.len() as f64 - expected).abs() / expected;
-            assert!(dev < 0.15, "partition skew {dev:.2} too high for uniform keys");
+            assert!(
+                dev < 0.15,
+                "partition skew {dev:.2} too high for uniform keys"
+            );
         }
     }
 

@@ -68,7 +68,10 @@ mod tests {
         nested_loops_join(&r, &s, &JoinPredicate::Equi, 2, &mut c);
         let reference = reference_equi_join(&r, &s);
         assert_eq!(c.count(), reference.len() as u64);
-        assert_eq!(c.checksum(), reference.iter().copied().collect::<Checksum>());
+        assert_eq!(
+            c.checksum(),
+            reference.iter().copied().collect::<Checksum>()
+        );
     }
 
     #[test]

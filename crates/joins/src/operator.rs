@@ -142,7 +142,11 @@ impl Algorithm {
                 StationaryState::Hash(hash),
                 PreparedFragment::HashPartitioned(part),
             ) => hash.probe_partitioned(part, threads, collector),
-            (Algorithm::SortMerge, StationaryState::Sorted(sorted), PreparedFragment::Sorted(run)) => {
+            (
+                Algorithm::SortMerge,
+                StationaryState::Sorted(sorted),
+                PreparedFragment::Sorted(run),
+            ) => {
                 let delta = predicate
                     .band_delta()
                     .expect("supports() guaranteed a band-style predicate");
@@ -315,7 +319,13 @@ mod tests {
     fn hash_join_rejects_band_predicates() {
         let r = GenSpec::uniform(10, 0).generate();
         let s = GenSpec::uniform(10, 1).generate();
-        let _ = run_algorithm(Algorithm::partitioned_hash(), &JoinPredicate::band(1), &r, &s, 1);
+        let _ = run_algorithm(
+            Algorithm::partitioned_hash(),
+            &JoinPredicate::band(1),
+            &r,
+            &s,
+            1,
+        );
     }
 
     #[test]

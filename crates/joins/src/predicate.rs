@@ -135,7 +135,13 @@ mod tests {
     #[test]
     fn debug_and_display_formatting() {
         assert_eq!(format!("{:?}", JoinPredicate::Equi), "Equi");
-        assert_eq!(format!("{}", JoinPredicate::band(3)), "|r.key - s.key| <= 3");
-        assert_eq!(format!("{:?}", JoinPredicate::theta(|_, _| true)), "Theta(..)");
+        assert_eq!(
+            format!("{}", JoinPredicate::band(3)),
+            "|r.key - s.key| <= 3"
+        );
+        assert_eq!(
+            format!("{:?}", JoinPredicate::theta(|_, _| true)),
+            "Theta(..)"
+        );
     }
 }

@@ -59,13 +59,7 @@ impl SortMergeState {
     /// Join phase: merges sorted probe fragment `r` against the stationary
     /// run with band half-width `delta` (`0` = equi-join), on `threads`
     /// worker threads.
-    pub fn merge(
-        &self,
-        r: &SortedRun,
-        delta: u32,
-        threads: usize,
-        collector: &mut JoinCollector,
-    ) {
+    pub fn merge(&self, r: &SortedRun, delta: u32, threads: usize, collector: &mut JoinCollector) {
         merge_join(r, &self.s, delta, threads, collector);
     }
 }
@@ -163,7 +157,10 @@ mod tests {
         state.merge(&sorted_r, 0, 2, &mut c);
         let reference = reference_equi_join(&r, &s);
         assert_eq!(c.count(), reference.len() as u64);
-        assert_eq!(c.checksum(), reference.iter().copied().collect::<Checksum>());
+        assert_eq!(
+            c.checksum(),
+            reference.iter().copied().collect::<Checksum>()
+        );
     }
 
     #[test]
@@ -171,7 +168,13 @@ mod tests {
         let r = Relation::from_pairs([(5, 1), (5, 2), (7, 3)]);
         let s = Relation::from_pairs([(5, 10), (5, 11), (5, 12), (7, 13)]);
         let mut c = JoinCollector::aggregating();
-        merge_join(&SortedRun::sort(&r, 1), &SortedRun::sort(&s, 1), 0, 1, &mut c);
+        merge_join(
+            &SortedRun::sort(&r, 1),
+            &SortedRun::sort(&s, 1),
+            0,
+            1,
+            &mut c,
+        );
         // 2 × 3 for key 5, 1 × 1 for key 7.
         assert_eq!(c.count(), 7);
     }
@@ -219,7 +222,13 @@ mod tests {
         let r = GenSpec::zipf(1_500, 0.95, 66).generate();
         let s = GenSpec::zipf(1_500, 0.95, 67).generate();
         let mut c = JoinCollector::aggregating();
-        merge_join(&SortedRun::sort(&r, 2), &SortedRun::sort(&s, 2), 0, 4, &mut c);
+        merge_join(
+            &SortedRun::sort(&r, 2),
+            &SortedRun::sort(&s, 2),
+            0,
+            4,
+            &mut c,
+        );
         assert_eq!(c.count(), reference_equi_join(&r, &s).len() as u64);
     }
 
@@ -240,7 +249,13 @@ mod tests {
         let r = Relation::from_pairs([(0, 1), (u32::MAX, 2)]);
         let s = Relation::from_pairs([(1, 10), (u32::MAX - 1, 20)]);
         let mut c = JoinCollector::materializing();
-        merge_join(&SortedRun::sort(&r, 1), &SortedRun::sort(&s, 1), 2, 1, &mut c);
+        merge_join(
+            &SortedRun::sort(&r, 1),
+            &SortedRun::sort(&s, 1),
+            2,
+            1,
+            &mut c,
+        );
         assert_eq!(c.count(), 2);
     }
 

@@ -167,12 +167,7 @@ mod tests {
 
     #[test]
     fn lower_bound_finds_first_occurrence() {
-        let run = SortedRun::from_sorted(Relation::from_pairs([
-            (1, 0),
-            (3, 0),
-            (3, 1),
-            (5, 0),
-        ]));
+        let run = SortedRun::from_sorted(Relation::from_pairs([(1, 0), (3, 0), (3, 1), (5, 0)]));
         assert_eq!(run.lower_bound(0), 0);
         assert_eq!(run.lower_bound(3), 1);
         assert_eq!(run.lower_bound(4), 3);

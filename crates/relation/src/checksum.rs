@@ -104,8 +104,12 @@ mod tests {
 
     #[test]
     fn order_does_not_matter() {
-        let a: Checksum = [m(1, 10, 20), m(2, 30, 40), m(3, 50, 60)].into_iter().collect();
-        let b: Checksum = [m(3, 50, 60), m(1, 10, 20), m(2, 30, 40)].into_iter().collect();
+        let a: Checksum = [m(1, 10, 20), m(2, 30, 40), m(3, 50, 60)]
+            .into_iter()
+            .collect();
+        let b: Checksum = [m(3, 50, 60), m(1, 10, 20), m(2, 30, 40)]
+            .into_iter()
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -148,11 +152,21 @@ mod tests {
         let variants = [
             MatchPair { key: 9, ..base },
             MatchPair { s_key: 9, ..base },
-            MatchPair { r_payload: 9, ..base },
-            MatchPair { s_payload: 9, ..base },
+            MatchPair {
+                r_payload: 9,
+                ..base
+            },
+            MatchPair {
+                s_payload: 9,
+                ..base
+            },
         ];
         for v in variants {
-            assert_ne!(hash_match(&base), hash_match(&v), "field change unnoticed: {v:?}");
+            assert_ne!(
+                hash_match(&base),
+                hash_match(&v),
+                "field change unnoticed: {v:?}"
+            );
         }
     }
 

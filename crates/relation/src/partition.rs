@@ -103,7 +103,14 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(with_sevens.len(), 1, "all key-7 tuples in one part");
-        assert_eq!(parts[with_sevens[0]].keys().iter().filter(|&&k| k == 7).count(), 3);
+        assert_eq!(
+            parts[with_sevens[0]]
+                .keys()
+                .iter()
+                .filter(|&&k| k == 7)
+                .count(),
+            3
+        );
     }
 
     #[test]

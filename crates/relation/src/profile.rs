@@ -41,7 +41,9 @@ impl KeyProfile {
         let top_fraction = if rel.is_empty() {
             0.0
         } else {
-            sorted.first().map_or(0.0, |&(_, c)| c as f64 / rel.len() as f64)
+            sorted
+                .first()
+                .map_or(0.0, |&(_, c)| c as f64 / rel.len() as f64)
         };
         sorted.truncate(heavy);
         KeyProfile {

@@ -242,7 +242,11 @@ mod tests {
         assert_eq!(rel.len(), 4);
         assert_eq!(rel.keys(), &[1, 1, 2, 3]);
         // Both payloads for key 1 survive.
-        let p: Vec<u64> = rel.iter().filter(|t| t.key == 1).map(|t| t.payload).collect();
+        let p: Vec<u64> = rel
+            .iter()
+            .filter(|t| t.key == 1)
+            .map(|t| t.payload)
+            .collect();
         assert_eq!(p.len(), 2);
         assert!(p.contains(&10) && p.contains(&11));
     }

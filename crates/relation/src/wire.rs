@@ -57,7 +57,10 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "bad magic bytes (not a relation buffer)"),
             DecodeError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
             DecodeError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: header implies {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "length mismatch: header implies {expected} bytes, got {actual}"
+                )
             }
             DecodeError::ChecksumMismatch => write!(f, "checksum mismatch: buffer corrupted"),
         }
@@ -105,14 +108,19 @@ pub fn decode(bytes: &[u8]) -> Result<Relation, DecodeError> {
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
-    let n = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-    let expected = encoded_len(n);
-    if bytes.len() != expected {
+    let declared = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    // The header's count is attacker/fault-controlled: validate it against
+    // the buffer length in wide arithmetic *before* converting to `usize`,
+    // so a corrupt count can neither overflow `encoded_len` nor drive an
+    // enormous allocation.
+    let expected_wide = HEADER_BYTES as u128 + declared as u128 * 12;
+    if bytes.len() as u128 != expected_wide {
         return Err(DecodeError::LengthMismatch {
-            expected,
+            expected: usize::try_from(expected_wide).unwrap_or(usize::MAX),
             actual: bytes.len(),
         });
     }
+    let n = declared as usize;
     let declared_checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
 
     let keys_end = HEADER_BYTES + 4 * n;
@@ -195,6 +203,65 @@ mod tests {
         let idx = bytes.len() - 3;
         bytes[idx] ^= 0x01;
         assert_eq!(decode(&bytes), Err(DecodeError::ChecksumMismatch));
+    }
+
+    /// Regression: a corrupt header could declare a huge tuple count whose
+    /// `encoded_len` overflowed `usize` (debug: arithmetic panic; release:
+    /// wraparound defeating the length check). Decode must reject it.
+    #[test]
+    fn adversarial_tuple_counts_are_rejected_without_panicking() {
+        let rel = GenSpec::uniform(8, 7).generate();
+        let template = encode(&rel);
+        for count in [
+            u64::MAX,
+            u64::MAX / 12,
+            (usize::MAX / 12) as u64,
+            (usize::MAX / 12) as u64 + 1,
+            u64::MAX - HEADER_BYTES as u64,
+            1u64 << 60,
+        ] {
+            let mut bytes = template.clone();
+            bytes[8..16].copy_from_slice(&count.to_le_bytes());
+            assert!(
+                matches!(decode(&bytes), Err(DecodeError::LengthMismatch { .. })),
+                "count {count} must be rejected as a length mismatch"
+            );
+        }
+    }
+
+    /// Fuzz: arbitrary header corruption must yield `Err`, never a panic.
+    #[test]
+    fn corrupt_headers_never_panic() {
+        let rel = GenSpec::uniform(32, 9).generate();
+        let template = encode(&rel);
+        // Deterministic LCG so failures reproduce.
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..2_000 {
+            let mut bytes = template.clone();
+            // Corrupt 1–4 bytes anywhere in the header.
+            for _ in 0..(next() % 4 + 1) {
+                let pos = (next() % HEADER_BYTES as u64) as usize;
+                bytes[pos] ^= (next() % 255 + 1) as u8;
+            }
+            // Occasionally truncate or extend the buffer too.
+            match next() % 4 {
+                0 => {
+                    let keep = (next() % (bytes.len() as u64 + 1)) as usize;
+                    bytes.truncate(keep);
+                }
+                1 => bytes.extend(std::iter::repeat_n(0xAB, (next() % 32) as usize)),
+                _ => {}
+            }
+            // Must return (Ok for the rare untouched mutation, Err otherwise)
+            // without panicking or aborting on allocation.
+            let _ = decode(&bytes);
+        }
     }
 
     #[test]

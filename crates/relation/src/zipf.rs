@@ -41,7 +41,10 @@ impl Zipf {
     /// Panics if `n` is zero, or `z` is negative or not finite.
     pub fn new(n: u64, z: f64) -> Self {
         assert!(n > 0, "Zipf domain must be non-empty");
-        assert!(z.is_finite() && z >= 0.0, "Zipf exponent must be ≥ 0, got {z}");
+        assert!(
+            z.is_finite() && z >= 0.0,
+            "Zipf exponent must be ≥ 0, got {z}"
+        );
         let mut zipf = Zipf {
             n,
             z,
@@ -99,9 +102,7 @@ impl Zipf {
             let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
             let x = self.h_inv(u);
             let k = x.round().clamp(1.0, self.n as f64);
-            if (k - x).abs() <= self.s
-                || u >= self.h(k + 0.5) - Self::pow_neg(k, self.z)
-            {
+            if (k - x).abs() <= self.s || u >= self.h(k + 0.5) - Self::pow_neg(k, self.z) {
                 return k as u64;
             }
         }

@@ -2,13 +2,12 @@
 
 use proptest::prelude::*;
 use relation::{
-    hash_partition, partition_of, relation_checksum, Checksum, GenSpec, MatchPair, Relation,
-    Tuple, Zipf,
+    hash_partition, partition_of, relation_checksum, Checksum, GenSpec, MatchPair, Relation, Tuple,
+    Zipf,
 };
 
 fn relation_strategy() -> impl Strategy<Value = Relation> {
-    prop::collection::vec((any::<u32>(), any::<u64>()), 0..400)
-        .prop_map(Relation::from_pairs)
+    prop::collection::vec((any::<u32>(), any::<u64>()), 0..400).prop_map(Relation::from_pairs)
 }
 
 proptest! {

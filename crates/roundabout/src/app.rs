@@ -101,7 +101,8 @@ mod tests {
 
     #[test]
     fn fixed_cost_app_counts_calls() {
-        let mut app = FixedCostApp::new(2, SimDuration::from_millis(1), SimDuration::from_millis(2));
+        let mut app =
+            FixedCostApp::new(2, SimDuration::from_millis(1), SimDuration::from_millis(2));
         let payload = vec![0u8; 4];
         assert_eq!(
             <FixedCostApp as RingApp<Vec<u8>>>::setup(&mut app, HostId(0)),

@@ -107,7 +107,9 @@ impl RingConfig {
             return Err(ConfigError::new("ring needs at least one host"));
         }
         if self.buffers_per_host == 0 {
-            return Err(ConfigError::new("each host needs at least one ring buffer element"));
+            return Err(ConfigError::new(
+                "each host needs at least one ring buffer element",
+            ));
         }
         if self.join_threads == 0 {
             return Err(ConfigError::new("join entity needs at least one thread"));
@@ -139,10 +141,7 @@ impl RingConfig {
     /// is additionally capped by what its (single) transmitter thread can
     /// push through the kernel stack — the per-core rule-of-thumb rate.
     pub fn effective_wire_seconds(&self, bytes: u64) -> SimDuration {
-        let link_time = self
-            .link()
-            .throughput()
-            .transfer_time(bytes);
+        let link_time = self.link().throughput().transfer_time(bytes);
         match self.transport {
             TransportModel::Rdma(_) => link_time,
             TransportModel::KernelTcp(m) | TransportModel::Toe(m) => {
@@ -196,8 +195,14 @@ mod tests {
     fn invalid_configs_are_caught() {
         assert!(RingConfig::paper(0).validate().is_err());
         assert!(RingConfig::paper(2).with_buffers(0).validate().is_err());
-        assert!(RingConfig::paper(2).with_join_threads(0).validate().is_err());
-        assert!(RingConfig::paper(2).with_join_threads(5).validate().is_err());
+        assert!(RingConfig::paper(2)
+            .with_join_threads(0)
+            .validate()
+            .is_err());
+        assert!(RingConfig::paper(2)
+            .with_join_threads(5)
+            .validate()
+            .is_err());
     }
 
     #[test]

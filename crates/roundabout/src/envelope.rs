@@ -69,9 +69,7 @@ impl PayloadBytes for Vec<u8> {
 }
 
 /// Identifier of a circulating fragment, unique within one run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FragmentId(pub usize);
 
 impl std::fmt::Display for FragmentId {
@@ -153,7 +151,10 @@ impl<P: PayloadBytes> Envelope<P> {
     ///
     /// Panics if called on an already retired envelope.
     pub fn consume_hop(&mut self) -> bool {
-        assert!(self.hops_remaining > 0, "envelope already completed its revolution");
+        assert!(
+            self.hops_remaining > 0,
+            "envelope already completed its revolution"
+        );
         self.hops_remaining -= 1;
         self.hops_remaining > 0
     }

@@ -18,6 +18,11 @@ pub enum RingError {
     /// The requested fault class is not supported by this backend (e.g.
     /// host crashes on the thread backend, which has no ring healing).
     UnsupportedFault(&'static str),
+    /// The ring tore down mid-run: a worker died (for example the join
+    /// callback panicked, or a transfer exhausted its retransmission
+    /// budget) and its channels closed while fragments were still
+    /// outstanding. The message names the first failure observed.
+    Teardown(&'static str),
 }
 
 impl From<ConfigError> for RingError {
@@ -35,6 +40,7 @@ impl std::fmt::Display for RingError {
                 "need one fragment list per host ({expected} hosts, {got} lists)"
             ),
             RingError::UnsupportedFault(what) => write!(f, "unsupported fault: {what}"),
+            RingError::Teardown(what) => write!(f, "ring teardown: {what}"),
         }
     }
 }
@@ -61,8 +67,18 @@ mod tests {
     }
 
     #[test]
+    fn teardown_error_carries_the_first_failure() {
+        let err = RingError::Teardown("join callback panicked");
+        assert_eq!(err.to_string(), "ring teardown: join callback panicked");
+        assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
     fn shape_error_names_both_counts() {
-        let err = RingError::Shape { expected: 3, got: 5 };
+        let err = RingError::Shape {
+            expected: 3,
+            got: 5,
+        };
         assert!(err.to_string().contains("3 hosts"));
         assert!(err.to_string().contains("5 lists"));
     }

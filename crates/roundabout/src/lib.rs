@@ -51,7 +51,9 @@ pub use envelope::{Envelope, FragmentId, PayloadBytes};
 pub use error::RingError;
 pub use metrics::{render_timeline, HostMetrics, RingMetrics};
 pub use sim_backend::{SimOutcome, SimRing};
-pub use thread_backend::{run_threaded, run_threaded_reliable};
+pub use thread_backend::{
+    run_threaded, run_threaded_reliable, run_threaded_reliable_traced, run_threaded_traced,
+};
 
 pub use simnet::fault::FaultPlan;
 pub use simnet::topology::HostId;

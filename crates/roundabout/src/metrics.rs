@@ -45,7 +45,8 @@ impl HostMetrics {
 
     /// CPU load during the join phase, as in Table I.
     pub fn join_phase_load(&self, spec: CpuSpec) -> f64 {
-        self.cpu.load(spec, self.join_window.max(SimDuration::from_nanos(1)))
+        self.cpu
+            .load(spec, self.join_window.max(SimDuration::from_nanos(1)))
     }
 }
 
@@ -114,7 +115,11 @@ impl RingMetrics {
         if self.hosts.is_empty() {
             return 0.0;
         }
-        self.hosts.iter().map(|h| h.join_phase_load(spec)).sum::<f64>() / self.hosts.len() as f64
+        self.hosts
+            .iter()
+            .map(|h| h.join_phase_load(spec))
+            .sum::<f64>()
+            / self.hosts.len() as f64
     }
 
     /// Total bytes forwarded across all ring links.
@@ -218,7 +223,7 @@ mod tests {
     #[test]
     fn join_phase_load_uses_the_window() {
         let h = host(0, 400, 0); // 400 ms compute over a 400 ms window
-        // One core fully busy on a 4-core machine = 25 %.
+                                 // One core fully busy on a 4-core machine = 25 %.
         let load = h.join_phase_load(CpuSpec::new(4, 1.0));
         assert!((load - 0.25).abs() < 1e-6, "got {load}");
     }
@@ -257,13 +262,20 @@ pub fn render_timeline(metrics: &RingMetrics, width: usize) -> String {
     let scale = width as f64 / longest;
     let mut out = String::new();
     for (i, h) in metrics.hosts.iter().enumerate() {
-        let setup = (h.setup.as_secs_f64() * scale).round() as usize;
-        let busy = (h.join_busy.as_secs_f64() * scale).round() as usize;
-        let sync = (h.sync.as_secs_f64() * scale).round() as usize;
+        // Round *cumulative* phase ends, not individual widths: per-segment
+        // rounding let lanes drift past `width` (three `.5`s each round up),
+        // misaligning the lanes. Cumulative ends clamp every lane to the
+        // scale and keep total length exact.
+        let t_setup = h.setup.as_secs_f64();
+        let t_busy = t_setup + h.join_busy.as_secs_f64();
+        let t_sync = t_busy + h.sync.as_secs_f64();
+        let end_setup = ((t_setup * scale).round() as usize).min(width);
+        let end_busy = ((t_busy * scale).round() as usize).clamp(end_setup, width);
+        let end_sync = ((t_sync * scale).round() as usize).clamp(end_busy, width);
         out.push_str(&format!("H{i:<2}|"));
-        out.push_str(&"#".repeat(setup));
-        out.push_str(&"=".repeat(busy));
-        out.push_str(&".".repeat(sync));
+        out.push_str(&"#".repeat(end_setup));
+        out.push_str(&"=".repeat(end_busy - end_setup));
+        out.push_str(&".".repeat(end_sync - end_busy));
         out.push_str("|\n");
     }
     out.push_str(&format!(
@@ -307,7 +319,10 @@ mod timeline_tests {
 
     #[test]
     fn empty_run_renders_placeholder() {
-        assert_eq!(render_timeline(&RingMetrics::default(), 40), "(empty run)\n");
+        assert_eq!(
+            render_timeline(&RingMetrics::default(), 40),
+            "(empty run)\n"
+        );
     }
 
     #[test]
@@ -321,5 +336,41 @@ mod timeline_tests {
         let rendered = render_timeline(&metrics, 60);
         let lane = rendered.lines().next().unwrap();
         assert_eq!(lane.matches('=').count(), 60);
+    }
+
+    /// Regression: per-segment rounding let a lane exceed `width` when
+    /// several segments each rounded up (e.g. three `.5` segments), so
+    /// lanes misaligned. Every lane must now fit the scale exactly.
+    #[test]
+    fn lanes_never_exceed_the_scale_width() {
+        let width = 10;
+        // 2.5 ms + 2.5 ms + 10 ms against a 15 ms longest host:
+        // naive rounding gives 2 + 2 + 7 = 11 > 10 chars.
+        let metrics = RingMetrics {
+            hosts: vec![host(2, 3, 10).clamped(2_500_000, 2_500_000, 10_000_000)],
+            wall_clock: SimDuration::from_millis(15),
+            fragments_completed: 1,
+            ..RingMetrics::default()
+        };
+        let rendered = render_timeline(&metrics, width);
+        for lane in rendered.lines().filter(|l| l.starts_with('H')) {
+            let body = lane.trim_start_matches(|c: char| c != '|');
+            let cells = body.matches(['#', '=', '.']).count();
+            assert!(
+                cells <= width,
+                "lane {lane:?} has {cells} cells, width is {width}"
+            );
+            assert_eq!(cells, width, "longest host must fill the scale exactly");
+        }
+    }
+
+    impl HostMetrics {
+        fn clamped(mut self, setup_ns: u64, busy_ns: u64, sync_ns: u64) -> HostMetrics {
+            self.setup = SimDuration::from_nanos(setup_ns);
+            self.join_busy = SimDuration::from_nanos(busy_ns);
+            self.sync = SimDuration::from_nanos(sync_ns);
+            self.join_window = SimDuration::from_nanos(busy_ns + sync_ns);
+            self
+        }
     }
 }

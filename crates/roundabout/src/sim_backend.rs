@@ -29,10 +29,11 @@
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use simnet::cpu::{CostCategory, CpuAccount};
-use simnet::fault::FaultPlan;
-use simnet::rnic::{Completion, MemoryRegion, QueuePair, Rnic, WorkRequest};
 use simnet::engine::Simulation;
+use simnet::fault::FaultPlan;
 use simnet::link::Link;
+use simnet::rnic::{Completion, MemoryRegion, QueuePair, Rnic, WorkRequest};
+use simnet::span::{counter, SpanKind, SpanTracer, Track};
 use simnet::throughput::{Bandwidth, ChunkThroughput};
 use simnet::time::{SimDuration, SimTime};
 use simnet::topology::{HostId, RingNetwork};
@@ -70,6 +71,9 @@ pub struct SimOutcome<A> {
     pub app: A,
     /// The event trace (empty unless tracing was enabled).
     pub trace: Tracer,
+    /// Structured spans, instant events and counters (disabled unless
+    /// tracing was enabled); exportable as Chrome trace-event JSON.
+    pub spans: SpanTracer,
 }
 
 /// An envelope at the join entity, remembering whether it occupies a slot
@@ -124,24 +128,51 @@ impl<P> HostState<P> {
 }
 
 enum RingEvent<P> {
-    SetupDone { host: HostId },
-    JoinDone { host: HostId },
-    Arrived { to: HostId, env: Envelope<P> },
-    SendDone { from: HostId, completion: Option<Completion> },
+    SetupDone {
+        host: HostId,
+    },
+    JoinDone {
+        host: HostId,
+    },
+    Arrived {
+        to: HostId,
+        env: Envelope<P>,
+    },
+    SendDone {
+        from: HostId,
+        completion: Option<Completion>,
+    },
     /// The receiver's NIC acknowledged transfer `seq` (fault mode only).
-    AckArrived { seq: u64 },
+    AckArrived {
+        seq: u64,
+    },
     /// The sender's retransmission timer for attempt `attempt` of transfer
     /// `seq` fired (stale if the transfer was acked or re-attempted since).
-    AckTimeout { seq: u64, attempt: u32 },
+    AckTimeout {
+        seq: u64,
+        attempt: u32,
+    },
     /// A sender blocked on its successor's full receive pool probes it.
-    ProbeTimeout { from: HostId, to: HostId, attempt: u32 },
+    ProbeTimeout {
+        from: HostId,
+        to: HostId,
+        attempt: u32,
+    },
     /// Scheduled adversity from the fault plan.
-    Crash { host: HostId },
-    Pause { host: HostId },
-    Resume { host: HostId },
+    Crash {
+        host: HostId,
+    },
+    Pause {
+        host: HostId,
+    },
+    Resume {
+        host: HostId,
+    },
     /// The ring-healing successor finished rebuilding the absorbed
     /// stationary partitions and may join again.
-    AbsorbDone { host: HostId },
+    AbsorbDone {
+        host: HostId,
+    },
 }
 
 /// One unacknowledged transfer of the reliable transport.
@@ -423,6 +454,11 @@ struct Runner<P, A> {
     fragments_completed: usize,
     wall_clock: SimTime,
     tracer: Tracer,
+    spans: SpanTracer,
+    /// Per-host end of the last busy interval (join or absorb), used only
+    /// for emitting `Sync` spans: the gap from here to the next join start
+    /// is exactly the idle time `RingMetrics` reports as `sync`.
+    busy_until: Vec<SimTime>,
     fault: Option<FaultCtx<P>>,
 }
 
@@ -441,7 +477,10 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 !ring.continuous,
                 "fault injection requires run-to-retirement mode, not continuous rotation"
             );
-            assert!(n <= 64, "the exactly-once role bitmask supports at most 64 hosts");
+            assert!(
+                n <= 64,
+                "the exactly-once role bitmask supports at most 64 hosts"
+            );
             assert!(
                 n > 1 || plan.crashes().is_empty(),
                 "cannot heal a single-host ring around a crash"
@@ -474,12 +513,8 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             .collect();
         for (h, frags) in ring.fragments.into_iter().enumerate() {
             for payload in frags {
-                let env = Envelope::new(
-                    crate::envelope::FragmentId(next_id),
-                    HostId(h),
-                    n,
-                    payload,
-                );
+                let env =
+                    Envelope::new(crate::envelope::FragmentId(next_id), HostId(h), n, payload);
                 next_id += 1;
                 // Local fragments enter the join queue directly; they live
                 // in local memory, not in the receive pool.
@@ -504,6 +539,12 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             } else {
                 Tracer::disabled()
             },
+            spans: if ring.trace {
+                SpanTracer::enabled()
+            } else {
+                SpanTracer::disabled()
+            },
+            busy_until: vec![SimTime::ZERO; n],
             fault: ring.fault_plan.map(|plan| FaultCtx::new(plan, n)),
         }
     }
@@ -574,7 +615,15 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             RingEvent::SetupDone { host } => {
                 self.hosts[host.0].setup_done = Some(sim.now());
                 self.hosts[host.0].last_join_done = sim.now();
+                self.busy_until[host.0] = sim.now();
                 self.tracer.record(sim.now(), host, "setup done");
+                self.spans.span(
+                    host.0,
+                    SpanKind::Setup,
+                    "setup",
+                    SimTime::ZERO,
+                    sim.now().saturating_duration_since(SimTime::ZERO),
+                );
                 self.try_start_join(sim, host);
             }
             RingEvent::JoinDone { host } => {
@@ -611,8 +660,16 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 }
                 self.hosts[host.0].setup_done = Some(sim.now());
                 self.hosts[host.0].last_join_done = sim.now();
+                self.busy_until[host.0] = sim.now();
                 f.last_progress = f.last_progress.max(sim.now());
                 self.tracer.record(sim.now(), host, "setup done");
+                self.spans.span(
+                    host.0,
+                    SpanKind::Setup,
+                    "setup",
+                    SimTime::ZERO,
+                    sim.now().saturating_duration_since(SimTime::ZERO),
+                );
                 self.try_start_join_fault(sim, f, host);
             }
             RingEvent::JoinDone { host } => self.on_join_done_fault(sim, f, host),
@@ -640,6 +697,8 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 }
                 f.crashed[host.0] = true;
                 self.tracer.record(sim.now(), host, "crashed");
+                self.spans
+                    .event(Some(host.0), Track::Control, "crashed", sim.now());
             }
             RingEvent::Pause { host } => {
                 if f.crashed[host.0] {
@@ -647,6 +706,8 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 }
                 f.paused[host.0] = true;
                 self.tracer.record(sim.now(), host, "paused");
+                self.spans
+                    .event(Some(host.0), Track::Control, "paused", sim.now());
             }
             RingEvent::Resume { host } => {
                 if f.crashed[host.0] {
@@ -654,6 +715,8 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 }
                 f.paused[host.0] = false;
                 self.tracer.record(sim.now(), host, "resumed");
+                self.spans
+                    .event(Some(host.0), Track::Control, "resumed", sim.now());
                 self.try_start_join_fault(sim, f, host);
                 self.try_send_fault(sim, f, host);
             }
@@ -697,13 +760,24 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             f.checksum_mismatches[to.0] += 1;
             self.tracer
                 .record(sim.now(), to, format!("checksum mismatch on {}", env.id));
+            if self.spans.is_enabled() {
+                self.spans.event(
+                    Some(to.0),
+                    Track::Receiver,
+                    format!("checksum mismatch {}", env.id),
+                    sim.now(),
+                );
+                self.spans.count(counter::CHECKSUM_MISMATCHES, 1);
+            }
             // No ack: the sender's timeout drives the retransmission.
             return;
         }
         // Ack at NIC level on the backward channel of the sender's link, so
         // acks never contend with payload and paused hosts still answer.
         if let Some(entry) = f.in_flight.get(&seq) {
-            let ack = self.network.reserve_hop_back(sim.now(), entry.from, ACK_BYTES);
+            let ack = self
+                .network
+                .reserve_hop_back(sim.now(), entry.from, ACK_BYTES);
             sim.schedule_at(ack.arrival, RingEvent::AckArrived { seq });
         }
         if !f.accepted_seqs.insert(seq) {
@@ -724,13 +798,32 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 .comm_cpu(self.config.cpu, env.bytes(), 1),
         };
         self.hosts[to.0].join_cpu.merge(&cost);
-        self.tracer
-            .record(sim.now(), to, format!("received {} ({} B)", env.id, env.bytes()));
-        self.hosts[to.0].incoming.push_back(Held { env, pooled: true });
+        self.tracer.record(
+            sim.now(),
+            to,
+            format!("received {} ({} B)", env.id, env.bytes()),
+        );
+        if self.spans.is_enabled() {
+            self.spans.event(
+                Some(to.0),
+                Track::Receiver,
+                format!("recv {}", env.id),
+                sim.now(),
+            );
+            self.spans.count(counter::ENVELOPES_RECEIVED, 1);
+        }
+        self.hosts[to.0]
+            .incoming
+            .push_back(Held { env, pooled: true });
         self.try_start_join_fault(sim, f, to);
     }
 
-    fn on_ack_arrived(&mut self, sim: &mut Simulation<RingEvent<P>>, f: &mut FaultCtx<P>, seq: u64) {
+    fn on_ack_arrived(
+        &mut self,
+        sim: &mut Simulation<RingEvent<P>>,
+        f: &mut FaultCtx<P>,
+        seq: u64,
+    ) {
         let Some(entry) = f.in_flight.remove(&seq) else {
             return; // transfer already settled (healed or superseded)
         };
@@ -780,11 +873,21 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         let entry = f.in_flight.get_mut(&seq).expect("looked up above");
         entry.attempts += 1;
         f.retransmits[from.0] += 1;
+        let id = entry.env.id;
         self.tracer.record(
             sim.now(),
             from,
-            format!("retransmit {} (attempt {})", entry.env.id, attempt + 1),
+            format!("retransmit {id} (attempt {})", attempt + 1),
         );
+        if self.spans.is_enabled() {
+            self.spans.event(
+                Some(from.0),
+                Track::Transmitter,
+                format!("retransmit {id} attempt {}", attempt + 1),
+                sim.now(),
+            );
+            self.spans.count(counter::RETRANSMITS, 1);
+        }
         self.transmit_attempt(sim, f, seq);
     }
 
@@ -825,7 +928,11 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 let backoff = self.config.ack_timeout * (1u64 << attempt.min(20));
                 sim.schedule_in(
                     backoff,
-                    RingEvent::ProbeTimeout { from, to, attempt: attempt + 1 },
+                    RingEvent::ProbeTimeout {
+                        from,
+                        to,
+                        attempt: attempt + 1,
+                    },
                 );
             }
         } else {
@@ -834,7 +941,11 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             f.probing[from.0] = Some((to, 1));
             sim.schedule_in(
                 self.config.ack_timeout,
-                RingEvent::ProbeTimeout { from, to, attempt: 1 },
+                RingEvent::ProbeTimeout {
+                    from,
+                    to,
+                    attempt: 1,
+                },
             );
         }
     }
@@ -861,7 +972,10 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             {
                 return;
             }
-            let mut held = self.hosts[host.0].incoming.pop_front().expect("checked non-empty");
+            let mut held = self.hosts[host.0]
+                .incoming
+                .pop_front()
+                .expect("checked non-empty");
             let apply = f.role_mask(host) & !held.env.visited;
             if apply == 0 {
                 // Every partition this host serves already joined this
@@ -873,16 +987,29 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 }
                 self.tracer
                     .record(sim.now(), host, format!("pass-through {}", held.env.id));
+                if self.spans.is_enabled() {
+                    self.spans.event(
+                        Some(host.0),
+                        Track::Join,
+                        format!("pass-through {}", held.env.id),
+                        sim.now(),
+                    );
+                }
                 self.route_onward_fault(sim, f, host, held.env);
                 continue;
             }
+            // Roles already joined before this stop — the fault-mode hop
+            // index (routing may bypass healed-over hosts).
+            let hop = held.env.visited.count_ones() as usize;
             held.env.mark_visited(apply);
             let roles: Vec<usize> = f.roles[host.0]
                 .iter()
                 .copied()
                 .filter(|r| apply & (1u64 << r) != 0)
                 .collect();
-            let d_base = self.app.process_roles(host, &roles, sim.now(), &held.env.payload);
+            let d_base = self
+                .app
+                .process_roles(host, &roles, sim.now(), &held.env.payload);
             let d_base = match &self.host_speed {
                 Some(speed) => d_base * (1.0 / speed[host.0]),
                 None => d_base,
@@ -895,12 +1022,28 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             };
             let d_eff = self.effective_join_duration(d_base, held.env.bytes());
             let state = &mut self.hosts[host.0];
-            state
-                .join_cpu
-                .charge(CostCategory::Compute, d_base * self.config.join_threads as u64);
+            state.join_cpu.charge(
+                CostCategory::Compute,
+                d_base * self.config.join_threads as u64,
+            );
             state.join_busy += d_eff;
-            self.tracer
-                .record(sim.now(), host, format!("join start {} for {}", held.env.id, d_eff));
+            self.tracer.record(
+                sim.now(),
+                host,
+                format!("join start {} for {}", held.env.id, d_eff),
+            );
+            if self.spans.is_enabled() {
+                self.record_sync_gap(host, sim.now());
+                self.spans.span_with_hop(
+                    host.0,
+                    SpanKind::Join,
+                    format!("join {}", held.env.id),
+                    sim.now(),
+                    d_eff,
+                    Some(hop),
+                );
+                self.busy_until[host.0] = sim.now() + d_eff;
+            }
             self.hosts[host.0].processing = Some(held);
             sim.schedule_in(d_eff, RingEvent::JoinDone { host });
             return;
@@ -930,8 +1073,11 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             let prev = f.prev_alive(host);
             self.try_send_fault(sim, f, prev);
         }
-        self.tracer
-            .record(sim.now(), host, format!("processed {}, routing onward", held.env.id));
+        self.tracer.record(
+            sim.now(),
+            host,
+            format!("processed {}, routing onward", held.env.id),
+        );
         self.route_onward_fault(sim, f, host, held.env);
         self.try_start_join_fault(sim, f, host);
     }
@@ -947,6 +1093,15 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         let id = env.id;
         if env.visited_all(f.full_mask) {
             self.tracer.record(sim.now(), host, format!("retired {id}"));
+            if self.spans.is_enabled() {
+                self.spans.event(
+                    Some(host.0),
+                    Track::Join,
+                    format!("retired {id}"),
+                    sim.now(),
+                );
+                self.spans.count(counter::FRAGMENTS_RETIRED, 1);
+            }
             self.fragments_completed += 1;
             f.last_progress = f.last_progress.max(sim.now());
             return;
@@ -979,7 +1134,9 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         if next == host {
             // Sole survivor: remaining rotation work loops back locally.
             while let Some(env) = self.hosts[host.0].outgoing.pop_front() {
-                self.hosts[host.0].incoming.push_back(Held { env, pooled: false });
+                self.hosts[host.0]
+                    .incoming
+                    .push_back(Held { env, pooled: false });
             }
             self.try_start_join_fault(sim, f, host);
             return;
@@ -991,13 +1148,23 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 f.probing[host.0] = Some((next, 1));
                 sim.schedule_in(
                     self.config.ack_timeout,
-                    RingEvent::ProbeTimeout { from: host, to: next, attempt: 1 },
+                    RingEvent::ProbeTimeout {
+                        from: host,
+                        to: next,
+                        attempt: 1,
+                    },
                 );
             }
             return;
         }
         f.probing[host.0] = None;
-        let mut env = self.hosts[host.0].outgoing.pop_front().expect("checked non-empty");
+        let mut env = self.hosts[host.0]
+            .outgoing
+            .pop_front()
+            .expect("checked non-empty");
+        // Counted once per envelope here; each wire attempt (including
+        // retransmissions) gets its own `Send` span in `transmit_attempt`.
+        self.spans.count(counter::ENVELOPES_SENT, 1);
         self.hosts[next.0].pool_used += 1;
         let seq = f.next_seq;
         f.next_seq += 1;
@@ -1005,7 +1172,13 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         f.awaiting[host.0] = Some(seq);
         f.in_flight.insert(
             seq,
-            InFlight { from: host, to: next, env, attempts: 1, maybe_live: false },
+            InFlight {
+                from: host,
+                to: next,
+                env,
+                attempts: 1,
+                maybe_live: false,
+            },
         );
         self.transmit_attempt(sim, f, seq);
     }
@@ -1066,12 +1239,27 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             from,
             format!("send {} ({} B) → {}", sent.id, bytes, to),
         );
+        if self.spans.is_enabled() {
+            self.spans.span(
+                from.0,
+                SpanKind::Send,
+                format!("send {}", sent.id),
+                sim.now(),
+                reservation.wire_free.saturating_duration_since(sim.now()),
+            );
+        }
         sim.schedule_at(
             reservation.wire_free,
-            RingEvent::SendDone { from, completion: pending_completion },
+            RingEvent::SendDone {
+                from,
+                completion: pending_completion,
+            },
         );
         if !dropped {
-            sim.schedule_at(reservation.arrival + spike, RingEvent::Arrived { to, env: sent });
+            sim.schedule_at(
+                reservation.arrival + spike,
+                RingEvent::Arrived { to, env: sent },
+            );
         }
         let rto = self.config.ack_timeout * (1u64 << (attempt - 1).min(20));
         sim.schedule_in(rto, RingEvent::AckTimeout { seq, attempt });
@@ -1101,7 +1289,10 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             "every host died — nothing left to heal the ring"
         );
         f.heal_events += 1;
-        let crash_at = f.plan.crash_time(dead).expect("confirmed host has a scheduled crash");
+        let crash_at = f
+            .plan
+            .crash_time(dead)
+            .expect("confirmed host has a scheduled crash");
         let latency = sim.now().saturating_duration_since(crash_at);
         f.detection_latency = f.detection_latency.max(latency);
         self.tracer.record(
@@ -1109,6 +1300,15 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             dead,
             format!("confirmed dead ({latency} after crash); healing ring"),
         );
+        if self.spans.is_enabled() {
+            self.spans.event(
+                None,
+                Track::Control,
+                format!("heal: host {} confirmed dead", dead.0),
+                sim.now(),
+            );
+            self.spans.count(counter::HEAL_EVENTS, 1);
+        }
 
         // 1. The ring successor absorbs the orphaned stationary partitions.
         let successor = f.next_alive(dead);
@@ -1125,6 +1325,17 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 .join_cpu
                 .charge(CostCategory::Compute, absorb_cost);
             self.hosts[successor.0].join_busy += absorb_cost;
+            if self.spans.is_enabled() {
+                self.record_sync_gap(successor, sim.now());
+                self.spans.span(
+                    successor.0,
+                    SpanKind::Absorb,
+                    format!("absorb {} role(s) of host {}", orphaned.len(), dead.0),
+                    sim.now(),
+                    absorb_cost,
+                );
+                self.busy_until[successor.0] = sim.now() + absorb_cost;
+            }
             f.absorbing[successor.0] = true;
             sim.schedule_in(absorb_cost, RingEvent::AbsorbDone { host: successor });
         }
@@ -1188,8 +1399,20 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             // The dead host crashed between starting and finishing the last
             // join; the output is modeled as streamed at process time, so
             // the fragment simply retires.
-            self.tracer
-                .record(sim.now(), env.origin, format!("retired {} (salvaged)", env.id));
+            self.tracer.record(
+                sim.now(),
+                env.origin,
+                format!("retired {} (salvaged)", env.id),
+            );
+            if self.spans.is_enabled() {
+                self.spans.event(
+                    Some(env.origin.0),
+                    Track::Join,
+                    format!("retired {} (salvaged)", env.id),
+                    sim.now(),
+                );
+                self.spans.count(counter::FRAGMENTS_RETIRED, 1);
+            }
             self.fragments_completed += 1;
             f.last_progress = f.last_progress.max(sim.now());
             return;
@@ -1199,8 +1422,19 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         f.fragments_resent += 1;
         self.tracer
             .record(sim.now(), target, format!("re-sent {} from origin", env.id));
+        if self.spans.is_enabled() {
+            self.spans.event(
+                Some(target.0),
+                Track::Control,
+                format!("re-sent {} from origin", env.id),
+                sim.now(),
+            );
+            self.spans.count(counter::FRAGMENTS_RESENT, 1);
+        }
         if f.role_mask(target) & !env.visited != 0 {
-            self.hosts[target.0].incoming.push_back(Held { env, pooled: false });
+            self.hosts[target.0]
+                .incoming
+                .push_back(Held { env, pooled: false });
             self.try_start_join_fault(sim, f, target);
         } else {
             self.hosts[target.0].outgoing.push_back(env);
@@ -1224,9 +1458,23 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 .comm_cpu(self.config.cpu, env.bytes(), 1),
         };
         self.hosts[to.0].join_cpu.merge(&cost);
-        self.tracer
-            .record(sim.now(), to, format!("received {} ({} B)", env.id, env.bytes()));
-        self.hosts[to.0].incoming.push_back(Held { env, pooled: true });
+        self.tracer.record(
+            sim.now(),
+            to,
+            format!("received {} ({} B)", env.id, env.bytes()),
+        );
+        if self.spans.is_enabled() {
+            self.spans.event(
+                Some(to.0),
+                Track::Receiver,
+                format!("recv {}", env.id),
+                sim.now(),
+            );
+            self.spans.count(counter::ENVELOPES_RECEIVED, 1);
+        }
+        self.hosts[to.0]
+            .incoming
+            .push_back(Held { env, pooled: true });
         self.try_start_join(sim, to);
     }
 
@@ -1258,7 +1506,9 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             // circulating (single-host "rings" just requeue locally).
             env.hops_remaining = self.config.hosts.max(2);
             if self.config.hosts == 1 {
-                self.hosts[host.0].incoming.push_back(Held { env, pooled: false });
+                self.hosts[host.0]
+                    .incoming
+                    .push_back(Held { env, pooled: false });
             } else {
                 self.hosts[host.0].outgoing.push_back(env);
                 self.try_send(sim, host);
@@ -1270,6 +1520,15 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             self.try_send(sim, host);
         } else {
             self.tracer.record(sim.now(), host, format!("retired {id}"));
+            if self.spans.is_enabled() {
+                self.spans.event(
+                    Some(host.0),
+                    Track::Join,
+                    format!("retired {id}"),
+                    sim.now(),
+                );
+                self.spans.count(counter::FRAGMENTS_RETIRED, 1);
+            }
             self.fragments_completed += 1;
         }
         self.try_start_join(sim, host);
@@ -1298,7 +1557,10 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         if state.setup_done.is_none() || state.processing.is_some() || state.incoming.is_empty() {
             return;
         }
-        let held = self.hosts[host.0].incoming.pop_front().expect("checked non-empty");
+        let held = self.hosts[host.0]
+            .incoming
+            .pop_front()
+            .expect("checked non-empty");
         let d_base = self.app.process(host, sim.now(), &held.env.payload);
         let d_base = match &self.host_speed {
             Some(speed) => d_base * (1.0 / speed[host.0]),
@@ -1306,14 +1568,43 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         };
         let d_eff = self.effective_join_duration(d_base, held.env.bytes());
         let state = &mut self.hosts[host.0];
-        state
-            .join_cpu
-            .charge(CostCategory::Compute, d_base * self.config.join_threads as u64);
+        state.join_cpu.charge(
+            CostCategory::Compute,
+            d_base * self.config.join_threads as u64,
+        );
         state.join_busy += d_eff;
-        self.tracer
-            .record(sim.now(), host, format!("join start {} for {}", held.env.id, d_eff));
+        self.tracer.record(
+            sim.now(),
+            host,
+            format!("join start {} for {}", held.env.id, d_eff),
+        );
+        if self.spans.is_enabled() {
+            self.record_sync_gap(host, sim.now());
+            let hop = self.config.hosts.saturating_sub(held.env.hops_remaining);
+            self.spans.span_with_hop(
+                host.0,
+                SpanKind::Join,
+                format!("join {}", held.env.id),
+                sim.now(),
+                d_eff,
+                Some(hop),
+            );
+            self.busy_until[host.0] = sim.now() + d_eff;
+        }
         self.hosts[host.0].processing = Some(held);
         sim.schedule_in(d_eff, RingEvent::JoinDone { host });
+    }
+
+    /// Emits a `Sync` span covering the idle gap (if any) between the end
+    /// of this host's previous busy interval and `now`. The gaps between
+    /// consecutive joins partition the join window's non-busy time, so
+    /// their sum reconciles with the `sync` phase of `RingMetrics`.
+    fn record_sync_gap(&mut self, host: HostId, now: SimTime) {
+        let gap = now.saturating_duration_since(self.busy_until[host.0]);
+        if gap > SimDuration::ZERO {
+            self.spans
+                .span(host.0, SpanKind::Sync, "sync", self.busy_until[host.0], gap);
+        }
     }
 
     /// Applies the transport's interference model to a base join duration.
@@ -1349,7 +1640,10 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         {
             return;
         }
-        let env = self.hosts[host.0].outgoing.pop_front().expect("checked non-empty");
+        let env = self.hosts[host.0]
+            .outgoing
+            .pop_front()
+            .expect("checked non-empty");
         let bytes = env.bytes();
         // Pre-post the receive buffer at the successor.
         self.hosts[next.0].pool_used += 1;
@@ -1388,6 +1682,16 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             host,
             format!("send {} ({} B) → {}", env.id, bytes, next),
         );
+        if self.spans.is_enabled() {
+            self.spans.span(
+                host.0,
+                SpanKind::Send,
+                format!("send {}", env.id),
+                sim.now(),
+                reservation.wire_free.saturating_duration_since(sim.now()),
+            );
+            self.spans.count(counter::ENVELOPES_SENT, 1);
+        }
         sim.schedule_at(
             reservation.wire_free,
             RingEvent::SendDone {
@@ -1398,7 +1702,20 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         sim.schedule_at(reservation.arrival, RingEvent::Arrived { to: next, env });
     }
 
-    fn finish(self) -> SimOutcome<A> {
+    fn finish(mut self) -> SimOutcome<A> {
+        // Materialise the well-known counters so "observed zero" shows up
+        // in exports even on runs that never exercised a protocol path.
+        for name in [
+            counter::ENVELOPES_SENT,
+            counter::ENVELOPES_RECEIVED,
+            counter::FRAGMENTS_RETIRED,
+            counter::RETRANSMITS,
+            counter::CHECKSUM_MISMATCHES,
+            counter::HEAL_EVENTS,
+            counter::FRAGMENTS_RESENT,
+        ] {
+            self.spans.count(name, 0);
+        }
         let fault = self.fault.as_ref();
         let hosts: Vec<HostMetrics> = self
             .hosts
@@ -1432,6 +1749,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             metrics,
             app: self.app,
             trace: self.tracer,
+            spans: self.spans,
         }
     }
 }
@@ -1564,7 +1882,11 @@ mod tests {
         let rdma_out = SimRing::new(
             small_config(hosts),
             payloads(hosts, 2, 4 << 20),
-            FixedCostApp::new(hosts, SimDuration::from_millis(1), SimDuration::from_millis(5)),
+            FixedCostApp::new(
+                hosts,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(5),
+            ),
         )
         .run();
         assert_eq!(
@@ -1769,10 +2091,19 @@ mod tests {
     #[test]
     fn quiet_plan_reports_zero_fault_counters() {
         let hosts = 4;
-        let classic = SimRing::new(small_config(hosts), payloads(hosts, 3, 1 << 20), fixed_app(hosts)).run();
-        let reliable = SimRing::new(small_config(hosts), payloads(hosts, 3, 1 << 20), fixed_app(hosts))
-            .with_fault_plan(FaultPlan::seeded(9))
-            .run();
+        let classic = SimRing::new(
+            small_config(hosts),
+            payloads(hosts, 3, 1 << 20),
+            fixed_app(hosts),
+        )
+        .run();
+        let reliable = SimRing::new(
+            small_config(hosts),
+            payloads(hosts, 3, 1 << 20),
+            fixed_app(hosts),
+        )
+        .with_fault_plan(FaultPlan::seeded(9))
+        .run();
         assert!(reliable.metrics.fault_free(), "{:?}", reliable.metrics);
         assert_eq!(reliable.metrics.fragments_completed, 12);
         assert_eq!(reliable.app.processed, classic.app.processed);
@@ -1800,10 +2131,17 @@ mod tests {
         // Every fragment still completes a logical full revolution: the
         // successor absorbed the dead host's role, and origin re-sends
         // replaced whatever died in H2's buffers.
-        assert_eq!(out.metrics.fragments_completed, 8, "trace:\n{:?}", out.trace);
+        assert_eq!(
+            out.metrics.fragments_completed, 8,
+            "trace:\n{:?}",
+            out.trace
+        );
         assert_eq!(out.metrics.heal_events, 1);
         assert!(out.metrics.detection_latency > SimDuration::ZERO);
-        assert!(out.metrics.total_retransmits() > 0, "death is detected via timeouts");
+        assert!(
+            out.metrics.total_retransmits() > 0,
+            "death is detected via timeouts"
+        );
         assert!(out.trace.matching("confirmed dead").count() >= 1);
         assert!(out.trace.matching("absorbed role").count() >= 1);
         assert!(out.metrics.hosts[2].fragments_processed < 8);
@@ -1836,7 +2174,10 @@ mod tests {
         assert_eq!(out.metrics.fragments_completed, 12);
         assert_eq!(out.app.processed, vec![12; hosts]);
         assert!(out.metrics.hosts[0].retransmits > 0);
-        assert_eq!(out.metrics.heal_events, 0, "losses alone must not kill hosts");
+        assert_eq!(
+            out.metrics.heal_events, 0,
+            "losses alone must not kill hosts"
+        );
     }
 
     #[test]
@@ -1848,7 +2189,11 @@ mod tests {
             .with_fault_plan(plan)
             .run();
         assert_eq!(out.metrics.fragments_completed, 12);
-        assert!(out.metrics.hosts[2].checksum_mismatches > 0, "{:?}", out.metrics);
+        assert!(
+            out.metrics.hosts[2].checksum_mismatches > 0,
+            "{:?}",
+            out.metrics
+        );
         assert!(out.metrics.hosts[1].retransmits > 0);
     }
 
@@ -1860,13 +2205,21 @@ mod tests {
             SimTime::from_nanos(2_000_000),
             SimDuration::from_millis(40),
         );
-        let quiet = SimRing::new(small_config(hosts), payloads(hosts, 2, 1 << 20), fixed_app(hosts))
-            .with_fault_plan(FaultPlan::seeded(0))
-            .run();
-        let out = SimRing::new(small_config(hosts), payloads(hosts, 2, 1 << 20), fixed_app(hosts))
-            .with_fault_plan(plan)
-            .with_trace(true)
-            .run();
+        let quiet = SimRing::new(
+            small_config(hosts),
+            payloads(hosts, 2, 1 << 20),
+            fixed_app(hosts),
+        )
+        .with_fault_plan(FaultPlan::seeded(0))
+        .run();
+        let out = SimRing::new(
+            small_config(hosts),
+            payloads(hosts, 2, 1 << 20),
+            fixed_app(hosts),
+        )
+        .with_fault_plan(plan)
+        .with_trace(true)
+        .run();
         assert_eq!(out.metrics.fragments_completed, 6);
         assert_eq!(out.app.processed, vec![6; hosts]);
         // The NIC keeps acknowledging while the software is frozen, so the
@@ -1886,10 +2239,14 @@ mod tests {
     fn straggler_slowdown_stretches_the_join_phase() {
         let hosts = 3;
         let run = |plan: FaultPlan| {
-            SimRing::new(small_config(hosts), payloads(hosts, 3, 1 << 20), fixed_app(hosts))
-                .with_fault_plan(plan)
-                .run()
-                .metrics
+            SimRing::new(
+                small_config(hosts),
+                payloads(hosts, 3, 1 << 20),
+                fixed_app(hosts),
+            )
+            .with_fault_plan(plan)
+            .run()
+            .metrics
         };
         let quiet = run(FaultPlan::seeded(0));
         let slow = run(FaultPlan::seeded(0).slow_host(HostId(1), 0.25));
@@ -1905,9 +2262,13 @@ mod tests {
     fn delay_spikes_are_absorbed() {
         let hosts = 3;
         let plan = FaultPlan::seeded(3).delay_spikes(HostId(0), 0.5, SimDuration::from_millis(1));
-        let out = SimRing::new(small_config(hosts), payloads(hosts, 3, 1 << 20), fixed_app(hosts))
-            .with_fault_plan(plan)
-            .run();
+        let out = SimRing::new(
+            small_config(hosts),
+            payloads(hosts, 3, 1 << 20),
+            fixed_app(hosts),
+        )
+        .with_fault_plan(plan)
+        .run();
         assert_eq!(out.metrics.fragments_completed, 9);
         assert_eq!(out.app.processed, vec![9; hosts]);
     }
@@ -1932,5 +2293,139 @@ mod tests {
         let _ = SimRing::new(small_config(1), payloads(1, 1, 1024), fixed_app(1))
             .with_fault_plan(plan)
             .run();
+    }
+
+    // ------------------------------------------------------------------
+    // Structured span tracing
+    // ------------------------------------------------------------------
+
+    use simnet::span::{counter, SpanKind};
+
+    #[test]
+    fn traced_run_reconciles_spans_with_metrics() {
+        let hosts = 3;
+        let per_host = 2;
+        let out = SimRing::new(
+            small_config(hosts),
+            payloads(hosts, per_host, 1 << 20),
+            fixed_app(hosts),
+        )
+        .with_trace(true)
+        .run();
+        assert!(out.spans.is_enabled());
+        // Span totals must reconcile *exactly*: both sides are bookkept in
+        // virtual time from the same event sites.
+        for (h, m) in out.metrics.hosts.iter().enumerate() {
+            assert_eq!(
+                out.spans.total(h, SpanKind::Setup),
+                m.setup,
+                "host {h} setup"
+            );
+            assert_eq!(out.spans.busy_total(h), m.join_busy, "host {h} join_busy");
+            assert_eq!(out.spans.total(h, SpanKind::Sync), m.sync, "host {h} sync");
+        }
+        let c = out.spans.counters();
+        assert_eq!(
+            c.get(counter::FRAGMENTS_RETIRED) as usize,
+            out.metrics.fragments_completed
+        );
+        // Every fragment crosses hosts-1 wires, each crossing received once.
+        assert_eq!(
+            c.get(counter::ENVELOPES_SENT) as usize,
+            out.metrics.fragments_completed * (hosts - 1)
+        );
+        assert_eq!(
+            c.get(counter::ENVELOPES_SENT),
+            c.get(counter::ENVELOPES_RECEIVED)
+        );
+        assert_eq!(c.get(counter::RETRANSMITS), 0);
+        assert_eq!(c.get(counter::HEAL_EVENTS), 0);
+        // Every join span carries a hop annotation within the ring size.
+        for s in out
+            .spans
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Join)
+        {
+            assert!(
+                matches!(s.hop, Some(h) if h < hosts),
+                "join span without hop: {s:?}"
+            );
+        }
+        let json = out.spans.to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn untraced_run_keeps_spans_disabled() {
+        let hosts = 2;
+        let out = SimRing::new(
+            small_config(hosts),
+            payloads(hosts, 1, 1 << 20),
+            fixed_app(hosts),
+        )
+        .run();
+        assert!(!out.spans.is_enabled());
+        assert!(out.spans.spans().is_empty());
+        assert!(out.spans.events().is_empty());
+    }
+
+    #[test]
+    fn traced_lossy_run_reconciles_protocol_counters() {
+        let hosts = 3;
+        let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.3);
+        let cfg = small_config(hosts).with_ack_timeout(SimDuration::from_millis(5));
+        let out = SimRing::new(cfg, payloads(hosts, 4, 1 << 20), fixed_app(hosts))
+            .with_fault_plan(plan)
+            .with_trace(true)
+            .run();
+        let c = out.spans.counters();
+        assert_eq!(c.get(counter::RETRANSMITS), out.metrics.total_retransmits());
+        assert!(c.get(counter::RETRANSMITS) > 0);
+        assert!(out.spans.count_events("retransmit") > 0);
+        assert_eq!(
+            c.get(counter::FRAGMENTS_RETIRED) as usize,
+            out.metrics.fragments_completed
+        );
+        // join_busy is incremented at the same sites that emit Join/Absorb
+        // spans, so busy totals stay exact even under faults.
+        for (h, m) in out.metrics.hosts.iter().enumerate() {
+            assert_eq!(out.spans.busy_total(h), m.join_busy, "host {h} join_busy");
+        }
+    }
+
+    #[test]
+    fn traced_heal_run_records_absorb_and_heal_events() {
+        let hosts = 4;
+        let plan = FaultPlan::seeded(5).crash_host(HostId(2), SimTime::from_nanos(5_000_000));
+        let cfg = small_config(hosts)
+            .with_ack_timeout(SimDuration::from_millis(5))
+            .with_max_retransmits(3);
+        let out = SimRing::new(cfg, payloads(hosts, 2, 1 << 20), fixed_app(hosts))
+            .with_fault_plan(plan)
+            .with_trace(true)
+            .run();
+        let c = out.spans.counters();
+        assert_eq!(
+            c.get(counter::HEAL_EVENTS) as usize,
+            out.metrics.heal_events
+        );
+        assert_eq!(
+            c.get(counter::FRAGMENTS_RESENT) as usize,
+            out.metrics.fragments_resent
+        );
+        assert!(out.spans.count_events("heal:") >= 1);
+        // The successor's absorb shows up as an Absorb span (zero-duration
+        // here: FixedCostApp absorbs for free), and its join_busy — which
+        // includes the absorb cost — still reconciles.
+        assert!(out
+            .spans
+            .spans()
+            .iter()
+            .any(|s| s.kind == SpanKind::Absorb && s.host == 3));
+        for (h, m) in out.metrics.hosts.iter().enumerate() {
+            assert_eq!(out.spans.busy_total(h), m.join_busy, "host {h} join_busy");
+        }
     }
 }

@@ -25,19 +25,138 @@
 //! receive, and timeout-driven retransmission with exponential backoff.
 //! Host crashes and pauses are *not* supported here (ring healing needs
 //! the simulator's virtual time); plans scheduling them are rejected.
+//!
+//! A worker dying mid-run — a panicking join callback, or a transfer that
+//! exhausts its retransmission budget — does **not** cascade panics across
+//! the thread scope: the failing worker returns a typed
+//! [`RingError::Teardown`], its channels close, every neighbor observes the
+//! closure and unwinds in turn (the teardown wave travels forward around
+//! the ring, so no thread is left blocked), and the run reports the *first*
+//! failure rather than the loudest.
+//!
+//! The traced variants ([`run_threaded_traced`],
+//! [`run_threaded_reliable_traced`]) additionally record a structured
+//! [`SpanTracer`]: per-host join/sync spans, per-hop envelope events and
+//! the unified counter registry, on the same wall-clock epoch the metrics
+//! use, so span totals reconcile with [`RingMetrics`] exactly.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError};
 use simnet::fault::FaultPlan;
-use simnet::time::SimDuration;
+use simnet::span::{counter, SpanKind, SpanTracer, Track};
+use simnet::time::{SimDuration, SimTime};
 use simnet::topology::HostId;
 
 use crate::config::RingConfig;
 use crate::envelope::{Envelope, FragmentId, PayloadBytes};
 use crate::error::RingError;
 use crate::metrics::{HostMetrics, RingMetrics};
+
+/// Root cause: the user-supplied `process` callback panicked.
+const CALLBACK_PANICKED: &str = "join callback panicked";
+/// Root cause: a transfer ran out of retransmission attempts.
+const BUDGET_EXHAUSTED: &str = "retransmission budget exhausted on a live ring — raise \
+                                ack_timeout or max_retransmits, or lower the loss rate";
+/// Cascade: a join entity's channels closed with fragments outstanding.
+const RING_CLOSED: &str = "ring closed while fragments were still outstanding";
+/// Cascade: the successor's buffer pool vanished under a transmitter.
+const POOL_CLOSED: &str = "successor dropped its receive pool early";
+/// Cascade: the successor's receiver thread exited mid-transfer.
+const RECEIVER_GONE: &str = "successor's receiver exited early";
+/// Cascade: a host's own transmitter exited before its join entity.
+const TX_GONE: &str = "transmitter exited early";
+/// A worker panicked outside the guarded callback (should not happen).
+const WORKER_PANICKED: &str = "ring worker panicked";
+
+/// Collects worker errors, preferring root causes (a panicking callback, an
+/// exhausted retransmission budget) over the channel-teardown cascade they
+/// provoke in the neighboring workers.
+#[derive(Default)]
+struct ErrorCollector {
+    root: Option<RingError>,
+    any: Option<RingError>,
+}
+
+impl ErrorCollector {
+    fn record(&mut self, err: RingError) {
+        let is_root = matches!(
+            err,
+            RingError::Teardown(m) if m == CALLBACK_PANICKED || m == BUDGET_EXHAUSTED
+        );
+        if is_root && self.root.is_none() {
+            self.root = Some(err.clone());
+        }
+        if self.any.is_none() {
+            self.any = Some(err);
+        }
+    }
+
+    fn first(self) -> Option<RingError> {
+        self.root.or(self.any)
+    }
+}
+
+/// Span recording shared by all worker threads of one traced run.
+///
+/// Offsets are measured from one epoch taken at ring start, so the spans of
+/// different hosts share a timeline and busy/sync span totals equal the
+/// `Duration` sums the metrics report (both read the same `Instant`s).
+struct SharedSpans {
+    epoch: Instant,
+    tracer: Mutex<SpanTracer>,
+}
+
+impl SharedSpans {
+    fn new() -> Self {
+        SharedSpans {
+            epoch: Instant::now(),
+            tracer: Mutex::new(SpanTracer::enabled()),
+        }
+    }
+
+    fn at(&self, instant: Instant) -> SimTime {
+        SimTime::from_nanos(
+            SimDuration::from(instant.saturating_duration_since(self.epoch)).as_nanos(),
+        )
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SpanTracer> {
+        // A panicking worker must not poison observability for the others.
+        self.tracer.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn span(
+        &self,
+        host: usize,
+        kind: SpanKind,
+        name: String,
+        start: Instant,
+        dur: Duration,
+        hop: Option<usize>,
+    ) {
+        let at = self.at(start);
+        self.lock()
+            .span_with_hop(host, kind, name, at, dur.into(), hop);
+    }
+
+    /// Records an instant event and bumps `counter_name` under one lock.
+    fn event(&self, host: usize, track: Track, name: String, counter_name: Option<&str>) {
+        let at = self.at(Instant::now());
+        let mut tracer = self.lock();
+        tracer.event(Some(host), track, name, at);
+        if let Some(counter_name) = counter_name {
+            tracer.count(counter_name, 1);
+        }
+    }
+
+    fn into_tracer(self) -> SpanTracer {
+        self.tracer.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
 
 /// Runs the ring on real threads. `fragments[h]` are host `h`'s local
 /// fragments; `process` is invoked once per (host, envelope) visit and may
@@ -59,17 +178,40 @@ use crate::metrics::{HostMetrics, RingMetrics};
 ///
 /// # Errors
 ///
-/// Returns [`RingError::Config`] for an invalid configuration and
-/// [`RingError::Shape`] when `fragments.len() != config.hosts`.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics.
+/// Returns [`RingError::Config`] for an invalid configuration,
+/// [`RingError::Shape`] when `fragments.len() != config.hosts`, and
+/// [`RingError::Teardown`] when a worker dies mid-run (e.g. the `process`
+/// callback panicked) — the error names the first failure, not the
+/// channel-closure cascade it provokes.
 pub fn run_threaded<P, F>(
     config: &RingConfig,
     fragments: Vec<Vec<P>>,
     process: F,
 ) -> Result<RingMetrics, RingError>
+where
+    P: PayloadBytes + Send,
+    F: Fn(HostId, &P) + Sync,
+{
+    run_threaded_traced(config, fragments, process, false).map(|(metrics, _)| metrics)
+}
+
+/// [`run_threaded`] plus a structured span trace of the run.
+///
+/// With `trace` set, every host records join/sync spans, per-hop envelope
+/// events and the unified counters (see [`simnet::span::counter`]); the
+/// returned [`SpanTracer`] exports Chrome trace-event JSON via
+/// [`SpanTracer::to_chrome_trace`]. With `trace` unset this is exactly
+/// [`run_threaded`] (and the returned tracer is empty and disabled).
+///
+/// # Errors
+///
+/// As for [`run_threaded`].
+pub fn run_threaded_traced<P, F>(
+    config: &RingConfig,
+    fragments: Vec<Vec<P>>,
+    process: F,
+    trace: bool,
+) -> Result<(RingMetrics, SpanTracer), RingError>
 where
     P: PayloadBytes + Send,
     F: Fn(HostId, &P) + Sync,
@@ -83,9 +225,13 @@ where
     }
     let n = config.hosts;
     let total: usize = fragments.iter().map(Vec::len).sum();
+    let shared = trace.then(SharedSpans::new);
+    let spans = shared.as_ref();
 
     if n == 1 {
-        return Ok(run_single_host(fragments, process));
+        let metrics = run_single_host(fragments, process, spans)?;
+        let tracer = finish_spans(shared, &metrics);
+        return Ok((metrics, tracer));
     }
 
     // ring_rx[h]: the receive buffer pool of host h.
@@ -102,7 +248,7 @@ where
     let forwarded: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let mut host_stats: Vec<Option<JoinStats>> = (0..n).map(|_| None).collect();
 
-    crossbeam::thread::scope(|scope| {
+    let first_error = crossbeam::thread::scope(|scope| {
         let mut join_handles = Vec::with_capacity(n);
         let mut tx_handles = Vec::with_capacity(n);
         for (h, (frags, (rx, next_tx))) in fragments
@@ -114,32 +260,58 @@ where
             let process = &process;
             let forwarded = &forwarded;
             join_handles.push(scope.spawn(move |_| {
-                join_entity(HostId(h), n, total, frags, rx, out_tx, process)
+                // On the classic path the buffer pool is the receiver, so
+                // the join entity records envelope arrivals itself.
+                join_entity(HostId(h), n, total, frags, rx, out_tx, process, spans, true)
             }));
-            tx_handles.push(scope.spawn(move |_| {
+            tx_handles.push(scope.spawn(move |_| -> Result<(), RingError> {
                 // Transmitter: forward processed envelopes, honoring the
                 // successor's buffer credit via the bounded channel.
                 for env in out_rx.iter() {
                     forwarded[h].fetch_add(env.bytes(), Ordering::Relaxed);
-                    next_tx
-                        .send(env)
-                        .expect("successor dropped its receive pool early");
+                    if let Some(s) = spans {
+                        s.event(
+                            h,
+                            Track::Transmitter,
+                            format!("send {}", env.id),
+                            Some(counter::ENVELOPES_SENT),
+                        );
+                    }
+                    if next_tx.send(env).is_err() {
+                        // The successor's join entity died and dropped its
+                        // pool: surface a typed error, don't panic.
+                        return Err(RingError::Teardown(POOL_CLOSED));
+                    }
                 }
                 // Dropping next_tx closes the successor's pool.
+                Ok(())
             }));
         }
+        let mut errors = ErrorCollector::default();
         for (h, handle) in join_handles.into_iter().enumerate() {
-            host_stats[h] = Some(handle.join().expect("join thread panicked"));
+            match handle.join() {
+                Ok(Ok(stats)) => host_stats[h] = Some(stats),
+                Ok(Err(err)) => errors.record(err),
+                Err(_) => errors.record(RingError::Teardown(WORKER_PANICKED)),
+            }
         }
         for handle in tx_handles {
-            handle.join().expect("transmitter thread panicked");
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(err)) => errors.record(err),
+                Err(_) => errors.record(RingError::Teardown(WORKER_PANICKED)),
+            }
         }
+        errors.first()
     })
     .expect("ring thread scope panicked");
+    if let Some(err) = first_error {
+        return Err(err);
+    }
 
     let hosts: Vec<HostMetrics> = host_stats
         .into_iter()
-        .map(Option::unwrap)
+        .map(|s| s.expect("error-free run has stats for every host"))
         .enumerate()
         .map(|(h, s)| s.into_metrics(config, forwarded[h].load(Ordering::Relaxed), 0, 0))
         .collect();
@@ -148,12 +320,14 @@ where
         .map(|h| h.join_window)
         .max()
         .unwrap_or(SimDuration::ZERO);
-    Ok(RingMetrics {
+    let metrics = RingMetrics {
         hosts,
         wall_clock: wall,
         fragments_completed: total,
         ..RingMetrics::default()
-    })
+    };
+    let tracer = finish_spans(shared, &metrics);
+    Ok((metrics, tracer))
 }
 
 /// Runs the ring on real threads over an unreliable medium described by
@@ -188,22 +362,42 @@ where
 /// # Errors
 ///
 /// Returns [`RingError::Config`] / [`RingError::Shape`] as
-/// [`run_threaded`] does, and [`RingError::UnsupportedFault`] when the
-/// plan schedules host crashes or pauses — those need the simulated
-/// backend's virtual time and ring healing.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics, or if a transfer exhausts the
-/// retransmission budget (`max_retransmits`) — on this backend every host
-/// is alive, so an exhausted budget means the timeout is too tight or the
-/// loss rate too high to ever succeed.
+/// [`run_threaded`] does, [`RingError::UnsupportedFault`] when the plan
+/// schedules host crashes or pauses (those need the simulated backend's
+/// virtual time and ring healing), and [`RingError::Teardown`] when a
+/// worker dies mid-run or a transfer exhausts its retransmission budget
+/// (`max_retransmits`) — on this backend every host is alive, so an
+/// exhausted budget means the timeout is too tight or the loss rate too
+/// high to ever succeed.
 pub fn run_threaded_reliable<P, F>(
     config: &RingConfig,
     plan: &FaultPlan,
     fragments: Vec<Vec<P>>,
     process: F,
 ) -> Result<RingMetrics, RingError>
+where
+    P: PayloadBytes + Send + Clone,
+    F: Fn(HostId, &P) + Sync,
+{
+    run_threaded_reliable_traced(config, plan, fragments, process, false)
+        .map(|(metrics, _)| metrics)
+}
+
+/// [`run_threaded_reliable`] plus a structured span trace of the run.
+///
+/// Adds to the classic trace: retransmission and checksum-mismatch events
+/// on the transmitter/receiver tracks, counted in the unified registry.
+///
+/// # Errors
+///
+/// As for [`run_threaded_reliable`].
+pub fn run_threaded_reliable_traced<P, F>(
+    config: &RingConfig,
+    plan: &FaultPlan,
+    fragments: Vec<Vec<P>>,
+    process: F,
+    trace: bool,
+) -> Result<(RingMetrics, SpanTracer), RingError>
 where
     P: PayloadBytes + Send + Clone,
     F: Fn(HostId, &P) + Sync,
@@ -222,9 +416,13 @@ where
     }
     let n = config.hosts;
     let total: usize = fragments.iter().map(Vec::len).sum();
+    let shared = trace.then(SharedSpans::new);
+    let spans = shared.as_ref();
 
     if n == 1 {
-        return Ok(run_single_host(fragments, process));
+        let metrics = run_single_host(fragments, process, spans)?;
+        let tracer = finish_spans(shared, &metrics);
+        return Ok((metrics, tracer));
     }
 
     // Per-hop channels, indexed by the *sending* host h of the hop
@@ -262,7 +460,7 @@ where
     let ack_timeout = Duration::from_secs_f64(config.ack_timeout.as_secs_f64());
     let max_retransmits = config.max_retransmits;
 
-    crossbeam::thread::scope(|scope| {
+    let first_error = crossbeam::thread::scope(|scope| {
         let mut join_handles = Vec::with_capacity(n);
         let mut aux_handles = Vec::with_capacity(2 * n);
         let iter = fragments
@@ -278,7 +476,19 @@ where
             let retransmits = &retransmits;
             let mismatches = &mismatches;
             join_handles.push(scope.spawn(move |_| {
-                join_entity(HostId(h), n, total, frags, prx, out_tx, process)
+                // The dedicated receiver thread records arrivals here, so
+                // the join entity must not double-count them.
+                join_entity(
+                    HostId(h),
+                    n,
+                    total,
+                    frags,
+                    prx,
+                    out_tx,
+                    process,
+                    spans,
+                    false,
+                )
             }));
             aux_handles.push(scope.spawn(move |_| {
                 reliable_transmitter(
@@ -291,24 +501,39 @@ where
                     arx,
                     &forwarded[h],
                     &retransmits[h],
-                );
+                    spans,
+                )
             }));
             aux_handles.push(scope.spawn(move |_| {
-                reliable_receiver(wrx, atx, ptx, &mismatches[h]);
+                reliable_receiver(HostId(h), wrx, atx, ptx, &mismatches[h], spans);
+                Ok(())
             }));
         }
+        let mut errors = ErrorCollector::default();
         for (h, handle) in join_handles.into_iter().enumerate() {
-            host_stats[h] = Some(handle.join().expect("join thread panicked"));
+            match handle.join() {
+                Ok(Ok(stats)) => host_stats[h] = Some(stats),
+                Ok(Err(err)) => errors.record(err),
+                Err(_) => errors.record(RingError::Teardown(WORKER_PANICKED)),
+            }
         }
         for handle in aux_handles {
-            handle.join().expect("transport thread panicked");
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(err)) => errors.record(err),
+                Err(_) => errors.record(RingError::Teardown(WORKER_PANICKED)),
+            }
         }
+        errors.first()
     })
     .expect("ring thread scope panicked");
+    if let Some(err) = first_error {
+        return Err(err);
+    }
 
     let hosts: Vec<HostMetrics> = host_stats
         .into_iter()
-        .map(Option::unwrap)
+        .map(|s| s.expect("error-free run has stats for every host"))
         .enumerate()
         .map(|(h, s)| {
             s.into_metrics(
@@ -324,12 +549,40 @@ where
         .map(|h| h.join_window)
         .max()
         .unwrap_or(SimDuration::ZERO);
-    Ok(RingMetrics {
+    let metrics = RingMetrics {
         hosts,
         wall_clock: wall,
         fragments_completed: total,
         ..RingMetrics::default()
-    })
+    };
+    let tracer = finish_spans(shared, &metrics);
+    Ok((metrics, tracer))
+}
+
+/// Closes out a traced run: materialises every well-known counter — the
+/// heal ones are always zero on this backend (healing needs the
+/// simulator), and a classic run never retransmits — so trace consumers
+/// see them observed rather than missing, and hands the tracer out of its
+/// mutex.
+fn finish_spans(shared: Option<SharedSpans>, metrics: &RingMetrics) -> SpanTracer {
+    match shared {
+        None => SpanTracer::disabled(),
+        Some(shared) => {
+            let mut tracer = shared.into_tracer();
+            for name in [
+                counter::ENVELOPES_SENT,
+                counter::ENVELOPES_RECEIVED,
+                counter::FRAGMENTS_RETIRED,
+                counter::RETRANSMITS,
+                counter::CHECKSUM_MISMATCHES,
+            ] {
+                tracer.count(name, 0);
+            }
+            tracer.count(counter::HEAL_EVENTS, metrics.heal_events as u64);
+            tracer.count(counter::FRAGMENTS_RESENT, metrics.fragments_resent as u64);
+            tracer
+        }
+    }
 }
 
 /// Stop-and-wait sender side of one reliable hop.
@@ -344,7 +597,9 @@ fn reliable_transmitter<P>(
     ack_rx: crossbeam::channel::Receiver<u64>,
     forwarded: &AtomicU64,
     retransmits: &AtomicU64,
-) where
+    spans: Option<&SharedSpans>,
+) -> Result<(), RingError>
+where
     P: PayloadBytes + Send + Clone,
 {
     let mut next_seq = 0u64;
@@ -353,6 +608,14 @@ fn reliable_transmitter<P>(
         env.seq = next_seq;
         let seq = next_seq;
         let mut attempt = 1u32;
+        if let Some(s) = spans {
+            s.event(
+                host.0,
+                Track::Transmitter,
+                format!("send {}", env.id),
+                Some(counter::ENVELOPES_SENT),
+            );
+        }
         loop {
             let dropped = plan.should_drop(host, seq, attempt);
             let corrupt = !dropped && plan.should_corrupt(host, seq, attempt);
@@ -366,9 +629,9 @@ fn reliable_transmitter<P>(
                     std::thread::sleep(Duration::from_secs_f64(spike.as_secs_f64()));
                 }
                 forwarded.fetch_add(copy.bytes(), Ordering::Relaxed);
-                wire_tx
-                    .send(copy)
-                    .expect("successor's receiver exited early");
+                if wire_tx.send(copy).is_err() {
+                    return Err(RingError::Teardown(RECEIVER_GONE));
+                }
             }
             // Await the ack with exponential backoff on retries. Stale acks
             // (duplicate re-acks of earlier transfers) are drained silently.
@@ -381,31 +644,40 @@ fn reliable_transmitter<P>(
                     Ok(_) => continue,
                     Err(RecvTimeoutError::Timeout) => break false,
                     Err(RecvTimeoutError::Disconnected) => {
-                        panic!("successor's receiver exited with a transfer unacknowledged")
+                        return Err(RingError::Teardown(RECEIVER_GONE));
                     }
                 }
             };
             if acked {
                 break;
             }
-            assert!(
-                attempt <= max_retransmits,
-                "retransmission budget exhausted on a live ring — raise ack_timeout \
-                 or max_retransmits, or lower the loss rate"
-            );
+            if attempt > max_retransmits {
+                return Err(RingError::Teardown(BUDGET_EXHAUSTED));
+            }
             attempt += 1;
             retransmits.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = spans {
+                s.event(
+                    host.0,
+                    Track::Transmitter,
+                    format!("retransmit {} attempt {}", env.id, attempt),
+                    Some(counter::RETRANSMITS),
+                );
+            }
         }
     }
     // Dropping wire_tx closes the successor's receiver.
+    Ok(())
 }
 
 /// Receiver side of one reliable hop: the NIC in front of the buffer pool.
 fn reliable_receiver<P>(
+    host: HostId,
     wire_rx: crossbeam::channel::Receiver<Envelope<P>>,
     ack_tx: crossbeam::channel::Sender<u64>,
     pool_tx: crossbeam::channel::Sender<Envelope<P>>,
     mismatches: &AtomicU64,
+    spans: Option<&SharedSpans>,
 ) where
     P: PayloadBytes + Send,
 {
@@ -415,18 +687,42 @@ fn reliable_receiver<P>(
             // Corrupted in flight: count it and stay silent — the sender's
             // timeout turns the silence into a retransmission.
             mismatches.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = spans {
+                s.event(
+                    host.0,
+                    Track::Receiver,
+                    format!("checksum mismatch {}", env.id),
+                    Some(counter::CHECKSUM_MISMATCHES),
+                );
+            }
             continue;
         }
         if env.seq <= last_seq {
             // Duplicate of an already delivered transfer (its ack raced the
             // sender's timeout): re-ack, do not deliver twice.
             let _ = ack_tx.send(env.seq);
+            if let Some(s) = spans {
+                s.event(
+                    host.0,
+                    Track::Receiver,
+                    format!("duplicate {}", env.id),
+                    None,
+                );
+            }
             continue;
         }
         last_seq = env.seq;
         // Ack before depositing: receipt is acknowledged at the NIC even
         // when the buffer pool exerts backpressure on the wire.
         let _ = ack_tx.send(env.seq);
+        if let Some(s) = spans {
+            s.event(
+                host.0,
+                Track::Receiver,
+                format!("recv {}", env.id),
+                Some(counter::ENVELOPES_RECEIVED),
+            );
+        }
         if pool_tx.send(env).is_err() {
             break;
         }
@@ -470,6 +766,7 @@ impl JoinStats {
 }
 
 /// The join entity of one host.
+#[allow(clippy::too_many_arguments)]
 fn join_entity<P, F>(
     host: HostId,
     ring_size: usize,
@@ -478,7 +775,9 @@ fn join_entity<P, F>(
     rx: crossbeam::channel::Receiver<Envelope<P>>,
     out_tx: crossbeam::channel::Sender<Envelope<P>>,
     process: &F,
-) -> JoinStats
+    spans: Option<&SharedSpans>,
+    record_receives: bool,
+) -> Result<JoinStats, RingError>
 where
     P: PayloadBytes + Send,
     F: Fn(HostId, &P) + Sync,
@@ -495,44 +794,96 @@ where
     while processed < total {
         // Prefer received envelopes: popping them frees buffer elements
         // and keeps the ring moving.
-        let mut env = match rx.try_recv() {
-            Ok(env) => env,
+        let (mut env, received) = match rx.try_recv() {
+            Ok(env) => (env, true),
             Err(TryRecvError::Empty) => match backlog.pop_front() {
-                Some(env) => env,
+                Some(env) => (env, false),
                 None => {
                     let wait = Instant::now();
-                    let env = rx
-                        .recv()
-                        .expect("ring closed while fragments were still outstanding");
-                    sync += wait.elapsed();
-                    env
+                    let Ok(env) = rx.recv() else {
+                        return Err(RingError::Teardown(RING_CLOSED));
+                    };
+                    let waited = wait.elapsed();
+                    sync += waited;
+                    if let Some(s) = spans {
+                        s.span(
+                            host.0,
+                            SpanKind::Sync,
+                            "sync".to_string(),
+                            wait,
+                            waited,
+                            None,
+                        );
+                    }
+                    (env, true)
                 }
             },
-            Err(TryRecvError::Disconnected) => backlog
-                .pop_front()
-                .expect("ring closed while fragments were still outstanding"),
+            Err(TryRecvError::Disconnected) => match backlog.pop_front() {
+                Some(env) => (env, false),
+                None => return Err(RingError::Teardown(RING_CLOSED)),
+            },
         };
+        if received && record_receives {
+            if let Some(s) = spans {
+                s.event(
+                    host.0,
+                    Track::Receiver,
+                    format!("recv {}", env.id),
+                    Some(counter::ENVELOPES_RECEIVED),
+                );
+            }
+        }
+        let hop = ring_size.saturating_sub(env.hops_remaining);
         let t = Instant::now();
-        process(host, &env.payload);
-        busy += t.elapsed();
+        // Guard the user callback: a panic inside it must become a typed
+        // teardown error, not a poisoned scope and a panic storm.
+        let outcome = catch_unwind(AssertUnwindSafe(|| process(host, &env.payload)));
+        let spent = t.elapsed();
+        busy += spent;
+        if outcome.is_err() {
+            return Err(RingError::Teardown(CALLBACK_PANICKED));
+        }
         processed += 1;
+        if let Some(s) = spans {
+            s.span(
+                host.0,
+                SpanKind::Join,
+                format!("join {}", env.id),
+                t,
+                spent,
+                Some(hop),
+            );
+        }
         if env.consume_hop() {
-            out_tx.send(env).expect("transmitter exited early");
+            if out_tx.send(env).is_err() {
+                return Err(RingError::Teardown(TX_GONE));
+            }
+        } else if let Some(s) = spans {
+            s.event(
+                host.0,
+                Track::Join,
+                format!("retired {}", env.id),
+                Some(counter::FRAGMENTS_RETIRED),
+            );
         }
     }
     // Closing the outgoing queue lets the transmitter finish and close the
     // successor's pool in turn.
     drop(out_tx);
-    JoinStats {
+    Ok(JoinStats {
         busy,
         sync,
         window: started.elapsed(),
         processed,
-    }
+    })
 }
 
 /// Degenerate single-host "ring": process the backlog locally.
-fn run_single_host<P, F>(fragments: Vec<Vec<P>>, process: F) -> RingMetrics
+fn run_single_host<P, F>(
+    fragments: Vec<Vec<P>>,
+    process: F,
+    spans: Option<&SharedSpans>,
+) -> Result<RingMetrics, RingError>
 where
     P: PayloadBytes + Send,
     F: Fn(HostId, &P) + Sync,
@@ -542,8 +893,28 @@ where
     let mut processed = 0usize;
     for payload in fragments.into_iter().flatten() {
         let t = Instant::now();
-        process(HostId(0), &payload);
-        busy += t.elapsed();
+        let outcome = catch_unwind(AssertUnwindSafe(|| process(HostId(0), &payload)));
+        let spent = t.elapsed();
+        busy += spent;
+        if outcome.is_err() {
+            return Err(RingError::Teardown(CALLBACK_PANICKED));
+        }
+        if let Some(s) = spans {
+            s.span(
+                0,
+                SpanKind::Join,
+                format!("join F{processed}"),
+                t,
+                spent,
+                Some(0),
+            );
+            s.event(
+                0,
+                Track::Join,
+                format!("retired F{processed}"),
+                Some(counter::FRAGMENTS_RETIRED),
+            );
+        }
         processed += 1;
     }
     let host = HostMetrics {
@@ -556,12 +927,12 @@ where
         bytes_forwarded: 0,
         ..HostMetrics::default()
     };
-    RingMetrics {
+    Ok(RingMetrics {
         hosts: vec![host],
         wall_clock: started.elapsed().into(),
         fragments_completed: processed,
         ..RingMetrics::default()
-    }
+    })
 }
 
 #[cfg(test)]
@@ -588,7 +959,10 @@ mod tests {
         for c in &counts {
             assert_eq!(c.load(Ordering::SeqCst), 12);
         }
-        assert_eq!(metrics.total_bytes_forwarded() as usize, 12 * 64 * (hosts - 1));
+        assert_eq!(
+            metrics.total_bytes_forwarded() as usize,
+            12 * 64 * (hosts - 1)
+        );
         assert!(metrics.fault_free());
     }
 
@@ -654,16 +1028,136 @@ mod tests {
 
     #[test]
     fn invalid_config_is_a_typed_error() {
-        let err = run_threaded(&RingConfig::paper(0), vec![], |_: HostId, _: &Vec<u8>| {})
-            .unwrap_err();
+        let err =
+            run_threaded(&RingConfig::paper(0), vec![], |_: HostId, _: &Vec<u8>| {}).unwrap_err();
         assert!(matches!(err, RingError::Config(_)));
     }
 
     #[test]
     fn shape_mismatch_is_a_typed_error() {
-        let err =
-            run_threaded(&RingConfig::paper(3), payloads(2, 1, 8), |_, _| {}).unwrap_err();
-        assert_eq!(err, RingError::Shape { expected: 3, got: 2 });
+        let err = run_threaded(&RingConfig::paper(3), payloads(2, 1, 8), |_, _| {}).unwrap_err();
+        assert_eq!(
+            err,
+            RingError::Shape {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    /// Regression: a panicking join callback used to unwind its worker
+    /// thread, close its channels and turn every neighbor's teardown
+    /// `expect` into a cascading panic across the scope. It must surface
+    /// as one typed [`RingError::Teardown`] naming the root cause.
+    #[test]
+    fn panicking_callback_surfaces_as_teardown_error() {
+        let hosts = 3;
+        let result = run_threaded(&RingConfig::paper(hosts), payloads(hosts, 2, 16), |h, _| {
+            if h.0 == 1 {
+                panic!("worker exploded");
+            }
+        });
+        match result {
+            Err(RingError::Teardown(msg)) => assert_eq!(msg, CALLBACK_PANICKED),
+            other => panic!("expected a teardown error, got {other:?}"),
+        }
+    }
+
+    /// Same premature-close regression on the reliable transport: the
+    /// receiver/transmitter threads observe the closed channels and return
+    /// typed errors instead of panicking on their sends.
+    #[test]
+    fn reliable_panicking_callback_surfaces_as_teardown_error() {
+        let hosts = 3;
+        let cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(20));
+        let result = run_threaded_reliable(
+            &cfg,
+            &FaultPlan::seeded(5),
+            payloads(hosts, 2, 16),
+            |h, _| {
+                if h.0 == 2 {
+                    panic!("worker exploded");
+                }
+            },
+        );
+        match result {
+            Err(RingError::Teardown(msg)) => assert_eq!(msg, CALLBACK_PANICKED),
+            other => panic!("expected a teardown error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_host_panicking_callback_is_typed_too() {
+        let result = run_threaded(&RingConfig::paper(1), payloads(1, 2, 8), |_, _| {
+            panic!("worker exploded");
+        });
+        assert_eq!(result.unwrap_err(), RingError::Teardown(CALLBACK_PANICKED));
+    }
+
+    #[test]
+    fn traced_run_reconciles_with_metrics() {
+        let hosts = 3;
+        let (metrics, spans) = run_threaded_traced(
+            &RingConfig::paper(hosts),
+            payloads(hosts, 3, 64),
+            |_, _| std::thread::sleep(Duration::from_micros(200)),
+            true,
+        )
+        .unwrap();
+        assert!(spans.is_enabled());
+        for (h, host) in metrics.hosts.iter().enumerate() {
+            assert_eq!(
+                spans.total(h, SpanKind::Join),
+                host.join_busy,
+                "host {h}: join span total must equal join_busy"
+            );
+            assert_eq!(
+                spans.total(h, SpanKind::Sync),
+                host.sync,
+                "host {h}: sync span total must equal sync"
+            );
+        }
+        assert_eq!(
+            spans.counters().get(counter::FRAGMENTS_RETIRED),
+            metrics.fragments_completed as u64
+        );
+        // Each envelope is sent (hosts-1) times around the ring.
+        assert_eq!(
+            spans.counters().get(counter::ENVELOPES_SENT),
+            (metrics.fragments_completed * (hosts - 1)) as u64
+        );
+        assert_eq!(
+            spans.counters().get(counter::ENVELOPES_SENT),
+            spans.counters().get(counter::ENVELOPES_RECEIVED)
+        );
+        assert_eq!(spans.counters().get(counter::HEAL_EVENTS), 0);
+    }
+
+    #[test]
+    fn untraced_run_returns_a_disabled_tracer() {
+        let (metrics, spans) =
+            run_threaded_traced(&RingConfig::paper(2), payloads(2, 2, 8), |_, _| {}, false)
+                .unwrap();
+        assert_eq!(metrics.fragments_completed, 4);
+        assert!(!spans.is_enabled());
+        assert!(spans.spans().is_empty());
+    }
+
+    #[test]
+    fn reliable_traced_run_counts_retransmits() {
+        let hosts = 3;
+        let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.4);
+        let cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(20));
+        let (metrics, spans) =
+            run_threaded_reliable_traced(&cfg, &plan, payloads(hosts, 4, 32), |_, _| {}, true)
+                .unwrap();
+        assert_eq!(metrics.fragments_completed, 12);
+        assert_eq!(
+            spans.counters().get(counter::RETRANSMITS),
+            metrics.total_retransmits(),
+            "traced retransmit events must match the metrics"
+        );
+        assert!(spans.count_events("retransmit") > 0);
     }
 
     #[test]
@@ -683,7 +1177,10 @@ mod tests {
         for c in &counts {
             assert_eq!(c.load(Ordering::SeqCst), 9);
         }
-        assert!(metrics.fault_free(), "quiet plan must report zero fault counters");
+        assert!(
+            metrics.fault_free(),
+            "quiet plan must report zero fault counters"
+        );
     }
 
     #[test]
@@ -729,8 +1226,7 @@ mod tests {
     #[test]
     fn delay_spikes_do_not_lose_envelopes() {
         let hosts = 3;
-        let plan =
-            FaultPlan::seeded(3).delay_spikes(HostId(1), 0.5, SimDuration::from_micros(200));
+        let plan = FaultPlan::seeded(3).delay_spikes(HostId(1), 0.5, SimDuration::from_micros(200));
         let metrics = run_threaded_reliable(
             &RingConfig::paper(hosts),
             &plan,
@@ -744,13 +1240,8 @@ mod tests {
     #[test]
     fn crash_plans_are_rejected() {
         let plan = FaultPlan::seeded(0).crash_host(HostId(1), SimTime::from_nanos(1));
-        let err = run_threaded_reliable(
-            &RingConfig::paper(3),
-            &plan,
-            payloads(3, 1, 8),
-            |_, _| {},
-        )
-        .unwrap_err();
+        let err = run_threaded_reliable(&RingConfig::paper(3), &plan, payloads(3, 1, 8), |_, _| {})
+            .unwrap_err();
         assert!(matches!(err, RingError::UnsupportedFault(_)));
     }
 }

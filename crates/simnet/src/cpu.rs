@@ -230,7 +230,10 @@ mod tests {
         acc.charge(CostCategory::Compute, SimDuration::from_millis(30));
         acc.charge(CostCategory::DataCopy, SimDuration::from_millis(50));
         acc.charge(CostCategory::DataCopy, SimDuration::from_millis(10));
-        assert_eq!(acc.busy(CostCategory::DataCopy), SimDuration::from_millis(60));
+        assert_eq!(
+            acc.busy(CostCategory::DataCopy),
+            SimDuration::from_millis(60)
+        );
         assert_eq!(acc.total_busy(), SimDuration::from_millis(90));
         assert_eq!(acc.overhead(), SimDuration::from_millis(60));
     }

@@ -99,7 +99,10 @@ impl<E> Simulation<E> {
     /// Removes and returns the next event, advancing the clock to its due time.
     pub fn step(&mut self) -> Option<E> {
         let (time, event) = self.queue.pop()?;
-        debug_assert!(time >= self.now, "event queue produced an out-of-order event");
+        debug_assert!(
+            time >= self.now,
+            "event queue produced an out-of-order event"
+        );
         self.now = time;
         self.processed += 1;
         if let Some(limit) = self.limit {

@@ -224,8 +224,7 @@ impl FaultPlan {
     pub fn delay_spike(&self, from: HostId, seq: u64, attempt: u32) -> SimDuration {
         match self.link(from) {
             Some(l) if l.delay_probability > 0.0 => {
-                if unit_f64(self.decision(from, seq, attempt, Channel::Delay))
-                    < l.delay_probability
+                if unit_f64(self.decision(from, seq, attempt, Channel::Delay)) < l.delay_probability
                 {
                     l.delay_spike
                 } else {
@@ -330,7 +329,9 @@ mod tests {
         let plan = FaultPlan::seeded(3)
             .lossy_link(HostId(0), 0.5)
             .corrupt_link(HostId(0), 0.5);
-        let drops: Vec<bool> = (0..128).map(|s| plan.should_drop(HostId(0), s, 1)).collect();
+        let drops: Vec<bool> = (0..128)
+            .map(|s| plan.should_drop(HostId(0), s, 1))
+            .collect();
         let corrupts: Vec<bool> = (0..128)
             .map(|s| plan.should_corrupt(HostId(0), s, 1))
             .collect();
@@ -342,18 +343,19 @@ mod tests {
         // A transfer dropped on attempt 1 must not be doomed forever:
         // retransmissions get fresh decisions.
         let plan = FaultPlan::seeded(5).lossy_link(HostId(0), 0.5);
-        let survives = (0..64).any(|seq| {
-            plan.should_drop(HostId(0), seq, 1) && !plan.should_drop(HostId(0), seq, 2)
-        });
+        let survives = (0..64)
+            .any(|seq| plan.should_drop(HostId(0), seq, 1) && !plan.should_drop(HostId(0), seq, 2));
         assert!(survives, "some retransmission must get through");
     }
 
     #[test]
     fn crash_and_pause_schedules_are_queryable() {
         let t = SimTime::from_nanos(1_000);
-        let plan = FaultPlan::seeded(0)
-            .crash_host(HostId(3), t)
-            .pause_host(HostId(1), t, SimDuration::from_millis(2));
+        let plan = FaultPlan::seeded(0).crash_host(HostId(3), t).pause_host(
+            HostId(1),
+            t,
+            SimDuration::from_millis(2),
+        );
         assert_eq!(plan.crash_time(HostId(3)), Some(t));
         assert_eq!(plan.crash_time(HostId(1)), None);
         assert_eq!(plan.crashes().len(), 1);

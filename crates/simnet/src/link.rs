@@ -188,7 +188,11 @@ mod tests {
         let mut link = test_link();
         let fwd = link.reserve(SimTime::ZERO, Direction::Forward, 1_000_000);
         let bwd = link.reserve(SimTime::ZERO, Direction::Backward, 1_000);
-        assert_eq!(bwd.start, SimTime::ZERO, "backward dir must not queue behind forward");
+        assert_eq!(
+            bwd.start,
+            SimTime::ZERO,
+            "backward dir must not queue behind forward"
+        );
         assert!(bwd.arrival < fwd.arrival);
     }
 

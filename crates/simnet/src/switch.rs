@@ -9,7 +9,6 @@
 //! hops directly); with an oversubscribed backplane, hops contend — this
 //! module makes that distinction testable.
 
-
 use crate::link::Reservation;
 use crate::throughput::{Bandwidth, ChunkThroughput};
 use crate::time::{SimDuration, SimTime};
@@ -63,8 +62,7 @@ impl SwitchFabric {
     /// every port at full rate simultaneously.
     pub fn non_blocking(ports: usize) -> Self {
         let model = ChunkThroughput::paper_10gbe();
-        let aggregate =
-            Bandwidth::from_bytes_per_sec(model.peak().bytes_per_sec() * ports as f64);
+        let aggregate = Bandwidth::from_bytes_per_sec(model.peak().bytes_per_sec() * ports as f64);
         SwitchFabric::new(ports, model, SimDuration::from_micros(5), aggregate)
     }
 
@@ -80,9 +78,8 @@ impl SwitchFabric {
             "oversubscription factor must be in (0, 1], got {factor}"
         );
         let model = ChunkThroughput::paper_10gbe();
-        let aggregate = Bandwidth::from_bytes_per_sec(
-            model.peak().bytes_per_sec() * ports as f64 * factor,
-        );
+        let aggregate =
+            Bandwidth::from_bytes_per_sec(model.peak().bytes_per_sec() * ports as f64 * factor);
         SwitchFabric::new(ports, model, SimDuration::from_micros(5), aggregate)
     }
 
@@ -106,7 +103,10 @@ impl SwitchFabric {
     ///
     /// Panics if either port index is out of range or `from == to`.
     pub fn reserve(&mut self, now: SimTime, from: HostId, to: HostId, bytes: u64) -> Reservation {
-        assert!(from.0 < self.ports && to.0 < self.ports, "port out of range");
+        assert!(
+            from.0 < self.ports && to.0 < self.ports,
+            "port out of range"
+        );
         assert_ne!(from, to, "a host does not switch traffic to itself");
         let wire = self.port_model.transfer_time(bytes);
 
@@ -146,12 +146,7 @@ pub fn ring_hop_completion(fabric: &mut SwitchFabric, bytes: u64) -> SimDuration
     let ports = fabric.ports();
     let mut latest = SimTime::ZERO;
     for p in 0..ports {
-        let r = fabric.reserve(
-            SimTime::ZERO,
-            HostId(p),
-            HostId((p + 1) % ports),
-            bytes,
-        );
+        let r = fabric.reserve(SimTime::ZERO, HostId(p), HostId((p + 1) % ports), bytes);
         latest = latest.max(r.arrival);
     }
     latest.saturating_duration_since(SimTime::ZERO)
@@ -169,8 +164,8 @@ mod tests {
         let mut fabric = SwitchFabric::non_blocking(6);
         let bytes = 16 << 20;
         let completion = ring_hop_completion(&mut fabric, bytes);
-        let direct = ChunkThroughput::paper_10gbe().transfer_time(bytes)
-            + SimDuration::from_micros(5);
+        let direct =
+            ChunkThroughput::paper_10gbe().transfer_time(bytes) + SimDuration::from_micros(5);
         let ratio = completion.as_secs_f64() / direct.as_secs_f64();
         assert!(
             (0.99..1.30).contains(&ratio),

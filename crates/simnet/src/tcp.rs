@@ -117,7 +117,10 @@ impl TcpModel {
         let mut acc = CpuAccount::new();
         let base = self.cycles_per_byte * bytes as f64;
         let f = self.fractions;
-        acc.charge(CostCategory::DataCopy, spec.cycles_to_time(base * f.data_copy));
+        acc.charge(
+            CostCategory::DataCopy,
+            spec.cycles_to_time(base * f.data_copy),
+        );
         acc.charge(
             CostCategory::NetworkStack,
             spec.cycles_to_time(base * f.network_stack),
@@ -173,7 +176,10 @@ mod tests {
         // Figure 3: data copying is roughly half the total cost and larger
         // than every other single category.
         let copy = acc.fraction(CostCategory::DataCopy);
-        assert!((copy - 0.5).abs() < 0.02, "copy fraction ≈ 50 %, got {copy}");
+        assert!(
+            (copy - 0.5).abs() < 0.02,
+            "copy fraction ≈ 50 %, got {copy}"
+        );
         for c in [
             CostCategory::NetworkStack,
             CostCategory::ContextSwitch,

@@ -200,13 +200,19 @@ mod tests {
         // Figure 5: tiny chunks crawl, ~4 kB chunks are on the saturation
         // knee, ≥ 1 MB chunks saturate the 10 Gb/s link.
         let model = ChunkThroughput::paper_10gbe();
-        assert!(model.utilization(1) < 0.01, "1 B chunks must be far from peak");
+        assert!(
+            model.utilization(1) < 0.01,
+            "1 B chunks must be far from peak"
+        );
         let at_4k = model.utilization(4 << 10);
         assert!(
             (0.3..0.8).contains(&at_4k),
             "4 kB should sit on the knee of the curve, got {at_4k}"
         );
-        assert!(model.utilization(1 << 20) > 0.99, "1 MB chunks must saturate");
+        assert!(
+            model.utilization(1 << 20) > 0.99,
+            "1 MB chunks must saturate"
+        );
     }
 
     #[test]

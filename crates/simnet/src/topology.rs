@@ -11,9 +11,7 @@ use crate::link::{Direction, Link, Reservation};
 use crate::time::SimTime;
 
 /// Identifier of a host in the ring, `0 .. n`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct HostId(pub usize);
 
 impl std::fmt::Display for HostId {

@@ -87,7 +87,9 @@ impl Tracer {
 
     /// Records whose message contains `needle`.
     pub fn matching<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
-        self.records.iter().filter(move |r| r.message.contains(needle))
+        self.records
+            .iter()
+            .filter(move |r| r.message.contains(needle))
     }
 
     /// Number of records whose message contains `needle` (shorthand for

@@ -146,8 +146,12 @@ mod tests {
     #[test]
     fn rdma_cost_scales_with_messages_not_bytes() {
         let spec = CpuSpec::paper_xeon();
-        let few = TransportModel::rdma().comm_cpu(spec, 1 << 30, 10).total_busy();
-        let many = TransportModel::rdma().comm_cpu(spec, 1 << 30, 1000).total_busy();
+        let few = TransportModel::rdma()
+            .comm_cpu(spec, 1 << 30, 10)
+            .total_busy();
+        let many = TransportModel::rdma()
+            .comm_cpu(spec, 1 << 30, 1000)
+            .total_busy();
         assert!(many > few);
         assert!(many < SimDuration::from_millis(1));
     }

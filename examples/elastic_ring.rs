@@ -48,7 +48,10 @@ fn main() -> Result<(), PlanError> {
     println!("9 hosts (grown):    {count9} matches in {t9:.3}s");
 
     for count in [count6, count5, count9] {
-        assert_eq!(count, reference.count, "membership change altered the result");
+        assert_eq!(
+            count, reference.count,
+            "membership change altered the result"
+        );
     }
     println!("\nall three ring sizes produced the identical, verified join result");
     Ok(())

@@ -30,7 +30,11 @@ fn main() -> Result<(), PlanError> {
     let report = CycloJoin::new(r, s).hosts(6).run()?;
     println!("\n{}", report.render());
 
-    assert_eq!(report.match_count(), reference.count, "match count mismatch");
+    assert_eq!(
+        report.match_count(),
+        reference.count,
+        "match count mismatch"
+    );
     assert_eq!(report.checksum(), reference.checksum, "checksum mismatch");
     println!(
         "verified: distributed result equals the single-host reference ({} matches)",

@@ -66,7 +66,10 @@ fn main() -> Result<(), PlanError> {
         seq_seconds += report.total_seconds();
         seq_bytes += report.ring.total_bytes_forwarded();
     }
-    println!("\nsequential (3 revolutions): {seq_seconds:.3}s, {} MB forwarded", seq_bytes >> 20);
+    println!(
+        "\nsequential (3 revolutions): {seq_seconds:.3}s, {} MB forwarded",
+        seq_bytes >> 20
+    );
     println!(
         "\nshared rotation moved {:.1}× less data over the network",
         seq_bytes as f64 / batch.bytes_forwarded() as f64

@@ -16,3 +16,17 @@ for bin in fig3_cpu_breakdown fig5_chunk_throughput fig7_hash_fixed \
   echo "================================================================"
   "./target/release/$bin"
 done
+
+# Smoke-test the observability layer: one exhibit re-run with tracing,
+# leaving a Chrome trace-event profile next to the CSVs.
+echo
+echo "================================================================"
+echo "== traced exhibit (fig11_smj_scaleup --trace)"
+echo "================================================================"
+./target/release/fig11_smj_scaleup --trace crates/bench/results/fig11_trace.json
+python3 - <<'EOF' 2>/dev/null || head -c 80 crates/bench/results/fig11_trace.json
+import json
+with open("crates/bench/results/fig11_trace.json") as f:
+    trace = json.load(f)
+print(f"[trace] valid JSON, {len(trace['traceEvents'])} events")
+EOF

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, full test suite, and a warning-free clippy
-# pass over every target (benches, examples, tests included).
+# Tier-1 verification: build, full test suite, a warning-free clippy
+# pass over every target (benches, examples, tests included), and a
+# formatting check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+cargo fmt --check

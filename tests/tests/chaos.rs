@@ -29,7 +29,12 @@ fn chaos_config(hosts: usize) -> RingConfig {
 /// Join-event totals can never exceed one per (fragment, role) pair:
 /// the exactly-once ledger, read off the public metrics.
 fn assert_exactly_once(report: &CycloJoinReport) {
-    let role_visits: usize = report.ring.hosts.iter().map(|h| h.fragments_processed).sum();
+    let role_visits: usize = report
+        .ring
+        .hosts
+        .iter()
+        .map(|h| h.fragments_processed)
+        .sum();
     let ceiling = report.ring.fragments_completed * report.hosts;
     assert!(
         role_visits <= ceiling,
@@ -50,8 +55,10 @@ fn crash_at_fraction(frac: f64) {
     let revolution = baseline.total_seconds() - baseline.setup_seconds();
     let crash_at = baseline.setup_seconds() + frac * revolution;
 
-    let plan = FaultPlan::seeded(4242)
-        .crash_host(HostId(3), SimTime::ZERO + SimDuration::from_secs_f64(crash_at));
+    let plan = FaultPlan::seeded(4242).crash_host(
+        HostId(3),
+        SimTime::ZERO + SimDuration::from_secs_f64(crash_at),
+    );
     let report = CycloJoin::new(r, s)
         .ring(chaos_config(6))
         .fault_plan(plan)
@@ -61,7 +68,10 @@ fn crash_at_fraction(frac: f64) {
     assert_eq!(report.match_count(), reference.count, "crash at {frac}");
     assert_eq!(report.checksum(), reference.checksum, "crash at {frac}");
     assert_eq!(report.heal_events(), 1, "exactly one host died");
-    assert!(report.retransmits() > 0, "death detection retransmits first");
+    assert!(
+        report.retransmits() > 0,
+        "death detection retransmits first"
+    );
     assert!(report.detection_latency_seconds() > 0.0);
     assert!(!report.fault_free());
     assert_exactly_once(&report);
@@ -111,7 +121,10 @@ fn corrupted_envelopes_are_caught_by_checksums() {
         .expect("corrupted hops should be retransmitted");
     assert_eq!(report.match_count(), reference.count);
     assert_eq!(report.checksum(), reference.checksum);
-    assert!(report.checksum_mismatches() > 0, "the receiver must catch corruption");
+    assert!(
+        report.checksum_mismatches() > 0,
+        "the receiver must catch corruption"
+    );
     assert!(report.retransmits() > 0, "a corrupted hop is retried");
     assert_eq!(report.heal_events(), 0);
     assert_exactly_once(&report);
@@ -126,8 +139,8 @@ fn paused_host_resumes_without_being_declared_dead() {
         .ring(chaos_config(4))
         .run()
         .expect("baseline should run");
-    let mid = baseline.setup_seconds()
-        + 0.5 * (baseline.total_seconds() - baseline.setup_seconds());
+    let mid =
+        baseline.setup_seconds() + 0.5 * (baseline.total_seconds() - baseline.setup_seconds());
 
     let plan = FaultPlan::seeded(99).pause_host(
         HostId(2),
@@ -142,7 +155,11 @@ fn paused_host_resumes_without_being_declared_dead() {
 
     assert_eq!(report.match_count(), reference.count);
     assert_eq!(report.checksum(), reference.checksum);
-    assert_eq!(report.heal_events(), 0, "a pause must never be treated as a crash");
+    assert_eq!(
+        report.heal_events(),
+        0,
+        "a pause must never be treated as a crash"
+    );
     assert!(
         report.total_seconds() > baseline.total_seconds(),
         "a mid-revolution stall must show up in the wall clock"
@@ -202,10 +219,8 @@ fn disabled_faults_leave_the_baseline_untouched() {
 fn chaos_runs_are_reproducible() {
     let (r, s) = inputs();
     let run = || {
-        let plan = FaultPlan::seeded(4242).crash_host(
-            HostId(3),
-            SimTime::ZERO + SimDuration::from_millis(60),
-        );
+        let plan = FaultPlan::seeded(4242)
+            .crash_host(HostId(3), SimTime::ZERO + SimDuration::from_millis(60));
         CycloJoin::new(r.clone(), s.clone())
             .ring(chaos_config(6))
             .fault_plan(plan)
@@ -224,8 +239,8 @@ fn chaos_runs_are_reproducible() {
 #[test]
 fn fault_plans_are_validated_before_running() {
     let (r, s) = inputs();
-    let plan = FaultPlan::seeded(1)
-        .crash_host(HostId(9), SimTime::ZERO + SimDuration::from_millis(1));
+    let plan =
+        FaultPlan::seeded(1).crash_host(HostId(9), SimTime::ZERO + SimDuration::from_millis(1));
     let err = CycloJoin::new(r, s)
         .ring(chaos_config(4))
         .fault_plan(plan)

@@ -14,7 +14,11 @@ fn mixed_algorithm_queries_on_one_rotation() {
     let band = JoinPredicate::band(2);
     let report = DataCyclotron::new(hot.clone())
         .hosts(4)
-        .submit(QueryArrival::equi(SimDuration::ZERO, HostId(0), s_hash.clone()))
+        .submit(QueryArrival::equi(
+            SimDuration::ZERO,
+            HostId(0),
+            s_hash.clone(),
+        ))
         .submit(QueryArrival {
             at: SimDuration::from_millis(2),
             home: HostId(3),
@@ -53,7 +57,11 @@ fn cyclotron_runs_are_deterministic() {
         let s = GenSpec::uniform(800, 1321).generate();
         let report = DataCyclotron::new(hot)
             .hosts(3)
-            .submit(QueryArrival::equi(SimDuration::from_millis(1), HostId(2), s))
+            .submit(QueryArrival::equi(
+                SimDuration::from_millis(1),
+                HostId(2),
+                s,
+            ))
             .run()
             .expect("cyclotron should run");
         (
@@ -72,7 +80,11 @@ fn later_arrivals_never_complete_before_earlier_identical_ones() {
     let report = DataCyclotron::new(hot)
         .hosts(4)
         .submit(QueryArrival::equi(SimDuration::ZERO, HostId(0), s.clone()))
-        .submit(QueryArrival::equi(SimDuration::from_millis(30), HostId(0), s))
+        .submit(QueryArrival::equi(
+            SimDuration::from_millis(30),
+            HostId(0),
+            s,
+        ))
         .run()
         .expect("cyclotron should run");
     assert!(report.queries[1].completed >= report.queries[0].completed);

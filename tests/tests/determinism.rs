@@ -9,12 +9,11 @@ fn identical_inputs_produce_identical_virtual_metrics() {
     let run = || {
         let r = GenSpec::uniform(3_000, 400).generate();
         let s = GenSpec::uniform(3_000, 401).generate();
-        let report = CycloJoin::new(r, s).hosts(5).run().expect("plan should run");
-        (
-            report.ring.clone(),
-            report.match_count(),
-            report.checksum(),
-        )
+        let report = CycloJoin::new(r, s)
+            .hosts(5)
+            .run()
+            .expect("plan should run");
+        (report.ring.clone(), report.match_count(), report.checksum())
     };
     let a = run();
     let b = run();
@@ -61,7 +60,11 @@ fn different_seeds_produce_different_data_and_results() {
     let run = |seed: u64| {
         let r = GenSpec::uniform(2_000, seed).generate();
         let s = GenSpec::uniform(2_000, seed + 1).generate();
-        CycloJoin::new(r, s).hosts(3).run().expect("plan should run").checksum()
+        CycloJoin::new(r, s)
+            .hosts(3)
+            .run()
+            .expect("plan should run")
+            .checksum()
     };
     assert_ne!(run(420), run(520));
 }

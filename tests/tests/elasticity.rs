@@ -31,8 +31,16 @@ fn join_survives_any_single_host_failure() {
             .hosts(hosts - 1)
             .run()
             .expect("plan should run");
-        assert_eq!(report.match_count(), reference.count, "failed host {failed}");
-        assert_eq!(report.checksum(), reference.checksum, "failed host {failed}");
+        assert_eq!(
+            report.match_count(),
+            reference.count,
+            "failed host {failed}"
+        );
+        assert_eq!(
+            report.checksum(),
+            reference.checksum,
+            "failed host {failed}"
+        );
     }
 }
 
@@ -48,7 +56,12 @@ fn repeated_failures_down_to_one_host() {
             .hosts(parts.len())
             .run()
             .expect("plan should run");
-        assert_eq!(report.match_count(), reference.count, "{} hosts", parts.len());
+        assert_eq!(
+            report.match_count(),
+            reference.count,
+            "{} hosts",
+            parts.len()
+        );
     }
 }
 
@@ -63,7 +76,10 @@ fn growing_the_ring_preserves_results_and_speeds_setup() {
         .expect("plan should run");
     let parts = rebalance(&s.split_even(2), 8).expect("eight hosts is a valid ring size");
     assert_eq!(parts.len(), 8);
-    let big = CycloJoin::new(r, merge(&parts)).hosts(8).run().expect("plan should run");
+    let big = CycloJoin::new(r, merge(&parts))
+        .hosts(8)
+        .run()
+        .expect("plan should run");
     assert_eq!(small.match_count(), reference.count);
     assert_eq!(big.match_count(), reference.count);
     assert!(

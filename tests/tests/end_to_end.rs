@@ -55,8 +55,16 @@ fn fragment_count_does_not_change_the_result() {
             .fragments_per_host(fragments)
             .run()
             .expect("plan should run");
-        assert_eq!(report.match_count(), reference.count, "fragments={fragments}");
-        assert_eq!(report.checksum(), reference.checksum, "fragments={fragments}");
+        assert_eq!(
+            report.match_count(),
+            reference.count,
+            "fragments={fragments}"
+        );
+        assert_eq!(
+            report.checksum(),
+            reference.checksum,
+            "fragments={fragments}"
+        );
     }
 }
 
@@ -110,7 +118,8 @@ fn swapped_materialized_matches_are_in_canonical_orientation() {
             "match {m:?} has a non-R left side"
         );
         assert!(
-            s.iter().any(|t| t.key == m.s_key && t.payload == m.s_payload),
+            s.iter()
+                .any(|t| t.key == m.s_key && t.payload == m.s_payload),
             "match {m:?} has a non-S right side"
         );
     }
@@ -159,7 +168,10 @@ fn empty_and_disjoint_inputs() {
     // Disjoint key ranges: no matches.
     let low = Relation::from_pairs((0..500u32).map(|k| (k, k as u64)));
     let high = Relation::from_pairs((10_000..10_500u32).map(|k| (k, k as u64)));
-    let report = CycloJoin::new(low, high).hosts(4).run().expect("plan should run");
+    let report = CycloJoin::new(low, high)
+        .hosts(4)
+        .run()
+        .expect("plan should run");
     assert_eq!(report.match_count(), 0);
 }
 

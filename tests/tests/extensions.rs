@@ -81,7 +81,10 @@ fn pipeline_then_concurrent_compose() {
 fn timeline_renders_a_real_run() {
     let r = GenSpec::uniform(5_000, 930).generate();
     let s = GenSpec::uniform(5_000, 931).generate();
-    let report = CycloJoin::new(r, s).hosts(4).run().expect("plan should run");
+    let report = CycloJoin::new(r, s)
+        .hosts(4)
+        .run()
+        .expect("plan should run");
     let rendered = render_timeline(&report.ring, 60);
     assert_eq!(rendered.lines().count(), 5, "4 host lanes + legend");
     for i in 0..4 {

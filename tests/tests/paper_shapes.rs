@@ -145,15 +145,24 @@ fn fig12_table1_shape_rdma_vs_tcp() {
     for threads in 1..=4 {
         let rdma = run(threads, false);
         let tcp = run(threads, true);
-        let gap = (tcp.join_seconds() + tcp.sync_seconds())
-            / (rdma.join_seconds() + rdma.sync_seconds());
-        assert!(gap > 1.0, "TCP must be slower at {threads} threads, gap {gap:.2}");
+        let gap =
+            (tcp.join_seconds() + tcp.sync_seconds()) / (rdma.join_seconds() + rdma.sync_seconds());
+        assert!(
+            gap > 1.0,
+            "TCP must be slower at {threads} threads, gap {gap:.2}"
+        );
         gaps.push(gap);
         if threads == 4 {
             let rdma_load = rdma.join_phase_cpu_load();
             let tcp_load = tcp.join_phase_cpu_load();
-            assert!(rdma_load > 0.95, "RDMA at 4 threads ≈ 100 %, got {rdma_load:.2}");
-            assert!(tcp_load < 0.95, "TCP must plateau below 100 %, got {tcp_load:.2}");
+            assert!(
+                rdma_load > 0.95,
+                "RDMA at 4 threads ≈ 100 %, got {rdma_load:.2}"
+            );
+            assert!(
+                tcp_load < 0.95,
+                "TCP must plateau below 100 %, got {tcp_load:.2}"
+            );
         }
         if threads == 1 {
             let rdma_load = rdma.join_phase_cpu_load();

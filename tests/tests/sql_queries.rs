@@ -53,19 +53,21 @@ fn three_way_sql_matches_a_manual_pipeline() {
     use relation::Tuple;
 
     let catalog = catalog();
-    let plan = parse(
-        "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key JOIN t ON s.key = t.key",
-    )
-    .unwrap();
+    let plan =
+        parse("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key JOIN t ON s.key = t.key").unwrap();
     let sql_count = execute(&plan, &catalog, 3).expect("query should run");
 
     let manual = JoinPipeline::new(catalog.get("r").unwrap().clone())
-        .join(catalog.get("s").unwrap().clone(), JoinPredicate::Equi, |m| {
-            Tuple::new(m.s_key, m.s_payload)
-        })
-        .join(catalog.get("t").unwrap().clone(), JoinPredicate::Equi, |m| {
-            Tuple::new(m.s_key, m.s_payload)
-        })
+        .join(
+            catalog.get("s").unwrap().clone(),
+            JoinPredicate::Equi,
+            |m| Tuple::new(m.s_key, m.s_payload),
+        )
+        .join(
+            catalog.get("t").unwrap().clone(),
+            JoinPredicate::Equi,
+            |m| Tuple::new(m.s_key, m.s_payload),
+        )
         .hosts(3)
         .run()
         .expect("pipeline should run");

@@ -1,0 +1,360 @@
+//! Round trip through the observability layer: run a plan with tracing
+//! enabled, export the Chrome trace-event JSON, parse it back with a
+//! small hand-rolled JSON reader (the workspace vendors no JSON crate),
+//! and reconcile the span totals against the run's `RingMetrics`.
+
+use cyclo_join::{CycloJoin, CycloJoinReport, FaultPlan, HostId};
+use relation::GenSpec;
+
+/// A minimal JSON value — just enough to read a trace-event file.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent parser over the full input; rejects trailing junk.
+fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {pos}", byte as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, text: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(text.as_bytes()) {
+        *pos += text.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = std::str::from_utf8(&bytes[*pos + 1..*pos + 5])
+                            .map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the emitter writes multi-byte
+                // characters raw).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("bad array separator {other:?}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            other => return Err(format!("bad object separator {other:?}")),
+        }
+    }
+}
+
+/// Exported `ts`/`dur` are microseconds; metrics are nanosecond-precise,
+/// so sums agree to well under a microsecond per host.
+const TOLERANCE_SECONDS: f64 = 1e-6;
+
+fn close(label: &str, got_micros: f64, want_seconds: f64) {
+    let got_seconds = got_micros / 1e6;
+    assert!(
+        (got_seconds - want_seconds).abs() < TOLERANCE_SECONDS,
+        "{label}: trace says {got_seconds}s, metrics say {want_seconds}s"
+    );
+}
+
+/// Parses the report's Chrome trace and reconciles every host's phase
+/// totals and the run-wide counters against `report.ring`.
+fn reconcile(report: &CycloJoinReport) {
+    let text = report.chrome_trace();
+    let root = parse_json(&text).expect("exported trace must be valid JSON");
+    assert_eq!(
+        root.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms"),
+        "trace must carry the display unit hint"
+    );
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("trace must hold a traceEvents array");
+    assert!(!events.is_empty(), "a traced run must export events");
+
+    // Sum complete-span durations per (host, category), in microseconds.
+    let mut sums: std::collections::HashMap<(u64, String), f64> = std::collections::HashMap::new();
+    let mut counters: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for event in events {
+        let ph = event.get("ph").and_then(Json::as_str).expect("ph");
+        match ph {
+            "X" => {
+                let pid = event.get("pid").and_then(Json::as_f64).expect("pid") as u64;
+                let cat = event.get("cat").and_then(Json::as_str).expect("cat");
+                let ts = event.get("ts").and_then(Json::as_f64).expect("ts");
+                let dur = event.get("dur").and_then(Json::as_f64).expect("dur");
+                assert!(ts >= 0.0 && dur >= 0.0, "spans must have sane timestamps");
+                *sums.entry((pid, cat.to_string())).or_default() += dur;
+            }
+            "C" => {
+                let name = event.get("name").and_then(Json::as_str).expect("name");
+                let value = event
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+                    .expect("counter value");
+                counters.insert(name.to_string(), value);
+            }
+            "i" | "M" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+
+    let phase = |host: usize, cat: &str| -> f64 {
+        sums.get(&(host as u64, cat.to_string()))
+            .copied()
+            .unwrap_or(0.0)
+    };
+    for (h, m) in report.ring.hosts.iter().enumerate() {
+        close(
+            &format!("host {h} setup"),
+            phase(h, "setup"),
+            m.setup.as_secs_f64(),
+        );
+        close(
+            &format!("host {h} busy"),
+            phase(h, "join") + phase(h, "absorb"),
+            m.join_busy.as_secs_f64(),
+        );
+        close(
+            &format!("host {h} sync"),
+            phase(h, "sync"),
+            m.sync.as_secs_f64(),
+        );
+    }
+
+    assert_eq!(
+        counters.get("fragments_retired").copied(),
+        Some(report.ring.fragments_completed as f64),
+        "retired-fragment counter must equal the metrics' completed count"
+    );
+    assert_eq!(
+        counters.get("retransmits").copied(),
+        Some(report.retransmits() as f64),
+        "retransmit counter must equal the metrics' total"
+    );
+}
+
+fn inputs(seed: u64) -> (relation::Relation, relation::Relation) {
+    (
+        GenSpec::uniform(3_000, seed).generate(),
+        GenSpec::uniform(3_000, seed + 1).generate(),
+    )
+}
+
+#[test]
+fn simulated_backend_trace_reconciles_with_metrics() {
+    let (r, s) = inputs(9300);
+    let report = CycloJoin::new(r, s)
+        .hosts(4)
+        .trace(true)
+        .run()
+        .expect("plan should run");
+    reconcile(&report);
+    assert!(
+        !report.revolution_summary().is_empty(),
+        "a traced run must render a per-hop revolution summary"
+    );
+}
+
+#[test]
+fn threaded_backend_trace_reconciles_with_metrics() {
+    let (r, s) = inputs(9400);
+    let report = CycloJoin::new(r, s)
+        .hosts(4)
+        .trace(true)
+        .run_threaded()
+        .expect("plan should run");
+    reconcile(&report);
+}
+
+#[test]
+fn faulted_trace_reports_protocol_counters() {
+    let (r, s) = inputs(9500);
+    let report = CycloJoin::new(r, s)
+        .hosts(4)
+        .fault_plan(FaultPlan::seeded(7).lossy_link(HostId(1), 0.25))
+        .trace(true)
+        .run()
+        .expect("faulted plan should still run");
+    assert!(
+        report.retransmits() > 0,
+        "a lossy link must force retransmissions"
+    );
+    reconcile(&report);
+}
+
+#[test]
+fn untraced_run_exports_an_empty_trace() {
+    let (r, s) = inputs(9600);
+    let report = CycloJoin::new(r, s)
+        .hosts(3)
+        .run()
+        .expect("plan should run");
+    let root = parse_json(&report.chrome_trace()).expect("even an empty trace is valid JSON");
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
+    assert!(events.is_empty(), "tracing off must export no events");
+}

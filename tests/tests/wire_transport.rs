@@ -34,29 +34,33 @@ fn ring_of_serialized_buffers_produces_the_reference_join() {
     let collectors: Vec<Mutex<JoinCollector>> = (0..hosts)
         .map(|_| Mutex::new(JoinCollector::aggregating()))
         .collect();
-    let metrics = run_threaded(&RingConfig::paper(hosts), fragments, |host, bytes: &Vec<u8>| {
-        // Every hop delivers a valid, uncorrupted wire buffer.
-        let fragment = decode(bytes).expect("wire buffer must decode at every hop");
-        let prepared = alg.prepare_fragment(&fragment, bits, 1);
-        let mut collector = collectors[host.0].lock().expect("collector lock");
-        alg.join(
-            &states[host.0],
-            &prepared,
-            &JoinPredicate::Equi,
-            1,
-            &mut collector,
-        );
-    })
+    let metrics = run_threaded(
+        &RingConfig::paper(hosts),
+        fragments,
+        |host, bytes: &Vec<u8>| {
+            // Every hop delivers a valid, uncorrupted wire buffer.
+            let fragment = decode(bytes).expect("wire buffer must decode at every hop");
+            let prepared = alg.prepare_fragment(&fragment, bits, 1);
+            let mut collector = collectors[host.0].lock().expect("collector lock");
+            alg.join(
+                &states[host.0],
+                &prepared,
+                &JoinPredicate::Equi,
+                1,
+                &mut collector,
+            );
+        },
+    )
     .expect("ring should run");
     assert_eq!(metrics.fragments_completed, hosts * 3);
 
-    let (count, checksum) = collectors.iter().fold(
-        (0u64, relation::Checksum::new()),
-        |(count, checksum), c| {
-            let c = c.lock().expect("collector lock");
-            (count + c.count(), checksum.combine(&c.checksum()))
-        },
-    );
+    let (count, checksum) =
+        collectors
+            .iter()
+            .fold((0u64, relation::Checksum::new()), |(count, checksum), c| {
+                let c = c.lock().expect("collector lock");
+                (count + c.count(), checksum.combine(&c.checksum()))
+            });
     assert_eq!(count, reference.count);
     assert_eq!(checksum, reference.checksum);
 }

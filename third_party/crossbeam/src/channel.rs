@@ -26,7 +26,10 @@ struct Shared<T> {
 
 /// Creates a channel holding at most `cap` in-flight messages.
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-    assert!(cap > 0, "rendezvous (zero-capacity) channels are not supported by the shim");
+    assert!(
+        cap > 0,
+        "rendezvous (zero-capacity) channels are not supported by the shim"
+    );
     with_capacity(Some(cap))
 }
 

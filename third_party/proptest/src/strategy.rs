@@ -22,7 +22,10 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
-        Map { inner: self, map: f }
+        Map {
+            inner: self,
+            map: f,
+        }
     }
 }
 
