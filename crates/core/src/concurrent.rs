@@ -239,13 +239,19 @@ impl RingApp<Relation> for MultiQueryApp {
     fn setup(&mut self, host: HostId) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for q in &mut self.queries {
-            let s = q.stationary_inputs[host.0]
-                .take()
-                .expect("setup called twice for one host");
+            // `RingApp::setup` has no error channel: a repeated or
+            // out-of-range setup is a driver bug, surfaced by the
+            // debug_assert and absorbed as a no-op in release.
+            let Some(s) = q.stationary_inputs.get_mut(host.0).and_then(Option::take) else {
+                debug_assert!(false, "setup called twice for host {}", host.0);
+                continue;
+            };
             let (state, d) = self
                 .compute
                 .setup_stationary(&q.algorithm, &s, q.bits, self.threads);
-            q.states[host.0] = Some(state);
+            if let Some(slot) = q.states.get_mut(host.0) {
+                *slot = Some(state);
+            }
             total += d;
         }
         total
@@ -267,19 +273,21 @@ impl RingApp<Relation> for MultiQueryApp {
         for q in &mut self.queries {
             let prepared: &PreparedFragment = match q.algorithm {
                 Algorithm::PartitionedHash(_) => {
-                    if let Some(idx) = partitioned.iter().position(|(b, _)| *b == q.bits) {
-                        &partitioned[idx].1
-                    } else {
-                        let (pf, d) = self.compute.prepare_fragment(
-                            &q.algorithm,
-                            fragment,
-                            q.bits,
-                            self.threads,
-                        );
-                        total += d;
-                        partitioned.push((q.bits, pf));
-                        &partitioned.last().expect("just pushed").1
-                    }
+                    let idx = match partitioned.iter().position(|(b, _)| *b == q.bits) {
+                        Some(idx) => idx,
+                        None => {
+                            let (pf, d) = self.compute.prepare_fragment(
+                                &q.algorithm,
+                                fragment,
+                                q.bits,
+                                self.threads,
+                            );
+                            total += d;
+                            partitioned.push((q.bits, pf));
+                            partitioned.len() - 1
+                        }
+                    };
+                    partitioned.get(idx).map_or(&plain, |(_, pf)| pf)
                 }
                 Algorithm::SortMerge => {
                     if sorted.is_none() {
@@ -292,18 +300,27 @@ impl RingApp<Relation> for MultiQueryApp {
                         total += d;
                         sorted = Some(pf);
                     }
-                    sorted.as_ref().expect("just filled")
+                    sorted.as_ref().unwrap_or(&plain)
                 }
                 Algorithm::NestedLoops => &plain,
             };
-            let state = q.states[host.0].as_ref().expect("setup ran first");
+            // Setup always precedes process on the ring; if a driver breaks
+            // that contract, skip the query rather than poison the run.
+            let Some(state) = q.states.get(host.0).and_then(Option::as_ref) else {
+                debug_assert!(false, "process before setup for host {}", host.0);
+                continue;
+            };
+            let Some(collector) = q.collectors.get_mut(host.0) else {
+                debug_assert!(false, "no collector for host {}", host.0);
+                continue;
+            };
             total += self.compute.join(
                 &q.algorithm,
                 state,
                 prepared,
                 &q.predicate,
                 self.threads,
-                &mut q.collectors[host.0],
+                collector,
             );
         }
         total

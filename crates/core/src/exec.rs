@@ -15,7 +15,11 @@ use simnet::span::{SpanKind, SpanTracer};
 use simnet::time::{SimDuration, SimTime};
 use simnet::trace::Tracer;
 use simnet::transport::TransportModel;
-use std::sync::Mutex;
+
+// The shim resolves to `std::sync::Mutex` in normal builds and to the
+// model checker's instrumented mutex under `--cfg loom`, so the threaded
+// execution path stays model-checkable end to end.
+use data_roundabout::sync::Mutex;
 
 use crate::compute::ComputeMode;
 use crate::distribute::Placement;
@@ -73,14 +77,28 @@ struct CycloApp {
 
 impl RingApp<PreparedFragment> for CycloApp {
     fn setup(&mut self, host: HostId) -> SimDuration {
-        let s = self.stationary_inputs[host.0]
-            .take()
-            .expect("setup called twice for one host");
+        // `RingApp` methods have no error channel: contract violations are
+        // surfaced by debug_asserts and absorbed as no-ops in release.
+        let Some(s) = self
+            .stationary_inputs
+            .get_mut(host.0)
+            .and_then(Option::take)
+        else {
+            debug_assert!(false, "setup called twice for host {}", host.0);
+            return SimDuration::ZERO;
+        };
         let (state, build) =
             self.compute
                 .setup_stationary(&self.algorithm, &s, self.radix_bits, self.threads);
-        self.states[host.0] = Some(state);
-        build + self.setup_extra[host.0]
+        if let Some(slot) = self.states.get_mut(host.0) {
+            *slot = Some(state);
+        }
+        build
+            + self
+                .setup_extra
+                .get(host.0)
+                .copied()
+                .unwrap_or(SimDuration::ZERO)
     }
 
     fn process(
@@ -89,9 +107,14 @@ impl RingApp<PreparedFragment> for CycloApp {
         _now: simnet::time::SimTime,
         fragment: &PreparedFragment,
     ) -> SimDuration {
-        let state = self.states[host.0]
-            .as_ref()
-            .expect("process before setup completed");
+        let Some(state) = self.states.get(host.0).and_then(Option::as_ref) else {
+            debug_assert!(false, "process before setup completed on host {}", host.0);
+            return SimDuration::ZERO;
+        };
+        let Some(collector) = self.collectors.get_mut(host.0) else {
+            debug_assert!(false, "no collector for host {}", host.0);
+            return SimDuration::ZERO;
+        };
         if !self.ship_prepared {
             // Raw shipping: the paper's §IV-D counterfactual. The fragment
             // arrives unorganized and must be partitioned/sorted here,
@@ -109,7 +132,7 @@ impl RingApp<PreparedFragment> for CycloApp {
                     &prepared,
                     &self.predicate,
                     self.threads,
-                    &mut self.collectors[host.0],
+                    collector,
                 );
                 return d_prep + d_join;
             }
@@ -120,7 +143,7 @@ impl RingApp<PreparedFragment> for CycloApp {
             fragment,
             &self.predicate,
             self.threads,
-            &mut self.collectors[host.0],
+            collector,
         )
     }
 
@@ -148,17 +171,25 @@ impl RingApp<PreparedFragment> for CycloApp {
             }
         }
         let frag = reprepared.as_ref().unwrap_or(fragment);
+        let Some(collector) = self.collectors.get_mut(host.0) else {
+            debug_assert!(false, "no collector for host {}", host.0);
+            return total;
+        };
         for &role in roles {
-            let state = self.states[role]
-                .as_ref()
-                .expect("join against a role whose stationary state is absent");
+            let Some(state) = self.states.get(role).and_then(Option::as_ref) else {
+                debug_assert!(
+                    false,
+                    "join against role {role} whose stationary state is absent"
+                );
+                continue;
+            };
             total += self.compute.join(
                 &self.algorithm,
                 state,
                 frag,
                 &self.predicate,
                 self.threads,
-                &mut self.collectors[host.0],
+                collector,
             );
         }
         total
@@ -166,13 +197,24 @@ impl RingApp<PreparedFragment> for CycloApp {
 
     fn absorb(&mut self, _survivor: HostId, failed: HostId) -> SimDuration {
         // Ring healing: rebuild the orphaned role's stationary state on the
-        // survivor, priced like the original setup of that share.
-        let share = crate::recovery::takeover(&self.stationary_raw, failed.0)
-            .expect("ring healing needs the raw stationary partitions of a multi-host ring");
+        // survivor, priced like the original setup of that share. A missing
+        // share means the raw partitions were not retained (a driver bug —
+        // they are kept whenever a fault plan exists); the role's state then
+        // stays absent and the result checksum verification downstream
+        // reports the loss.
+        let Ok(share) = crate::recovery::takeover(&self.stationary_raw, failed.0) else {
+            debug_assert!(
+                false,
+                "ring healing needs the raw stationary partitions of a multi-host ring"
+            );
+            return SimDuration::ZERO;
+        };
         let (state, d) =
             self.compute
                 .setup_stationary(&self.algorithm, &share, self.radix_bits, self.threads);
-        self.states[failed.0] = Some(state);
+        if let Some(slot) = self.states.get_mut(failed.0) {
+            *slot = Some(state);
+        }
         d
     }
 }
@@ -190,19 +232,21 @@ fn prepare_all(
     ship_prepared: bool,
 ) -> (Vec<Vec<PreparedFragment>>, Vec<SimDuration>) {
     let mut fragments = Vec::with_capacity(placement.rotating.len());
-    let mut prep = vec![SimDuration::ZERO; placement.rotating.len()];
-    for (h, host_frags) in placement.rotating.iter().enumerate() {
+    let mut prep = Vec::with_capacity(placement.rotating.len());
+    for host_frags in &placement.rotating {
         let mut prepared = Vec::with_capacity(host_frags.len());
+        let mut host_prep = SimDuration::ZERO;
         for frag in host_frags {
             if ship_prepared {
                 let (pf, d) = compute.prepare_fragment(algorithm, frag, radix_bits, threads);
-                prep[h] += d;
+                host_prep += d;
                 prepared.push(pf);
             } else {
                 prepared.push(PreparedFragment::Plain(frag.clone()));
             }
         }
         fragments.push(prepared);
+        prep.push(host_prep);
     }
     (fragments, prep)
 }
@@ -322,10 +366,10 @@ pub(crate) fn execute_threaded(
 
     let mut states = Vec::with_capacity(config.hosts);
     let mut setup_times = Vec::with_capacity(config.hosts);
-    for (h, s) in placement.stationary.iter().enumerate() {
+    for (s, p) in placement.stationary.iter().zip(&prep) {
         let (state, d) = compute.setup_stationary(&algorithm, s, radix_bits, threads);
         states.push(state);
-        setup_times.push(d + prep[h]);
+        setup_times.push(d + *p);
     }
 
     let collectors: Vec<Mutex<JoinCollector>> = (0..config.hosts)
@@ -340,13 +384,18 @@ pub(crate) fn execute_threaded(
         .collect();
 
     let join_visit = |host: HostId, frag: &PreparedFragment| {
+        let (Some(shared_collector), Some(state)) = (collectors.get(host.0), states.get(host.0))
+        else {
+            debug_assert!(false, "join visit for unknown host {}", host.0);
+            return;
+        };
         // A join that panicked on this host poisons the collector; recover
         // the inner value so concurrent joins keep collecting while the
         // ring tears down with a typed error instead of a panic storm.
-        let mut collector = collectors[host.0]
+        let mut collector = shared_collector
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        algorithm.join(&states[host.0], frag, &predicate, threads, &mut collector);
+        algorithm.join(state, frag, &predicate, threads, &mut collector);
     };
     let (mut metrics, mut ring_spans) = match fault_plan {
         Some(plan) => data_roundabout::run_threaded_reliable_traced(
@@ -368,7 +417,9 @@ pub(crate) fn execute_threaded(
         .fold(SimDuration::ZERO, SimDuration::max);
     ring_spans.shift(max_setup);
     for (h, d) in setup_times.into_iter().enumerate() {
-        metrics.hosts[h].setup = d;
+        if let Some(host_metrics) = metrics.hosts.get_mut(h) {
+            host_metrics.setup = d;
+        }
         spans.span(h, SpanKind::Setup, "setup", SimTime::ZERO, d);
     }
     spans.merge(ring_spans);

@@ -73,15 +73,14 @@ pub fn absorb_host(
     }
     let successor = (failed + 1) % partitions.len();
     let mut out = Vec::with_capacity(partitions.len() - 1);
-    let mut orphan = None;
+    let mut orphan = Relation::new();
     for (i, part) in partitions.into_iter().enumerate() {
         if i == failed {
-            orphan = Some(part);
+            orphan = part;
         } else {
             out.push((i, part));
         }
     }
-    let orphan = orphan.expect("failed index checked in range");
     for (i, part) in &mut out {
         if *i == successor {
             part.extend_from(&orphan);
@@ -103,16 +102,16 @@ pub fn absorb_host(
 /// [`RecoveryError::EmptyRing`] if there is no other host left to take
 /// the share over.
 pub fn takeover(partitions: &[Relation], failed: usize) -> Result<Relation, RecoveryError> {
-    if failed >= partitions.len() {
-        return Err(RecoveryError::HostOutOfRange {
-            failed,
-            hosts: partitions.len(),
-        });
-    }
-    if partitions.len() == 1 {
+    if partitions.len() == 1 && failed < partitions.len() {
         return Err(RecoveryError::EmptyRing);
     }
-    Ok(partitions[failed].clone())
+    partitions
+        .get(failed)
+        .cloned()
+        .ok_or(RecoveryError::HostOutOfRange {
+            failed,
+            hosts: partitions.len(),
+        })
 }
 
 /// Re-spreads the union of `partitions` evenly over `new_hosts` hosts —

@@ -74,13 +74,43 @@ pub struct JoinClause {
     pub within: u32,
 }
 
+/// A comparison operator in a `WHERE` condition. A closed enum rather than
+/// a string so evaluation is exhaustive — no "unknown operator" state can
+/// exist after parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+impl CmpOp {
+    /// The operator's source form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+        }
+    }
+}
+
 /// A `WHERE` condition: `<relation>.key <op> <literal>`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Filter {
     /// The filtered relation's name.
     pub relation: String,
-    /// Comparison operator: one of `<`, `<=`, `>`, `>=`, `=`.
-    pub op: String,
+    /// Comparison operator.
+    pub op: CmpOp,
     /// The literal the key is compared against.
     pub literal: u32,
 }
@@ -88,13 +118,12 @@ pub struct Filter {
 impl Filter {
     /// Evaluates the condition on a key.
     fn accepts(&self, key: u32) -> bool {
-        match self.op.as_str() {
-            "<" => key < self.literal,
-            "<=" => key <= self.literal,
-            ">" => key > self.literal,
-            ">=" => key >= self.literal,
-            "=" => key == self.literal,
-            _ => unreachable!("parser only emits known operators"),
+        match self.op {
+            CmpOp::Lt => key < self.literal,
+            CmpOp::Le => key <= self.literal,
+            CmpOp::Gt => key > self.literal,
+            CmpOp::Ge => key >= self.literal,
+            CmpOp::Eq => key == self.literal,
         }
     }
 }
@@ -190,7 +219,7 @@ impl Cursor {
         t
     }
 
-    fn expect(&mut self, expected: &str) -> Result<(), SqlError> {
+    fn expect_tok(&mut self, expected: &str) -> Result<(), SqlError> {
         match self.next() {
             Some(t) if t == expected => Ok(()),
             Some(t) => Err(SqlError::Parse(format!(
@@ -221,8 +250,8 @@ impl Cursor {
 /// Parses `<name>.key`.
 fn key_ref(cursor: &mut Cursor) -> Result<String, SqlError> {
     let name = cursor.identifier("a relation name")?;
-    cursor.expect(".")?;
-    cursor.expect("key")?;
+    cursor.expect_tok(".")?;
+    cursor.expect_tok("key")?;
     Ok(name)
 }
 
@@ -236,12 +265,12 @@ pub fn parse(text: &str) -> Result<Query, SqlError> {
         tokens: tokenize(text),
         pos: 0,
     };
-    cursor.expect("select")?;
-    cursor.expect("count")?;
-    cursor.expect("(")?;
-    cursor.expect("*")?;
-    cursor.expect(")")?;
-    cursor.expect("from")?;
+    cursor.expect_tok("select")?;
+    cursor.expect_tok("count")?;
+    cursor.expect_tok("(")?;
+    cursor.expect_tok("*")?;
+    cursor.expect_tok(")")?;
+    cursor.expect_tok("from")?;
     let base = cursor.identifier("the base relation")?;
 
     let mut joins = Vec::new();
@@ -251,9 +280,9 @@ pub fn parse(text: &str) -> Result<Query, SqlError> {
     while let Some("join") = cursor.peek() {
         cursor.next();
         let relation = cursor.identifier("the joined relation")?;
-        cursor.expect("on")?;
+        cursor.expect_tok("on")?;
         let left = key_ref(&mut cursor)?;
-        cursor.expect("=")?;
+        cursor.expect_tok("=")?;
         let right = key_ref(&mut cursor)?;
         let mentions_new = left == relation || right == relation;
         let mentions_known = known.contains(&left) || known.contains(&right);
@@ -298,12 +327,21 @@ pub fn parse(text: &str) -> Result<Query, SqlError> {
             let op = match cursor.next() {
                 Some(op @ ("<" | ">" | "=")) => {
                     // Two-character operators arrive as two tokens.
-                    let mut op = op.to_string();
-                    if (op == "<" || op == ">") && cursor.peek() == Some("=") {
+                    let (eq, strict) = (op == "=", op == "<");
+                    if eq {
+                        CmpOp::Eq
+                    } else if cursor.peek() == Some("=") {
                         cursor.next();
-                        op.push('=');
+                        if strict {
+                            CmpOp::Le
+                        } else {
+                            CmpOp::Ge
+                        }
+                    } else if strict {
+                        CmpOp::Lt
+                    } else {
+                        CmpOp::Gt
                     }
-                    op
                 }
                 Some(t) => {
                     return Err(SqlError::Parse(format!(
@@ -383,8 +421,7 @@ pub fn execute(query: &Query, catalog: &Catalog, hosts: usize) -> Result<u64, Sq
             JoinPredicate::band(clause.within)
         }
     };
-    if query.joins.len() == 1 {
-        let clause = &query.joins[0];
+    if let [clause] = query.joins.as_slice() {
         let report = CycloJoin::new(base, lookup(&clause.relation)?)
             .predicate(predicate_of(clause))
             .hosts(hosts)
@@ -477,6 +514,15 @@ mod tests {
                 "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key garbage",
                 "trailing",
             ),
+            ("", "end of query"),
+            (
+                "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WHERE r.key ! 5",
+                "comparison operator",
+            ),
+            (
+                "SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WHERE r.key < ",
+                "end of query",
+            ),
         ] {
             let err = parse(query).unwrap_err();
             assert!(
@@ -516,7 +562,7 @@ mod tests {
         for op in ["<", "<=", ">", ">=", "="] {
             let q = format!("SELECT COUNT(*) FROM r JOIN s ON r.key = s.key WHERE r.key {op} 7");
             let plan = parse(&q).unwrap();
-            assert_eq!(plan.filters[0].op, op, "{q}");
+            assert_eq!(plan.filters[0].op.as_str(), op, "{q}");
             assert_eq!(plan.filters[0].literal, 7);
         }
     }

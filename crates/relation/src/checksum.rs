@@ -29,9 +29,12 @@ impl Checksum {
         Checksum::default()
     }
 
-    /// Folds one pre-hashed item into the checksum.
+    /// Folds one pre-hashed item into the checksum. The count saturates:
+    /// `u64::MAX` items is unreachable in practice, but a debug-mode
+    /// overflow panic in verification code would mask the very result it
+    /// is checking.
     pub fn fold_hash(&mut self, hash: u64) {
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.wrapping_add(hash);
     }
 
@@ -40,10 +43,11 @@ impl Checksum {
         self.fold_hash(hash_match(m));
     }
 
-    /// Combines two checksums (multiset union).
+    /// Combines two checksums (multiset union). Saturating for the same
+    /// reason as [`Checksum::fold_hash`].
     pub fn combine(&self, other: &Checksum) -> Checksum {
         Checksum {
-            count: self.count + other.count,
+            count: self.count.saturating_add(other.count),
             sum: self.sum.wrapping_add(other.sum),
         }
     }
@@ -137,6 +141,18 @@ mod tests {
         let c: Checksum = [m(5, 1, 1), m(5, 1, 1)].into_iter().collect();
         assert_eq!(c.count, 2);
         assert_eq!(c.sum, hash_match(&m(5, 1, 1)).wrapping_mul(2));
+    }
+
+    #[test]
+    fn count_saturates_instead_of_overflowing() {
+        let mut near = Checksum {
+            count: u64::MAX,
+            sum: 0,
+        };
+        near.fold_hash(7);
+        assert_eq!(near.count, u64::MAX);
+        let combined = near.combine(&Checksum { count: 5, sum: 1 });
+        assert_eq!(combined.count, u64::MAX);
     }
 
     #[test]

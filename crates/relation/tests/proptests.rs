@@ -99,6 +99,40 @@ proptest! {
         }
     }
 
+    /// Wire decoding is total: arbitrary byte mutations of a valid encoded
+    /// envelope (corruption, truncation, extension) either decode or
+    /// return a `DecodeError` — they never panic. Runs under Miri in
+    /// `scripts/analyze.sh` to also rule out UB in the byte handling.
+    #[test]
+    fn decode_survives_arbitrary_mutations(
+        rel in relation_strategy(),
+        flips in prop::collection::vec((any::<u32>(), any::<u8>()), 1..16),
+        cut in any::<u32>(),
+        extend in 0usize..64,
+    ) {
+        let mut bytes = relation::encode(&rel);
+        for &(pos, xor) in &flips {
+            if bytes.is_empty() {
+                break;
+            }
+            let idx = pos as usize % bytes.len();
+            bytes[idx] ^= xor;
+        }
+        match cut as usize % 3 {
+            0 => {
+                let keep = cut as usize % (bytes.len() + 1);
+                bytes.truncate(keep);
+            }
+            1 => bytes.extend(std::iter::repeat_n(0x5A, extend)),
+            _ => {}
+        }
+        // Any outcome is fine; panicking (or UB under Miri) is not.
+        if let Ok(decoded) = relation::decode(&bytes) {
+            // If it decoded, the checksum held: re-encoding must agree.
+            prop_assert_eq!(relation::encode(&decoded), bytes);
+        }
+    }
+
     /// Slicing then merging reproduces any contiguous segmentation.
     #[test]
     fn slice_round_trip(rel in relation_strategy(), at in 0usize..400) {

@@ -90,7 +90,9 @@ impl<P> RingApp<P> for FixedCostApp {
     }
 
     fn process(&mut self, host: HostId, _now: SimTime, _payload: &P) -> SimDuration {
-        self.processed[host.0] += 1;
+        if let Some(slot) = self.processed.get_mut(host.0) {
+            *slot += 1;
+        }
         self.per_buffer
     }
 }

@@ -42,6 +42,7 @@ pub mod envelope;
 pub mod error;
 pub mod metrics;
 pub mod sim_backend;
+pub mod sync;
 pub mod thread_backend;
 
 pub use app::{FixedCostApp, RingApp};

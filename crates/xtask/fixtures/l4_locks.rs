@@ -1,0 +1,31 @@
+//! L4 fixture — nested lock acquisitions against the declared order
+//! (`collector` locks before the shared span `tracer`).
+//! Expected under the L4 policy: 2 live findings, 1 suppressed.
+
+pub fn wrong_order(&self) {
+    let _t = self.tracer.lock();
+    let _c = self.collector.lock(); // seeded violation: collector under tracer
+}
+
+pub fn same_class_nesting() {
+    let _g1 = left_collector.lock();
+    let _g2 = right_collector.lock(); // seeded violation: same-class nesting
+}
+
+pub fn audited(&self, h: usize) {
+    let _t = self.spans.lock();
+    let _c = collectors[h].lock(); // analyze: allow(lock-order, reason = "fixture: teardown path, tracer thread already joined")
+}
+
+pub fn correct_order(&self, h: usize) {
+    {
+        let _c = collectors[h].lock();
+        let _t = self.tracer.lock();
+    }
+    let _again = collector.lock();
+}
+
+pub fn unclassified_locks_ignored(&self) {
+    let _q = self.queue.lock();
+    let _r = self.registry_state.lock();
+}

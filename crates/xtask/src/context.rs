@@ -1,0 +1,439 @@
+//! A structural pass over the token stream.
+//!
+//! The lints need three facts the raw tokens do not carry:
+//!
+//! 1. **Test scope** — which tokens live under `#[cfg(test)]` / `#[test]`
+//!    (or a `cfg(any(test, …))` that mentions `test`): the no-panic and
+//!    wall-clock lints exempt test code.
+//! 2. **Function spans** — which token ranges form `fn` bodies, so a
+//!    function-level `analyze: allow` annotation can cover a whole body.
+//! 3. **Annotations** — `// analyze: allow(<lint>, reason = "…")` comments,
+//!    which suppress individual findings and are tallied in the report.
+//!
+//! All three are computed with brace/bracket matching over the lexed
+//! tokens — deliberately not a full parse (see the module docs of
+//! [`crate::lexer`] for why), but exact enough for the shapes this
+//! workspace uses, which the engine's fixture tests pin down.
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+/// One parsed `analyze: allow(...)` annotation.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// Lint kind the annotation suppresses (`panic`, `wall-clock`,
+    /// `counter`, `lock-order`).
+    pub kind: String,
+    /// The mandatory human reason.
+    pub reason: String,
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+    /// Line range the annotation covers: the annotated line itself, or a
+    /// whole function body when the next code line starts a `fn` item.
+    pub covers: (u32, u32),
+    /// Number of findings this annotation actually suppressed (filled in
+    /// by the driver; an unused annotation is itself reported).
+    pub used: std::cell::Cell<u32>,
+}
+
+/// An annotation-shaped comment that failed to parse (missing reason,
+/// unknown lint name). Reported as a finding: a suppression that does not
+/// say *why* defeats the purpose of the lint.
+#[derive(Debug, Clone)]
+pub struct MalformedAnnotation {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// What was wrong with it.
+    pub problem: String,
+}
+
+/// A `fn` item's location.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub header_line: u32,
+    /// Inclusive line range of the whole item (header through `}`).
+    pub lines: (u32, u32),
+}
+
+/// The per-file structural model the lints run against.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Code tokens (from the lexer).
+    pub tokens: Vec<Tok>,
+    /// `in_test[i]` — token `i` is inside test-gated code.
+    pub in_test: Vec<bool>,
+    /// Parsed allow annotations.
+    pub annotations: Vec<Annotation>,
+    /// Annotation-shaped comments that failed to parse.
+    pub malformed: Vec<MalformedAnnotation>,
+    /// Function spans in source order.
+    pub functions: Vec<FnSpan>,
+}
+
+/// Lint names an annotation may reference.
+pub const KNOWN_LINTS: &[&str] = &["panic", "wall-clock", "counter", "lock-order"];
+
+/// Builds the [`FileModel`] for one lexed file.
+pub fn build(lexed: Lexed) -> FileModel {
+    let Lexed { tokens, comments } = lexed;
+    let in_test = test_mask(&tokens);
+    let functions = fn_spans(&tokens);
+    let (annotations, malformed) = collect_annotations(&comments, &functions);
+    FileModel {
+        tokens,
+        in_test,
+        annotations,
+        malformed,
+        functions,
+    }
+}
+
+impl FileModel {
+    /// The annotation (if any) of `kind` covering `line`, for suppression.
+    pub fn annotation_for(&self, kind: &str, line: u32) -> Option<&Annotation> {
+        self.annotations
+            .iter()
+            .find(|a| a.kind == kind && a.covers.0 <= line && line <= a.covers.1)
+    }
+
+    /// Name of the function whose span contains `line`, for messages.
+    pub fn enclosing_fn(&self, line: u32) -> Option<&str> {
+        self.functions
+            .iter()
+            .filter(|f| f.lines.0 <= line && line <= f.lines.1)
+            .map(|f| f.name.as_str())
+            .next_back()
+    }
+}
+
+/// Marks every token under a test-gated attribute. An attribute gates its
+/// following item (attributes stack); `#![…]` inner attributes that mention
+/// `test` gate the whole file.
+fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let inner = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        let bracket = if inner { i + 2 } else { i + 1 };
+        if !tokens.get(bracket).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Walk the balanced `[...]`, remembering whether `test` appears.
+        let mut depth = 0usize;
+        let mut j = bracket;
+        let mut mentions_test = false;
+        while j < tokens.len() {
+            if tokens[j].is_punct('[') {
+                depth += 1;
+            } else if tokens[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if tokens[j].is_ident("test") {
+                mentions_test = true;
+            }
+            j += 1;
+        }
+        let attr_end = j; // index of closing `]`
+        if !mentions_test {
+            i = attr_end + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`-style: the whole file is test code.
+            mask.iter_mut().for_each(|m| *m = true);
+            return mask;
+        }
+        // Gate from the attribute through the end of the following item:
+        // skip any further attributes, then to the first top-level `;` or
+        // through the matching `}` of the first top-level `{`.
+        let mut k = attr_end + 1;
+        // Chained attributes on the same item.
+        while tokens.get(k).is_some_and(|t| t.is_punct('#')) {
+            let b = k + 1;
+            if !tokens.get(b).is_some_and(|t| t.is_punct('[')) {
+                break;
+            }
+            let mut d = 0usize;
+            while k < tokens.len() {
+                if tokens[k].is_punct('[') {
+                    d += 1;
+                } else if tokens[k].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut brace = 0isize;
+        let mut paren = 0isize;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            } else if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct(';') && brace == 0 && paren == 0 {
+                break;
+            }
+            k += 1;
+        }
+        let item_end = k.min(tokens.len().saturating_sub(1));
+        for m in mask.iter_mut().take(item_end + 1).skip(attr_start) {
+            *m = true;
+        }
+        i = item_end + 1;
+    }
+    mask
+}
+
+/// Collects `fn` item spans by matching the body braces.
+fn fn_spans(tokens: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let header_line = tokens[i].line;
+        let name = match tokens.get(i + 1) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // Find the body `{` outside parens/brackets; a `;` first means a
+        // bodyless declaration (trait method, extern).
+        let mut j = i + 2;
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        let mut body_start = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if paren == 0 && bracket == 0 {
+                if t.is_punct('{') {
+                    body_start = Some(j);
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(body_start) = body_start else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 0isize;
+        let mut k = body_start;
+        while k < tokens.len() {
+            if tokens[k].is_punct('{') {
+                depth += 1;
+            } else if tokens[k].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        let end_line = tokens.get(k).map_or(header_line, |t| t.line);
+        out.push(FnSpan {
+            name,
+            header_line,
+            lines: (header_line, end_line),
+        });
+        // Continue *inside* the body too: nested fns are real items.
+        i += 2;
+    }
+    out
+}
+
+/// Parses annotations out of the comment list.
+fn collect_annotations(
+    comments: &[Comment],
+    functions: &[FnSpan],
+) -> (Vec<Annotation>, Vec<MalformedAnnotation>) {
+    let mut anns = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.strip_prefix("analyze:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((kind, reason)) => {
+                let covers = if c.trailing {
+                    (c.line, c.line)
+                } else if let Some(f) = functions.iter().find(|f| f.header_line == c.line + 1) {
+                    // A standalone annotation directly above a `fn` header
+                    // covers the whole function.
+                    f.lines
+                } else {
+                    // Otherwise it covers the next line of code.
+                    (c.line + 1, c.line + 1)
+                };
+                anns.push(Annotation {
+                    kind,
+                    reason,
+                    line: c.line,
+                    covers,
+                    used: std::cell::Cell::new(0),
+                });
+            }
+            Err(problem) => bad.push(MalformedAnnotation {
+                line: c.line,
+                problem,
+            }),
+        }
+    }
+    (anns, bad)
+}
+
+/// Parses `allow(<lint>, reason = "…")`.
+fn parse_allow(text: &str) -> Result<(String, String), String> {
+    let Some(args) = text
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('('))
+        .and_then(|t| t.rfind(')').map(|end| &t[..end]))
+    else {
+        return Err("expected `allow(<lint>, reason = \"…\")`".to_string());
+    };
+    let Some((kind, rest)) = args.split_once(',') else {
+        return Err("missing `, reason = \"…\"` — a suppression must say why".to_string());
+    };
+    let kind = kind.trim().to_string();
+    if !KNOWN_LINTS.contains(&kind.as_str()) {
+        return Err(format!(
+            "unknown lint {kind:?} (known: {})",
+            KNOWN_LINTS.join(", ")
+        ));
+    }
+    let rest = rest.trim();
+    let Some(reason) = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('"'))
+        .and_then(|t| t.rfind('"').map(|end| &t[..end]))
+    else {
+        return Err("reason must be a quoted string: `reason = \"…\"`".to_string());
+    };
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    Ok((kind, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        build(lex(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let m = model(
+            "fn lib() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n",
+        );
+        let unwraps: Vec<bool> = m
+            .tokens
+            .iter()
+            .zip(&m.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &mask)| mask)
+            .collect();
+        assert_eq!(unwraps, [false, true]);
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_masked() {
+        let m = model("#[test]\nfn t() { x.unwrap(); }\nfn lib() { y.unwrap(); }\n");
+        let unwraps: Vec<bool> = m
+            .tokens
+            .iter()
+            .zip(&m.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &mask)| mask)
+            .collect();
+        assert_eq!(unwraps, [true, false]);
+    }
+
+    #[test]
+    fn cfg_any_test_is_masked_and_inner_attr_masks_file() {
+        let m = model("#[cfg(any(test, loom))]\nmod harness { fn f() {} }\nfn lib() {}\n");
+        assert!(m.in_test.iter().take(12).any(|&b| b));
+        let whole = model("#![cfg(test)]\nfn f() { x.unwrap(); }\n");
+        assert!(whole.in_test.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies_and_nested_fns() {
+        let m = model("fn outer() {\n    fn inner() {\n    }\n}\n");
+        assert_eq!(m.functions.len(), 2);
+        assert_eq!(m.functions[0].lines, (1, 4));
+        assert_eq!(m.functions[1].lines, (2, 3));
+        assert_eq!(m.enclosing_fn(3), Some("inner"));
+    }
+
+    #[test]
+    fn annotations_parse_and_scope() {
+        let m = model(
+            "// analyze: allow(panic, reason = \"slot checked\")\n\
+             fn f() {\n    x.unwrap();\n}\n\
+             let a = y.unwrap(); // analyze: allow(panic, reason = \"startup only\")\n",
+        );
+        assert_eq!(m.annotations.len(), 2);
+        assert_eq!(m.annotations[0].covers, (2, 4));
+        assert_eq!(m.annotations[1].covers, (5, 5));
+        assert!(m.annotation_for("panic", 3).is_some());
+        assert!(m.annotation_for("wall-clock", 3).is_none());
+    }
+
+    #[test]
+    fn malformed_annotations_are_reported() {
+        let m = model(
+            "// analyze: allow(panic)\n\
+             // analyze: allow(nonsense, reason = \"x\")\n\
+             // analyze: allow(panic, reason = \"\")\n\
+             fn f() {}\n",
+        );
+        assert_eq!(m.annotations.len(), 0);
+        assert_eq!(m.malformed.len(), 3);
+    }
+}

@@ -1,0 +1,421 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The analysis lints (see [`crate::lints`]) need a *token* view of each
+//! source file — string/char/comment contents must not masquerade as code,
+//! line numbers must survive, and `// analyze: allow(...)` annotations must
+//! be collected — but they do not need expression trees. This lexer covers
+//! the token shapes that occur in the workspace: identifiers, lifetimes,
+//! numbers, `"…"`/`r#"…"#`/`b"…"` strings, character literals, nested block
+//! comments, and single-character punctuation. It exists because the build
+//! runs in hermetic containers with no crates-io access, so `syn` is not
+//! available; for the repo lints the token model is also simply *enough*.
+
+/// Kinds of tokens the lints distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// String literal of any flavor (plain, raw, byte).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal (integer or float, any base, any suffix).
+    Num,
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text. For strings this is the *unquoted* content.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True if this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// A comment encountered during lexing (the lints scan these for
+/// `analyze:` annotations).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when source code precedes the comment on the same line
+    /// (a trailing comment annotates its own line, a standalone comment
+    /// annotates what follows).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Invalid UTF-8 never reaches this
+/// function (files are read as strings); lexically broken files produce a
+/// best-effort token stream rather than an error — the compiler is the
+/// authority on validity, the lints only need positions.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_code = false;
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+                line_has_code = false;
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start_line = line;
+            let mut text = String::new();
+            i += 2;
+            // Swallow doc-comment markers so `/// text` and `//! text`
+            // read as plain comment text.
+            while matches!(chars.get(i), Some('/') | Some('!')) {
+                i += 1;
+            }
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: text.trim().to_string(),
+                line: start_line,
+                trailing: line_has_code,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let was_trailing = line_has_code;
+            let mut depth = 1usize;
+            let mut text = String::new();
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump_line!(chars[i]);
+                    text.push(chars[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: text.trim().to_string(),
+                line: start_line,
+                trailing: was_trailing,
+            });
+            continue;
+        }
+        line_has_code = true;
+        // Raw strings: r"…", r#"…"#, br#"…"# (any number of #).
+        if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+            let start_line = line;
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // Opening quote.
+            j += 1;
+            let mut text = String::new();
+            'raw: while j < chars.len() {
+                if chars[j] == '"' {
+                    let mut k = 0usize;
+                    while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        j += 1 + hashes;
+                        break 'raw;
+                    }
+                }
+                bump_line!(chars[j]);
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Plain / byte strings.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            let start_line = line;
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            let mut text = String::new();
+            while j < chars.len() && chars[j] != '"' {
+                if chars[j] == '\\' && j + 1 < chars.len() {
+                    text.push(chars[j]);
+                    text.push(chars[j + 1]);
+                    bump_line!(chars[j + 1]);
+                    j += 2;
+                } else {
+                    bump_line!(chars[j]);
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            i = j + 1;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let start_line = line;
+            if chars.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: '\n', '\'', '\u{…}'.
+                let mut j = i + 2;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: chars[i + 1..j.min(chars.len())].iter().collect(),
+                    line: start_line,
+                });
+                i = j + 1;
+                continue;
+            }
+            // Collect identifier-ish chars after the quote.
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'\'') && j > i + 1 {
+                // 'a' — a char literal.
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: chars[i + 1..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j + 1;
+            } else if chars
+                .get(i + 1)
+                .is_some_and(|&c| c.is_alphanumeric() || c == '_')
+            {
+                // 'a without a closing quote — a lifetime.
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[i + 1..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+            } else {
+                // Bare quote (broken source); emit as punctuation.
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct('\''),
+                    text: "'".into(),
+                    line: start_line,
+                });
+                i += 1;
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers: digits, `_`, alphanumeric suffixes/bases, and a dot only
+        // when followed by a digit (so `0..4` and `1.max(2)` stay intact).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let mut j = i;
+            while j < chars.len() {
+                let d = chars[j];
+                let part_of_number = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && chars.get(j + 1).is_some_and(char::is_ascii_digit));
+                if part_of_number {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Num,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: single-character punctuation.
+        out.tokens.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// True when position `i` starts a raw (possibly byte) string literal.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_code_tokens() {
+        let l = lex(r#"let x = "panic!(oops) [0]";"#);
+        let strs: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(!l.tokens.iter().any(|t| t.is_punct('[')));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex_as_one_token() {
+        assert_eq!(kinds(r##"r#"a "quoted" b"#"##), vec![TokKind::Str]);
+        assert_eq!(kinds(r#"b"bytes""#), vec![TokKind::Str]);
+        assert_eq!(kinds(r##"br#"raw bytes"#"##), vec![TokKind::Str]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_floats() {
+        let l = lex("&bytes[0..4]");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "4"]);
+        assert!(l.tokens.iter().any(|t| t.is_punct('[')));
+    }
+
+    #[test]
+    fn floats_and_method_calls_on_ints() {
+        let l = lex("let a = 1.5; let b = 1.max(2);");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["1.5", "1", "2"]);
+    }
+
+    #[test]
+    fn comments_carry_lines_and_trailing_flags() {
+        let l = lex("let x = 1; // trailing\n// standalone\nlet y = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert_eq!(l.comments[0].text, "trailing");
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let l = lex("/* outer /* inner */ still outer */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.tokens.len(), 5); // let x = 1 ;
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let l = lex("let s = \"a\nb\";\nlet t = 2;");
+        let t2 = l.tokens.iter().find(|t| t.is_ident("t")).map(|t| t.line);
+        assert_eq!(t2, Some(3));
+    }
+}

@@ -1,0 +1,211 @@
+//! Repo-native static analysis for the Data Roundabout workspace.
+//!
+//! `cargo run -p xtask -- analyze` runs four lints the paper's protocol
+//! invariants need but `clippy` cannot express (see [`lints`] for the
+//! catalogue), over a token-level model of the source ([`lexer`] +
+//! [`context`]). The scoping below is *policy*: which crates promise
+//! which invariants.
+
+pub mod context;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+use std::path::{Path, PathBuf};
+
+use lints::FilePolicy;
+use report::{Report, UnusedAnnotation};
+
+/// Path of the unified counter registry (the L3 source of truth),
+/// relative to the workspace root.
+pub const REGISTRY_PATH: &str = "crates/simnet/src/span.rs";
+
+/// Decides which lints run on `rel` (workspace-relative path with `/`
+/// separators).
+///
+/// - **L1 no-panic-paths**: all of `roundabout`'s library sources, the
+///   `relation` wire format, and the `core` executor/recovery/concurrent/
+///   sql modules — everything on the ring's data path.
+/// - **L2 no-wall-clock-in-sim**: all of `simnet` plus the simulated
+///   backend; virtual time only.
+/// - **L3 counter-registry**: the two backends and the threaded executor,
+///   which are the only emitters of counters.
+/// - **L4 lock-ordering**: the threaded executor and backend, where the
+///   collector/tracer locks nest.
+pub fn policy_for(rel: &str) -> FilePolicy {
+    let mut p = FilePolicy::default();
+    let core_l1 = [
+        "crates/core/src/exec.rs",
+        "crates/core/src/recovery.rs",
+        "crates/core/src/concurrent.rs",
+        "crates/core/src/sql.rs",
+    ];
+    if rel.starts_with("crates/roundabout/src/")
+        || rel == "crates/relation/src/wire.rs"
+        || core_l1.contains(&rel)
+    {
+        p.no_panic = true;
+    }
+    if rel.starts_with("crates/simnet/src/") || rel == "crates/roundabout/src/sim_backend.rs" {
+        p.no_wall_clock = true;
+    }
+    if rel == "crates/roundabout/src/thread_backend.rs"
+        || rel == "crates/roundabout/src/sim_backend.rs"
+        || rel == "crates/core/src/exec.rs"
+    {
+        p.counter_registry = true;
+    }
+    if rel == "crates/core/src/concurrent.rs"
+        || rel == "crates/core/src/exec.rs"
+        || rel == "crates/roundabout/src/thread_backend.rs"
+    {
+        p.lock_ordering = true;
+    }
+    p
+}
+
+/// True when any lint applies.
+fn policy_is_active(p: &FilePolicy) -> bool {
+    p.no_panic || p.no_wall_clock || p.counter_registry || p.lock_ordering
+}
+
+/// Analyzes the workspace rooted at `root` with the standard policy.
+pub fn analyze_root(root: &Path) -> std::io::Result<Report> {
+    let registry = load_registry(root);
+    let mut files = Vec::new();
+    for dir in ["crates/roundabout/src", "crates/simnet/src"] {
+        collect_rs(&root.join(dir), &mut files)?;
+    }
+    for extra in [
+        "crates/relation/src/wire.rs",
+        "crates/core/src/exec.rs",
+        "crates/core/src/recovery.rs",
+        "crates/core/src/concurrent.rs",
+        "crates/core/src/sql.rs",
+    ] {
+        let p = root.join(extra);
+        if p.is_file() {
+            files.push(p);
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = rel_path(root, &path);
+        let policy = policy_for(&rel);
+        if !policy_is_active(&policy) {
+            continue;
+        }
+        analyze_file(&path, &policy, &registry, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Analyzes one explicit file list with per-file policies — the fixture
+/// harness and engine tests drive this directly.
+pub fn analyze_files(
+    files: &[(PathBuf, FilePolicy)],
+    registry: &[String],
+) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for (path, policy) in files {
+        analyze_file(path, policy, registry, &mut report)?;
+    }
+    Ok(report)
+}
+
+fn analyze_file(
+    path: &Path,
+    policy: &FilePolicy,
+    registry: &[String],
+    report: &mut Report,
+) -> std::io::Result<()> {
+    let src = std::fs::read_to_string(path)?;
+    let model = context::build(lexer::lex(&src));
+    let findings = lints::run_file(path, &model, policy, registry);
+    report.findings.extend(findings);
+    for ann in &model.annotations {
+        if ann.used.get() == 0 {
+            report.unused.push(UnusedAnnotation {
+                file: path.to_path_buf(),
+                line: ann.line,
+                kind: ann.kind.clone(),
+            });
+        }
+    }
+    report.files_scanned += 1;
+    Ok(())
+}
+
+/// Loads the L3 registry; a missing registry file yields an empty registry
+/// (every counter literal then fails L3, which is the safe direction).
+pub fn load_registry(root: &Path) -> Vec<String> {
+    std::fs::read_to_string(root.join(REGISTRY_PATH))
+        .map(|src| lints::parse_registry(&src))
+        .unwrap_or_default()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_scopes_match_the_issue() {
+        let p = policy_for("crates/roundabout/src/thread_backend.rs");
+        assert!(p.no_panic && p.counter_registry && p.lock_ordering && !p.no_wall_clock);
+        let p = policy_for("crates/roundabout/src/sim_backend.rs");
+        assert!(p.no_panic && p.no_wall_clock && p.counter_registry && !p.lock_ordering);
+        let p = policy_for("crates/core/src/sql.rs");
+        assert!(p.no_panic && !p.no_wall_clock && !p.counter_registry && !p.lock_ordering);
+        let p = policy_for("crates/simnet/src/net.rs");
+        assert!(!p.no_panic && p.no_wall_clock);
+        // Out of scope entirely.
+        let p = policy_for("crates/relation/src/joins.rs");
+        assert!(!policy_is_active(&p));
+    }
+
+    #[test]
+    fn registry_loads_from_real_tree() {
+        let reg = load_registry(&workspace_root());
+        assert!(
+            reg.iter().any(|k| k == "envelopes_sent"),
+            "registry should contain the PR 2 counters, got {reg:?}"
+        );
+    }
+}

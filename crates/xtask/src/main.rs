@@ -1,0 +1,85 @@
+//! `cargo run -p xtask -- analyze [--root <dir>] [--fixtures]`
+//!
+//! Runs the repo-native lints (see `xtask::lints`) and exits non-zero when
+//! any unsuppressed violation, malformed annotation, or stale suppression
+//! exists. `--fixtures` analyzes the seeded fixture files instead of the
+//! real tree (used to demonstrate the non-zero exit path).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::lints::FilePolicy;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: cargo run -p xtask -- analyze [--root <dir>] [--fixtures]");
+        return ExitCode::from(2);
+    };
+    if cmd != "analyze" {
+        eprintln!("unknown command {cmd:?}; the only command is `analyze`");
+        return ExitCode::from(2);
+    }
+    let mut root = xtask::workspace_root();
+    let mut fixtures = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fixtures" => fixtures = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let result = if fixtures {
+        analyze_fixtures(&root)
+    } else {
+        xtask::analyze_root(&root)
+    };
+    match result {
+        Ok(report) => {
+            print!("{}", report.render());
+            let code = report.exit_code();
+            if code == 0 {
+                println!("analyze: clean");
+            } else {
+                println!("analyze: FAILED");
+            }
+            ExitCode::from(code as u8)
+        }
+        Err(err) => {
+            eprintln!("analyze: i/o error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Runs every lint over the seeded fixture files, which contain known
+/// violations — this path must exit non-zero.
+fn analyze_fixtures(root: &std::path::Path) -> std::io::Result<xtask::report::Report> {
+    let dir = root.join("crates/xtask/fixtures");
+    let all = FilePolicy {
+        no_panic: true,
+        no_wall_clock: true,
+        counter_registry: true,
+        lock_ordering: true,
+    };
+    let registry = xtask::load_registry(root);
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            files.push((path, all.clone()));
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    xtask::analyze_files(&files, &registry)
+}

@@ -1,0 +1,122 @@
+//! Report assembly and rendering for `xtask analyze`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::lints::{Finding, Lint};
+
+/// A suppression that matched no finding — stale, so reported: dead
+/// `allow` annotations otherwise accumulate and hide future regressions.
+#[derive(Debug, Clone)]
+pub struct UnusedAnnotation {
+    /// File the annotation is in.
+    pub file: PathBuf,
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+    /// Lint kind it names.
+    pub kind: String,
+}
+
+/// The full analysis result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed or not, in walk order.
+    pub findings: Vec<Finding>,
+    /// Annotations that suppressed nothing.
+    pub unused: Vec<UnusedAnnotation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that are *not* suppressed.
+    pub fn live(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Findings that an annotation suppressed.
+    pub fn suppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_some())
+    }
+
+    /// Live findings for one lint (fixture tests assert on these counts).
+    pub fn live_count(&self, lint: Lint) -> usize {
+        self.live().filter(|f| f.lint == lint).count()
+    }
+
+    /// Suppressed findings for one lint.
+    pub fn suppressed_count(&self, lint: Lint) -> usize {
+        self.suppressed().filter(|f| f.lint == lint).count()
+    }
+
+    /// Process exit code: non-zero when anything needs fixing.
+    pub fn exit_code(&self) -> i32 {
+        if self.live().next().is_some() || !self.unused.is_empty() {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let lints = [
+            Lint::NoPanicPaths,
+            Lint::NoWallClockInSim,
+            Lint::CounterRegistry,
+            Lint::LockOrdering,
+        ];
+        for lint in lints {
+            let live: Vec<&Finding> = self.live().filter(|f| f.lint == lint).collect();
+            let nsupp = self.suppressed_count(lint);
+            if live.is_empty() && nsupp == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{} {} — {} violation(s), {} suppressed",
+                lint.id(),
+                lint.name(),
+                live.len(),
+                nsupp
+            );
+            for f in live {
+                let _ = writeln!(out, "  {}:{}: {}", f.file.display(), f.line, f.message);
+            }
+        }
+        // Suppression tally: reasons grouped so reviewers can audit the
+        // debt in one place.
+        let mut reasons: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in self.suppressed() {
+            if let Some(reason) = f.suppressed.as_deref() {
+                *reasons.entry(reason).or_insert(0) += 1;
+            }
+        }
+        if !reasons.is_empty() {
+            let _ = writeln!(out, "suppressions by reason:");
+            for (reason, n) in &reasons {
+                let _ = writeln!(out, "  {n}× {reason:?}");
+            }
+        }
+        for u in &self.unused {
+            let _ = writeln!(
+                out,
+                "  {}:{}: unused `analyze: allow({})` annotation — remove it",
+                u.file.display(),
+                u.line,
+                u.kind
+            );
+        }
+        let _ = writeln!(
+            out,
+            "scanned {} file(s): {} violation(s), {} suppressed, {} unused annotation(s)",
+            self.files_scanned,
+            self.live().count(),
+            self.suppressed().count(),
+            self.unused.len()
+        );
+        out
+    }
+}

@@ -1,0 +1,145 @@
+//! Engine tests over the seeded fixture files: exact violation counts per
+//! lint, suppression tallying, stale-annotation reporting — and the gate
+//! that the real tree is clean.
+
+use std::path::PathBuf;
+
+use xtask::lints::{FilePolicy, Lint};
+use xtask::report::Report;
+
+fn fixture(name: &str) -> PathBuf {
+    xtask::workspace_root()
+        .join("crates/xtask/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str, policy: FilePolicy) -> Report {
+    let registry = xtask::load_registry(&xtask::workspace_root());
+    xtask::analyze_files(&[(fixture(name), policy)], &registry)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+}
+
+#[test]
+fn l1_fixture_counts_are_exact() {
+    let report = run_fixture(
+        "l1_panics.rs",
+        FilePolicy {
+            no_panic: true,
+            ..FilePolicy::default()
+        },
+    );
+    // 6 seeded violations + 1 malformed annotation, none of them maskable.
+    assert_eq!(
+        report.live_count(Lint::NoPanicPaths),
+        7,
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.suppressed_count(Lint::NoPanicPaths), 2);
+    assert_eq!(report.unused.len(), 1, "stale annotation must be reported");
+    assert_eq!(report.unused[0].kind, "panic");
+    assert_ne!(report.exit_code(), 0);
+    // The suppressions carry their reasons into the report.
+    let reasons: Vec<&str> = report
+        .suppressed()
+        .filter_map(|f| f.suppressed.as_deref())
+        .collect();
+    assert!(reasons.iter().any(|r| r.contains("bounded by caller")));
+    assert!(reasons.iter().any(|r| r.contains("whole-function audit")));
+}
+
+#[test]
+fn l2_fixture_counts_are_exact() {
+    let report = run_fixture(
+        "l2_wall_clock.rs",
+        FilePolicy {
+            no_wall_clock: true,
+            ..FilePolicy::default()
+        },
+    );
+    assert_eq!(
+        report.live_count(Lint::NoWallClockInSim),
+        3,
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.suppressed_count(Lint::NoWallClockInSim), 1);
+    assert!(report.unused.is_empty());
+}
+
+#[test]
+fn l3_fixture_counts_are_exact() {
+    let report = run_fixture(
+        "l3_counters.rs",
+        FilePolicy {
+            counter_registry: true,
+            ..FilePolicy::default()
+        },
+    );
+    assert_eq!(
+        report.live_count(Lint::CounterRegistry),
+        2,
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.suppressed_count(Lint::CounterRegistry), 1);
+    let messages: Vec<&str> = report.live().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("bogus_counter")));
+    assert!(messages.iter().any(|m| m.contains("another_typo")));
+}
+
+#[test]
+fn l4_fixture_counts_are_exact() {
+    let report = run_fixture(
+        "l4_locks.rs",
+        FilePolicy {
+            lock_ordering: true,
+            ..FilePolicy::default()
+        },
+    );
+    assert_eq!(
+        report.live_count(Lint::LockOrdering),
+        2,
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.suppressed_count(Lint::LockOrdering), 1);
+}
+
+#[test]
+fn fixtures_fail_under_the_full_policy() {
+    // Mirror of `cargo run -p xtask -- analyze --fixtures`: every lint on
+    // every fixture, which must exit non-zero.
+    let all = FilePolicy {
+        no_panic: true,
+        no_wall_clock: true,
+        counter_registry: true,
+        lock_ordering: true,
+    };
+    let registry = xtask::load_registry(&xtask::workspace_root());
+    let files: Vec<_> = [
+        "l1_panics.rs",
+        "l2_wall_clock.rs",
+        "l3_counters.rs",
+        "l4_locks.rs",
+    ]
+    .into_iter()
+    .map(|n| (fixture(n), all.clone()))
+    .collect();
+    let report = xtask::analyze_files(&files, &registry).expect("fixtures readable");
+    assert_ne!(report.exit_code(), 0);
+    assert!(report.live_count(Lint::NoPanicPaths) >= 7);
+    assert!(report.live_count(Lint::NoWallClockInSim) >= 3);
+    assert!(report.live_count(Lint::CounterRegistry) >= 2);
+    assert!(report.live_count(Lint::LockOrdering) >= 2);
+}
+
+#[test]
+fn real_tree_is_clean() {
+    // The acceptance gate: `cargo run -p xtask -- analyze` exits zero on
+    // the actual workspace. Every violation is either fixed or carries a
+    // reasoned, tallied `analyze: allow`.
+    let report = xtask::analyze_root(&xtask::workspace_root()).expect("workspace readable");
+    assert!(report.files_scanned >= 10, "walk found too few files");
+    assert_eq!(report.exit_code(), 0, "\n{}", report.render());
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, full test suite, a warning-free clippy
-# pass over every target (benches, examples, tests included), and a
-# formatting check.
+# pass over every target (benches, examples, tests included), a
+# formatting check, and the repo-native lints (scripts/analyze.sh runs
+# the deeper, slower static-analysis tier on top of these).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
+cargo run -q --release -p xtask -- analyze

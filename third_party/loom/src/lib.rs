@@ -1,0 +1,49 @@
+//! A miniature, offline re-implementation of the parts of
+//! [`loom`](https://docs.rs/loom) this workspace model-checks with.
+//!
+//! The real loom instruments every synchronization operation and
+//! exhaustively enumerates thread interleavings. This shim does the same
+//! thing with a deliberately simple design:
+//!
+//! * **Token-passing scheduler.** Threads inside [`model`] are real OS
+//!   threads, but only the one holding the scheduler token runs; every
+//!   instrumented operation (mutex lock/unlock, condvar wait/notify,
+//!   atomic access, spawn, join, yield) is a *scheduling point* where the
+//!   token may move. Execution is therefore fully serialized and every
+//!   context switch is a recorded decision.
+//! * **DFS over schedules.** Each execution logs its decisions as
+//!   `(chosen, #candidates)` pairs. After an execution finishes, the last
+//!   decision with an untried alternative is bumped and the prefix is
+//!   replayed, exactly like loom's depth-first path exploration.
+//! * **Preemption bounding.** Switching away from a thread that could
+//!   have kept running counts as a preemption; schedules are limited to
+//!   `LOOM_MAX_PREEMPTIONS` of them (default 2). This is the standard
+//!   CHESS-style bound: almost all real concurrency bugs need only a
+//!   couple of forced preemptions, and the bound keeps the schedule space
+//!   tractable.
+//! * **Sequential consistency only.** Atomics map to `SeqCst` std atomics
+//!   plus a scheduling point; weak-memory reorderings are *not* explored.
+//!   That is strictly fewer behaviors than the real loom checks, which is
+//!   the safe direction for a shim (no false alarms, still exhaustive
+//!   over interleavings).
+//! * **Deadlock + livelock detection.** A state where no thread is
+//!   runnable but some are blocked fails the model with the blocked-state
+//!   table; executions are also capped at a step budget so accidental
+//!   spin loops fail fast instead of hanging the suite.
+//!
+//! Outside [`model`] every primitive falls back to its `std` counterpart,
+//! so code written against `loom::sync` keeps working in ordinary unit
+//! tests and doctests.
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;
+
+/// Builder-style entry point, mirroring upstream `loom::model::Builder`
+/// (a module and a function may share the name `model`; upstream does
+/// exactly this).
+pub mod model {
+    pub use crate::rt::Builder;
+}

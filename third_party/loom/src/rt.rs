@@ -1,0 +1,519 @@
+//! The execution engine: token-passing scheduler + DFS schedule search.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+const DEFAULT_MAX_PREEMPTIONS: usize = 2;
+const DEFAULT_MAX_SCHEDULES: usize = 250_000;
+/// Per-execution cap on scheduling points: a loom test that trips this is
+/// spinning, not converging, and should fail loudly instead of hanging.
+const MAX_STEPS: usize = 100_000;
+
+/// Panic payload used to tear worker threads down when the model aborts
+/// (failure found, deadlock, budget exceeded). Never observable to user
+/// code: it is caught by the per-thread harness in [`run_thread`].
+pub(crate) struct AbortMarker;
+
+pub(crate) fn panic_abort() -> ! {
+    panic::panic_any(AbortMarker)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision: which of `candidates` runnable
+/// threads was given the token. Only multi-candidate points are recorded;
+/// forced moves (single candidate) are not branch points.
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    chosen: usize,
+    candidates: usize,
+}
+
+struct ExecInner {
+    threads: Vec<Run>,
+    active: Option<usize>,
+    /// Model-level mutex ownership, keyed by the mutex's address. The
+    /// backing std mutex is only ever taken by the model-level owner, so
+    /// it never contends.
+    mutex_owner: HashMap<usize, usize>,
+    log: Vec<Choice>,
+    replay: Vec<usize>,
+    preemptions: usize,
+    max_preemptions: usize,
+    steps: usize,
+    aborted: bool,
+    failure: Option<String>,
+}
+
+pub(crate) struct Execution {
+    inner: Mutex<ExecInner>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution this OS thread belongs to, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Execution>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+impl Execution {
+    fn new(replay: Vec<usize>, max_preemptions: usize) -> Self {
+        Execution {
+            inner: Mutex::new(ExecInner {
+                threads: Vec::new(),
+                active: None,
+                mutex_owner: HashMap::new(),
+                log: Vec::new(),
+                replay,
+                preemptions: 0,
+                max_preemptions,
+                steps: 0,
+                aborted: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Locks the state, recovering from poison: threads unwound by
+    /// [`AbortMarker`] drop guards on the way out, and bookkeeping must
+    /// keep working while that happens.
+    fn lock(&self) -> MutexGuard<'_, ExecInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn abort_locked(&self, inner: &mut ExecInner, msg: String) {
+        if !inner.aborted {
+            inner.aborted = true;
+            inner.failure.get_or_insert(msg);
+        }
+        inner.active = None;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn record_failure(&self, msg: String) {
+        let mut inner = self.lock();
+        self.abort_locked(&mut inner, msg);
+    }
+
+    /// Picks the next thread to hold the token. `me_runnable` says whether
+    /// the calling thread could keep running (false when it just blocked
+    /// or finished — such forced switches are not preemptions).
+    fn pick_next(&self, inner: &mut ExecInner, me: usize, me_runnable: bool) {
+        if inner.aborted {
+            return;
+        }
+        inner.steps += 1;
+        if inner.steps > MAX_STEPS {
+            self.abort_locked(
+                inner,
+                format!("exceeded {MAX_STEPS} scheduling points in one execution (livelock?)"),
+            );
+            return;
+        }
+        let mut cands: Vec<usize> = (0..inner.threads.len())
+            .filter(|&t| inner.threads[t] == Run::Runnable)
+            .collect();
+        if me_runnable {
+            // Prefer staying on the current thread: candidate 0 is "no
+            // preemption", so the DFS default path is the sequential one.
+            cands.retain(|&t| t != me);
+            cands.insert(0, me);
+            if inner.preemptions >= inner.max_preemptions {
+                cands.truncate(1);
+            }
+        }
+        if cands.is_empty() {
+            if inner.threads.iter().all(|t| *t == Run::Finished) {
+                inner.active = None;
+                self.cv.notify_all();
+            } else {
+                let table: Vec<String> = inner
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(t, s)| format!("thread {t}: {s:?}"))
+                    .collect();
+                self.abort_locked(
+                    inner,
+                    format!("deadlock: no runnable thread [{}]", table.join(", ")),
+                );
+            }
+            return;
+        }
+        let idx = if cands.len() > 1 {
+            let pos = inner.log.len();
+            let idx = if pos < inner.replay.len() {
+                inner.replay[pos]
+            } else {
+                0
+            };
+            if idx >= cands.len() {
+                self.abort_locked(
+                    inner,
+                    format!(
+                        "replay divergence at decision {pos}: index {idx} of {} candidates",
+                        cands.len()
+                    ),
+                );
+                return;
+            }
+            inner.log.push(Choice {
+                chosen: idx,
+                candidates: cands.len(),
+            });
+            idx
+        } else {
+            0
+        };
+        let chosen = cands[idx];
+        if me_runnable && chosen != me {
+            inner.preemptions += 1;
+        }
+        inner.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    fn wait_for_token<'a>(
+        &'a self,
+        mut inner: MutexGuard<'a, ExecInner>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecInner> {
+        while !inner.aborted && inner.active != Some(me) {
+            inner = self.cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+        inner
+    }
+
+    /// A plain scheduling point: the token may move to any runnable
+    /// thread (bounded by the preemption budget).
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut inner = self.lock();
+        if inner.aborted {
+            drop(inner);
+            panic_abort();
+        }
+        self.pick_next(&mut inner, me, true);
+        let inner = self.wait_for_token(inner, me);
+        if inner.aborted {
+            drop(inner);
+            panic_abort();
+        }
+    }
+
+    pub(crate) fn mutex_lock(&self, me: usize, addr: usize) {
+        loop {
+            self.yield_point(me);
+            let mut inner = self.lock();
+            if inner.aborted {
+                drop(inner);
+                panic_abort();
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = inner.mutex_owner.entry(addr) {
+                e.insert(me);
+                return;
+            }
+            inner.threads[me] = Run::BlockedMutex(addr);
+            self.pick_next(&mut inner, me, false);
+            let inner = self.wait_for_token(inner, me);
+            if inner.aborted {
+                drop(inner);
+                panic_abort();
+            }
+            // Woken by an unlock; loop and race for the mutex again
+            // (barging is allowed, exactly like std).
+        }
+    }
+
+    /// Releases a model mutex and wakes its waiters. Must never panic:
+    /// it runs from guard `Drop`, possibly mid-unwind.
+    pub(crate) fn mutex_unlock(&self, _me: usize, addr: usize) {
+        let mut inner = self.lock();
+        inner.mutex_owner.remove(&addr);
+        let mut woke = false;
+        for t in inner.threads.iter_mut() {
+            if *t == Run::BlockedMutex(addr) {
+                *t = Run::Runnable;
+                woke = true;
+            }
+        }
+        if woke {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Condvar wait: atomically (in model terms — the token never moves
+    /// in between) release the mutex and block on the condvar, then
+    /// re-acquire after being notified. The caller has already dropped
+    /// the std-level guard.
+    pub(crate) fn condvar_wait(&self, me: usize, cv_addr: usize, mutex_addr: usize) {
+        self.mutex_unlock(me, mutex_addr);
+        let mut inner = self.lock();
+        if inner.aborted {
+            drop(inner);
+            panic_abort();
+        }
+        inner.threads[me] = Run::BlockedCondvar(cv_addr);
+        self.pick_next(&mut inner, me, false);
+        let inner = self.wait_for_token(inner, me);
+        if inner.aborted {
+            drop(inner);
+            panic_abort();
+        }
+        drop(inner);
+        self.mutex_lock(me, mutex_addr);
+    }
+
+    /// `notify_one` is modeled as `notify_all`: waiters re-check their
+    /// predicate under the mutex anyway, and waking more threads only
+    /// adds schedules (a sound over-approximation).
+    pub(crate) fn condvar_notify(&self, me: usize, cv_addr: usize) {
+        self.yield_point(me);
+        let mut inner = self.lock();
+        let mut woke = false;
+        for t in inner.threads.iter_mut() {
+            if *t == Run::BlockedCondvar(cv_addr) {
+                *t = Run::Runnable;
+                woke = true;
+            }
+        }
+        if woke {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Registers a new model thread and returns its id. The OS thread for
+    /// it must then enter via [`run_thread`].
+    pub(crate) fn spawn_thread(&self, me: usize) -> usize {
+        self.yield_point(me);
+        let mut inner = self.lock();
+        if inner.aborted {
+            drop(inner);
+            panic_abort();
+        }
+        inner.threads.push(Run::Runnable);
+        inner.threads.len() - 1
+    }
+
+    fn start_thread(&self, tid: usize) {
+        let inner = self.lock();
+        let inner = self.wait_for_token(inner, tid);
+        if inner.aborted {
+            drop(inner);
+            panic_abort();
+        }
+    }
+
+    /// Marks a thread finished and hands the token on. Must never panic:
+    /// it runs on every exit path, including abort unwinds.
+    fn finish_thread(&self, tid: usize) {
+        let mut inner = self.lock();
+        if let Some(t) = inner.threads.get_mut(tid) {
+            *t = Run::Finished;
+        }
+        for t in inner.threads.iter_mut() {
+            if *t == Run::BlockedJoin(tid) {
+                *t = Run::Runnable;
+            }
+        }
+        if inner.aborted {
+            self.cv.notify_all();
+        } else {
+            self.pick_next(&mut inner, tid, false);
+        }
+    }
+
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.yield_point(me);
+        let mut inner = self.lock();
+        if inner.aborted {
+            drop(inner);
+            panic_abort();
+        }
+        if inner.threads.get(target) == Some(&Run::Finished) {
+            return;
+        }
+        inner.threads[me] = Run::BlockedJoin(target);
+        self.pick_next(&mut inner, me, false);
+        let inner = self.wait_for_token(inner, me);
+        if inner.aborted {
+            drop(inner);
+            panic_abort();
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Per-thread harness: waits for the token, runs the body, records any
+/// failure, and always marks the thread finished.
+pub(crate) fn run_thread<T>(exec: Arc<Execution>, tid: usize, f: impl FnOnce() -> T) -> Option<T> {
+    set_current(Some((exec.clone(), tid)));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        exec.start_thread(tid);
+        f()
+    }));
+    let out = match result {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            if !payload.is::<AbortMarker>() {
+                // `as_ref` matters: `&payload` would coerce the Box
+                // itself into `&dyn Any` and every downcast would miss.
+                exec.record_failure(format!(
+                    "thread {tid} panicked: {}",
+                    panic_message(payload.as_ref())
+                ));
+            }
+            None
+        }
+    };
+    exec.finish_thread(tid);
+    set_current(None);
+    out
+}
+
+/// The deepest decision with an untried sibling, bumped; `None` when the
+/// whole schedule space has been explored.
+fn next_replay(log: &[Choice]) -> Option<Vec<usize>> {
+    let mut prefix: Vec<usize> = log.iter().map(|c| c.chosen).collect();
+    while let Some(last) = prefix.pop() {
+        let candidates = log[prefix.len()].candidates;
+        if last + 1 < candidates {
+            prefix.push(last + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Configuration for a model run, mirroring `loom::model::Builder`.
+///
+/// `preemption_bound` trades exhaustiveness for tractability: larger
+/// models (the full threaded ring) explode at bound 2 but stay
+/// exhaustive-within-bound at 1 — which still covers every schedule the
+/// blocking structure alone can produce, plus one forced preemption
+/// anywhere.
+#[derive(Debug, Clone, Default)]
+pub struct Builder {
+    /// Maximum forced preemptions per execution; `None` uses
+    /// `LOOM_MAX_PREEMPTIONS` (default 2).
+    pub preemption_bound: Option<usize>,
+    /// Cap on explored schedules; `None` uses `LOOM_MAX_BRANCHES`
+    /// (default 250 000).
+    pub max_branches: Option<usize>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Runs `f` under the model checker with this configuration. See
+    /// [`model`].
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let max_preemptions = self
+            .preemption_bound
+            .unwrap_or_else(|| env_usize("LOOM_MAX_PREEMPTIONS", DEFAULT_MAX_PREEMPTIONS));
+        let max_schedules = self
+            .max_branches
+            .unwrap_or_else(|| env_usize("LOOM_MAX_BRANCHES", DEFAULT_MAX_SCHEDULES));
+        run_model(f, max_preemptions, max_schedules);
+    }
+}
+
+/// Runs `f` under the model checker, exploring every interleaving of its
+/// threads' synchronization operations (up to the preemption bound).
+/// Panics — with the failing schedule — if any exploration panics,
+/// deadlocks, or blows the step budget.
+///
+/// Environment knobs (mirroring real loom): `LOOM_MAX_PREEMPTIONS`
+/// (default 2) and `LOOM_MAX_BRANCHES` (default 250 000, the cap on
+/// explored schedules).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}
+
+fn run_model<F>(f: F, max_preemptions: usize, max_schedules: usize)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        let exec = Arc::new(Execution::new(std::mem::take(&mut replay), max_preemptions));
+        {
+            let mut inner = exec.lock();
+            inner.threads.push(Run::Runnable);
+            inner.active = Some(0);
+        }
+        let texec = Arc::clone(&exec);
+        let tf = Arc::clone(&f);
+        let handle = std::thread::Builder::new()
+            .name("loom-main".into())
+            .spawn(move || {
+                run_thread(texec, 0, move || tf());
+            })
+            .expect("failed to spawn loom root thread");
+        {
+            let mut inner = exec.lock();
+            while !inner.threads.iter().all(|t| *t == Run::Finished) {
+                inner = exec.cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        let _ = handle.join();
+        let inner = exec.lock();
+        if let Some(msg) = &inner.failure {
+            let decisions: Vec<usize> = inner.log.iter().map(|c| c.chosen).collect();
+            panic!(
+                "loom: model failed on schedule {schedules}: {msg}\n  \
+                 decisions: {decisions:?} (set LOOM_MAX_PREEMPTIONS/LOOM_MAX_BRANCHES to tune)"
+            );
+        }
+        match next_replay(&inner.log) {
+            Some(next) => replay = next,
+            None => break,
+        }
+        if schedules >= max_schedules {
+            panic!("loom: exceeded {max_schedules} schedules without exhausting the space");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Model-aware `sync` primitives mirroring `std::sync`.
+//!
+//! Ownership is tracked at the model level, keyed by the primitive's
+//! address: the backing std mutex is only ever locked by the model-level
+//! owner, so it never blocks an OS thread outside the scheduler's
+//! control. Outside [`crate::model`] everything degrades to plain std
+//! behavior.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc as StdArc;
+
+pub use std::sync::{Arc, LockResult};
+
+use crate::rt;
+
+pub mod atomic;
+
+/// A mutual-exclusion primitive mirroring [`std::sync::Mutex`].
+///
+/// Poisoning is absorbed: `lock` always returns `Ok`, matching loom's
+/// behavior (a panic inside a critical section already fails the whole
+/// model, so poison adds nothing).
+pub struct Mutex<T: ?Sized> {
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        Mutex {
+            data: std::sync::Mutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as *const u8 as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = rt::current();
+        if let Some((exec, me)) = &model {
+            exec.mutex_lock(*me, self.addr());
+        }
+        // Uncontended by construction inside the model; genuinely
+        // contended (and blocking) outside it.
+        let guard = self.data.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(MutexGuard {
+            lock: self,
+            guard: Some(guard),
+            model,
+        })
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.data.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases model-level ownership on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(StdArc<rt::Execution>, usize)>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard
+            .as_deref()
+            .expect("loom MutexGuard used after release")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard
+            .as_deref_mut()
+            .expect("loom MutexGuard used after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // The std guard must be released before model ownership moves,
+        // so the next model-level owner finds the data mutex free.
+        self.guard.take();
+        if let Some((exec, me)) = self.model.take() {
+            exec.mutex_unlock(me, self.lock.addr());
+        }
+    }
+}
+
+/// Result of a timed condvar wait. std's equivalent has no public
+/// constructor, so the shim defines its own.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable mirroring [`std::sync::Condvar`].
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        match guard.model.take() {
+            Some((exec, me)) => {
+                // Disarm the guard: release the std mutex here, then do
+                // the model-level release-block-reacquire atomically with
+                // respect to the token.
+                guard.guard.take();
+                drop(guard);
+                exec.condvar_wait(me, self.addr(), lock.addr());
+                let inner = lock.data.lock().unwrap_or_else(|p| p.into_inner());
+                Ok(MutexGuard {
+                    lock,
+                    guard: Some(inner),
+                    model: Some((exec, me)),
+                })
+            }
+            None => {
+                let std_guard = guard
+                    .guard
+                    .take()
+                    .expect("loom MutexGuard missing std guard");
+                drop(guard);
+                let inner = self
+                    .inner
+                    .wait(std_guard)
+                    .unwrap_or_else(|p| p.into_inner());
+                Ok(MutexGuard {
+                    lock,
+                    guard: Some(inner),
+                    model: None,
+                })
+            }
+        }
+    }
+
+    /// Inside the model, time does not exist: a timed wait is an ordinary
+    /// wait that never reports a timeout. Callers with real deadlines
+    /// must not rely on timeouts for model-checked liveness (the deadlock
+    /// detector is what catches lost wakeups).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if guard.model.is_some() {
+            let g = self.wait(guard).unwrap_or_else(|p| p.into_inner());
+            return Ok((g, WaitTimeoutResult(false)));
+        }
+        let lock = guard.lock;
+        let mut guard = guard;
+        let std_guard = guard
+            .guard
+            .take()
+            .expect("loom MutexGuard missing std guard");
+        drop(guard);
+        let (inner, timeout) = self
+            .inner
+            .wait_timeout(std_guard, dur)
+            .unwrap_or_else(|p| p.into_inner());
+        Ok((
+            MutexGuard {
+                lock,
+                guard: Some(inner),
+                model: None,
+            },
+            WaitTimeoutResult(timeout.timed_out()),
+        ))
+    }
+
+    /// Modeled as `notify_all` inside the model (waiters re-check their
+    /// predicates, so waking extra threads only adds explored schedules).
+    pub fn notify_one(&self) {
+        match rt::current() {
+            Some((exec, me)) => exec.condvar_notify(me, self.addr()),
+            None => self.inner.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match rt::current() {
+            Some((exec, me)) => exec.condvar_notify(me, self.addr()),
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}

@@ -1,0 +1,114 @@
+//! Model-aware atomics.
+//!
+//! Every operation is a scheduling point executed with `SeqCst` on the
+//! backing std atomic, regardless of the ordering the caller asked for:
+//! the shim explores interleavings, not weak-memory reorderings (a sound
+//! under-approximation — see the crate docs).
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+fn point() {
+    if let Some((exec, me)) = rt::current() {
+        exec.yield_point(me);
+    }
+}
+
+macro_rules! atomic {
+    ($name:ident, $std:ty, $ty:ty) => {
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub fn new(v: $ty) -> Self {
+                $name {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            pub fn load(&self, _order: Ordering) -> $ty {
+                point();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            pub fn store(&self, v: $ty, _order: Ordering) {
+                point();
+                self.inner.store(v, Ordering::SeqCst)
+            }
+
+            pub fn swap(&self, v: $ty, _order: Ordering) -> $ty {
+                point();
+                self.inner.swap(v, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                point();
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ty, $ty:ty) => {
+        atomic!($name, $std, $ty);
+
+        impl $name {
+            pub fn fetch_add(&self, v: $ty, _order: Ordering) -> $ty {
+                point();
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_sub(&self, v: $ty, _order: Ordering) -> $ty {
+                point();
+                self.inner.fetch_sub(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_or(&self, v: $ty, _order: Ordering) -> $ty {
+                point();
+                self.inner.fetch_or(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_and(&self, v: $ty, _order: Ordering) -> $ty {
+                point();
+                self.inner.fetch_and(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_max(&self, v: $ty, _order: Ordering) -> $ty {
+                point();
+                self.inner.fetch_max(v, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+impl AtomicBool {
+    pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+        point();
+        self.inner.fetch_or(v, Ordering::SeqCst)
+    }
+
+    pub fn fetch_and(&self, v: bool, _order: Ordering) -> bool {
+        point();
+        self.inner.fetch_and(v, Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,169 @@
+//! Model-aware `thread::spawn` / `JoinHandle` / `yield_now`.
+
+use std::sync::Arc;
+
+use crate::rt;
+
+enum Inner<T> {
+    /// A thread registered with the active model execution.
+    Model {
+        exec: Arc<rt::Execution>,
+        tid: usize,
+        handle: std::thread::JoinHandle<Option<T>>,
+    },
+    /// Fallback outside `model()`: a plain std thread.
+    Std(std::thread::JoinHandle<Option<T>>),
+}
+
+/// Owned permission to join on a thread, mirroring
+/// [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside the
+    /// model this is a blocking scheduling point; a deadlocked join fails
+    /// the model rather than hanging.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Model { exec, tid, handle } => {
+                let me = match rt::current() {
+                    Some((_, me)) => me,
+                    None => panic!("loom: JoinHandle::join called outside the owning model"),
+                };
+                exec.join_thread(me, tid);
+                match handle.join() {
+                    Ok(Some(v)) => Ok(v),
+                    // The target unwound because the model is aborting;
+                    // propagate the teardown.
+                    Ok(None) => rt::panic_abort(),
+                    Err(e) => Err(e),
+                }
+            }
+            Inner::Std(handle) => match handle.join() {
+                Ok(Some(v)) => Ok(v),
+                Ok(None) => unreachable!("std-mode loom thread cannot abort"),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// Spawns a thread. Inside [`crate::model`] the new thread is registered
+/// with the execution and scheduled by the token passer; outside, it is
+/// an ordinary std thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        Some((exec, me)) => {
+            let tid = exec.spawn_thread(me);
+            let texec = Arc::clone(&exec);
+            let handle = std::thread::Builder::new()
+                .name(format!("loom-{tid}"))
+                .spawn(move || rt::run_thread(texec, tid, f))
+                .expect("failed to spawn loom worker thread");
+            JoinHandle {
+                inner: Inner::Model { exec, tid, handle },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(move || Some(f()))),
+        },
+    }
+}
+
+/// A pure scheduling point: lets the checker move the token to any other
+/// runnable thread here.
+pub fn yield_now() {
+    match rt::current() {
+        Some((exec, me)) => exec.yield_point(me),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Scoped threads mirroring [`std::thread::scope`] — an extension over
+/// upstream loom (which only has `'static` spawn) so model-checked code
+/// can borrow from the enclosing frame exactly like production code does.
+///
+/// The scope is passed *by value* (it is `Copy`); join every handle
+/// before the closure returns — the implicit join on scope exit happens
+/// outside the scheduler's control and would wedge the model if a thread
+/// were still running.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| f(Scope { inner: s }))
+}
+
+/// Spawning surface handed to the [`scope`] closure.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match rt::current() {
+            Some((exec, me)) => {
+                let tid = exec.spawn_thread(me);
+                let texec = Arc::clone(&exec);
+                let handle = self.inner.spawn(move || rt::run_thread(texec, tid, f));
+                ScopedJoinHandle {
+                    inner: ScopedInner::Model { exec, tid, handle },
+                }
+            }
+            None => ScopedJoinHandle {
+                inner: ScopedInner::Std(self.inner.spawn(move || Some(f()))),
+            },
+        }
+    }
+}
+
+enum ScopedInner<'scope, T> {
+    Model {
+        exec: Arc<rt::Execution>,
+        tid: usize,
+        handle: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    },
+    Std(std::thread::ScopedJoinHandle<'scope, Option<T>>),
+}
+
+/// Owned permission to join on a scoped thread, mirroring
+/// [`std::thread::ScopedJoinHandle`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: ScopedInner<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// See [`JoinHandle::join`].
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            ScopedInner::Model { exec, tid, handle } => {
+                let me = match rt::current() {
+                    Some((_, me)) => me,
+                    None => panic!("loom: ScopedJoinHandle::join called outside the owning model"),
+                };
+                exec.join_thread(me, tid);
+                match handle.join() {
+                    Ok(Some(v)) => Ok(v),
+                    Ok(None) => rt::panic_abort(),
+                    Err(e) => Err(e),
+                }
+            }
+            ScopedInner::Std(handle) => match handle.join() {
+                Ok(Some(v)) => Ok(v),
+                Ok(None) => unreachable!("std-mode loom thread cannot abort"),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
