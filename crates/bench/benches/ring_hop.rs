@@ -2,7 +2,7 @@
 //! circulating envelopes through live receiver/join/transmitter entities.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use data_roundabout::{run_threaded, RingConfig};
+use data_roundabout::{RingConfig, RingDriver};
 
 fn bench_thread_ring(c: &mut Criterion) {
     let mut group = c.benchmark_group("thread_ring");
@@ -18,8 +18,10 @@ fn bench_thread_ring(c: &mut Criterion) {
                 let fragments: Vec<Vec<Vec<u8>>> = (0..hosts)
                     .map(|_| (0..fragments_per_host).map(|_| vec![0u8; 4096]).collect())
                     .collect();
-                run_threaded(&RingConfig::paper(hosts), fragments, |_, _| {})
+                RingDriver::new(&RingConfig::paper(hosts))
+                    .run(fragments, |_, _| {})
                     .expect("ring should run")
+                    .0
                     .fragments_completed
             });
         });
@@ -39,13 +41,11 @@ fn bench_buffer_depths(c: &mut Criterion) {
                     let fragments: Vec<Vec<Vec<u8>>> = (0..3)
                         .map(|_| (0..8).map(|_| vec![0u8; 1024]).collect())
                         .collect();
-                    run_threaded(
-                        &RingConfig::paper(3).with_buffers(buffers),
-                        fragments,
-                        |_, _| {},
-                    )
-                    .expect("ring should run")
-                    .fragments_completed
+                    RingDriver::new(&RingConfig::paper(3).with_buffers(buffers))
+                        .run(fragments, |_, _| {})
+                        .expect("ring should run")
+                        .0
+                        .fragments_completed
                 });
             },
         );

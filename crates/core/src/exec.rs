@@ -397,12 +397,11 @@ pub(crate) fn execute_threaded(
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         algorithm.join(state, frag, &predicate, threads, &mut collector);
     };
-    let (mut metrics, mut ring_spans) = match fault_plan {
-        Some(plan) => data_roundabout::run_threaded_reliable_traced(
-            config, plan, fragments, join_visit, trace,
-        )?,
-        None => data_roundabout::run_threaded_traced(config, fragments, join_visit, trace)?,
-    };
+    let mut driver = data_roundabout::RingDriver::new(config).with_tracer(trace);
+    if let Some(plan) = fault_plan {
+        driver = driver.with_fault_plan(plan);
+    }
+    let (mut metrics, mut ring_spans) = driver.run(fragments, join_visit)?;
     let mut spans = if trace {
         SpanTracer::enabled()
     } else {

@@ -13,9 +13,12 @@
 //!   discrete-event simulator, in virtual time, with the RDMA/TCP cost
 //!   models attached; this is the backend all paper figures are
 //!   reproduced on;
-//! * [`thread_backend::run_threaded`] — on real OS threads with bounded
+//! * [`thread_backend::RingDriver`] — on real OS threads with bounded
 //!   channels as buffer pools, validating the protocol under true
 //!   concurrency.
+//!
+//! Both backends are thin *drivers* over the same sans-IO [`protocol`]
+//! core, which owns every credit, acknowledgement and healing decision.
 //!
 //! ```
 //! use data_roundabout::{FixedCostApp, RingConfig, SimRing};
@@ -41,6 +44,7 @@ pub mod config;
 pub mod envelope;
 pub mod error;
 pub mod metrics;
+pub mod protocol;
 pub mod sim_backend;
 pub mod sync;
 pub mod thread_backend;
@@ -52,6 +56,8 @@ pub use envelope::{Envelope, FragmentId, PayloadBytes};
 pub use error::RingError;
 pub use metrics::{render_timeline, HostMetrics, RingMetrics};
 pub use sim_backend::{SimOutcome, SimRing};
+pub use thread_backend::RingDriver;
+#[allow(deprecated)]
 pub use thread_backend::{
     run_threaded, run_threaded_reliable, run_threaded_reliable_traced, run_threaded_traced,
 };

@@ -1,0 +1,1105 @@
+//! The ring-level coordinator: one deterministic state machine for the
+//! whole Data Roundabout, fed [`Input`]s and emitting [`Output`]s.
+//!
+//! [`RingProtocol`] owns every decision both backends used to duplicate:
+//! credit-gated transmission, the stop-and-wait ack/retransmit ledger,
+//! duplicate suppression, the failure detector, the exactly-once
+//! role-takeover ledger and mid-revolution healing, and the
+//! retire-vs-forward routing (hop counting on the classic path, the
+//! `visited` role bitmask once healing can reroute envelopes).
+//!
+//! Output order is part of the contract: a driver applies outputs in
+//! emission order, which reproduces the exact scheduling sequence of the
+//! original backends — determinism of the simulated backend depends on
+//! it.
+
+use std::collections::{BTreeMap, HashSet};
+
+use simnet::topology::HostId;
+
+use crate::envelope::{Envelope, PayloadBytes};
+
+use super::host::{HostProtocol, Route};
+use super::link::{backoff_exponent, on_timeout, TimeoutVerdict, BACKOFF_CAP};
+use super::{teardown, Input, Output, ProtocolConfig, Timer};
+
+/// One unacknowledged transfer of the reliable transport.
+#[derive(Debug)]
+struct InFlight<P> {
+    from: HostId,
+    to: HostId,
+    /// Pristine master for retransmission (corruption is injected by the
+    /// driver on the transmitted clone, never on this copy).
+    env: Envelope<P>,
+    /// Send attempts made so far (1 = the initial transmission).
+    attempts: u32,
+    /// Whether the most recent attempt put an intact copy on the wire
+    /// toward a then-live receiver; consulted during healing to decide
+    /// between "the receiver has it" and "lost — re-send from origin".
+    /// Reported by the driver via [`RingProtocol::attempt_fate`].
+    maybe_live: bool,
+}
+
+/// The reliable transport's ledger, present only in reliable mode. The
+/// classic path never touches it, so runs without a fault plan behave
+/// byte-identically to the pre-fault protocol.
+#[derive(Debug)]
+struct FaultLedger<P> {
+    /// Ground truth: the host stopped acting (buffers retained until
+    /// healing salvages them).
+    crashed: Vec<bool>,
+    /// Routing truth: a peer exhausted its retransmission budget and the
+    /// ring now bypasses this host.
+    confirmed_dead: Vec<bool>,
+    paused: Vec<bool>,
+    /// Successor busy rebuilding absorbed partitions (joins gated).
+    absorbing: Vec<bool>,
+    /// Logical stationary partitions (`S_i` roles) each host serves;
+    /// starts as `roles[h] == [h]` and grows through healing.
+    roles: Vec<Vec<usize>>,
+    /// Ring-unique transfer ids — the ledger key.
+    next_tid: u64,
+    /// Per-sender wire sequence stamped into `env.seq`; both backends
+    /// count link transfers identically, so the fault plans' dice (which
+    /// key on `(sender, seq, attempt)`) roll the same on both.
+    wire_seq: Vec<u64>,
+    in_flight: BTreeMap<u64, InFlight<P>>,
+    /// Transfers accepted by some receiver — dedupes the copies that
+    /// spurious retransmissions deliver twice.
+    accepted: HashSet<u64>,
+    /// Transfers rerouted at their sender after the receiver's death was
+    /// confirmed; a late arrival of the original copy at the corpse must
+    /// not be salvaged a second time.
+    requeued: HashSet<u64>,
+    /// Stop-and-wait: the transfer each host is awaiting an ack for.
+    awaiting: Vec<Option<u64>>,
+    /// Outstanding pool-blocked probe per sender: `(target, attempt)`.
+    probing: Vec<Option<(HostId, u32)>>,
+    retransmits: Vec<u64>,
+    checksum_mismatches: Vec<u64>,
+    heal_events: usize,
+    fragments_resent: usize,
+    /// `visited` mask covering every logical role.
+    full_mask: u64,
+}
+
+impl<P> FaultLedger<P> {
+    fn new(hosts: usize) -> Self {
+        FaultLedger {
+            crashed: vec![false; hosts],
+            confirmed_dead: vec![false; hosts],
+            paused: vec![false; hosts],
+            absorbing: vec![false; hosts],
+            roles: (0..hosts).map(|h| vec![h]).collect(),
+            next_tid: 1,
+            wire_seq: vec![0; hosts],
+            in_flight: BTreeMap::new(),
+            accepted: HashSet::new(),
+            requeued: HashSet::new(),
+            awaiting: vec![None; hosts],
+            probing: vec![None; hosts],
+            retransmits: vec![0; hosts],
+            checksum_mismatches: vec![0; hosts],
+            heal_events: 0,
+            fragments_resent: 0,
+            full_mask: if hosts >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << hosts) - 1
+            },
+        }
+    }
+
+    /// Bitmask of the roles `host` currently serves.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn role_mask(&self, host: HostId) -> u64 {
+        self.roles[host.0].iter().fold(0u64, |m, r| m | (1u64 << r))
+    }
+
+    /// The nearest clockwise successor the ring still routes to (`host`
+    /// itself when it is the sole survivor).
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn next_alive(&self, host: HostId) -> HostId {
+        let n = self.confirmed_dead.len();
+        for step in 1..=n {
+            let h = (host.0 + step) % n;
+            if !self.confirmed_dead[h] {
+                return HostId(h);
+            }
+        }
+        host
+    }
+
+    /// The nearest counterclockwise predecessor still routed to.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn prev_alive(&self, host: HostId) -> HostId {
+        let n = self.confirmed_dead.len();
+        for step in 1..=n {
+            let h = (host.0 + n - (step % n)) % n;
+            if !self.confirmed_dead[h] {
+                return HostId(h);
+            }
+        }
+        host
+    }
+
+    /// Where a salvaged fragment re-enters the ring: its origin, or (when
+    /// the origin itself crashed) the nearest not-crashed host after it.
+    /// `None` when every host crashed — nobody is left to re-send.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn inject_target(&self, origin: HostId) -> Option<HostId> {
+        let n = self.crashed.len();
+        (0..n)
+            .map(|step| (origin.0 + step) % n)
+            .find(|&h| !self.crashed[h])
+            .map(HostId)
+    }
+}
+
+/// The whole-ring protocol state machine. See the [module
+/// docs](super) for the driver contract.
+#[derive(Debug)]
+pub struct RingProtocol<P> {
+    cfg: ProtocolConfig,
+    hosts: Vec<HostProtocol<P>>,
+    fragments_total: usize,
+    fragments_completed: usize,
+    stopped: bool,
+    fault: Option<FaultLedger<P>>,
+}
+
+impl<P: PayloadBytes + Clone> RingProtocol<P> {
+    /// Builds the ring from pre-numbered local envelopes (`envelopes[h]`
+    /// belongs to host `h`, see [`super::envelope_batches`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `envelopes.len()` differs from the configured host
+    /// count, or a reliable ring exceeds the 64-host role-bitmask limit.
+    // analyze: allow(panic, reason = "construction-time shape checks; every later host id indexes tables sized here")
+    pub fn new(cfg: ProtocolConfig, envelopes: Vec<Vec<Envelope<P>>>) -> Self {
+        assert_eq!(
+            envelopes.len(),
+            cfg.hosts,
+            "need one envelope list per host"
+        );
+        assert!(
+            !cfg.reliable || cfg.hosts <= 64,
+            "the exactly-once role bitmask supports at most 64 hosts"
+        );
+        let fragments_total = envelopes.iter().map(Vec::len).sum();
+        let mut hosts: Vec<HostProtocol<P>> = (0..cfg.hosts)
+            .map(|h| HostProtocol::new(HostId(h), cfg.hosts, cfg.buffers_per_host))
+            .collect();
+        for (h, locals) in envelopes.into_iter().enumerate() {
+            for env in locals {
+                hosts[h].inject_local(env);
+            }
+        }
+        RingProtocol {
+            cfg,
+            hosts,
+            fragments_total,
+            fragments_completed: 0,
+            stopped: false,
+            fault: cfg.reliable.then(|| FaultLedger::new(cfg.hosts)),
+        }
+    }
+
+    /// Feeds one observation and returns the actions the driver must
+    /// apply, in order.
+    pub fn input(&mut self, input: Input<P>) -> Vec<Output<P>> {
+        let mut out = Vec::new();
+        match self.fault.take() {
+            Some(mut f) => {
+                self.input_fault(&mut f, input, &mut out);
+                self.fault = Some(f);
+            }
+            None => self.input_classic(input, &mut out),
+        }
+        out
+    }
+
+    // --- accessors (drivers and tests) ---------------------------------
+
+    /// The protocol-visible configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// One host's protocol state (read-only).
+    // analyze: allow(panic, reason = "host ids index the per-ring table sized at construction")
+    pub fn host(&self, host: HostId) -> &HostProtocol<P> {
+        &self.hosts[host.0]
+    }
+
+    /// Payload of the envelope `host` is currently joining (drivers hand
+    /// this to the application callback after [`Output::StartJoin`]).
+    // analyze: allow(panic, reason = "host ids index the per-ring table sized at construction")
+    pub fn processing_payload(&self, host: HostId) -> Option<&P> {
+        self.hosts[host.0].processing_payload()
+    }
+
+    /// Total fragments injected at construction.
+    pub fn fragments_total(&self) -> usize {
+        self.fragments_total
+    }
+
+    /// Fragments that completed their revolution so far.
+    pub fn fragments_completed(&self) -> usize {
+        self.fragments_completed
+    }
+
+    /// Continuous mode: has the application declared itself finished?
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Ground truth: has the driver reported `host` dead?
+    // analyze: allow(panic, reason = "host ids index the per-ring table sized at construction")
+    pub fn is_crashed(&self, host: HostId) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.crashed[host.0])
+    }
+
+    /// Retransmissions initiated by `host` (reliable mode).
+    // analyze: allow(panic, reason = "host ids index the per-ring table sized at construction")
+    pub fn retransmits(&self, host: HostId) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.retransmits[host.0])
+    }
+
+    /// Corrupted deliveries detected at `host` (reliable mode).
+    // analyze: allow(panic, reason = "host ids index the per-ring table sized at construction")
+    pub fn checksum_mismatches(&self, host: HostId) -> u64 {
+        self.fault
+            .as_ref()
+            .map_or(0, |f| f.checksum_mismatches[host.0])
+    }
+
+    /// Confirmed host deaths healed around.
+    pub fn heal_events(&self) -> usize {
+        self.fault.as_ref().map_or(0, |f| f.heal_events)
+    }
+
+    /// Fragments re-injected from their origin after being lost with a
+    /// dead host.
+    pub fn fragments_resent(&self) -> usize {
+        self.fault.as_ref().map_or(0, |f| f.fragments_resent)
+    }
+
+    /// Reports the fate the driver's fault dice dealt to the attempt just
+    /// emitted as [`Output::Send`] — the healing ledger uses it to decide
+    /// whether the receiver may hold a live copy.
+    // analyze: allow(panic, reason = "host ids index the per-ring table sized at construction")
+    pub fn attempt_fate(&mut self, tid: u64, dropped: bool, corrupt: bool) {
+        if let Some(f) = self.fault.as_mut() {
+            if let Some(e) = f.in_flight.get_mut(&tid) {
+                e.maybe_live = !dropped && !corrupt && !f.crashed[e.to.0];
+            }
+        }
+    }
+
+    // --- classic (unacknowledged) path ----------------------------------
+
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction")
+    fn input_classic(&mut self, input: Input<P>, out: &mut Vec<Output<P>>) {
+        match input {
+            Input::SetupDone { host } => {
+                self.hosts[host.0].set_ready();
+                self.try_start_join(host, out);
+            }
+            Input::JoinDone { host, app_finished } => {
+                self.on_join_done(host, app_finished, out);
+            }
+            Input::Delivered { to, env, .. } => {
+                out.push(Output::Delivered {
+                    host: to,
+                    id: env.id,
+                    bytes: env.bytes(),
+                });
+                self.hosts[to.0].deliver(env, true);
+                self.try_start_join(to, out);
+            }
+            Input::SendDone { from } => {
+                self.hosts[from.0].set_sending(false);
+                self.try_send(from, out);
+            }
+            Input::Ack { .. }
+            | Input::Tick { .. }
+            | Input::PeerDead { .. }
+            | Input::Paused { .. }
+            | Input::Resumed { .. }
+            | Input::AbsorbDone { .. } => {
+                out.push(Output::Teardown {
+                    reason: "reliable-transport input on the classic path",
+                });
+            }
+        }
+    }
+
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction")
+    fn try_start_join(&mut self, host: HostId, out: &mut Vec<Output<P>>) {
+        let Some(ticket) = self.hosts[host.0].begin_join() else {
+            return;
+        };
+        let bytes = self.hosts[host.0]
+            .processing_env()
+            .map_or(0, Envelope::bytes);
+        out.push(Output::StartJoin {
+            host,
+            id: ticket.id,
+            hop: ticket.hop,
+            roles: None,
+            bytes,
+        });
+    }
+
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; JoinDone without a running join is a driver contract violation surfaced as Teardown")
+    fn on_join_done(&mut self, host: HostId, app_finished: bool, out: &mut Vec<Output<P>>) {
+        let Some((mut env, released)) = self.hosts[host.0].finish_join() else {
+            out.push(Output::Teardown {
+                reason: "JoinDone without an envelope in processing",
+            });
+            return;
+        };
+        if released {
+            // The join entity is done reading the buffer element in
+            // place; its receive credit returns and may unblock our
+            // predecessor.
+            let prev = HostId((host.0 + self.cfg.hosts - 1) % self.cfg.hosts);
+            self.try_send(prev, out);
+        }
+        if self.cfg.continuous {
+            if app_finished {
+                self.stopped = true;
+                out.push(Output::Finished { host });
+                return;
+            }
+            // The hot set never retires: reset the hop budget and keep it
+            // circulating (single-host "rings" just requeue locally).
+            env.hops_remaining = self.cfg.hosts.max(2);
+            if self.cfg.hosts == 1 {
+                self.hosts[host.0].inject_local(env);
+            } else {
+                self.hosts[host.0].queue_outgoing(env);
+                self.try_send(host, out);
+            }
+        } else {
+            match self.hosts[host.0].route(&mut env) {
+                Route::Forward => {
+                    out.push(Output::Processed { host, id: env.id });
+                    self.hosts[host.0].queue_outgoing(env);
+                    self.try_send(host, out);
+                }
+                Route::Retire => {
+                    out.push(Output::Retire {
+                        host,
+                        id: env.id,
+                        salvaged: false,
+                    });
+                    self.fragments_completed += 1;
+                }
+            }
+        }
+        self.try_start_join(host, out);
+    }
+
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction")
+    fn try_send(&mut self, host: HostId, out: &mut Vec<Output<P>>) {
+        if self.cfg.hosts == 1 {
+            return;
+        }
+        let next = HostId((host.0 + 1) % self.cfg.hosts);
+        if self.hosts[host.0].is_sending()
+            || !self.hosts[host.0].has_outgoing()
+            || !self.hosts[next.0].has_free_slot()
+        {
+            return;
+        }
+        let env = match self.hosts[host.0].pop_outgoing() {
+            Some(env) => env,
+            None => return,
+        };
+        // Pre-post the receive buffer at the successor (an RDMA receive
+        // needs the slot reserved at the sender's send time).
+        self.hosts[next.0].reserve_slot();
+        self.hosts[host.0].set_sending(true);
+        out.push(Output::Send {
+            from: host,
+            to: next,
+            tid: 0,
+            attempt: 1,
+            env,
+        });
+    }
+
+    // --- reliable (acked, healing) path ---------------------------------
+
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction")
+    fn input_fault(&mut self, f: &mut FaultLedger<P>, input: Input<P>, out: &mut Vec<Output<P>>) {
+        match input {
+            Input::SetupDone { host } => {
+                if f.crashed[host.0] {
+                    return;
+                }
+                self.hosts[host.0].set_ready();
+                self.try_start_join_fault(f, host, out);
+            }
+            Input::JoinDone { host, .. } => self.on_join_done_fault(f, host, out),
+            Input::Delivered { to, env, tid } => self.on_delivered_fault(f, to, env, tid, out),
+            Input::SendDone { from } => {
+                self.hosts[from.0].set_sending(false);
+                if !f.crashed[from.0] {
+                    self.try_send_fault(f, from, out);
+                }
+            }
+            Input::Ack { tid } => self.on_ack(f, tid, out),
+            Input::Tick {
+                timer: Timer::Retransmit { tid, attempt },
+            } => self.on_ack_timeout(f, tid, attempt, out),
+            Input::Tick {
+                timer: Timer::Probe { from, to, attempt },
+            } => self.on_probe_timeout(f, from, to, attempt, out),
+            Input::PeerDead { host } => {
+                f.crashed[host.0] = true;
+            }
+            Input::Paused { host } => {
+                if !f.crashed[host.0] {
+                    f.paused[host.0] = true;
+                }
+            }
+            Input::Resumed { host } => {
+                if f.crashed[host.0] {
+                    return;
+                }
+                f.paused[host.0] = false;
+                self.try_start_join_fault(f, host, out);
+                self.try_send_fault(f, host, out);
+            }
+            Input::AbsorbDone { host } => {
+                if f.crashed[host.0] {
+                    return;
+                }
+                f.absorbing[host.0] = false;
+                self.try_start_join_fault(f, host, out);
+                self.try_send_fault(f, host, out);
+            }
+        }
+    }
+
+    /// Reliable receive: NIC-level checksum verification, duplicate
+    /// suppression and acknowledgement, all active even while the host's
+    /// software is paused. A crashed host's NIC is a black hole.
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn on_delivered_fault(
+        &mut self,
+        f: &mut FaultLedger<P>,
+        to: HostId,
+        env: Envelope<P>,
+        tid: u64,
+        out: &mut Vec<Output<P>>,
+    ) {
+        if f.crashed[to.0] {
+            if let Some(entry) = f.in_flight.get_mut(&tid) {
+                // The sender still tracks this transfer; its timeout path
+                // will retransmit or reroute. The copy itself dies here.
+                entry.maybe_live = false;
+            } else if !f.requeued.remove(&tid) {
+                // The sender healed past this transfer believing the copy
+                // delivered — salvage it from the wire.
+                self.resend_from_origin(f, env, out);
+            }
+            return;
+        }
+        if !env.checksum_ok() {
+            f.checksum_mismatches[to.0] += 1;
+            out.push(Output::ChecksumMismatch {
+                host: to,
+                id: env.id,
+            });
+            // No ack: the sender's timeout drives the retransmission.
+            return;
+        }
+        // Ack at NIC level on the backward channel of the sender's link,
+        // so acks never contend with payload and paused hosts still
+        // answer.
+        if let Some(entry) = f.in_flight.get(&tid) {
+            out.push(Output::Ack {
+                to: entry.from,
+                tid,
+            });
+        }
+        if !f.accepted.insert(tid) {
+            // A spurious retransmission delivered a second copy.
+            out.push(Output::DuplicateDropped {
+                host: to,
+                id: env.id,
+            });
+            return;
+        }
+        out.push(Output::Delivered {
+            host: to,
+            id: env.id,
+            bytes: env.bytes(),
+        });
+        self.hosts[to.0].deliver(env, true);
+        self.try_start_join_fault(f, to, out);
+    }
+
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction")
+    fn on_ack(&mut self, f: &mut FaultLedger<P>, tid: u64, out: &mut Vec<Output<P>>) {
+        let Some(entry) = f.in_flight.remove(&tid) else {
+            return; // transfer already settled (healed or superseded)
+        };
+        if f.awaiting[entry.from.0] == Some(tid) {
+            f.awaiting[entry.from.0] = None;
+        }
+        if !f.crashed[entry.from.0] {
+            self.try_send_fault(f, entry.from, out);
+        }
+    }
+
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; ledger lookups after presence checks")
+    fn on_ack_timeout(
+        &mut self,
+        f: &mut FaultLedger<P>,
+        tid: u64,
+        attempt: u32,
+        out: &mut Vec<Output<P>>,
+    ) {
+        let (from, to, attempts) = match f.in_flight.get(&tid) {
+            Some(e) => (e.from, e.to, e.attempts),
+            None => return, // acked or rerouted in the meantime
+        };
+        if attempts != attempt {
+            return; // stale timer of an earlier attempt
+        }
+        if f.crashed[from.0] {
+            return; // dead senders do not retransmit; healing recovers this
+        }
+        if f.confirmed_dead[to.0] {
+            // Someone else confirmed the death first: reroute this
+            // transfer to the head of the queue so it takes the healed
+            // path next.
+            let entry = f.in_flight.remove(&tid).expect("looked up above");
+            f.requeued.insert(tid);
+            if f.awaiting[from.0] == Some(tid) {
+                f.awaiting[from.0] = None;
+            }
+            self.hosts[from.0].requeue_outgoing_front(entry.env);
+            self.try_send_fault(f, from, out);
+            return;
+        }
+        match on_timeout(attempt, self.cfg.max_retransmits) {
+            TimeoutVerdict::Exhausted => {
+                // Budget exhausted: the successor is dead. (A live
+                // receiver always acks eventually — corruption rerolls
+                // per attempt.)
+                self.confirm_death(f, to, out);
+            }
+            TimeoutVerdict::Retry { .. } => {
+                let entry = f.in_flight.get_mut(&tid).expect("looked up above");
+                entry.attempts += 1;
+                f.retransmits[from.0] += 1;
+                self.transmit_attempt(f, tid, out);
+            }
+        }
+    }
+
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn on_probe_timeout(
+        &mut self,
+        f: &mut FaultLedger<P>,
+        from: HostId,
+        to: HostId,
+        attempt: u32,
+        out: &mut Vec<Output<P>>,
+    ) {
+        if f.probing[from.0] != Some((to, attempt)) {
+            return; // stale probe
+        }
+        if f.crashed[from.0] {
+            f.probing[from.0] = None;
+            return;
+        }
+        let blocked = self.hosts[from.0].has_outgoing()
+            && !self.hosts[from.0].is_sending()
+            && f.awaiting[from.0].is_none()
+            && !f.confirmed_dead[to.0]
+            && f.next_alive(from) == to
+            && !self.hosts[to.0].has_free_slot();
+        if !blocked {
+            f.probing[from.0] = None;
+            self.try_send_fault(f, from, out);
+            return;
+        }
+        if f.crashed[to.0] {
+            // The probe went unanswered: a crashed NIC. Count attempts
+            // with the same budget and backoff as data retransmissions.
+            if attempt > self.cfg.max_retransmits {
+                f.probing[from.0] = None;
+                self.confirm_death(f, to, out);
+            } else {
+                f.probing[from.0] = Some((to, attempt + 1));
+                out.push(Output::ArmTimer {
+                    timer: Timer::Probe {
+                        from,
+                        to,
+                        attempt: attempt + 1,
+                    },
+                    backoff_exp: attempt.min(BACKOFF_CAP),
+                });
+            }
+        } else {
+            // The successor's NIC answered: alive, just slow or paused.
+            // Keep watching at the base interval.
+            f.probing[from.0] = Some((to, 1));
+            out.push(Output::ArmTimer {
+                timer: Timer::Probe {
+                    from,
+                    to,
+                    attempt: 1,
+                },
+                backoff_exp: 0,
+            });
+        }
+    }
+
+    /// Reliable join start: computes the set of not-yet-visited roles
+    /// this host serves, marks them in the exactly-once ledger at join
+    /// *start* (joins are atomic units whose output is modeled as durably
+    /// streamed at process time), and forwards fully-covered envelopes
+    /// without joining.
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn try_start_join_fault(
+        &mut self,
+        f: &mut FaultLedger<P>,
+        host: HostId,
+        out: &mut Vec<Output<P>>,
+    ) {
+        loop {
+            if f.crashed[host.0]
+                || f.paused[host.0]
+                || f.absorbing[host.0]
+                || !self.hosts[host.0].is_ready()
+                || self.hosts[host.0].is_processing()
+                || !self.hosts[host.0].has_incoming()
+            {
+                return;
+            }
+            let mut held = match self.hosts[host.0].pop_incoming() {
+                Some(held) => held,
+                None => return,
+            };
+            let apply = f.role_mask(host) & !held.env.visited;
+            if apply == 0 {
+                // Every partition this host serves already joined this
+                // fragment (healed-route pass-through): forward unjoined.
+                if held.pooled {
+                    self.hosts[host.0].release_slot();
+                    let prev = f.prev_alive(host);
+                    self.try_send_fault(f, prev, out);
+                }
+                out.push(Output::PassThrough {
+                    host,
+                    id: held.env.id,
+                });
+                self.route_onward_fault(f, host, held.env, out);
+                continue;
+            }
+            // Roles already joined before this stop — the fault-mode hop
+            // index (routing may bypass healed-over hosts).
+            let hop = held.env.visited.count_ones() as usize;
+            held.env.mark_visited(apply);
+            let roles: Vec<usize> = f.roles[host.0]
+                .iter()
+                .copied()
+                .filter(|r| apply & (1u64 << r) != 0)
+                .collect();
+            let id = held.env.id;
+            let bytes = held.env.bytes();
+            self.hosts[host.0].set_processing(held);
+            out.push(Output::StartJoin {
+                host,
+                id,
+                hop,
+                roles: Some(roles),
+                bytes,
+            });
+            return;
+        }
+    }
+
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction")
+    fn on_join_done_fault(
+        &mut self,
+        f: &mut FaultLedger<P>,
+        host: HostId,
+        out: &mut Vec<Output<P>>,
+    ) {
+        if f.crashed[host.0] {
+            // The join died with the host; healing salvages its envelope.
+            return;
+        }
+        let Some((env, released)) = self.hosts[host.0].finish_join() else {
+            out.push(Output::Teardown {
+                reason: "JoinDone without an envelope in processing",
+            });
+            return;
+        };
+        if released {
+            let prev = f.prev_alive(host);
+            self.try_send_fault(f, prev, out);
+        }
+        out.push(Output::Processed { host, id: env.id });
+        self.route_onward_fault(f, host, env, out);
+        self.try_start_join_fault(f, host, out);
+    }
+
+    /// Retires a fully-visited envelope or queues it for the next hop.
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction")
+    fn route_onward_fault(
+        &mut self,
+        f: &mut FaultLedger<P>,
+        host: HostId,
+        env: Envelope<P>,
+        out: &mut Vec<Output<P>>,
+    ) {
+        if env.visited_all(f.full_mask) {
+            out.push(Output::Retire {
+                host,
+                id: env.id,
+                salvaged: false,
+            });
+            self.fragments_completed += 1;
+            return;
+        }
+        self.hosts[host.0].queue_outgoing(env);
+        self.try_send_fault(f, host, out);
+    }
+
+    /// Reliable transmit: stop-and-wait per sender with the successor
+    /// chosen through the healed routing table.
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn try_send_fault(&mut self, f: &mut FaultLedger<P>, host: HostId, out: &mut Vec<Output<P>>) {
+        if self.cfg.hosts == 1 {
+            return;
+        }
+        if f.crashed[host.0] || f.paused[host.0] {
+            return;
+        }
+        if self.hosts[host.0].is_sending()
+            || f.awaiting[host.0].is_some()
+            || !self.hosts[host.0].has_outgoing()
+        {
+            return;
+        }
+        let next = f.next_alive(host);
+        if next == host {
+            // Sole survivor: remaining rotation work loops back locally.
+            while let Some(env) = self.hosts[host.0].pop_outgoing() {
+                self.hosts[host.0].inject_local(env);
+            }
+            self.try_start_join_fault(f, host, out);
+            return;
+        }
+        if !self.hosts[next.0].has_free_slot() {
+            // Blocked on the successor's receive pool. Probe it so a
+            // corpse with a full pool is still detected (no data, no ack
+            // timeout).
+            if f.probing[host.0].is_none() {
+                f.probing[host.0] = Some((next, 1));
+                out.push(Output::ArmTimer {
+                    timer: Timer::Probe {
+                        from: host,
+                        to: next,
+                        attempt: 1,
+                    },
+                    backoff_exp: 0,
+                });
+            }
+            return;
+        }
+        f.probing[host.0] = None;
+        let mut env = match self.hosts[host.0].pop_outgoing() {
+            Some(env) => env,
+            None => return,
+        };
+        self.hosts[next.0].reserve_slot();
+        let tid = f.next_tid;
+        f.next_tid += 1;
+        // Per-sender wire sequence: the same numbering the live backend's
+        // LinkSender stamps, so fault dice agree across backends.
+        f.wire_seq[host.0] += 1;
+        env.seq = f.wire_seq[host.0];
+        f.awaiting[host.0] = Some(tid);
+        f.in_flight.insert(
+            tid,
+            InFlight {
+                from: host,
+                to: next,
+                env,
+                attempts: 1,
+                maybe_live: false,
+            },
+        );
+        self.transmit_attempt(f, tid, out);
+    }
+
+    /// Emits one attempt of transfer `tid`; the driver rolls the fault
+    /// dice for this `(link, seq, attempt)` tuple and reports the fate
+    /// back through [`RingProtocol::attempt_fate`].
+    // analyze: allow(panic, reason = "transmit of a transfer inserted by the caller; ledger lookups after presence checks")
+    fn transmit_attempt(&mut self, f: &mut FaultLedger<P>, tid: u64, out: &mut Vec<Output<P>>) {
+        let e = match f.in_flight.get(&tid) {
+            Some(e) => e,
+            None => return,
+        };
+        let (from, to, attempt) = (e.from, e.to, e.attempts);
+        self.hosts[from.0].set_sending(true);
+        out.push(Output::Send {
+            from,
+            to,
+            tid,
+            attempt,
+            env: e.env.clone(),
+        });
+        out.push(Output::ArmTimer {
+            timer: Timer::Retransmit { tid, attempt },
+            backoff_exp: backoff_exponent(attempt),
+        });
+    }
+
+    /// A peer exhausted its retransmission budget against `dead`: bypass
+    /// it, let its successor absorb the orphaned stationary partitions,
+    /// and re-send every fragment copy lost in its buffers from the
+    /// fragment's origin — mid-revolution ring healing.
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn confirm_death(&mut self, f: &mut FaultLedger<P>, dead: HostId, out: &mut Vec<Output<P>>) {
+        if f.confirmed_dead[dead.0] {
+            return;
+        }
+        if !f.crashed[dead.0] {
+            out.push(Output::Teardown {
+                reason: teardown::LIVE_HOST_KILLED,
+            });
+            return;
+        }
+        f.confirmed_dead[dead.0] = true;
+        if f.confirmed_dead.iter().all(|d| *d) {
+            out.push(Output::Teardown {
+                reason: teardown::ALL_HOSTS_DEAD,
+            });
+            return;
+        }
+        f.heal_events += 1;
+        out.push(Output::Heal { dead });
+
+        // 1. The ring successor absorbs the orphaned stationary
+        //    partitions — the exactly-once ledger is the `roles` table:
+        //    `take` empties the dead host's entry, so no second survivor
+        //    can ever absorb the same role.
+        let successor = f.next_alive(dead);
+        let orphaned: Vec<usize> = std::mem::take(&mut f.roles[dead.0]);
+        if !orphaned.is_empty() {
+            f.roles[successor.0].extend(orphaned.iter().copied());
+            f.absorbing[successor.0] = true;
+            out.push(Output::Absorb {
+                survivor: successor,
+                dead,
+                roles: orphaned,
+            });
+        }
+
+        // 2. Salvage every fragment copy lost in the dead host's buffers.
+        let mut lost = self.hosts[dead.0].salvage();
+        f.awaiting[dead.0] = None;
+        f.probing[dead.0] = None;
+
+        // 3. Settle in-flight transfers touching the corpse: transfers
+        //    *to* it reroute at their sender; transfers *from* it either
+        //    survive at the receiver (only the ack back to the corpse was
+        //    lost) or are genuinely gone and join the re-send set.
+        let touching: Vec<u64> = f
+            .in_flight
+            .iter()
+            .filter(|(_, e)| e.to == dead || e.from == dead)
+            .map(|(tid, _)| *tid)
+            .collect();
+        for tid in touching {
+            let entry = match f.in_flight.remove(&tid) {
+                Some(entry) => entry,
+                None => continue,
+            };
+            if entry.to == dead {
+                f.requeued.insert(tid);
+                if f.awaiting[entry.from.0] == Some(tid) {
+                    f.awaiting[entry.from.0] = None;
+                }
+                self.hosts[entry.from.0].requeue_outgoing_front(entry.env);
+            } else if !entry.maybe_live {
+                lost.push(entry.env);
+            }
+        }
+        for env in lost {
+            self.resend_from_origin(f, env, out);
+        }
+
+        // 4. Kick every survivor: blocked transmitters now route around
+        //    the corpse, and salvaged fragments may be waiting for a join.
+        for h in 0..self.cfg.hosts {
+            if !f.confirmed_dead[h] && !f.crashed[h] {
+                self.try_send_fault(f, HostId(h), out);
+                self.try_start_join_fault(f, HostId(h), out);
+            }
+        }
+    }
+
+    /// Re-injects a fragment whose only live copy was lost with a dead
+    /// host, from its origin (the fragment's home, which still holds it).
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn resend_from_origin(
+        &mut self,
+        f: &mut FaultLedger<P>,
+        mut env: Envelope<P>,
+        out: &mut Vec<Output<P>>,
+    ) {
+        if env.visited_all(f.full_mask) {
+            // The dead host crashed between starting and finishing the
+            // last join; the output is modeled as streamed at process
+            // time, so the fragment simply retires.
+            out.push(Output::Retire {
+                host: env.origin,
+                id: env.id,
+                salvaged: true,
+            });
+            self.fragments_completed += 1;
+            return;
+        }
+        let Some(target) = f.inject_target(env.origin) else {
+            out.push(Output::Teardown {
+                reason: teardown::NO_RESEND_SURVIVOR,
+            });
+            return;
+        };
+        env.seq = 0;
+        f.fragments_resent += 1;
+        out.push(Output::Resent { target, id: env.id });
+        if f.role_mask(target) & !env.visited != 0 {
+            self.hosts[target.0].inject_local(env);
+            self.try_start_join_fault(f, target, out);
+        } else {
+            self.hosts[target.0].queue_outgoing(env);
+            self.try_send_fault(f, target, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::FragmentId;
+    use crate::protocol::envelope_batches;
+
+    fn ring(hosts: usize, per_host: usize, reliable: bool) -> RingProtocol<Vec<u8>> {
+        let cfg = ProtocolConfig {
+            hosts,
+            buffers_per_host: 2,
+            max_retransmits: 4,
+            continuous: false,
+            reliable,
+        };
+        let payloads: Vec<Vec<Vec<u8>>> = (0..hosts)
+            .map(|h| {
+                (0..per_host)
+                    .map(|i| vec![(h * 10 + i) as u8; 16])
+                    .collect()
+            })
+            .collect();
+        RingProtocol::new(cfg, envelope_batches(payloads, hosts))
+    }
+
+    /// Drives a protocol to completion by fulfilling every obligation the
+    /// outputs create, depth-first, with a perfect (lossless) medium.
+    fn drive(proto: &mut RingProtocol<Vec<u8>>) {
+        let mut pending: Vec<Input<Vec<u8>>> = Vec::new();
+        for h in 0..proto.config().hosts {
+            pending.push(Input::SetupDone { host: HostId(h) });
+        }
+        let mut steps = 0usize;
+        while let Some(input) = pending.pop() {
+            steps += 1;
+            assert!(steps < 100_000, "protocol did not quiesce");
+            for output in proto.input(input) {
+                match output {
+                    Output::StartJoin { host, .. } => pending.push(Input::JoinDone {
+                        host,
+                        app_finished: false,
+                    }),
+                    Output::Send {
+                        from, to, tid, env, ..
+                    } => {
+                        pending.push(Input::SendDone { from });
+                        pending.push(Input::Delivered { to, env, tid });
+                    }
+                    Output::Ack { tid, .. } => pending.push(Input::Ack { tid }),
+                    Output::Teardown { reason } => panic!("unexpected teardown: {reason}"),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classic_ring_completes_a_revolution() {
+        let mut proto = ring(3, 2, false);
+        drive(&mut proto);
+        assert_eq!(proto.fragments_completed(), 6);
+        for h in 0..3 {
+            assert_eq!(proto.host(HostId(h)).fragments_processed(), 6);
+            assert_eq!(proto.host(HostId(h)).pool_used(), 0);
+        }
+    }
+
+    #[test]
+    fn reliable_ring_completes_with_acks() {
+        let mut proto = ring(3, 2, true);
+        drive(&mut proto);
+        assert_eq!(proto.fragments_completed(), 6);
+        for h in 0..3 {
+            assert_eq!(proto.host(HostId(h)).fragments_processed(), 6);
+            assert_eq!(proto.retransmits(HostId(h)), 0);
+        }
+        assert_eq!(proto.heal_events(), 0);
+    }
+
+    #[test]
+    fn single_host_ring_retires_locally() {
+        let mut proto = ring(1, 3, false);
+        drive(&mut proto);
+        assert_eq!(proto.fragments_completed(), 3);
+        assert_eq!(proto.host(HostId(0)).fragments_processed(), 3);
+    }
+
+    #[test]
+    fn stale_retransmit_timers_are_ignored() {
+        let mut proto = ring(2, 1, true);
+        let _ = proto.input(Input::SetupDone { host: HostId(0) });
+        // A tick for a transfer that was never sent must be a no-op.
+        let out = proto.input(Input::Tick {
+            timer: Timer::Retransmit {
+                tid: 99,
+                attempt: 1,
+            },
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn envelope_batches_number_globally() {
+        let batches = envelope_batches(vec![vec![vec![1u8]], vec![vec![2u8], vec![3u8]]], 2);
+        assert_eq!(batches[0][0].id, FragmentId(0));
+        assert_eq!(batches[1][0].id, FragmentId(1));
+        assert_eq!(batches[1][1].id, FragmentId(2));
+        assert_eq!(batches[1][1].origin, HostId(1));
+    }
+}

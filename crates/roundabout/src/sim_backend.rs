@@ -1,16 +1,11 @@
 //! The simulated ring backend: Data Roundabout inside a discrete-event
 //! simulation.
 //!
-//! Every host runs the paper's three asynchronous entities (§III-D):
-//!
-//! * the **receiver** accepts envelopes into pre-reserved ring-buffer
-//!   elements (an RDMA receive requires a pre-posted buffer, so the slot
-//!   is reserved at the *sender's* send time, not at arrival);
-//! * the **join entity** processes one buffer at a time, FIFO;
-//! * the **transmitter** forwards processed envelopes clockwise, but only
-//!   when the successor has a free buffer element (credit-based flow
-//!   control) — this is the mechanism that lets a slow host "borrow" time
-//!   from the ring without stalling it immediately (§V-D).
+//! Every protocol decision — credit flow control, ack/retransmit ledger,
+//! healing — lives in the sans-IO [`crate::protocol`] core. This file is
+//! only the *driver*: it maps [`Output`]s onto `simnet` events, link and
+//! RNIC reservations, CPU cost charges and trace spans, and feeds the
+//! resulting observations back as [`Input`]s.
 //!
 //! Time and CPU model:
 //!
@@ -25,8 +20,10 @@
 //!   `d_eff = pollution × max(d, (threads·d + comm_cpu) / cores)`.
 //!   Under RDMA, `d_eff = d`: the join "is never interrupted by the
 //!   network".
-
-use std::collections::{BTreeMap, HashSet, VecDeque};
+//!
+//! Output order is the protocol's contract: outputs are applied strictly
+//! in emission order, which reproduces the event-scheduling sequence of
+//! the pre-extraction backend — determinism tests pin this.
 
 use simnet::cpu::{CostCategory, CpuAccount};
 use simnet::engine::Simulation;
@@ -44,6 +41,7 @@ use crate::app::RingApp;
 use crate::config::RingConfig;
 use crate::envelope::{Envelope, PayloadBytes};
 use crate::metrics::{HostMetrics, RingMetrics};
+use crate::protocol::{envelope_batches, Input, Output, ProtocolConfig, RingProtocol, Timer};
 
 /// Safety valve: no legitimate run needs more events than this per fragment
 /// and host.
@@ -76,52 +74,24 @@ pub struct SimOutcome<A> {
     pub spans: SpanTracer,
 }
 
-/// An envelope at the join entity, remembering whether it occupies a slot
-/// of the host's receive pool (locally injected fragments live in local
-/// memory and do not). Zero-copy processing reads the buffer element in
-/// place, so the slot stays held *through* the join and is released when
-/// the join entity finishes with it; the transmit path then stages from
-/// the processed element, so forwarding never holds receive credit. That
-/// is what makes the credit scheme deadlock-free: every held slot is
-/// released after a bounded amount of join work, never while waiting for
-/// downstream credit.
+/// Per-host *driver* state: the timing/cost bookkeeping the metrics are
+/// built from. Queues, credit and ledgers live in the protocol core.
 #[derive(Debug)]
-struct Held<P> {
-    env: Envelope<P>,
-    pooled: bool,
-}
-
-#[derive(Debug)]
-struct HostState<P> {
-    incoming: VecDeque<Held<P>>,
-    processing: Option<Held<P>>,
-    outgoing: VecDeque<Envelope<P>>,
-    /// Receive-pool slots in use (reserved for in-flight transfers or
-    /// occupied by received envelopes still on this host).
-    pool_used: usize,
-    /// Transmitter busy with an in-flight send.
-    sending: bool,
+struct DriverHost {
     setup_done: Option<SimTime>,
     last_join_done: SimTime,
     join_busy: SimDuration,
     join_cpu: CpuAccount,
-    fragments_processed: usize,
     bytes_forwarded: u64,
 }
 
-impl<P> HostState<P> {
+impl DriverHost {
     fn new() -> Self {
-        HostState {
-            incoming: VecDeque::new(),
-            processing: None,
-            outgoing: VecDeque::new(),
-            pool_used: 0,
-            sending: false,
+        DriverHost {
             setup_done: None,
             last_join_done: SimTime::ZERO,
             join_busy: SimDuration::ZERO,
             join_cpu: CpuAccount::new(),
-            fragments_processed: 0,
             bytes_forwarded: 0,
         }
     }
@@ -137,19 +107,22 @@ enum RingEvent<P> {
     Arrived {
         to: HostId,
         env: Envelope<P>,
+        /// Transfer id from the matching [`Output::Send`] (0 on the
+        /// classic path, which has no ack ledger).
+        tid: u64,
     },
     SendDone {
         from: HostId,
         completion: Option<Completion>,
     },
-    /// The receiver's NIC acknowledged transfer `seq` (fault mode only).
+    /// The receiver's NIC acknowledged transfer `tid` (fault mode only).
     AckArrived {
-        seq: u64,
+        tid: u64,
     },
     /// The sender's retransmission timer for attempt `attempt` of transfer
-    /// `seq` fired (stale if the transfer was acked or re-attempted since).
+    /// `tid` fired (stale if the transfer was acked or re-attempted since).
     AckTimeout {
-        seq: u64,
+        tid: u64,
         attempt: u32,
     },
     /// A sender blocked on its successor's full receive pool probes it.
@@ -173,145 +146,6 @@ enum RingEvent<P> {
     AbsorbDone {
         host: HostId,
     },
-}
-
-/// One unacknowledged transfer of the reliable transport.
-struct InFlight<P> {
-    from: HostId,
-    to: HostId,
-    /// Pristine copy for retransmission (corruption is injected on the
-    /// transmitted clone, never on this master).
-    env: Envelope<P>,
-    /// Send attempts made so far (1 = the initial transmission).
-    attempts: u32,
-    /// Whether the most recent attempt put an intact copy on the wire
-    /// toward a then-live receiver. Consulted during healing to decide
-    /// between "the receiver has it" and "lost — re-send from origin".
-    maybe_live: bool,
-}
-
-/// Bookkeeping of the fault-tolerant transport, present only when a
-/// [`FaultPlan`] is attached. The classic path never touches it, so runs
-/// without a plan are byte-identical to the pre-fault backend.
-struct FaultCtx<P> {
-    plan: FaultPlan,
-    /// Ground truth: the host stopped acting (its buffers are retained
-    /// until healing salvages them).
-    crashed: Vec<bool>,
-    /// Routing truth: a peer exhausted its retransmission budget and the
-    /// ring now bypasses this host.
-    confirmed_dead: Vec<bool>,
-    paused: Vec<bool>,
-    /// Successor busy rebuilding absorbed partitions (joins gated).
-    absorbing: Vec<bool>,
-    /// Logical stationary partitions (`S_i` roles) each host serves;
-    /// starts as `roles[h] == [h]` and grows through healing.
-    roles: Vec<Vec<usize>>,
-    next_seq: u64,
-    in_flight: BTreeMap<u64, InFlight<P>>,
-    /// Transfers accepted by some receiver — dedupes the copies that
-    /// spurious retransmissions deliver twice.
-    accepted_seqs: HashSet<u64>,
-    /// Transfers rerouted at their sender after the receiver's death was
-    /// confirmed; a late arrival of the original copy at the corpse must
-    /// not be salvaged a second time.
-    requeued: HashSet<u64>,
-    /// Stop-and-wait: the transfer each host is awaiting an ack for.
-    awaiting: Vec<Option<u64>>,
-    /// Outstanding pool-blocked probe per sender: `(target, attempt)`.
-    probing: Vec<Option<(HostId, u32)>>,
-    retransmits: Vec<u64>,
-    checksum_mismatches: Vec<u64>,
-    heal_events: usize,
-    fragments_resent: usize,
-    detection_latency: SimDuration,
-    /// `visited` mask covering every logical role.
-    full_mask: u64,
-    /// Last instant of real progress (setup, join, retirement, absorb) —
-    /// the fault-mode wall clock, so trailing ack chatter does not pad the
-    /// reported runtime.
-    last_progress: SimTime,
-}
-
-impl<P> FaultCtx<P> {
-    fn new(plan: FaultPlan, hosts: usize) -> Self {
-        FaultCtx {
-            plan,
-            crashed: vec![false; hosts],
-            confirmed_dead: vec![false; hosts],
-            paused: vec![false; hosts],
-            absorbing: vec![false; hosts],
-            roles: (0..hosts).map(|h| vec![h]).collect(),
-            next_seq: 1,
-            in_flight: BTreeMap::new(),
-            accepted_seqs: HashSet::new(),
-            requeued: HashSet::new(),
-            awaiting: vec![None; hosts],
-            probing: vec![None; hosts],
-            retransmits: vec![0; hosts],
-            checksum_mismatches: vec![0; hosts],
-            heal_events: 0,
-            fragments_resent: 0,
-            detection_latency: SimDuration::ZERO,
-            full_mask: if hosts >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << hosts) - 1
-            },
-            last_progress: SimTime::ZERO,
-        }
-    }
-
-    /// Bitmask of the roles `host` currently serves.
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn role_mask(&self, host: HostId) -> u64 {
-        self.roles[host.0].iter().fold(0u64, |m, r| m | (1u64 << r))
-    }
-
-    /// The nearest clockwise successor the ring still routes to (`host`
-    /// itself when it is the sole survivor).
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn next_alive(&self, host: HostId) -> HostId {
-        let n = self.confirmed_dead.len();
-        for step in 1..=n {
-            let h = (host.0 + step) % n;
-            if !self.confirmed_dead[h] {
-                return HostId(h);
-            }
-        }
-        host
-    }
-
-    /// The nearest counterclockwise predecessor still routed to.
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn prev_alive(&self, host: HostId) -> HostId {
-        let n = self.confirmed_dead.len();
-        for step in 1..=n {
-            let h = (host.0 + n - (step % n)) % n;
-            if !self.confirmed_dead[h] {
-                return HostId(h);
-            }
-        }
-        host
-    }
-
-    /// Where a salvaged fragment re-enters the ring: its origin, or (when
-    /// the origin itself crashed) the nearest not-crashed host after it.
-    ///
-    /// # Panics
-    ///
-    /// Panics when every host crashed — there is nobody left to re-send.
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn inject_target(&self, origin: HostId) -> HostId {
-        let n = self.crashed.len();
-        for step in 0..n {
-            let h = (origin.0 + step) % n;
-            if !self.crashed[h] {
-                return HostId(h);
-            }
-        }
-        panic!("every host crashed — no survivor left to re-send lost fragments");
-    }
 }
 
 /// A configured, ready-to-run simulated ring.
@@ -445,7 +279,10 @@ struct Runner<P, A> {
     continuous: bool,
     stopped: bool,
     network: RingNetwork,
-    hosts: Vec<HostState<P>>,
+    /// The shared sans-IO protocol core — every queue, credit and ledger
+    /// decision is its.
+    proto: RingProtocol<P>,
+    hosts: Vec<DriverHost>,
     /// Per-host RNIC state (RDMA transport only): the NIC, its send queue
     /// pair, and the registered region backing the ring-buffer pool.
     /// Transfers are posted as work requests against the registered
@@ -455,8 +292,6 @@ struct Runner<P, A> {
     rnics: Vec<Option<(Rnic, QueuePair, MemoryRegion)>>,
     host_speed: Option<Vec<f64>>,
     next_wr_id: u64,
-    fragments_total: usize,
-    fragments_completed: usize,
     wall_clock: SimTime,
     tracer: Tracer,
     spans: SpanTracer,
@@ -464,11 +299,18 @@ struct Runner<P, A> {
     /// for emitting `Sync` spans: the gap from here to the next join start
     /// is exactly the idle time `RingMetrics` reports as `sync`.
     busy_until: Vec<SimTime>,
-    fault: Option<FaultCtx<P>>,
+    /// The medium's dice (loss, corruption, spikes, crash schedule). The
+    /// protocol core never sees these; it learns each attempt's fate via
+    /// [`RingProtocol::attempt_fate`].
+    fault_plan: Option<FaultPlan>,
+    detection_latency: SimDuration,
+    /// Last instant of real progress (setup, join, retirement, absorb) —
+    /// the fault-mode wall clock, so trailing ack chatter does not pad the
+    /// reported runtime.
+    last_progress: SimTime,
 }
 
 impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
-    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn new(ring: SimRing<P, A>) -> Self {
         let n = ring.config.hosts;
         if let Some(speed) = &ring.host_speed {
@@ -493,9 +335,6 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             );
         }
         let network = RingNetwork::new(n, effective_link(&ring.config));
-        let mut hosts: Vec<HostState<P>> = (0..n).map(|_| HostState::new()).collect();
-        let mut next_id = 0usize;
-        let fragments_total: usize = ring.fragments.iter().map(Vec::len).sum();
         let max_fragment_bytes = ring
             .fragments
             .iter()
@@ -517,28 +356,27 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 _ => None,
             })
             .collect();
-        for (h, frags) in ring.fragments.into_iter().enumerate() {
-            for payload in frags {
-                let env =
-                    Envelope::new(crate::envelope::FragmentId(next_id), HostId(h), n, payload);
-                next_id += 1;
-                // Local fragments enter the join queue directly; they live
-                // in local memory, not in the receive pool.
-                hosts[h].incoming.push_back(Held { env, pooled: false });
-            }
-        }
+        let proto = RingProtocol::new(
+            ProtocolConfig {
+                hosts: n,
+                buffers_per_host: ring.config.buffers_per_host,
+                max_retransmits: ring.config.max_retransmits,
+                continuous: ring.continuous,
+                reliable: ring.fault_plan.is_some(),
+            },
+            envelope_batches(ring.fragments, n),
+        );
         Runner {
             config: ring.config,
             app: ring.app,
             continuous: ring.continuous,
             stopped: false,
             network,
-            hosts,
+            proto,
+            hosts: (0..n).map(|_| DriverHost::new()).collect(),
             rnics,
             host_speed: ring.host_speed,
             next_wr_id: 0,
-            fragments_total,
-            fragments_completed: 0,
             wall_clock: SimTime::ZERO,
             tracer: if ring.trace {
                 Tracer::enabled()
@@ -551,7 +389,9 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 SpanTracer::disabled()
             },
             busy_until: vec![SimTime::ZERO; n],
-            fault: ring.fault_plan.map(|plan| FaultCtx::new(plan, n)),
+            fault_plan: ring.fault_plan,
+            detection_latency: SimDuration::ZERO,
+            last_progress: SimTime::ZERO,
         }
     }
 
@@ -562,10 +402,10 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             CONTINUOUS_EVENT_BUDGET
         } else {
             EVENT_BUDGET_PER_UNIT
-                * (self.fragments_total as u64 + 1)
+                * (self.proto.fragments_total() as u64 + 1)
                 * (self.config.hosts as u64 + 1)
         };
-        if self.fault.is_some() {
+        if self.fault_plan.is_some() {
             budget = budget * FAULT_BUDGET_FACTOR + FAULT_BUDGET_SLACK;
         }
         let mut sim: Simulation<RingEvent<P>> = Simulation::new().with_event_limit(budget);
@@ -573,11 +413,11 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             let d = self.app.setup(HostId(h));
             sim.schedule_in(d, RingEvent::SetupDone { host: HostId(h) });
         }
-        if let Some(f) = &self.fault {
-            for c in f.plan.crashes() {
+        if let Some(plan) = &self.fault_plan {
+            for c in plan.crashes() {
                 sim.schedule_at(c.at, RingEvent::Crash { host: c.host });
             }
-            for p in f.plan.pauses() {
+            for p in plan.pauses() {
                 sim.schedule_at(p.at, RingEvent::Pause { host: p.host });
                 sim.schedule_at(p.at + p.duration, RingEvent::Resume { host: p.host });
             }
@@ -588,41 +428,41 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 break;
             }
         }
-        self.wall_clock = match &self.fault {
+        self.wall_clock = if self.fault_plan.is_some() {
             // Trailing ack/timeout chatter after the last retirement must
             // not pad the reported runtime.
-            Some(f) => f.last_progress,
-            None => sim.now(),
+            self.last_progress
+        } else {
+            sim.now()
         };
         if self.continuous {
             assert!(
-                self.stopped || self.fragments_total == 0,
+                self.stopped || self.proto.fragments_total() == 0,
                 "continuous rotation drained its event queue without the app                  declaring itself finished — the ring stalled"
             );
         } else {
             assert_eq!(
-                self.fragments_completed, self.fragments_total,
+                self.proto.fragments_completed(),
+                self.proto.fragments_total(),
                 "ring run quiesced with unfinished fragments — flow-control deadlock"
             );
         }
         self.finish()
     }
 
+    /// Translates one simulation event into a protocol [`Input`], doing
+    /// the driver-side bookkeeping (timing, traces) the protocol cannot.
     // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn handle(&mut self, sim: &mut Simulation<RingEvent<P>>, ev: RingEvent<P>) {
-        if self.fault.is_some() {
-            // Temporarily take the fault context so handlers can borrow it
-            // alongside the host states.
-            let mut f = self.fault.take().expect("checked is_some");
-            self.handle_fault(sim, &mut f, ev);
-            self.fault = Some(f);
-            return;
-        }
         match ev {
             RingEvent::SetupDone { host } => {
+                if self.proto.is_crashed(host) {
+                    return;
+                }
                 self.hosts[host.0].setup_done = Some(sim.now());
                 self.hosts[host.0].last_join_done = sim.now();
                 self.busy_until[host.0] = sim.now();
+                self.last_progress = self.last_progress.max(sim.now());
                 self.tracer.record(sim.now(), host, "setup done");
                 self.spans.span(
                     host.0,
@@ -631,603 +471,398 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                     SimTime::ZERO,
                     sim.now().saturating_duration_since(SimTime::ZERO),
                 );
-                self.try_start_join(sim, host);
+                let out = self.proto.input(Input::SetupDone { host });
+                self.apply(sim, out);
             }
             RingEvent::JoinDone { host } => {
-                self.on_join_done(sim, host);
-            }
-            RingEvent::Arrived { to, env } => {
-                self.on_arrived(sim, to, env);
-            }
-            RingEvent::SendDone { from, completion } => {
-                self.on_send_done(sim, from, completion);
-            }
-            RingEvent::AckArrived { .. }
-            | RingEvent::AckTimeout { .. }
-            | RingEvent::ProbeTimeout { .. }
-            | RingEvent::Crash { .. }
-            | RingEvent::Pause { .. }
-            | RingEvent::Resume { .. }
-            | RingEvent::AbsorbDone { .. } => {
-                unreachable!("fault-mode event scheduled without a fault plan")
-            }
-        }
-    }
-
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn handle_fault(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        ev: RingEvent<P>,
-    ) {
-        match ev {
-            RingEvent::SetupDone { host } => {
-                if f.crashed[host.0] {
+                if self.proto.is_crashed(host) {
+                    // The join died with the host; healing salvages its
+                    // envelope.
                     return;
                 }
-                self.hosts[host.0].setup_done = Some(sim.now());
                 self.hosts[host.0].last_join_done = sim.now();
-                self.busy_until[host.0] = sim.now();
-                f.last_progress = f.last_progress.max(sim.now());
-                self.tracer.record(sim.now(), host, "setup done");
-                self.spans.span(
-                    host.0,
-                    SpanKind::Setup,
-                    "setup",
-                    SimTime::ZERO,
-                    sim.now().saturating_duration_since(SimTime::ZERO),
-                );
-                self.try_start_join_fault(sim, f, host);
+                self.last_progress = self.last_progress.max(sim.now());
+                // The protocol cannot call the application: sample the
+                // continuous-mode finish flag here and pass it in.
+                let app_finished = self.continuous && self.app.finished();
+                let out = self.proto.input(Input::JoinDone { host, app_finished });
+                self.apply(sim, out);
             }
-            RingEvent::JoinDone { host } => self.on_join_done_fault(sim, f, host),
-            RingEvent::Arrived { to, env } => self.on_arrived_fault(sim, f, to, env),
+            RingEvent::Arrived { to, env, tid } => {
+                let out = self.proto.input(Input::Delivered { to, env, tid });
+                self.apply(sim, out);
+            }
             RingEvent::SendDone { from, completion } => {
-                self.hosts[from.0].sending = false;
                 if let (Some(c), Some((_, qp, _))) = (completion, self.rnics[from.0].as_mut()) {
-                    // Retransmissions can leave several completions queued;
-                    // reap leniently rather than insisting on strict pairing.
+                    // Reap the send completion from the CQ — the signal
+                    // that the buffer element may be reused.
                     qp.complete(c);
-                    let _ = qp.poll_cq();
+                    let reaped = qp.poll_cq();
+                    if self.fault_plan.is_none() {
+                        // Classic path: completions pair strictly with
+                        // posts. Retransmissions can leave several queued,
+                        // so the reliable path reaps leniently instead.
+                        debug_assert_eq!(reaped.map(|r| r.wr_id), Some(c.wr_id));
+                    }
                 }
-                if !f.crashed[from.0] {
-                    self.try_send_fault(sim, f, from);
-                }
+                let out = self.proto.input(Input::SendDone { from });
+                self.apply(sim, out);
             }
-            RingEvent::AckArrived { seq } => self.on_ack_arrived(sim, f, seq),
-            RingEvent::AckTimeout { seq, attempt } => self.on_ack_timeout(sim, f, seq, attempt),
+            RingEvent::AckArrived { tid } => {
+                let out = self.proto.input(Input::Ack { tid });
+                self.apply(sim, out);
+            }
+            RingEvent::AckTimeout { tid, attempt } => {
+                let out = self.proto.input(Input::Tick {
+                    timer: Timer::Retransmit { tid, attempt },
+                });
+                self.apply(sim, out);
+            }
             RingEvent::ProbeTimeout { from, to, attempt } => {
-                self.on_probe_timeout(sim, f, from, to, attempt)
+                let out = self.proto.input(Input::Tick {
+                    timer: Timer::Probe { from, to, attempt },
+                });
+                self.apply(sim, out);
             }
             RingEvent::Crash { host } => {
-                if f.crashed[host.0] {
+                if self.proto.is_crashed(host) {
                     return;
                 }
-                f.crashed[host.0] = true;
+                let out = self.proto.input(Input::PeerDead { host });
                 self.tracer.record(sim.now(), host, "crashed");
                 self.spans
                     .event(Some(host.0), Track::Control, "crashed", sim.now());
+                self.apply(sim, out);
             }
             RingEvent::Pause { host } => {
-                if f.crashed[host.0] {
+                if self.proto.is_crashed(host) {
                     return;
                 }
-                f.paused[host.0] = true;
+                let out = self.proto.input(Input::Paused { host });
                 self.tracer.record(sim.now(), host, "paused");
                 self.spans
                     .event(Some(host.0), Track::Control, "paused", sim.now());
+                self.apply(sim, out);
             }
             RingEvent::Resume { host } => {
-                if f.crashed[host.0] {
+                if self.proto.is_crashed(host) {
                     return;
                 }
-                f.paused[host.0] = false;
                 self.tracer.record(sim.now(), host, "resumed");
                 self.spans
                     .event(Some(host.0), Track::Control, "resumed", sim.now());
-                self.try_start_join_fault(sim, f, host);
-                self.try_send_fault(sim, f, host);
+                let out = self.proto.input(Input::Resumed { host });
+                self.apply(sim, out);
             }
             RingEvent::AbsorbDone { host } => {
-                if f.crashed[host.0] {
+                if self.proto.is_crashed(host) {
                     return;
                 }
-                f.absorbing[host.0] = false;
-                f.last_progress = f.last_progress.max(sim.now());
+                self.last_progress = self.last_progress.max(sim.now());
                 self.tracer.record(sim.now(), host, "absorb complete");
-                self.try_start_join_fault(sim, f, host);
-                self.try_send_fault(sim, f, host);
+                let out = self.proto.input(Input::AbsorbDone { host });
+                self.apply(sim, out);
             }
         }
     }
 
-    /// Fault-mode receive: NIC-level checksum verification, duplicate
-    /// suppression and acknowledgement, all active even while the host's
-    /// software is paused. A crashed host's NIC is a black hole.
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn on_arrived_fault(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        to: HostId,
-        env: Envelope<P>,
-    ) {
-        let seq = env.seq;
-        if f.crashed[to.0] {
-            if let Some(entry) = f.in_flight.get_mut(&seq) {
-                // The sender still tracks this transfer; its timeout path
-                // will retransmit or reroute. The copy itself dies here.
-                entry.maybe_live = false;
-            } else if !f.requeued.remove(&seq) {
-                // The sender healed past this transfer believing the copy
-                // delivered — salvage it from the wire.
-                self.resend_from_origin(sim, f, env);
-            }
-            return;
-        }
-        if !env.checksum_ok() {
-            f.checksum_mismatches[to.0] += 1;
-            self.tracer
-                .record(sim.now(), to, format!("checksum mismatch on {}", env.id));
-            if self.spans.is_enabled() {
-                self.spans.event(
-                    Some(to.0),
-                    Track::Receiver,
-                    format!("checksum mismatch {}", env.id),
-                    sim.now(),
-                );
-                self.spans.count(counter::CHECKSUM_MISMATCHES, 1);
-            }
-            // No ack: the sender's timeout drives the retransmission.
-            return;
-        }
-        // Ack at NIC level on the backward channel of the sender's link, so
-        // acks never contend with payload and paused hosts still answer.
-        if let Some(entry) = f.in_flight.get(&seq) {
-            let ack = self
-                .network
-                .reserve_hop_back(sim.now(), entry.from, ACK_BYTES);
-            sim.schedule_at(ack.arrival, RingEvent::AckArrived { seq });
-        }
-        if !f.accepted_seqs.insert(seq) {
-            // A spurious retransmission delivered a second copy.
-            self.tracer
-                .record(sim.now(), to, format!("duplicate {} dropped", env.id));
-            return;
-        }
-        let cost = match self.config.transport {
-            TransportModel::Rdma(cfg) => {
-                let mut acc = CpuAccount::new();
-                acc.charge(CostCategory::Driver, cfg.completion_overhead);
-                acc
-            }
-            _ => self
-                .config
-                .transport
-                .comm_cpu(self.config.cpu, env.bytes(), 1),
-        };
-        self.hosts[to.0].join_cpu.merge(&cost);
-        self.tracer.record(
-            sim.now(),
-            to,
-            format!("received {} ({} B)", env.id, env.bytes()),
-        );
-        if self.spans.is_enabled() {
-            self.spans.event(
-                Some(to.0),
-                Track::Receiver,
-                format!("recv {}", env.id),
-                sim.now(),
-            );
-            self.spans.count(counter::ENVELOPES_RECEIVED, 1);
-        }
-        self.hosts[to.0]
-            .incoming
-            .push_back(Held { env, pooled: true });
-        self.try_start_join_fault(sim, f, to);
-    }
-
-    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
-    fn on_ack_arrived(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        seq: u64,
-    ) {
-        let Some(entry) = f.in_flight.remove(&seq) else {
-            return; // transfer already settled (healed or superseded)
-        };
-        if f.awaiting[entry.from.0] == Some(seq) {
-            f.awaiting[entry.from.0] = None;
-        }
-        if !f.crashed[entry.from.0] {
-            self.try_send_fault(sim, f, entry.from);
-        }
-    }
-
-    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
-    fn on_ack_timeout(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        seq: u64,
-        attempt: u32,
-    ) {
-        let (from, to, attempts) = match f.in_flight.get(&seq) {
-            Some(e) => (e.from, e.to, e.attempts),
-            None => return, // acked or rerouted in the meantime
-        };
-        if attempts != attempt {
-            return; // stale timer of an earlier attempt
-        }
-        if f.crashed[from.0] {
-            return; // dead senders do not retransmit; healing recovers this
-        }
-        if f.confirmed_dead[to.0] {
-            // Someone else confirmed the death first: reroute this transfer
-            // to the head of the queue so it takes the healed path next.
-            let entry = f.in_flight.remove(&seq).expect("looked up above");
-            f.requeued.insert(seq);
-            if f.awaiting[from.0] == Some(seq) {
-                f.awaiting[from.0] = None;
-            }
-            self.hosts[from.0].outgoing.push_front(entry.env);
-            self.try_send_fault(sim, f, from);
-            return;
-        }
-        if attempts > self.config.max_retransmits {
-            // Budget exhausted: the successor is dead. (A live receiver
-            // always acks eventually — corruption rerolls per attempt.)
-            self.confirm_death(sim, f, to);
-            return;
-        }
-        let entry = f.in_flight.get_mut(&seq).expect("looked up above");
-        entry.attempts += 1;
-        f.retransmits[from.0] += 1;
-        let id = entry.env.id;
-        self.tracer.record(
-            sim.now(),
-            from,
-            format!("retransmit {id} (attempt {})", attempt + 1),
-        );
-        if self.spans.is_enabled() {
-            self.spans.event(
-                Some(from.0),
-                Track::Transmitter,
-                format!("retransmit {id} attempt {}", attempt + 1),
-                sim.now(),
-            );
-            self.spans.count(counter::RETRANSMITS, 1);
-        }
-        self.transmit_attempt(sim, f, seq);
-    }
-
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn on_probe_timeout(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        from: HostId,
-        to: HostId,
-        attempt: u32,
-    ) {
-        if f.probing[from.0] != Some((to, attempt)) {
-            return; // stale probe
-        }
-        if f.crashed[from.0] {
-            f.probing[from.0] = None;
-            return;
-        }
-        let blocked = !self.hosts[from.0].outgoing.is_empty()
-            && !self.hosts[from.0].sending
-            && f.awaiting[from.0].is_none()
-            && !f.confirmed_dead[to.0]
-            && f.next_alive(from) == to
-            && self.hosts[to.0].pool_used >= self.config.buffers_per_host;
-        if !blocked {
-            f.probing[from.0] = None;
-            self.try_send_fault(sim, f, from);
-            return;
-        }
-        if f.crashed[to.0] {
-            // The probe went unanswered: a crashed NIC. Count attempts with
-            // the same budget and backoff as data retransmissions.
-            if attempt > self.config.max_retransmits {
-                f.probing[from.0] = None;
-                self.confirm_death(sim, f, to);
-            } else {
-                f.probing[from.0] = Some((to, attempt + 1));
-                let backoff = self.config.ack_timeout * (1u64 << attempt.min(20));
-                sim.schedule_in(
-                    backoff,
-                    RingEvent::ProbeTimeout {
-                        from,
-                        to,
-                        attempt: attempt + 1,
-                    },
-                );
-            }
-        } else {
-            // The successor's NIC answered: alive, just slow or paused.
-            // Keep watching at the base interval.
-            f.probing[from.0] = Some((to, 1));
-            sim.schedule_in(
-                self.config.ack_timeout,
-                RingEvent::ProbeTimeout {
+    /// Applies protocol outputs strictly in emission order. Each output
+    /// maps onto simulation events, link/RNIC reservations, cost charges
+    /// and traces — all the IO the protocol core abstained from.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it; Teardown reasons surface as panics by the driver contract")
+    fn apply(&mut self, sim: &mut Simulation<RingEvent<P>>, outputs: Vec<Output<P>>) {
+        for output in outputs {
+            match output {
+                Output::StartJoin {
+                    host,
+                    id,
+                    hop,
+                    roles,
+                    bytes,
+                } => {
+                    let d_base = {
+                        let payload = self
+                            .proto
+                            .processing_payload(host)
+                            .expect("StartJoin with an empty processing slot");
+                        match &roles {
+                            Some(rs) => self.app.process_roles(host, rs, sim.now(), payload),
+                            None => self.app.process(host, sim.now(), payload),
+                        }
+                    };
+                    let d_base = match &self.host_speed {
+                        Some(speed) => d_base * (1.0 / speed[host.0]),
+                        None => d_base,
+                    };
+                    let d_base = match &self.fault_plan {
+                        Some(plan) => {
+                            let slowdown = plan.slowdown(host);
+                            if slowdown == 1.0 {
+                                d_base
+                            } else {
+                                d_base * (1.0 / slowdown)
+                            }
+                        }
+                        None => d_base,
+                    };
+                    let d_eff = self.effective_join_duration(d_base, bytes);
+                    let state = &mut self.hosts[host.0];
+                    state.join_cpu.charge(
+                        CostCategory::Compute,
+                        d_base * self.config.join_threads as u64,
+                    );
+                    state.join_busy += d_eff;
+                    self.tracer
+                        .record(sim.now(), host, format!("join start {id} for {d_eff}"));
+                    if self.spans.is_enabled() {
+                        self.record_sync_gap(host, sim.now());
+                        self.spans.span_with_hop(
+                            host.0,
+                            SpanKind::Join,
+                            format!("join {id}"),
+                            sim.now(),
+                            d_eff,
+                            Some(hop),
+                        );
+                        self.busy_until[host.0] = sim.now() + d_eff;
+                    }
+                    sim.schedule_in(d_eff, RingEvent::JoinDone { host });
+                }
+                Output::PassThrough { host, id } => {
+                    self.tracer
+                        .record(sim.now(), host, format!("pass-through {id}"));
+                    if self.spans.is_enabled() {
+                        self.spans.event(
+                            Some(host.0),
+                            Track::Join,
+                            format!("pass-through {id}"),
+                            sim.now(),
+                        );
+                    }
+                }
+                Output::Processed { host, id } => {
+                    let msg = if self.fault_plan.is_some() {
+                        format!("processed {id}, routing onward")
+                    } else {
+                        format!("processed {id}, queueing forward")
+                    };
+                    self.tracer.record(sim.now(), host, msg);
+                }
+                Output::Send {
                     from,
                     to,
-                    attempt: 1,
-                },
-            );
-        }
-    }
-
-    /// Fault-mode join start: computes the set of not-yet-visited roles
-    /// this host serves, marks them in the exactly-once ledger at join
-    /// *start* (joins are atomic units whose output is modeled as durably
-    /// streamed at process time), and forwards fully-covered envelopes
-    /// without joining.
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn try_start_join_fault(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        host: HostId,
-    ) {
-        loop {
-            let state = &self.hosts[host.0];
-            if f.crashed[host.0]
-                || f.paused[host.0]
-                || f.absorbing[host.0]
-                || state.setup_done.is_none()
-                || state.processing.is_some()
-                || state.incoming.is_empty()
-            {
-                return;
-            }
-            let mut held = self.hosts[host.0]
-                .incoming
-                .pop_front()
-                .expect("checked non-empty");
-            let apply = f.role_mask(host) & !held.env.visited;
-            if apply == 0 {
-                // Every partition this host serves already joined this
-                // fragment (healed-route pass-through): forward unjoined.
-                if held.pooled {
-                    self.hosts[host.0].pool_used -= 1;
-                    let prev = f.prev_alive(host);
-                    self.try_send_fault(sim, f, prev);
+                    tid,
+                    attempt,
+                    env,
+                } => self.apply_send(sim, from, to, tid, attempt, env),
+                Output::Ack { to, tid } => {
+                    // Ack at NIC level on the backward channel of the
+                    // sender's link, so acks never contend with payload.
+                    let ack = self.network.reserve_hop_back(sim.now(), to, ACK_BYTES);
+                    sim.schedule_at(ack.arrival, RingEvent::AckArrived { tid });
                 }
-                self.tracer
-                    .record(sim.now(), host, format!("pass-through {}", held.env.id));
-                if self.spans.is_enabled() {
-                    self.spans.event(
-                        Some(host.0),
-                        Track::Join,
-                        format!("pass-through {}", held.env.id),
+                Output::ArmTimer { timer, backoff_exp } => {
+                    let delay = self.config.ack_timeout * (1u64 << backoff_exp);
+                    let ev = match timer {
+                        Timer::Retransmit { tid, attempt } => {
+                            RingEvent::AckTimeout { tid, attempt }
+                        }
+                        Timer::Probe { from, to, attempt } => {
+                            RingEvent::ProbeTimeout { from, to, attempt }
+                        }
+                    };
+                    sim.schedule_in(delay, ev);
+                }
+                Output::Delivered { host, id, bytes } => {
+                    // Receiver-side CPU cost of the transfer. For RDMA this
+                    // is only reaping the completion of the pre-posted
+                    // receive; for TCP it is the full copy/stack/interrupt
+                    // bill.
+                    let cost = match self.config.transport {
+                        TransportModel::Rdma(cfg) => {
+                            let mut acc = CpuAccount::new();
+                            acc.charge(CostCategory::Driver, cfg.completion_overhead);
+                            acc
+                        }
+                        _ => self.config.transport.comm_cpu(self.config.cpu, bytes, 1),
+                    };
+                    self.hosts[host.0].join_cpu.merge(&cost);
+                    self.tracer
+                        .record(sim.now(), host, format!("received {id} ({bytes} B)"));
+                    if self.spans.is_enabled() {
+                        self.spans.event(
+                            Some(host.0),
+                            Track::Receiver,
+                            format!("recv {id}"),
+                            sim.now(),
+                        );
+                        self.spans.count(counter::ENVELOPES_RECEIVED, 1);
+                    }
+                }
+                Output::DuplicateDropped { host, id } => {
+                    self.tracer
+                        .record(sim.now(), host, format!("duplicate {id} dropped"));
+                }
+                Output::ChecksumMismatch { host, id } => {
+                    self.tracer
+                        .record(sim.now(), host, format!("checksum mismatch on {id}"));
+                    if self.spans.is_enabled() {
+                        self.spans.event(
+                            Some(host.0),
+                            Track::Receiver,
+                            format!("checksum mismatch {id}"),
+                            sim.now(),
+                        );
+                        self.spans.count(counter::CHECKSUM_MISMATCHES, 1);
+                    }
+                }
+                Output::Retire { host, id, salvaged } => {
+                    let msg = if salvaged {
+                        format!("retired {id} (salvaged)")
+                    } else {
+                        format!("retired {id}")
+                    };
+                    self.tracer.record(sim.now(), host, msg.clone());
+                    if self.spans.is_enabled() {
+                        self.spans.event(Some(host.0), Track::Join, msg, sim.now());
+                        self.spans.count(counter::FRAGMENTS_RETIRED, 1);
+                    }
+                    self.last_progress = self.last_progress.max(sim.now());
+                }
+                Output::Heal { dead } => {
+                    let latency = match &self.fault_plan {
+                        Some(plan) => {
+                            let crash_at = plan
+                                .crash_time(dead)
+                                .expect("confirmed host has a scheduled crash");
+                            sim.now().saturating_duration_since(crash_at)
+                        }
+                        None => SimDuration::ZERO,
+                    };
+                    self.detection_latency = self.detection_latency.max(latency);
+                    self.tracer.record(
                         sim.now(),
+                        dead,
+                        format!("confirmed dead ({latency} after crash); healing ring"),
                     );
+                    if self.spans.is_enabled() {
+                        self.spans.event(
+                            None,
+                            Track::Control,
+                            format!("heal: host {} confirmed dead", dead.0),
+                            sim.now(),
+                        );
+                        self.spans.count(counter::HEAL_EVENTS, 1);
+                    }
                 }
-                self.route_onward_fault(sim, f, host, held.env);
-                continue;
+                Output::Absorb {
+                    survivor,
+                    dead,
+                    roles,
+                } => {
+                    let mut absorb_cost = SimDuration::ZERO;
+                    for &r in &roles {
+                        absorb_cost += self.app.absorb(survivor, HostId(r));
+                        self.tracer
+                            .record(sim.now(), survivor, format!("absorbed role S{r}"));
+                    }
+                    let state = &mut self.hosts[survivor.0];
+                    state.join_cpu.charge(CostCategory::Compute, absorb_cost);
+                    state.join_busy += absorb_cost;
+                    if self.spans.is_enabled() {
+                        self.record_sync_gap(survivor, sim.now());
+                        self.spans.span(
+                            survivor.0,
+                            SpanKind::Absorb,
+                            format!("absorb {} role(s) of host {}", roles.len(), dead.0),
+                            sim.now(),
+                            absorb_cost,
+                        );
+                        self.busy_until[survivor.0] = sim.now() + absorb_cost;
+                    }
+                    sim.schedule_in(absorb_cost, RingEvent::AbsorbDone { host: survivor });
+                }
+                Output::Resent { target, id } => {
+                    self.tracer
+                        .record(sim.now(), target, format!("re-sent {id} from origin"));
+                    if self.spans.is_enabled() {
+                        self.spans.event(
+                            Some(target.0),
+                            Track::Control,
+                            format!("re-sent {id} from origin"),
+                            sim.now(),
+                        );
+                        self.spans.count(counter::FRAGMENTS_RESENT, 1);
+                    }
+                }
+                Output::Finished { host } => {
+                    self.tracer
+                        .record(sim.now(), host, "application finished — stopping rotation");
+                    self.stopped = true;
+                }
+                Output::Teardown { reason } => panic!("{reason}"),
             }
-            // Roles already joined before this stop — the fault-mode hop
-            // index (routing may bypass healed-over hosts).
-            let hop = held.env.visited.count_ones() as usize;
-            held.env.mark_visited(apply);
-            let roles: Vec<usize> = f.roles[host.0]
-                .iter()
-                .copied()
-                .filter(|r| apply & (1u64 << r) != 0)
-                .collect();
-            let d_base = self
-                .app
-                .process_roles(host, &roles, sim.now(), &held.env.payload);
-            let d_base = match &self.host_speed {
-                Some(speed) => d_base * (1.0 / speed[host.0]),
-                None => d_base,
-            };
-            let slowdown = f.plan.slowdown(host);
-            let d_base = if slowdown == 1.0 {
-                d_base
-            } else {
-                d_base * (1.0 / slowdown)
-            };
-            let d_eff = self.effective_join_duration(d_base, held.env.bytes());
-            let state = &mut self.hosts[host.0];
-            state.join_cpu.charge(
-                CostCategory::Compute,
-                d_base * self.config.join_threads as u64,
-            );
-            state.join_busy += d_eff;
-            self.tracer.record(
-                sim.now(),
-                host,
-                format!("join start {} for {}", held.env.id, d_eff),
-            );
-            if self.spans.is_enabled() {
-                self.record_sync_gap(host, sim.now());
-                self.spans.span_with_hop(
-                    host.0,
-                    SpanKind::Join,
-                    format!("join {}", held.env.id),
-                    sim.now(),
-                    d_eff,
-                    Some(hop),
-                );
-                self.busy_until[host.0] = sim.now() + d_eff;
-            }
-            self.hosts[host.0].processing = Some(held);
-            sim.schedule_in(d_eff, RingEvent::JoinDone { host });
-            return;
         }
     }
 
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn on_join_done_fault(
+    /// Puts one attempt of a transfer on the wire: rolls the fault dice
+    /// (the medium's business, not the protocol's), reports the attempt's
+    /// fate back, charges the transport cost model, and schedules the
+    /// wire-free/arrival events.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
+    fn apply_send(
         &mut self,
         sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        host: HostId,
-    ) {
-        if f.crashed[host.0] {
-            // The join died with the host; healing salvages its envelope.
-            return;
-        }
-        let held = self.hosts[host.0]
-            .processing
-            .take()
-            .expect("JoinDone without an envelope in processing");
-        let state = &mut self.hosts[host.0];
-        state.fragments_processed += 1;
-        state.last_join_done = sim.now();
-        f.last_progress = f.last_progress.max(sim.now());
-        if held.pooled {
-            state.pool_used -= 1;
-            let prev = f.prev_alive(host);
-            self.try_send_fault(sim, f, prev);
-        }
-        self.tracer.record(
-            sim.now(),
-            host,
-            format!("processed {}, routing onward", held.env.id),
-        );
-        self.route_onward_fault(sim, f, host, held.env);
-        self.try_start_join_fault(sim, f, host);
-    }
-
-    /// Retires a fully-visited envelope or queues it for the next hop.
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn route_onward_fault(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        host: HostId,
+        from: HostId,
+        to: HostId,
+        tid: u64,
+        attempt: u32,
         env: Envelope<P>,
     ) {
-        let id = env.id;
-        if env.visited_all(f.full_mask) {
-            self.tracer.record(sim.now(), host, format!("retired {id}"));
-            if self.spans.is_enabled() {
-                self.spans.event(
-                    Some(host.0),
-                    Track::Join,
-                    format!("retired {id}"),
-                    sim.now(),
-                );
-                self.spans.count(counter::FRAGMENTS_RETIRED, 1);
-            }
-            self.fragments_completed += 1;
-            f.last_progress = f.last_progress.max(sim.now());
-            return;
-        }
-        self.hosts[host.0].outgoing.push_back(env);
-        self.try_send_fault(sim, f, host);
-    }
-
-    /// Fault-mode transmit: stop-and-wait per sender with the successor
-    /// chosen through the healed routing table.
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn try_send_fault(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        host: HostId,
-    ) {
-        if self.config.hosts == 1 {
-            return;
-        }
-        if f.crashed[host.0] || f.paused[host.0] {
-            return;
-        }
-        if self.hosts[host.0].sending
-            || f.awaiting[host.0].is_some()
-            || self.hosts[host.0].outgoing.is_empty()
-        {
-            return;
-        }
-        let next = f.next_alive(host);
-        if next == host {
-            // Sole survivor: remaining rotation work loops back locally.
-            while let Some(env) = self.hosts[host.0].outgoing.pop_front() {
-                self.hosts[host.0]
-                    .incoming
-                    .push_back(Held { env, pooled: false });
-            }
-            self.try_start_join_fault(sim, f, host);
-            return;
-        }
-        if self.hosts[next.0].pool_used >= self.config.buffers_per_host {
-            // Blocked on the successor's receive pool. Probe it so a corpse
-            // with a full pool is still detected (no data, no ack timeout).
-            if f.probing[host.0].is_none() {
-                f.probing[host.0] = Some((next, 1));
-                sim.schedule_in(
-                    self.config.ack_timeout,
-                    RingEvent::ProbeTimeout {
-                        from: host,
-                        to: next,
-                        attempt: 1,
-                    },
-                );
-            }
-            return;
-        }
-        f.probing[host.0] = None;
-        let mut env = self.hosts[host.0]
-            .outgoing
-            .pop_front()
-            .expect("checked non-empty");
-        // Counted once per envelope here; each wire attempt (including
-        // retransmissions) gets its own `Send` span in `transmit_attempt`.
-        self.spans.count(counter::ENVELOPES_SENT, 1);
-        self.hosts[next.0].pool_used += 1;
-        let seq = f.next_seq;
-        f.next_seq += 1;
-        env.seq = seq;
-        f.awaiting[host.0] = Some(seq);
-        f.in_flight.insert(
-            seq,
-            InFlight {
-                from: host,
-                to: next,
-                env,
-                attempts: 1,
-                maybe_live: false,
-            },
-        );
-        self.transmit_attempt(sim, f, seq);
-    }
-
-    /// Puts one attempt of transfer `seq` on the wire, rolling the fault
-    /// plan's dice for this `(link, seq, attempt)` tuple.
-    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
-    fn transmit_attempt(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        seq: u64,
-    ) {
-        let (from, to, bytes, attempt) = {
-            let e = f.in_flight.get(&seq).expect("transmit of unknown transfer");
-            (e.from, e.to, e.env.bytes(), e.attempts)
-        };
-        let dropped = f.plan.should_drop(from, seq, attempt);
-        let corrupt = !dropped && f.plan.should_corrupt(from, seq, attempt);
-        let spike = f.plan.delay_spike(from, seq, attempt);
-        let sent = {
-            let e = f.in_flight.get_mut(&seq).expect("looked up above");
-            e.maybe_live = !dropped && !corrupt && !f.crashed[to.0];
-            let mut s = e.env.clone();
+        let bytes = env.bytes();
+        let mut sent = env;
+        let mut dropped = false;
+        let mut spike = SimDuration::ZERO;
+        if let Some(plan) = &self.fault_plan {
+            // Dice keyed on the per-sender wire sequence (`env.seq`), the
+            // same numbering the live backend's LinkSender stamps — the
+            // cross-backend parity test depends on this.
+            let seq = sent.seq;
+            dropped = plan.should_drop(from, seq, attempt);
+            let corrupt = !dropped && plan.should_corrupt(from, seq, attempt);
+            spike = plan.delay_spike(from, seq, attempt);
+            self.proto.attempt_fate(tid, dropped, corrupt);
             if corrupt {
                 // In-flight bit flips: the receiver's checksum verification
                 // rejects the copy and withholds the ack.
-                s.checksum = !s.checksum;
+                sent.checksum = !sent.checksum;
             }
-            s
-        };
+            if attempt == 1 {
+                // Counted once per transfer; each wire attempt (including
+                // retransmissions) gets its own `Send` span below.
+                self.spans.count(counter::ENVELOPES_SENT, 1);
+            } else {
+                self.tracer.record(
+                    sim.now(),
+                    from,
+                    format!("retransmit {} (attempt {attempt})", sent.id),
+                );
+                if self.spans.is_enabled() {
+                    self.spans.event(
+                        Some(from.0),
+                        Track::Transmitter,
+                        format!("retransmit {} attempt {attempt}", sent.id),
+                        sim.now(),
+                    );
+                    self.spans.count(counter::RETRANSMITS, 1);
+                }
+            }
+        }
         let mut pending_completion = None;
         let reservation = if let Some((rnic, qp, region)) = self.rnics[from.0].as_mut() {
+            // RDMA: post a work request against the registered region; the
+            // RNIC moves the data autonomously. Host CPU pays only the
+            // posting cost.
             let wr = WorkRequest {
                 wr_id: self.next_wr_id,
                 region: region.id,
@@ -1245,11 +880,12 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             pending_completion = Some(outcome.completion);
             outcome.reservation
         } else {
+            // Software TCP: the kernel does the moving; charge the full
+            // per-byte CPU bill to the sender.
             let cost = self.config.transport.comm_cpu(self.config.cpu, bytes, 1);
             self.hosts[from.0].join_cpu.merge(&cost);
             self.network.reserve_hop(sim.now(), from, bytes)
         };
-        self.hosts[from.0].sending = true;
         self.hosts[from.0].bytes_forwarded += bytes;
         self.tracer.record(
             sim.now(),
@@ -1264,6 +900,9 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 sim.now(),
                 reservation.wire_free.saturating_duration_since(sim.now()),
             );
+            if self.fault_plan.is_none() {
+                self.spans.count(counter::ENVELOPES_SENT, 1);
+            }
         }
         sim.schedule_at(
             reservation.wire_free,
@@ -1275,347 +914,9 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         if !dropped {
             sim.schedule_at(
                 reservation.arrival + spike,
-                RingEvent::Arrived { to, env: sent },
+                RingEvent::Arrived { to, env: sent, tid },
             );
         }
-        let rto = self.config.ack_timeout * (1u64 << (attempt - 1).min(20));
-        sim.schedule_in(rto, RingEvent::AckTimeout { seq, attempt });
-    }
-
-    /// A peer exhausted its retransmission budget against `dead`: bypass
-    /// it, let its successor absorb the orphaned stationary partitions, and
-    /// re-send every fragment copy lost in its buffers from the fragment's
-    /// origin — mid-revolution ring healing.
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn confirm_death(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        dead: HostId,
-    ) {
-        if f.confirmed_dead[dead.0] {
-            return;
-        }
-        assert!(
-            f.crashed[dead.0],
-            "retransmission budget exhausted against a live host — raise max_retransmits \
-             or lower the corruption rate; the failure detector must not kill live hosts"
-        );
-        f.confirmed_dead[dead.0] = true;
-        assert!(
-            f.confirmed_dead.iter().any(|d| !d),
-            "every host died — nothing left to heal the ring"
-        );
-        f.heal_events += 1;
-        let crash_at = f
-            .plan
-            .crash_time(dead)
-            .expect("confirmed host has a scheduled crash");
-        let latency = sim.now().saturating_duration_since(crash_at);
-        f.detection_latency = f.detection_latency.max(latency);
-        self.tracer.record(
-            sim.now(),
-            dead,
-            format!("confirmed dead ({latency} after crash); healing ring"),
-        );
-        if self.spans.is_enabled() {
-            self.spans.event(
-                None,
-                Track::Control,
-                format!("heal: host {} confirmed dead", dead.0),
-                sim.now(),
-            );
-            self.spans.count(counter::HEAL_EVENTS, 1);
-        }
-
-        // 1. The ring successor absorbs the orphaned stationary partitions.
-        let successor = f.next_alive(dead);
-        let orphaned: Vec<usize> = std::mem::take(&mut f.roles[dead.0]);
-        let mut absorb_cost = SimDuration::ZERO;
-        for &r in &orphaned {
-            absorb_cost += self.app.absorb(successor, HostId(r));
-            f.roles[successor.0].push(r);
-            self.tracer
-                .record(sim.now(), successor, format!("absorbed role S{r}"));
-        }
-        if !orphaned.is_empty() {
-            self.hosts[successor.0]
-                .join_cpu
-                .charge(CostCategory::Compute, absorb_cost);
-            self.hosts[successor.0].join_busy += absorb_cost;
-            if self.spans.is_enabled() {
-                self.record_sync_gap(successor, sim.now());
-                self.spans.span(
-                    successor.0,
-                    SpanKind::Absorb,
-                    format!("absorb {} role(s) of host {}", orphaned.len(), dead.0),
-                    sim.now(),
-                    absorb_cost,
-                );
-                self.busy_until[successor.0] = sim.now() + absorb_cost;
-            }
-            f.absorbing[successor.0] = true;
-            sim.schedule_in(absorb_cost, RingEvent::AbsorbDone { host: successor });
-        }
-
-        // 2. Salvage every fragment copy lost in the dead host's buffers.
-        let mut lost: Vec<Envelope<P>> = Vec::new();
-        let dead_state = &mut self.hosts[dead.0];
-        lost.extend(dead_state.incoming.drain(..).map(|h| h.env));
-        lost.extend(dead_state.processing.take().map(|h| h.env));
-        lost.extend(dead_state.outgoing.drain(..));
-        dead_state.pool_used = 0;
-        dead_state.sending = false;
-        f.awaiting[dead.0] = None;
-        f.probing[dead.0] = None;
-
-        // 3. Settle in-flight transfers touching the corpse: transfers *to*
-        //    it reroute at their sender; transfers *from* it either survive
-        //    at the receiver (only the ack back to the corpse was lost) or
-        //    are genuinely gone and join the re-send set.
-        let touching: Vec<u64> = f
-            .in_flight
-            .iter()
-            .filter(|(_, e)| e.to == dead || e.from == dead)
-            .map(|(s, _)| *s)
-            .collect();
-        for seq in touching {
-            let entry = f.in_flight.remove(&seq).expect("listed above");
-            if entry.to == dead {
-                f.requeued.insert(seq);
-                if f.awaiting[entry.from.0] == Some(seq) {
-                    f.awaiting[entry.from.0] = None;
-                }
-                self.hosts[entry.from.0].outgoing.push_front(entry.env);
-            } else if !entry.maybe_live {
-                lost.push(entry.env);
-            }
-        }
-        for env in lost {
-            self.resend_from_origin(sim, f, env);
-        }
-
-        // 4. Kick every survivor: blocked transmitters now route around the
-        //    corpse, and salvaged fragments may be waiting to be joined.
-        for h in 0..self.config.hosts {
-            if !f.confirmed_dead[h] && !f.crashed[h] {
-                self.try_send_fault(sim, f, HostId(h));
-                self.try_start_join_fault(sim, f, HostId(h));
-            }
-        }
-    }
-
-    /// Re-injects a fragment whose only live copy was lost with a dead
-    /// host, from its origin (the fragment's home, which still holds it).
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and loom suites")
-    fn resend_from_origin(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        f: &mut FaultCtx<P>,
-        mut env: Envelope<P>,
-    ) {
-        if env.visited_all(f.full_mask) {
-            // The dead host crashed between starting and finishing the last
-            // join; the output is modeled as streamed at process time, so
-            // the fragment simply retires.
-            self.tracer.record(
-                sim.now(),
-                env.origin,
-                format!("retired {} (salvaged)", env.id),
-            );
-            if self.spans.is_enabled() {
-                self.spans.event(
-                    Some(env.origin.0),
-                    Track::Join,
-                    format!("retired {} (salvaged)", env.id),
-                    sim.now(),
-                );
-                self.spans.count(counter::FRAGMENTS_RETIRED, 1);
-            }
-            self.fragments_completed += 1;
-            f.last_progress = f.last_progress.max(sim.now());
-            return;
-        }
-        let target = f.inject_target(env.origin);
-        env.seq = 0;
-        f.fragments_resent += 1;
-        self.tracer
-            .record(sim.now(), target, format!("re-sent {} from origin", env.id));
-        if self.spans.is_enabled() {
-            self.spans.event(
-                Some(target.0),
-                Track::Control,
-                format!("re-sent {} from origin", env.id),
-                sim.now(),
-            );
-            self.spans.count(counter::FRAGMENTS_RESENT, 1);
-        }
-        if f.role_mask(target) & !env.visited != 0 {
-            self.hosts[target.0]
-                .incoming
-                .push_back(Held { env, pooled: false });
-            self.try_start_join_fault(sim, f, target);
-        } else {
-            self.hosts[target.0].outgoing.push_back(env);
-            self.try_send_fault(sim, f, target);
-        }
-    }
-
-    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
-    fn on_arrived(&mut self, sim: &mut Simulation<RingEvent<P>>, to: HostId, env: Envelope<P>) {
-        // Receiver-side CPU cost of the transfer. For RDMA this is only
-        // reaping the completion of the pre-posted receive; for TCP it is
-        // the full copy/stack/interrupt bill.
-        let cost = match self.config.transport {
-            TransportModel::Rdma(cfg) => {
-                let mut acc = CpuAccount::new();
-                acc.charge(CostCategory::Driver, cfg.completion_overhead);
-                acc
-            }
-            _ => self
-                .config
-                .transport
-                .comm_cpu(self.config.cpu, env.bytes(), 1),
-        };
-        self.hosts[to.0].join_cpu.merge(&cost);
-        self.tracer.record(
-            sim.now(),
-            to,
-            format!("received {} ({} B)", env.id, env.bytes()),
-        );
-        if self.spans.is_enabled() {
-            self.spans.event(
-                Some(to.0),
-                Track::Receiver,
-                format!("recv {}", env.id),
-                sim.now(),
-            );
-            self.spans.count(counter::ENVELOPES_RECEIVED, 1);
-        }
-        self.hosts[to.0]
-            .incoming
-            .push_back(Held { env, pooled: true });
-        self.try_start_join(sim, to);
-    }
-
-    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
-    fn on_join_done(&mut self, sim: &mut Simulation<RingEvent<P>>, host: HostId) {
-        let held = self.hosts[host.0]
-            .processing
-            .take()
-            .expect("JoinDone without an envelope in processing");
-        let state = &mut self.hosts[host.0];
-        state.fragments_processed += 1;
-        state.last_join_done = sim.now();
-        if held.pooled {
-            // The join entity is done reading the buffer element in place;
-            // its receive credit returns and may unblock our predecessor.
-            state.pool_used -= 1;
-            let prev = self.network.prev(host);
-            self.try_send(sim, prev);
-        }
-        let mut env = held.env;
-        let id = env.id;
-        if self.continuous {
-            if self.app.finished() {
-                self.tracer
-                    .record(sim.now(), host, "application finished — stopping rotation");
-                self.stopped = true;
-                return;
-            }
-            // The hot set never retires: reset the hop budget and keep it
-            // circulating (single-host "rings" just requeue locally).
-            env.hops_remaining = self.config.hosts.max(2);
-            if self.config.hosts == 1 {
-                self.hosts[host.0]
-                    .incoming
-                    .push_back(Held { env, pooled: false });
-            } else {
-                self.hosts[host.0].outgoing.push_back(env);
-                self.try_send(sim, host);
-            }
-        } else if env.consume_hop() {
-            self.tracer
-                .record(sim.now(), host, format!("processed {id}, queueing forward"));
-            self.hosts[host.0].outgoing.push_back(env);
-            self.try_send(sim, host);
-        } else {
-            self.tracer.record(sim.now(), host, format!("retired {id}"));
-            if self.spans.is_enabled() {
-                self.spans.event(
-                    Some(host.0),
-                    Track::Join,
-                    format!("retired {id}"),
-                    sim.now(),
-                );
-                self.spans.count(counter::FRAGMENTS_RETIRED, 1);
-            }
-            self.fragments_completed += 1;
-        }
-        self.try_start_join(sim, host);
-    }
-
-    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
-    fn on_send_done(
-        &mut self,
-        sim: &mut Simulation<RingEvent<P>>,
-        from: HostId,
-        completion: Option<Completion>,
-    ) {
-        self.hosts[from.0].sending = false;
-        if let (Some(completion), Some((_, qp, _))) = (completion, self.rnics[from.0].as_mut()) {
-            // Reap the send completion from the CQ — the signal that the
-            // buffer element may be reused.
-            qp.complete(completion);
-            let reaped = qp.poll_cq();
-            debug_assert_eq!(reaped.map(|c| c.wr_id), Some(completion.wr_id));
-        }
-        self.try_send(sim, from);
-    }
-
-    /// Starts the join entity on the next queued envelope, if idle.
-    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
-    fn try_start_join(&mut self, sim: &mut Simulation<RingEvent<P>>, host: HostId) {
-        let state = &self.hosts[host.0];
-        if state.setup_done.is_none() || state.processing.is_some() || state.incoming.is_empty() {
-            return;
-        }
-        let held = self.hosts[host.0]
-            .incoming
-            .pop_front()
-            .expect("checked non-empty");
-        let d_base = self.app.process(host, sim.now(), &held.env.payload);
-        let d_base = match &self.host_speed {
-            Some(speed) => d_base * (1.0 / speed[host.0]),
-            None => d_base,
-        };
-        let d_eff = self.effective_join_duration(d_base, held.env.bytes());
-        let state = &mut self.hosts[host.0];
-        state.join_cpu.charge(
-            CostCategory::Compute,
-            d_base * self.config.join_threads as u64,
-        );
-        state.join_busy += d_eff;
-        self.tracer.record(
-            sim.now(),
-            host,
-            format!("join start {} for {}", held.env.id, d_eff),
-        );
-        if self.spans.is_enabled() {
-            self.record_sync_gap(host, sim.now());
-            let hop = self.config.hosts.saturating_sub(held.env.hops_remaining);
-            self.spans.span_with_hop(
-                host.0,
-                SpanKind::Join,
-                format!("join {}", held.env.id),
-                sim.now(),
-                d_eff,
-                Some(hop),
-            );
-            self.busy_until[host.0] = sim.now() + d_eff;
-        }
-        self.hosts[host.0].processing = Some(held);
-        sim.schedule_in(d_eff, RingEvent::JoinDone { host });
     }
 
     /// Emits a `Sync` span covering the idle gap (if any) between the end
@@ -1651,83 +952,6 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         d_base.max(contended) * pollution
     }
 
-    /// Forwards the next outgoing envelope if the transmitter is free and
-    /// the successor has a free buffer element.
-    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
-    fn try_send(&mut self, sim: &mut Simulation<RingEvent<P>>, host: HostId) {
-        if self.config.hosts == 1 {
-            return;
-        }
-        let next = self.network.next(host);
-        if self.hosts[host.0].sending
-            || self.hosts[host.0].outgoing.is_empty()
-            || self.hosts[next.0].pool_used >= self.config.buffers_per_host
-        {
-            return;
-        }
-        let env = self.hosts[host.0]
-            .outgoing
-            .pop_front()
-            .expect("checked non-empty");
-        let bytes = env.bytes();
-        // Pre-post the receive buffer at the successor.
-        self.hosts[next.0].pool_used += 1;
-        let mut pending_completion = None;
-        let reservation = if let Some((rnic, qp, region)) = self.rnics[host.0].as_mut() {
-            // RDMA: post a work request against the registered region; the
-            // RNIC moves the data autonomously. Host CPU pays only the
-            // posting cost.
-            let wr = WorkRequest {
-                wr_id: self.next_wr_id,
-                region: region.id,
-                bytes,
-            };
-            self.next_wr_id += 1;
-            let link = self
-                .network
-                .outgoing_link_mut(host)
-                .expect("multi-host ring has links");
-            let outcome = qp.post_send(rnic, link, sim.now(), simnet::link::Direction::Forward, wr);
-            self.hosts[host.0]
-                .join_cpu
-                .charge(CostCategory::Driver, outcome.post_cpu);
-            pending_completion = Some(outcome.completion);
-            outcome.reservation
-        } else {
-            // Software TCP: the kernel does the moving; charge the full
-            // per-byte CPU bill to the sender.
-            let cost = self.config.transport.comm_cpu(self.config.cpu, bytes, 1);
-            self.hosts[host.0].join_cpu.merge(&cost);
-            self.network.reserve_hop(sim.now(), host, bytes)
-        };
-        self.hosts[host.0].sending = true;
-        self.hosts[host.0].bytes_forwarded += bytes;
-        self.tracer.record(
-            sim.now(),
-            host,
-            format!("send {} ({} B) → {}", env.id, bytes, next),
-        );
-        if self.spans.is_enabled() {
-            self.spans.span(
-                host.0,
-                SpanKind::Send,
-                format!("send {}", env.id),
-                sim.now(),
-                reservation.wire_free.saturating_duration_since(sim.now()),
-            );
-            self.spans.count(counter::ENVELOPES_SENT, 1);
-        }
-        sim.schedule_at(
-            reservation.wire_free,
-            RingEvent::SendDone {
-                from: host,
-                completion: pending_completion,
-            },
-        );
-        sim.schedule_at(reservation.arrival, RingEvent::Arrived { to: next, env });
-    }
-
-    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
     fn finish(mut self) -> SimOutcome<A> {
         // Materialise the well-known counters so "observed zero" shows up
         // in exports even on runs that never exercised a protocol path.
@@ -1742,7 +966,6 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         ] {
             self.spans.count(name, 0);
         }
-        let fault = self.fault.as_ref();
         let hosts: Vec<HostMetrics> = self
             .hosts
             .iter()
@@ -1756,20 +979,20 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                     sync: window.saturating_sub(h.join_busy),
                     join_window: window,
                     cpu: h.join_cpu,
-                    fragments_processed: h.fragments_processed,
+                    fragments_processed: self.proto.host(HostId(i)).fragments_processed(),
                     bytes_forwarded: h.bytes_forwarded,
-                    retransmits: fault.map_or(0, |f| f.retransmits[i]),
-                    checksum_mismatches: fault.map_or(0, |f| f.checksum_mismatches[i]),
+                    retransmits: self.proto.retransmits(HostId(i)),
+                    checksum_mismatches: self.proto.checksum_mismatches(HostId(i)),
                 }
             })
             .collect();
         let metrics = RingMetrics {
             hosts,
             wall_clock: self.wall_clock.saturating_duration_since(SimTime::ZERO),
-            fragments_completed: self.fragments_completed,
-            heal_events: fault.map_or(0, |f| f.heal_events),
-            detection_latency: fault.map_or(SimDuration::ZERO, |f| f.detection_latency),
-            fragments_resent: fault.map_or(0, |f| f.fragments_resent),
+            fragments_completed: self.proto.fragments_completed(),
+            heal_events: self.proto.heal_events(),
+            detection_latency: self.detection_latency,
+            fragments_resent: self.proto.fragments_resent(),
         };
         SimOutcome {
             metrics,
@@ -2192,7 +1415,7 @@ mod tests {
     #[test]
     fn lossy_link_retransmits_until_delivery() {
         let hosts = 3;
-        let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.3);
+        let plan = FaultPlan::seeded(7).lossy_link(HostId(0), 0.3);
         let cfg = small_config(hosts).with_ack_timeout(SimDuration::from_millis(5));
         let out = SimRing::new(cfg, payloads(hosts, 4, 1 << 20), fixed_app(hosts))
             .with_fault_plan(plan)
@@ -2400,7 +1623,7 @@ mod tests {
     #[test]
     fn traced_lossy_run_reconciles_protocol_counters() {
         let hosts = 3;
-        let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.3);
+        let plan = FaultPlan::seeded(7).lossy_link(HostId(0), 0.3);
         let cfg = small_config(hosts).with_ack_timeout(SimDuration::from_millis(5));
         let out = SimRing::new(cfg, payloads(hosts, 4, 1 << 20), fixed_app(hosts))
             .with_fault_plan(plan)

@@ -6,6 +6,12 @@
 //! (no deadlocks, no lost or duplicated envelopes) and to let integration
 //! tests exercise races the deterministic simulator cannot produce.
 //!
+//! All protocol *policy* is imported from the sans-IO [`crate::protocol`]
+//! core — envelope numbering ([`envelope_batches`]), the per-hop reliable
+//! transport ([`LinkSender`] / [`LinkReceiver`]), the shared timeout and
+//! backoff rules, and the teardown vocabulary ([`teardown`]). This file
+//! contributes only the *mechanism*: threads, channels and wall clocks.
+//!
 //! Mapping of the paper's entities:
 //!
 //! * the bounded channel into each host **is** its ring of receive buffer
@@ -18,13 +24,14 @@
 //!   a send is blocked downstream — the join thread itself never blocks on
 //!   the network.
 //!
-//! [`run_threaded_reliable`] runs the same ring over an *unreliable*
-//! medium: a [`FaultPlan`] may drop, corrupt or delay each hop transfer,
-//! and every hop is protected by the acknowledged stop-and-wait protocol
-//! the simulated backend uses — sequence numbers, checksum verification at
-//! receive, and timeout-driven retransmission with exponential backoff.
-//! Host crashes and pauses are *not* supported here (ring healing needs
-//! the simulator's virtual time); plans scheduling them are rejected.
+//! A [`RingDriver`] with a fault plan runs the same ring over an
+//! *unreliable* medium: the plan may drop, corrupt or delay each hop
+//! transfer, and every hop is protected by the acknowledged stop-and-wait
+//! protocol the simulated backend uses — sequence numbers, checksum
+//! verification at receive, and timeout-driven retransmission with
+//! exponential backoff. Host crashes and pauses are *not* supported here
+//! (ring healing needs the simulator's virtual time); plans scheduling
+//! them are rejected.
 //!
 //! A worker dying mid-run — a panicking join callback, or a transfer that
 //! exhausts its retransmission budget — does **not** cascade panics across
@@ -34,11 +41,10 @@
 //! the ring, so no thread is left blocked), and the run reports the *first*
 //! failure rather than the loudest.
 //!
-//! The traced variants ([`run_threaded_traced`],
-//! [`run_threaded_reliable_traced`]) additionally record a structured
-//! [`SpanTracer`]: per-host join/sync spans, per-hop envelope events and
-//! the unified counter registry, on the same wall-clock epoch the metrics
-//! use, so span totals reconcile with [`RingMetrics`] exactly.
+//! A traced run ([`RingDriver::with_tracer`]) additionally records a
+//! structured [`SpanTracer`]: per-host join/sync spans, per-hop envelope
+//! events and the unified counter registry, on the same wall-clock epoch
+//! the metrics use, so span totals reconcile with [`RingMetrics`] exactly.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -52,25 +58,12 @@ use simnet::time::{SimDuration, SimTime};
 use simnet::topology::HostId;
 
 use crate::config::RingConfig;
-use crate::envelope::{Envelope, FragmentId, PayloadBytes};
+use crate::envelope::{Envelope, PayloadBytes};
 use crate::error::RingError;
 use crate::metrics::{HostMetrics, RingMetrics};
-
-/// Root cause: the user-supplied `process` callback panicked.
-const CALLBACK_PANICKED: &str = "join callback panicked";
-/// Root cause: a transfer ran out of retransmission attempts.
-const BUDGET_EXHAUSTED: &str = "retransmission budget exhausted on a live ring — raise \
-                                ack_timeout or max_retransmits, or lower the loss rate";
-/// Cascade: a join entity's channels closed with fragments outstanding.
-const RING_CLOSED: &str = "ring closed while fragments were still outstanding";
-/// Cascade: the successor's buffer pool vanished under a transmitter.
-const POOL_CLOSED: &str = "successor dropped its receive pool early";
-/// Cascade: the successor's receiver thread exited mid-transfer.
-const RECEIVER_GONE: &str = "successor's receiver exited early";
-/// Cascade: a host's own transmitter exited before its join entity.
-const TX_GONE: &str = "transmitter exited early";
-/// A worker panicked outside the guarded callback (should not happen).
-const WORKER_PANICKED: &str = "ring worker panicked";
+use crate::protocol::{
+    backoff_exponent, envelope_batches, teardown, LinkReceiver, LinkSender, Receipt, TimeoutVerdict,
+};
 
 /// Collects worker errors, preferring root causes (a panicking callback, an
 /// exhausted retransmission budget) over the channel-teardown cascade they
@@ -84,8 +77,8 @@ struct ErrorCollector {
 impl ErrorCollector {
     fn record(&mut self, err: RingError) {
         let is_root = matches!(
-            err,
-            RingError::Teardown(m) if m == CALLBACK_PANICKED || m == BUDGET_EXHAUSTED
+            &err,
+            RingError::Teardown(m) if teardown::is_root_cause(m)
         );
         if is_root && self.root.is_none() {
             self.root = Some(err.clone());
@@ -158,31 +151,128 @@ impl SharedSpans {
     }
 }
 
-/// Runs the ring on real threads. `fragments[h]` are host `h`'s local
-/// fragments; `process` is invoked once per (host, envelope) visit and may
-/// itself be internally multi-threaded.
+/// Builder for a live (real-thread) ring run — the single entry point of
+/// this backend.
+///
+/// The default driver runs the classic unguarded transport; attaching a
+/// [`FaultPlan`] switches every hop onto the acknowledged stop-and-wait
+/// transport from the protocol core, and [`RingDriver::with_tracer`]
+/// enables structured span recording.
 ///
 /// ```
-/// use data_roundabout::{run_threaded, RingConfig};
+/// use data_roundabout::{RingConfig, RingDriver};
 ///
 /// // Three hosts, two fragments each: every host sees all six.
 /// let fragments: Vec<Vec<Vec<u8>>> =
 ///     (0..3).map(|_| vec![vec![0u8; 64]; 2]).collect();
-/// let metrics = run_threaded(&RingConfig::paper(3), fragments, |_, _| {}).unwrap();
+/// let (metrics, _spans) = RingDriver::new(&RingConfig::paper(3))
+///     .run(fragments, |_, _| {})
+///     .unwrap();
 /// assert_eq!(metrics.fragments_completed, 6);
 /// ```
 ///
-/// Returns wall-clock metrics converted into the common [`RingMetrics`]
-/// shape (setup is zero here — run any setup before calling and time it
-/// yourself; CPU accounts contain compute time only).
+/// With a fault plan, losses are repaired by retransmission:
 ///
-/// # Errors
+/// ```
+/// use data_roundabout::{FaultPlan, RingConfig, RingDriver};
+/// use simnet::topology::HostId;
 ///
-/// Returns [`RingError::Config`] for an invalid configuration,
-/// [`RingError::Shape`] when `fragments.len() != config.hosts`, and
-/// [`RingError::Teardown`] when a worker dies mid-run (e.g. the `process`
-/// callback panicked) — the error names the first failure, not the
-/// channel-closure cascade it provokes.
+/// let fragments: Vec<Vec<Vec<u8>>> =
+///     (0..3).map(|_| vec![vec![7u8; 64]; 2]).collect();
+/// let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.3);
+/// let (metrics, _spans) = RingDriver::new(&RingConfig::paper(3))
+///     .with_fault_plan(&plan)
+///     .run(fragments, |_, _| {})
+///     .unwrap();
+/// assert_eq!(metrics.fragments_completed, 6);
+/// ```
+#[derive(Clone, Copy)]
+pub struct RingDriver<'a> {
+    config: &'a RingConfig,
+    fault_plan: Option<&'a FaultPlan>,
+    trace: bool,
+}
+
+impl<'a> RingDriver<'a> {
+    /// A driver for `config` with the classic transport and no tracing.
+    pub fn new(config: &'a RingConfig) -> Self {
+        RingDriver {
+            config,
+            fault_plan: None,
+            trace: false,
+        }
+    }
+
+    /// Runs the ring over the unreliable medium described by `plan`, with
+    /// every hop protected by the acknowledged transport.
+    ///
+    /// Each hop gets a *wire* channel (capacity 1 — the link carries one
+    /// transfer at a time), an acknowledgement channel back, and a
+    /// dedicated receiver thread in front of the host's buffer pool. The
+    /// transmitter stamps each envelope with the protocol core's per-link
+    /// sequence number and runs stop-and-wait: send a copy (the plan's
+    /// dice may drop it, corrupt its checksum, or delay it), then await
+    /// the ack for `ack_timeout × 2^(a−1)` on attempt `a`; on timeout the
+    /// shared [`LinkSender::on_timeout`] policy decides between
+    /// retransmitting from the pristine master and tearing down. The
+    /// receiver classifies arrivals via [`LinkReceiver::receive`] —
+    /// counting checksum mismatches and staying silent so the sender
+    /// retransmits, re-acking duplicates without redelivering them — and
+    /// acks *before* depositing into the buffer pool: acknowledgement is a
+    /// NIC-level statement of intact receipt, so downstream backpressure
+    /// never masquerades as loss.
+    pub fn with_fault_plan(mut self, plan: &'a FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables structured span recording for this run.
+    pub fn with_tracer(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Runs the ring to completion. `fragments[h]` are host `h`'s local
+    /// fragments; `process` is invoked once per (host, envelope) visit and
+    /// may itself be internally multi-threaded.
+    ///
+    /// Returns wall-clock metrics converted into the common
+    /// [`RingMetrics`] shape (setup is zero here — run any setup before
+    /// calling and time it yourself; CPU accounts contain compute time
+    /// only), plus the [`SpanTracer`] (empty and disabled unless
+    /// [`RingDriver::with_tracer`] was set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::Config`] for an invalid configuration,
+    /// [`RingError::Shape`] when `fragments.len() != config.hosts`,
+    /// [`RingError::UnsupportedFault`] when the fault plan schedules host
+    /// crashes or pauses (those need the simulated backend's virtual time
+    /// and ring healing), and [`RingError::Teardown`] when a worker dies
+    /// mid-run — a panicking `process` callback, or (with a fault plan) a
+    /// transfer that exhausts its retransmission budget: on this backend
+    /// every host is alive, so an exhausted budget means the timeout is
+    /// too tight or the loss rate too high to ever succeed. The error
+    /// names the first failure, not the channel-closure cascade it
+    /// provokes.
+    pub fn run<P, F>(
+        self,
+        fragments: Vec<Vec<P>>,
+        process: F,
+    ) -> Result<(RingMetrics, SpanTracer), RingError>
+    where
+        P: PayloadBytes + Send + Clone,
+        F: Fn(HostId, &P) + Sync,
+    {
+        match self.fault_plan {
+            Some(plan) => reliable_run(self.config, plan, fragments, process, self.trace),
+            None => classic_run(self.config, fragments, process, self.trace),
+        }
+    }
+}
+
+/// Runs the ring on real threads with the classic transport.
+#[deprecated(note = "use `RingDriver::new(config).run(fragments, process)` instead")]
 pub fn run_threaded<P, F>(
     config: &RingConfig,
     fragments: Vec<Vec<P>>,
@@ -192,21 +282,64 @@ where
     P: PayloadBytes + Send,
     F: Fn(HostId, &P) + Sync,
 {
-    run_threaded_traced(config, fragments, process, false).map(|(metrics, _)| metrics)
+    classic_run(config, fragments, process, false).map(|(metrics, _)| metrics)
 }
 
-/// [`run_threaded`] plus a structured span trace of the run.
-///
-/// With `trace` set, every host records join/sync spans, per-hop envelope
-/// events and the unified counters (see [`simnet::span::counter`]); the
-/// returned [`SpanTracer`] exports Chrome trace-event JSON via
-/// [`SpanTracer::to_chrome_trace`]. With `trace` unset this is exactly
-/// [`run_threaded`] (and the returned tracer is empty and disabled).
-///
-/// # Errors
-///
-/// As for [`run_threaded`].
+/// Runs the classic ring with a structured span trace.
+#[deprecated(
+    note = "use `RingDriver::new(config).with_tracer(trace).run(fragments, process)` instead"
+)]
 pub fn run_threaded_traced<P, F>(
+    config: &RingConfig,
+    fragments: Vec<Vec<P>>,
+    process: F,
+    trace: bool,
+) -> Result<(RingMetrics, SpanTracer), RingError>
+where
+    P: PayloadBytes + Send,
+    F: Fn(HostId, &P) + Sync,
+{
+    classic_run(config, fragments, process, trace)
+}
+
+/// Runs the ring over an unreliable medium with the acknowledged
+/// transport.
+#[deprecated(
+    note = "use `RingDriver::new(config).with_fault_plan(plan).run(fragments, process)` instead"
+)]
+pub fn run_threaded_reliable<P, F>(
+    config: &RingConfig,
+    plan: &FaultPlan,
+    fragments: Vec<Vec<P>>,
+    process: F,
+) -> Result<RingMetrics, RingError>
+where
+    P: PayloadBytes + Send + Clone,
+    F: Fn(HostId, &P) + Sync,
+{
+    reliable_run(config, plan, fragments, process, false).map(|(metrics, _)| metrics)
+}
+
+/// Runs the reliable ring with a structured span trace.
+#[deprecated(
+    note = "use `RingDriver::new(config).with_fault_plan(plan).with_tracer(trace).run(fragments, process)` instead"
+)]
+pub fn run_threaded_reliable_traced<P, F>(
+    config: &RingConfig,
+    plan: &FaultPlan,
+    fragments: Vec<Vec<P>>,
+    process: F,
+    trace: bool,
+) -> Result<(RingMetrics, SpanTracer), RingError>
+where
+    P: PayloadBytes + Send + Clone,
+    F: Fn(HostId, &P) + Sync,
+{
+    reliable_run(config, plan, fragments, process, trace)
+}
+
+/// The classic (unguarded-transport) engine behind [`RingDriver::run`].
+fn classic_run<P, F>(
     config: &RingConfig,
     fragments: Vec<Vec<P>>,
     process: F,
@@ -225,11 +358,13 @@ where
     }
     let n = config.hosts;
     let total: usize = fragments.iter().map(Vec::len).sum();
+    let mut batches = envelope_batches(fragments, n);
     let shared = trace.then(SharedSpans::new);
     let spans = shared.as_ref();
 
     if n == 1 {
-        let metrics = run_single_host(fragments, process, spans)?;
+        let envelopes = batches.pop().unwrap_or_default();
+        let metrics = run_single_host(envelopes, process, spans)?;
         let tracer = finish_spans(shared, &metrics);
         return Ok((metrics, tracer));
     }
@@ -251,7 +386,7 @@ where
     let first_error = crate::sync::thread::scope(|scope| {
         let mut join_handles = Vec::with_capacity(n);
         let mut tx_handles = Vec::with_capacity(n);
-        for (h, ((frags, (rx, next_tx)), fwd)) in fragments
+        for (h, ((backlog, (rx, next_tx)), fwd)) in batches
             .into_iter()
             .zip(ring_rx.into_iter().zip(ring_tx))
             .zip(&forwarded)
@@ -262,7 +397,17 @@ where
             join_handles.push(scope.spawn(move || {
                 // On the classic path the buffer pool is the receiver, so
                 // the join entity records envelope arrivals itself.
-                join_entity(HostId(h), n, total, frags, rx, out_tx, process, spans, true)
+                join_entity(
+                    HostId(h),
+                    n,
+                    total,
+                    backlog,
+                    rx,
+                    out_tx,
+                    process,
+                    spans,
+                    true,
+                )
             }));
             tx_handles.push(scope.spawn(move || -> Result<(), RingError> {
                 // Transmitter: forward processed envelopes, honoring the
@@ -280,7 +425,7 @@ where
                     if next_tx.send(env).is_err() {
                         // The successor's join entity died and dropped its
                         // pool: surface a typed error, don't panic.
-                        return Err(RingError::Teardown(POOL_CLOSED));
+                        return Err(RingError::Teardown(teardown::POOL_CLOSED));
                     }
                 }
                 // Dropping next_tx closes the successor's pool.
@@ -292,14 +437,14 @@ where
             match handle.join() {
                 Ok(Ok(stats)) => *slot = Some(stats),
                 Ok(Err(err)) => errors.record(err),
-                Err(_) => errors.record(RingError::Teardown(WORKER_PANICKED)),
+                Err(_) => errors.record(RingError::Teardown(teardown::WORKER_PANICKED)),
             }
         }
         for handle in tx_handles {
             match handle.join() {
                 Ok(Ok(())) => {}
                 Ok(Err(err)) => errors.record(err),
-                Err(_) => errors.record(RingError::Teardown(WORKER_PANICKED)),
+                Err(_) => errors.record(RingError::Teardown(teardown::WORKER_PANICKED)),
             }
         }
         errors.first()
@@ -330,68 +475,9 @@ where
     Ok((metrics, tracer))
 }
 
-/// Runs the ring on real threads over an unreliable medium described by
-/// `plan`, with every hop protected by the acknowledged transport.
-///
-/// Each hop gets a *wire* channel (capacity 1 — the link carries one
-/// transfer at a time), an acknowledgement channel back, and a dedicated
-/// receiver thread in front of the host's buffer pool. The transmitter
-/// stamps each envelope with a per-link sequence number and runs
-/// stop-and-wait: send a copy (the plan's dice may drop it, corrupt its
-/// checksum, or delay it), then await the ack for `ack_timeout × 2^(a−1)`
-/// on attempt `a`; on timeout it retransmits from the pristine master. The
-/// receiver verifies the content checksum (counting mismatches and staying
-/// silent so the sender retransmits), re-acks duplicates without
-/// redelivering them, and acks *before* depositing into the buffer pool —
-/// acknowledgement is a NIC-level statement of intact receipt, so
-/// downstream backpressure never masquerades as loss.
-///
-/// ```
-/// use data_roundabout::{run_threaded_reliable, FaultPlan, RingConfig};
-/// use simnet::topology::HostId;
-///
-/// let fragments: Vec<Vec<Vec<u8>>> =
-///     (0..3).map(|_| vec![vec![7u8; 64]; 2]).collect();
-/// let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.3);
-/// let metrics =
-///     run_threaded_reliable(&RingConfig::paper(3), &plan, fragments, |_, _| {}).unwrap();
-/// // Losses are repaired: every fragment still completes its revolution.
-/// assert_eq!(metrics.fragments_completed, 6);
-/// ```
-///
-/// # Errors
-///
-/// Returns [`RingError::Config`] / [`RingError::Shape`] as
-/// [`run_threaded`] does, [`RingError::UnsupportedFault`] when the plan
-/// schedules host crashes or pauses (those need the simulated backend's
-/// virtual time and ring healing), and [`RingError::Teardown`] when a
-/// worker dies mid-run or a transfer exhausts its retransmission budget
-/// (`max_retransmits`) — on this backend every host is alive, so an
-/// exhausted budget means the timeout is too tight or the loss rate too
-/// high to ever succeed.
-pub fn run_threaded_reliable<P, F>(
-    config: &RingConfig,
-    plan: &FaultPlan,
-    fragments: Vec<Vec<P>>,
-    process: F,
-) -> Result<RingMetrics, RingError>
-where
-    P: PayloadBytes + Send + Clone,
-    F: Fn(HostId, &P) + Sync,
-{
-    run_threaded_reliable_traced(config, plan, fragments, process, false)
-        .map(|(metrics, _)| metrics)
-}
-
-/// [`run_threaded_reliable`] plus a structured span trace of the run.
-///
-/// Adds to the classic trace: retransmission and checksum-mismatch events
-/// on the transmitter/receiver tracks, counted in the unified registry.
-///
-/// # Errors
-///
-/// As for [`run_threaded_reliable`].
-pub fn run_threaded_reliable_traced<P, F>(
+/// The reliable-transport engine behind [`RingDriver::run`] with a fault
+/// plan attached.
+fn reliable_run<P, F>(
     config: &RingConfig,
     plan: &FaultPlan,
     fragments: Vec<Vec<P>>,
@@ -416,11 +502,13 @@ where
     }
     let n = config.hosts;
     let total: usize = fragments.iter().map(Vec::len).sum();
+    let mut batches = envelope_batches(fragments, n);
     let shared = trace.then(SharedSpans::new);
     let spans = shared.as_ref();
 
     if n == 1 {
-        let metrics = run_single_host(fragments, process, spans)?;
+        let envelopes = batches.pop().unwrap_or_default();
+        let metrics = run_single_host(envelopes, process, spans)?;
         let tracer = finish_spans(shared, &metrics);
         return Ok((metrics, tracer));
     }
@@ -463,14 +551,14 @@ where
     let first_error = crate::sync::thread::scope(|scope| {
         let mut join_handles = Vec::with_capacity(n);
         let mut aux_handles = Vec::with_capacity(2 * n);
-        let iter = fragments
+        let iter = batches
             .into_iter()
             .zip(pool_rx.into_iter().zip(pool_tx))
             .zip(wire_tx.into_iter().zip(ack_rx))
             .zip(wire_rx.into_iter().zip(ack_tx))
             .zip(forwarded.iter().zip(retransmits.iter().zip(&mismatches)))
             .enumerate();
-        for (h, ((((frags, (prx, ptx)), (wtx, arx)), (wrx, atx)), (fwd, (rtx, mis)))) in iter {
+        for (h, ((((backlog, (prx, ptx)), (wtx, arx)), (wrx, atx)), (fwd, (rtx, mis)))) in iter {
             let (out_tx, out_rx) = unbounded::<Envelope<P>>();
             let process = &process;
             join_handles.push(scope.spawn(move || {
@@ -480,7 +568,7 @@ where
                     HostId(h),
                     n,
                     total,
-                    frags,
+                    backlog,
                     prx,
                     out_tx,
                     process,
@@ -512,14 +600,14 @@ where
             match handle.join() {
                 Ok(Ok(stats)) => *slot = Some(stats),
                 Ok(Err(err)) => errors.record(err),
-                Err(_) => errors.record(RingError::Teardown(WORKER_PANICKED)),
+                Err(_) => errors.record(RingError::Teardown(teardown::WORKER_PANICKED)),
             }
         }
         for handle in aux_handles {
             match handle.join() {
                 Ok(Ok(())) => {}
                 Ok(Err(err)) => errors.record(err),
-                Err(_) => errors.record(RingError::Teardown(WORKER_PANICKED)),
+                Err(_) => errors.record(RingError::Teardown(teardown::WORKER_PANICKED)),
             }
         }
         errors.first()
@@ -583,7 +671,8 @@ fn finish_spans(shared: Option<SharedSpans>, metrics: &RingMetrics) -> SpanTrace
     }
 }
 
-/// Stop-and-wait sender side of one reliable hop.
+/// Stop-and-wait sender side of one reliable hop: channels and wall-clock
+/// deadlines around the protocol core's [`LinkSender`] policy.
 #[allow(clippy::too_many_arguments)]
 fn reliable_transmitter<P>(
     host: HostId,
@@ -600,11 +689,9 @@ fn reliable_transmitter<P>(
 where
     P: PayloadBytes + Send + Clone,
 {
-    let mut next_seq = 0u64;
+    let mut link = LinkSender::new(max_retransmits);
     for mut env in out_rx.iter() {
-        next_seq += 1;
-        env.seq = next_seq;
-        let seq = next_seq;
+        let seq = link.stamp(&mut env);
         let mut attempt = 1u32;
         if let Some(s) = spans {
             s.event(
@@ -628,12 +715,13 @@ where
                 }
                 forwarded.fetch_add(copy.bytes(), Ordering::Relaxed);
                 if wire_tx.send(copy).is_err() {
-                    return Err(RingError::Teardown(RECEIVER_GONE));
+                    return Err(RingError::Teardown(teardown::RECEIVER_GONE));
                 }
             }
-            // Await the ack with exponential backoff on retries. Stale acks
-            // (duplicate re-acks of earlier transfers) are drained silently.
-            let rto = ack_timeout * (1u32 << (attempt - 1).min(20));
+            // Await the ack with the shared backoff schedule on retries.
+            // Stale acks (duplicate re-acks of earlier transfers) are
+            // drained silently.
+            let rto = ack_timeout * (1u32 << backoff_exponent(attempt));
             let deadline = Instant::now() + rto;
             let acked = loop {
                 let remaining = deadline.saturating_duration_since(Instant::now());
@@ -642,25 +730,29 @@ where
                     Ok(_) => continue,
                     Err(RecvTimeoutError::Timeout) => break false,
                     Err(RecvTimeoutError::Disconnected) => {
-                        return Err(RingError::Teardown(RECEIVER_GONE));
+                        return Err(RingError::Teardown(teardown::RECEIVER_GONE));
                     }
                 }
             };
             if acked {
                 break;
             }
-            if attempt > max_retransmits {
-                return Err(RingError::Teardown(BUDGET_EXHAUSTED));
-            }
-            attempt += 1;
-            retransmits.fetch_add(1, Ordering::Relaxed);
-            if let Some(s) = spans {
-                s.event(
-                    host.0,
-                    Track::Transmitter,
-                    format!("retransmit {} attempt {}", env.id, attempt),
-                    Some(counter::RETRANSMITS),
-                );
+            match link.on_timeout(attempt) {
+                TimeoutVerdict::Exhausted => {
+                    return Err(RingError::Teardown(teardown::BUDGET_EXHAUSTED));
+                }
+                TimeoutVerdict::Retry { attempt: next, .. } => {
+                    attempt = next;
+                    retransmits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(s) = spans {
+                        s.event(
+                            host.0,
+                            Track::Transmitter,
+                            format!("retransmit {} attempt {}", env.id, attempt),
+                            Some(counter::RETRANSMITS),
+                        );
+                    }
+                }
             }
         }
     }
@@ -668,7 +760,8 @@ where
     Ok(())
 }
 
-/// Receiver side of one reliable hop: the NIC in front of the buffer pool.
+/// Receiver side of one reliable hop: the NIC in front of the buffer pool,
+/// classifying arrivals with the protocol core's [`LinkReceiver`].
 fn reliable_receiver<P>(
     host: HostId,
     wire_rx: Receiver<Envelope<P>>,
@@ -679,50 +772,51 @@ fn reliable_receiver<P>(
 ) where
     P: PayloadBytes + Send,
 {
-    let mut last_seq = 0u64;
+    let mut link = LinkReceiver::new();
     for env in wire_rx.iter() {
-        if !env.checksum_ok() {
-            // Corrupted in flight: count it and stay silent — the sender's
-            // timeout turns the silence into a retransmission.
-            mismatches.fetch_add(1, Ordering::Relaxed);
-            if let Some(s) = spans {
-                s.event(
-                    host.0,
-                    Track::Receiver,
-                    format!("checksum mismatch {}", env.id),
-                    Some(counter::CHECKSUM_MISMATCHES),
-                );
+        match link.receive(&env) {
+            Receipt::Corrupt => {
+                // Corrupted in flight: count it and stay silent — the
+                // sender's timeout turns the silence into a retransmission.
+                mismatches.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = spans {
+                    s.event(
+                        host.0,
+                        Track::Receiver,
+                        format!("checksum mismatch {}", env.id),
+                        Some(counter::CHECKSUM_MISMATCHES),
+                    );
+                }
             }
-            continue;
-        }
-        if env.seq <= last_seq {
-            // Duplicate of an already delivered transfer (its ack raced the
-            // sender's timeout): re-ack, do not deliver twice.
-            let _ = ack_tx.send(env.seq);
-            if let Some(s) = spans {
-                s.event(
-                    host.0,
-                    Track::Receiver,
-                    format!("duplicate {}", env.id),
-                    None,
-                );
+            Receipt::Duplicate => {
+                // Duplicate of an already delivered transfer (its ack raced
+                // the sender's timeout): re-ack, do not deliver twice.
+                let _ = ack_tx.send(env.seq);
+                if let Some(s) = spans {
+                    s.event(
+                        host.0,
+                        Track::Receiver,
+                        format!("duplicate {}", env.id),
+                        None,
+                    );
+                }
             }
-            continue;
-        }
-        last_seq = env.seq;
-        // Ack before depositing: receipt is acknowledged at the NIC even
-        // when the buffer pool exerts backpressure on the wire.
-        let _ = ack_tx.send(env.seq);
-        if let Some(s) = spans {
-            s.event(
-                host.0,
-                Track::Receiver,
-                format!("recv {}", env.id),
-                Some(counter::ENVELOPES_RECEIVED),
-            );
-        }
-        if pool_tx.send(env).is_err() {
-            break;
+            Receipt::Deliver => {
+                // Ack before depositing: receipt is acknowledged at the NIC
+                // even when the buffer pool exerts backpressure on the wire.
+                let _ = ack_tx.send(env.seq);
+                if let Some(s) = spans {
+                    s.event(
+                        host.0,
+                        Track::Receiver,
+                        format!("recv {}", env.id),
+                        Some(counter::ENVELOPES_RECEIVED),
+                    );
+                }
+                if pool_tx.send(env).is_err() {
+                    break;
+                }
+            }
         }
     }
     // Dropping ack_tx / pool_tx unblocks the neighbors' shutdown.
@@ -763,13 +857,14 @@ impl JoinStats {
     }
 }
 
-/// The join entity of one host.
+/// The join entity of one host. `backlog` holds the host's local
+/// fragments, pre-numbered by [`envelope_batches`].
 #[allow(clippy::too_many_arguments)]
 fn join_entity<P, F>(
     host: HostId,
     ring_size: usize,
     total: usize,
-    locals: Vec<P>,
+    backlog: Vec<Envelope<P>>,
     rx: Receiver<Envelope<P>>,
     out_tx: Sender<Envelope<P>>,
     process: &F,
@@ -780,11 +875,7 @@ where
     P: PayloadBytes + Send,
     F: Fn(HostId, &P) + Sync,
 {
-    let mut backlog: std::collections::VecDeque<Envelope<P>> = locals
-        .into_iter()
-        .enumerate()
-        .map(|(i, p)| Envelope::new(FragmentId(host.0 * 1_000_000 + i), host, ring_size, p))
-        .collect();
+    let mut backlog: std::collections::VecDeque<Envelope<P>> = backlog.into();
     let started = Instant::now();
     let mut busy = Duration::ZERO;
     let mut sync = Duration::ZERO;
@@ -799,7 +890,7 @@ where
                 None => {
                     let wait = Instant::now();
                     let Ok(env) = rx.recv() else {
-                        return Err(RingError::Teardown(RING_CLOSED));
+                        return Err(RingError::Teardown(teardown::RING_CLOSED));
                     };
                     let waited = wait.elapsed();
                     sync += waited;
@@ -818,7 +909,7 @@ where
             },
             Err(TryRecvError::Disconnected) => match backlog.pop_front() {
                 Some(env) => (env, false),
-                None => return Err(RingError::Teardown(RING_CLOSED)),
+                None => return Err(RingError::Teardown(teardown::RING_CLOSED)),
             },
         };
         if received && record_receives {
@@ -839,7 +930,7 @@ where
         let spent = t.elapsed();
         busy += spent;
         if outcome.is_err() {
-            return Err(RingError::Teardown(CALLBACK_PANICKED));
+            return Err(RingError::Teardown(teardown::CALLBACK_PANICKED));
         }
         processed += 1;
         if let Some(s) = spans {
@@ -854,7 +945,7 @@ where
         }
         if env.consume_hop() {
             if out_tx.send(env).is_err() {
-                return Err(RingError::Teardown(TX_GONE));
+                return Err(RingError::Teardown(teardown::TX_GONE));
             }
         } else if let Some(s) = spans {
             s.event(
@@ -878,7 +969,7 @@ where
 
 /// Degenerate single-host "ring": process the backlog locally.
 fn run_single_host<P, F>(
-    fragments: Vec<Vec<P>>,
+    envelopes: Vec<Envelope<P>>,
     process: F,
     spans: Option<&SharedSpans>,
 ) -> Result<RingMetrics, RingError>
@@ -889,19 +980,19 @@ where
     let started = Instant::now();
     let mut busy = Duration::ZERO;
     let mut processed = 0usize;
-    for payload in fragments.into_iter().flatten() {
+    for env in envelopes {
         let t = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| process(HostId(0), &payload)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| process(HostId(0), &env.payload)));
         let spent = t.elapsed();
         busy += spent;
         if outcome.is_err() {
-            return Err(RingError::Teardown(CALLBACK_PANICKED));
+            return Err(RingError::Teardown(teardown::CALLBACK_PANICKED));
         }
         if let Some(s) = spans {
             s.span(
                 0,
                 SpanKind::Join,
-                format!("join F{processed}"),
+                format!("join {}", env.id),
                 t,
                 spent,
                 Some(0),
@@ -909,7 +1000,7 @@ where
             s.event(
                 0,
                 Track::Join,
-                format!("retired F{processed}"),
+                format!("retired {}", env.id),
                 Some(counter::FRAGMENTS_RETIRED),
             );
         }
@@ -945,11 +1036,21 @@ mod tests {
             .collect()
     }
 
+    fn run_plain(
+        config: &RingConfig,
+        fragments: Vec<Vec<Vec<u8>>>,
+        process: impl Fn(HostId, &Vec<u8>) + Sync,
+    ) -> Result<RingMetrics, RingError> {
+        RingDriver::new(config)
+            .run(fragments, process)
+            .map(|(metrics, _)| metrics)
+    }
+
     #[test]
     fn every_host_sees_every_fragment() {
         let hosts = 4;
         let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
-        let metrics = run_threaded(&RingConfig::paper(hosts), payloads(hosts, 3, 64), |h, _| {
+        let metrics = run_plain(&RingConfig::paper(hosts), payloads(hosts, 3, 64), |h, _| {
             counts[h.0].fetch_add(1, Ordering::SeqCst);
         })
         .unwrap();
@@ -966,7 +1067,7 @@ mod tests {
 
     #[test]
     fn single_host_processes_locally() {
-        let metrics = run_threaded(&RingConfig::paper(1), payloads(1, 5, 8), |_, _| {}).unwrap();
+        let metrics = run_plain(&RingConfig::paper(1), payloads(1, 5, 8), |_, _| {}).unwrap();
         assert_eq!(metrics.fragments_completed, 5);
         assert_eq!(metrics.hosts[0].bytes_forwarded, 0);
     }
@@ -977,7 +1078,7 @@ mod tests {
         // on the flow control.
         let hosts = 5;
         let cfg = RingConfig::paper(hosts).with_buffers(1);
-        let metrics = run_threaded(&cfg, payloads(hosts, 8, 16), |_, _| {}).unwrap();
+        let metrics = run_plain(&cfg, payloads(hosts, 8, 16), |_, _| {}).unwrap();
         assert_eq!(metrics.fragments_completed, 40);
     }
 
@@ -986,7 +1087,7 @@ mod tests {
         let hosts = 3;
         let mut frags = payloads(hosts, 0, 0);
         frags[2] = (0..7).map(|_| vec![0u8; 32]).collect();
-        let metrics = run_threaded(&RingConfig::paper(hosts), frags, |_, _| {}).unwrap();
+        let metrics = run_plain(&RingConfig::paper(hosts), frags, |_, _| {}).unwrap();
         assert_eq!(metrics.fragments_completed, 7);
         for h in &metrics.hosts {
             assert_eq!(h.fragments_processed, 7);
@@ -996,7 +1097,7 @@ mod tests {
     #[test]
     fn slow_consumers_still_complete() {
         let hosts = 3;
-        let metrics = run_threaded(&RingConfig::paper(hosts), payloads(hosts, 2, 16), |h, _| {
+        let metrics = run_plain(&RingConfig::paper(hosts), payloads(hosts, 2, 16), |h, _| {
             if h.0 == 1 {
                 std::thread::sleep(Duration::from_millis(2));
             }
@@ -1008,7 +1109,7 @@ mod tests {
 
     #[test]
     fn empty_run_completes() {
-        let metrics = run_threaded(&RingConfig::paper(3), payloads(3, 0, 0), |_, _| {}).unwrap();
+        let metrics = run_plain(&RingConfig::paper(3), payloads(3, 0, 0), |_, _| {}).unwrap();
         assert_eq!(metrics.fragments_completed, 0);
     }
 
@@ -1019,21 +1120,20 @@ mod tests {
         for round in 0..10 {
             let hosts = 2 + (round % 4);
             let metrics =
-                run_threaded(&RingConfig::paper(hosts), payloads(hosts, 6, 8), |_, _| {}).unwrap();
+                run_plain(&RingConfig::paper(hosts), payloads(hosts, 6, 8), |_, _| {}).unwrap();
             assert_eq!(metrics.fragments_completed, hosts * 6, "round {round}");
         }
     }
 
     #[test]
     fn invalid_config_is_a_typed_error() {
-        let err =
-            run_threaded(&RingConfig::paper(0), vec![], |_: HostId, _: &Vec<u8>| {}).unwrap_err();
+        let err = run_plain(&RingConfig::paper(0), vec![], |_, _| {}).unwrap_err();
         assert!(matches!(err, RingError::Config(_)));
     }
 
     #[test]
     fn shape_mismatch_is_a_typed_error() {
-        let err = run_threaded(&RingConfig::paper(3), payloads(2, 1, 8), |_, _| {}).unwrap_err();
+        let err = run_plain(&RingConfig::paper(3), payloads(2, 1, 8), |_, _| {}).unwrap_err();
         assert_eq!(
             err,
             RingError::Shape {
@@ -1050,13 +1150,13 @@ mod tests {
     #[test]
     fn panicking_callback_surfaces_as_teardown_error() {
         let hosts = 3;
-        let result = run_threaded(&RingConfig::paper(hosts), payloads(hosts, 2, 16), |h, _| {
+        let result = run_plain(&RingConfig::paper(hosts), payloads(hosts, 2, 16), |h, _| {
             if h.0 == 1 {
                 panic!("worker exploded");
             }
         });
         match result {
-            Err(RingError::Teardown(msg)) => assert_eq!(msg, CALLBACK_PANICKED),
+            Err(RingError::Teardown(msg)) => assert_eq!(msg, teardown::CALLBACK_PANICKED),
             other => panic!("expected a teardown error, got {other:?}"),
         }
     }
@@ -1068,40 +1168,41 @@ mod tests {
     fn reliable_panicking_callback_surfaces_as_teardown_error() {
         let hosts = 3;
         let cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(20));
-        let result = run_threaded_reliable(
-            &cfg,
-            &FaultPlan::seeded(5),
+        let plan = FaultPlan::seeded(5);
+        let result = RingDriver::new(&cfg).with_fault_plan(&plan).run(
             payloads(hosts, 2, 16),
-            |h, _| {
+            |h, _: &Vec<u8>| {
                 if h.0 == 2 {
                     panic!("worker exploded");
                 }
             },
         );
         match result {
-            Err(RingError::Teardown(msg)) => assert_eq!(msg, CALLBACK_PANICKED),
+            Err(RingError::Teardown(msg)) => assert_eq!(msg, teardown::CALLBACK_PANICKED),
             other => panic!("expected a teardown error, got {other:?}"),
         }
     }
 
     #[test]
     fn single_host_panicking_callback_is_typed_too() {
-        let result = run_threaded(&RingConfig::paper(1), payloads(1, 2, 8), |_, _| {
+        let result = run_plain(&RingConfig::paper(1), payloads(1, 2, 8), |_, _| {
             panic!("worker exploded");
         });
-        assert_eq!(result.unwrap_err(), RingError::Teardown(CALLBACK_PANICKED));
+        assert_eq!(
+            result.unwrap_err(),
+            RingError::Teardown(teardown::CALLBACK_PANICKED)
+        );
     }
 
     #[test]
     fn traced_run_reconciles_with_metrics() {
         let hosts = 3;
-        let (metrics, spans) = run_threaded_traced(
-            &RingConfig::paper(hosts),
-            payloads(hosts, 3, 64),
-            |_, _| std::thread::sleep(Duration::from_micros(200)),
-            true,
-        )
-        .unwrap();
+        let (metrics, spans) = RingDriver::new(&RingConfig::paper(hosts))
+            .with_tracer(true)
+            .run(payloads(hosts, 3, 64), |_, _: &Vec<u8>| {
+                std::thread::sleep(Duration::from_micros(200))
+            })
+            .unwrap();
         assert!(spans.is_enabled());
         for (h, host) in metrics.hosts.iter().enumerate() {
             assert_eq!(
@@ -1133,9 +1234,9 @@ mod tests {
 
     #[test]
     fn untraced_run_returns_a_disabled_tracer() {
-        let (metrics, spans) =
-            run_threaded_traced(&RingConfig::paper(2), payloads(2, 2, 8), |_, _| {}, false)
-                .unwrap();
+        let (metrics, spans) = RingDriver::new(&RingConfig::paper(2))
+            .run(payloads(2, 2, 8), |_, _: &Vec<u8>| {})
+            .unwrap();
         assert_eq!(metrics.fragments_completed, 4);
         assert!(!spans.is_enabled());
         assert!(spans.spans().is_empty());
@@ -1146,9 +1247,11 @@ mod tests {
         let hosts = 3;
         let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.4);
         let cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(20));
-        let (metrics, spans) =
-            run_threaded_reliable_traced(&cfg, &plan, payloads(hosts, 4, 32), |_, _| {}, true)
-                .unwrap();
+        let (metrics, spans) = RingDriver::new(&cfg)
+            .with_fault_plan(&plan)
+            .with_tracer(true)
+            .run(payloads(hosts, 4, 32), |_, _: &Vec<u8>| {})
+            .unwrap();
         assert_eq!(metrics.fragments_completed, 12);
         assert_eq!(
             spans.counters().get(counter::RETRANSMITS),
@@ -1162,15 +1265,13 @@ mod tests {
     fn reliable_quiet_plan_is_fault_free() {
         let hosts = 3;
         let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
-        let metrics = run_threaded_reliable(
-            &RingConfig::paper(hosts),
-            &FaultPlan::seeded(1),
-            payloads(hosts, 3, 32),
-            |h, _| {
+        let plan = FaultPlan::seeded(1);
+        let (metrics, _) = RingDriver::new(&RingConfig::paper(hosts))
+            .with_fault_plan(&plan)
+            .run(payloads(hosts, 3, 32), |h, _: &Vec<u8>| {
                 counts[h.0].fetch_add(1, Ordering::SeqCst);
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         assert_eq!(metrics.fragments_completed, 9);
         for c in &counts {
             assert_eq!(c.load(Ordering::SeqCst), 9);
@@ -1187,10 +1288,12 @@ mod tests {
         let plan = FaultPlan::seeded(42).lossy_link(HostId(0), 0.4);
         let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
         let cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(20));
-        let metrics = run_threaded_reliable(&cfg, &plan, payloads(hosts, 4, 32), |h, _| {
-            counts[h.0].fetch_add(1, Ordering::SeqCst);
-        })
-        .unwrap();
+        let (metrics, _) = RingDriver::new(&cfg)
+            .with_fault_plan(&plan)
+            .run(payloads(hosts, 4, 32), |h, _: &Vec<u8>| {
+                counts[h.0].fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
         assert_eq!(metrics.fragments_completed, 12);
         // Exactly-once delivery despite losses: no host saw a duplicate.
         for c in &counts {
@@ -1207,8 +1310,10 @@ mod tests {
         let hosts = 3;
         let plan = FaultPlan::seeded(7).corrupt_link(HostId(0), 0.5);
         let cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(20));
-        let metrics =
-            run_threaded_reliable(&cfg, &plan, payloads(hosts, 4, 32), |_, _| {}).unwrap();
+        let (metrics, _) = RingDriver::new(&cfg)
+            .with_fault_plan(&plan)
+            .run(payloads(hosts, 4, 32), |_, _: &Vec<u8>| {})
+            .unwrap();
         assert_eq!(metrics.fragments_completed, 12);
         // Corruption on the hop out of H0 is detected by H1's receiver and
         // repaired by H0's retransmissions.
@@ -1225,21 +1330,47 @@ mod tests {
     fn delay_spikes_do_not_lose_envelopes() {
         let hosts = 3;
         let plan = FaultPlan::seeded(3).delay_spikes(HostId(1), 0.5, SimDuration::from_micros(200));
-        let metrics = run_threaded_reliable(
-            &RingConfig::paper(hosts),
-            &plan,
-            payloads(hosts, 3, 16),
-            |_, _| {},
-        )
-        .unwrap();
+        let (metrics, _) = RingDriver::new(&RingConfig::paper(hosts))
+            .with_fault_plan(&plan)
+            .run(payloads(hosts, 3, 16), |_, _: &Vec<u8>| {})
+            .unwrap();
         assert_eq!(metrics.fragments_completed, 9);
     }
 
     #[test]
     fn crash_plans_are_rejected() {
         let plan = FaultPlan::seeded(0).crash_host(HostId(1), SimTime::from_nanos(1));
-        let err = run_threaded_reliable(&RingConfig::paper(3), &plan, payloads(3, 1, 8), |_, _| {})
+        let err = RingDriver::new(&RingConfig::paper(3))
+            .with_fault_plan(&plan)
+            .run(payloads(3, 1, 8), |_, _: &Vec<u8>| {})
             .unwrap_err();
         assert!(matches!(err, RingError::UnsupportedFault(_)));
+    }
+
+    /// The pre-`RingDriver` entry points must keep compiling and running —
+    /// downstream code migrates on its own schedule.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run() {
+        let metrics = run_threaded(&RingConfig::paper(2), payloads(2, 2, 8), |_, _| {}).unwrap();
+        assert_eq!(metrics.fragments_completed, 4);
+        let (metrics, spans) =
+            run_threaded_traced(&RingConfig::paper(2), payloads(2, 1, 8), |_, _| {}, true).unwrap();
+        assert_eq!(metrics.fragments_completed, 2);
+        assert!(spans.is_enabled());
+        let plan = FaultPlan::seeded(1);
+        let metrics =
+            run_threaded_reliable(&RingConfig::paper(2), &plan, payloads(2, 2, 8), |_, _| {})
+                .unwrap();
+        assert_eq!(metrics.fragments_completed, 4);
+        let (metrics, _) = run_threaded_reliable_traced(
+            &RingConfig::paper(2),
+            &plan,
+            payloads(2, 1, 8),
+            |_, _| {},
+            false,
+        )
+        .unwrap();
+        assert_eq!(metrics.fragments_completed, 2);
     }
 }

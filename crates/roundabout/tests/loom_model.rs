@@ -168,6 +168,56 @@ fn bounded_buffer_hand_off_is_exhaustively_correct() {
     });
 }
 
+/// The shape of the [`RingDriver`] hand-off (PR 4): a transmitter stamps
+/// monotone per-link sequence numbers — retransmitting one envelope, as
+/// the reliable driver does on an ack timeout — and the receiver dedups
+/// on its last-delivered sequence, exactly as the protocol core's
+/// `LinkSender::stamp` / `LinkReceiver::receive` pair. Every interleaving
+/// of the duplicate against the fresh envelope must deliver each fragment
+/// exactly once, in order.
+///
+/// [`RingDriver`]: data_roundabout::RingDriver
+#[test]
+fn driver_hand_off_dedups_retransmits_exactly_once() {
+    loom::model(|| {
+        let wire = Arc::new((Mutex::new(Vec::<(u64, u8)>::new()), Condvar::new()));
+        let transmitter = {
+            let wire = Arc::clone(&wire);
+            thread::spawn(move || {
+                let (slot, arrived) = &*wire;
+                // seq 1 sent, timer fires, seq 1 retransmitted, seq 2 sent:
+                // the same stamped envelope crosses the link twice.
+                for (seq, payload) in [(1u64, 10u8), (1, 10), (2, 20)] {
+                    slot.lock().unwrap().push((seq, payload));
+                    arrived.notify_one();
+                }
+            })
+        };
+        let (slot, arrived) = &*wire;
+        let mut last_seq = 0u64;
+        let mut delivered = Vec::new();
+        while delivered.len() < 2 {
+            let mut q = slot.lock().unwrap();
+            while q.is_empty() {
+                q = arrived.wait(q).unwrap();
+            }
+            for (seq, payload) in q.drain(..) {
+                // LinkReceiver::receive: advance only on fresh sequences.
+                if seq == last_seq + 1 {
+                    last_seq = seq;
+                    delivered.push(payload);
+                }
+            }
+        }
+        transmitter.join().unwrap();
+        assert_eq!(
+            delivered,
+            vec![10, 20],
+            "retransmit dedup lost or duplicated"
+        );
+    });
+}
+
 /// The checker is not a single-schedule smoke test: a model with real
 /// concurrency must be explored more than once.
 #[test]

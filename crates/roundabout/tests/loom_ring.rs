@@ -5,16 +5,17 @@
 //! Compiled only under `RUSTFLAGS="--cfg loom"` (see `scripts/analyze.sh`),
 //! where `data_roundabout::sync` resolves to the vendored loom checker's
 //! instrumented primitives. The headline test runs the *actual*
-//! [`data_roundabout::run_threaded`] backend — join entities, transmitter
-//! threads, bounded buffer pools, credit flow control and all — under the
-//! model, so every schedule the token-passing scheduler can produce is
-//! checked for lost envelopes, double delivery and deadlock.
+//! [`data_roundabout::RingDriver`] backend — join entities, transmitter
+//! threads, bounded buffer pools, credit flow control and all, driven by
+//! the shared sans-IO protocol core — under the model, so every schedule
+//! the token-passing scheduler can produce is checked for lost envelopes,
+//! double delivery and deadlock.
 
 #![cfg(loom)]
 
 use data_roundabout::sync::atomic::{AtomicU64, Ordering};
 use data_roundabout::sync::{mpmc, thread, Arc};
-use data_roundabout::{run_threaded, RingConfig};
+use data_roundabout::{RingConfig, RingDriver};
 
 /// The real threaded backend on a two-host ring, one fragment per host:
 /// five threads (main, two join entities, two transmitters) and every
@@ -31,7 +32,9 @@ fn two_host_ring_hand_off_is_exhaustively_correct() {
     builder.preemption_bound = Some(1);
     builder.check(|| {
         let fragments: Vec<Vec<Vec<u8>>> = (0..2).map(|h| vec![vec![h as u8; 8]]).collect();
-        let metrics = run_threaded(&RingConfig::paper(2), fragments, |_, _| {}).unwrap();
+        let (metrics, _) = RingDriver::new(&RingConfig::paper(2))
+            .run(fragments, |_, _| {})
+            .unwrap();
         assert_eq!(metrics.fragments_completed, 2, "a fragment was lost");
         for host in &metrics.hosts {
             assert_eq!(

@@ -1,14 +1,120 @@
 //! Property-based tests of the Data Roundabout transport protocol.
 
-use data_roundabout::{run_threaded, FixedCostApp, RingConfig, SimRing};
+use std::collections::HashMap;
+
+use data_roundabout::protocol::{envelope_batches, Input, Output, ProtocolConfig, RingProtocol};
+use data_roundabout::{FixedCostApp, RingConfig, RingDriver, SimRing};
 use proptest::prelude::*;
 use simnet::time::SimDuration;
+use simnet::topology::HostId;
 
 fn payloads(counts: &[usize], bytes: usize) -> Vec<Vec<Vec<u8>>> {
     counts
         .iter()
         .map(|&n| (0..n).map(|_| vec![0u8; bytes]).collect())
         .collect()
+}
+
+/// Drives the sans-IO protocol core directly — no channels, threads or
+/// simulator — applying the pending inputs in an order chosen by a seeded
+/// xorshift, so every proptest case exercises a different (but legal)
+/// interleaving of deliveries, completions and acks.
+fn drive_protocol(counts: &[usize], buffers: usize, reliable: bool, seed: u64) {
+    let hosts = counts.len();
+    let total: usize = counts.iter().sum();
+    let proto_cfg = ProtocolConfig {
+        hosts,
+        buffers_per_host: buffers,
+        max_retransmits: 8,
+        continuous: false,
+        reliable,
+    };
+    let mut proto = RingProtocol::new(proto_cfg, envelope_batches(payloads(counts, 16), hosts));
+    let mut pending: Vec<Input<Vec<u8>>> = (0..hosts)
+        .map(|h| Input::SetupDone { host: HostId(h) })
+        .collect();
+    let mut joins: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut wire_deliveries: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut rng = seed | 1;
+    let mut steps = 0usize;
+    while !pending.is_empty() {
+        steps += 1;
+        prop_assert!(steps < 200_000, "interleaving did not quiesce");
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let idx = (rng as usize) % pending.len();
+        let input = pending.swap_remove(idx);
+        for output in proto.input(input) {
+            match output {
+                Output::StartJoin { host, id, .. } => {
+                    *joins.entry((host.0, id.0)).or_default() += 1;
+                    pending.push(Input::JoinDone {
+                        host,
+                        app_finished: false,
+                    });
+                }
+                Output::Send {
+                    from, to, tid, env, ..
+                } => {
+                    // A quiet medium: every attempt arrives intact, in
+                    // whatever order the interleaving picks. Retransmit
+                    // timers are armed but never fire.
+                    pending.push(Input::SendDone { from });
+                    pending.push(Input::Delivered { to, env, tid });
+                }
+                Output::Ack { tid, .. } => pending.push(Input::Ack { tid }),
+                Output::Delivered { host, id, .. } => {
+                    *wire_deliveries.entry((host.0, id.0)).or_default() += 1;
+                }
+                Output::Teardown { reason } => panic!("teardown: {reason}"),
+                _ => {}
+            }
+        }
+        for h in 0..hosts {
+            let hp = proto.host(HostId(h));
+            // The credit invariant: pool occupancy stays within the
+            // configured buffer budget (it can never go negative — the
+            // counter is unsigned and reserve/release are balanced).
+            prop_assert!(
+                hp.pool_used() <= hp.buffers(),
+                "host {h} oversubscribed: {} of {} buffers",
+                hp.pool_used(),
+                hp.buffers()
+            );
+        }
+    }
+    prop_assert_eq!(proto.fragments_completed(), total, "every fragment retires");
+    for h in 0..hosts {
+        let hp = proto.host(HostId(h));
+        prop_assert_eq!(
+            hp.pool_used(),
+            0,
+            "host {} leaked buffer slots across the revolution",
+            h
+        );
+        prop_assert_eq!(hp.fragments_processed(), total, "host {} join count", h);
+        prop_assert_eq!(proto.retransmits(HostId(h)), 0, "quiet medium");
+        prop_assert_eq!(proto.checksum_mismatches(HostId(h)), 0, "quiet medium");
+    }
+    // Exactly-once processing: every host joined every fragment once.
+    for (&(h, id), &n) in &joins {
+        prop_assert_eq!(n, 1, "host {} joined {} {} times", h, id, n);
+    }
+    prop_assert_eq!(
+        joins.len(),
+        hosts * total,
+        "every (host, fragment) pair joined"
+    );
+    // Exactly-once wire delivery: each fragment crosses each of its
+    // hosts-1 downstream hops exactly once.
+    for (&(h, id), &n) in &wire_deliveries {
+        prop_assert_eq!(n, 1, "host {} received {} {} times", h, id, n);
+    }
+    if hosts > 1 {
+        prop_assert_eq!(wire_deliveries.len(), (hosts - 1) * total);
+    }
+    prop_assert_eq!(proto.heal_events(), 0);
 }
 
 proptest! {
@@ -89,11 +195,36 @@ proptest! {
         let hosts = counts.len();
         let total: usize = counts.iter().sum();
         let config = RingConfig::paper(hosts).with_buffers(buffers);
-        let metrics = run_threaded(&config, payloads(&counts, 64), |_, _| {}).unwrap();
+        let (metrics, _) = RingDriver::new(&config)
+            .run(payloads(&counts, 64), |_, _| {})
+            .unwrap();
         prop_assert_eq!(metrics.fragments_completed, total);
         for h in &metrics.hosts {
             prop_assert_eq!(h.fragments_processed, total);
         }
+    }
+
+    /// The protocol core alone, classic path: any legal interleaving of
+    /// inputs preserves the credit invariant, conserves buffer slots
+    /// across the revolution, and joins/delivers exactly once per host.
+    #[test]
+    fn protocol_core_classic_survives_any_interleaving(
+        counts in prop::collection::vec(0usize..5, 1..6),
+        buffers in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        drive_protocol(&counts, buffers, false, seed);
+    }
+
+    /// Same invariants on the reliable (acked stop-and-wait) path, with
+    /// acks and completions racing deliveries in random order.
+    #[test]
+    fn protocol_core_reliable_survives_any_interleaving(
+        counts in prop::collection::vec(0usize..5, 1..6),
+        buffers in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        drive_protocol(&counts, buffers, true, seed);
     }
 
     /// Determinism: identical simulated runs produce identical metrics.

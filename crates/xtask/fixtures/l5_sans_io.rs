@@ -1,0 +1,26 @@
+//! L5 fixture — seeded sans-IO violations in protocol-layer code.
+//! Expected under the L5 policy: 5 live findings, 1 suppressed.
+
+use std::net::TcpStream; // seeded violation: a socket in the state machine
+use std::thread; // seeded violation: an execution context
+
+pub fn protocol_grew_a_driver_dependency() {
+    let pool = crate::sync::mpmc::bounded::<u8>(1); // seeded violation
+    let deadline = simnet::time::SimTime::ZERO; // seeded violation
+    thread::spawn(move || drop(pool)); // seeded violation: spawn call
+    drop(deadline);
+}
+
+pub fn pure_state_machine_is_fine(now: u64) -> u64 {
+    // `spawn` and `net` as plain identifiers are not paths or calls.
+    let spawn = now + 1;
+    let net = spawn * 2;
+    net
+}
+
+pub fn audited() {
+    spawn_probe(); // helper call, not a spawn
+    spawn(7); // analyze: allow(sans-io, reason = "fixture: free fn shadows the banned name")
+}
+
+fn spawn_probe() {}

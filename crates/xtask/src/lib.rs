@@ -32,6 +32,8 @@ pub const REGISTRY_PATH: &str = "crates/simnet/src/span.rs";
 ///   which are the only emitters of counters.
 /// - **L4 lock-ordering**: the threaded executor and backend, where the
 ///   collector/tracer locks nest.
+/// - **L5 sans-io-protocol**: the shared ring-protocol core, which must
+///   never grow a socket, thread, channel or clock dependency.
 pub fn policy_for(rel: &str) -> FilePolicy {
     let mut p = FilePolicy::default();
     let core_l1 = [
@@ -61,12 +63,15 @@ pub fn policy_for(rel: &str) -> FilePolicy {
     {
         p.lock_ordering = true;
     }
+    if rel.starts_with("crates/roundabout/src/protocol/") {
+        p.sans_io = true;
+    }
     p
 }
 
 /// True when any lint applies.
 fn policy_is_active(p: &FilePolicy) -> bool {
-    p.no_panic || p.no_wall_clock || p.counter_registry || p.lock_ordering
+    p.no_panic || p.no_wall_clock || p.counter_registry || p.lock_ordering || p.sans_io
 }
 
 /// Analyzes the workspace rooted at `root` with the standard policy.
@@ -189,8 +194,16 @@ mod tests {
     fn policy_scopes_match_the_issue() {
         let p = policy_for("crates/roundabout/src/thread_backend.rs");
         assert!(p.no_panic && p.counter_registry && p.lock_ordering && !p.no_wall_clock);
+        assert!(!p.sans_io, "drivers are allowed to do IO");
         let p = policy_for("crates/roundabout/src/sim_backend.rs");
         assert!(p.no_panic && p.no_wall_clock && p.counter_registry && !p.lock_ordering);
+        // The sans-IO core: L1 (it is library code) plus L5, and nothing
+        // that assumes a particular driver.
+        let p = policy_for("crates/roundabout/src/protocol/ring.rs");
+        assert!(p.no_panic && p.sans_io);
+        assert!(!p.no_wall_clock && !p.counter_registry && !p.lock_ordering);
+        let p = policy_for("crates/roundabout/src/protocol/link.rs");
+        assert!(p.sans_io);
         let p = policy_for("crates/core/src/sql.rs");
         assert!(p.no_panic && !p.no_wall_clock && !p.counter_registry && !p.lock_ordering);
         let p = policy_for("crates/simnet/src/net.rs");

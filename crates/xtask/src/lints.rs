@@ -6,6 +6,7 @@
 //! | L2 | `no-wall-clock-in-sim` | the simulator is virtual-time only: `std::time::Instant` / `SystemTime` are banned in `simnet` and the simulated backend |
 //! | L3 | `counter-registry` | every counter name incremented in the backends is a key of the unified registry in `simnet::span::counter` |
 //! | L4 | `lock-ordering`    | nested lock acquisitions respect the declared lock-order table |
+//! | L5 | `sans-io-protocol` | the protocol core stays sans-IO: no `std::net`, `std::thread`, `crate::sync` or `simnet::time` paths and no `spawn` calls in `crates/roundabout/src/protocol/` |
 //!
 //! A finding can be suppressed by `// analyze: allow(<lint>, reason = "…")`
 //! on the same line, the line above, or above the enclosing `fn` header
@@ -29,6 +30,9 @@ pub enum Lint {
     CounterRegistry,
     /// L4 — nested locks respect the declared order.
     LockOrdering,
+    /// L5 — the protocol core is sans-IO: no sockets, threads, channels
+    /// or clocks.
+    SansIo,
 }
 
 impl Lint {
@@ -39,6 +43,7 @@ impl Lint {
             Lint::NoWallClockInSim => "L2",
             Lint::CounterRegistry => "L3",
             Lint::LockOrdering => "L4",
+            Lint::SansIo => "L5",
         }
     }
 
@@ -49,6 +54,7 @@ impl Lint {
             Lint::NoWallClockInSim => "wall-clock",
             Lint::CounterRegistry => "counter",
             Lint::LockOrdering => "lock-order",
+            Lint::SansIo => "sans-io",
         }
     }
 
@@ -59,6 +65,7 @@ impl Lint {
             Lint::NoWallClockInSim => "no-wall-clock-in-sim",
             Lint::CounterRegistry => "counter-registry",
             Lint::LockOrdering => "lock-ordering",
+            Lint::SansIo => "sans-io-protocol",
         }
     }
 }
@@ -89,6 +96,8 @@ pub struct FilePolicy {
     pub counter_registry: bool,
     /// Run L4 on this file.
     pub lock_ordering: bool,
+    /// Run L5 on this file.
+    pub sans_io: bool,
 }
 
 /// The declared lock-order table for L4: a lock of class `i` may be
@@ -126,6 +135,9 @@ pub fn run_file(
     }
     if policy.lock_ordering {
         l4_lock_ordering(path, model, &mut findings);
+    }
+    if policy.sans_io {
+        l5_sans_io(path, model, &mut findings);
     }
     // Malformed annotations are findings of the lint they tried to touch
     // (reported unsuppressable — a broken allow cannot allow itself).
@@ -442,6 +454,71 @@ fn classify_lock(receiver: &str) -> Option<usize> {
         .position(|(_, pats)| pats.iter().any(|p| lower.contains(p)))
 }
 
+/// Path pairs banned by L5: `first::second` anywhere in a protocol-core
+/// file means the state machine has grown an IO or timing dependency.
+const SANS_IO_BANNED: &[(&str, &str)] = &[
+    ("std", "net"),
+    ("std", "thread"),
+    ("crate", "sync"),
+    ("simnet", "time"),
+];
+
+/// L5: the protocol core must stay a pure state machine. Flags the banned
+/// `a::b` path pairs (imports *and* inline paths) and any `spawn(…)` call
+/// — free, path-qualified or method position. Test code is not exempt:
+/// a protocol unit test that spawns a thread or consults a clock is no
+/// longer testing a deterministic state machine.
+fn l5_sans_io(path: &Path, model: &FileModel, findings: &mut Vec<Finding>) {
+    let toks = &model.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `first :: second` path pairs.
+        if t.kind == TokKind::Ident {
+            for &(first, second) in SANS_IO_BANNED {
+                if t.text == first
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|n| n.is_ident(second))
+                {
+                    let ctx = model
+                        .enclosing_fn(t.line)
+                        .map(|f| format!(" in fn {f}"))
+                        .unwrap_or_default();
+                    emit(
+                        findings,
+                        model,
+                        Lint::SansIo,
+                        path,
+                        t.line,
+                        format!(
+                            "`{first}::{second}`{ctx}: the protocol core is sans-IO — \
+                             drivers own sockets, threads, channels and time"
+                        ),
+                    );
+                }
+            }
+        }
+        // `spawn(` in any position (free call, `thread::spawn`, `.spawn`).
+        if t.is_ident("spawn") && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            let ctx = model
+                .enclosing_fn(t.line)
+                .map(|f| format!(" in fn {f}"))
+                .unwrap_or_default();
+            emit(
+                findings,
+                model,
+                Lint::SansIo,
+                path,
+                t.line,
+                format!(
+                    "`spawn(…)`{ctx}: the protocol core must not start execution \
+                     contexts — return an Output and let the driver act"
+                ),
+            );
+        }
+    }
+}
+
 /// Extracts the unified counter registry from `simnet/src/span.rs`: the
 /// string values of `pub const … : &str = "…";` items inside
 /// `pub mod counter { … }`.
@@ -632,6 +709,42 @@ fn g() {
         let findings = run(
             "fn f() {\n    {\n        let t = tracer.lock();\n    }\n    \
              let c = collector.lock();\n}\n",
+            &policy,
+            &[],
+        );
+        assert_eq!(findings.len(), 0, "{findings:?}");
+    }
+
+    #[test]
+    fn l5_flags_io_paths_and_spawns_everywhere() {
+        let policy = FilePolicy {
+            sans_io: true,
+            ..FilePolicy::default()
+        };
+        let findings = run(
+            "use std::net::TcpStream;\nuse std::thread;\n\
+             fn f() {\n    let (tx, rx) = crate::sync::mpmc::bounded(1);\n    \
+             let t0 = simnet::time::SimTime::ZERO;\n    thread::spawn(|| {});\n}\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { spawn(|| {}); }\n}\n",
+            &policy,
+            &[],
+        );
+        // Four banned paths, two spawns — and the test module is *not*
+        // exempt: a sans-IO core stays sans-IO in its tests too.
+        assert_eq!(findings.len(), 6, "{findings:?}");
+        assert!(findings.iter().all(|f| f.lint == Lint::SansIo));
+    }
+
+    #[test]
+    fn l5_ignores_pure_state_machine_code() {
+        let policy = FilePolicy {
+            sans_io: true,
+            ..FilePolicy::default()
+        };
+        let findings = run(
+            "use simnet::topology::HostId;\nuse std::collections::HashMap;\n\
+             fn step(now: u64) -> Vec<Output> {\n    let spawn = 3;\n    \
+             let net = spawn + now as usize;\n    vec![]\n}\n",
             &policy,
             &[],
         );

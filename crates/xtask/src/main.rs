@@ -71,6 +71,7 @@ fn analyze_fixtures(root: &std::path::Path) -> std::io::Result<xtask::report::Re
         no_wall_clock: true,
         counter_registry: true,
         lock_ordering: true,
+        sans_io: true,
     };
     let registry = xtask::load_registry(root);
     let mut files = Vec::new();

@@ -67,6 +67,7 @@ impl Report {
             Lint::NoWallClockInSim,
             Lint::CounterRegistry,
             Lint::LockOrdering,
+            Lint::SansIo,
         ];
         for lint in lints {
             let live: Vec<&Finding> = self.live().filter(|f| f.lint == lint).collect();

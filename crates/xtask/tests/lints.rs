@@ -107,6 +107,24 @@ fn l4_fixture_counts_are_exact() {
 }
 
 #[test]
+fn l5_fixture_counts_are_exact() {
+    let report = run_fixture(
+        "l5_sans_io.rs",
+        FilePolicy {
+            sans_io: true,
+            ..FilePolicy::default()
+        },
+    );
+    assert_eq!(report.live_count(Lint::SansIo), 5, "{}", report.render());
+    assert_eq!(report.suppressed_count(Lint::SansIo), 1);
+    assert!(report.unused.is_empty());
+    let messages: Vec<&str> = report.live().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("std::net")));
+    assert!(messages.iter().any(|m| m.contains("simnet::time")));
+    assert!(messages.iter().any(|m| m.contains("spawn")));
+}
+
+#[test]
 fn fixtures_fail_under_the_full_policy() {
     // Mirror of `cargo run -p xtask -- analyze --fixtures`: every lint on
     // every fixture, which must exit non-zero.
@@ -115,6 +133,7 @@ fn fixtures_fail_under_the_full_policy() {
         no_wall_clock: true,
         counter_registry: true,
         lock_ordering: true,
+        sans_io: true,
     };
     let registry = xtask::load_registry(&xtask::workspace_root());
     let files: Vec<_> = [
@@ -122,6 +141,7 @@ fn fixtures_fail_under_the_full_policy() {
         "l2_wall_clock.rs",
         "l3_counters.rs",
         "l4_locks.rs",
+        "l5_sans_io.rs",
     ]
     .into_iter()
     .map(|n| (fixture(n), all.clone()))
@@ -132,6 +152,7 @@ fn fixtures_fail_under_the_full_policy() {
     assert!(report.live_count(Lint::NoWallClockInSim) >= 3);
     assert!(report.live_count(Lint::CounterRegistry) >= 2);
     assert!(report.live_count(Lint::LockOrdering) >= 2);
+    assert!(report.live_count(Lint::SansIo) >= 5);
 }
 
 #[test]

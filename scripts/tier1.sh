@@ -7,6 +7,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
+# Explicit gates on the sans-IO protocol core: direct proptests over the
+# state machine and the cross-backend fault-counter parity test (both are
+# also part of `cargo test -q` above; named here so a failure is obvious).
+cargo test -q -p data-roundabout --test proptests --test parity
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q --release -p xtask -- analyze

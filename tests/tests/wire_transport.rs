@@ -4,7 +4,7 @@
 
 use std::sync::Mutex;
 
-use data_roundabout::{run_threaded, RingConfig};
+use data_roundabout::{RingConfig, RingDriver};
 use mem_joins::{Algorithm, JoinCollector, JoinPredicate};
 use relation::{decode, encode, GenSpec, Relation};
 
@@ -34,10 +34,8 @@ fn ring_of_serialized_buffers_produces_the_reference_join() {
     let collectors: Vec<Mutex<JoinCollector>> = (0..hosts)
         .map(|_| Mutex::new(JoinCollector::aggregating()))
         .collect();
-    let metrics = run_threaded(
-        &RingConfig::paper(hosts),
-        fragments,
-        |host, bytes: &Vec<u8>| {
+    let (metrics, _) = RingDriver::new(&RingConfig::paper(hosts))
+        .run(fragments, |host, bytes: &Vec<u8>| {
             // Every hop delivers a valid, uncorrupted wire buffer.
             let fragment = decode(bytes).expect("wire buffer must decode at every hop");
             let prepared = alg.prepare_fragment(&fragment, bits, 1);
@@ -49,9 +47,8 @@ fn ring_of_serialized_buffers_produces_the_reference_join() {
                 1,
                 &mut collector,
             );
-        },
-    )
-    .expect("ring should run");
+        })
+        .expect("ring should run");
     assert_eq!(metrics.fragments_completed, hosts * 3);
 
     let (count, checksum) =
