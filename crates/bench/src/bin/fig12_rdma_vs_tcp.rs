@@ -8,6 +8,14 @@
 //! the gap is widest at 4 threads where TCP competes with the join for
 //! every core.
 //!
+//! Besides the two *modeled* columns (the simulator's RDMA and kernel-TCP
+//! cost models), the table carries a *measured* kernel-TCP column: the
+//! same join run end to end over real loopback sockets by the TCP ring
+//! backend, wall-clock timed. The measured column is not comparable to
+//! the modeled ones in absolute terms (loopback has no NIC, and the ring
+//! is 6 coordinator-scheduled hosts on one machine), but it pins the
+//! exhibit to an actual kernel network stack instead of a model alone.
+//!
 //! ```text
 //! cargo run --release -p cyclo-bench --bin fig12_rdma_vs_tcp
 //! ```
@@ -50,6 +58,16 @@ fn main() {
                 .expect("plan should run");
             per_transport.push(report);
         }
+        // The measured column: the same join over real loopback TCP
+        // sockets (kernel networking, wall-clock compute).
+        let r = GenSpec::uniform(tuples, 120).generate();
+        let s = GenSpec::uniform(tuples, 121).generate();
+        let kernel = CycloJoin::new(r, s)
+            .algorithm(Algorithm::partitioned_hash())
+            .ring(RingConfig::paper_tcp(6).with_join_threads(threads))
+            .rotate(RotateSide::R)
+            .run_tcp()
+            .expect("tcp backend run");
         let rdma = &per_transport[0];
         let tcp = &per_transport[1];
         rows.push(vec![
@@ -63,6 +81,7 @@ fn main() {
                 (tcp.join_seconds() + tcp.sync_seconds())
                     / (rdma.join_seconds() + rdma.sync_seconds()).max(1e-9)
             ),
+            secs(kernel.join_seconds() + kernel.sync_seconds()),
         ]);
         traced = per_transport.into_iter().next();
     }
@@ -77,6 +96,7 @@ fn main() {
             "TCP join [s]",
             "TCP sync [s]",
             "TCP/RDMA",
+            "kernel TCP (measured) [s]",
         ],
         &rows,
     );
@@ -96,6 +116,7 @@ fn main() {
             "tcp_join_s",
             "tcp_sync_s",
             "tcp_over_rdma",
+            "kernel_tcp_measured_s",
         ],
         &rows,
     );

@@ -27,14 +27,17 @@ OPTIONS:
     --zipf <Z>           Zipf skew factor for the join keys (default: uniform)
     --algorithm <A>      hash | sort-merge | nested (default: auto)
     --band <DELTA>       band join |r.key - s.key| <= DELTA (default: equi)
-    --transport <T>      rdma | tcp | toe (default rdma)
+    --transport <T>      rdma | tcp | toe — simulated cost model (default rdma)
+    --backend <B>        sim | threads | tcp (default sim); `tcp` runs over
+                         real loopback sockets, unlike the simulated
+                         `--transport tcp` cost model
     --threads <N>        join threads per host, 1-4 (default 4)
     --buffers <N>        ring buffer elements per host (default 2)
     --fragments <N>      rotation units per host (default 4)
     --rotate <SIDE>      r | s | auto (default auto)
     --seed <N>           RNG seed (default 42)
     --measured           wall-clock-measure real compute instead of modeling
-    --threaded           run on the real-thread backend
+    --threaded           alias for --backend threads
     --no-verify          skip the reference-join verification
     --trace <PATH>       write a Chrome trace-event JSON profile to PATH
                          (open in chrome://tracing or https://ui.perfetto.dev)
@@ -43,6 +46,17 @@ OPTIONS:
     --advise             print the cost model's plan advice before running
     -h, --help           show this help
 ";
+
+/// Which ring backend executes the join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// Deterministic discrete-event simulation in virtual time.
+    Sim,
+    /// Real OS threads with bounded channels as buffer pools.
+    Threads,
+    /// Real loopback TCP sockets and kernel networking.
+    Tcp,
+}
 
 /// Parsed command-line configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,7 +73,7 @@ struct Options {
     rotate: RotateSide,
     seed: u64,
     measured: bool,
-    threaded: bool,
+    backend: Backend,
     verify: bool,
     trace: Option<String>,
     trace_text: bool,
@@ -82,7 +96,7 @@ impl Default for Options {
             rotate: RotateSide::Auto,
             seed: 42,
             measured: false,
-            threaded: false,
+            backend: Backend::Sim,
             verify: true,
             trace: None,
             trace_text: false,
@@ -135,8 +149,16 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Option<Options>
                     other => return Err(format!("unknown rotation side {other:?}")),
                 }
             }
+            "--backend" => {
+                opts.backend = match value("--backend")?.as_str() {
+                    "sim" => Backend::Sim,
+                    "threads" => Backend::Threads,
+                    "tcp" => Backend::Tcp,
+                    other => return Err(format!("unknown backend {other:?}")),
+                }
+            }
             "--measured" => opts.measured = true,
-            "--threaded" => opts.threaded = true,
+            "--threaded" => opts.backend = Backend::Threads,
             "--no-verify" => opts.verify = false,
             "--trace" => opts.trace = Some(value("--trace")?),
             "--trace-text" => opts.trace_text = true,
@@ -218,10 +240,10 @@ fn main() {
         plan = plan.compute(ComputeMode::Measured);
     }
 
-    let outcome = if opts.threaded {
-        plan.run_threaded().map(|r| (r, None))
-    } else {
-        plan.run_traced().map(|(r, t)| (r, Some(t)))
+    let outcome = match opts.backend {
+        Backend::Sim => plan.run_traced().map(|(r, t)| (r, Some(t))),
+        Backend::Threads => plan.run_threaded().map(|r| (r, None)),
+        Backend::Tcp => plan.run_tcp().map(|r| (r, None)),
     };
     let (report, trace) = match outcome {
         Ok(pair) => pair,
@@ -296,6 +318,8 @@ mod tests {
             "2",
             "--transport",
             "tcp",
+            "--backend",
+            "tcp",
             "--threads",
             "2",
             "--rotate",
@@ -313,6 +337,7 @@ mod tests {
         assert_eq!(opts.zipf, Some(0.7));
         assert_eq!(opts.band, Some(2));
         assert_eq!(opts.transport.name(), "TCP");
+        assert_eq!(opts.backend, Backend::Tcp);
         assert_eq!(opts.threads, 2);
         assert_eq!(opts.rotate, RotateSide::S);
         assert!(opts.measured);
@@ -321,6 +346,16 @@ mod tests {
         assert!(opts.advise);
         assert_eq!(opts.trace.as_deref(), Some("out.json"));
         assert!(opts.trace_text);
+    }
+
+    #[test]
+    fn threaded_is_an_alias_for_backend_threads() {
+        assert_eq!(parse_ok(&["--threaded"]).backend, Backend::Threads);
+        assert_eq!(
+            parse_ok(&["--backend", "threads"]).backend,
+            Backend::Threads
+        );
+        assert_eq!(parse_ok(&[]).backend, Backend::Sim);
     }
 
     #[test]
@@ -335,6 +370,7 @@ mod tests {
             vec!["--hosts", "many"],
             vec!["--algorithm", "bogosort"],
             vec!["--transport", "carrier-pigeon"],
+            vec!["--backend", "bogus"],
             vec!["--rotate", "both"],
             vec!["--hosts"],
             vec!["--trace"],

@@ -437,6 +437,134 @@ pub(crate) fn execute_threaded(
     })
 }
 
+/// Runs cyclo-join over real loopback TCP sockets. Setup and span
+/// stitching follow the threaded path; unlike it, this path is role-aware
+/// so a seeded crash heals mid-revolution over actual connections (the
+/// survivor rebuilds the dead host's stationary state from the retained
+/// raw partitions, exactly as the simulated path prices it).
+pub(crate) fn execute_tcp(
+    config: &RingConfig,
+    algorithm: Algorithm,
+    predicate: &JoinPredicate,
+    output: OutputMode,
+    placement: Placement,
+    fault_plan: Option<&FaultPlan>,
+    trace: bool,
+) -> Result<ExecOutcome, RingError> {
+    let predicate = if placement.swapped {
+        mirror_predicate(predicate)
+    } else {
+        predicate.clone()
+    };
+    let radix_bits = algorithm.ring_radix_bits(placement.max_stationary_tuples().max(1));
+    let threads = config.join_threads;
+    let compute = ComputeMode::Measured;
+    let (fragments, prep) =
+        prepare_all(&algorithm, &compute, &placement, radix_bits, threads, true);
+
+    let mut setup_times = Vec::with_capacity(config.hosts);
+    let mut initial_states = Vec::with_capacity(config.hosts);
+    for (s, p) in placement.stationary.iter().zip(&prep) {
+        let (state, d) = compute.setup_stationary(&algorithm, s, radix_bits, threads);
+        initial_states.push(state);
+        setup_times.push(d + *p);
+    }
+    // Raw partitions are the source a survivor rebuilds an orphaned role's
+    // state from; only faults make that path reachable.
+    let stationary_raw = if fault_plan.is_some() {
+        placement.stationary.clone()
+    } else {
+        Vec::new()
+    };
+    // One slot per *logical role*; ring healing replaces a dead role's
+    // state with the survivor's rebuild, so the slots need a lock.
+    let states: Vec<Mutex<Option<StationaryState>>> = initial_states
+        .into_iter()
+        .map(|s| Mutex::new(Some(s)))
+        .collect();
+    let collectors: Vec<Mutex<JoinCollector>> = (0..config.hosts)
+        .map(|_| {
+            let c = JoinCollector::new(output);
+            Mutex::new(if placement.swapped {
+                c.with_swapped_sides()
+            } else {
+                c
+            })
+        })
+        .collect();
+
+    let join_visit = |host: HostId, roles: &[usize], frag: &PreparedFragment| {
+        let Some(shared_collector) = collectors.get(host.0) else {
+            debug_assert!(false, "join visit for unknown host {}", host.0);
+            return;
+        };
+        let mut collector = shared_collector
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for &role in roles {
+            let Some(slot) = states.get(role) else {
+                debug_assert!(false, "join against unknown role {role}");
+                continue;
+            };
+            let guard = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            let Some(state) = guard.as_ref() else {
+                debug_assert!(false, "join against role {role} whose state is absent");
+                continue;
+            };
+            algorithm.join(state, frag, &predicate, threads, &mut collector);
+        }
+    };
+    let absorb = |_survivor: HostId, role: usize| {
+        let Ok(share) = crate::recovery::takeover(&stationary_raw, role) else {
+            debug_assert!(
+                false,
+                "ring healing needs the raw stationary partitions of a multi-host ring"
+            );
+            return;
+        };
+        let (state, _) = compute.setup_stationary(&algorithm, &share, radix_bits, threads);
+        if let Some(slot) = states.get(role) {
+            *slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(state);
+        }
+    };
+
+    let mut driver = data_roundabout::TcpRingDriver::new(config).with_tracer(trace);
+    if let Some(plan) = fault_plan {
+        driver = driver.with_fault_plan(plan);
+    }
+    let (mut metrics, mut ring_spans) = driver.run_with_roles(fragments, join_visit, absorb)?;
+    let mut spans = if trace {
+        SpanTracer::enabled()
+    } else {
+        SpanTracer::disabled()
+    };
+    let max_setup = setup_times
+        .iter()
+        .copied()
+        .fold(SimDuration::ZERO, SimDuration::max);
+    ring_spans.shift(max_setup);
+    for (h, d) in setup_times.into_iter().enumerate() {
+        if let Some(host_metrics) = metrics.hosts.get_mut(h) {
+            host_metrics.setup = d;
+        }
+        spans.span(h, SpanKind::Setup, "setup", SimTime::ZERO, d);
+    }
+    spans.merge(ring_spans);
+    let partials = collectors
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        })
+        .collect();
+    Ok(ExecOutcome {
+        metrics,
+        result: DistributedResult::new(partials),
+        trace: Tracer::disabled(),
+        spans,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +727,47 @@ mod tests {
             c.get(counter::FRAGMENTS_RETIRED) as usize,
             out.metrics.fragments_completed
         );
+    }
+
+    #[test]
+    fn tcp_execution_matches_simulated() {
+        let r = GenSpec::uniform(2_000, 60).generate();
+        let s = GenSpec::uniform(2_000, 61).generate();
+        let hosts = 3;
+        let config = RingConfig::paper(hosts).with_join_threads(1);
+        let sim = execute_simulated(
+            &config,
+            Algorithm::partitioned_hash(),
+            &JoinPredicate::Equi,
+            &ComputeMode::modeled(),
+            OutputMode::Aggregate,
+            Placement::new(&r, &s, hosts, 2, RotateSide::R),
+            true,
+            None,
+            None,
+            false,
+        );
+        let tcp = execute_tcp(
+            &config,
+            Algorithm::partitioned_hash(),
+            &JoinPredicate::Equi,
+            OutputMode::Aggregate,
+            Placement::new(&r, &s, hosts, 2, RotateSide::R),
+            None,
+            false,
+        )
+        .expect("tcp run");
+        assert_eq!(tcp.result.count(), sim.result.count());
+        assert_eq!(tcp.result.checksum(), sim.result.checksum());
+        assert_eq!(
+            tcp.metrics.fragments_completed,
+            sim.metrics.fragments_completed
+        );
+        assert!(tcp
+            .metrics
+            .hosts
+            .iter()
+            .all(|h| h.setup > SimDuration::ZERO));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use simnet::trace::Tracer;
 
 use crate::compute::ComputeMode;
 use crate::distribute::{Placement, RotateSide};
-use crate::exec::{execute_simulated, execute_threaded};
+use crate::exec::{execute_simulated, execute_tcp, execute_threaded};
 use crate::report::CycloJoinReport;
 
 /// A configured cyclo-join, built with the builder pattern and executed on
@@ -300,6 +300,35 @@ impl CycloJoin {
         })?;
         Ok(self.report(algorithm, swapped, outcome).0)
     }
+
+    /// Runs over real loopback TCP sockets (wall-clock times, kernel
+    /// network stack). Unlike [`CycloJoin::run_threaded`], this backend
+    /// supports crash plans: a scheduled crash severs real connections and
+    /// the ring heals mid-revolution. Note `config.ack_timeout` is
+    /// interpreted in wall-clock time on this backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CycloJoin::run`].
+    pub fn run_tcp(&self) -> Result<CycloJoinReport, PlanError> {
+        let algorithm = self.validate()?;
+        let placement = self.placement();
+        let swapped = placement.swapped;
+        let outcome = execute_tcp(
+            &self.config,
+            algorithm,
+            &self.predicate,
+            self.output,
+            placement,
+            self.fault_plan.as_ref(),
+            self.trace,
+        )
+        .map_err(|e| match e {
+            RingError::Config(c) => PlanError::InvalidConfig(c),
+            other => PlanError::Backend(other),
+        })?;
+        Ok(self.report(algorithm, swapped, outcome).0)
+    }
 }
 
 /// Why a cyclo-join plan could not run.
@@ -556,6 +585,40 @@ mod tests {
         assert_eq!(report.match_count(), reference.count);
         assert_eq!(report.checksum(), reference.checksum);
         assert!(report.retransmits() > 0, "a 30% lossy link must retransmit");
+    }
+
+    #[test]
+    fn tcp_backend_matches_the_reference_result() {
+        let (r, s) = inputs();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        let report = CycloJoin::new(r, s)
+            .hosts(3)
+            .run_tcp()
+            .expect("tcp plan should run");
+        assert_eq!(report.match_count(), reference.count);
+        assert_eq!(report.checksum(), reference.checksum);
+    }
+
+    #[test]
+    fn tcp_backend_heals_a_crash_over_real_sockets() {
+        use data_roundabout::HostId;
+        use simnet::time::{SimDuration, SimTime};
+        let (r, s) = inputs();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        let plan = FaultPlan::seeded(99)
+            .crash_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(5));
+        let config = RingConfig::paper(3)
+            .with_ack_timeout(SimDuration::from_millis(8))
+            .with_max_retransmits(3);
+        let report = CycloJoin::new(r, s)
+            .ring(config)
+            .fault_plan(plan)
+            .run_tcp()
+            .expect("the healed ring should finish the join");
+        assert_eq!(report.match_count(), reference.count);
+        assert_eq!(report.checksum(), reference.checksum);
+        assert_eq!(report.heal_events(), 1);
+        assert!(report.detection_latency_seconds() > 0.0);
     }
 
     #[test]

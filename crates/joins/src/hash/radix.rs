@@ -83,6 +83,23 @@ impl RadixPartitioned {
         RadixPartitioned { bits, partitions }
     }
 
+    /// Reassembles a partitioned relation from its parts — the inverse of
+    /// taking `bits()` and `partitions()` apart, used when a partitioned
+    /// fragment is reconstructed after crossing a byte-oriented transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions.len() != 2^bits`; callers deserializing
+    /// untrusted bytes must validate the count first.
+    pub fn from_parts(bits: u32, partitions: Vec<Relation>) -> Self {
+        assert_eq!(
+            partitions.len(),
+            1usize << bits,
+            "a {bits}-bit radix partitioning needs exactly 2^{bits} partitions"
+        );
+        RadixPartitioned { bits, partitions }
+    }
+
     /// Number of radix bits (`partitions() == 2^bits`).
     pub fn bits(&self) -> u32 {
         self.bits

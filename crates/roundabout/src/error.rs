@@ -2,6 +2,49 @@
 
 use crate::config::ConfigError;
 
+/// Why an incoming TCP frame could not be decoded. The decoder never
+/// panics on malformed bytes; every corruption class maps to a variant
+/// here so the driver can tear the ring down with a diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame kind byte was not one of the known wire kinds.
+    BadKind(u8),
+    /// The length prefix exceeded the frame size cap — either corruption
+    /// or a peer speaking a different protocol.
+    Oversized {
+        /// Length the prefix claimed.
+        len: u32,
+        /// Largest frame this decoder accepts.
+        max: u32,
+    },
+    /// A frame body was shorter than its fixed header requires.
+    Truncated {
+        /// Bytes the frame kind needs at minimum.
+        needed: usize,
+        /// Bytes the length prefix actually delimited.
+        got: usize,
+    },
+    /// The payload bytes inside an envelope frame failed to decode.
+    BadPayload(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadKind(kind) => write!(f, "unknown frame kind {kind:#04x}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte cap")
+            }
+            FrameError::Truncated { needed, got } => {
+                write!(f, "frame body truncated: need {needed} bytes, got {got}")
+            }
+            FrameError::BadPayload(what) => write!(f, "bad frame payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
 /// Why a ring run could not start (or was refused), so callers can degrade
 /// gracefully instead of aborting the process.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,11 +66,24 @@ pub enum RingError {
     /// budget) and its channels closed while fragments were still
     /// outstanding. The message names the first failure observed.
     Teardown(&'static str),
+    /// A TCP peer sent bytes the frame decoder could not parse.
+    Frame(FrameError),
+    /// A socket operation failed while building or running the TCP ring.
+    /// The message names the operation; the underlying `io::Error` is
+    /// printed to it at the failure site (it is not `Clone`, so it cannot
+    /// ride along here).
+    Socket(&'static str),
 }
 
 impl From<ConfigError> for RingError {
     fn from(e: ConfigError) -> Self {
         RingError::Config(e)
+    }
+}
+
+impl From<FrameError> for RingError {
+    fn from(e: FrameError) -> Self {
+        RingError::Frame(e)
     }
 }
 
@@ -41,6 +97,8 @@ impl std::fmt::Display for RingError {
             ),
             RingError::UnsupportedFault(what) => write!(f, "unsupported fault: {what}"),
             RingError::Teardown(what) => write!(f, "ring teardown: {what}"),
+            RingError::Frame(e) => write!(f, "frame decode failed: {e}"),
+            RingError::Socket(what) => write!(f, "socket failure: {what}"),
         }
     }
 }
@@ -49,6 +107,7 @@ impl std::error::Error for RingError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RingError::Config(e) => Some(e),
+            RingError::Frame(e) => Some(e),
             _ => None,
         }
     }
@@ -71,6 +130,21 @@ mod tests {
         let err = RingError::Teardown("join callback panicked");
         assert_eq!(err.to_string(), "ring teardown: join callback panicked");
         assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn frame_errors_convert_and_chain() {
+        let err: RingError = FrameError::BadKind(0x7f).into();
+        assert!(err.to_string().contains("0x7f"));
+        assert!(std::error::Error::source(&err).is_some());
+        let err: RingError = FrameError::Oversized {
+            len: u32::MAX,
+            max: 1 << 28,
+        }
+        .into();
+        assert!(err.to_string().contains("cap"));
+        let err = RingError::Frame(FrameError::Truncated { needed: 48, got: 7 });
+        assert!(err.to_string().contains("need 48 bytes, got 7"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! transmitter — that keep communication fully overlapped with
 //! computation.
 //!
-//! Two interchangeable backends run the same protocol:
+//! Three interchangeable backends run the same protocol:
 //!
 //! * [`sim_backend::SimRing`] — inside the deterministic `simnet`
 //!   discrete-event simulator, in virtual time, with the RDMA/TCP cost
@@ -15,9 +15,13 @@
 //!   reproduced on;
 //! * [`thread_backend::RingDriver`] — on real OS threads with bounded
 //!   channels as buffer pools, validating the protocol under true
-//!   concurrency.
+//!   concurrency;
+//! * [`tcp_backend::TcpRingDriver`] — over real loopback TCP sockets
+//!   with length-prefixed framing, validating the protocol against an
+//!   actual kernel network stack (and giving the RDMA-vs-TCP exhibits a
+//!   measured column next to the modeled one).
 //!
-//! Both backends are thin *drivers* over the same sans-IO [`protocol`]
+//! All backends are thin *drivers* over the same sans-IO [`protocol`]
 //! core, which owns every credit, acknowledgement and healing decision.
 //!
 //! ```
@@ -47,15 +51,17 @@ pub mod metrics;
 pub mod protocol;
 pub mod sim_backend;
 pub mod sync;
+pub mod tcp_backend;
 pub mod thread_backend;
 
 pub use app::{FixedCostApp, RingApp};
 pub use buffer::RegisteredPool;
 pub use config::{ConfigError, RingConfig};
 pub use envelope::{Envelope, FragmentId, PayloadBytes};
-pub use error::RingError;
+pub use error::{FrameError, RingError};
 pub use metrics::{render_timeline, HostMetrics, RingMetrics};
 pub use sim_backend::{SimOutcome, SimRing};
+pub use tcp_backend::{Frame, FrameDecoder, TcpRingDriver, WirePayload};
 pub use thread_backend::RingDriver;
 #[allow(deprecated)]
 pub use thread_backend::{

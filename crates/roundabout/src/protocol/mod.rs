@@ -12,7 +12,8 @@
 //!   onto `simnet` events and cost-model charges in virtual time;
 //! * the threaded driver ([`crate::thread_backend::RingDriver`]) maps them
 //!   onto `sync::mpmc` channels and real OS threads;
-//! * a future socket driver can map the same outputs onto TCP frames.
+//! * the TCP driver ([`crate::tcp_backend::TcpRingDriver`]) maps them
+//!   onto length-prefixed frames over real loopback sockets.
 //!
 //! Time never appears here directly. Where the protocol needs a timer it
 //! emits [`Output::ArmTimer`] carrying a backoff *exponent*; the driver

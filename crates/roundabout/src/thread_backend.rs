@@ -69,13 +69,13 @@ use crate::protocol::{
 /// exhausted retransmission budget) over the channel-teardown cascade they
 /// provoke in the neighboring workers.
 #[derive(Default)]
-struct ErrorCollector {
+pub(crate) struct ErrorCollector {
     root: Option<RingError>,
     any: Option<RingError>,
 }
 
 impl ErrorCollector {
-    fn record(&mut self, err: RingError) {
+    pub(crate) fn record(&mut self, err: RingError) {
         let is_root = matches!(
             &err,
             RingError::Teardown(m) if teardown::is_root_cause(m)
@@ -88,7 +88,7 @@ impl ErrorCollector {
         }
     }
 
-    fn first(self) -> Option<RingError> {
+    pub(crate) fn first(self) -> Option<RingError> {
         self.root.or(self.any)
     }
 }
@@ -98,13 +98,13 @@ impl ErrorCollector {
 /// Offsets are measured from one epoch taken at ring start, so the spans of
 /// different hosts share a timeline and busy/sync span totals equal the
 /// `Duration` sums the metrics report (both read the same `Instant`s).
-struct SharedSpans {
+pub(crate) struct SharedSpans {
     epoch: Instant,
     tracer: Mutex<SpanTracer>,
 }
 
 impl SharedSpans {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         SharedSpans {
             epoch: Instant::now(),
             tracer: Mutex::new(SpanTracer::enabled()),
@@ -650,7 +650,7 @@ where
 /// simulator), and a classic run never retransmits — so trace consumers
 /// see them observed rather than missing, and hands the tracer out of its
 /// mutex.
-fn finish_spans(shared: Option<SharedSpans>, metrics: &RingMetrics) -> SpanTracer {
+pub(crate) fn finish_spans(shared: Option<SharedSpans>, metrics: &RingMetrics) -> SpanTracer {
     match shared {
         None => SpanTracer::disabled(),
         Some(shared) => {
@@ -967,8 +967,9 @@ where
     })
 }
 
-/// Degenerate single-host "ring": process the backlog locally.
-fn run_single_host<P, F>(
+/// Degenerate single-host "ring": process the backlog locally. Shared
+/// with the TCP backend, whose single-host case has no sockets to run.
+pub(crate) fn run_single_host<P, F>(
     envelopes: Vec<Envelope<P>>,
     process: F,
     spans: Option<&SharedSpans>,

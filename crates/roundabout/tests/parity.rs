@@ -1,10 +1,13 @@
-//! Cross-backend fault parity: the simulated and real-thread drivers sit
-//! on the same sans-IO protocol core and key the fault dice identically —
-//! per-sender wire sequence, attempt number — so an identical seeded
-//! [`FaultPlan`] must produce *identical* fault counters on both, even
-//! though one runs in virtual time and the other on live OS threads.
+//! Cross-backend fault parity: the simulated, real-thread and loopback-TCP
+//! drivers sit on the same sans-IO protocol core and key the fault dice
+//! identically — per-sender wire sequence, attempt number — so an
+//! identical seeded [`FaultPlan`] must produce *identical* fault counters
+//! on all three, even though one runs in virtual time, one on live OS
+//! threads, and one over real kernel sockets.
 
-use data_roundabout::{FaultPlan, FixedCostApp, HostId, RingConfig, RingDriver, SimRing};
+use data_roundabout::{
+    FaultPlan, FixedCostApp, HostId, RingConfig, RingDriver, SimRing, TcpRingDriver,
+};
 use simnet::time::SimDuration;
 
 fn payloads(hosts: usize, per_host: usize, bytes: usize) -> Vec<Vec<Vec<u8>>> {
@@ -13,18 +16,25 @@ fn payloads(hosts: usize, per_host: usize, bytes: usize) -> Vec<Vec<Vec<u8>>> {
         .collect()
 }
 
-/// Both backends, one plan, equal counters. Loss on H0's outgoing link and
-/// corruption on H1's: every (sender, seq, attempt) tuple rolls the same
-/// dice in both worlds, and stop-and-wait repairs each envelope
+fn fault_counters(hosts: &[data_roundabout::HostMetrics]) -> Vec<(u64, u64)> {
+    hosts
+        .iter()
+        .map(|h| (h.retransmits, h.checksum_mismatches))
+        .collect()
+}
+
+/// All three backends, one plan, equal counters. Loss on H0's outgoing
+/// link and corruption on H1's: every (sender, seq, attempt) tuple rolls
+/// the same dice in every world, and stop-and-wait repairs each envelope
 /// independently, so per-host retransmit and checksum counters must agree
 /// exactly — not just statistically.
 ///
 /// Crash/pause faults are deliberately absent: detection timing differs
 /// between virtual and wall-clock time, and the thread driver refuses such
-/// plans. The thread ack timeout is generous so a scheduler stall cannot
-/// masquerade as a drop.
+/// plans. The wall-clock backends get generous ack timeouts so a scheduler
+/// stall or a slow loopback round trip cannot masquerade as a drop.
 #[test]
-fn seeded_fault_plan_yields_identical_counters_on_both_backends() {
+fn seeded_fault_plan_yields_identical_counters_on_all_three_backends() {
     let hosts = 3;
     let per_host = 4;
     let plan = FaultPlan::seeded(7)
@@ -47,22 +57,31 @@ fn seeded_fault_plan_yields_identical_counters_on_both_backends() {
         .run(payloads(hosts, per_host, 64), |_, _: &Vec<u8>| {})
         .expect("reliable thread run should recover from loss and corruption");
 
+    let tcp_cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(150));
+    let (tcp, _) = TcpRingDriver::new(&tcp_cfg)
+        .with_fault_plan(&plan)
+        .run(payloads(hosts, per_host, 64), |_, _: &Vec<u8>| {})
+        .expect("reliable tcp run should recover from loss and corruption");
+
     assert_eq!(sim.metrics.fragments_completed, hosts * per_host);
     assert_eq!(threaded.fragments_completed, hosts * per_host);
+    assert_eq!(tcp.fragments_completed, hosts * per_host);
 
-    let counters = |hosts: &[data_roundabout::HostMetrics]| -> Vec<(u64, u64)> {
-        hosts
-            .iter()
-            .map(|h| (h.retransmits, h.checksum_mismatches))
-            .collect()
-    };
     assert_eq!(
-        counters(&sim.metrics.hosts),
-        counters(&threaded.hosts),
-        "the two drivers rolled different fault dice for the same plan:\n\
+        fault_counters(&sim.metrics.hosts),
+        fault_counters(&threaded.hosts),
+        "sim and thread drivers rolled different fault dice for the same plan:\n\
          sim: {:?}\nthread: {:?}",
         sim.metrics.hosts,
         threaded.hosts
+    );
+    assert_eq!(
+        fault_counters(&sim.metrics.hosts),
+        fault_counters(&tcp.hosts),
+        "sim and tcp drivers rolled different fault dice for the same plan:\n\
+         sim: {:?}\ntcp: {:?}",
+        sim.metrics.hosts,
+        tcp.hosts
     );
     // The plan actually bit: a trivially quiet run would prove nothing.
     assert!(
@@ -75,8 +94,8 @@ fn seeded_fault_plan_yields_identical_counters_on_both_backends() {
     );
 }
 
-/// The same parity holds with loss on every link at once — each host is
-/// simultaneously a retransmitter and a dedup point.
+/// The same three-way parity holds with loss on every link at once — each
+/// host is simultaneously a retransmitter and a dedup point.
 #[test]
 fn all_links_lossy_parity() {
     let hosts = 4;
@@ -98,9 +117,24 @@ fn all_links_lossy_parity() {
         .run(payloads(hosts, per_host, 64), |_, _: &Vec<u8>| {})
         .expect("reliable thread run should recover from loss on every link");
 
+    let tcp_cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(150));
+    let (tcp, _) = TcpRingDriver::new(&tcp_cfg)
+        .with_fault_plan(&plan)
+        .run(payloads(hosts, per_host, 64), |_, _: &Vec<u8>| {})
+        .expect("reliable tcp run should recover from loss on every link");
+
     let sim_counts: Vec<u64> = sim.metrics.hosts.iter().map(|h| h.retransmits).collect();
     let thread_counts: Vec<u64> = threaded.hosts.iter().map(|h| h.retransmits).collect();
-    assert_eq!(sim_counts, thread_counts, "per-host retransmits diverged");
+    let tcp_counts: Vec<u64> = tcp.hosts.iter().map(|h| h.retransmits).collect();
+    assert_eq!(
+        sim_counts, thread_counts,
+        "sim/thread per-host retransmits diverged"
+    );
+    assert_eq!(
+        sim_counts, tcp_counts,
+        "sim/tcp per-host retransmits diverged"
+    );
     assert_eq!(sim.metrics.fragments_completed, hosts * per_host);
     assert_eq!(threaded.fragments_completed, hosts * per_host);
+    assert_eq!(tcp.fragments_completed, hosts * per_host);
 }

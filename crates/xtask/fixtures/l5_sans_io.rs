@@ -1,5 +1,5 @@
 //! L5 fixture — seeded sans-IO violations in protocol-layer code.
-//! Expected under the L5 policy: 5 live findings, 1 suppressed.
+//! Expected under the L5 policy: 6 live findings, 1 suppressed.
 
 use std::net::TcpStream; // seeded violation: a socket in the state machine
 use std::thread; // seeded violation: an execution context
@@ -9,6 +9,13 @@ pub fn protocol_grew_a_driver_dependency() {
     let deadline = simnet::time::SimTime::ZERO; // seeded violation
     thread::spawn(move || drop(pool)); // seeded violation: spawn call
     drop(deadline);
+}
+
+pub fn protocol_grew_a_listener() {
+    // Seeded violation shaped like the TCP driver's setup path: binding a
+    // port is driver work and must never appear in the shared core.
+    let l = std::net::TcpListener::bind(("127.0.0.1", 0));
+    drop(l);
 }
 
 pub fn pure_state_machine_is_fine(now: u64) -> u64 {

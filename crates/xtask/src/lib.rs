@@ -28,7 +28,7 @@ pub const REGISTRY_PATH: &str = "crates/simnet/src/span.rs";
 ///   sql modules — everything on the ring's data path.
 /// - **L2 no-wall-clock-in-sim**: all of `simnet` plus the simulated
 ///   backend; virtual time only.
-/// - **L3 counter-registry**: the two backends and the threaded executor,
+/// - **L3 counter-registry**: the three backends and the threaded executor,
 ///   which are the only emitters of counters.
 /// - **L4 lock-ordering**: the threaded executor and backend, where the
 ///   collector/tracer locks nest.
@@ -53,6 +53,7 @@ pub fn policy_for(rel: &str) -> FilePolicy {
     }
     if rel == "crates/roundabout/src/thread_backend.rs"
         || rel == "crates/roundabout/src/sim_backend.rs"
+        || rel == "crates/roundabout/src/tcp_backend.rs"
         || rel == "crates/core/src/exec.rs"
     {
         p.counter_registry = true;
@@ -197,6 +198,11 @@ mod tests {
         assert!(!p.sans_io, "drivers are allowed to do IO");
         let p = policy_for("crates/roundabout/src/sim_backend.rs");
         assert!(p.no_panic && p.no_wall_clock && p.counter_registry && !p.lock_ordering);
+        // The TCP driver: on the ring's data path (L1) and a counter
+        // emitter (L3), but wall-clock and sockets are its whole job.
+        let p = policy_for("crates/roundabout/src/tcp_backend.rs");
+        assert!(p.no_panic && p.counter_registry && !p.no_wall_clock && !p.lock_ordering);
+        assert!(!p.sans_io, "drivers are allowed to do IO");
         // The sans-IO core: L1 (it is library code) plus L5, and nothing
         // that assumes a particular driver.
         let p = policy_for("crates/roundabout/src/protocol/ring.rs");
@@ -204,6 +210,17 @@ mod tests {
         assert!(!p.no_wall_clock && !p.counter_registry && !p.lock_ordering);
         let p = policy_for("crates/roundabout/src/protocol/link.rs");
         assert!(p.sans_io);
+        // With a real socket backend in the tree, L5 is the wall that
+        // keeps `std::net` from leaking into the shared core: every
+        // protocol-layer file stays under the sans-IO ban.
+        for core in [
+            "crates/roundabout/src/protocol/mod.rs",
+            "crates/roundabout/src/protocol/host.rs",
+            "crates/roundabout/src/protocol/ring.rs",
+            "crates/roundabout/src/protocol/link.rs",
+        ] {
+            assert!(policy_for(core).sans_io, "{core} must ban std::net");
+        }
         let p = policy_for("crates/core/src/sql.rs");
         assert!(p.no_panic && !p.no_wall_clock && !p.counter_registry && !p.lock_ordering);
         let p = policy_for("crates/simnet/src/net.rs");

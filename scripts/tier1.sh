@@ -7,10 +7,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
-# Explicit gates on the sans-IO protocol core: direct proptests over the
-# state machine and the cross-backend fault-counter parity test (both are
-# also part of `cargo test -q` above; named here so a failure is obvious).
+# Explicit gates on the sans-IO protocol core and its real-socket driver:
+# direct proptests over the state machine and the TCP frame codec, the
+# three-way (sim/thread/tcp) fault-counter parity test, and the chaos
+# suite with its mid-revolution TCP connection sever. All are also part
+# of `cargo test -q` above; named here so a failure is obvious. The TCP
+# legs bind port 0 and handshake, so they never race on ports.
 cargo test -q -p data-roundabout --test proptests --test parity
+cargo test -q -p integration-tests --test chaos
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q --release -p xtask -- analyze

@@ -92,6 +92,64 @@ fn crash_at_three_quarter_revolution_heals() {
     crash_at_fraction(0.75);
 }
 
+/// The same mid-revolution death over *real sockets*: the TCP backend
+/// realizes the seeded crash as an actual connection sever (a FIN after
+/// the last committed byte) and reports the death to the protocol, whose
+/// role-takeover ledger completes the join exactly once — held to the
+/// same reference-equality standard as the simulated scenarios above.
+/// Unlike the simulated ladder, detection here is the fault injector's
+/// own sever report, so a retransmit burst is possible but not
+/// guaranteed — the assertions stick to what the contract promises.
+#[test]
+fn tcp_connection_sever_mid_revolution_heals_exactly_once() {
+    let (r, s) = inputs();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+
+    // Wall-clock backend: the crash instant counts from the start of the
+    // revolution, and the ack timeout must be generous enough that a
+    // scheduler stall never masquerades as a death on a healthy link.
+    let plan =
+        FaultPlan::seeded(4242).crash_host(HostId(2), SimTime::ZERO + SimDuration::from_millis(5));
+    let config = RingConfig::paper(4)
+        .with_ack_timeout(SimDuration::from_millis(8))
+        .with_max_retransmits(3);
+    let report = CycloJoin::new(r, s)
+        .ring(config)
+        .fault_plan(plan)
+        .run_tcp()
+        .expect("the healed ring should finish the join over real sockets");
+
+    assert_eq!(report.match_count(), reference.count);
+    assert_eq!(report.checksum(), reference.checksum);
+    assert_eq!(report.heal_events(), 1, "exactly one socket was severed");
+    assert!(report.detection_latency_seconds() > 0.0);
+    assert!(!report.fault_free());
+    assert_exactly_once(&report);
+}
+
+/// A fault-free run over real sockets produces the same join as the
+/// simulated backend on identical inputs — the acceptance bar for the
+/// TCP driver, checked end to end through the planner.
+#[test]
+fn tcp_backend_matches_the_simulated_join_result() {
+    let (r, s) = inputs();
+    let sim = CycloJoin::new(r.clone(), s.clone())
+        .ring(chaos_config(4))
+        .run()
+        .expect("simulated run");
+    let tcp = CycloJoin::new(r, s)
+        .ring(RingConfig::paper(4))
+        .run_tcp()
+        .expect("tcp run");
+    assert_eq!(tcp.match_count(), sim.match_count());
+    assert_eq!(tcp.checksum(), sim.checksum());
+    assert_eq!(
+        tcp.ring.fragments_completed, sim.ring.fragments_completed,
+        "both backends must complete the same revolution"
+    );
+    assert!(tcp.fault_free());
+}
+
 #[test]
 fn lossy_link_retransmits_but_never_loses_a_fragment() {
     let (r, s) = inputs();
