@@ -8,12 +8,13 @@
 //! against a single-host reference join unless `--no-verify` is given.
 
 use cyclo_join::{
-    advise_from_data, reference_join, Algorithm, ComputeMode, CostModel, CycloJoin, JoinPredicate,
-    RingConfig, RotateSide,
+    advise_from_data, reference_join, Algorithm, ComputeMode, CostModel, CycloJoin, HostId,
+    JoinPredicate, RescalePlan, RingConfig, RotateSide,
 };
 use data_roundabout::render_timeline;
 use relation::GenSpec;
 use simnet::transport::TransportModel;
+use simnet::SimTime;
 
 const HELP: &str = "\
 cyclo — distributed joins on the Data Roundabout ring
@@ -36,6 +37,12 @@ OPTIONS:
     --fragments <N>      rotation units per host (default 4)
     --rotate <SIDE>      r | s | auto (default auto)
     --seed <N>           RNG seed (default 42)
+    --rescale-plan <P>   planned membership schedule: comma-separated
+                         join:HOST@TIME / drain:HOST@TIME entries, TIME
+                         with an ns/us/ms/s suffix (bare numbers are ms),
+                         e.g. \"join:5@2ms,drain:0@8ms\"; hosts named by
+                         join: start as standbys outside the ring
+                         (sim and tcp backends only)
     --measured           wall-clock-measure real compute instead of modeling
     --threaded           alias for --backend threads
     --no-verify          skip the reference-join verification
@@ -58,6 +65,15 @@ enum Backend {
     Tcp,
 }
 
+/// One entry of a `--rescale-plan` schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RescaleEvent {
+    /// A standby host enters the ring at the given virtual instant.
+    Join { host: usize, at_nanos: u64 },
+    /// A member hands its stationary roles off and leaves at the instant.
+    Drain { host: usize, at_nanos: u64 },
+}
+
 /// Parsed command-line configuration.
 #[derive(Debug, Clone, PartialEq)]
 struct Options {
@@ -72,6 +88,7 @@ struct Options {
     fragments: usize,
     rotate: RotateSide,
     seed: u64,
+    rescale: Vec<RescaleEvent>,
     measured: bool,
     backend: Backend,
     verify: bool,
@@ -95,6 +112,7 @@ impl Default for Options {
             fragments: 4,
             rotate: RotateSide::Auto,
             seed: 42,
+            rescale: Vec::new(),
             measured: false,
             backend: Backend::Sim,
             verify: true,
@@ -125,6 +143,7 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Option<Options>
             "--buffers" => opts.buffers = parse(&value("--buffers")?, "--buffers")?,
             "--fragments" => opts.fragments = parse(&value("--fragments")?, "--fragments")?,
             "--seed" => opts.seed = parse(&value("--seed")?, "--seed")?,
+            "--rescale-plan" => opts.rescale = parse_rescale_plan(&value("--rescale-plan")?)?,
             "--algorithm" => {
                 opts.algorithm = Some(match value("--algorithm")?.as_str() {
                     "hash" => Algorithm::partitioned_hash(),
@@ -174,6 +193,53 @@ fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
     value
         .parse()
         .map_err(|_| format!("invalid value {value:?} for {flag}"))
+}
+
+/// Parses a `--rescale-plan` spec: comma-separated `join:HOST@TIME` /
+/// `drain:HOST@TIME` entries.
+fn parse_rescale_plan(spec: &str) -> Result<Vec<RescaleEvent>, String> {
+    let shape =
+        |entry: &str| format!("rescale entry {entry:?} is not join:HOST@TIME or drain:HOST@TIME");
+    let mut events = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (kind, schedule) = entry.split_once(':').ok_or_else(|| shape(entry))?;
+        let (host, at) = schedule.split_once('@').ok_or_else(|| shape(entry))?;
+        let host: usize = host
+            .parse()
+            .map_err(|_| format!("invalid host {host:?} in rescale entry {entry:?}"))?;
+        let at_nanos = parse_instant(at)
+            .ok_or_else(|| format!("invalid instant {at:?} in rescale entry {entry:?}"))?;
+        events.push(match kind {
+            "join" => RescaleEvent::Join { host, at_nanos },
+            "drain" => RescaleEvent::Drain { host, at_nanos },
+            other => return Err(format!("unknown rescale event {other:?} (join or drain)")),
+        });
+    }
+    if events.is_empty() {
+        return Err("--rescale-plan needs at least one join: or drain: entry".to_string());
+    }
+    Ok(events)
+}
+
+/// Parses an instant like `250us`, `8ms` or `1s` into nanoseconds; bare
+/// numbers are milliseconds.
+fn parse_instant(text: &str) -> Option<u64> {
+    let (digits, scale) = if let Some(d) = text.strip_suffix("ns") {
+        (d, 1)
+    } else if let Some(d) = text.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = text.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        (text, 1_000_000)
+    };
+    digits.parse::<u64>().ok()?.checked_mul(scale)
 }
 
 fn main() {
@@ -238,6 +304,20 @@ fn main() {
     }
     if opts.measured {
         plan = plan.compute(ComputeMode::Measured);
+    }
+    if !opts.rescale.is_empty() {
+        let mut schedule = RescalePlan::seeded(opts.seed);
+        for event in &opts.rescale {
+            schedule = match *event {
+                RescaleEvent::Join { host, at_nanos } => {
+                    schedule.join_host(HostId(host), SimTime::from_nanos(at_nanos))
+                }
+                RescaleEvent::Drain { host, at_nanos } => {
+                    schedule.drain_host(HostId(host), SimTime::from_nanos(at_nanos))
+                }
+            };
+        }
+        plan = plan.rescale_plan(schedule);
     }
 
     let outcome = match opts.backend {
@@ -356,6 +436,54 @@ mod tests {
             Backend::Threads
         );
         assert_eq!(parse_ok(&[]).backend, Backend::Sim);
+    }
+
+    #[test]
+    fn rescale_plans_are_parsed() {
+        let opts = parse_ok(&["--rescale-plan", "join:5@2ms, drain:0@250us,"]);
+        assert_eq!(
+            opts.rescale,
+            vec![
+                RescaleEvent::Join {
+                    host: 5,
+                    at_nanos: 2_000_000
+                },
+                RescaleEvent::Drain {
+                    host: 0,
+                    at_nanos: 250_000
+                },
+            ]
+        );
+        // Bare numbers are milliseconds; s and ns suffixes work too.
+        assert_eq!(
+            parse_ok(&["--rescale-plan", "drain:1@4"]).rescale,
+            vec![RescaleEvent::Drain {
+                host: 1,
+                at_nanos: 4_000_000
+            }]
+        );
+        assert_eq!(parse_instant("1s"), Some(1_000_000_000));
+        assert_eq!(parse_instant("10ns"), Some(10));
+        assert_eq!(parse_instant("7us"), Some(7_000));
+    }
+
+    #[test]
+    fn malformed_rescale_plans_are_rejected() {
+        for spec in [
+            "",
+            "join:5",
+            "join:@2ms",
+            "join:x@2ms",
+            "drain:1@",
+            "drain:1@2min",
+            "retire:1@2ms",
+        ] {
+            let args = ["--rescale-plan".to_string(), spec.to_string()];
+            assert!(
+                parse_args(args.into_iter()).is_err(),
+                "{spec:?} should be rejected"
+            );
+        }
     }
 
     #[test]

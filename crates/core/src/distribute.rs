@@ -83,6 +83,60 @@ impl Placement {
         }
     }
 
+    /// Like [`Placement::new`], but the hosts whose bits are set in
+    /// `standby` start *outside* the ring (a planned rescale will activate
+    /// them later): they own no stationary partition and contribute no
+    /// rotating fragments, so both sides spread over the initial members
+    /// only. Their slots stay in the vectors (empty) to keep host indices
+    /// stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` or `fragments_per_host` is zero, or if every host
+    /// is a standby.
+    pub fn with_standbys(
+        r: &Relation,
+        s: &Relation,
+        hosts: usize,
+        fragments_per_host: usize,
+        rotate: RotateSide,
+        standby: u64,
+    ) -> Self {
+        assert!(hosts > 0, "placement needs at least one host");
+        assert!(
+            fragments_per_host > 0,
+            "placement needs at least one fragment per host"
+        );
+        let is_standby = |h: usize| h < 64 && standby & (1u64 << h) != 0;
+        let members = (0..hosts).filter(|&h| !is_standby(h)).count();
+        assert!(members > 0, "placement needs at least one initial member");
+        let swapped = rotate.rotates_s(r.len(), s.len());
+        let (rotating_rel, stationary_rel) = if swapped { (s, r) } else { (r, s) };
+        let mut member_stationary = stationary_rel.split_even(members).into_iter();
+        let mut member_rotating = rotating_rel.split_even(members).into_iter();
+        let mut stationary = Vec::with_capacity(hosts);
+        let mut rotating = Vec::with_capacity(hosts);
+        for h in 0..hosts {
+            if is_standby(h) {
+                stationary.push(Relation::new());
+                rotating.push(Vec::new());
+            } else {
+                stationary.push(member_stationary.next().unwrap_or_default());
+                rotating.push(
+                    member_rotating
+                        .next()
+                        .unwrap_or_default()
+                        .split_even(fragments_per_host),
+                );
+            }
+        }
+        Placement {
+            stationary,
+            rotating,
+            swapped,
+        }
+    }
+
     /// Number of hosts the placement covers.
     pub fn hosts(&self) -> usize {
         self.stationary.len()
@@ -196,5 +250,29 @@ mod tests {
     fn zero_hosts_rejected() {
         let r = Relation::new();
         let _ = Placement::new(&r, &r, 0, 1, RotateSide::R);
+    }
+
+    #[test]
+    fn standby_slots_stay_empty() {
+        let r = GenSpec::uniform(1_200, 1).generate();
+        let s = GenSpec::uniform(900, 2).generate();
+        let p = Placement::with_standbys(&r, &s, 3, 2, RotateSide::R, 0b100);
+        assert_eq!(p.hosts(), 3);
+        assert_eq!(p.stationary[2].len(), 0, "a standby owns no partition");
+        assert!(p.rotating[2].is_empty(), "a standby ships no fragments");
+        // Nothing is lost: both sides spread over the two initial members.
+        assert_eq!(p.rotating_tuples(), 1_200);
+        assert_eq!(p.stationary_tuples(), 900);
+        assert!(p.stationary[0].len().abs_diff(p.stationary[1].len()) <= 1);
+        // No standbys degenerates to the plain placement.
+        let plain = Placement::with_standbys(&r, &s, 3, 2, RotateSide::R, 0);
+        assert_eq!(plain, Placement::new(&r, &s, 3, 2, RotateSide::R));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one initial member")]
+    fn all_standby_rejected() {
+        let r = GenSpec::uniform(10, 1).generate();
+        let _ = Placement::with_standbys(&r, &r, 2, 1, RotateSide::R, 0b11);
     }
 }

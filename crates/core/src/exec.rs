@@ -5,7 +5,8 @@
 //! the same joins on the real-thread backend for live validation.
 
 use data_roundabout::{
-    FaultPlan, HostId, RegisteredPool, RingApp, RingConfig, RingError, RingMetrics, SimRing,
+    FaultPlan, HostId, RegisteredPool, RescalePlan, RingApp, RingConfig, RingError, RingMetrics,
+    SimRing,
 };
 use mem_joins::{
     Algorithm, JoinCollector, JoinPredicate, OutputMode, PreparedFragment, StationaryState,
@@ -275,6 +276,7 @@ pub(crate) fn execute_simulated(
     ship_prepared: bool,
     host_speeds: Option<Vec<f64>>,
     fault_plan: Option<FaultPlan>,
+    rescale_plan: Option<RescalePlan>,
     trace: bool,
 ) -> ExecOutcome {
     let hosts = config.hosts;
@@ -304,9 +306,10 @@ pub(crate) fn execute_simulated(
             c
         }
     };
-    // Keep raw partitions only when faults can kill hosts: they are the
-    // source a survivor rebuilds an orphaned role's state from.
-    let stationary_raw = if fault_plan.is_some() {
+    // Keep raw partitions when faults can kill hosts or a rescale can
+    // hand roles off: they are the source a takeover rebuilds an orphaned
+    // or handed-off role's state from.
+    let stationary_raw = if fault_plan.is_some() || rescale_plan.is_some() {
         placement.stationary.clone()
     } else {
         Vec::new()
@@ -330,6 +333,9 @@ pub(crate) fn execute_simulated(
     }
     if let Some(plan) = fault_plan {
         ring = ring.with_fault_plan(plan);
+    }
+    if let Some(plan) = rescale_plan {
+        ring = ring.with_rescale_plan(plan);
     }
     let outcome = ring.run();
     ExecOutcome {
@@ -442,6 +448,7 @@ pub(crate) fn execute_threaded(
 /// so a seeded crash heals mid-revolution over actual connections (the
 /// survivor rebuilds the dead host's stationary state from the retained
 /// raw partitions, exactly as the simulated path prices it).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_tcp(
     config: &RingConfig,
     algorithm: Algorithm,
@@ -449,6 +456,7 @@ pub(crate) fn execute_tcp(
     output: OutputMode,
     placement: Placement,
     fault_plan: Option<&FaultPlan>,
+    rescale_plan: Option<&RescalePlan>,
     trace: bool,
 ) -> Result<ExecOutcome, RingError> {
     let predicate = if placement.swapped {
@@ -469,9 +477,9 @@ pub(crate) fn execute_tcp(
         initial_states.push(state);
         setup_times.push(d + *p);
     }
-    // Raw partitions are the source a survivor rebuilds an orphaned role's
-    // state from; only faults make that path reachable.
-    let stationary_raw = if fault_plan.is_some() {
+    // Raw partitions are the source a takeover rebuilds an orphaned or
+    // handed-off role's state from; faults and rescales both reach it.
+    let stationary_raw = if fault_plan.is_some() || rescale_plan.is_some() {
         placement.stationary.clone()
     } else {
         Vec::new()
@@ -532,6 +540,9 @@ pub(crate) fn execute_tcp(
     if let Some(plan) = fault_plan {
         driver = driver.with_fault_plan(plan);
     }
+    if let Some(plan) = rescale_plan {
+        driver = driver.with_rescale_plan(plan);
+    }
     let (mut metrics, mut ring_spans) = driver.run_with_roles(fragments, join_visit, absorb)?;
     let mut spans = if trace {
         SpanTracer::enabled()
@@ -584,6 +595,7 @@ mod tests {
             OutputMode::Aggregate,
             placement,
             true,
+            None,
             None,
             None,
             false,
@@ -745,6 +757,7 @@ mod tests {
             true,
             None,
             None,
+            None,
             false,
         );
         let tcp = execute_tcp(
@@ -753,6 +766,7 @@ mod tests {
             &JoinPredicate::Equi,
             OutputMode::Aggregate,
             Placement::new(&r, &s, hosts, 2, RotateSide::R),
+            None,
             None,
             false,
         )
@@ -787,6 +801,7 @@ mod tests {
             true,
             None,
             None,
+            None,
             false,
         );
         let tcp = execute_simulated(
@@ -797,6 +812,7 @@ mod tests {
             OutputMode::Aggregate,
             placement(&tcp_cfg),
             true,
+            None,
             None,
             None,
             false,

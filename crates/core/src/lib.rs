@@ -71,8 +71,8 @@ pub use concurrent::{ConcurrentJoins, ConcurrentReport, QueryOutcome};
 pub use cyclotron::{CyclotronReport, DataCyclotron, QueryArrival};
 pub use distribute::{Placement, RotateSide};
 pub use model::{
-    advise, advise_from_data, crossover_ring_size, predict, predict_degraded, Advice,
-    PhasePrediction, Workload,
+    advise, advise_from_data, crossover_ring_size, predict, predict_degraded, predict_rescale,
+    Advice, PhasePrediction, Workload,
 };
 pub use pipeline::{JoinPipeline, PipelineReport};
 pub use plan::{CycloJoin, PlanError};
@@ -84,6 +84,6 @@ pub use ternary::{TernaryJoin, TernaryReport};
 pub use verify::{reference_join, Reference};
 
 // Re-exports so downstream users can drive everything from one crate.
-pub use data_roundabout::{FaultPlan, HostId, RingConfig, RingError, RingMetrics};
+pub use data_roundabout::{FaultPlan, HostId, RescalePlan, RingConfig, RingError, RingMetrics};
 pub use mem_joins::{Algorithm, JoinPredicate, OutputMode};
 pub use simnet::span::{SpanKind, SpanTracer};

@@ -16,7 +16,7 @@
 //! per-link transfer time of the entire rotating relation exceeds the
 //! per-host busy time (§V-F).
 
-use data_roundabout::{FaultPlan, HostId, RingConfig};
+use data_roundabout::{FaultPlan, HostId, RescalePlan, RingConfig};
 use mem_joins::Algorithm;
 use serde::{Deserialize, Serialize};
 use simnet::time::SimDuration;
@@ -226,6 +226,69 @@ pub fn predict_degraded(
         join,
         sync,
     }
+}
+
+/// Like [`predict`], but adjusted for a planned membership schedule
+/// ([`RescalePlan`]) — the closed-form counterpart of an elastic run,
+/// for deciding whether a drain or a late join is worth its pause before
+/// scheduling one.
+///
+/// The adjustments mirror how the elastic ring actually behaves:
+///
+/// * **standbys** (hosts named in a scheduled join) own no stationary
+///   partition and ship no fragments until activated, so setup and
+///   preparation spread over the *initial members* only — a ring that
+///   will grow to `n` pays the setup of a smaller ring;
+/// * **handoffs**: each completed transition (activate or depart) moves
+///   roughly one rendezvous-hashed stationary partition, and rebuilding
+///   that partition on its new owner stalls the recipient — the rescale
+///   *pause term*, one takeover-setup per transition added to sync;
+/// * **drains** shift the departing member's remaining join work onto
+///   the survivors for the tail of the revolution (about half of it on
+///   average) — the planned counterpart of the crash term *without* any
+///   failure-detection ladder, which is exactly what makes a drain
+///   cheaper than the crash it would otherwise become.
+pub fn predict_rescale(
+    model: &CostModel,
+    config: &RingConfig,
+    alg: &Algorithm,
+    workload: &Workload,
+    plan: &RescalePlan,
+) -> PhasePrediction {
+    let base = predict(model, config, alg, workload);
+    let n = config.hosts.max(1);
+    let threads = config.join_threads;
+    let joins = plan.joins().len().min(n.saturating_sub(1));
+    let drains = plan.drains().len().min(n.saturating_sub(1));
+
+    // Standbys start outside the ring: both sides spread over the initial
+    // members, so the parallel setup phase runs at the smaller ring size.
+    let members = (n - joins).max(1);
+    let s_share = workload.stationary_tuples / members;
+    let r_share = workload.rotating_tuples / members;
+    let setup = if joins > 0 {
+        model.setup_duration(alg, s_share, threads) + model.prepare_duration(alg, r_share, threads)
+    } else {
+        base.setup
+    };
+
+    // The pause term: every completed transition hands off about one
+    // stationary partition, and its new owner rebuilds it while the
+    // pipeline holds its credit.
+    let transitions = (joins + drains) as u64;
+    let rebuild = model.setup_duration(alg, s_share, threads);
+    let sync = base.sync + rebuild * transitions;
+
+    // A drained member leaves mid-revolution; on average the survivors
+    // carry its roles for half the remaining work. No detection ladder
+    // anywhere: planned departures are announced, not detected.
+    let mut join = base.join;
+    if drains > 0 {
+        let survivors = (n - drains).max(1);
+        join = join * (1.0 + 0.5 * drains as f64 / survivors as f64);
+    }
+
+    PhasePrediction { setup, join, sync }
 }
 
 /// The smallest ring size at which sort-merge join's predicted total beats
@@ -538,6 +601,81 @@ mod tests {
         let paused = predict_degraded(&m, &config, &alg, &w, &plan);
         assert_eq!(paused.sync, base.sync + SimDuration::from_millis(50));
         assert_eq!(paused.join, base.join, "a pause is a stall, not extra work");
+    }
+
+    #[test]
+    fn quiet_rescale_predicts_the_baseline() {
+        let m = model();
+        let config = RingConfig::paper(6);
+        let w = Workload::uniform(6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
+        let alg = Algorithm::partitioned_hash();
+        let base = predict(&m, &config, &alg, &w);
+        let quiet = predict_rescale(&m, &config, &alg, &w, &RescalePlan::seeded(9));
+        assert_eq!(quiet, base, "no transitions, no pause term");
+    }
+
+    #[test]
+    fn a_drain_adds_a_pause_term_but_no_detection_ladder() {
+        use simnet::time::SimTime;
+        let m = model();
+        let config = RingConfig::paper(6);
+        let w = Workload::uniform(6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
+        let alg = Algorithm::partitioned_hash();
+        let base = predict(&m, &config, &alg, &w);
+        let at = SimTime::ZERO + SimDuration::from_secs_f64(1.0);
+        let drained = predict_rescale(
+            &m,
+            &config,
+            &alg,
+            &w,
+            &RescalePlan::seeded(9).drain_host(HostId(4), at),
+        );
+        assert!(drained.sync > base.sync, "the handoff rebuild stalls");
+        assert!(drained.join > base.join, "survivors carry the tail");
+        assert_eq!(drained.setup, base.setup, "drains do not touch setup");
+        // The planned departure must be predicted cheaper than the crash
+        // of the same host: no escalating detection ladder.
+        let crashed = predict_degraded(
+            &m,
+            &config,
+            &alg,
+            &w,
+            &FaultPlan::seeded(9).crash_host(HostId(4), at),
+        );
+        assert!(
+            drained.sync < crashed.sync,
+            "drain sync {} must beat crash sync {}",
+            drained.sync,
+            crashed.sync
+        );
+        assert!(drained.total() < crashed.total());
+    }
+
+    #[test]
+    fn a_late_join_prices_the_smaller_initial_ring() {
+        use simnet::time::SimTime;
+        let m = model();
+        let config = RingConfig::paper(6);
+        let w = Workload::uniform(6 * PER_HOST, 6 * PER_HOST, 6 * PER_HOST);
+        let alg = Algorithm::partitioned_hash();
+        let base = predict(&m, &config, &alg, &w);
+        let at = SimTime::ZERO + SimDuration::from_secs_f64(1.0);
+        let grown = predict_rescale(
+            &m,
+            &config,
+            &alg,
+            &w,
+            &RescalePlan::seeded(9).join_host(HostId(5), at),
+        );
+        assert!(
+            grown.setup > base.setup,
+            "five initial members carry six hosts' setup"
+        );
+        assert!(grown.sync > base.sync, "activation hands off a role");
+        // The five-member setup is what predict() gives a five-host ring
+        // of the same total volume.
+        let five = predict(&m, &RingConfig { hosts: 5, ..config }, &alg, &w);
+        assert_eq!(grown.setup, five.setup);
     }
 
     #[test]

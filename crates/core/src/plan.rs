@@ -13,7 +13,7 @@
 //! # }
 //! ```
 
-use data_roundabout::{FaultPlan, RingConfig, RingError};
+use data_roundabout::{FaultPlan, RescalePlan, RingConfig, RingError};
 use mem_joins::{Algorithm, JoinPredicate, OutputMode};
 use relation::Relation;
 use simnet::trace::Tracer;
@@ -39,6 +39,7 @@ pub struct CycloJoin {
     ship_prepared: bool,
     host_speeds: Option<Vec<f64>>,
     fault_plan: Option<FaultPlan>,
+    rescale_plan: Option<RescalePlan>,
     trace: bool,
 }
 
@@ -60,6 +61,7 @@ impl CycloJoin {
             ship_prepared: true,
             host_speeds: None,
             fault_plan: None,
+            rescale_plan: None,
             trace: false,
         }
     }
@@ -142,6 +144,21 @@ impl CycloJoin {
         self
     }
 
+    /// Attaches a planned membership schedule (elastic rescale): hosts
+    /// named in a scheduled join start as provisioned standbys outside
+    /// the ring — they own no stationary partition and ship no fragments
+    /// until activated — and scheduled drains hand a departing host's
+    /// partitions to their rendezvous-hashed new owners before the host
+    /// leaves. Like a fault plan, attaching one switches the transport
+    /// into its acknowledged, retransmitting mode. Supported on the
+    /// simulated and TCP backends; [`CycloJoin::run_threaded`] refuses it
+    /// with a typed error because its join callback is keyed by host, not
+    /// by stationary role.
+    pub fn rescale_plan(mut self, plan: RescalePlan) -> Self {
+        self.rescale_plan = Some(plan);
+        self
+    }
+
     /// Enables tracing: the free-text transport trace on the simulated
     /// backend, and — on both backends — the structured span/event tracer
     /// exported by [`CycloJoinReport::chrome_trace`].
@@ -199,6 +216,35 @@ impl CycloJoin {
                 ));
             }
         }
+        if let Some(plan) = &self.rescale_plan {
+            if self.config.hosts > 64 {
+                return Err(PlanError::BadQuery(
+                    "planned rescale supports at most 64 hosts (exactly-once role bitmask)".into(),
+                ));
+            }
+            if self.config.hosts == 1 && !plan.is_quiet() {
+                return Err(PlanError::BadQuery(
+                    "a single-host ring has no membership to rescale".into(),
+                ));
+            }
+            let out_of_range = plan
+                .joins()
+                .iter()
+                .map(|j| j.host)
+                .chain(plan.drains().iter().map(|d| d.host))
+                .find(|h| h.0 >= self.config.hosts);
+            if let Some(h) = out_of_range {
+                return Err(PlanError::BadQuery(format!(
+                    "rescale plan targets host {} of a {}-host ring",
+                    h.0, self.config.hosts
+                )));
+            }
+            if plan.standby_mask().count_ones() as usize >= self.config.hosts {
+                return Err(PlanError::BadQuery(
+                    "a rescale plan cannot make every host a standby".into(),
+                ));
+            }
+        }
         let algorithm = self.resolved_algorithm();
         if !algorithm.supports(&self.predicate) {
             return Err(PlanError::UnsupportedPredicate {
@@ -210,12 +256,19 @@ impl CycloJoin {
     }
 
     fn placement(&self) -> Placement {
-        Placement::new(
+        // Hosts a rescale plan will activate later start as standbys: no
+        // stationary partition, no locally originating fragments.
+        let standby = self
+            .rescale_plan
+            .as_ref()
+            .map_or(0, RescalePlan::standby_mask);
+        Placement::with_standbys(
             &self.r,
             &self.s,
             self.config.hosts,
             self.fragments_per_host,
             self.rotate,
+            standby,
         )
     }
 
@@ -270,6 +323,7 @@ impl CycloJoin {
             self.ship_prepared,
             self.host_speeds.clone(),
             self.fault_plan.clone(),
+            self.rescale_plan.clone(),
             self.trace,
         );
         Ok(self.report(algorithm, swapped, outcome))
@@ -283,6 +337,14 @@ impl CycloJoin {
     /// Same as [`CycloJoin::run`].
     pub fn run_threaded(&self) -> Result<CycloJoinReport, PlanError> {
         let algorithm = self.validate()?;
+        if self.rescale_plan.as_ref().is_some_and(|p| !p.is_quiet()) {
+            return Err(PlanError::Backend(RingError::UnsupportedFault(
+                "the threaded cyclo-join path keys joins by host, not by stationary role, so it \
+                 cannot follow a rescale's role handoffs — run the rescale on the simulated or \
+                 tcp backend (the raw thread driver does support rescale for role-agnostic \
+                 workloads)",
+            )));
+        }
         let placement = self.placement();
         let swapped = placement.swapped;
         let outcome = execute_threaded(
@@ -321,6 +383,7 @@ impl CycloJoin {
             self.output,
             placement,
             self.fault_plan.as_ref(),
+            self.rescale_plan.as_ref(),
             self.trace,
         )
         .map_err(|e| match e {
@@ -635,6 +698,127 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PlanError::Backend(_)), "got: {err:?}");
         assert!(err.to_string().contains("simulated backend"), "got: {err}");
+    }
+
+    /// A drain mid-revolution hands the departing host's partition to its
+    /// rendezvous owner; the join must still produce the exact reference
+    /// result, with the epoch advanced and zero heal events.
+    #[test]
+    fn a_planned_drain_preserves_the_join_result() {
+        use data_roundabout::{HostId, RescalePlan};
+        use simnet::time::{SimDuration, SimTime};
+        let (r, s) = inputs();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        let baseline = CycloJoin::new(r.clone(), s.clone())
+            .hosts(3)
+            .run()
+            .expect("baseline should run");
+        let mid =
+            baseline.setup_seconds() + 0.5 * (baseline.total_seconds() - baseline.setup_seconds());
+        let plan = RescalePlan::seeded(21)
+            .drain_host(HostId(1), SimTime::ZERO + SimDuration::from_secs_f64(mid));
+        let config = RingConfig::paper(3).with_ack_timeout(SimDuration::from_millis(2));
+        let report = CycloJoin::new(r, s)
+            .ring(config)
+            .rescale_plan(plan)
+            .run()
+            .expect("the rescaled ring should finish the join");
+        assert_eq!(report.match_count(), reference.count);
+        assert_eq!(report.checksum(), reference.checksum);
+        assert_eq!(report.membership_epoch(), 1);
+        assert_eq!(report.rescale_drains(), 1);
+        assert_eq!(report.rescale_handoffs(), 1, "host 1 owned one role");
+        assert_eq!(report.rescale_escalations(), 0);
+        assert_eq!(report.heal_events(), 0, "a clean drain never heals");
+        assert!(report.render().contains("rescale: epoch 1"));
+    }
+
+    /// A standby host joins mid-revolution and takes over its rendezvous
+    /// share of the stationary roles; the result stays exact.
+    #[test]
+    fn a_planned_join_preserves_the_join_result() {
+        use data_roundabout::{HostId, RescalePlan};
+        use simnet::time::{SimDuration, SimTime};
+        let (r, s) = inputs();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        let plan = RescalePlan::seeded(22)
+            .join_host(HostId(2), SimTime::ZERO + SimDuration::from_millis(5));
+        let report = CycloJoin::new(r, s)
+            .hosts(3)
+            .rescale_plan(plan)
+            .run()
+            .expect("the grown ring should finish the join");
+        assert_eq!(report.match_count(), reference.count);
+        assert_eq!(report.checksum(), reference.checksum);
+        assert_eq!(report.membership_epoch(), 1);
+        assert_eq!(report.rescale_joins(), 1);
+    }
+
+    /// The same drain schedule over real loopback TCP sockets.
+    #[test]
+    fn tcp_backend_drains_a_host_over_real_sockets() {
+        use data_roundabout::{HostId, RescalePlan};
+        use simnet::time::{SimDuration, SimTime};
+        // Large enough that the rotation outlives the drain instant on a
+        // wall clock (the tcp backend schedules rescale in real time).
+        let r = GenSpec::uniform(60_000, 102).generate();
+        let s = GenSpec::uniform(60_000, 103).generate();
+        let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+        let plan = RescalePlan::seeded(23)
+            .drain_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(2));
+        let config = RingConfig::paper(3)
+            .with_ack_timeout(SimDuration::from_millis(20))
+            .with_max_retransmits(6);
+        let report = CycloJoin::new(r, s)
+            .ring(config)
+            .rescale_plan(plan)
+            .run_tcp()
+            .expect("the rescaled tcp ring should finish the join");
+        assert_eq!(report.match_count(), reference.count);
+        assert_eq!(report.checksum(), reference.checksum);
+        assert_eq!(report.membership_epoch(), 1);
+        assert_eq!(report.rescale_drains(), 1);
+        assert_eq!(report.heal_events(), 0);
+    }
+
+    #[test]
+    fn threaded_backend_refuses_rescale_plans() {
+        use data_roundabout::{HostId, RescalePlan};
+        use simnet::time::{SimDuration, SimTime};
+        let (r, s) = inputs();
+        let plan = RescalePlan::seeded(1)
+            .drain_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(1));
+        let err = CycloJoin::new(r, s)
+            .hosts(3)
+            .rescale_plan(plan)
+            .run_threaded()
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Backend(_)), "got: {err:?}");
+        assert!(err.to_string().contains("stationary role"), "got: {err}");
+    }
+
+    #[test]
+    fn rescale_plans_must_target_the_ring() {
+        use data_roundabout::{HostId, RescalePlan};
+        use simnet::time::{SimDuration, SimTime};
+        let (r, s) = inputs();
+        let plan = RescalePlan::seeded(1)
+            .drain_host(HostId(7), SimTime::ZERO + SimDuration::from_millis(1));
+        let err = CycloJoin::new(r.clone(), s.clone())
+            .hosts(3)
+            .rescale_plan(plan)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("targets host 7"), "got: {err}");
+        let all_standby = RescalePlan::seeded(1)
+            .join_host(HostId(0), SimTime::ZERO + SimDuration::from_millis(1))
+            .join_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(1));
+        let err = CycloJoin::new(r, s)
+            .hosts(2)
+            .rescale_plan(all_standby)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("every host"), "got: {err}");
     }
 
     #[test]

@@ -118,6 +118,33 @@ impl CycloJoinReport {
         self.ring.fault_free()
     }
 
+    /// The final membership epoch: completed planned joins + drains.
+    /// Zero on runs without a rescale plan.
+    pub fn membership_epoch(&self) -> u64 {
+        self.ring.membership_epoch
+    }
+
+    /// Completed planned host joins (standby activations).
+    pub fn rescale_joins(&self) -> u64 {
+        self.ring.rescale_joins
+    }
+
+    /// Completed graceful host drains.
+    pub fn rescale_drains(&self) -> u64 {
+        self.ring.rescale_drains
+    }
+
+    /// Stationary partitions moved by planned rescale handoffs.
+    pub fn rescale_handoffs(&self) -> u64 {
+        self.ring.rescale_handoffs
+    }
+
+    /// Drains that stalled past their deadline and degraded into crash
+    /// healing.
+    pub fn rescale_escalations(&self) -> u64 {
+        self.ring.rescale_escalations
+    }
+
     /// One-line summary.
     pub fn summary(&self) -> String {
         format!(
@@ -165,6 +192,17 @@ impl CycloJoinReport {
                 self.retransmits(),
                 self.checksum_mismatches(),
                 self.fragments_resent(),
+            ));
+        }
+        if self.membership_epoch() > 0 || self.rescale_escalations() > 0 {
+            out.push_str(&format!(
+                "  rescale: epoch {}, {} join(s), {} drain(s), {} handoff(s), \
+                 {} escalation(s)\n",
+                self.membership_epoch(),
+                self.rescale_joins(),
+                self.rescale_drains(),
+                self.rescale_handoffs(),
+                self.rescale_escalations(),
             ));
         }
         out.push_str("  per host: setup / busy / sync (s), fragments\n");

@@ -59,6 +59,20 @@ pub trait RingApp<P> {
         let _ = (survivor, failed);
         SimDuration::ZERO
     }
+
+    /// Planned repartitioning: on a rescale, host `to` receives the
+    /// stationary `roles` from donor `from` and rebuilds its local state
+    /// for them (hash tables, sorted runs). Returns the virtual duration
+    /// of the rebuild. The default prices each role like a healing
+    /// absorb, which keeps apps that only implement [`RingApp::absorb`]
+    /// correct under rescale.
+    fn handoff(&mut self, to: HostId, from: HostId, roles: &[usize]) -> SimDuration {
+        let _ = from;
+        roles
+            .iter()
+            .map(|&r| self.absorb(to, HostId(r)))
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
 }
 
 /// A trivial app for transport-level tests: fixed setup and per-buffer

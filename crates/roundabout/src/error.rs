@@ -58,8 +58,23 @@ pub enum RingError {
         /// Fragment lists actually supplied.
         got: usize,
     },
-    /// The requested fault class is not supported by this backend (e.g.
-    /// host crashes on the thread backend, which has no ring healing).
+    /// The requested fault or rescale class is not supported by this
+    /// backend, or the rescale plan itself is malformed. Per-backend
+    /// support:
+    ///
+    /// * **sim** — link loss, corruption, delay spikes, host crashes,
+    ///   pauses, slowdowns, and planned rescale (join/drain);
+    /// * **threads** — link loss, corruption, delay spikes, and planned
+    ///   rescale; crashes and pauses are refused (no ring healing in
+    ///   classic mode);
+    /// * **tcp** — link loss, corruption, delay spikes, host crashes,
+    ///   pauses, and planned rescale; slowdowns are a simulator-only
+    ///   cost-model concept.
+    ///
+    /// Rescale plans are additionally validated up front on every
+    /// backend: at most 64 hosts (the exactly-once role bitmask), no
+    /// single-host rescale, every named host inside the ring, and
+    /// standby hosts contributing zero fragments.
     UnsupportedFault(&'static str),
     /// The ring tore down mid-run: a worker died (for example the join
     /// callback panicked, or a transfer exhausted its retransmission

@@ -63,10 +63,6 @@ pub use metrics::{render_timeline, HostMetrics, RingMetrics};
 pub use sim_backend::{SimOutcome, SimRing};
 pub use tcp_backend::{Frame, FrameDecoder, TcpRingDriver, WirePayload};
 pub use thread_backend::RingDriver;
-#[allow(deprecated)]
-pub use thread_backend::{
-    run_threaded, run_threaded_reliable, run_threaded_reliable_traced, run_threaded_traced,
-};
 
-pub use simnet::fault::FaultPlan;
+pub use simnet::fault::{FaultPlan, RescalePlan};
 pub use simnet::topology::HostId;

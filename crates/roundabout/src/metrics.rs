@@ -69,6 +69,21 @@ pub struct RingMetrics {
     /// Fragments re-sent from their origin because a copy was lost in a
     /// dead host's buffers.
     pub fragments_resent: usize,
+    /// Membership epoch at the end of the run: the number of *completed*
+    /// planned transitions (joins + drains). Crash healing never advances
+    /// it, so the epoch is a pure function of the rescale schedule and
+    /// identical across backends.
+    pub membership_epoch: u64,
+    /// Planned host activations completed (a standby joined the ring).
+    pub rescale_joins: u64,
+    /// Graceful drains completed (the drainee departed the ring).
+    pub rescale_drains: u64,
+    /// Stationary partitions moved by planned rescale handoffs.
+    pub rescale_handoffs: u64,
+    /// Drains that stalled past their deadline and degraded into the
+    /// crash-healing path. Timing-dependent: healthy schedules keep this
+    /// zero, but it is *not* part of cross-backend parity.
+    pub rescale_escalations: u64,
 }
 
 impl RingMetrics {

@@ -44,10 +44,12 @@ use crate::envelope::{Envelope, FragmentId, PayloadBytes};
 
 mod host;
 mod link;
+mod membership;
 mod ring;
 
 pub use host::{Held, HostProtocol, JoinTicket, Route};
 pub use link::{backoff_exponent, LinkReceiver, LinkSender, Receipt, TimeoutVerdict, BACKOFF_CAP};
+pub use membership::{rendezvous_owner, MembershipLedger};
 pub use ring::RingProtocol;
 
 /// The protocol-visible slice of the ring configuration: everything the
@@ -67,6 +69,11 @@ pub struct ProtocolConfig {
     pub continuous: bool,
     /// Acked stop-and-wait transport on every hop (fault-plan runs).
     pub reliable: bool,
+    /// Bitmask of hosts provisioned as *standbys*: present in every
+    /// per-host table but outside the ring (no stationary partition, no
+    /// local fragments, not routed to) until an [`Input::JoinRequest`]
+    /// activates them. Requires `reliable` when non-zero.
+    pub standby: u64,
 }
 
 /// An observation a driver feeds into the protocol core.
@@ -136,9 +143,30 @@ pub enum Input<P> {
         /// The resumed host.
         host: HostId,
     },
-    /// The role-absorption work scheduled by [`Output::Absorb`] finished.
+    /// The role-absorption work scheduled by [`Output::Absorb`] or
+    /// [`Output::Handoff`] finished.
     AbsorbDone {
         /// The survivor that finished absorbing.
+        host: HostId,
+    },
+    /// Planned rescale: a provisioned standby host asks to enter the
+    /// ring. The membership ledger activates it, re-splices the hop links
+    /// around it and hands it the stationary partitions rendezvous
+    /// hashing assigns it (see [`Output::Activate`] /
+    /// [`Output::Handoff`]). Invalid requests (not a standby, crashed)
+    /// are ignored.
+    JoinRequest {
+        /// The standby host entering the ring.
+        host: HostId,
+    },
+    /// Planned rescale: an active host asks to leave the ring. Its
+    /// stationary partitions hand off immediately; the host keeps
+    /// relaying until it is quiescent, then departs
+    /// ([`Output::Departed`]). A drain that stalls past its deadline
+    /// degrades into the crash-healing path. Invalid requests (standby,
+    /// already draining, sole ring member, crashed) are ignored.
+    DrainRequest {
+        /// The host leaving the ring.
         host: HostId,
     },
 }
@@ -166,6 +194,18 @@ pub enum Timer {
         to: HostId,
         /// Probe attempt number (drives the backoff once the target is
         /// suspected dead).
+        attempt: u32,
+    },
+    /// Deadline for a draining host to reach quiescence. Re-armed with
+    /// backoff while the drain makes progress; once the attempt budget
+    /// (the retransmission budget) is exhausted the drain *escalates*
+    /// into the crash-healing path so a sick drainee can never wedge the
+    /// ring.
+    DrainDeadline {
+        /// The draining host.
+        host: HostId,
+        /// Deadline attempt number (drives the backoff and the
+        /// escalation decision).
         attempt: u32,
     },
 }
@@ -302,6 +342,39 @@ pub enum Output<P> {
         /// The orphaned roles (exactly-once: the ledger guarantees no
         /// role is ever absorbed twice).
         roles: Vec<usize>,
+    },
+    /// Planned rescale: a standby host entered the ring. The membership
+    /// epoch advanced; hop links re-splice around the new member. The
+    /// [`Output::Handoff`]s that follow move its stationary partitions.
+    Activate {
+        /// The activated host.
+        host: HostId,
+        /// The new membership epoch.
+        epoch: u64,
+    },
+    /// Planned rescale: stationary partitions move from `from` to `to`
+    /// (rendezvous-hashed, exactly-once — the ledger moves each role
+    /// atomically, so no role is ever served by two hosts). The driver
+    /// runs the application's partition rebuild at `to` and feeds
+    /// [`Input::AbsorbDone`] when it completes; until then `to` relays
+    /// without joining.
+    Handoff {
+        /// The host giving up the roles (a drainee, or a donor to a
+        /// freshly activated host).
+        from: HostId,
+        /// The host receiving them.
+        to: HostId,
+        /// The roles that move.
+        roles: Vec<usize>,
+    },
+    /// Planned rescale: a drained host reached quiescence and left the
+    /// ring. The membership epoch advanced; hop links re-splice past it
+    /// (the TCP driver severs its sockets here).
+    Departed {
+        /// The departed host.
+        host: HostId,
+        /// The new membership epoch.
+        epoch: u64,
     },
     /// A fragment lost with a dead host was re-injected from its origin.
     Resent {

@@ -21,6 +21,7 @@ use crate::envelope::{Envelope, PayloadBytes};
 
 use super::host::{HostProtocol, Route};
 use super::link::{backoff_exponent, on_timeout, TimeoutVerdict, BACKOFF_CAP};
+use super::membership::{rendezvous_owner, MembershipLedger};
 use super::{teardown, Input, Output, ProtocolConfig, Timer};
 
 /// One unacknowledged transfer of the reliable transport.
@@ -52,11 +53,16 @@ struct FaultLedger<P> {
     /// ring now bypasses this host.
     confirmed_dead: Vec<bool>,
     paused: Vec<bool>,
-    /// Successor busy rebuilding absorbed partitions (joins gated).
-    absorbing: Vec<bool>,
+    /// Outstanding partition rebuilds per host (joins gated while
+    /// non-zero): one per [`Output::Absorb`] or [`Output::Handoff`]
+    /// received, decremented by [`Input::AbsorbDone`].
+    absorbing: Vec<u32>,
     /// Logical stationary partitions (`S_i` roles) each host serves;
-    /// starts as `roles[h] == [h]` and grows through healing.
+    /// starts as `roles[h] == [h]` for ring members (standbys start
+    /// empty) and moves through healing and planned handoffs.
     roles: Vec<Vec<usize>>,
+    /// Planned membership: epochs, standby activation, drains.
+    membership: MembershipLedger,
     /// Ring-unique transfer ids — the ledger key.
     next_tid: u64,
     /// Per-sender wire sequence stamped into `env.seq`; both backends
@@ -67,9 +73,11 @@ struct FaultLedger<P> {
     /// Transfers accepted by some receiver — dedupes the copies that
     /// spurious retransmissions deliver twice.
     accepted: HashSet<u64>,
-    /// Transfers rerouted at their sender after the receiver's death was
-    /// confirmed; a late arrival of the original copy at the corpse must
-    /// not be salvaged a second time.
+    /// Transfers whose fragment was revived elsewhere — rerouted at their
+    /// sender or re-sent from the fragment's origin — after a death was
+    /// confirmed. The tid is dead forever: any late wire copy (of any
+    /// attempt) arriving at a corpse must not be salvaged a second time,
+    /// or the fragment would fork into two live copies.
     requeued: HashSet<u64>,
     /// Stop-and-wait: the transfer each host is awaiting an ack for.
     awaiting: Vec<Option<u64>>,
@@ -84,13 +92,27 @@ struct FaultLedger<P> {
 }
 
 impl<P> FaultLedger<P> {
-    fn new(hosts: usize) -> Self {
+    fn new(hosts: usize, standby: u64) -> Self {
+        let all_mask = if hosts >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << hosts) - 1
+        };
         FaultLedger {
             crashed: vec![false; hosts],
             confirmed_dead: vec![false; hosts],
             paused: vec![false; hosts],
-            absorbing: vec![false; hosts],
-            roles: (0..hosts).map(|h| vec![h]).collect(),
+            absorbing: vec![0; hosts],
+            roles: (0..hosts)
+                .map(|h| {
+                    if standby & (1u64 << h) != 0 {
+                        Vec::new()
+                    } else {
+                        vec![h]
+                    }
+                })
+                .collect(),
+            membership: MembershipLedger::new(hosts, standby),
             next_tid: 1,
             wire_seq: vec![0; hosts],
             in_flight: BTreeMap::new(),
@@ -102,11 +124,9 @@ impl<P> FaultLedger<P> {
             checksum_mismatches: vec![0; hosts],
             heal_events: 0,
             fragments_resent: 0,
-            full_mask: if hosts >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << hosts) - 1
-            },
+            // Standbys own no stationary partition, so a revolution is
+            // complete once every *initial member's* role is visited.
+            full_mask: all_mask & !standby,
         }
     }
 
@@ -116,14 +136,20 @@ impl<P> FaultLedger<P> {
         self.roles[host.0].iter().fold(0u64, |m, r| m | (1u64 << r))
     }
 
+    /// Is `h` a hop the ring routes to? Confirmed-dead hosts are healed
+    /// around; standbys and departed hosts are outside the ring.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn routes(&self, h: usize) -> bool {
+        !self.confirmed_dead[h] && self.membership.in_ring(HostId(h))
+    }
+
     /// The nearest clockwise successor the ring still routes to (`host`
     /// itself when it is the sole survivor).
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
     fn next_alive(&self, host: HostId) -> HostId {
         let n = self.confirmed_dead.len();
         for step in 1..=n {
             let h = (host.0 + step) % n;
-            if !self.confirmed_dead[h] {
+            if self.routes(h) {
                 return HostId(h);
             }
         }
@@ -131,12 +157,11 @@ impl<P> FaultLedger<P> {
     }
 
     /// The nearest counterclockwise predecessor still routed to.
-    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
     fn prev_alive(&self, host: HostId) -> HostId {
         let n = self.confirmed_dead.len();
         for step in 1..=n {
             let h = (host.0 + n - (step % n)) % n;
-            if !self.confirmed_dead[h] {
+            if self.routes(h) {
                 return HostId(h);
             }
         }
@@ -144,15 +169,31 @@ impl<P> FaultLedger<P> {
     }
 
     /// Where a salvaged fragment re-enters the ring: its origin, or (when
-    /// the origin itself crashed) the nearest not-crashed host after it.
-    /// `None` when every host crashed — nobody is left to re-send.
+    /// the origin crashed or left the ring) the nearest routable
+    /// not-crashed host after it. `None` when nobody is left to re-send.
     // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
     fn inject_target(&self, origin: HostId) -> Option<HostId> {
         let n = self.crashed.len();
         (0..n)
             .map(|step| (origin.0 + step) % n)
-            .find(|&h| !self.crashed[h])
+            .find(|&h| !self.crashed[h] && self.membership.in_ring(HostId(h)))
             .map(HostId)
+    }
+
+    /// Hosts eligible to receive stationary partitions in a planned
+    /// handoff: inside the ring, not draining, not (suspected) dead,
+    /// excluding `except`.
+    // analyze: allow(panic, reason = "protocol invariant: host ids index per-ring tables sized at construction; the healing path is exercised exhaustively by the chaos and proptest suites")
+    fn handoff_candidates(&self, except: Option<HostId>) -> Vec<HostId> {
+        (0..self.crashed.len())
+            .filter(|&h| {
+                self.routes(h)
+                    && !self.crashed[h]
+                    && !self.membership.is_draining(HostId(h))
+                    && Some(HostId(h)) != except
+            })
+            .map(HostId)
+            .collect()
     }
 }
 
@@ -175,7 +216,10 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
     /// # Panics
     ///
     /// Panics when `envelopes.len()` differs from the configured host
-    /// count, or a reliable ring exceeds the 64-host role-bitmask limit.
+    /// count, a reliable ring exceeds the 64-host role-bitmask limit, or
+    /// the standby mask is malformed (set bits beyond the host count, a
+    /// non-reliable ring, a standby with local fragments, or no initial
+    /// ring member at all).
     // analyze: allow(panic, reason = "construction-time shape checks; every later host id indexes tables sized here")
     pub fn new(cfg: ProtocolConfig, envelopes: Vec<Vec<Envelope<P>>>) -> Self {
         assert_eq!(
@@ -187,6 +231,26 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             !cfg.reliable || cfg.hosts <= 64,
             "the exactly-once role bitmask supports at most 64 hosts"
         );
+        if cfg.standby != 0 {
+            assert!(
+                cfg.reliable,
+                "standby hosts ride on the reliable transport (attach a fault or rescale plan)"
+            );
+            assert!(
+                cfg.hosts >= 64 || cfg.standby >> cfg.hosts == 0,
+                "standby mask names hosts beyond the ring size"
+            );
+            assert!(
+                cfg.hosts >= 64 || cfg.standby != (1u64 << cfg.hosts) - 1,
+                "a ring needs at least one initial member"
+            );
+            for (h, locals) in envelopes.iter().enumerate() {
+                assert!(
+                    cfg.standby & (1u64 << h) == 0 || locals.is_empty(),
+                    "standby host {h} must start without local fragments"
+                );
+            }
+        }
         let fragments_total = envelopes.iter().map(Vec::len).sum();
         let mut hosts: Vec<HostProtocol<P>> = (0..cfg.hosts)
             .map(|h| HostProtocol::new(HostId(h), cfg.hosts, cfg.buffers_per_host))
@@ -202,7 +266,9 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             fragments_total,
             fragments_completed: 0,
             stopped: false,
-            fault: cfg.reliable.then(|| FaultLedger::new(cfg.hosts)),
+            fault: cfg
+                .reliable
+                .then(|| FaultLedger::new(cfg.hosts, cfg.standby)),
         }
     }
 
@@ -213,6 +279,9 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
         match self.fault.take() {
             Some(mut f) => {
                 self.input_fault(&mut f, input, &mut out);
+                // Every input can be the one that empties a drainee:
+                // sweep for drains that reached quiescence.
+                self.check_drains(&mut f, &mut out);
                 self.fault = Some(f);
             }
             None => self.input_classic(input, &mut out),
@@ -286,6 +355,43 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
         self.fault.as_ref().map_or(0, |f| f.fragments_resent)
     }
 
+    /// The current membership epoch: completed planned joins + drains
+    /// (crash healing never advances it).
+    pub fn membership_epoch(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.membership.epoch())
+    }
+
+    /// Completed planned host joins (standby activations).
+    pub fn rescale_joins(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.membership.joins())
+    }
+
+    /// Completed graceful host drains.
+    pub fn rescale_drains(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.membership.drains())
+    }
+
+    /// Stationary partitions moved by planned handoffs.
+    pub fn rescale_handoffs(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.membership.handoffs())
+    }
+
+    /// Drains that stalled past their deadline and degraded into the
+    /// crash-healing path.
+    pub fn rescale_escalations(&self) -> u64 {
+        self.fault
+            .as_ref()
+            .map_or(0, |f| f.membership.escalations())
+    }
+
+    /// Is `host` inside the ring (active member or mid-drain relay)?
+    pub fn is_member(&self, host: HostId) -> bool {
+        match self.fault.as_ref() {
+            Some(f) => f.membership.in_ring(host),
+            None => host.0 < self.cfg.hosts,
+        }
+    }
+
     /// Reports the fate the driver's fault dice dealt to the attempt just
     /// emitted as [`Output::Send`] — the healing ledger uses it to decide
     /// whether the receiver may hold a live copy.
@@ -328,7 +434,9 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             | Input::PeerDead { .. }
             | Input::Paused { .. }
             | Input::Resumed { .. }
-            | Input::AbsorbDone { .. } => {
+            | Input::AbsorbDone { .. }
+            | Input::JoinRequest { .. }
+            | Input::DrainRequest { .. } => {
                 out.push(Output::Teardown {
                     reason: "reliable-transport input on the classic path",
                 });
@@ -459,6 +567,11 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             Input::Tick {
                 timer: Timer::Probe { from, to, attempt },
             } => self.on_probe_timeout(f, from, to, attempt, out),
+            Input::Tick {
+                timer: Timer::DrainDeadline { host, attempt },
+            } => self.on_drain_deadline(f, host, attempt, out),
+            Input::JoinRequest { host } => self.on_join_request(f, host, out),
+            Input::DrainRequest { host } => self.on_drain_request(f, host, out),
             Input::PeerDead { host } => {
                 f.crashed[host.0] = true;
             }
@@ -479,9 +592,11 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                 if f.crashed[host.0] {
                     return;
                 }
-                f.absorbing[host.0] = false;
-                self.try_start_join_fault(f, host, out);
-                self.try_send_fault(f, host, out);
+                f.absorbing[host.0] = f.absorbing[host.0].saturating_sub(1);
+                if f.absorbing[host.0] == 0 {
+                    self.try_start_join_fault(f, host, out);
+                    self.try_send_fault(f, host, out);
+                }
             }
         }
     }
@@ -503,9 +618,12 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                 // The sender still tracks this transfer; its timeout path
                 // will retransmit or reroute. The copy itself dies here.
                 entry.maybe_live = false;
-            } else if !f.requeued.remove(&tid) {
-                // The sender healed past this transfer believing the copy
-                // delivered — salvage it from the wire.
+            } else if !f.requeued.contains(&tid) && !f.accepted.contains(&tid) {
+                // The sender healed past this transfer and no earlier
+                // attempt was ever accepted into the ring — the copy on
+                // the wire is the last one; salvage it. (An accepted tid
+                // means an earlier attempt already delivered: this late
+                // duplicate must die with the corpse, not fork.)
                 self.resend_from_origin(f, env, out);
             }
             return;
@@ -664,6 +782,195 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
         }
     }
 
+    // --- planned membership (rescale) ------------------------------------
+
+    /// A provisioned standby enters the ring: the epoch advances, hop
+    /// links re-splice around the new member, and rendezvous hashing
+    /// moves exactly the stationary partitions it now owns from their
+    /// donors (minimal movement — every other role stays put).
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the rescale path is exercised exhaustively by the membership proptest suite")
+    fn on_join_request(&mut self, f: &mut FaultLedger<P>, host: HostId, out: &mut Vec<Output<P>>) {
+        if host.0 >= self.cfg.hosts
+            || !f.membership.is_standby(host)
+            || f.crashed[host.0]
+            || f.confirmed_dead[host.0]
+        {
+            return; // invalid or duplicate request: ignore
+        }
+        let epoch = f.membership.activate(host);
+        out.push(Output::Activate { host, epoch });
+        let candidates = f.handoff_candidates(None);
+        let mut moved: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for donor in 0..self.cfg.hosts {
+            if donor == host.0 || f.crashed[donor] || f.confirmed_dead[donor] {
+                continue; // a suspected-dead donor's roles travel via healing
+            }
+            let take: Vec<usize> = f.roles[donor]
+                .iter()
+                .copied()
+                .filter(|r| rendezvous_owner(*r, &candidates) == Some(host))
+                .collect();
+            if !take.is_empty() {
+                f.roles[donor].retain(|r| !take.contains(r));
+                moved.insert(donor, take);
+            }
+        }
+        for (donor, roles) in moved {
+            f.roles[host.0].extend(roles.iter().copied());
+            f.membership.count_handoffs(roles.len() as u64);
+            f.absorbing[host.0] += 1;
+            out.push(Output::Handoff {
+                from: HostId(donor),
+                to: host,
+                roles,
+            });
+        }
+        self.kick_ring(f, out);
+    }
+
+    /// An active member asks to leave: its stationary partitions hand
+    /// off immediately (it keeps relaying — the role-less pass-through
+    /// path), a drain deadline is armed, and the departure itself waits
+    /// for quiescence (see `check_drains`).
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the rescale path is exercised exhaustively by the membership proptest suite")
+    fn on_drain_request(&mut self, f: &mut FaultLedger<P>, host: HostId, out: &mut Vec<Output<P>>) {
+        if host.0 >= self.cfg.hosts
+            || !f.membership.in_ring(host)
+            || f.membership.is_draining(host)
+            || f.crashed[host.0]
+            || f.confirmed_dead[host.0]
+        {
+            return; // invalid or duplicate request: ignore
+        }
+        if f.handoff_candidates(Some(host)).is_empty() {
+            return; // draining the last healthy member would kill the ring
+        }
+        f.membership.begin_drain(host);
+        self.redistribute_roles(f, host, out);
+        out.push(Output::ArmTimer {
+            timer: Timer::DrainDeadline { host, attempt: 1 },
+            backoff_exp: 0,
+        });
+        self.kick_ring(f, out);
+    }
+
+    /// Moves every role `host` still serves to its rendezvous owner
+    /// among the remaining healthy members. Returns false when no
+    /// recipient exists (the roles stay put and the drain cannot
+    /// complete yet).
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the rescale path is exercised exhaustively by the membership proptest suite")
+    fn redistribute_roles(
+        &mut self,
+        f: &mut FaultLedger<P>,
+        host: HostId,
+        out: &mut Vec<Output<P>>,
+    ) -> bool {
+        if f.roles[host.0].is_empty() {
+            return true;
+        }
+        let recipients = f.handoff_candidates(Some(host));
+        if recipients.is_empty() {
+            return false;
+        }
+        let leaving = std::mem::take(&mut f.roles[host.0]);
+        let mut moved: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for role in leaving {
+            if let Some(to) = rendezvous_owner(role, &recipients) {
+                moved.entry(to.0).or_default().push(role);
+            }
+        }
+        for (to, roles) in moved {
+            f.roles[to].extend(roles.iter().copied());
+            f.membership.count_handoffs(roles.len() as u64);
+            f.absorbing[to] += 1;
+            out.push(Output::Handoff {
+                from: host,
+                to: HostId(to),
+                roles,
+            });
+        }
+        true
+    }
+
+    /// The drain deadline fired: re-arm with backoff while the budget
+    /// lasts, then degrade the stalled drain into the crash-healing path
+    /// (the drainee is treated as dead; healing salvages and re-sends).
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the rescale path is exercised exhaustively by the membership proptest suite")
+    fn on_drain_deadline(
+        &mut self,
+        f: &mut FaultLedger<P>,
+        host: HostId,
+        attempt: u32,
+        out: &mut Vec<Output<P>>,
+    ) {
+        if !f.membership.is_draining(host) || f.confirmed_dead[host.0] {
+            return; // departed, escalated or healed in the meantime
+        }
+        if attempt <= self.cfg.max_retransmits {
+            out.push(Output::ArmTimer {
+                timer: Timer::DrainDeadline {
+                    host,
+                    attempt: attempt + 1,
+                },
+                backoff_exp: attempt.min(BACKOFF_CAP),
+            });
+            return;
+        }
+        if (0..self.cfg.hosts).all(|h| h == host.0 || !f.routes(h)) {
+            // No survivor to heal into: the drain is cancelled instead
+            // (the host stays a member and finishes the work itself).
+            f.membership.abort_drain(host);
+            return;
+        }
+        f.membership.abort_drain(host);
+        f.membership.count_escalation();
+        f.crashed[host.0] = true;
+        self.confirm_death(f, host, out);
+    }
+
+    /// Sweeps for drains that reached quiescence: a drainee with empty
+    /// queues, a free wire and no transfer in flight touching it departs
+    /// — the epoch advances and hop links re-splice past it. Roles that
+    /// healing handed *back* to a drainee are re-redistributed first.
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the rescale path is exercised exhaustively by the membership proptest suite")
+    fn check_drains(&mut self, f: &mut FaultLedger<P>, out: &mut Vec<Output<P>>) {
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for h in 0..self.cfg.hosts {
+                let host = HostId(h);
+                let quiescent = f.membership.is_draining(host)
+                    && !f.crashed[h]
+                    && !self.hosts[h].has_work()
+                    && !self.hosts[h].has_outgoing()
+                    && !self.hosts[h].is_sending()
+                    && f.awaiting[h].is_none()
+                    && !f.in_flight.values().any(|e| e.to == host || e.from == host);
+                if !quiescent || !self.redistribute_roles(f, host, out) {
+                    continue;
+                }
+                let epoch = f.membership.depart(host);
+                f.probing[h] = None;
+                out.push(Output::Departed { host, epoch });
+                self.kick_ring(f, out);
+                progress = true;
+            }
+        }
+    }
+
+    /// Kicks every live ring member: a membership change re-splices hop
+    /// links, so blocked transmitters and idle join entities must
+    /// re-evaluate their routes.
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the rescale path is exercised exhaustively by the membership proptest suite")
+    fn kick_ring(&mut self, f: &mut FaultLedger<P>, out: &mut Vec<Output<P>>) {
+        for h in 0..self.cfg.hosts {
+            if f.routes(h) && !f.crashed[h] {
+                self.try_send_fault(f, HostId(h), out);
+                self.try_start_join_fault(f, HostId(h), out);
+            }
+        }
+    }
+
     /// Reliable join start: computes the set of not-yet-visited roles
     /// this host serves, marks them in the exactly-once ledger at join
     /// *start* (joins are atomic units whose output is modeled as durably
@@ -679,7 +986,7 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
         loop {
             if f.crashed[host.0]
                 || f.paused[host.0]
-                || f.absorbing[host.0]
+                || f.absorbing[host.0] > 0
                 || !self.hosts[host.0].is_ready()
                 || self.hosts[host.0].is_processing()
                 || !self.hosts[host.0].has_incoming()
@@ -885,7 +1192,12 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             return;
         }
         f.confirmed_dead[dead.0] = true;
-        if f.confirmed_dead.iter().all(|d| *d) {
+        // A drain the dead host never completed is aborted, not counted:
+        // the crash-healing path owns the host now.
+        if f.membership.is_draining(dead) {
+            f.membership.abort_drain(dead);
+        }
+        if (0..self.cfg.hosts).all(|h| !f.routes(h)) {
             out.push(Output::Teardown {
                 reason: teardown::ALL_HOSTS_DEAD,
             });
@@ -902,7 +1214,7 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
         let orphaned: Vec<usize> = std::mem::take(&mut f.roles[dead.0]);
         if !orphaned.is_empty() {
             f.roles[successor.0].extend(orphaned.iter().copied());
-            f.absorbing[successor.0] = true;
+            f.absorbing[successor.0] += 1;
             out.push(Output::Absorb {
                 survivor: successor,
                 dead,
@@ -931,12 +1243,24 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                 None => continue,
             };
             if entry.to == dead {
-                f.requeued.insert(tid);
                 if f.awaiting[entry.from.0] == Some(tid) {
                     f.awaiting[entry.from.0] = None;
                 }
-                self.hosts[entry.from.0].requeue_outgoing_front(entry.env);
+                if f.accepted.contains(&tid) {
+                    // The corpse accepted this copy before dying (only the
+                    // ack back never settled): the copy is in the salvage
+                    // set — or already forwarded and alive downstream.
+                    // Re-sending from the sender too would fork the
+                    // fragment into two live copies.
+                } else {
+                    f.requeued.insert(tid);
+                    self.hosts[entry.from.0].requeue_outgoing_front(entry.env);
+                }
             } else if !entry.maybe_live {
+                // The copy is gone with the wire or the corpse; its
+                // fragment is revived from the origin below. Any late
+                // wire copy of this tid must die at delivery.
+                f.requeued.insert(tid);
                 lost.push(entry.env);
             }
         }
@@ -1007,6 +1331,7 @@ mod tests {
             max_retransmits: 4,
             continuous: false,
             reliable,
+            standby: 0,
         };
         let payloads: Vec<Vec<Vec<u8>>> = (0..hosts)
             .map(|h| {
@@ -1018,35 +1343,49 @@ mod tests {
         RingProtocol::new(cfg, envelope_batches(payloads, hosts))
     }
 
-    /// Drives a protocol to completion by fulfilling every obligation the
-    /// outputs create, depth-first, with a perfect (lossless) medium.
-    fn drive(proto: &mut RingProtocol<Vec<u8>>) {
-        let mut pending: Vec<Input<Vec<u8>>> = Vec::new();
-        for h in 0..proto.config().hosts {
-            pending.push(Input::SetupDone { host: HostId(h) });
+    /// Converts outputs into the obligations a perfect (lossless) driver
+    /// would owe back to the protocol.
+    fn fulfill(outputs: Vec<Output<Vec<u8>>>, pending: &mut Vec<Input<Vec<u8>>>) {
+        for output in outputs {
+            match output {
+                Output::StartJoin { host, .. } => pending.push(Input::JoinDone {
+                    host,
+                    app_finished: false,
+                }),
+                Output::Send {
+                    from, to, tid, env, ..
+                } => {
+                    pending.push(Input::SendDone { from });
+                    pending.push(Input::Delivered { to, env, tid });
+                }
+                Output::Ack { tid, .. } => pending.push(Input::Ack { tid }),
+                Output::Absorb { survivor, .. } => {
+                    pending.push(Input::AbsorbDone { host: survivor })
+                }
+                Output::Handoff { to, .. } => pending.push(Input::AbsorbDone { host: to }),
+                Output::Teardown { reason } => panic!("unexpected teardown: {reason}"),
+                _ => {}
+            }
         }
+    }
+
+    /// Drives a protocol until the pending obligations are exhausted,
+    /// depth-first, starting from `pending`.
+    fn drive_seq(proto: &mut RingProtocol<Vec<u8>>, mut pending: Vec<Input<Vec<u8>>>) {
         let mut steps = 0usize;
         while let Some(input) = pending.pop() {
             steps += 1;
             assert!(steps < 100_000, "protocol did not quiesce");
-            for output in proto.input(input) {
-                match output {
-                    Output::StartJoin { host, .. } => pending.push(Input::JoinDone {
-                        host,
-                        app_finished: false,
-                    }),
-                    Output::Send {
-                        from, to, tid, env, ..
-                    } => {
-                        pending.push(Input::SendDone { from });
-                        pending.push(Input::Delivered { to, env, tid });
-                    }
-                    Output::Ack { tid, .. } => pending.push(Input::Ack { tid }),
-                    Output::Teardown { reason } => panic!("unexpected teardown: {reason}"),
-                    _ => {}
-                }
-            }
+            fulfill(proto.input(input), &mut pending);
         }
+    }
+
+    /// Drives a protocol to completion from a fresh setup.
+    fn drive(proto: &mut RingProtocol<Vec<u8>>) {
+        let pending: Vec<Input<Vec<u8>>> = (0..proto.config().hosts)
+            .map(|h| Input::SetupDone { host: HostId(h) })
+            .collect();
+        drive_seq(proto, pending);
     }
 
     #[test]
@@ -1092,6 +1431,124 @@ mod tests {
             },
         });
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn planned_drain_hands_off_and_departs_mid_run() {
+        let mut proto = ring(3, 2, true);
+        // LIFO driver: the drain request is processed first, before any
+        // host finishes setup — the drainee hands its partition off and
+        // then relays its own local fragments until quiescent.
+        let mut init: Vec<Input<Vec<u8>>> = (0..3)
+            .map(|h| Input::SetupDone { host: HostId(h) })
+            .collect();
+        init.push(Input::DrainRequest { host: HostId(1) });
+        drive_seq(&mut proto, init);
+        assert_eq!(proto.fragments_completed(), 6);
+        assert_eq!(proto.membership_epoch(), 1);
+        assert_eq!(proto.rescale_drains(), 1);
+        assert_eq!(proto.rescale_handoffs(), 1, "host 1's one role moved");
+        assert_eq!(proto.rescale_escalations(), 0);
+        assert_eq!(proto.heal_events(), 0, "a drain is not a fault");
+        assert!(!proto.is_member(HostId(1)));
+        for h in 0..3 {
+            assert_eq!(proto.host(HostId(h)).pool_used(), 0);
+        }
+    }
+
+    #[test]
+    fn standby_join_enters_the_ring() {
+        let cfg = ProtocolConfig {
+            hosts: 4,
+            buffers_per_host: 2,
+            max_retransmits: 4,
+            continuous: false,
+            reliable: true,
+            standby: 0b1000,
+        };
+        let payloads: Vec<Vec<Vec<u8>>> = (0..4)
+            .map(|h| {
+                if h == 3 {
+                    Vec::new()
+                } else {
+                    (0..2).map(|i| vec![(h * 10 + i) as u8; 16]).collect()
+                }
+            })
+            .collect();
+        let mut proto = RingProtocol::new(cfg, envelope_batches(payloads, 4));
+        let mut init: Vec<Input<Vec<u8>>> = (0..4)
+            .map(|h| Input::SetupDone { host: HostId(h) })
+            .collect();
+        init.push(Input::JoinRequest { host: HostId(3) });
+        drive_seq(&mut proto, init);
+        assert_eq!(proto.fragments_completed(), 6);
+        assert_eq!(proto.membership_epoch(), 1);
+        assert_eq!(proto.rescale_joins(), 1);
+        assert!(proto.is_member(HostId(3)));
+        // Rendezvous hashing decides which of the three initial roles
+        // move to the newcomer; the counter must match that pure
+        // function exactly.
+        let grown: Vec<HostId> = (0..4).map(HostId).collect();
+        let expected = (0..3)
+            .filter(|&r| crate::protocol::rendezvous_owner(r, &grown) == Some(HostId(3)))
+            .count() as u64;
+        assert_eq!(proto.rescale_handoffs(), expected);
+    }
+
+    #[test]
+    fn draining_the_last_healthy_member_is_refused() {
+        let mut proto = ring(3, 1, true);
+        let mut init: Vec<Input<Vec<u8>>> = (0..3)
+            .map(|h| Input::SetupDone { host: HostId(h) })
+            .collect();
+        // LIFO: all three drains are requested back-to-back before any
+        // setup completes; the third must be refused outright.
+        init.push(Input::DrainRequest { host: HostId(0) });
+        init.push(Input::DrainRequest { host: HostId(1) });
+        init.push(Input::DrainRequest { host: HostId(2) });
+        drive_seq(&mut proto, init);
+        assert_eq!(proto.fragments_completed(), 3);
+        assert_eq!(proto.rescale_drains(), 2);
+        assert_eq!(proto.membership_epoch(), 2);
+        assert!(proto.is_member(HostId(0)), "last member must stay");
+        assert!(!proto.is_member(HostId(1)));
+        assert!(!proto.is_member(HostId(2)));
+    }
+
+    #[test]
+    fn stalled_drain_escalates_into_crash_healing() {
+        let mut proto = ring(3, 1, true);
+        let mut pending: Vec<Input<Vec<u8>>> = Vec::new();
+        // Pause the drainee so it can never relay its way to quiescence,
+        // then exhaust the drain deadline's attempt budget.
+        fulfill(proto.input(Input::Paused { host: HostId(1) }), &mut pending);
+        fulfill(
+            proto.input(Input::DrainRequest { host: HostId(1) }),
+            &mut pending,
+        );
+        assert_eq!(proto.rescale_handoffs(), 1, "roles moved at drain start");
+        for attempt in 1..=5 {
+            let out = proto.input(Input::Tick {
+                timer: Timer::DrainDeadline {
+                    host: HostId(1),
+                    attempt,
+                },
+            });
+            fulfill(out, &mut pending);
+        }
+        assert_eq!(proto.rescale_escalations(), 1);
+        assert_eq!(proto.heal_events(), 1, "the drain degraded into a heal");
+        assert_eq!(
+            proto.rescale_drains(),
+            0,
+            "an escalated drain never completed"
+        );
+        assert_eq!(proto.membership_epoch(), 0);
+        for h in 0..3 {
+            pending.push(Input::SetupDone { host: HostId(h) });
+        }
+        drive_seq(&mut proto, pending);
+        assert_eq!(proto.fragments_completed(), 3, "healing finishes the join");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use simnet::cpu::{CostCategory, CpuAccount};
 use simnet::engine::Simulation;
-use simnet::fault::FaultPlan;
+use simnet::fault::{FaultPlan, RescalePlan};
 use simnet::link::Link;
 use simnet::rnic::{Completion, MemoryRegion, QueuePair, Rnic, WorkRequest};
 use simnet::span::{counter, SpanKind, SpanTracer, Track};
@@ -142,9 +142,23 @@ enum RingEvent<P> {
         host: HostId,
     },
     /// The ring-healing successor finished rebuilding the absorbed
-    /// stationary partitions and may join again.
+    /// stationary partitions and may join again. Also marks the end of a
+    /// planned-handoff rebuild (the recipient side of [`Output::Handoff`]).
     AbsorbDone {
         host: HostId,
+    },
+    /// Scheduled membership change from the rescale plan.
+    JoinRequest {
+        host: HostId,
+    },
+    DrainRequest {
+        host: HostId,
+    },
+    /// The drain deadline of attempt `attempt` fired (stale if the drain
+    /// completed or was aborted since).
+    DrainTimeout {
+        host: HostId,
+        attempt: u32,
     },
 }
 
@@ -157,6 +171,7 @@ pub struct SimRing<P, A> {
     continuous: bool,
     host_speed: Option<Vec<f64>>,
     fault_plan: Option<FaultPlan>,
+    rescale_plan: Option<RescalePlan>,
 }
 
 impl<P: PayloadBytes + Clone, A: RingApp<P>> SimRing<P, A> {
@@ -185,6 +200,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> SimRing<P, A> {
             continuous: false,
             host_speed: None,
             fault_plan: None,
+            rescale_plan: None,
         }
     }
 
@@ -204,6 +220,24 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> SimRing<P, A> {
     /// ledger is a 64-bit role bitmask).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches a planned [`RescalePlan`]: standby hosts joining the ring
+    /// and members draining out mid-workload, with the stationary roles
+    /// repartitioned by rendezvous hashing at each transition. Hosts with
+    /// a scheduled join start as provisioned standbys *outside* the ring
+    /// and must contribute no fragments. Attaching a rescale plan switches
+    /// the transport into its reliable mode (handoff completions ride the
+    /// acked hop protocol) even without a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// `run` panics if the plan is combined with continuous rotation, if
+    /// the ring has more than 64 hosts, or if a scheduled join host
+    /// contributes fragments.
+    pub fn with_rescale_plan(mut self, plan: RescalePlan) -> Self {
+        self.rescale_plan = Some(plan);
         self
     }
 
@@ -301,8 +335,13 @@ struct Runner<P, A> {
     busy_until: Vec<SimTime>,
     /// The medium's dice (loss, corruption, spikes, crash schedule). The
     /// protocol core never sees these; it learns each attempt's fate via
-    /// [`RingProtocol::attempt_fate`].
+    /// [`RingProtocol::attempt_fate`]. A rescale plan without a fault plan
+    /// synthesizes a quiet plan here, because rescale rides the reliable
+    /// transport.
     fault_plan: Option<FaultPlan>,
+    /// The planned membership schedule (joins and drains pinned to
+    /// virtual instants).
+    rescale_plan: Option<RescalePlan>,
     detection_latency: SimDuration,
     /// Last instant of real progress (setup, join, retirement, absorb) —
     /// the fault-mode wall clock, so trailing ack chatter does not pad the
@@ -334,6 +373,38 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 "cannot heal a single-host ring around a crash"
             );
         }
+        let standby = match &ring.rescale_plan {
+            Some(plan) => {
+                assert!(
+                    !ring.continuous,
+                    "rescale requires run-to-retirement mode, not continuous rotation"
+                );
+                assert!(
+                    n <= 64,
+                    "the exactly-once role bitmask supports at most 64 hosts"
+                );
+                for j in plan.joins() {
+                    assert!(j.host.0 < n, "join host {} outside the ring", j.host.0);
+                    assert!(
+                        ring.fragments.get(j.host.0).is_none_or(Vec::is_empty),
+                        "standby host {} must not contribute fragments before joining",
+                        j.host.0
+                    );
+                }
+                for d in plan.drains() {
+                    assert!(d.host.0 < n, "drain host {} outside the ring", d.host.0);
+                }
+                plan.standby_mask()
+            }
+            None => 0,
+        };
+        // Rescale rides the reliable transport: without explicit adversity
+        // the medium still needs (quiet) dice and the acked hop protocol.
+        let fault_plan = ring.fault_plan.or_else(|| {
+            ring.rescale_plan
+                .as_ref()
+                .map(|p| FaultPlan::seeded(p.seed()))
+        });
         let network = RingNetwork::new(n, effective_link(&ring.config));
         let max_fragment_bytes = ring
             .fragments
@@ -362,7 +433,8 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 buffers_per_host: ring.config.buffers_per_host,
                 max_retransmits: ring.config.max_retransmits,
                 continuous: ring.continuous,
-                reliable: ring.fault_plan.is_some(),
+                reliable: fault_plan.is_some(),
+                standby,
             },
             envelope_batches(ring.fragments, n),
         );
@@ -389,7 +461,8 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 SpanTracer::disabled()
             },
             busy_until: vec![SimTime::ZERO; n],
-            fault_plan: ring.fault_plan,
+            fault_plan,
+            rescale_plan: ring.rescale_plan,
             detection_latency: SimDuration::ZERO,
             last_progress: SimTime::ZERO,
         }
@@ -420,6 +493,14 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             for p in plan.pauses() {
                 sim.schedule_at(p.at, RingEvent::Pause { host: p.host });
                 sim.schedule_at(p.at + p.duration, RingEvent::Resume { host: p.host });
+            }
+        }
+        if let Some(plan) = &self.rescale_plan {
+            for j in plan.joins() {
+                sim.schedule_at(j.at, RingEvent::JoinRequest { host: j.host });
+            }
+            for d in plan.drains() {
+                sim.schedule_at(d.at, RingEvent::DrainRequest { host: d.host });
             }
         }
         while let Some(ev) = sim.step() {
@@ -563,6 +644,32 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 let out = self.proto.input(Input::AbsorbDone { host });
                 self.apply(sim, out);
             }
+            RingEvent::JoinRequest { host } => {
+                if self.proto.is_crashed(host) {
+                    return;
+                }
+                self.tracer.record(sim.now(), host, "join requested");
+                self.spans
+                    .event(Some(host.0), Track::Control, "join requested", sim.now());
+                let out = self.proto.input(Input::JoinRequest { host });
+                self.apply(sim, out);
+            }
+            RingEvent::DrainRequest { host } => {
+                if self.proto.is_crashed(host) {
+                    return;
+                }
+                self.tracer.record(sim.now(), host, "drain requested");
+                self.spans
+                    .event(Some(host.0), Track::Control, "drain requested", sim.now());
+                let out = self.proto.input(Input::DrainRequest { host });
+                self.apply(sim, out);
+            }
+            RingEvent::DrainTimeout { host, attempt } => {
+                let out = self.proto.input(Input::Tick {
+                    timer: Timer::DrainDeadline { host, attempt },
+                });
+                self.apply(sim, out);
+            }
         }
     }
 
@@ -670,6 +777,9 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                         Timer::Probe { from, to, attempt } => {
                             RingEvent::ProbeTimeout { from, to, attempt }
                         }
+                        Timer::DrainDeadline { host, attempt } => {
+                            RingEvent::DrainTimeout { host, attempt }
+                        }
                     };
                     sim.schedule_in(delay, ev);
                 }
@@ -730,13 +840,11 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                     self.last_progress = self.last_progress.max(sim.now());
                 }
                 Output::Heal { dead } => {
-                    let latency = match &self.fault_plan {
-                        Some(plan) => {
-                            let crash_at = plan
-                                .crash_time(dead)
-                                .expect("confirmed host has a scheduled crash");
-                            sim.now().saturating_duration_since(crash_at)
-                        }
+                    // An escalated drain heals a host with no scheduled
+                    // crash: the drain deadline, not a detection timeout,
+                    // triggered this heal, so no latency is attributable.
+                    let latency = match self.fault_plan.as_ref().and_then(|p| p.crash_time(dead)) {
+                        Some(crash_at) => sim.now().saturating_duration_since(crash_at),
                         None => SimDuration::ZERO,
                     };
                     self.detection_latency = self.detection_latency.max(latency);
@@ -781,6 +889,61 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                         self.busy_until[survivor.0] = sim.now() + absorb_cost;
                     }
                     sim.schedule_in(absorb_cost, RingEvent::AbsorbDone { host: survivor });
+                }
+                Output::Activate { host, epoch } => {
+                    self.last_progress = self.last_progress.max(sim.now());
+                    self.tracer
+                        .record(sim.now(), host, format!("activated (epoch {epoch})"));
+                    if self.spans.is_enabled() {
+                        self.spans.event(
+                            Some(host.0),
+                            Track::Control,
+                            format!("activated (epoch {epoch})"),
+                            sim.now(),
+                        );
+                        self.spans.count(counter::RESCALE_JOINS, 1);
+                    }
+                }
+                Output::Handoff { from, to, roles } => {
+                    let cost = self.app.handoff(to, from, &roles);
+                    for &r in &roles {
+                        self.tracer.record(
+                            sim.now(),
+                            to,
+                            format!("handoff: took over role S{r} from host {}", from.0),
+                        );
+                    }
+                    let state = &mut self.hosts[to.0];
+                    state.join_cpu.charge(CostCategory::Compute, cost);
+                    state.join_busy += cost;
+                    if self.spans.is_enabled() {
+                        self.record_sync_gap(to, sim.now());
+                        self.spans.span(
+                            to.0,
+                            SpanKind::Absorb,
+                            format!("handoff {} role(s) from host {}", roles.len(), from.0),
+                            sim.now(),
+                            cost,
+                        );
+                        self.busy_until[to.0] = sim.now() + cost;
+                        self.spans
+                            .count(counter::RESCALE_HANDOFFS, roles.len() as u64);
+                    }
+                    sim.schedule_in(cost, RingEvent::AbsorbDone { host: to });
+                }
+                Output::Departed { host, epoch } => {
+                    self.last_progress = self.last_progress.max(sim.now());
+                    self.tracer
+                        .record(sim.now(), host, format!("departed (epoch {epoch})"));
+                    if self.spans.is_enabled() {
+                        self.spans.event(
+                            Some(host.0),
+                            Track::Control,
+                            format!("departed (epoch {epoch})"),
+                            sim.now(),
+                        );
+                        self.spans.count(counter::RESCALE_DRAINS, 1);
+                    }
                 }
                 Output::Resent { target, id } => {
                     self.tracer
@@ -963,6 +1126,9 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             counter::CHECKSUM_MISMATCHES,
             counter::HEAL_EVENTS,
             counter::FRAGMENTS_RESENT,
+            counter::RESCALE_JOINS,
+            counter::RESCALE_DRAINS,
+            counter::RESCALE_HANDOFFS,
         ] {
             self.spans.count(name, 0);
         }
@@ -993,6 +1159,11 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             heal_events: self.proto.heal_events(),
             detection_latency: self.detection_latency,
             fragments_resent: self.proto.fragments_resent(),
+            membership_epoch: self.proto.membership_epoch(),
+            rescale_joins: self.proto.rescale_joins(),
+            rescale_drains: self.proto.rescale_drains(),
+            rescale_handoffs: self.proto.rescale_handoffs(),
+            rescale_escalations: self.proto.rescale_escalations(),
         };
         SimOutcome {
             metrics,
@@ -1676,5 +1847,111 @@ mod tests {
         for (h, m) in out.metrics.hosts.iter().enumerate() {
             assert_eq!(out.spans.busy_total(h), m.join_busy, "host {h} join_busy");
         }
+    }
+
+    #[test]
+    fn planned_drain_departs_and_completes() {
+        let hosts = 3;
+        let plan = RescalePlan::seeded(11).drain_host(HostId(1), SimTime::from_nanos(5_000_000));
+        let cfg = small_config(hosts).with_ack_timeout(SimDuration::from_millis(5));
+        let out = SimRing::new(cfg, payloads(hosts, 2, 1 << 20), fixed_app(hosts))
+            .with_rescale_plan(plan)
+            .with_trace(true)
+            .run();
+        assert_eq!(
+            out.metrics.fragments_completed, 6,
+            "trace:\n{:?}",
+            out.trace
+        );
+        assert_eq!(out.metrics.membership_epoch, 1);
+        assert_eq!(out.metrics.rescale_drains, 1);
+        assert_eq!(out.metrics.rescale_joins, 0);
+        assert_eq!(out.metrics.rescale_handoffs, 1, "host 1's one role moved");
+        assert_eq!(out.metrics.rescale_escalations, 0);
+        assert_eq!(out.metrics.heal_events, 0, "a drain is not a fault");
+        let c = out.spans.counters();
+        assert_eq!(c.get(counter::RESCALE_DRAINS), 1);
+        assert_eq!(c.get(counter::RESCALE_HANDOFFS), 1);
+        assert!(out.spans.count_events("drain requested") == 1);
+        assert!(out.spans.count_events("departed") == 1);
+        assert!(out
+            .spans
+            .spans()
+            .iter()
+            .any(|s| s.kind == SpanKind::Absorb && s.name.starts_with("handoff")));
+        for (h, m) in out.metrics.hosts.iter().enumerate() {
+            assert_eq!(out.spans.busy_total(h), m.join_busy, "host {h} join_busy");
+        }
+    }
+
+    #[test]
+    fn standby_join_rescales_the_sim_ring() {
+        // A 3-host ring where host 2 starts as a standby: rendezvous
+        // hashing over the grown member set moves role 0 to the newcomer
+        // (a pure function of ids, independent of any seed), so the
+        // joined host must both relay and process.
+        let hosts = 3;
+        let plan = RescalePlan::seeded(21).join_host(HostId(2), SimTime::from_nanos(2_000_000));
+        let cfg = small_config(hosts).with_ack_timeout(SimDuration::from_millis(5));
+        let mut frags = payloads(hosts, 2, 1 << 20);
+        frags[2].clear(); // the standby provisions no fragments
+        let out = SimRing::new(cfg, frags, fixed_app(hosts))
+            .with_rescale_plan(plan)
+            .with_trace(true)
+            .run();
+        assert_eq!(
+            out.metrics.fragments_completed, 4,
+            "trace:\n{:?}",
+            out.trace
+        );
+        assert_eq!(out.metrics.membership_epoch, 1);
+        assert_eq!(out.metrics.rescale_joins, 1);
+        assert_eq!(out.metrics.rescale_drains, 0);
+        // Which of the two initial roles move to the newcomer is a pure
+        // function of rendezvous hashing over the grown member set.
+        let grown: Vec<HostId> = (0..hosts).map(HostId).collect();
+        let expected = (0..hosts - 1)
+            .filter(|&r| crate::protocol::rendezvous_owner(r, &grown) == Some(HostId(2)))
+            .count() as u64;
+        assert!(expected > 0, "this ring shape must move at least one role");
+        assert_eq!(out.metrics.rescale_handoffs, expected);
+        assert_eq!(out.spans.counters().get(counter::RESCALE_JOINS), 1);
+        assert!(out.spans.count_events("activated") == 1);
+        // The newcomer did real work after joining.
+        assert!(out.app.processed[2] > 0, "joined host must process buffers");
+    }
+
+    #[test]
+    fn drain_then_join_bumps_two_epochs() {
+        let hosts = 4;
+        let plan = RescalePlan::seeded(31)
+            .join_host(HostId(3), SimTime::from_nanos(2_000_000))
+            .drain_host(HostId(0), SimTime::from_nanos(6_000_000));
+        let cfg = small_config(hosts).with_ack_timeout(SimDuration::from_millis(5));
+        let mut frags = payloads(hosts, 2, 1 << 20);
+        frags[3].clear();
+        let out = SimRing::new(cfg, frags, fixed_app(hosts))
+            .with_rescale_plan(plan)
+            .run();
+        assert_eq!(out.metrics.fragments_completed, 6);
+        assert_eq!(out.metrics.membership_epoch, 2, "one join + one drain");
+        assert_eq!(out.metrics.rescale_joins, 1);
+        assert_eq!(out.metrics.rescale_drains, 1);
+        assert_eq!(out.metrics.rescale_escalations, 0);
+        assert!(out.metrics.fault_free(), "{:?}", out.metrics);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contribute fragments")]
+    fn standby_with_fragments_is_rejected() {
+        let hosts = 3;
+        let plan = RescalePlan::seeded(1).join_host(HostId(2), SimTime::from_nanos(1_000));
+        SimRing::new(
+            small_config(hosts),
+            payloads(hosts, 1, 1 << 10),
+            fixed_app(hosts),
+        )
+        .with_rescale_plan(plan)
+        .run();
     }
 }

@@ -53,7 +53,7 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use simnet::fault::FaultPlan;
+use simnet::fault::{FaultPlan, RescalePlan};
 use simnet::span::{counter, SpanKind, SpanTracer, Track};
 use simnet::time::{SimDuration, SimTime};
 use simnet::topology::HostId;
@@ -562,6 +562,10 @@ enum Event<P> {
         roles: usize,
         spent: Duration,
         panicked: bool,
+        /// True when the rebuild was a planned rescale handoff rather
+        /// than a crash-healing absorb (labels only — the protocol input
+        /// is the same).
+        planned: bool,
     },
     SendDone {
         from: HostId,
@@ -574,14 +578,16 @@ enum Event<P> {
     },
 }
 
-/// Timers are protocol backoffs plus the fault plan's scheduled events,
-/// all realized on the same wall-clock timer thread.
+/// Timers are protocol backoffs plus the fault and rescale plans'
+/// scheduled events, all realized on the same wall-clock timer thread.
 #[derive(Debug, Clone, Copy)]
 enum TimerKind {
     Protocol(Timer),
     Crash(HostId),
     Pause(HostId),
     Resume(HostId),
+    JoinRequest(HostId),
+    DrainRequest(HostId),
 }
 
 struct TimerCmd {
@@ -611,6 +617,8 @@ enum JoinJob<P> {
     Absorb {
         dead: HostId,
         roles: Vec<usize>,
+        /// True for a planned rescale handoff (the donor is alive).
+        planned: bool,
     },
 }
 
@@ -716,7 +724,11 @@ fn worker_loop<P, F, A>(
                     return;
                 }
             }
-            JoinJob::Absorb { dead, roles } => {
+            JoinJob::Absorb {
+                dead,
+                roles,
+                planned,
+            } => {
                 let started = Instant::now();
                 let count = roles.len();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -730,6 +742,7 @@ fn worker_loop<P, F, A>(
                     roles: count,
                     spent: started.elapsed(),
                     panicked: outcome.is_err(),
+                    planned,
                 };
                 if events.send(done).is_err() {
                     return;
@@ -875,6 +888,7 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
                 roles,
                 spent,
                 panicked,
+                planned,
             } => {
                 if self.proto.is_crashed(host) {
                     return;
@@ -889,13 +903,13 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
                 self.last_progress = self.last_progress.max(now);
                 if self.tracer.is_enabled() {
                     let start = self.stamp_before(spent);
-                    self.tracer.span(
-                        host.0,
-                        SpanKind::Absorb,
-                        format!("absorb {roles} role(s) of host {}", dead.0),
-                        start,
-                        spent.into(),
-                    );
+                    let name = if planned {
+                        format!("handoff {roles} role(s) from host {}", dead.0)
+                    } else {
+                        format!("absorb {roles} role(s) of host {}", dead.0)
+                    };
+                    self.tracer
+                        .span(host.0, SpanKind::Absorb, name, start, spent.into());
                 }
                 let out = self.proto.input(Input::AbsorbDone { host });
                 self.apply(out, None);
@@ -934,6 +948,36 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
                         );
                     }
                     let out = self.proto.input(Input::Resumed { host });
+                    self.apply(out, None);
+                }
+                TimerKind::JoinRequest(host) => {
+                    if self.proto.is_crashed(host) {
+                        return;
+                    }
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Control,
+                            "join requested",
+                            self.now_stamp(),
+                        );
+                    }
+                    let out = self.proto.input(Input::JoinRequest { host });
+                    self.apply(out, None);
+                }
+                TimerKind::DrainRequest(host) => {
+                    if self.proto.is_crashed(host) {
+                        return;
+                    }
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Control,
+                            "drain requested",
+                            self.now_stamp(),
+                        );
+                    }
+                    let out = self.proto.input(Input::DrainRequest { host });
                     self.apply(out, None);
                 }
             },
@@ -1098,10 +1142,61 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
                     roles,
                 } => {
                     if self.jobs[survivor.0]
-                        .send(JoinJob::Absorb { dead, roles })
+                        .send(JoinJob::Absorb {
+                            dead,
+                            roles,
+                            planned: false,
+                        })
                         .is_err()
                     {
                         self.fail(RingError::Teardown(teardown::RING_CLOSED));
+                    }
+                }
+                Output::Activate { host, epoch } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Control,
+                            format!("activated (epoch {epoch})"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::RESCALE_JOINS, 1);
+                    }
+                }
+                Output::Handoff { from, to, roles } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer
+                            .count(counter::RESCALE_HANDOFFS, roles.len() as u64);
+                    }
+                    if self.jobs[to.0]
+                        .send(JoinJob::Absorb {
+                            dead: from,
+                            roles,
+                            planned: true,
+                        })
+                        .is_err()
+                    {
+                        self.fail(RingError::Teardown(teardown::RING_CLOSED));
+                    }
+                }
+                Output::Departed { host, epoch } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    // The drainee left the ring for good: retire its
+                    // outgoing connections with a real FIN (queued behind
+                    // any bytes it still owed). Nobody routes to it any
+                    // more, so its read sides merely await teardown.
+                    for tx in self.writers[host.0].iter().flatten() {
+                        let _ = tx.send(WriteJob::Sever);
+                    }
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Control,
+                            format!("departed (epoch {epoch})"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::RESCALE_DRAINS, 1);
                     }
                 }
                 Output::Resent { target, id } => {
@@ -1228,6 +1323,11 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
             heal_events: self.proto.heal_events(),
             detection_latency: self.detection_latency,
             fragments_resent: self.proto.fragments_resent(),
+            membership_epoch: self.proto.membership_epoch(),
+            rescale_joins: self.proto.rescale_joins(),
+            rescale_drains: self.proto.rescale_drains(),
+            rescale_handoffs: self.proto.rescale_handoffs(),
+            rescale_escalations: self.proto.rescale_escalations(),
         };
         let mut tracer = self.tracer;
         if tracer.is_enabled() {
@@ -1239,6 +1339,9 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
                 counter::CHECKSUM_MISMATCHES,
                 counter::HEAL_EVENTS,
                 counter::FRAGMENTS_RESENT,
+                counter::RESCALE_JOINS,
+                counter::RESCALE_DRAINS,
+                counter::RESCALE_HANDOFFS,
             ] {
                 tracer.count(name, 0);
             }
@@ -1269,6 +1372,7 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
 pub struct TcpRingDriver<'a> {
     config: &'a RingConfig,
     fault_plan: Option<&'a FaultPlan>,
+    rescale_plan: Option<&'a RescalePlan>,
     trace: bool,
 }
 
@@ -1278,6 +1382,7 @@ impl<'a> TcpRingDriver<'a> {
         TcpRingDriver {
             config,
             fault_plan: None,
+            rescale_plan: None,
             trace: false,
         }
     }
@@ -1290,6 +1395,19 @@ impl<'a> TcpRingDriver<'a> {
     /// coordinator latency, or losses masquerade as timeouts).
     pub fn with_fault_plan(mut self, plan: &'a FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches a planned [`RescalePlan`]: standby hosts joining and
+    /// members draining out mid-workload over the live socket mesh. Hosts
+    /// with a scheduled join start as provisioned standbys outside the
+    /// ring (their mesh connections are built up front and spliced into
+    /// the rotation at activation); a completed drain retires the
+    /// drainee's connections with a real FIN. Attaching a rescale plan
+    /// switches the transport into its reliable mode even without a fault
+    /// plan. Schedule instants are interpreted in wall-clock time.
+    pub fn with_rescale_plan(mut self, plan: &'a RescalePlan) -> Self {
+        self.rescale_plan = Some(plan);
         self
     }
 
@@ -1377,6 +1495,35 @@ impl<'a> TcpRingDriver<'a> {
                 ));
             }
         }
+        if let Some(plan) = self.rescale_plan {
+            if n > 64 {
+                return Err(RingError::UnsupportedFault(
+                    "the exactly-once role bitmask supports at most 64 hosts",
+                ));
+            }
+            if n == 1 && !plan.is_quiet() {
+                return Err(RingError::UnsupportedFault(
+                    "a single-host ring has no membership to rescale",
+                ));
+            }
+            let in_ring = |h: HostId| h.0 < n;
+            if !plan.joins().iter().all(|j| in_ring(j.host))
+                || !plan.drains().iter().all(|d| in_ring(d.host))
+            {
+                return Err(RingError::UnsupportedFault(
+                    "rescale plan names a host outside the ring",
+                ));
+            }
+            if plan
+                .joins()
+                .iter()
+                .any(|j| !fragments.get(j.host.0).is_none_or(Vec::is_empty))
+            {
+                return Err(RingError::UnsupportedFault(
+                    "a standby host must not contribute fragments before joining",
+                ));
+            }
+        }
         let envelopes = envelope_batches(fragments, n);
         if n == 1 {
             // A single-host "ring" has no sockets to run; share the
@@ -1391,6 +1538,7 @@ impl<'a> TcpRingDriver<'a> {
         run_mesh(
             self.config,
             self.fault_plan,
+            self.rescale_plan,
             self.trace,
             envelopes,
             &visit,
@@ -1412,6 +1560,7 @@ struct Lane {
 fn run_mesh<P, F, A>(
     config: &RingConfig,
     plan: Option<&FaultPlan>,
+    rescale: Option<&RescalePlan>,
     trace: bool,
     envelopes: Vec<Vec<Envelope<P>>>,
     visit: &F,
@@ -1423,6 +1572,16 @@ where
     A: Fn(HostId, usize) + Sync,
 {
     let n = config.hosts;
+    // Rescale rides the reliable transport: without explicit adversity the
+    // medium still needs (quiet) dice and the acked hop protocol.
+    let quiet_dice;
+    let plan = match (plan, rescale) {
+        (None, Some(r)) => {
+            quiet_dice = FaultPlan::seeded(r.seed());
+            Some(&quiet_dice)
+        }
+        (p, _) => p,
+    };
     let seed = plan.map(|p| p.seed()).unwrap_or(0x0dd0_ba11);
     let mesh = build_mesh(n, seed)?;
     let mut lanes = Vec::new();
@@ -1448,6 +1607,7 @@ where
         max_retransmits: config.max_retransmits,
         continuous: false,
         reliable: plan.is_some(),
+        standby: rescale.map_or(0, |p| p.standby_mask()),
     };
     let proto = RingProtocol::new(proto_cfg, envelopes);
     let total = proto.fragments_total();
@@ -1520,6 +1680,16 @@ where
                 let at = epoch + Duration::from(p.at.saturating_duration_since(SimTime::ZERO));
                 co.arm(at, TimerKind::Pause(p.host));
                 co.arm(at + Duration::from(p.duration), TimerKind::Resume(p.host));
+            }
+        }
+        if let Some(plan) = rescale {
+            for j in plan.joins() {
+                let at = epoch + Duration::from(j.at.saturating_duration_since(SimTime::ZERO));
+                co.arm(at, TimerKind::JoinRequest(j.host));
+            }
+            for d in plan.drains() {
+                let at = epoch + Duration::from(d.at.saturating_duration_since(SimTime::ZERO));
+                co.arm(at, TimerKind::DrainRequest(d.host));
             }
         }
         for h in 0..n {
@@ -1854,6 +2024,74 @@ mod tests {
     }
 
     #[test]
+    fn planned_join_and_drain_over_real_sockets() {
+        // Host 2 starts as a standby and joins at 1 ms (rendezvous moves
+        // role 0 to it — a pure function of ids); host 0, now role-less,
+        // drains at 8 ms while per-buffer sleeps keep the ring busy well
+        // past that instant. The departed host's sockets see a real FIN.
+        let hosts = 3;
+        let per_host = 3;
+        let rescale = RescalePlan::seeded(77)
+            .join_host(HostId(2), SimTime::from_nanos(1_000_000))
+            .drain_host(HostId(0), SimTime::from_nanos(8_000_000));
+        let config = RingConfig::paper(hosts)
+            .with_ack_timeout(SimDuration::from_millis(20))
+            .with_max_retransmits(6);
+        let mut envelopes = payloads(hosts, per_host, 64);
+        envelopes[2].clear(); // the standby provisions no fragments
+        let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
+        let (metrics, tracer) = TcpRingDriver::new(&config)
+            .with_rescale_plan(&rescale)
+            .with_tracer(true)
+            .run(envelopes, |h, _: &Vec<u8>| {
+                counts[h.0].fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+            })
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, 2 * per_host);
+        assert_eq!(metrics.membership_epoch, 2, "one join + one drain");
+        assert_eq!(metrics.rescale_joins, 1);
+        assert_eq!(metrics.rescale_drains, 1);
+        assert_eq!(metrics.rescale_handoffs, 1, "role 0 moved to the newcomer");
+        assert_eq!(metrics.heal_events, 0, "a planned rescale is not a fault");
+        assert!(
+            counts[2].load(Ordering::SeqCst) > 0,
+            "newcomer must process"
+        );
+        assert_eq!(tracer.count_events("activated"), 1);
+        assert_eq!(tracer.count_events("departed"), 1);
+        let c = tracer.counters();
+        assert_eq!(c.get(counter::RESCALE_JOINS), 1);
+        assert_eq!(c.get(counter::RESCALE_DRAINS), 1);
+        assert_eq!(c.get(counter::RESCALE_HANDOFFS), 1);
+    }
+
+    #[test]
+    fn rescale_plans_are_validated_up_front() {
+        let out_of_range = RescalePlan::seeded(1).drain_host(HostId(9), SimTime::from_nanos(1_000));
+        let err = TcpRingDriver::new(&RingConfig::paper(2))
+            .with_rescale_plan(&out_of_range)
+            .run(payloads(2, 1, 8), |_, _| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
+
+        let standby_with_fragments =
+            RescalePlan::seeded(1).join_host(HostId(1), SimTime::from_nanos(1_000));
+        let err = TcpRingDriver::new(&RingConfig::paper(2))
+            .with_rescale_plan(&standby_with_fragments)
+            .run(payloads(2, 1, 8), |_, _| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
+
+        let single = RescalePlan::seeded(1).drain_host(HostId(0), SimTime::from_nanos(1_000));
+        let err = TcpRingDriver::new(&RingConfig::paper(1))
+            .with_rescale_plan(&single)
+            .run(payloads(1, 1, 8), |_, _| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
+    }
+
+    #[test]
     fn traced_runs_materialize_every_counter() {
         let (metrics, tracer) = TcpRingDriver::new(&RingConfig::paper(2))
             .with_tracer(true)
@@ -1870,6 +2108,9 @@ mod tests {
             counter::CHECKSUM_MISMATCHES,
             counter::HEAL_EVENTS,
             counter::FRAGMENTS_RESENT,
+            counter::RESCALE_JOINS,
+            counter::RESCALE_DRAINS,
+            counter::RESCALE_HANDOFFS,
         ] {
             assert!(
                 counters.iter().any(|(n, _)| n == name),

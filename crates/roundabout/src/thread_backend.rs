@@ -46,23 +46,25 @@
 //! events and the unified counter registry, on the same wall-clock epoch
 //! the metrics use, so span totals reconcile with [`RingMetrics`] exactly.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::mpmc::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use crate::sync::Mutex;
-use simnet::fault::FaultPlan;
+use simnet::fault::{FaultPlan, RescalePlan};
 use simnet::span::{counter, SpanKind, SpanTracer, Track};
 use simnet::time::{SimDuration, SimTime};
 use simnet::topology::HostId;
 
 use crate::config::RingConfig;
-use crate::envelope::{Envelope, PayloadBytes};
+use crate::envelope::{Envelope, FragmentId, PayloadBytes};
 use crate::error::RingError;
 use crate::metrics::{HostMetrics, RingMetrics};
 use crate::protocol::{
-    backoff_exponent, envelope_batches, teardown, LinkReceiver, LinkSender, Receipt, TimeoutVerdict,
+    backoff_exponent, envelope_batches, teardown, Input, LinkReceiver, LinkSender, Output,
+    ProtocolConfig, Receipt, RingProtocol, TimeoutVerdict, Timer,
 };
 
 /// Collects worker errors, preferring root causes (a panicking callback, an
@@ -190,6 +192,7 @@ impl SharedSpans {
 pub struct RingDriver<'a> {
     config: &'a RingConfig,
     fault_plan: Option<&'a FaultPlan>,
+    rescale_plan: Option<&'a RescalePlan>,
     trace: bool,
 }
 
@@ -199,6 +202,7 @@ impl<'a> RingDriver<'a> {
         RingDriver {
             config,
             fault_plan: None,
+            rescale_plan: None,
             trace: false,
         }
     }
@@ -223,6 +227,24 @@ impl<'a> RingDriver<'a> {
     /// never masquerades as loss.
     pub fn with_fault_plan(mut self, plan: &'a FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches a planned [`RescalePlan`]: standby hosts joining the
+    /// ring and active hosts draining out of it mid-run, with their
+    /// stationary partitions repartitioned by rendezvous hashing.
+    ///
+    /// A rescale run switches this backend into its *coordinated* mode —
+    /// one thread owning the sans-IO [`RingProtocol`] drives per-host
+    /// join workers over channels, mirroring the TCP driver minus the
+    /// sockets — because membership transitions need the protocol core's
+    /// ledger rather than the emergent channel topology of the classic
+    /// paths. Join/drain instants are interpreted in wall-clock time from
+    /// ring start. Hosts named in a join start as provisioned standbys
+    /// outside the ring and must contribute no fragments; the run uses
+    /// the acked reliable transport even without a fault plan.
+    pub fn with_rescale_plan(mut self, plan: &'a RescalePlan) -> Self {
+        self.rescale_plan = Some(plan);
         self
     }
 
@@ -264,78 +286,14 @@ impl<'a> RingDriver<'a> {
         P: PayloadBytes + Send + Clone,
         F: Fn(HostId, &P) + Sync,
     {
-        match self.fault_plan {
-            Some(plan) => reliable_run(self.config, plan, fragments, process, self.trace),
-            None => classic_run(self.config, fragments, process, self.trace),
+        match (self.rescale_plan, self.fault_plan) {
+            (Some(rescale), plan) => {
+                coordinated_run(self.config, plan, rescale, fragments, process, self.trace)
+            }
+            (None, Some(plan)) => reliable_run(self.config, plan, fragments, process, self.trace),
+            (None, None) => classic_run(self.config, fragments, process, self.trace),
         }
     }
-}
-
-/// Runs the ring on real threads with the classic transport.
-#[deprecated(note = "use `RingDriver::new(config).run(fragments, process)` instead")]
-pub fn run_threaded<P, F>(
-    config: &RingConfig,
-    fragments: Vec<Vec<P>>,
-    process: F,
-) -> Result<RingMetrics, RingError>
-where
-    P: PayloadBytes + Send,
-    F: Fn(HostId, &P) + Sync,
-{
-    classic_run(config, fragments, process, false).map(|(metrics, _)| metrics)
-}
-
-/// Runs the classic ring with a structured span trace.
-#[deprecated(
-    note = "use `RingDriver::new(config).with_tracer(trace).run(fragments, process)` instead"
-)]
-pub fn run_threaded_traced<P, F>(
-    config: &RingConfig,
-    fragments: Vec<Vec<P>>,
-    process: F,
-    trace: bool,
-) -> Result<(RingMetrics, SpanTracer), RingError>
-where
-    P: PayloadBytes + Send,
-    F: Fn(HostId, &P) + Sync,
-{
-    classic_run(config, fragments, process, trace)
-}
-
-/// Runs the ring over an unreliable medium with the acknowledged
-/// transport.
-#[deprecated(
-    note = "use `RingDriver::new(config).with_fault_plan(plan).run(fragments, process)` instead"
-)]
-pub fn run_threaded_reliable<P, F>(
-    config: &RingConfig,
-    plan: &FaultPlan,
-    fragments: Vec<Vec<P>>,
-    process: F,
-) -> Result<RingMetrics, RingError>
-where
-    P: PayloadBytes + Send + Clone,
-    F: Fn(HostId, &P) + Sync,
-{
-    reliable_run(config, plan, fragments, process, false).map(|(metrics, _)| metrics)
-}
-
-/// Runs the reliable ring with a structured span trace.
-#[deprecated(
-    note = "use `RingDriver::new(config).with_fault_plan(plan).with_tracer(trace).run(fragments, process)` instead"
-)]
-pub fn run_threaded_reliable_traced<P, F>(
-    config: &RingConfig,
-    plan: &FaultPlan,
-    fragments: Vec<Vec<P>>,
-    process: F,
-    trace: bool,
-) -> Result<(RingMetrics, SpanTracer), RingError>
-where
-    P: PayloadBytes + Send + Clone,
-    F: Fn(HostId, &P) + Sync,
-{
-    reliable_run(config, plan, fragments, process, trace)
 }
 
 /// The classic (unguarded-transport) engine behind [`RingDriver::run`].
@@ -497,7 +455,9 @@ where
     }
     if !plan.crashes().is_empty() || !plan.pauses().is_empty() {
         return Err(RingError::UnsupportedFault(
-            "host crashes and pauses need the simulated backend's ring healing",
+            "the threaded backend supports link loss, corruption and delay spikes (plus planned \
+             rescale); host crashes and pauses need ring healing — use the simulated backend \
+             (all fault kinds) or the tcp backend (loss, corruption, crashes, pauses)",
         ));
     }
     let n = config.hosts;
@@ -645,6 +605,707 @@ where
     Ok((metrics, tracer))
 }
 
+// ---------------------------------------------------------------------------
+// Coordinated rescale mode: one thread owning the sans-IO protocol
+// ---------------------------------------------------------------------------
+
+/// Watchdog for the coordinated event loop: no event for this long means
+/// the run wedged (every legal state has a pending timer or job).
+const RESCALE_WATCHDOG: Duration = Duration::from_secs(10);
+
+/// Teardown reason when the coordinated watchdog fires.
+const RESCALE_STALLED: &str =
+    "coordinated ring stalled: no event arrived within the watchdog window";
+
+/// Teardown reason when the protocol starts a join with nothing queued.
+const RESCALE_EMPTY_SLOT: &str = "StartJoin with an empty processing slot";
+
+/// One driver-side event of the coordinated mode.
+enum CoEvent<P> {
+    /// A worker thread finished the join computation at `host`.
+    JoinDone {
+        host: HostId,
+        id: FragmentId,
+        hop: usize,
+        spent: Duration,
+        panicked: bool,
+    },
+    /// A wall-clock timer fired.
+    Timer(CoTimer<P>),
+}
+
+/// Timers of the coordinated mode: protocol backoffs, the rescale plan's
+/// scheduled membership changes, and fault-plan delay spikes realized as
+/// deferred deliveries — the channel "wire" itself is instantaneous, so a
+/// spike is modeled by parking the envelope on the timer thread.
+enum CoTimer<P> {
+    Protocol(Timer),
+    JoinRequest(HostId),
+    DrainRequest(HostId),
+    Deliver {
+        to: HostId,
+        env: Envelope<P>,
+        tid: u64,
+        from: HostId,
+    },
+}
+
+/// A join computation handed to a host's worker thread.
+struct CoJob<P> {
+    payload: P,
+    id: FragmentId,
+    hop: usize,
+}
+
+/// The join worker of one host in coordinated mode: runs the guarded user
+/// callback and reports completions back to the coordinator.
+fn coordinated_worker<P, F>(
+    host: HostId,
+    jobs: Receiver<CoJob<P>>,
+    events: Sender<CoEvent<P>>,
+    process: &F,
+) where
+    P: PayloadBytes + Send,
+    F: Fn(HostId, &P) + Sync,
+{
+    for job in jobs.iter() {
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| process(host, &job.payload)));
+        let done = CoEvent::JoinDone {
+            host,
+            id: job.id,
+            hop: job.hop,
+            spent: started.elapsed(),
+            panicked: outcome.is_err(),
+        };
+        if events.send(done).is_err() {
+            return;
+        }
+    }
+}
+
+/// The wall-clock timer thread of the coordinated mode.
+fn coordinated_timer_loop<P: Send>(
+    cmds: Receiver<(Instant, CoTimer<P>)>,
+    events: Sender<CoEvent<P>>,
+) {
+    let mut armed: Vec<(Instant, CoTimer<P>)> = Vec::new();
+    loop {
+        let now = Instant::now();
+        let (due, rest): (Vec<_>, Vec<_>) = armed.into_iter().partition(|(d, _)| *d <= now);
+        armed = rest;
+        for (_, kind) in due {
+            if events.send(CoEvent::Timer(kind)).is_err() {
+                return;
+            }
+        }
+        let wait = armed
+            .iter()
+            .map(|(d, _)| d.saturating_duration_since(Instant::now()))
+            .min()
+            .unwrap_or(Duration::from_secs(3600));
+        match cmds.recv_timeout(wait) {
+            Ok(cmd) => armed.push(cmd),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// The coordinator of a rescale run: owns the [`RingProtocol`] and maps
+/// its outputs onto worker jobs, pending inputs and wall-clock timers —
+/// the TCP driver's coordinator minus the sockets.
+struct CoRing<'a, P: PayloadBytes> {
+    proto: RingProtocol<P>,
+    plan: &'a FaultPlan,
+    jobs: Vec<Sender<CoJob<P>>>,
+    timer_tx: Sender<(Instant, CoTimer<P>)>,
+    /// Inputs produced synchronously while applying outputs (instant wire
+    /// deliveries, acks, zero-cost absorbs), processed before the channel.
+    pending: VecDeque<Input<P>>,
+    errors: ErrorCollector,
+    fatal: bool,
+    tracer: SpanTracer,
+    epoch: Instant,
+    wall_ack_timeout: Duration,
+    join_threads: usize,
+    busy: Vec<Duration>,
+    last_done: Vec<Instant>,
+    bytes_forwarded: Vec<u64>,
+    last_progress: Instant,
+}
+
+impl<P: PayloadBytes + Clone> CoRing<'_, P> {
+    fn now_stamp(&self) -> SimTime {
+        SimTime::from_nanos(SimDuration::from(self.epoch.elapsed()).as_nanos())
+    }
+
+    fn stamp_before(&self, spent: Duration) -> SimTime {
+        SimTime::from_nanos(
+            SimDuration::from(self.epoch.elapsed().saturating_sub(spent)).as_nanos(),
+        )
+    }
+
+    fn fail(&mut self, error: RingError) {
+        self.errors.record(error);
+        self.fatal = true;
+    }
+
+    fn arm(&mut self, deadline: Instant, kind: CoTimer<P>) {
+        let _ = self.timer_tx.send((deadline, kind));
+    }
+
+    /// Translates one driver event into a protocol [`Input`], mirroring
+    /// the TCP coordinator's crash-guard policy (a host can only be
+    /// "crashed" here through an escalated drain).
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
+    fn handle(&mut self, event: CoEvent<P>) {
+        match event {
+            CoEvent::JoinDone {
+                host,
+                id,
+                hop,
+                spent,
+                panicked,
+            } => {
+                if self.proto.is_crashed(host) {
+                    return;
+                }
+                if panicked {
+                    self.fail(RingError::Teardown(teardown::CALLBACK_PANICKED));
+                    return;
+                }
+                self.busy[host.0] += spent;
+                let now = Instant::now();
+                self.last_done[host.0] = now;
+                self.last_progress = self.last_progress.max(now);
+                if self.tracer.is_enabled() {
+                    let start = self.stamp_before(spent);
+                    self.tracer.span_with_hop(
+                        host.0,
+                        SpanKind::Join,
+                        format!("join {id}"),
+                        start,
+                        spent.into(),
+                        Some(hop),
+                    );
+                }
+                let out = self.proto.input(Input::JoinDone {
+                    host,
+                    app_finished: false,
+                });
+                self.apply(out);
+            }
+            CoEvent::Timer(kind) => match kind {
+                CoTimer::Protocol(timer) => {
+                    let out = self.proto.input(Input::Tick { timer });
+                    self.apply(out);
+                }
+                CoTimer::JoinRequest(host) => {
+                    if self.proto.is_crashed(host) {
+                        return;
+                    }
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Control,
+                            "join requested",
+                            self.now_stamp(),
+                        );
+                    }
+                    let out = self.proto.input(Input::JoinRequest { host });
+                    self.apply(out);
+                }
+                CoTimer::DrainRequest(host) => {
+                    if self.proto.is_crashed(host) {
+                        return;
+                    }
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Control,
+                            "drain requested",
+                            self.now_stamp(),
+                        );
+                    }
+                    let out = self.proto.input(Input::DrainRequest { host });
+                    self.apply(out);
+                }
+                CoTimer::Deliver { to, env, tid, from } => {
+                    // A delayed frame finally "arrives"; only then is the
+                    // sender's wire reported free — the spike delays the
+                    // hop's credit exactly like the TCP writer queue does.
+                    let out = self.proto.input(Input::Delivered { to, env, tid });
+                    self.apply(out);
+                    let out = self.proto.input(Input::SendDone { from });
+                    self.apply(out);
+                }
+            },
+        }
+    }
+
+    /// Applies protocol outputs strictly in emission order.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
+    fn apply(&mut self, outputs: Vec<Output<P>>) {
+        for output in outputs {
+            if self.fatal {
+                return;
+            }
+            match output {
+                Output::StartJoin {
+                    host,
+                    id,
+                    hop,
+                    roles: _,
+                    bytes: _,
+                } => {
+                    let Some(payload) = self.proto.processing_payload(host).cloned() else {
+                        self.fail(RingError::Teardown(RESCALE_EMPTY_SLOT));
+                        return;
+                    };
+                    let job = CoJob { payload, id, hop };
+                    if self.jobs[host.0].send(job).is_err() {
+                        self.fail(RingError::Teardown(teardown::RING_CLOSED));
+                    }
+                }
+                Output::PassThrough { host, id } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Join,
+                            format!("pass-through {id}"),
+                            self.now_stamp(),
+                        );
+                    }
+                }
+                Output::Processed { .. } => {}
+                Output::Send {
+                    from,
+                    to,
+                    tid,
+                    attempt,
+                    env,
+                } => self.apply_send(from, to, tid, attempt, env),
+                Output::Ack { to: _, tid } => {
+                    // The channel wire has no reverse latency: the ack
+                    // reaches its sender in the same coordinator round.
+                    self.pending.push_back(Input::Ack { tid });
+                }
+                Output::ArmTimer { timer, backoff_exp } => {
+                    let delay = self
+                        .wall_ack_timeout
+                        .saturating_mul(1u32 << backoff_exp.min(31));
+                    self.arm(Instant::now() + delay, CoTimer::Protocol(timer));
+                }
+                Output::Delivered { host, id, bytes: _ } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Receiver,
+                            format!("recv {id}"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::ENVELOPES_RECEIVED, 1);
+                    }
+                }
+                Output::DuplicateDropped { host, id } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Receiver,
+                            format!("duplicate {id} dropped"),
+                            self.now_stamp(),
+                        );
+                    }
+                }
+                Output::ChecksumMismatch { host, id } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Receiver,
+                            format!("checksum mismatch {id}"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::CHECKSUM_MISMATCHES, 1);
+                    }
+                }
+                Output::Retire { host, id, salvaged } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        let name = if salvaged {
+                            format!("retired {id} (salvaged)")
+                        } else {
+                            format!("retired {id}")
+                        };
+                        self.tracer
+                            .event(Some(host.0), Track::Join, name, self.now_stamp());
+                        self.tracer.count(counter::FRAGMENTS_RETIRED, 1);
+                    }
+                }
+                Output::Heal { dead } => {
+                    // Only reachable through an escalated drain: no crash
+                    // was ever scheduled, so detection latency stays zero.
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            None,
+                            Track::Control,
+                            format!("heal: host {} confirmed dead", dead.0),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::HEAL_EVENTS, 1);
+                    }
+                }
+                Output::Absorb {
+                    survivor,
+                    dead,
+                    roles,
+                } => {
+                    // This backend has no application absorb hook: the
+                    // takeover is free and completes in the same round.
+                    if self.tracer.is_enabled() {
+                        self.tracer.span(
+                            survivor.0,
+                            SpanKind::Absorb,
+                            format!("absorb {} role(s) of host {}", roles.len(), dead.0),
+                            self.now_stamp(),
+                            SimDuration::ZERO,
+                        );
+                    }
+                    self.pending.push_back(Input::AbsorbDone { host: survivor });
+                }
+                Output::Activate { host, epoch } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Control,
+                            format!("activated (epoch {epoch})"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::RESCALE_JOINS, 1);
+                    }
+                }
+                Output::Handoff { from, to, roles } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer
+                            .count(counter::RESCALE_HANDOFFS, roles.len() as u64);
+                        self.tracer.span(
+                            to.0,
+                            SpanKind::Absorb,
+                            format!("handoff {} role(s) from host {}", roles.len(), from.0),
+                            self.now_stamp(),
+                            SimDuration::ZERO,
+                        );
+                    }
+                    self.pending.push_back(Input::AbsorbDone { host: to });
+                }
+                Output::Departed { host, epoch } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Control,
+                            format!("departed (epoch {epoch})"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::RESCALE_DRAINS, 1);
+                    }
+                }
+                Output::Resent { target, id } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(target.0),
+                            Track::Control,
+                            format!("re-sent {id} from origin"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::FRAGMENTS_RESENT, 1);
+                    }
+                }
+                Output::Finished { .. } => {}
+                Output::Teardown { reason } => self.fail(RingError::Teardown(reason)),
+            }
+        }
+    }
+
+    /// Puts one attempt of a transfer on the channel wire: rolls the
+    /// fault dice, reports the fate back, and either delivers instantly
+    /// (queued input) or parks the envelope on the timer thread for a
+    /// delay spike.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
+    fn apply_send(&mut self, from: HostId, to: HostId, tid: u64, attempt: u32, env: Envelope<P>) {
+        self.bytes_forwarded[from.0] += env.bytes();
+        let mut wire = env;
+        // Dice keyed on the per-sender wire sequence (`env.seq`), the
+        // numbering all three backends share.
+        let seq = wire.seq;
+        let dropped = self.plan.should_drop(from, seq, attempt);
+        let corrupt = !dropped && self.plan.should_corrupt(from, seq, attempt);
+        let delay = Duration::from(self.plan.delay_spike(from, seq, attempt));
+        self.proto.attempt_fate(tid, dropped, corrupt);
+        if corrupt {
+            wire.checksum = !wire.checksum;
+        }
+        if attempt == 1 {
+            self.tracer.count(counter::ENVELOPES_SENT, 1);
+        } else if self.tracer.is_enabled() {
+            self.tracer.event(
+                Some(from.0),
+                Track::Transmitter,
+                format!("retransmit {} attempt {attempt}", wire.id),
+                self.now_stamp(),
+            );
+            self.tracer.count(counter::RETRANSMITS, 1);
+        }
+        if dropped {
+            // The medium ate this attempt; the wire still reports free.
+            self.pending.push_back(Input::SendDone { from });
+        } else if delay.is_zero() {
+            self.pending
+                .push_back(Input::Delivered { to, env: wire, tid });
+            self.pending.push_back(Input::SendDone { from });
+        } else {
+            self.arm(
+                Instant::now() + delay,
+                CoTimer::Deliver {
+                    to,
+                    env: wire,
+                    tid,
+                    from,
+                },
+            );
+        }
+    }
+
+    /// Converts the finished run into the common metrics shape.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
+    fn into_result(self) -> (RingMetrics, SpanTracer) {
+        let n = self.proto.config().hosts;
+        let mut hosts = Vec::with_capacity(n);
+        for h in 0..n {
+            let busy = self.busy[h];
+            let window = self.last_done[h].saturating_duration_since(self.epoch);
+            let mut cpu = simnet::cpu::CpuAccount::new();
+            cpu.charge(
+                simnet::cpu::CostCategory::Compute,
+                SimDuration::from(busy) * self.join_threads as u64,
+            );
+            hosts.push(HostMetrics {
+                setup: SimDuration::ZERO,
+                join_busy: busy.into(),
+                sync: window.saturating_sub(busy).into(),
+                join_window: window.into(),
+                cpu,
+                fragments_processed: self.proto.host(HostId(h)).fragments_processed(),
+                bytes_forwarded: self.bytes_forwarded[h],
+                retransmits: self.proto.retransmits(HostId(h)),
+                checksum_mismatches: self.proto.checksum_mismatches(HostId(h)),
+            });
+        }
+        let metrics = RingMetrics {
+            hosts,
+            wall_clock: self
+                .last_progress
+                .saturating_duration_since(self.epoch)
+                .into(),
+            fragments_completed: self.proto.fragments_completed(),
+            heal_events: self.proto.heal_events(),
+            detection_latency: SimDuration::ZERO,
+            fragments_resent: self.proto.fragments_resent(),
+            membership_epoch: self.proto.membership_epoch(),
+            rescale_joins: self.proto.rescale_joins(),
+            rescale_drains: self.proto.rescale_drains(),
+            rescale_handoffs: self.proto.rescale_handoffs(),
+            rescale_escalations: self.proto.rescale_escalations(),
+        };
+        let mut tracer = self.tracer;
+        if tracer.is_enabled() {
+            for name in [
+                counter::ENVELOPES_SENT,
+                counter::ENVELOPES_RECEIVED,
+                counter::FRAGMENTS_RETIRED,
+                counter::RETRANSMITS,
+                counter::CHECKSUM_MISMATCHES,
+                counter::HEAL_EVENTS,
+                counter::FRAGMENTS_RESENT,
+                counter::RESCALE_JOINS,
+                counter::RESCALE_DRAINS,
+                counter::RESCALE_HANDOFFS,
+            ] {
+                tracer.count(name, 0);
+            }
+        }
+        (metrics, tracer)
+    }
+}
+
+/// The coordinated engine behind [`RingDriver::run`] with a rescale plan
+/// attached: validates the plans, synthesizes quiet dice when no fault
+/// plan accompanies the rescale, and drives the protocol over channels.
+fn coordinated_run<P, F>(
+    config: &RingConfig,
+    fault_plan: Option<&FaultPlan>,
+    rescale: &RescalePlan,
+    fragments: Vec<Vec<P>>,
+    process: F,
+    trace: bool,
+) -> Result<(RingMetrics, SpanTracer), RingError>
+where
+    P: PayloadBytes + Send + Clone,
+    F: Fn(HostId, &P) + Sync,
+{
+    config.validate()?;
+    let n = config.hosts;
+    if fragments.len() != n {
+        return Err(RingError::Shape {
+            expected: n,
+            got: fragments.len(),
+        });
+    }
+    if let Some(plan) = fault_plan {
+        if !plan.crashes().is_empty() || !plan.pauses().is_empty() {
+            return Err(RingError::UnsupportedFault(
+                "the threaded backend supports link loss, corruption and delay spikes (plus \
+                 planned rescale); host crashes and pauses need ring healing — use the simulated \
+                 backend (all fault kinds) or the tcp backend (loss, corruption, crashes, pauses)",
+            ));
+        }
+    }
+    if n > 64 {
+        return Err(RingError::UnsupportedFault(
+            "the exactly-once role bitmask supports at most 64 hosts",
+        ));
+    }
+    if n == 1 && !rescale.is_quiet() {
+        return Err(RingError::UnsupportedFault(
+            "a single-host ring has no membership to rescale",
+        ));
+    }
+    let in_ring = |h: HostId| h.0 < n;
+    if !rescale.joins().iter().all(|j| in_ring(j.host))
+        || !rescale.drains().iter().all(|d| in_ring(d.host))
+    {
+        return Err(RingError::UnsupportedFault(
+            "rescale plan names a host outside the ring",
+        ));
+    }
+    if rescale
+        .joins()
+        .iter()
+        .any(|j| !fragments.get(j.host.0).is_none_or(Vec::is_empty))
+    {
+        return Err(RingError::UnsupportedFault(
+            "a standby host must not contribute fragments before joining",
+        ));
+    }
+    let total: usize = fragments.iter().map(Vec::len).sum();
+    let mut batches = envelope_batches(fragments, n);
+    if n == 1 {
+        // A quiet plan on a single host (checked above): the degenerate
+        // local path needs no coordinator.
+        let shared = trace.then(SharedSpans::new);
+        let envelopes = batches.pop().unwrap_or_default();
+        let metrics = run_single_host(envelopes, process, shared.as_ref())?;
+        let tracer = finish_spans(shared, &metrics);
+        return Ok((metrics, tracer));
+    }
+    // Rescale rides the reliable transport: without explicit adversity
+    // the medium still needs (quiet) dice and the acked hop protocol.
+    let quiet_dice;
+    let plan = match fault_plan {
+        Some(p) => p,
+        None => {
+            quiet_dice = FaultPlan::seeded(rescale.seed());
+            &quiet_dice
+        }
+    };
+    let proto_cfg = ProtocolConfig {
+        hosts: n,
+        buffers_per_host: config.buffers_per_host,
+        max_retransmits: config.max_retransmits,
+        continuous: false,
+        reliable: true,
+        standby: rescale.standby_mask(),
+    };
+    let proto = RingProtocol::new(proto_cfg, batches);
+
+    let (events_tx, events_rx) = unbounded::<CoEvent<P>>();
+    let (timer_tx, timer_rx) = unbounded::<(Instant, CoTimer<P>)>();
+    crate::sync::thread::scope(|scope| {
+        let mut jobs = Vec::with_capacity(n);
+        for h in 0..n {
+            let (jtx, jrx) = unbounded::<CoJob<P>>();
+            let tx = events_tx.clone();
+            let process = &process;
+            scope.spawn(move || coordinated_worker(HostId(h), jrx, tx, process));
+            jobs.push(jtx);
+        }
+        {
+            let tx = events_tx.clone();
+            scope.spawn(move || coordinated_timer_loop(timer_rx, tx));
+        }
+
+        let epoch = Instant::now();
+        let mut co = CoRing {
+            proto,
+            plan,
+            jobs,
+            timer_tx,
+            pending: VecDeque::new(),
+            errors: ErrorCollector::default(),
+            fatal: false,
+            tracer: if trace {
+                SpanTracer::enabled()
+            } else {
+                SpanTracer::disabled()
+            },
+            epoch,
+            wall_ack_timeout: Duration::from_secs_f64(config.ack_timeout.as_secs_f64()),
+            join_threads: config.join_threads,
+            busy: vec![Duration::ZERO; n],
+            last_done: vec![epoch; n],
+            bytes_forwarded: vec![0; n],
+            last_progress: epoch,
+        };
+        for j in rescale.joins() {
+            let at = epoch + Duration::from(j.at.saturating_duration_since(SimTime::ZERO));
+            co.arm(at, CoTimer::JoinRequest(j.host));
+        }
+        for d in rescale.drains() {
+            let at = epoch + Duration::from(d.at.saturating_duration_since(SimTime::ZERO));
+            co.arm(at, CoTimer::DrainRequest(d.host));
+        }
+        for h in 0..n {
+            let out = co.proto.input(Input::SetupDone { host: HostId(h) });
+            co.apply(out);
+        }
+
+        while !co.fatal && co.proto.fragments_completed() < total {
+            if let Some(input) = co.pending.pop_front() {
+                let out = co.proto.input(input);
+                co.apply(out);
+                continue;
+            }
+            match events_rx.recv_timeout(RESCALE_WATCHDOG) {
+                Ok(event) => co.handle(event),
+                Err(RecvTimeoutError::Timeout) => {
+                    co.fail(RingError::Teardown(RESCALE_STALLED));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    co.fail(RingError::Teardown(teardown::RING_CLOSED));
+                }
+            }
+        }
+
+        // Consuming the coordinator drops its job and timer senders,
+        // draining the worker and timer threads before the scope closes.
+        match std::mem::take(&mut co.errors).first() {
+            Some(err) => Err(err),
+            None => Ok(co.into_result()),
+        }
+    })
+}
+
 /// Closes out a traced run: materialises every well-known counter — the
 /// heal ones are always zero on this backend (healing needs the
 /// simulator), and a classic run never retransmits — so trace consumers
@@ -666,6 +1327,9 @@ pub(crate) fn finish_spans(shared: Option<SharedSpans>, metrics: &RingMetrics) -
             }
             tracer.count(counter::HEAL_EVENTS, metrics.heal_events as u64);
             tracer.count(counter::FRAGMENTS_RESENT, metrics.fragments_resent as u64);
+            tracer.count(counter::RESCALE_JOINS, metrics.rescale_joins);
+            tracer.count(counter::RESCALE_DRAINS, metrics.rescale_drains);
+            tracer.count(counter::RESCALE_HANDOFFS, metrics.rescale_handoffs);
             tracer
         }
     }
@@ -1348,30 +2012,105 @@ mod tests {
         assert!(matches!(err, RingError::UnsupportedFault(_)));
     }
 
-    /// The pre-`RingDriver` entry points must keep compiling and running —
-    /// downstream code migrates on its own schedule.
+    /// The same seeded schedule the socket backend runs: host 2 starts as
+    /// a standby, joins at 1 ms and a founding member drains at 8 ms. The
+    /// membership counters are pure functions of the schedule, so they
+    /// must land on the exact values the sim and tcp backends report.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_run() {
-        let metrics = run_threaded(&RingConfig::paper(2), payloads(2, 2, 8), |_, _| {}).unwrap();
-        assert_eq!(metrics.fragments_completed, 4);
-        let (metrics, spans) =
-            run_threaded_traced(&RingConfig::paper(2), payloads(2, 1, 8), |_, _| {}, true).unwrap();
-        assert_eq!(metrics.fragments_completed, 2);
-        assert!(spans.is_enabled());
-        let plan = FaultPlan::seeded(1);
-        let metrics =
-            run_threaded_reliable(&RingConfig::paper(2), &plan, payloads(2, 2, 8), |_, _| {})
-                .unwrap();
-        assert_eq!(metrics.fragments_completed, 4);
-        let (metrics, _) = run_threaded_reliable_traced(
-            &RingConfig::paper(2),
-            &plan,
-            payloads(2, 1, 8),
-            |_, _| {},
-            false,
-        )
-        .unwrap();
-        assert_eq!(metrics.fragments_completed, 2);
+    fn planned_join_and_drain_on_real_threads() {
+        let hosts = 3;
+        let cfg = RingConfig::paper(hosts)
+            .with_ack_timeout(SimDuration::from_millis(20))
+            .with_max_retransmits(6);
+        let rescale = RescalePlan::seeded(77)
+            .join_host(HostId(2), SimTime::from_nanos(1_000_000))
+            .drain_host(HostId(0), SimTime::from_nanos(8_000_000));
+        let mut frags = payloads(hosts, 3, 64);
+        frags[2].clear();
+        let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
+        let (metrics, spans) = RingDriver::new(&cfg)
+            .with_rescale_plan(&rescale)
+            .with_tracer(true)
+            .run(frags, |h, _: &Vec<u8>| {
+                counts[h.0].fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+            })
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, 6);
+        assert_eq!(metrics.membership_epoch, 2, "{metrics:?}");
+        assert_eq!(metrics.rescale_joins, 1);
+        assert_eq!(metrics.rescale_drains, 1);
+        assert_eq!(metrics.rescale_handoffs, 1);
+        assert_eq!(metrics.rescale_escalations, 0);
+        assert_eq!(metrics.heal_events, 0, "a clean drain never heals");
+        assert!(
+            counts[2].load(Ordering::SeqCst) > 0,
+            "the joined host must process fragments after activation"
+        );
+        assert_eq!(spans.count_events("activated"), 1);
+        assert_eq!(spans.count_events("departed"), 1);
+        let counters = spans.counters();
+        assert_eq!(counters.get(counter::RESCALE_JOINS), 1);
+        assert_eq!(counters.get(counter::RESCALE_DRAINS), 1);
+        assert_eq!(counters.get(counter::RESCALE_HANDOFFS), 1);
+    }
+
+    /// A rescale plan without a fault plan still runs the acked reliable
+    /// transport under quiet dice, and a drain alone bumps one epoch.
+    #[test]
+    fn planned_drain_alone_departs_cleanly() {
+        let hosts = 3;
+        let cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(20));
+        let rescale = RescalePlan::seeded(11).drain_host(HostId(1), SimTime::from_nanos(4_000_000));
+        let (metrics, _) = RingDriver::new(&cfg)
+            .with_rescale_plan(&rescale)
+            .run(payloads(hosts, 2, 32), |_, _: &Vec<u8>| {
+                std::thread::sleep(Duration::from_millis(1));
+            })
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, 6);
+        assert_eq!(metrics.membership_epoch, 1);
+        assert_eq!(metrics.rescale_drains, 1);
+        assert_eq!(metrics.rescale_joins, 0);
+        assert_eq!(metrics.rescale_handoffs, 1);
+        assert_eq!(metrics.heal_events, 0);
+        // The drained host keeps its processed credit for the fragments
+        // it joined before departing.
+        assert!(metrics.hosts[1].fragments_processed > 0);
+    }
+
+    #[test]
+    fn rescale_plans_are_validated_up_front() {
+        let out_of_range = RescalePlan::seeded(1).drain_host(HostId(9), SimTime::from_nanos(1_000));
+        let err = RingDriver::new(&RingConfig::paper(2))
+            .with_rescale_plan(&out_of_range)
+            .run(payloads(2, 1, 8), |_, _: &Vec<u8>| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
+
+        let standby_with_fragments =
+            RescalePlan::seeded(1).join_host(HostId(1), SimTime::from_nanos(1_000));
+        let err = RingDriver::new(&RingConfig::paper(2))
+            .with_rescale_plan(&standby_with_fragments)
+            .run(payloads(2, 1, 8), |_, _: &Vec<u8>| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
+
+        let single = RescalePlan::seeded(1).drain_host(HostId(0), SimTime::from_nanos(1_000));
+        let err = RingDriver::new(&RingConfig::paper(1))
+            .with_rescale_plan(&single)
+            .run(payloads(1, 1, 8), |_, _: &Vec<u8>| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
+
+        // Crash faults stay unsupported even in coordinated mode.
+        let crash = FaultPlan::seeded(0).crash_host(HostId(1), SimTime::from_nanos(1));
+        let quiet = RescalePlan::seeded(0);
+        let err = RingDriver::new(&RingConfig::paper(3))
+            .with_fault_plan(&crash)
+            .with_rescale_plan(&quiet)
+            .run(payloads(3, 1, 8), |_, _: &Vec<u8>| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
     }
 }

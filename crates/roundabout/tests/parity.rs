@@ -6,9 +6,9 @@
 //! threads, and one over real kernel sockets.
 
 use data_roundabout::{
-    FaultPlan, FixedCostApp, HostId, RingConfig, RingDriver, SimRing, TcpRingDriver,
+    FaultPlan, FixedCostApp, HostId, RescalePlan, RingConfig, RingDriver, SimRing, TcpRingDriver,
 };
-use simnet::time::SimDuration;
+use simnet::time::{SimDuration, SimTime};
 
 fn payloads(hosts: usize, per_host: usize, bytes: usize) -> Vec<Vec<Vec<u8>>> {
     (0..hosts)
@@ -137,4 +137,82 @@ fn all_links_lossy_parity() {
     assert_eq!(sim.metrics.fragments_completed, hosts * per_host);
     assert_eq!(threaded.fragments_completed, hosts * per_host);
     assert_eq!(tcp.fragments_completed, hosts * per_host);
+}
+
+/// Membership parity: one seeded rescale schedule — a standby joining at
+/// 1 ms and a founding member draining out at 8 ms — lands on identical
+/// membership epochs and `rescale_*` counters in all three worlds, and
+/// none of them needs the crash-healing path to get there. The instants
+/// are virtual time in the sim and wall-clock time on the thread and TCP
+/// drivers; the protocol transitions they trigger are the same.
+///
+/// Escalation counters are deliberately *not* pinned to a fixed schedule
+/// position: a drain deadline races real scheduling on the wall-clock
+/// backends. The generous ack timeout plus `heal_events == 0` below
+/// asserts the planned path won in every world — which also forces
+/// `rescale_escalations == 0`.
+#[test]
+fn seeded_rescale_schedule_three_way_parity() {
+    let hosts = 3;
+    let per_host = 3;
+    let plan = RescalePlan::seeded(77)
+        .join_host(HostId(2), SimTime::from_nanos(1_000_000))
+        .drain_host(HostId(0), SimTime::from_nanos(8_000_000));
+    // Host 2 is the provisioned standby: it brings partitions, not
+    // fragments.
+    let total = (hosts - 1) * per_host;
+
+    let sim_cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(5));
+    let app = FixedCostApp::new(
+        hosts,
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(2),
+    );
+    let mut sim_frags = payloads(hosts, per_host, 1 << 20);
+    sim_frags[2].clear();
+    let sim = SimRing::new(sim_cfg, sim_frags, app)
+        .with_rescale_plan(plan.clone())
+        .run();
+
+    let thread_cfg = RingConfig::paper(hosts)
+        .with_ack_timeout(SimDuration::from_millis(20))
+        .with_max_retransmits(6);
+    let mut thread_frags = payloads(hosts, per_host, 64);
+    thread_frags[2].clear();
+    let (threaded, _) = RingDriver::new(&thread_cfg)
+        .with_rescale_plan(&plan)
+        .run(thread_frags, |_, _: &Vec<u8>| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        })
+        .expect("thread rescale run should complete");
+
+    let tcp_cfg = RingConfig::paper(hosts)
+        .with_ack_timeout(SimDuration::from_millis(20))
+        .with_max_retransmits(6);
+    let mut tcp_frags = payloads(hosts, per_host, 64);
+    tcp_frags[2].clear();
+    let (tcp, _) = TcpRingDriver::new(&tcp_cfg)
+        .with_rescale_plan(&plan)
+        .run(tcp_frags, |_, _: &Vec<u8>| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        })
+        .expect("tcp rescale run should complete");
+
+    for (world, m) in [("sim", &sim.metrics), ("thread", &threaded), ("tcp", &tcp)] {
+        assert_eq!(m.fragments_completed, total, "{world}: every fragment");
+        assert_eq!(
+            (
+                m.membership_epoch,
+                m.rescale_joins,
+                m.rescale_drains,
+                m.rescale_handoffs,
+            ),
+            (2, 1, 1, 1),
+            "{world}: one join + one planned drain, partitions handed off once"
+        );
+        assert_eq!(
+            m.heal_events, 0,
+            "{world}: the planned path must not fall back to crash healing"
+        );
+    }
 }

@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use data_roundabout::protocol::{envelope_batches, Input, Output, ProtocolConfig, RingProtocol};
+use data_roundabout::protocol::{
+    envelope_batches, Input, Output, ProtocolConfig, RingProtocol, Timer,
+};
 use data_roundabout::{FixedCostApp, RingConfig, RingDriver, SimRing};
 use proptest::prelude::*;
 use simnet::time::SimDuration;
@@ -28,6 +30,7 @@ fn drive_protocol(counts: &[usize], buffers: usize, reliable: bool, seed: u64) {
         max_retransmits: 8,
         continuous: false,
         reliable,
+        standby: 0,
     };
     let mut proto = RingProtocol::new(proto_cfg, envelope_batches(payloads(counts, 16), hosts));
     let mut pending: Vec<Input<Vec<u8>>> = (0..hosts)
@@ -115,6 +118,238 @@ fn drive_protocol(counts: &[usize], buffers: usize, reliable: bool, seed: u64) {
         prop_assert_eq!(wire_deliveries.len(), (hosts - 1) * total);
     }
     prop_assert_eq!(proto.heal_events(), 0);
+}
+
+/// Drives the reliable protocol core through a planned rescale — every
+/// provisioned standby joins, one member drains, and optionally one host
+/// crashes — with the driver's obligations applied in a random legal
+/// order, including armed timers. Timer fidelity: a retransmit tick may
+/// only fire once the transfer it watches has actually settled on the
+/// (instant, lossless) wire — i.e. its delivery and ack are no longer
+/// pending — exactly the contract every real driver provides. Drain
+/// deadlines and probes carry no such dependency and fire whenever the
+/// interleaving picks them, so a perfectly healthy drain can stall-escalate
+/// into crash healing mid-test; the invariants must hold regardless.
+fn drive_rescale(counts: &[usize], standbys: usize, buffers: usize, crash: bool, seed: u64) {
+    let members = counts.len();
+    let hosts = members + standbys;
+    let mut standby_mask = 0u64;
+    for h in members..hosts {
+        standby_mask |= 1 << h;
+    }
+    let mut rng = seed | 1;
+    let mut next_rng = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let drain_target = (next_rng() as usize) % members;
+    let crash_target = (next_rng() as usize) % members;
+
+    let mut all_counts = counts.to_vec();
+    if crash {
+        // The failure detector is traffic-driven (retransmit and probe
+        // exhaustion), exactly as in the real backends — a corpse no
+        // fragment ever needs to reach is undetectable by construction.
+        // The crash target therefore originates nothing; its callers
+        // pass counts ≥ 1, so every other member originates traffic
+        // that must hop through the corpse.
+        all_counts[crash_target] = 0;
+    }
+    all_counts.resize(hosts, 0);
+    let total: usize = all_counts.iter().sum();
+    let proto_cfg = ProtocolConfig {
+        hosts,
+        buffers_per_host: buffers,
+        max_retransmits: 4,
+        continuous: false,
+        reliable: true,
+        standby: standby_mask,
+    };
+    let mut proto = RingProtocol::new(
+        proto_cfg,
+        envelope_batches(payloads(&all_counts, 16), hosts),
+    );
+
+    let mut pending: Vec<Input<Vec<u8>>> = (0..hosts)
+        .map(|h| Input::SetupDone { host: HostId(h) })
+        .collect();
+    for h in members..hosts {
+        pending.push(Input::JoinRequest { host: HostId(h) });
+    }
+    pending.push(Input::DrainRequest {
+        host: HostId(drain_target),
+    });
+    if crash {
+        pending.push(Input::PeerDead {
+            host: HostId(crash_target),
+        });
+    }
+
+    // Exactly-once handoff ledger: every stationary role has one owner at
+    // all times, and each Handoff/Absorb moves it from exactly the host
+    // that held it — a duplicate or replayed handoff trips the ledger.
+    let mut owner: HashMap<usize, usize> = (0..members).map(|r| (r, r)).collect();
+    // Exactly-once retirement: a fragment forked by a buggy healing path
+    // retires twice; a lost one never retires.
+    let mut retired: Vec<usize> = Vec::new();
+
+    // A retransmit tick is stalled-transfer evidence; it may not outrun
+    // the wire it is watching.
+    fn tick_eligible(input: &Input<Vec<u8>>, pending: &[Input<Vec<u8>>]) -> bool {
+        let Input::Tick {
+            timer: Timer::Retransmit { tid, .. },
+        } = input
+        else {
+            return true;
+        };
+        !pending.iter().any(|p| {
+            matches!(p, Input::Delivered { tid: t, .. } if t == tid)
+                || matches!(p, Input::Ack { tid: t } if t == tid)
+        })
+    }
+
+    let mut steps = 0usize;
+    while !pending.is_empty() {
+        steps += 1;
+        assert!(steps < 200_000, "rescale interleaving did not quiesce");
+        let eligible: Vec<usize> = (0..pending.len())
+            .filter(|&i| tick_eligible(&pending[i], &pending))
+            .collect();
+        assert!(!eligible.is_empty(), "only ineligible ticks left pending");
+        let idx = eligible[(next_rng() as usize) % eligible.len()];
+        let input = pending.swap_remove(idx);
+        let mut fates: Vec<u64> = Vec::new();
+        for output in proto.input(input) {
+            match output {
+                Output::StartJoin { host, .. } => pending.push(Input::JoinDone {
+                    host,
+                    app_finished: false,
+                }),
+                Output::Send {
+                    from, to, tid, env, ..
+                } => {
+                    // A quiet, lossless wire: report the attempt's fate
+                    // (intact) exactly as every real driver does after
+                    // rolling its fault dice.
+                    fates.push(tid);
+                    pending.push(Input::SendDone { from });
+                    pending.push(Input::Delivered { to, env, tid });
+                }
+                Output::Ack { tid, .. } => pending.push(Input::Ack { tid }),
+                Output::ArmTimer { timer, .. } => pending.push(Input::Tick { timer }),
+                Output::Handoff { from, to, roles } => {
+                    for &r in &roles {
+                        assert_eq!(
+                            owner.insert(r, to.0),
+                            Some(from.0),
+                            "role {r} handed off by host {} without owning it",
+                            from.0
+                        );
+                    }
+                    pending.push(Input::AbsorbDone { host: to });
+                }
+                Output::Absorb {
+                    survivor,
+                    dead,
+                    roles,
+                } => {
+                    for &r in &roles {
+                        assert_eq!(
+                            owner.insert(r, survivor.0),
+                            Some(dead.0),
+                            "role {r} absorbed from host {} without it owning it",
+                            dead.0
+                        );
+                    }
+                    pending.push(Input::AbsorbDone { host: survivor });
+                }
+                Output::Departed { host, .. } => {
+                    assert!(
+                        owner.values().all(|&o| o != host.0),
+                        "host {} departed while still owning a role",
+                        host.0
+                    );
+                }
+                Output::Teardown { reason } => panic!("teardown: {reason}"),
+                Output::Retire { id, .. } => {
+                    assert!(
+                        !retired.contains(&id.0),
+                        "fragment {} retired twice — healing forked it",
+                        id.0
+                    );
+                    retired.push(id.0);
+                }
+                _ => {}
+            }
+        }
+        for tid in fates {
+            proto.attempt_fate(tid, false, false);
+        }
+        for h in 0..hosts {
+            let hp = proto.host(HostId(h));
+            assert!(
+                hp.pool_used() <= hp.buffers(),
+                "host {h} oversubscribed: {} of {} buffers",
+                hp.pool_used(),
+                hp.buffers()
+            );
+        }
+    }
+
+    // A crashed host is only ever *confirmed* dead by traffic: an
+    // exhausted retransmission budget or probe at some live peer. A
+    // corpse that accepted the last circulating fragments and owes
+    // nobody an ack generates neither — no traffic-driven failure
+    // detector can see it (real deployments layer heartbeats on top,
+    // out of the core's scope). That stall is legal, but only with
+    // exact accounting: every missing fragment rests in the corpse's
+    // pool and nothing else leaked.
+    let corpse = HostId(crash_target);
+    let corpse_unconfirmed = crash && proto.is_member(corpse) && proto.is_crashed(corpse);
+    if corpse_unconfirmed && proto.fragments_completed() < total {
+        assert_eq!(
+            proto.fragments_completed() + proto.host(corpse).pool_used(),
+            total,
+            "stall is not the undetectable-corpse case: fragments lost outside host {crash_target}"
+        );
+    } else {
+        assert_eq!(
+            proto.fragments_completed(),
+            total,
+            "every fragment survives the rescale (drain={drain_target} crash={crash_target})"
+        );
+    }
+    assert_eq!(
+        proto.membership_epoch(),
+        proto.rescale_joins() + proto.rescale_drains(),
+        "the epoch counts completed transitions exactly"
+    );
+    // Every stationary role ends at a live ring member. The one excuse
+    // is an unconfirmed corpse (crash observed by the driver but never
+    // by the ring — e.g. the crash landed after quiescence): until the
+    // failure detector confirms the death, the corpse keeps its roles.
+    for (&role, &holder) in &owner {
+        if corpse_unconfirmed && holder == crash_target {
+            continue;
+        }
+        let host = HostId(holder);
+        assert!(
+            proto.is_member(host) && !proto.is_crashed(host),
+            "role {role} stranded on host {holder}"
+        );
+    }
+    for h in 0..hosts {
+        let host = HostId(h);
+        if !proto.is_crashed(host) {
+            assert_eq!(
+                proto.host(host).pool_used(),
+                0,
+                "host {h} leaked buffer slots across the rescale"
+            );
+        }
+    }
 }
 
 proptest! {
@@ -225,6 +460,37 @@ proptest! {
         seed in any::<u64>(),
     ) {
         drive_protocol(&counts, buffers, true, seed);
+    }
+
+    /// Planned membership chaos: standbys join and a member drains at
+    /// arbitrary points of the revolution (including drain deadlines that
+    /// fire early and escalate). The credit invariant, exactly-once
+    /// S-partition handoff and fragment conservation hold under every
+    /// interleaving.
+    #[test]
+    fn protocol_core_rescale_survives_any_interleaving(
+        counts in prop::collection::vec(0usize..4, 3..6),
+        standbys in 1usize..3,
+        buffers in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        drive_rescale(&counts, standbys, buffers, false, seed);
+    }
+
+    /// The same invariants with an unplanned crash racing the planned
+    /// rescale — including crash-of-the-drainee and crash-of-a-donor
+    /// interleavings resolved by the healing path. Every surviving
+    /// member originates at least one fragment so the corpse always
+    /// sits in the path of detectable traffic (the driver zeroes the
+    /// crash target's own allotment).
+    #[test]
+    fn protocol_core_rescale_survives_crashes(
+        counts in prop::collection::vec(1usize..4, 3..6),
+        standbys in 0usize..3,
+        buffers in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        drive_rescale(&counts, standbys, buffers, true, seed);
     }
 
     /// Determinism: identical simulated runs produce identical metrics.

@@ -267,6 +267,111 @@ impl FaultPlan {
     }
 }
 
+/// A planned host activation pinned to a virtual instant: the standby
+/// host enters the ring and rendezvous hashing assigns it stationary
+/// roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinEvent {
+    /// The standby host that joins the ring.
+    pub host: HostId,
+    /// Virtual time the join is requested.
+    pub at: SimTime,
+}
+
+/// A planned graceful drain pinned to a virtual instant: the host hands
+/// its stationary roles off and leaves the ring once quiescent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainEvent {
+    /// The host that drains out of the ring.
+    pub host: HostId,
+    /// Virtual time the drain is requested.
+    pub at: SimTime,
+}
+
+/// A deterministic schedule of *planned* membership changes — the elastic
+/// counterpart of [`FaultPlan`]. Where a fault plan schedules adversity
+/// (crashes, losses), a rescale plan schedules cooperation: standby hosts
+/// joining the ring and members draining out gracefully, each pinned to a
+/// virtual instant. Role placement itself is seedless (rendezvous
+/// hashing), so the same plan produces byte-identical membership epochs
+/// and handoff counts on every backend.
+///
+/// ```
+/// use simnet::fault::RescalePlan;
+/// use simnet::time::SimTime;
+/// use simnet::topology::HostId;
+///
+/// let plan = RescalePlan::seeded(42)
+///     .join_host(HostId(3), SimTime::from_nanos(2_000_000))
+///     .drain_host(HostId(1), SimTime::from_nanos(8_000_000));
+/// assert_eq!(plan.standby_mask(), 0b1000);
+/// assert_eq!(plan.joins().len(), 1);
+/// assert_eq!(plan.drains().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RescalePlan {
+    seed: u64,
+    joins: Vec<JoinEvent>,
+    drains: Vec<DrainEvent>,
+}
+
+impl RescalePlan {
+    /// An empty plan with the given seed. Attaching even an empty plan
+    /// switches the transport into its reliable mode (handoff fragments
+    /// ride the acknowledged hop protocol).
+    pub fn seeded(seed: u64) -> Self {
+        RescalePlan {
+            seed,
+            ..RescalePlan::default()
+        }
+    }
+
+    /// Schedules standby `host` to join the ring at virtual time `at`.
+    /// Hosts scheduled to join start *outside* the ring (see
+    /// [`RescalePlan::standby_mask`]).
+    pub fn join_host(mut self, host: HostId, at: SimTime) -> Self {
+        self.joins.push(JoinEvent { host, at });
+        self
+    }
+
+    /// Schedules `host` to drain out of the ring at virtual time `at`.
+    pub fn drain_host(mut self, host: HostId, at: SimTime) -> Self {
+        self.drains.push(DrainEvent { host, at });
+        self
+    }
+
+    /// The seed (reserved for seeded schedule generators; placement is
+    /// seedless rendezvous hashing).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All scheduled joins.
+    pub fn joins(&self) -> &[JoinEvent] {
+        &self.joins
+    }
+
+    /// All scheduled drains.
+    pub fn drains(&self) -> &[DrainEvent] {
+        &self.drains
+    }
+
+    /// True if the plan schedules no membership change at all.
+    pub fn is_quiet(&self) -> bool {
+        self.joins.is_empty() && self.drains.is_empty()
+    }
+
+    /// Bitmask of hosts that start as provisioned standbys: every host
+    /// with a scheduled join begins outside the ring and owns no
+    /// stationary role until activated.
+    pub fn standby_mask(&self) -> u64 {
+        self.joins
+            .iter()
+            .filter(|j| j.host.0 < 64)
+            .fold(0u64, |m, j| m | (1u64 << j.host.0))
+    }
+}
+
 /// Independent decision channels per transfer attempt.
 #[derive(Clone, Copy)]
 enum Channel {
@@ -384,5 +489,25 @@ mod tests {
     fn probabilities_are_clamped() {
         let plan = FaultPlan::seeded(0).lossy_link(HostId(0), 2.0);
         assert!(plan.should_drop(HostId(0), 0, 1), "p=1 drops everything");
+    }
+
+    #[test]
+    fn rescale_plan_derives_its_standby_mask_from_joins() {
+        let t = SimTime::from_nanos(1_000);
+        let plan = RescalePlan::seeded(0)
+            .join_host(HostId(4), t)
+            .join_host(HostId(6), t)
+            .drain_host(HostId(1), t);
+        assert_eq!(plan.standby_mask(), 0b101_0000);
+        assert_eq!(plan.joins().len(), 2);
+        assert_eq!(plan.drains().len(), 1);
+        assert!(!plan.is_quiet());
+        assert!(RescalePlan::seeded(3).is_quiet());
+    }
+
+    #[test]
+    fn rescale_plan_ignores_out_of_range_hosts_in_the_mask() {
+        let plan = RescalePlan::seeded(0).join_host(HostId(64), SimTime::from_nanos(1));
+        assert_eq!(plan.standby_mask(), 0, "bit 64 would overflow the mask");
     }
 }

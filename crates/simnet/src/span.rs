@@ -50,6 +50,12 @@ pub mod counter {
     pub const HEAL_EVENTS: &str = "heal_events";
     /// Fragments re-sent from their origin after a heal.
     pub const FRAGMENTS_RESENT: &str = "fragments_resent";
+    /// Planned host activations (a standby joined the ring).
+    pub const RESCALE_JOINS: &str = "rescale_joins";
+    /// Graceful host drains completed (the drainee departed the ring).
+    pub const RESCALE_DRAINS: &str = "rescale_drains";
+    /// Stationary partitions moved by planned rescale handoffs.
+    pub const RESCALE_HANDOFFS: &str = "rescale_handoffs";
 }
 
 /// The per-host entity (or pseudo-entity) a span or event belongs to.

@@ -212,14 +212,19 @@ mod tests {
         assert!(p.sans_io);
         // With a real socket backend in the tree, L5 is the wall that
         // keeps `std::net` from leaking into the shared core: every
-        // protocol-layer file stays under the sans-IO ban.
+        // protocol-layer file stays under the sans-IO ban — including
+        // the elastic-membership ledger, which must stay portable
+        // across all three drivers.
         for core in [
             "crates/roundabout/src/protocol/mod.rs",
             "crates/roundabout/src/protocol/host.rs",
             "crates/roundabout/src/protocol/ring.rs",
             "crates/roundabout/src/protocol/link.rs",
+            "crates/roundabout/src/protocol/membership.rs",
         ] {
-            assert!(policy_for(core).sans_io, "{core} must ban std::net");
+            let p = policy_for(core);
+            assert!(p.sans_io, "{core} must ban std::net");
+            assert!(p.no_panic, "{core} is on the ring's data path");
         }
         let p = policy_for("crates/core/src/sql.rs");
         assert!(p.no_panic && !p.no_wall_clock && !p.counter_registry && !p.lock_ordering);
@@ -237,5 +242,13 @@ mod tests {
             reg.iter().any(|k| k == "envelopes_sent"),
             "registry should contain the PR 2 counters, got {reg:?}"
         );
+        // The elastic-membership counters all three backends emit must
+        // come from the registry, or L3 flags the emission sites.
+        for key in ["rescale_joins", "rescale_drains", "rescale_handoffs"] {
+            assert!(
+                reg.iter().any(|k| k == key),
+                "registry should contain the membership counter {key}, got {reg:?}"
+            );
+        }
     }
 }

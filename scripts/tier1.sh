@@ -15,6 +15,13 @@ cargo test -q
 # legs bind port 0 and handshake, so they never race on ports.
 cargo test -q -p data-roundabout --test proptests --test parity
 cargo test -q -p integration-tests --test chaos
+# Elastic-membership gate: the protocol-direct join/drain/crash
+# interleaving proptests, the seeded rescale schedule that must land on
+# identical membership counters in all three worlds, and the
+# crash-during-drain degradation ladder end to end.
+cargo test -q -p data-roundabout --test proptests protocol_core_rescale
+cargo test -q -p data-roundabout --test parity seeded_rescale_schedule_three_way_parity
+cargo test -q -p integration-tests --test chaos crash_during_drain
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q --release -p xtask -- analyze

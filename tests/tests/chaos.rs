@@ -8,7 +8,7 @@
 
 use cyclo_join::{
     reference_join, CycloJoin, CycloJoinReport, FaultPlan, HostId, JoinPredicate, PlanError,
-    RingConfig,
+    RescalePlan, RingConfig,
 };
 use relation::{GenSpec, Relation};
 use simnet::time::{SimDuration, SimTime};
@@ -92,6 +92,57 @@ fn crash_at_three_quarter_revolution_heals() {
     crash_at_fraction(0.75);
 }
 
+/// A host dies *while draining out*: the planned departure hands its
+/// stationary partitions off up front, so when the crash interrupts the
+/// graceful exit mid-relay, crash healing — not the drain protocol —
+/// finishes the job, and the join still matches the single-host
+/// reference exactly. The drain never completes (the host died first),
+/// so the epoch advance it would have contributed never happens.
+#[test]
+fn crash_during_drain_degrades_to_healing() {
+    let (r, s) = inputs();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+
+    let baseline = CycloJoin::new(r.clone(), s.clone())
+        .ring(chaos_config(6))
+        .run()
+        .expect("baseline should run");
+    let revolution = baseline.total_seconds() - baseline.setup_seconds();
+    let drain_at = baseline.setup_seconds() + 0.35 * revolution;
+    let crash_at = drain_at + 0.05 * revolution;
+
+    let rescale = RescalePlan::seeded(4242).drain_host(
+        HostId(1),
+        SimTime::ZERO + SimDuration::from_secs_f64(drain_at),
+    );
+    let faults = FaultPlan::seeded(4242).crash_host(
+        HostId(1),
+        SimTime::ZERO + SimDuration::from_secs_f64(crash_at),
+    );
+    let report = CycloJoin::new(r, s)
+        .ring(chaos_config(6))
+        .rescale_plan(rescale)
+        .fault_plan(faults)
+        .run()
+        .expect("healing should finish what the drain started");
+
+    assert_eq!(report.match_count(), reference.count);
+    assert_eq!(report.checksum(), reference.checksum);
+    assert_eq!(report.heal_events(), 1, "the drainee died mid-drain");
+    assert_eq!(
+        report.rescale_drains(),
+        0,
+        "a drain cut short by death is not a completed drain"
+    );
+    assert_eq!(
+        report.membership_epoch(),
+        report.rescale_joins() + report.rescale_drains(),
+        "the epoch only counts completed transitions"
+    );
+    assert!(!report.fault_free());
+    assert_exactly_once(&report);
+}
+
 /// The same mid-revolution death over *real sockets*: the TCP backend
 /// realizes the seeded crash as an actual connection sever (a FIN after
 /// the last committed byte) and reports the death to the protocol, whose
@@ -124,6 +175,46 @@ fn tcp_connection_sever_mid_revolution_heals_exactly_once() {
     assert_eq!(report.heal_events(), 1, "exactly one socket was severed");
     assert!(report.detection_latency_seconds() > 0.0);
     assert!(!report.fault_free());
+    assert_exactly_once(&report);
+}
+
+/// Crash-during-drain over real sockets. Wall-clock scheduling decides
+/// whether the sever lands while the drain is still relaying (crash
+/// healing takes over) or just after the host already departed (the
+/// sever hits a closed socket and is a no-op) — but in *either* world
+/// the host leaves the ring exactly once and the join is exact, which
+/// is precisely the invariant the degradation ladder promises.
+#[test]
+fn tcp_crash_during_drain_departs_exactly_once() {
+    let (r, s) = inputs();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+
+    let rescale = RescalePlan::seeded(4242)
+        .drain_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(5));
+    let faults =
+        FaultPlan::seeded(4242).crash_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(6));
+    let config = RingConfig::paper(4)
+        .with_ack_timeout(SimDuration::from_millis(8))
+        .with_max_retransmits(3);
+    let report = CycloJoin::new(r, s)
+        .ring(config)
+        .rescale_plan(rescale)
+        .fault_plan(faults)
+        .run_tcp()
+        .expect("the ring should survive a crash racing a planned drain");
+
+    assert_eq!(report.match_count(), reference.count);
+    assert_eq!(report.checksum(), reference.checksum);
+    assert_eq!(
+        report.heal_events() as u64 + report.rescale_drains(),
+        1,
+        "host 1 must leave exactly once — gracefully or by being declared dead"
+    );
+    assert_eq!(
+        report.membership_epoch(),
+        report.rescale_joins() + report.rescale_drains(),
+        "the epoch only counts completed transitions"
+    );
     assert_exactly_once(&report);
 }
 
