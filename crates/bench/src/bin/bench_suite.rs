@@ -1,0 +1,90 @@
+//! The measured perf baseline: `cargo xtask bench` runs this binary.
+//!
+//! ```text
+//! bench_suite [--smoke] [--out <path>]
+//! ```
+//!
+//! Runs the kernel / codec / e2e suites plus the hot-path before/after
+//! deltas (see `cyclo_bench::suite`), prints a summary table, and writes
+//! the schema-checked JSON report to `--out` (default: stdout only).
+//! `--smoke` shrinks sizes and budgets to CI scale; the JSON shape is
+//! identical, so the same validator gates both.
+
+use std::path::PathBuf;
+
+use cyclo_bench::print_table;
+use cyclo_bench::suite::run_suite;
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+                out = Some(PathBuf::from(path));
+            }
+            other => {
+                eprintln!("unknown flag {other:?}; usage: bench_suite [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("== cyclo-join bench suite ({mode}) ==\n");
+    let report = run_suite(smoke);
+
+    let rows: Vec<Vec<String>> = report
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.clone(),
+                e.group.to_string(),
+                e.iters.to_string(),
+                format!("{:.0}", e.ns_per_iter),
+                format!("{:.3e}", e.throughput),
+                e.throughput_unit.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["name", "group", "iters", "ns/iter", "throughput", "unit"],
+        &rows,
+    );
+
+    println!();
+    let rows: Vec<Vec<String>> = report
+        .deltas
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                format!("{:.0}", d.before_ns),
+                format!("{:.0}", d.after_ns),
+                format!("{:.2}x", d.speedup),
+            ]
+        })
+        .collect();
+    print_table(&["hot path", "before ns", "after ns", "speedup"], &rows);
+
+    if let Some(path) = out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+        }
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("\n[json] {}", path.display());
+    }
+}

@@ -18,6 +18,10 @@ use std::path::{Path, PathBuf};
 
 use cyclo_join::{ComputeMode, CycloJoinReport};
 
+pub mod report;
+pub mod suite;
+pub mod timing;
+
 /// Reads the volume scale factor, with a per-binary default.
 pub fn scale_from_env(default: f64) -> f64 {
     match std::env::var("CYCLO_SCALE") {

@@ -1,0 +1,244 @@
+//! The `BENCH_<n>.json` report shape and its hand-rolled serializer.
+//!
+//! Schema (version 1) — validated by `cargo xtask bench --check`:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "mode": "full" | "smoke",
+//!   "entries": [
+//!     { "name": "radix_partition_64k", "group": "kernel",
+//!       "iters": 42, "ns_per_iter": 123456.7,
+//!       "throughput": 5.3e8, "throughput_unit": "tuples/s" }
+//!   ],
+//!   "deltas": [
+//!     { "name": "envelope_encode_buffer",
+//!       "before_ns": 2000.0, "after_ns": 1000.0, "speedup": 2.0 }
+//!   ]
+//! }
+//! ```
+//!
+//! `entries` must cover the groups `kernel`, `codec` and `e2e`, and the
+//! `e2e` group must have one entry per backend (`sim`, `threads`, `tcp`).
+//! Each `deltas` row is a before/after measurement of one fixed hot path,
+//! taken in the same process on the same input (the "before" is a bench-
+//! local reimplementation of the removed code path).
+
+use crate::timing::Sample;
+
+/// Schema version written into every report.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One measured benchmark entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Unique name, e.g. `radix_partition_64k`.
+    pub name: String,
+    /// `kernel`, `codec` or `e2e`.
+    pub group: &'static str,
+    /// Measured iterations.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Work per second in `throughput_unit`s.
+    pub throughput: f64,
+    /// `tuples/s`, `bytes/s` or `revolutions/s`.
+    pub throughput_unit: &'static str,
+}
+
+/// One before/after hot-path measurement.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// The fixed hot path, e.g. `table_build_column_copy`.
+    pub name: String,
+    /// ns/iter of the pre-fix code path (bench-local reimplementation).
+    pub before_ns: f64,
+    /// ns/iter of the shipped code path.
+    pub after_ns: f64,
+    /// `before_ns / after_ns`.
+    pub speedup: f64,
+}
+
+impl Delta {
+    /// Builds a delta from two samples over identical work.
+    pub fn from_samples(name: &str, before: Sample, after: Sample) -> Self {
+        let before_ns = before.ns_per_iter();
+        let after_ns = after.ns_per_iter();
+        Delta {
+            name: name.to_string(),
+            before_ns,
+            after_ns,
+            speedup: before_ns / after_ns.max(1e-9),
+        }
+    }
+}
+
+/// A complete bench report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// True for `--smoke` runs (tiny sizes, minimal budget).
+    pub smoke: bool,
+    /// Measured entries, in run order.
+    pub entries: Vec<Entry>,
+    /// Hot-path before/after deltas.
+    pub deltas: Vec<Delta>,
+}
+
+impl Report {
+    /// Records one measured entry.
+    pub fn push_entry(
+        &mut self,
+        name: &str,
+        group: &'static str,
+        sample: Sample,
+        throughput: f64,
+        unit: &'static str,
+    ) {
+        self.entries.push(Entry {
+            name: name.to_string(),
+            group,
+            iters: sample.iters,
+            ns_per_iter: sample.ns_per_iter(),
+            throughput,
+            throughput_unit: unit,
+        });
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            if self.smoke { "smoke" } else { "full" }
+        ));
+        out.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{ \"name\": {}, \"group\": \"{}\", \"iters\": {}, \
+                 \"ns_per_iter\": {}, \"throughput\": {}, \"throughput_unit\": \"{}\" }}",
+                json_string(&e.name),
+                e.group,
+                e.iters,
+                json_number(e.ns_per_iter),
+                json_number(e.throughput),
+                e.throughput_unit,
+            ));
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"deltas\": [");
+        for (i, d) in self.deltas.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{ \"name\": {}, \"before_ns\": {}, \"after_ns\": {}, \"speedup\": {} }}",
+                json_string(&d.name),
+                json_number(d.before_ns),
+                json_number(d.after_ns),
+                json_number(d.speedup),
+            ));
+        }
+        out.push_str("\n  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite float as a JSON number (no NaN/Inf — those are not
+/// JSON; measurement code guards against producing them).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        // Three decimals: enough for a speedup ratio, trim for big counts.
+        let rounded = (x * 1000.0).round() / 1000.0;
+        if rounded == rounded.trunc() && rounded.abs() < 1e15 {
+            format!("{:.1}", rounded)
+        } else {
+            format!("{rounded}")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut report = Report {
+            smoke: true,
+            ..Report::default()
+        };
+        report.push_entry(
+            "radix_partition_4k",
+            "kernel",
+            Sample {
+                iters: 10,
+                total: Duration::from_nanos(1000),
+            },
+            4.0e7,
+            "tuples/s",
+        );
+        report.deltas.push(Delta {
+            name: "x".into(),
+            before_ns: 200.0,
+            after_ns: 100.0,
+            speedup: 2.0,
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"mode\": \"smoke\""));
+        assert!(json.contains("\"group\": \"kernel\""));
+        assert!(json.contains("\"speedup\": 2.0"));
+        assert!(json.contains("\"ns_per_iter\": 100.0"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn numbers_are_finite_json() {
+        assert_eq!(json_number(f64::NAN), "0.0");
+        assert_eq!(json_number(2.0), "2.0");
+        assert_eq!(json_number(123.456), "123.456");
+        assert_eq!(json_number(123.45678), "123.457");
+    }
+
+    #[test]
+    fn delta_from_samples() {
+        let before = Sample {
+            iters: 1,
+            total: Duration::from_nanos(300),
+        };
+        let after = Sample {
+            iters: 1,
+            total: Duration::from_nanos(100),
+        };
+        let d = Delta::from_samples("p", before, after);
+        assert_eq!(d.speedup, 3.0);
+    }
+}

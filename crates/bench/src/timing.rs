@@ -1,0 +1,216 @@
+//! A hand-rolled measurement loop — no external bench framework.
+//!
+//! The harness follows the classic two-phase shape: a warmup phase runs
+//! the routine until the code and its data are hot (JIT-free Rust still
+//! wants warm caches, resolved lazy statics and a trained branch
+//! predictor), then a measurement phase runs it until both a minimum
+//! iteration count and a minimum wall-time are met, so fast routines get
+//! statistics and slow routines finish in bounded time.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Measured iterations (excluding warmup).
+    pub iters: u64,
+    /// Total wall time across the measured iterations.
+    pub total: Duration,
+}
+
+impl Sample {
+    /// Mean nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+
+    /// Items per second, given `items` processed per iteration.
+    pub fn per_second(&self, items: f64) -> f64 {
+        items * 1e9 / self.ns_per_iter().max(1e-9)
+    }
+}
+
+/// Measurement budget: how long to warm up and how much to measure.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Wall time spent warming the routine before measuring.
+    pub warmup: Duration,
+    /// Measure at least this many iterations...
+    pub min_iters: u64,
+    /// ...and at least this much wall time, whichever takes longer.
+    pub min_time: Duration,
+}
+
+impl Budget {
+    /// The default budget for full runs.
+    pub fn full() -> Self {
+        Budget {
+            warmup: Duration::from_millis(150),
+            min_iters: 10,
+            min_time: Duration::from_millis(400),
+        }
+    }
+
+    /// A minimal budget for smoke runs: enough to exercise every code
+    /// path and produce valid (if noisy) numbers, fast enough for CI.
+    pub fn smoke() -> Self {
+        Budget {
+            warmup: Duration::from_millis(5),
+            min_iters: 3,
+            min_time: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Measures `routine` under `budget`. The routine's result is passed
+/// through [`black_box`] so the optimizer cannot delete the work.
+pub fn bench<R>(budget: Budget, mut routine: impl FnMut() -> R) -> Sample {
+    let warm_until = Instant::now() + budget.warmup;
+    while Instant::now() < warm_until {
+        black_box(routine());
+    }
+    let mut iters = 0u64;
+    let started = Instant::now();
+    loop {
+        black_box(routine());
+        iters += 1;
+        let total = started.elapsed();
+        if iters >= budget.min_iters && total >= budget.min_time {
+            return Sample { iters, total };
+        }
+    }
+}
+
+/// Like [`bench`], but with a per-iteration `setup` whose cost is
+/// excluded from the measurement — for routines that consume their input
+/// (an owned hash-table build) or mutate it in place. Timing brackets
+/// only the routine, so the setup's allocations and copies never pollute
+/// the number.
+pub fn bench_with_setup<T, R>(
+    budget: Budget,
+    mut setup: impl FnMut() -> T,
+    mut routine: impl FnMut(T) -> R,
+) -> Sample {
+    let warm_until = Instant::now() + budget.warmup;
+    while Instant::now() < warm_until {
+        black_box(routine(setup()));
+    }
+    let mut iters = 0u64;
+    let mut total = Duration::ZERO;
+    loop {
+        let input = setup();
+        let started = Instant::now();
+        black_box(routine(input));
+        total += started.elapsed();
+        iters += 1;
+        if iters >= budget.min_iters && total >= budget.min_time {
+            return Sample { iters, total };
+        }
+    }
+}
+
+/// Measures an A/B pair fairly: two rounds per side, in A-B-B-A order so
+/// slow drift (frequency scaling, a noisy neighbour) hits both sides, and
+/// the faster round wins per side. Sequential single measurements showed
+/// up to 30% round-to-round drift on shared hardware; this keeps a
+/// before/after delta honest.
+pub fn bench_ab<RA, RB>(
+    budget: Budget,
+    mut a: impl FnMut() -> RA,
+    mut b: impl FnMut() -> RB,
+) -> (Sample, Sample) {
+    let a1 = bench(budget, &mut a);
+    let b1 = bench(budget, &mut b);
+    let b2 = bench(budget, &mut b);
+    let a2 = bench(budget, &mut a);
+    (faster(a1, a2), faster(b1, b2))
+}
+
+/// [`bench_ab`] with a per-iteration setup excluded from timing on both
+/// sides (see [`bench_with_setup`]).
+pub fn bench_ab_with_setup<T, RA, RB>(
+    budget: Budget,
+    mut setup: impl FnMut() -> T,
+    mut a: impl FnMut(T) -> RA,
+    mut b: impl FnMut(T) -> RB,
+) -> (Sample, Sample) {
+    let a1 = bench_with_setup(budget, &mut setup, &mut a);
+    let b1 = bench_with_setup(budget, &mut setup, &mut b);
+    let b2 = bench_with_setup(budget, &mut setup, &mut b);
+    let a2 = bench_with_setup(budget, &mut setup, &mut a);
+    (faster(a1, a2), faster(b1, b2))
+}
+
+fn faster(x: Sample, y: Sample) -> Sample {
+    if x.ns_per_iter() <= y.ns_per_iter() {
+        x
+    } else {
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_math() {
+        let s = Sample {
+            iters: 4,
+            total: Duration::from_nanos(400),
+        };
+        assert_eq!(s.ns_per_iter(), 100.0);
+        assert_eq!(s.per_second(50.0), 50.0 * 1e9 / 100.0);
+    }
+
+    #[test]
+    fn bench_meets_the_budget() {
+        let budget = Budget {
+            warmup: Duration::ZERO,
+            min_iters: 5,
+            min_time: Duration::from_millis(1),
+        };
+        let mut calls = 0u64;
+        let s = bench(budget, || calls += 1);
+        assert!(s.iters >= 5);
+        assert!(s.total >= Duration::from_millis(1));
+        assert_eq!(calls, s.iters);
+    }
+
+    #[test]
+    fn ab_runs_both_sides_and_keeps_the_faster_round() {
+        let budget = Budget {
+            warmup: Duration::ZERO,
+            min_iters: 2,
+            min_time: Duration::ZERO,
+        };
+        let (mut a_calls, mut b_calls) = (0u64, 0u64);
+        let (a, b) = bench_ab(budget, || a_calls += 1, || b_calls += 1);
+        // Two rounds of at least two iterations each ran per side...
+        assert!(a_calls >= 4 && b_calls >= 4);
+        // ...and the reported sample is one round, not the sum.
+        assert!(a.iters < a_calls && b.iters < b_calls);
+    }
+
+    #[test]
+    fn setup_cost_is_excluded() {
+        let budget = Budget {
+            warmup: Duration::ZERO,
+            min_iters: 3,
+            min_time: Duration::ZERO,
+        };
+        // A deliberately slow setup and an instant routine: the measured
+        // per-iteration time must reflect the routine, not the setup.
+        let s = bench_with_setup(
+            budget,
+            || std::thread::sleep(Duration::from_millis(2)),
+            |_| 1u8,
+        );
+        assert!(
+            s.ns_per_iter() < 1_000_000.0,
+            "setup leaked into the measurement: {} ns/iter",
+            s.ns_per_iter()
+        );
+    }
+}

@@ -49,16 +49,19 @@ impl HashJoinState {
     /// partitioning (table building per partition remains sequential —
     /// insertions are cheap relative to the scatter).
     pub fn build_parallel(s: &Relation, bits: u32, params: &CacheParams, threads: usize) -> Self {
+        let tuples = s.len();
         let partitioned = RadixPartitioned::new_parallel(s, bits, params, threads);
+        // The scatter output is discarded after the build, so each table
+        // takes its partition's columns over instead of copying them.
         let tables = partitioned
-            .partitions()
-            .iter()
-            .map(|p| ChainedTable::build_with_shift(p, bits))
+            .into_partitions()
+            .into_iter()
+            .map(|p| ChainedTable::build_owned(p, bits))
             .collect();
         HashJoinState {
             bits,
             tables,
-            tuples: s.len(),
+            tuples,
         }
     }
 

@@ -23,6 +23,11 @@ pub struct RadixPartitioned {
 impl RadixPartitioned {
     /// Partitions `rel` on `bits` radix bits of the key hash, in passes of
     /// at most `params.max_bits_per_pass` bits.
+    ///
+    /// The first pass scatters straight from the borrowed input — the
+    /// input is never cloned. Callers that own their relation and are done
+    /// with it should prefer [`RadixPartitioned::from_owned`], which also
+    /// avoids the copy on the `bits == 0` identity path.
     pub fn new(rel: &Relation, bits: u32, params: &CacheParams) -> Self {
         assert!(bits <= 24, "more than 2^24 partitions is never useful here");
         if bits == 0 {
@@ -31,26 +36,25 @@ impl RadixPartitioned {
                 partitions: vec![rel.clone()],
             };
         }
-        // Resolve most-significant radix bits first: after every pass the
-        // flat concatenation of partitions is ordered by the bits resolved
-        // so far (as the *top* of the final index), so once all passes ran,
-        // partition `i` holds exactly the keys with `hash & mask == i`.
-        let mut remaining = bits;
-        let mut current = vec![rel.clone()];
-        while remaining > 0 {
-            let step = params.max_bits_per_pass.max(1).min(remaining);
-            let shift = remaining - step;
-            let mut refined = Vec::with_capacity(current.len() << step);
-            for part in &current {
-                refined.extend(scatter_one(part, shift, step));
-            }
-            current = refined;
-            remaining -= step;
-        }
         RadixPartitioned {
             bits,
-            partitions: current,
+            partitions: scatter_slices(rel.keys(), rel.payloads(), bits, params),
         }
+    }
+
+    /// Like [`RadixPartitioned::new`] but consumes the relation, so the
+    /// `bits == 0` identity partitioning moves the storage instead of
+    /// copying it. For `bits > 0` the input is scattered from a borrow and
+    /// dropped — the partitions own fresh storage either way.
+    pub fn from_owned(rel: Relation, bits: u32, params: &CacheParams) -> Self {
+        assert!(bits <= 24, "more than 2^24 partitions is never useful here");
+        if bits == 0 {
+            return RadixPartitioned {
+                bits: 0,
+                partitions: vec![rel],
+            };
+        }
+        RadixPartitioned::new(&rel, bits, params)
     }
 
     /// Like [`RadixPartitioned::new`] but scatters with `threads` worker
@@ -62,21 +66,27 @@ impl RadixPartitioned {
         if threads <= 1 || rel.len() < 4 * threads {
             return RadixPartitioned::new(rel, bits, params);
         }
+        if bits == 0 {
+            return RadixPartitioned::new(rel, 0, params);
+        }
         let ranges = shard_ranges(rel.len(), threads);
-        let chunk_parts: Vec<RadixPartitioned> = fork_join(threads, |i| {
+        let keys = rel.keys();
+        let payloads = rel.payloads();
+        // Each thread scatters its borrowed chunk of the input columns
+        // directly — no per-chunk copy of the tuples before the scatter.
+        let chunk_parts: Vec<Vec<Relation>> = fork_join(threads, |i| {
             let range = ranges[i].clone();
-            let chunk = rel.slice(range.start, range.end);
-            RadixPartitioned::new(&chunk, bits, params)
+            scatter_slices(&keys[range.clone()], &payloads[range], bits, params)
         });
         let fanout = 1usize << bits;
         let mut partitions: Vec<Relation> = (0..fanout)
             .map(|j| {
-                let cap = chunk_parts.iter().map(|cp| cp.partition(j).len()).sum();
+                let cap = chunk_parts.iter().map(|cp| cp[j].len()).sum();
                 Relation::with_capacity(cap)
             })
             .collect();
         for cp in &chunk_parts {
-            for (j, p) in cp.partitions().iter().enumerate() {
+            for (j, p) in cp.iter().enumerate() {
                 partitions[j].extend_from(p);
             }
         }
@@ -108,6 +118,13 @@ impl RadixPartitioned {
     /// The partitions, indexed by the low `bits` of the key hash.
     pub fn partitions(&self) -> &[Relation] {
         &self.partitions
+    }
+
+    /// Consumes the partitioning, returning the owned partitions — lets a
+    /// consumer (the per-partition hash-table build) take over the backing
+    /// storage instead of copying both columns of every partition.
+    pub fn into_partitions(self) -> Vec<Relation> {
+        self.partitions
     }
 
     /// Partition `index`.
@@ -154,14 +171,43 @@ pub fn radix_of(key: Key, bits: u32) -> usize {
     }
 }
 
-/// Scatters one relation on `step` bits starting at bit `shift` of the key
-/// hash, using a histogram + prefix-sum + scatter (single output
-/// allocation, no per-partition reallocation).
-fn scatter_one(rel: &Relation, shift: u32, step: u32) -> Vec<Relation> {
+/// Multi-pass scatter over borrowed column slices: resolves
+/// most-significant radix bits first, so after every pass the flat
+/// concatenation of partitions is ordered by the bits resolved so far (as
+/// the *top* of the final index) and once all passes ran, partition `i`
+/// holds exactly the keys with `hash & mask == i`. The first pass reads
+/// the caller's slices directly; only the refinement passes touch owned
+/// intermediate partitions.
+fn scatter_slices(
+    keys: &[Key],
+    payloads: &[Payload],
+    bits: u32,
+    params: &CacheParams,
+) -> Vec<Relation> {
+    debug_assert!(bits > 0, "bits == 0 is the identity; callers handle it");
+    let mut remaining = bits;
+    let step = params.max_bits_per_pass.max(1).min(remaining);
+    let mut current = scatter_one(keys, payloads, remaining - step, step);
+    remaining -= step;
+    while remaining > 0 {
+        let step = params.max_bits_per_pass.max(1).min(remaining);
+        let shift = remaining - step;
+        let mut refined = Vec::with_capacity(current.len() << step);
+        for part in &current {
+            refined.extend(scatter_one(part.keys(), part.payloads(), shift, step));
+        }
+        current = refined;
+        remaining -= step;
+    }
+    current
+}
+
+/// Scatters one pair of column slices on `step` bits starting at bit
+/// `shift` of the key hash, using a histogram + exact-capacity scatter
+/// targets (no per-partition reallocation).
+fn scatter_one(keys: &[Key], payloads: &[Payload], shift: u32, step: u32) -> Vec<Relation> {
     let fanout = 1usize << step;
     let mask = (fanout - 1) as u32;
-    let keys = rel.keys();
-    let payloads = rel.payloads();
 
     let mut histogram = vec![0usize; fanout];
     for &k in keys {

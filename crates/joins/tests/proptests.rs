@@ -83,6 +83,51 @@ proptest! {
         );
     }
 
+    /// The three partitioning constructors — borrowed scatter, owned
+    /// scatter, and the parallel scatter — produce byte-identical
+    /// partitions. The borrowed path used to seed itself with a
+    /// whole-relation clone; this pins the fix to the old semantics
+    /// (and `from_owned(rel.clone())` *is* the old clone-seeded path).
+    #[test]
+    fn partitioning_constructors_agree(
+        rel in relation_strategy(),
+        bits in 0u32..10,
+        per_pass in 1u32..6,
+        threads in 1usize..6,
+    ) {
+        let params = CacheParams {
+            max_bits_per_pass: per_pass,
+            ..CacheParams::default()
+        };
+        let borrowed = RadixPartitioned::new(&rel, bits, &params);
+        let owned = RadixPartitioned::from_owned(rel.clone(), bits, &params);
+        let parallel = RadixPartitioned::new_parallel(&rel, bits, &params, threads);
+        prop_assert_eq!(borrowed.partitions(), owned.partitions());
+        prop_assert_eq!(borrowed.partitions(), parallel.partitions());
+    }
+
+    /// The owned table build (which moves the partition's columns) probes
+    /// identically to the borrowed build (which copies them): same
+    /// matches in the same order for present and absent keys, same chain
+    /// topology.
+    #[test]
+    fn owned_table_build_probes_like_borrowed(
+        partition in relation_strategy(),
+        bits in 0u32..8,
+        absent in prop::collection::vec(any::<u32>(), 0..20),
+    ) {
+        use mem_joins::hash::ChainedTable;
+        let reference = ChainedTable::build_with_shift(&partition, bits);
+        let owned = ChainedTable::build_owned(partition.clone(), bits);
+        prop_assert_eq!(owned.len(), reference.len());
+        prop_assert_eq!(owned.longest_chain(), reference.longest_chain());
+        for &key in partition.keys().iter().chain(absent.iter()) {
+            let expect: Vec<_> = reference.probe(key).collect();
+            let got: Vec<_> = owned.probe(key).collect();
+            prop_assert_eq!(got, expect, "probe({}) diverged", key);
+        }
+    }
+
     /// Sorting is stable with respect to the multiset for any thread count.
     #[test]
     fn parallel_sort_conserves(rel in relation_strategy(), threads in 1usize..6) {

@@ -60,6 +60,14 @@ impl Relation {
         Relation { keys, payloads }
     }
 
+    /// Consumes the relation, returning its two columns without copying —
+    /// the inverse of [`Relation::from_columns`]. This is what lets a
+    /// consumer (a hash-table build, a scatter pass) take over the backing
+    /// storage instead of `to_vec()`-copying both columns.
+    pub fn into_columns(self) -> (Column<Key>, Column<Payload>) {
+        (self.keys, self.payloads)
+    }
+
     /// Appends a tuple.
     pub fn push(&mut self, tuple: Tuple) {
         self.keys.push(tuple.key);
@@ -263,6 +271,13 @@ mod tests {
     fn from_iterator_of_tuples() {
         let rel: Relation = (0..5).map(|i| Tuple::new(i, i as u64)).collect();
         assert_eq!(rel.len(), 5);
+    }
+
+    #[test]
+    fn into_columns_round_trips() {
+        let rel = sample();
+        let (keys, payloads) = rel.clone().into_columns();
+        assert_eq!(Relation::from_columns(keys, payloads), rel);
     }
 
     #[test]

@@ -76,8 +76,18 @@ pub const fn encoded_len(tuples: usize) -> usize {
 
 /// Serializes `rel` into a fresh buffer.
 pub fn encode(rel: &Relation) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(rel.len()));
+    encode_into(rel, &mut out);
+    out
+}
+
+/// Serializes `rel` by appending exactly [`encoded_len`]`(rel.len())`
+/// bytes to `out` — the allocation-free form of [`encode`] for callers
+/// that assemble a larger frame (an envelope, a tagged payload) around
+/// the relation bytes.
+pub fn encode_into(rel: &Relation, out: &mut Vec<u8>) {
     let n = rel.len();
-    let mut out = Vec::with_capacity(encoded_len(n));
+    out.reserve(encoded_len(n));
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(n as u64).to_le_bytes());
@@ -88,7 +98,6 @@ pub fn encode(rel: &Relation) -> Vec<u8> {
     for &p in rel.payloads() {
         out.extend_from_slice(&p.to_le_bytes());
     }
-    out
 }
 
 /// Deserializes a buffer produced by [`encode`].
@@ -281,6 +290,15 @@ mod tests {
             // without panicking or aborting on allocation.
             let _ = decode(&bytes);
         }
+    }
+
+    #[test]
+    fn encode_into_appends_without_clearing() {
+        let rel = GenSpec::uniform(50, 6).generate();
+        let mut out = vec![0xEE, 0xFF];
+        encode_into(&rel, &mut out);
+        assert_eq!(&out[..2], &[0xEE, 0xFF]);
+        assert_eq!(&out[2..], encode(&rel).as_slice());
     }
 
     #[test]

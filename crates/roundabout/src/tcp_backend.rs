@@ -50,6 +50,7 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -116,6 +117,11 @@ const ACK_OUT_OF_CONTEXT: &str = "ack emitted outside a delivery context";
 /// taken at origination is verified on the decoded payload, so a lossy
 /// codec would masquerade as wire corruption.
 pub trait WirePayload: PayloadBytes + Sized {
+    /// Exact number of bytes [`WirePayload::encode_payload`] will append —
+    /// frame buffers are sized from this before encoding, so an
+    /// underestimate costs a mid-encode reallocation and copy of
+    /// everything written so far.
+    fn payload_wire_len(&self) -> usize;
     /// Appends this payload's wire bytes to `out`.
     fn encode_payload(&self, out: &mut Vec<u8>);
     /// Reconstructs a payload from its wire bytes.
@@ -128,6 +134,10 @@ pub trait WirePayload: PayloadBytes + Sized {
 }
 
 impl WirePayload for Vec<u8> {
+    fn payload_wire_len(&self) -> usize {
+        self.len()
+    }
+
     fn encode_payload(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(self);
     }
@@ -138,8 +148,12 @@ impl WirePayload for Vec<u8> {
 }
 
 impl WirePayload for relation::Relation {
+    fn payload_wire_len(&self) -> usize {
+        relation::wire::encoded_len(self.len())
+    }
+
     fn encode_payload(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&relation::wire::encode(self));
+        relation::wire::encode_into(self, out);
     }
 
     fn decode_payload(bytes: &[u8]) -> Result<Self, FrameError> {
@@ -153,24 +167,45 @@ const TAG_SORTED: u8 = 1;
 const TAG_HASH: u8 = 2;
 
 impl WirePayload for mem_joins::PreparedFragment {
+    fn payload_wire_len(&self) -> usize {
+        match self {
+            mem_joins::PreparedFragment::Plain(rel) => 1 + relation::wire::encoded_len(rel.len()),
+            mem_joins::PreparedFragment::Sorted(run) => {
+                1 + relation::wire::encoded_len(run.as_relation().len())
+            }
+            mem_joins::PreparedFragment::HashPartitioned(parts) => {
+                1 + 4
+                    + 4
+                    + parts
+                        .partitions()
+                        .iter()
+                        .map(|p| 4 + relation::wire::encoded_len(p.len()))
+                        .sum::<usize>()
+            }
+        }
+    }
+
     fn encode_payload(&self, out: &mut Vec<u8>) {
         match self {
             mem_joins::PreparedFragment::Plain(rel) => {
                 out.push(TAG_PLAIN);
-                out.extend_from_slice(&relation::wire::encode(rel));
+                relation::wire::encode_into(rel, out);
             }
             mem_joins::PreparedFragment::Sorted(run) => {
                 out.push(TAG_SORTED);
-                out.extend_from_slice(&relation::wire::encode(run.as_relation()));
+                relation::wire::encode_into(run.as_relation(), out);
             }
             mem_joins::PreparedFragment::HashPartitioned(parts) => {
                 out.push(TAG_HASH);
                 out.extend_from_slice(&parts.bits().to_le_bytes());
                 out.extend_from_slice(&(parts.partitions().len() as u32).to_le_bytes());
                 for p in parts.partitions() {
-                    let enc = relation::wire::encode(p);
-                    out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&enc);
+                    // The per-partition length prefix is a pure function
+                    // of the tuple count, so it can be written *before*
+                    // the bytes — no staging copy of the encoding.
+                    let enc_len = relation::wire::encoded_len(p.len());
+                    out.extend_from_slice(&(enc_len as u32).to_le_bytes());
+                    relation::wire::encode_into(p, out);
                 }
             }
         }
@@ -267,25 +302,60 @@ fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
     Some(u64::from_le_bytes(s.try_into().ok()?))
 }
 
-fn finish_frame(kind: u8, body: Vec<u8>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(FRAME_HEADER + body.len());
+/// Opens a frame in `out`: the kind byte plus a zeroed length prefix,
+/// patched by [`close_frame`] once the body is in place. Writing the body
+/// directly behind the header keeps every frame a single buffer — no
+/// body-then-copy staging.
+fn open_frame(out: &mut Vec<u8>, kind: u8, body_hint: usize) {
+    out.clear();
+    out.reserve(FRAME_HEADER + body_hint);
     out.push(kind);
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(&body);
-    out
+    out.extend_from_slice(&[0u8; 4]);
+}
+
+/// Patches the length prefix of a frame started by [`open_frame`].
+///
+/// # Errors
+///
+/// Returns [`FrameError::Oversized`] when the body exceeds [`MAX_FRAME`]
+/// — such a frame could never be decoded on the other side.
+fn close_frame(out: &mut [u8]) -> Result<(), FrameError> {
+    let body_len = out.len().saturating_sub(FRAME_HEADER);
+    if body_len > MAX_FRAME as usize {
+        return Err(FrameError::Oversized {
+            len: u32::MAX,
+            max: MAX_FRAME,
+        });
+    }
+    if let Some(prefix) = out.get_mut(1..FRAME_HEADER) {
+        prefix.copy_from_slice(&(body_len as u32).to_le_bytes());
+    }
+    Ok(())
 }
 
 /// Encodes a handshake frame.
 pub fn encode_hello(nonce: u64, host: u32) -> Vec<u8> {
-    let mut body = Vec::with_capacity(HELLO_BODY);
-    body.extend_from_slice(&nonce.to_le_bytes());
-    body.extend_from_slice(&host.to_le_bytes());
-    finish_frame(KIND_HELLO, body)
+    let mut out = Vec::new();
+    open_frame(&mut out, KIND_HELLO, HELLO_BODY);
+    out.extend_from_slice(&nonce.to_le_bytes());
+    out.extend_from_slice(&host.to_le_bytes());
+    let _ = close_frame(&mut out); // 12-byte body: cannot be oversized
+    out
 }
 
 /// Encodes an acknowledgement frame.
 pub fn encode_ack(tid: u64) -> Vec<u8> {
-    finish_frame(KIND_ACK, tid.to_le_bytes().to_vec())
+    let mut out = Vec::new();
+    encode_ack_into(tid, &mut out);
+    out
+}
+
+/// Encodes an acknowledgement frame into a reusable buffer (cleared
+/// first).
+pub fn encode_ack_into(tid: u64, out: &mut Vec<u8>) {
+    open_frame(out, KIND_ACK, ACK_BODY);
+    out.extend_from_slice(&tid.to_le_bytes());
+    let _ = close_frame(out); // 8-byte body: cannot be oversized
 }
 
 /// Encodes an envelope frame.
@@ -295,22 +365,82 @@ pub fn encode_ack(tid: u64) -> Vec<u8> {
 /// Returns [`FrameError::Oversized`] when the payload would exceed
 /// [`MAX_FRAME`] — such a frame could never be decoded on the other side.
 pub fn encode_envelope<P: WirePayload>(tid: u64, env: &Envelope<P>) -> Result<Vec<u8>, FrameError> {
-    let mut body = Vec::with_capacity(ENVELOPE_HEADER + 64);
-    body.extend_from_slice(&tid.to_le_bytes());
-    body.extend_from_slice(&(env.id.0 as u64).to_le_bytes());
-    body.extend_from_slice(&(env.origin.0 as u32).to_le_bytes());
-    body.extend_from_slice(&(env.hops_remaining as u32).to_le_bytes());
-    body.extend_from_slice(&env.seq.to_le_bytes());
-    body.extend_from_slice(&env.checksum.to_le_bytes());
-    body.extend_from_slice(&env.visited.to_le_bytes());
-    env.payload.encode_payload(&mut body);
-    if body.len() > MAX_FRAME as usize {
-        return Err(FrameError::Oversized {
-            len: u32::MAX,
-            max: MAX_FRAME,
-        });
+    let mut out = Vec::new();
+    encode_envelope_into(tid, env, &mut out)?;
+    Ok(out)
+}
+
+/// Encodes an envelope frame into a reusable buffer (cleared first). The
+/// buffer is right-sized up front from [`WirePayload::payload_wire_len`],
+/// so a pooled buffer that has seen a similar payload before makes the
+/// whole encode allocation-free.
+///
+/// # Errors
+///
+/// As [`encode_envelope`].
+pub fn encode_envelope_into<P: WirePayload>(
+    tid: u64,
+    env: &Envelope<P>,
+    out: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    open_frame(
+        out,
+        KIND_ENVELOPE,
+        ENVELOPE_HEADER + env.payload.payload_wire_len(),
+    );
+    out.extend_from_slice(&tid.to_le_bytes());
+    out.extend_from_slice(&(env.id.0 as u64).to_le_bytes());
+    out.extend_from_slice(&(env.origin.0 as u32).to_le_bytes());
+    out.extend_from_slice(&(env.hops_remaining as u32).to_le_bytes());
+    out.extend_from_slice(&env.seq.to_le_bytes());
+    out.extend_from_slice(&env.checksum.to_le_bytes());
+    out.extend_from_slice(&env.visited.to_le_bytes());
+    env.payload.encode_payload(out);
+    close_frame(out)
+}
+
+/// Ceiling on the capacity a buffer may keep when it returns to the
+/// [`FrameBufPool`]: one outsized envelope must not pin its high-water
+/// allocation for the rest of the run.
+const MAX_POOLED_CAPACITY: usize = 4 * 1024 * 1024;
+/// Ceiling on pooled buffers; beyond it, returning buffers are dropped.
+const MAX_POOLED_BUFS: usize = 64;
+
+/// A shared pool of encode buffers. The coordinator draws a buffer per
+/// outgoing frame, encodes into it, and the writer thread returns it once
+/// `write_all` handed the bytes to the kernel — so the steady state
+/// allocates nothing per frame instead of a fresh `Vec` per envelope.
+#[derive(Default)]
+struct FrameBufPool {
+    bufs: std::sync::Mutex<Vec<Vec<u8>>>,
+}
+
+impl FrameBufPool {
+    /// A recycled buffer, or a fresh empty one when the pool is dry.
+    fn take(&self) -> Vec<u8> {
+        // A poisoned lock only means some thread panicked mid-push; the
+        // pool's contents are plain byte buffers, always safe to reuse.
+        let mut bufs = self
+            .bufs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        bufs.pop().unwrap_or_default()
     }
-    Ok(finish_frame(KIND_ENVELOPE, body))
+
+    /// Returns a buffer to the pool (oversized or surplus ones are freed).
+    fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        buf.clear();
+        let mut bufs = self
+            .bufs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if bufs.len() < MAX_POOLED_BUFS {
+            bufs.push(buf);
+        }
+    }
 }
 
 /// Incremental frame decoder: feed it byte chunks as they come off a
@@ -653,7 +783,12 @@ fn reader_loop<P: WirePayload>(stream: TcpStream, at: HostId, events: Sender<Eve
     }
 }
 
-fn writer_loop<P>(stream: TcpStream, jobs: Receiver<WriteJob>, events: Sender<Event<P>>) {
+fn writer_loop<P>(
+    stream: TcpStream,
+    jobs: Receiver<WriteJob>,
+    events: Sender<Event<P>>,
+    pool: Arc<FrameBufPool>,
+) {
     let mut stream = stream;
     for job in jobs.iter() {
         match job {
@@ -673,6 +808,7 @@ fn writer_loop<P>(stream: TcpStream, jobs: Receiver<WriteJob>, events: Sender<Ev
                 // means the peer is gone — the frame is lost on the
                 // medium and the reliable transport's timeout repairs it.
                 let _ = stream.write_all(&bytes);
+                pool.put(bytes);
                 if let Some(from) = notify {
                     if events.send(Event::SendDone { from }).is_err() {
                         return;
@@ -786,6 +922,8 @@ struct Coordinator<'a, P: WirePayload> {
     writers: WriterGrid,
     jobs: Vec<Sender<JoinJob<P>>>,
     timer_tx: Sender<TimerCmd>,
+    /// Encode buffers recycled through the writer threads.
+    pool: Arc<FrameBufPool>,
     /// Events produced synchronously while applying outputs (a dropped
     /// attempt's local send completion), processed before the channel.
     pending: VecDeque<Event<P>>,
@@ -1058,15 +1196,19 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
                     env,
                 } => self.apply_send(from, to, tid, attempt, env),
                 Output::Ack { to, tid } => match ctx {
-                    Some(at) => self.enqueue(
-                        at,
-                        to,
-                        WriteJob::Frame {
-                            bytes: encode_ack(tid),
-                            delay: Duration::ZERO,
-                            notify: None,
-                        },
-                    ),
+                    Some(at) => {
+                        let mut bytes = self.pool.take();
+                        encode_ack_into(tid, &mut bytes);
+                        self.enqueue(
+                            at,
+                            to,
+                            WriteJob::Frame {
+                                bytes,
+                                delay: Duration::ZERO,
+                                notify: None,
+                            },
+                        );
+                    }
                     None => self.fail(RingError::Teardown(ACK_OUT_OF_CONTEXT)),
                 },
                 Output::ArmTimer { timer, backoff_exp } => {
@@ -1261,8 +1403,9 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
             self.pending.push_back(Event::SendDone { from });
             return;
         }
-        match encode_envelope(tid, &wire) {
-            Ok(frame) => self.enqueue(
+        let mut frame = self.pool.take();
+        match encode_envelope_into(tid, &wire, &mut frame) {
+            Ok(()) => self.enqueue(
                 from,
                 to,
                 WriteJob::Frame {
@@ -1614,6 +1757,7 @@ where
 
     let (events_tx, events_rx) = channel::<Event<P>>();
     let (timer_tx, timer_rx) = channel::<TimerCmd>();
+    let pool = Arc::new(FrameBufPool::default());
 
     thread::scope(|s| {
         let mut writers: WriterGrid = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
@@ -1625,7 +1769,8 @@ where
             let (wtx, wrx) = channel::<WriteJob>();
             let tx = events_tx.clone();
             let writer = lane.writer;
-            s.spawn(move || writer_loop::<P>(writer, wrx, tx));
+            let wpool = Arc::clone(&pool);
+            s.spawn(move || writer_loop::<P>(writer, wrx, tx, wpool));
             if let Some(slot) = writers
                 .get_mut(lane.host)
                 .and_then(|row| row.get_mut(lane.peer))
@@ -1652,6 +1797,7 @@ where
             writers,
             jobs,
             timer_tx,
+            pool: Arc::clone(&pool),
             pending: VecDeque::new(),
             errors: ErrorCollector::default(),
             fatal: false,
@@ -1784,6 +1930,65 @@ mod tests {
                 step,
             );
         }
+    }
+
+    #[test]
+    fn into_encoders_match_fresh_encoders_and_reuse_capacity() {
+        let rel = relation::GenSpec::uniform(500, 3).generate();
+        let env = Envelope::new(FragmentId(9), HostId(1), 4, rel);
+        let mut buf = Vec::new();
+        encode_envelope_into(11, &env, &mut buf).unwrap();
+        assert_eq!(buf, encode_envelope(11, &env).unwrap());
+        assert_eq!(
+            buf.len(),
+            FRAME_HEADER + ENVELOPE_HEADER + env.payload.payload_wire_len(),
+            "payload_wire_len must be exact so pooled buffers never realloc"
+        );
+        let cap = buf.capacity();
+        // A second encode into the same (dirty) buffer must produce the
+        // same bytes without growing it.
+        encode_envelope_into(11, &env, &mut buf).unwrap();
+        assert_eq!(buf, encode_envelope(11, &env).unwrap());
+        assert_eq!(buf.capacity(), cap);
+
+        let mut ack = vec![0xAA; 3];
+        encode_ack_into(7, &mut ack);
+        assert_eq!(ack, encode_ack(7));
+    }
+
+    #[test]
+    fn payload_wire_len_is_exact_for_every_variant() {
+        use mem_joins::Algorithm;
+        let rel = relation::GenSpec::uniform(300, 5).generate();
+        for (alg, bits) in [
+            (Algorithm::NestedLoops, 0),
+            (Algorithm::SortMerge, 0),
+            (Algorithm::partitioned_hash(), 3),
+        ] {
+            let frag = alg.prepare_fragment(&rel, bits, 1);
+            let mut bytes = Vec::new();
+            frag.encode_payload(&mut bytes);
+            assert_eq!(bytes.len(), frag.payload_wire_len());
+        }
+        let v = vec![1u8, 2, 3];
+        assert_eq!(v.payload_wire_len(), 3);
+        assert_eq!(rel.payload_wire_len(), relation::wire::encoded_len(300));
+    }
+
+    #[test]
+    fn frame_pool_recycles_and_caps() {
+        let pool = FrameBufPool::default();
+        let mut a = pool.take();
+        assert!(a.is_empty());
+        a.extend_from_slice(&[1, 2, 3]);
+        let cap = a.capacity();
+        pool.put(a);
+        let b = pool.take();
+        assert!(b.is_empty(), "returned buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        // Oversized buffers are dropped, not pooled.
+        pool.put(Vec::with_capacity(MAX_POOLED_CAPACITY + 1));
+        assert_eq!(pool.take().capacity(), 0);
     }
 
     #[test]

@@ -1,0 +1,514 @@
+//! Validator for `BENCH_<n>.json` reports (`cargo xtask bench --check`).
+//!
+//! `xtask` is deliberately dependency-free, so this module carries its own
+//! minimal JSON reader — just enough of RFC 8259 for the bench report
+//! shape (objects, arrays, strings, numbers, booleans, null). The schema
+//! it enforces is documented in `crates/bench/src/report.rs`:
+//!
+//! * `version` must be `1`, `mode` must be `"full"` or `"smoke"`;
+//! * `entries` is non-empty; each entry has a `name`, a `group` in
+//!   {`kernel`, `codec`, `e2e`}, `iters >= 1`, `ns_per_iter > 0`,
+//!   `throughput > 0` and a string `throughput_unit`;
+//! * all three groups appear, and the `e2e` group covers every backend
+//!   (`e2e_sim`, `e2e_threads`, `e2e_tcp`);
+//! * each delta has a `name`, `before_ns > 0`, `after_ns > 0` and a
+//!   `speedup > 0` consistent with `before_ns / after_ns`.
+//!
+//! The validator checks *shape and internal consistency*, not perf
+//! targets: a regressed speedup is a review conversation, not a broken
+//! build.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Number(_) => "number",
+            Json::String(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+}
+
+/// A schema violation (or parse error), with enough context to fix it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaError(pub String);
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SchemaError> {
+    Err(SchemaError(msg.into()))
+}
+
+// --- JSON reader -----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail<T>(&self, msg: &str) -> Result<T, SchemaError> {
+        err(format!("json parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), SchemaError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.fail(&format!("expected {:?}", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, SchemaError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => self.fail(&format!("unexpected {:?}", other as char)),
+            None => self.fail("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, SchemaError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.fail(&format!("expected {word:?}"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, SchemaError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return self.fail("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, SchemaError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return self.fail("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SchemaError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.fail("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.fail("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.fail("bad \\u escape");
+                            };
+                            self.pos += 4;
+                            // Surrogates don't occur in bench names; map
+                            // them to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return self.fail("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 from the source slice.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let Some(chunk) = self.bytes.get(start..start + len) else {
+                        return self.fail("truncated utf-8");
+                    };
+                    let Ok(s) = std::str::from_utf8(chunk) else {
+                        return self.fail("invalid utf-8");
+                    };
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, SchemaError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Number(x)),
+            _ => self.fail(&format!("bad number {text:?}")),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parses a complete JSON document (rejecting trailing garbage).
+pub fn parse_json(text: &str) -> Result<Json, SchemaError> {
+    let mut p = Parser::new(text);
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.fail("trailing data after the document");
+    }
+    Ok(value)
+}
+
+// --- schema ----------------------------------------------------------------
+
+fn get<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a Json, SchemaError> {
+    obj.get(key)
+        .ok_or_else(|| SchemaError(format!("missing field {key:?}")))
+}
+
+fn as_object(v: &Json, what: &str) -> Result<BTreeMap<String, Json>, SchemaError> {
+    match v {
+        Json::Object(map) => Ok(map.clone()),
+        other => err(format!(
+            "{what} must be an object, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn as_array<'a>(v: &'a Json, what: &str) -> Result<&'a [Json], SchemaError> {
+    match v {
+        Json::Array(items) => Ok(items),
+        other => err(format!(
+            "{what} must be an array, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn as_string<'a>(v: &'a Json, what: &str) -> Result<&'a str, SchemaError> {
+    match v {
+        Json::String(s) => Ok(s),
+        other => err(format!(
+            "{what} must be a string, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn as_number(v: &Json, what: &str) -> Result<f64, SchemaError> {
+    match v {
+        Json::Number(x) => Ok(*x),
+        other => err(format!(
+            "{what} must be a number, got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn positive(obj: &BTreeMap<String, Json>, key: &str, ctx: &str) -> Result<f64, SchemaError> {
+    let x = as_number(get(obj, key)?, &format!("{ctx}.{key}"))?;
+    if x > 0.0 {
+        Ok(x)
+    } else {
+        err(format!("{ctx}.{key} must be > 0, got {x}"))
+    }
+}
+
+/// Validates a bench report document against schema version 1.
+pub fn validate_report(text: &str) -> Result<(), SchemaError> {
+    let root = as_object(&parse_json(text)?, "report")?;
+
+    let version = as_number(get(&root, "version")?, "version")?;
+    if version != 1.0 {
+        return err(format!("version must be 1, got {version}"));
+    }
+    let mode = as_string(get(&root, "mode")?, "mode")?;
+    if mode != "full" && mode != "smoke" {
+        return err(format!("mode must be \"full\" or \"smoke\", got {mode:?}"));
+    }
+
+    let entries = as_array(get(&root, "entries")?, "entries")?;
+    if entries.is_empty() {
+        return err("entries must not be empty");
+    }
+    let mut groups_seen = Vec::new();
+    let mut names_seen = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let ctx = format!("entries[{i}]");
+        let obj = as_object(entry, &ctx)?;
+        let name = as_string(get(&obj, "name")?, &format!("{ctx}.name"))?;
+        let group = as_string(get(&obj, "group")?, &format!("{ctx}.group"))?;
+        if !matches!(group, "kernel" | "codec" | "e2e") {
+            return err(format!(
+                "{ctx}.group must be kernel|codec|e2e, got {group:?}"
+            ));
+        }
+        let iters = as_number(get(&obj, "iters")?, &format!("{ctx}.iters"))?;
+        if iters < 1.0 || iters.fract() != 0.0 {
+            return err(format!(
+                "{ctx}.iters must be a positive integer, got {iters}"
+            ));
+        }
+        positive(&obj, "ns_per_iter", &ctx)?;
+        positive(&obj, "throughput", &ctx)?;
+        as_string(
+            get(&obj, "throughput_unit")?,
+            &format!("{ctx}.throughput_unit"),
+        )?;
+        if names_seen.contains(&name.to_string()) {
+            return err(format!("duplicate entry name {name:?}"));
+        }
+        names_seen.push(name.to_string());
+        if !groups_seen.contains(&group.to_string()) {
+            groups_seen.push(group.to_string());
+        }
+    }
+    for group in ["kernel", "codec", "e2e"] {
+        if !groups_seen.iter().any(|g| g == group) {
+            return err(format!("entries must cover group {group:?}"));
+        }
+    }
+    for backend in ["e2e_sim", "e2e_threads", "e2e_tcp"] {
+        if !names_seen.iter().any(|n| n == backend) {
+            return err(format!("missing e2e backend entry {backend:?}"));
+        }
+    }
+
+    let deltas = as_array(get(&root, "deltas")?, "deltas")?;
+    for (i, delta) in deltas.iter().enumerate() {
+        let ctx = format!("deltas[{i}]");
+        let obj = as_object(delta, &ctx)?;
+        as_string(get(&obj, "name")?, &format!("{ctx}.name"))?;
+        let before = positive(&obj, "before_ns", &ctx)?;
+        let after = positive(&obj, "after_ns", &ctx)?;
+        let speedup = positive(&obj, "speedup", &ctx)?;
+        let ratio = before / after;
+        // The serializer rounds every number; allow the ratio check the
+        // slack that rounding can introduce.
+        if (speedup - ratio).abs() > 0.05 * ratio.max(speedup) + 0.11 {
+            return err(format!(
+                "{ctx}.speedup {speedup} inconsistent with before/after ratio {ratio:.3}"
+            ));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+      "version": 1,
+      "mode": "smoke",
+      "entries": [
+        { "name": "radix_partition_4k", "group": "kernel", "iters": 3,
+          "ns_per_iter": 1000.0, "throughput": 4.1e9, "throughput_unit": "tuples/s" },
+        { "name": "wire_encode_16k", "group": "codec", "iters": 3,
+          "ns_per_iter": 1000.0, "throughput": 1.0e9, "throughput_unit": "bytes/s" },
+        { "name": "e2e_sim", "group": "e2e", "iters": 1,
+          "ns_per_iter": 1000.0, "throughput": 8.0, "throughput_unit": "revolutions/s" },
+        { "name": "e2e_threads", "group": "e2e", "iters": 1,
+          "ns_per_iter": 1000.0, "throughput": 8.0, "throughput_unit": "revolutions/s" },
+        { "name": "e2e_tcp", "group": "e2e", "iters": 1,
+          "ns_per_iter": 1000.0, "throughput": 8.0, "throughput_unit": "revolutions/s" }
+      ],
+      "deltas": [
+        { "name": "envelope_encode_buffer", "before_ns": 200.0, "after_ns": 100.0, "speedup": 2.0 }
+      ]
+    }"#;
+
+    #[test]
+    fn good_report_validates() {
+        validate_report(GOOD).unwrap();
+    }
+
+    #[test]
+    fn parser_handles_scalars_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5e3, "x\n", true, null, {}]}"#).unwrap();
+        let Json::Object(map) = v else {
+            panic!("not an object")
+        };
+        let Some(Json::Array(items)) = map.get("a") else {
+            panic!("missing array")
+        };
+        assert_eq!(items[0], Json::Number(1.0));
+        assert_eq!(items[1], Json::Number(-2500.0));
+        assert_eq!(items[2], Json::String("x\n".into()));
+        assert_eq!(items[3], Json::Bool(true));
+        assert_eq!(items[4], Json::Null);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{} extra").is_err());
+        assert!(parse_json(r#"{"a": }"#).is_err());
+        assert!(parse_json("[1,]").is_err());
+    }
+
+    fn mutate(from: &str, to: &str) -> String {
+        assert!(GOOD.contains(from), "fixture must contain {from:?}");
+        GOOD.replacen(from, to, 1)
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let bad = mutate("\"version\": 1", "\"version\": 2");
+        assert!(validate_report(&bad).unwrap_err().0.contains("version"));
+    }
+
+    #[test]
+    fn bad_mode_is_rejected() {
+        let bad = mutate("\"smoke\"", "\"warp\"");
+        assert!(validate_report(&bad).unwrap_err().0.contains("mode"));
+    }
+
+    #[test]
+    fn missing_backend_is_rejected() {
+        let bad = mutate("e2e_tcp", "e2e_quic");
+        assert!(validate_report(&bad).unwrap_err().0.contains("e2e_tcp"));
+    }
+
+    #[test]
+    fn missing_group_is_rejected() {
+        let bad = mutate("\"group\": \"codec\"", "\"group\": \"kernel\"");
+        assert!(validate_report(&bad).unwrap_err().0.contains("codec"));
+    }
+
+    #[test]
+    fn nonpositive_measurement_is_rejected() {
+        let bad = mutate(
+            "\"ns_per_iter\": 1000.0, \"throughput\": 4.1e9",
+            "\"ns_per_iter\": 0.0, \"throughput\": 4.1e9",
+        );
+        assert!(validate_report(&bad).unwrap_err().0.contains("ns_per_iter"));
+    }
+
+    #[test]
+    fn inconsistent_speedup_is_rejected() {
+        let bad = mutate("\"speedup\": 2.0", "\"speedup\": 9.0");
+        assert!(validate_report(&bad)
+            .unwrap_err()
+            .0
+            .contains("inconsistent"));
+    }
+
+    #[test]
+    fn duplicate_entry_names_are_rejected() {
+        let bad = mutate("radix_partition_4k", "wire_encode_16k");
+        assert!(validate_report(&bad).unwrap_err().0.contains("duplicate"));
+    }
+}

@@ -6,6 +6,7 @@
 //! [`context`]). The scoping below is *policy*: which crates promise
 //! which invariants.
 
+pub mod bench_schema;
 pub mod context;
 pub mod lexer;
 pub mod lints;

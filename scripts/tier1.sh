@@ -25,3 +25,9 @@ cargo test -q -p integration-tests --test chaos crash_during_drain
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q --release -p xtask -- analyze
+# Bench-harness gates: the smoke suite must run clean end to end (every
+# kernel/codec/e2e entry and every hot-path delta measured, JSON written
+# and schema-validated), and the committed BENCH_*.json baselines must
+# still parse against schema v1.
+cargo run -q --release -p xtask -- bench --smoke
+cargo run -q --release -p xtask -- bench --check
