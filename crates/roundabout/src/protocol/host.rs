@@ -18,7 +18,7 @@ use crate::envelope::{Envelope, FragmentId, PayloadBytes};
 /// An envelope held by a host, remembering whether it occupies one of the
 /// host's buffer-pool elements (`pooled`) or is a local fragment that
 /// never consumed ring credit.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Held<P> {
     /// The envelope itself.
     pub env: Envelope<P>,
@@ -58,7 +58,7 @@ pub enum Route {
 /// slot, outgoing) and the credit accounting for the host's buffer pool.
 /// All methods are pure state transitions; blocking, timing and cost are
 /// the driver's business.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HostProtocol<P> {
     host: HostId,
     ring_size: usize,
@@ -121,14 +121,6 @@ impl<P: PayloadBytes> HostProtocol<P> {
             self.pool_used = (self.pool_used + 1).min(self.buffers);
         }
         self.incoming.push_back(Held { env, pooled: true });
-    }
-
-    /// Accepts an envelope off the ring at the *front* of the incoming
-    /// queue: the live backend's drain-IO-first policy (freeing buffer
-    /// elements quickly keeps the ring moving). Takes the pool slot.
-    pub fn deliver_urgent(&mut self, env: Envelope<P>) {
-        self.pool_used = (self.pool_used + 1).min(self.buffers);
-        self.incoming.push_front(Held { env, pooled: true });
     }
 
     /// Sender-side credit check-and-take: reserves one pool element if
@@ -238,12 +230,6 @@ impl<P: PayloadBytes> HostProtocol<P> {
         Some((held.env, held.pooled))
     }
 
-    /// Abandons the running join without counting it (ring healing
-    /// salvages the envelope from a crashed host).
-    pub fn abort_join(&mut self) -> Option<Held<P>> {
-        self.processing.take()
-    }
-
     /// Hop-count routing: one more host has processed the envelope; does
     /// it continue around the ring or retire here?
     pub fn route(&self, env: &mut Envelope<P>) -> Route {
@@ -288,6 +274,22 @@ impl<P: PayloadBytes> HostProtocol<P> {
     /// Fragments this host has processed so far.
     pub fn fragments_processed(&self) -> usize {
         self.fragments_processed
+    }
+
+    /// Read-only walk of the incoming pool queue, front to back (the
+    /// model checker's fingerprint and invariant passes).
+    pub fn incoming_held(&self) -> impl Iterator<Item = &Held<P>> {
+        self.incoming.iter()
+    }
+
+    /// The envelope in the processing slot, with its pooled flag.
+    pub fn processing_held(&self) -> Option<&Held<P>> {
+        self.processing.as_ref()
+    }
+
+    /// Read-only walk of the transmitter queue, front to back.
+    pub fn outgoing_queue(&self) -> impl Iterator<Item = &Envelope<P>> {
+        self.outgoing.iter()
     }
 
     /// Drains every queued envelope (incoming, processing, outgoing) for
@@ -369,16 +371,6 @@ mod tests {
         let mut e = env(0, 2);
         assert_eq!(h.route(&mut e), Route::Forward);
         assert_eq!(h.route(&mut e), Route::Retire);
-    }
-
-    #[test]
-    fn urgent_delivery_jumps_the_backlog() {
-        let mut h = HostProtocol::new(HostId(0), 3, 2);
-        h.set_ready();
-        h.inject_local(env(0, 3));
-        h.deliver_urgent(env(1, 3));
-        let ticket = h.begin_join().unwrap();
-        assert_eq!(ticket.id, FragmentId(1), "received envelope drains first");
     }
 
     #[test]

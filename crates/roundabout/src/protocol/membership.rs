@@ -22,7 +22,7 @@ use simnet::topology::HostId;
 
 /// The membership side of the reliable-mode ledger. All methods are pure
 /// state transitions; the ring coordinator decides *when* they fire.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MembershipLedger {
     /// Inside the ring and routed to (standbys start `false`; departed
     /// hosts return to `false`).
@@ -140,6 +140,28 @@ impl MembershipLedger {
     pub fn escalations(&self) -> u64 {
         self.escalations
     }
+
+    /// The in-ring set as a bitmask (bit `h` = host `h` active).
+    pub fn active_mask(&self) -> u64 {
+        mask_of(&self.active)
+    }
+
+    /// The mid-drain set as a bitmask.
+    pub fn draining_mask(&self) -> u64 {
+        mask_of(&self.draining)
+    }
+
+    /// The gracefully-departed set as a bitmask.
+    pub fn departed_mask(&self) -> u64 {
+        mask_of(&self.departed)
+    }
+}
+
+/// Packs a per-host boolean table into a bitmask (bit `h` = entry `h`).
+fn mask_of(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |m, (h, &b)| if b { m | (1u64 << h) } else { m })
 }
 
 /// Rendezvous (highest-random-weight) owner of `role` among

@@ -46,11 +46,13 @@ mod host;
 mod link;
 mod membership;
 mod ring;
+pub mod snapshot;
 
 pub use host::{Held, HostProtocol, JoinTicket, Route};
 pub use link::{backoff_exponent, LinkReceiver, LinkSender, Receipt, TimeoutVerdict, BACKOFF_CAP};
 pub use membership::{rendezvous_owner, MembershipLedger};
 pub use ring::RingProtocol;
+pub use snapshot::StateSnapshot;
 
 /// The protocol-visible slice of the ring configuration: everything the
 /// state machine needs to make decisions, and nothing a driver owns

@@ -22,10 +22,13 @@ use crate::envelope::{Envelope, PayloadBytes};
 use super::host::{HostProtocol, Route};
 use super::link::{backoff_exponent, on_timeout, TimeoutVerdict, BACKOFF_CAP};
 use super::membership::{rendezvous_owner, MembershipLedger};
+use super::snapshot::{
+    EnvSnap, FaultSnap, HeldSnap, HostSnap, InFlightSnap, MembershipSnap, StateSnapshot,
+};
 use super::{teardown, Input, Output, ProtocolConfig, Timer};
 
 /// One unacknowledged transfer of the reliable transport.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct InFlight<P> {
     from: HostId,
     to: HostId,
@@ -44,7 +47,7 @@ struct InFlight<P> {
 /// The reliable transport's ledger, present only in reliable mode. The
 /// classic path never touches it, so runs without a fault plan behave
 /// byte-identically to the pre-fault protocol.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FaultLedger<P> {
     /// Ground truth: the host stopped acting (buffers retained until
     /// healing salvages them).
@@ -198,8 +201,10 @@ impl<P> FaultLedger<P> {
 }
 
 /// The whole-ring protocol state machine. See the [module
-/// docs](super) for the driver contract.
-#[derive(Debug)]
+/// docs](super) for the driver contract. `Clone` exists for the
+/// `ring-verify` model checker, which forks the state at every
+/// nondeterministic branch point.
+#[derive(Debug, Clone)]
 pub struct RingProtocol<P> {
     cfg: ProtocolConfig,
     hosts: Vec<HostProtocol<P>>,
@@ -401,6 +406,142 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             if let Some(e) = f.in_flight.get_mut(&tid) {
                 e.maybe_live = !dropped && !corrupt && !f.crashed[e.to.0];
             }
+        }
+    }
+
+    // --- model-checker introspection ------------------------------------
+
+    /// The canonical, payload-free fingerprint of the current state — see
+    /// [`super::snapshot`] for what is included and why. Pure metrics
+    /// (retransmit/mismatch counters, wire sequences, the tid allocator)
+    /// are deliberately excluded so behaviorally identical states
+    /// fingerprint identically.
+    pub fn snapshot(&self) -> StateSnapshot {
+        let env_snap = |e: &Envelope<P>| EnvSnap {
+            id: e.id.0,
+            origin: e.origin.0,
+            hops_remaining: e.hops_remaining,
+            visited: e.visited,
+        };
+        let held_snap = |h: &super::host::Held<P>| HeldSnap {
+            env: env_snap(&h.env),
+            pooled: h.pooled,
+        };
+        let mask = |bits: &[bool]| {
+            bits.iter()
+                .enumerate()
+                .fold(0u64, |m, (h, &b)| if b { m | (1u64 << h) } else { m })
+        };
+        StateSnapshot {
+            hosts: self
+                .hosts
+                .iter()
+                .map(|h| HostSnap {
+                    ready: h.is_ready(),
+                    sending: h.is_sending(),
+                    pool_used: h.pool_used(),
+                    incoming: h.incoming_held().map(held_snap).collect(),
+                    processing: h.processing_held().map(held_snap),
+                    outgoing: h.outgoing_queue().map(env_snap).collect(),
+                })
+                .collect(),
+            fragments_completed: self.fragments_completed,
+            stopped: self.stopped,
+            fault: self.fault.as_ref().map(|f| {
+                let mut accepted: Vec<u64> = f.accepted.iter().copied().collect();
+                accepted.sort_unstable();
+                let mut requeued: Vec<u64> = f.requeued.iter().copied().collect();
+                requeued.sort_unstable();
+                FaultSnap {
+                    crashed: mask(&f.crashed),
+                    confirmed_dead: mask(&f.confirmed_dead),
+                    paused: mask(&f.paused),
+                    absorbing: f.absorbing.clone(),
+                    roles: f
+                        .roles
+                        .iter()
+                        .map(|rs| {
+                            let mut rs = rs.clone();
+                            rs.sort_unstable();
+                            rs
+                        })
+                        .collect(),
+                    membership: MembershipSnap {
+                        active: f.membership.active_mask(),
+                        draining: f.membership.draining_mask(),
+                        departed: f.membership.departed_mask(),
+                        epoch: f.membership.epoch(),
+                        joins: f.membership.joins(),
+                        drains: f.membership.drains(),
+                        handoffs: f.membership.handoffs(),
+                        escalations: f.membership.escalations(),
+                    },
+                    in_flight: f
+                        .in_flight
+                        .iter()
+                        .map(|(&tid, e)| InFlightSnap {
+                            tid,
+                            from: e.from.0,
+                            to: e.to.0,
+                            attempts: e.attempts,
+                            maybe_live: e.maybe_live,
+                            env: env_snap(&e.env),
+                        })
+                        .collect(),
+                    accepted,
+                    requeued,
+                    awaiting: f.awaiting.clone(),
+                    probing: f
+                        .probing
+                        .iter()
+                        .map(|p| p.map(|(to, a)| (to.0, a)))
+                        .collect(),
+                }
+            }),
+        }
+    }
+
+    /// The environment inputs a reliable-mode driver could legitimately
+    /// inject *now*: crash reports for hosts that still act, and the
+    /// rescale requests [`Input::JoinRequest`] / [`Input::DrainRequest`]
+    /// that would not be ignored in the current membership view. The
+    /// model checker branches over this set (under its fault budgets);
+    /// protocol-driven inputs (deliveries, acks, ticks, completions) are
+    /// derived from earlier outputs, not enumerated here.
+    pub fn enabled_inputs(&self) -> Vec<Input<P>> {
+        let mut inputs = Vec::new();
+        let Some(f) = self.fault.as_ref() else {
+            return inputs;
+        };
+        for h in 0..self.cfg.hosts {
+            let host = HostId(h);
+            let crashed = f.crashed.get(h).copied().unwrap_or(true);
+            if !crashed && (f.membership.in_ring(host) || f.membership.is_standby(host)) {
+                inputs.push(Input::PeerDead { host });
+            }
+            if !crashed && f.membership.is_standby(host) {
+                inputs.push(Input::JoinRequest { host });
+            }
+            if !crashed
+                && !f.confirmed_dead.get(h).copied().unwrap_or(true)
+                && f.membership.in_ring(host)
+                && !f.membership.is_draining(host)
+                && !f.handoff_candidates(Some(host)).is_empty()
+            {
+                inputs.push(Input::DrainRequest { host });
+            }
+        }
+        inputs
+    }
+
+    /// Test-only sabotage hook for the model checker's self-check: frees
+    /// one pool element at `host` that was never released by a finished
+    /// join — a double-credit grant that must break the credit-conservation
+    /// invariant. Never called by drivers.
+    #[doc(hidden)]
+    pub fn test_only_release_slot(&mut self, host: HostId) {
+        if let Some(h) = self.hosts.get_mut(host.0) {
+            h.release_slot();
         }
     }
 
@@ -623,7 +764,10 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                 // attempt was ever accepted into the ring — the copy on
                 // the wire is the last one; salvage it. (An accepted tid
                 // means an earlier attempt already delivered: this late
-                // duplicate must die with the corpse, not fork.)
+                // duplicate must die with the corpse, not fork.) The
+                // tombstone makes the salvage exactly-once: a second late
+                // copy of the same transfer must not revive it again.
+                f.requeued.insert(tid);
                 self.resend_from_origin(f, env, out);
             }
             return;
@@ -635,6 +779,16 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                 id: env.id,
             });
             // No ack: the sender's timeout drives the retransmission.
+            return;
+        }
+        if f.requeued.contains(&tid) {
+            // A late copy of a transfer healing already rerouted: the
+            // fragment lives on its revived path — accepting this copy
+            // would fork the revolution into two live copies.
+            out.push(Output::DuplicateDropped {
+                host: to,
+                id: env.id,
+            });
             return;
         }
         // Ack at NIC level on the backward channel of the sender's link,
@@ -1257,11 +1411,20 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                     self.hosts[entry.from.0].requeue_outgoing_front(entry.env);
                 }
             } else if !entry.maybe_live {
-                // The copy is gone with the wire or the corpse; its
-                // fragment is revived from the origin below. Any late
-                // wire copy of this tid must die at delivery.
-                f.requeued.insert(tid);
-                lost.push(entry.env);
+                if f.accepted.contains(&tid) {
+                    // The receiver accepted an earlier attempt — only the
+                    // ack back to the corpse was lost. The copy is alive
+                    // downstream; reviving it would fork the fragment.
+                } else {
+                    // The copy is gone with the wire or the corpse. Free
+                    // the receive slot the transfer reserved (the revived
+                    // copy reserves its own) and revive the fragment from
+                    // the origin below. Any late wire copy of this tid
+                    // must die at delivery.
+                    self.hosts[entry.to.0].release_slot();
+                    f.requeued.insert(tid);
+                    lost.push(entry.env);
+                }
             }
         }
         for env in lost {

@@ -1,0 +1,330 @@
+//! Canonical, payload-free snapshots of the protocol state — the
+//! fingerprint the `ring-verify` explicit-state model checker hashes to
+//! recognize states it has already explored.
+//!
+//! A [`StateSnapshot`] captures everything that determines the protocol's
+//! *future behavior*: host queues (as [`EnvSnap`]s — fragment identity and
+//! routing state, never payload bytes), credit counters, the
+//! ack/retransmit ledger, the role and membership ledgers. It deliberately
+//! excludes pure metrics (retransmit/mismatch counters, wire sequence
+//! numbers, the tid allocator) whose values never feed back into a
+//! protocol decision — including them would make every state unique and
+//! exhaustive exploration impossible.
+//!
+//! Two reductions live here because they are properties of the snapshot,
+//! not of the search:
+//!
+//! * **transfer-id canonicalization** ([`StateSnapshot::map_tids`] /
+//!   [`StateSnapshot::retain_tids`]): tids are allocated from a monotone
+//!   counter, so two behaviorally identical states reached through
+//!   different retransmission histories carry different tids; renumbering
+//!   the *live* tids densely (and dropping dedup-set entries for tids
+//!   that can never appear on a wire again) merges them;
+//! * **host-rotation symmetry** ([`StateSnapshot::rotated`]): on a
+//!   symmetric configuration (no standbys, no rescale ops, equal
+//!   fragments per host, uniform payloads) relabeling hosts by a ring
+//!   rotation is an automorphism; the checker keys states on the
+//!   lexicographically minimal rotation.
+
+/// A queued or in-flight envelope, reduced to the fields that drive
+/// routing decisions. Payload bytes, wire sequence numbers and the
+/// origination checksum are excluded: the first two never influence the
+/// protocol, and masters held by the protocol are always intact (the
+/// checker models corruption on wire *copies*, outside the snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnvSnap {
+    /// Fragment identity.
+    pub id: usize,
+    /// Origin host.
+    pub origin: usize,
+    /// Hop-counting routing state (classic path).
+    pub hops_remaining: usize,
+    /// Role-bitmask routing state (reliable path).
+    pub visited: u64,
+}
+
+/// An envelope held by a host, with its credit flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HeldSnap {
+    /// The envelope.
+    pub env: EnvSnap,
+    /// Does it occupy a buffer-pool element?
+    pub pooled: bool,
+}
+
+/// One host's queues, credit and flags.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostSnap {
+    /// Setup complete?
+    pub ready: bool,
+    /// Wire busy with a transfer?
+    pub sending: bool,
+    /// Occupied buffer-pool elements.
+    pub pool_used: usize,
+    /// Incoming pool queue, front to back.
+    pub incoming: Vec<HeldSnap>,
+    /// The processing slot.
+    pub processing: Option<HeldSnap>,
+    /// Transmitter queue, front to back.
+    pub outgoing: Vec<EnvSnap>,
+}
+
+/// One entry of the ack/retransmit ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InFlightSnap {
+    /// Ledger key.
+    pub tid: u64,
+    /// Sender.
+    pub from: usize,
+    /// Receiver (pool slot holder).
+    pub to: usize,
+    /// Attempts so far.
+    pub attempts: u32,
+    /// Did the latest attempt put an intact copy toward a live receiver?
+    pub maybe_live: bool,
+    /// The pristine master.
+    pub env: EnvSnap,
+}
+
+/// The membership ledger: view sets as bitmasks plus the epoch counters
+/// (bounded by the rescale schedule, and checked by invariant I4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MembershipSnap {
+    /// In-ring hosts.
+    pub active: u64,
+    /// Mid-drain hosts.
+    pub draining: u64,
+    /// Gracefully departed hosts.
+    pub departed: u64,
+    /// Completed planned transitions.
+    pub epoch: u64,
+    /// Completed joins.
+    pub joins: u64,
+    /// Completed drains.
+    pub drains: u64,
+    /// Roles moved by planned handoffs.
+    pub handoffs: u64,
+    /// Drains degraded into crash healing.
+    pub escalations: u64,
+}
+
+/// The reliable-mode fault ledger.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultSnap {
+    /// Ground-truth crashed hosts.
+    pub crashed: u64,
+    /// Hosts the failure detector healed around.
+    pub confirmed_dead: u64,
+    /// Paused hosts.
+    pub paused: u64,
+    /// Outstanding partition rebuilds per host.
+    pub absorbing: Vec<u32>,
+    /// Roles per host, each list sorted (the ledger's order of absorption
+    /// does not affect behavior — `role_mask` folds them into a bitmask).
+    pub roles: Vec<Vec<usize>>,
+    /// Membership ledger.
+    pub membership: MembershipSnap,
+    /// Ack/retransmit ledger, ascending by tid.
+    pub in_flight: Vec<InFlightSnap>,
+    /// Accepted-transfer dedup set (sorted; retain only live tids).
+    pub accepted: Vec<u64>,
+    /// Requeued-transfer tombstone set (sorted; retain only live tids).
+    pub requeued: Vec<u64>,
+    /// Stop-and-wait: the tid each host awaits an ack for.
+    pub awaiting: Vec<Option<u64>>,
+    /// Outstanding pool-blocked probe per sender: `(target, attempt)`.
+    pub probing: Vec<Option<(usize, u32)>>,
+}
+
+/// The full protocol fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateSnapshot {
+    /// Per-host queues and credit.
+    pub hosts: Vec<HostSnap>,
+    /// Fragments that completed their revolution.
+    pub fragments_completed: usize,
+    /// Continuous mode: application finished?
+    pub stopped: bool,
+    /// Reliable-mode ledger (`None` on the classic path).
+    pub fault: Option<FaultSnap>,
+}
+
+/// Rotates a host index by `rot` on a ring of `n` hosts.
+pub fn rotate_host(h: usize, rot: usize, n: usize) -> usize {
+    (h + rot) % n
+}
+
+/// Rotates a per-host bitmask by `rot` on a ring of `n` hosts.
+pub fn rotate_mask(m: u64, rot: usize, n: usize) -> u64 {
+    if rot == 0 || n == 0 || n >= 64 {
+        return m;
+    }
+    let keep = (1u64 << n) - 1;
+    ((m << rot) | (m >> (n - rot))) & keep
+}
+
+/// Rotates a fragment id under the global h-major numbering of
+/// [`super::envelope_batches`] with `per` fragments at every host.
+pub fn rotate_frag(id: usize, rot: usize, n: usize, per: usize) -> usize {
+    if per == 0 || n == 0 {
+        return id;
+    }
+    rotate_host(id / per, rot, n) * per + id % per
+}
+
+impl EnvSnap {
+    fn rotated(&self, rot: usize, n: usize, per: usize) -> EnvSnap {
+        EnvSnap {
+            id: rotate_frag(self.id, rot, n, per),
+            origin: rotate_host(self.origin, rot, n),
+            hops_remaining: self.hops_remaining,
+            visited: rotate_mask(self.visited, rot, n),
+        }
+    }
+}
+
+impl StateSnapshot {
+    /// The fingerprint under the host relabeling `h -> (h + rot) % n`,
+    /// for symmetric configurations with `per` fragments at every host.
+    /// Role lists are re-sorted and the in-flight ledger re-ordered so
+    /// the result is canonical for comparison.
+    pub fn rotated(&self, rot: usize, per: usize) -> StateSnapshot {
+        let n = self.hosts.len();
+        let rot = if n == 0 { 0 } else { rot % n };
+        let rot_env = |e: &EnvSnap| e.rotated(rot, n, per);
+        let mut hosts: Vec<HostSnap> = self
+            .hosts
+            .iter()
+            .map(|h| HostSnap {
+                ready: h.ready,
+                sending: h.sending,
+                pool_used: h.pool_used,
+                incoming: h
+                    .incoming
+                    .iter()
+                    .map(|held| HeldSnap {
+                        env: rot_env(&held.env),
+                        pooled: held.pooled,
+                    })
+                    .collect(),
+                processing: h.processing.as_ref().map(|held| HeldSnap {
+                    env: rot_env(&held.env),
+                    pooled: held.pooled,
+                }),
+                outgoing: h.outgoing.iter().map(&rot_env).collect(),
+            })
+            .collect();
+        hosts.rotate_right(rot);
+        let fault = self.fault.as_ref().map(|f| {
+            let mut absorbing = f.absorbing.clone();
+            absorbing.rotate_right(rot);
+            let mut roles: Vec<Vec<usize>> = f
+                .roles
+                .iter()
+                .map(|rs| {
+                    let mut rs: Vec<usize> = rs.iter().map(|&r| rotate_host(r, rot, n)).collect();
+                    rs.sort_unstable();
+                    rs
+                })
+                .collect();
+            roles.rotate_right(rot);
+            let mut awaiting = f.awaiting.clone();
+            awaiting.rotate_right(rot);
+            let mut probing: Vec<Option<(usize, u32)>> = f
+                .probing
+                .iter()
+                .map(|p| p.map(|(to, a)| (rotate_host(to, rot, n), a)))
+                .collect();
+            probing.rotate_right(rot);
+            let mut in_flight: Vec<InFlightSnap> = f
+                .in_flight
+                .iter()
+                .map(|e| InFlightSnap {
+                    tid: e.tid,
+                    from: rotate_host(e.from, rot, n),
+                    to: rotate_host(e.to, rot, n),
+                    attempts: e.attempts,
+                    maybe_live: e.maybe_live,
+                    env: rot_env(&e.env),
+                })
+                .collect();
+            in_flight.sort_unstable();
+            FaultSnap {
+                crashed: rotate_mask(f.crashed, rot, n),
+                confirmed_dead: rotate_mask(f.confirmed_dead, rot, n),
+                paused: rotate_mask(f.paused, rot, n),
+                absorbing,
+                roles,
+                membership: MembershipSnap {
+                    active: rotate_mask(f.membership.active, rot, n),
+                    draining: rotate_mask(f.membership.draining, rot, n),
+                    departed: rotate_mask(f.membership.departed, rot, n),
+                    ..f.membership
+                },
+                in_flight,
+                accepted: f.accepted.clone(),
+                requeued: f.requeued.clone(),
+                awaiting,
+                probing,
+            }
+        });
+        StateSnapshot {
+            hosts,
+            fragments_completed: self.fragments_completed,
+            stopped: self.stopped,
+            fault,
+        }
+    }
+
+    /// Transfer ids that can still influence behavior: ledger keys plus
+    /// awaited acks. (The checker unions in the tids of its own pending
+    /// wire events and timers before canonicalizing.)
+    pub fn live_tids(&self) -> Vec<u64> {
+        let mut tids = Vec::new();
+        if let Some(f) = &self.fault {
+            tids.extend(f.in_flight.iter().map(|e| e.tid));
+            tids.extend(f.awaiting.iter().flatten().copied());
+        }
+        tids.sort_unstable();
+        tids.dedup();
+        tids
+    }
+
+    /// Drops dedup/tombstone entries for transfers that can never appear
+    /// on a wire again — they are unreachable garbage that would otherwise
+    /// make every retransmission history a distinct state.
+    pub fn retain_tids(&mut self, live: &[u64]) {
+        if let Some(f) = &mut self.fault {
+            f.accepted.retain(|t| live.binary_search(t).is_ok());
+            f.requeued.retain(|t| live.binary_search(t).is_ok());
+        }
+    }
+
+    /// Renumbers every transfer id through `map` (a sorted
+    /// `(old, new)` table); ids absent from the table are kept.
+    pub fn map_tids(&mut self, map: &[(u64, u64)]) {
+        let lookup = |t: u64| -> u64 {
+            map.binary_search_by_key(&t, |&(old, _)| old)
+                .ok()
+                .and_then(|i| map.get(i))
+                .map_or(t, |&(_, new)| new)
+        };
+        if let Some(f) = &mut self.fault {
+            for e in &mut f.in_flight {
+                e.tid = lookup(e.tid);
+            }
+            f.in_flight.sort_unstable();
+            for t in &mut f.accepted {
+                *t = lookup(*t);
+            }
+            f.accepted.sort_unstable();
+            for t in &mut f.requeued {
+                *t = lookup(*t);
+            }
+            f.requeued.sort_unstable();
+            for a in f.awaiting.iter_mut().flatten() {
+                *a = lookup(*a);
+            }
+        }
+    }
+}

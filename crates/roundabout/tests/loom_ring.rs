@@ -111,6 +111,62 @@ fn teardown_unblocks_a_blocked_receiver() {
 /// exactly one — in every interleaving. This is the compare-exchange
 /// claim protocol the simulated backend's role ledger relies on for its
 /// exactly-once guarantee.
+/// The PR 6 planned-drain scenario on the two-host ring: host B drains
+/// gracefully — it flushes the credit hand-off it still owes A through
+/// the single-slot buffer pool, then publishes its role at the
+/// rendezvous — while A's drain-deadline escalation fires concurrently
+/// and tries to seize the same role through the crash-healing path. In
+/// every interleaving the owed envelope must arrive exactly once and
+/// the role must land exactly once: a drain racing ahead of the credit
+/// hand-off must not strand the envelope, and an escalation racing the
+/// rendezvous must lose the compare-exchange, not double-claim.
+#[test]
+fn drain_handoff_racing_escalation_claims_the_role_once() {
+    loom::model(|| {
+        let (tx_a, rx_a) = mpmc::bounded::<u8>(1); // host A's buffer pool
+        let ledger = Arc::new(AtomicU64::new(0)); // bit r = role r claimed
+        let bit = 1u64 << 1; // host B's role, leaving with it
+
+        // Host B's farewell duties, in protocol order: credit hand-off
+        // first, role hand-off second.
+        let ledger_b = Arc::clone(&ledger);
+        let b = thread::spawn(move || {
+            tx_a.send(42).unwrap();
+            claim_role(&ledger_b, bit)
+        });
+        // Host A's escalation path, racing the rendezvous.
+        let ledger_a = Arc::clone(&ledger);
+        let a = thread::spawn(move || claim_role(&ledger_a, bit));
+
+        // Host A as receiver: the owed fragment arrives exactly once no
+        // matter which claimant won the role.
+        assert_eq!(rx_a.recv(), Ok(42), "the drain stranded its last envelope");
+        let handoff = b.join().unwrap();
+        let escalation = a.join().unwrap();
+        assert!(
+            handoff ^ escalation,
+            "the drained role must land exactly once (handoff {handoff}, escalation {escalation})"
+        );
+        assert!(rx_a.recv().is_err(), "the drained host must stay gone");
+    });
+}
+
+/// The compare-exchange claim loop both the rendezvous hand-off and the
+/// escalation path run against the shared role ledger: returns whether
+/// this claimant won the role.
+fn claim_role(ledger: &AtomicU64, bit: u64) -> bool {
+    loop {
+        let seen = ledger.load(Ordering::SeqCst);
+        if seen & bit != 0 {
+            return false;
+        }
+        match ledger.compare_exchange(seen, seen | bit, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return true,
+            Err(_) => continue,
+        }
+    }
+}
+
 #[test]
 fn role_takeover_is_exactly_once() {
     loom::model(|| {

@@ -1,0 +1,104 @@
+//! `verify` — exhaustive model checking of the ring protocol over
+//! bounded configurations (see `cargo xtask verify`).
+//!
+//! `--smoke` runs the 2-host bound plus the sabotage self-check in
+//! seconds (tier-1 gate); `--deep` adds the 3-host bounds with a
+//! planned drain, a planned join, double crashes, the rotation-symmetric
+//! ring and the classic path.
+
+use std::process::ExitCode;
+
+use ring_verify::{configs, explore, CheckConfig, ExploreError, Report};
+
+fn run(cfg: &CheckConfig, expect_violation: Option<&str>) -> Result<(), ()> {
+    let started = std::time::Instant::now();
+    let report = match explore(cfg) {
+        Ok(report) => report,
+        Err(ExploreError::StateLimit { explored, cap }) => {
+            println!(
+                "FAIL {:24} state cap exceeded ({explored} > {cap})",
+                cfg.name
+            );
+            return Err(());
+        }
+    };
+    let Report {
+        states,
+        transitions,
+        max_depth,
+        violation,
+        ..
+    } = &report;
+    let elapsed = started.elapsed();
+    let stats = format!(
+        "{states} states, {transitions} transitions, depth {max_depth}, {:.2}s",
+        elapsed.as_secs_f64()
+    );
+    match (violation, expect_violation) {
+        (None, None) => {
+            println!("ok   {:24} {stats}", cfg.name);
+            Ok(())
+        }
+        (Some(v), Some(family)) if v.family == family => {
+            println!(
+                "ok   {:24} {stats} — seeded {family} caught, minimal trace ({} steps):",
+                cfg.name,
+                v.trace.len()
+            );
+            for line in &v.trace {
+                println!("         {line}");
+            }
+            Ok(())
+        }
+        (Some(v), _) => {
+            println!("FAIL {:24} {stats}", cfg.name);
+            println!("     {} violated: {}", v.family, v.detail);
+            println!("     shortest trace ({} steps):", v.trace.len());
+            for line in &v.trace {
+                println!("         {line}");
+            }
+            Err(())
+        }
+        (None, Some(family)) => {
+            println!(
+                "FAIL {:24} {stats} — seeded {family} NOT caught (checker self-check)",
+                cfg.name
+            );
+            Err(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deep = args.iter().any(|a| a == "--deep");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if !(smoke || deep) || args.iter().any(|a| a != "--smoke" && a != "--deep") {
+        eprintln!("usage: verify --smoke | --deep");
+        return ExitCode::from(2);
+    }
+    let mut suite: Vec<(CheckConfig, Option<&str>)> = vec![
+        (configs::smoke(), None),
+        (configs::sabotage(), Some("credit-conservation")),
+    ];
+    if deep {
+        suite.extend([
+            (configs::classic(), None),
+            (configs::symmetric3(), None),
+            (configs::deep_drain(), None),
+            (configs::deep_join(), None),
+            (configs::two_crash(), None),
+        ]);
+    }
+    let mut failed = false;
+    for (cfg, expect) in &suite {
+        if run(cfg, *expect).is_err() {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,217 @@
+//! Bounded configurations the checker explores, including the presets
+//! behind `cargo xtask verify --smoke` and the deep suite.
+
+/// One scheduled rescale operation the environment may issue at any
+/// point (each is consumed when issued, even if the protocol ignores
+/// it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rescale {
+    /// `Input::JoinRequest` for the given standby host.
+    Join(usize),
+    /// `Input::DrainRequest` for the given member host.
+    Drain(usize),
+}
+
+/// A bounded model: ring shape, fault budgets, rescale schedule and
+/// search options.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Display name (reports and trace fixtures).
+    pub name: &'static str,
+    /// Ring slots (members + standbys).
+    pub hosts: usize,
+    /// Local fragments per host.
+    pub frags: Vec<usize>,
+    /// Buffer-pool elements per host.
+    pub buffers: usize,
+    /// Retransmission budget per transfer.
+    pub max_retransmits: u32,
+    /// Acked stop-and-wait transport (the fault-tolerant path).
+    pub reliable: bool,
+    /// Standby bitmask (hosts outside the ring until a `Join` rescale).
+    pub standby: u64,
+    /// How many hosts the environment may crash.
+    pub crashes: u32,
+    /// How many send attempts the environment may drop.
+    pub losses: u32,
+    /// How many send attempts the environment may corrupt.
+    pub corruptions: u32,
+    /// How many timeouts may fire early (while a deliverable copy or its
+    /// ack is still pending) — the spurious-retransmission races.
+    pub spurious: u32,
+    /// Rescale operations the environment may issue, in any order.
+    pub rescale: Vec<Rescale>,
+    /// Canonicalize states up to ring rotation. Only sound when the
+    /// configuration is rotation-symmetric: no standbys, no rescale ops,
+    /// equal fragment counts and identical payloads at every host.
+    pub symmetry: bool,
+    /// Hard exploration cap: exceeding it is an error, never a silent
+    /// truncation.
+    pub max_states: usize,
+    /// Self-check: grant one unearned receive credit at the first
+    /// accepted delivery (must break invariant 1).
+    pub sabotage: bool,
+}
+
+impl CheckConfig {
+    /// Total fragments across all hosts.
+    pub fn total_frags(&self) -> usize {
+        self.frags.iter().sum()
+    }
+
+    /// Is host-rotation symmetry sound for this configuration?
+    pub fn symmetry_valid(&self) -> bool {
+        self.standby == 0
+            && self.rescale.is_empty()
+            && self.frags.windows(2).all(|w| w.first() == w.last())
+    }
+}
+
+/// The `--smoke` bound: 2 hosts, 1 fragment, budgets of one crash, one
+/// loss, one corruption and one spurious timeout. The failure total
+/// (loss + corruption + spurious = 3) stays below `max_retransmits`, so
+/// the failure detector can never legitimately exhaust a budget against
+/// a live host — any `Teardown` is a genuine violation.
+pub fn smoke() -> CheckConfig {
+    CheckConfig {
+        name: "smoke-2h-1f",
+        hosts: 2,
+        frags: vec![1, 0],
+        buffers: 1,
+        max_retransmits: 4,
+        reliable: true,
+        standby: 0,
+        crashes: 1,
+        losses: 1,
+        corruptions: 1,
+        spurious: 1,
+        rescale: Vec::new(),
+        symmetry: false,
+        max_states: 2_000_000,
+        sabotage: false,
+    }
+}
+
+/// The sabotage self-check: the smoke ring with the double-credit grant
+/// armed and the fault budgets zeroed, so the shortest counterexample is
+/// the plain setup/deliver prefix to the first accepted delivery.
+pub fn sabotage() -> CheckConfig {
+    CheckConfig {
+        name: "smoke-sabotage",
+        crashes: 0,
+        losses: 0,
+        corruptions: 0,
+        spurious: 0,
+        sabotage: true,
+        ..smoke()
+    }
+}
+
+/// Deep bound: 3 hosts with one planned drain racing one crash and one
+/// loss.
+pub fn deep_drain() -> CheckConfig {
+    CheckConfig {
+        name: "deep-3h-drain",
+        hosts: 3,
+        frags: vec![1, 1, 0],
+        buffers: 1,
+        max_retransmits: 2,
+        reliable: true,
+        standby: 0,
+        crashes: 1,
+        losses: 1,
+        corruptions: 0,
+        spurious: 0,
+        rescale: vec![Rescale::Drain(1)],
+        symmetry: false,
+        max_states: 8_000_000,
+        sabotage: false,
+    }
+}
+
+/// Deep bound: a rotation-symmetric 3-host ring (one fragment each, one
+/// crash) — the configuration that exercises the symmetry reduction.
+pub fn symmetric3() -> CheckConfig {
+    CheckConfig {
+        name: "deep-3h-symmetric",
+        hosts: 3,
+        frags: vec![1, 1, 1],
+        buffers: 1,
+        max_retransmits: 2,
+        reliable: true,
+        standby: 0,
+        crashes: 1,
+        losses: 1,
+        corruptions: 0,
+        spurious: 0,
+        rescale: Vec::new(),
+        symmetry: true,
+        max_states: 8_000_000,
+        sabotage: false,
+    }
+}
+
+/// Deep bound: two crashes plus a spurious timeout on a 3-host ring —
+/// the budget shape that exposes late-wire-copy salvage races.
+pub fn two_crash() -> CheckConfig {
+    CheckConfig {
+        name: "deep-3h-2crash",
+        hosts: 3,
+        frags: vec![1, 0, 0],
+        buffers: 1,
+        max_retransmits: 3,
+        reliable: true,
+        standby: 0,
+        crashes: 2,
+        losses: 1,
+        corruptions: 1,
+        spurious: 1,
+        rescale: Vec::new(),
+        symmetry: false,
+        max_states: 8_000_000,
+        sabotage: false,
+    }
+}
+
+/// Deep bound: a standby activation (planned join) racing one crash.
+pub fn deep_join() -> CheckConfig {
+    CheckConfig {
+        name: "deep-3h-join",
+        hosts: 3,
+        frags: vec![1, 1, 0],
+        buffers: 1,
+        max_retransmits: 2,
+        reliable: true,
+        standby: 0b100,
+        crashes: 1,
+        losses: 1,
+        corruptions: 0,
+        spurious: 0,
+        rescale: vec![Rescale::Join(2)],
+        symmetry: false,
+        max_states: 8_000_000,
+        sabotage: false,
+    }
+}
+
+/// The classic (unacknowledged) path: no fault ledger, no timers — a
+/// small sanity bound proving the checker drives both protocol modes.
+pub fn classic() -> CheckConfig {
+    CheckConfig {
+        name: "classic-2h",
+        hosts: 2,
+        frags: vec![1, 1],
+        buffers: 1,
+        max_retransmits: 0,
+        reliable: false,
+        standby: 0,
+        crashes: 0,
+        losses: 0,
+        corruptions: 0,
+        spurious: 0,
+        rescale: Vec::new(),
+        symmetry: false,
+        max_states: 100_000,
+        sabotage: false,
+    }
+}

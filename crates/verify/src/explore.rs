@@ -1,0 +1,487 @@
+//! The exhaustive search: breadth-first exploration of every reachable
+//! world of a bounded configuration, with invariant checks on each state
+//! and shortest-counterexample extraction.
+//!
+//! States are recognized by a canonical fingerprint: the protocol's
+//! [`StateSnapshot`] plus the environment (pending events, armed timers,
+//! remaining budgets, the retire ledger), after
+//!
+//! * dropping dedup/tombstone entries for dead transfer ids and densely
+//!   renumbering the live ones (retransmission histories merge), and
+//! * on rotation-symmetric configurations, keying on the
+//!   lexicographically minimal host rotation.
+//!
+//! The fingerprint is hash-compacted to 128 bits (two independent 64-bit
+//! hashes of the canonical value), so the seen set stores 16 bytes per
+//! state instead of the full world; a collision would need ~2^64 states
+//! to become likely — far beyond any bounded run here.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+
+use data_roundabout::protocol::snapshot::{rotate_frag, rotate_host, EnvSnap, StateSnapshot};
+use data_roundabout::protocol::Timer;
+
+use crate::configs::{CheckConfig, Rescale};
+use crate::invariants;
+use crate::model::{fate_vectors, Choice, Ev, World};
+use crate::trace::format_step;
+
+/// An invariant violation with its shortest reproducing trace.
+#[derive(Debug)]
+pub struct Violation {
+    /// Invariant family (`credit-conservation`, `exactly-once-copy`,
+    /// `role-exactly-once`, `epoch-accounting`, `exactly-once-retire`,
+    /// `teardown`, `stuck-state`).
+    pub family: &'static str,
+    /// Human-readable description of the broken condition.
+    pub detail: String,
+    /// Shortest input trace reaching the violation, one
+    /// [`format_step`] line per transition.
+    pub trace: Vec<String>,
+}
+
+/// The result of one bounded exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// The explored configuration.
+    pub config: CheckConfig,
+    /// Distinct canonical states visited.
+    pub states: usize,
+    /// Transitions applied (including re-entries into seen states).
+    pub transitions: usize,
+    /// Longest shortest-path depth reached.
+    pub max_depth: usize,
+    /// First violation found (BFS order makes its trace shortest), or
+    /// `None` when every reachable state satisfies all invariants.
+    pub violation: Option<Violation>,
+    /// Representative traces captured on the way: `(label, trace)` for
+    /// the first completion, heal, duplicate drop and departure.
+    pub samples: Vec<(&'static str, Vec<String>)>,
+}
+
+/// Exploration abandoned — never silently truncated.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// The configuration's `max_states` cap was exceeded.
+    StateLimit {
+        /// States explored before giving up.
+        explored: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::StateLimit { explored, cap } => {
+                write!(f, "state limit exceeded: {explored} explored, cap {cap}")
+            }
+        }
+    }
+}
+
+/// Pending-event mirror for the fingerprint: envelope reduced to its
+/// routing fields, tids canonicalized.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum EvKey {
+    Setup(usize),
+    JoinDone(usize),
+    AbsorbDone(usize),
+    Wire {
+        to: usize,
+        tid: u64,
+        intact: bool,
+        env: EnvSnap,
+    },
+    Ack {
+        to: usize,
+        tid: u64,
+    },
+}
+
+/// Armed-timer mirror (the protocol's `Timer` carries no `Hash`/`Ord`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum TimerKey {
+    Re {
+        tid: u64,
+        attempt: u32,
+    },
+    Probe {
+        from: usize,
+        to: usize,
+        attempt: u32,
+    },
+    Drain {
+        host: usize,
+        attempt: u32,
+    },
+}
+
+/// The canonical value two worlds are compared through.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct CanonState {
+    snap: StateSnapshot,
+    events: Vec<EvKey>,
+    timers: Vec<TimerKey>,
+    budgets: (u32, u32, u32, u32),
+    rescale: Vec<Rescale>,
+    retired: u64,
+    sabotaged: bool,
+}
+
+impl CanonState {
+    /// The canonical value under the host relabeling `h -> (h+rot) % n`
+    /// (only called on configurations where rotation is an
+    /// automorphism: no standbys, no rescale ops, uniform fragments).
+    fn rotated(&self, rot: usize, per: usize) -> CanonState {
+        let n = self.snap.hosts.len();
+        let mut events: Vec<EvKey> = self
+            .events
+            .iter()
+            .map(|e| match e {
+                EvKey::Setup(h) => EvKey::Setup(rotate_host(*h, rot, n)),
+                EvKey::JoinDone(h) => EvKey::JoinDone(rotate_host(*h, rot, n)),
+                EvKey::AbsorbDone(h) => EvKey::AbsorbDone(rotate_host(*h, rot, n)),
+                EvKey::Wire {
+                    to,
+                    tid,
+                    intact,
+                    env,
+                } => EvKey::Wire {
+                    to: rotate_host(*to, rot, n),
+                    tid: *tid,
+                    intact: *intact,
+                    env: EnvSnap {
+                        id: rotate_frag(env.id, rot, n, per),
+                        origin: rotate_host(env.origin, rot, n),
+                        hops_remaining: env.hops_remaining,
+                        visited: data_roundabout::protocol::snapshot::rotate_mask(
+                            env.visited,
+                            rot,
+                            n,
+                        ),
+                    },
+                },
+                EvKey::Ack { to, tid } => EvKey::Ack {
+                    to: rotate_host(*to, rot, n),
+                    tid: *tid,
+                },
+            })
+            .collect();
+        events.sort_unstable();
+        let mut timers: Vec<TimerKey> = self
+            .timers
+            .iter()
+            .map(|t| match *t {
+                TimerKey::Re { tid, attempt } => TimerKey::Re { tid, attempt },
+                TimerKey::Probe { from, to, attempt } => TimerKey::Probe {
+                    from: rotate_host(from, rot, n),
+                    to: rotate_host(to, rot, n),
+                    attempt,
+                },
+                TimerKey::Drain { host, attempt } => TimerKey::Drain {
+                    host: rotate_host(host, rot, n),
+                    attempt,
+                },
+            })
+            .collect();
+        timers.sort_unstable();
+        let mut retired = 0u64;
+        for fid in 0..64usize {
+            if self.retired & (1u64 << fid) != 0 {
+                retired |= 1u64 << rotate_frag(fid, rot, n, per);
+            }
+        }
+        CanonState {
+            snap: self.snap.rotated(rot, per),
+            events,
+            timers,
+            budgets: self.budgets,
+            rescale: self.rescale.clone(),
+            retired,
+            sabotaged: self.sabotaged,
+        }
+    }
+}
+
+/// Builds the canonical value of a world and hash-compacts it to 128
+/// bits.
+fn fingerprint(world: &World, cfg: &CheckConfig) -> u128 {
+    let mut snap = world.proto.snapshot();
+    // Canonicalize transfer ids: collect every tid that can still act
+    // (ledger keys, awaited acks, pending wire/ack events, armed
+    // retransmit timers) and renumber them densely from 1.
+    let mut live = snap.live_tids();
+    for e in &world.pending {
+        match e {
+            Ev::Wire { tid, .. } | Ev::AckWire { tid, .. } => live.push(*tid),
+            _ => {}
+        }
+    }
+    for t in &world.timers {
+        if let Timer::Retransmit { tid, .. } = t {
+            live.push(*tid);
+        }
+    }
+    live.sort_unstable();
+    live.dedup();
+    let map: Vec<(u64, u64)> = live
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i as u64 + 1))
+        .collect();
+    let lookup = |t: u64| -> u64 {
+        map.binary_search_by_key(&t, |&(old, _)| old)
+            .ok()
+            .and_then(|i| map.get(i))
+            .map_or(t, |&(_, new)| new)
+    };
+    snap.retain_tids(&live);
+    snap.map_tids(&map);
+    let mut events: Vec<EvKey> = world
+        .pending
+        .iter()
+        .map(|e| match e {
+            Ev::Setup(h) => EvKey::Setup(*h),
+            Ev::JoinDone(h) => EvKey::JoinDone(*h),
+            Ev::AbsorbDone(h) => EvKey::AbsorbDone(*h),
+            Ev::Wire {
+                to,
+                tid,
+                intact,
+                env,
+            } => EvKey::Wire {
+                to: *to,
+                tid: lookup(*tid),
+                intact: *intact,
+                env: EnvSnap {
+                    id: env.id.0,
+                    origin: env.origin.0,
+                    hops_remaining: env.hops_remaining,
+                    visited: env.visited,
+                },
+            },
+            Ev::AckWire { to, tid } => EvKey::Ack {
+                to: *to,
+                tid: lookup(*tid),
+            },
+        })
+        .collect();
+    events.sort_unstable();
+    let mut timers: Vec<TimerKey> = world
+        .timers
+        .iter()
+        .map(|t| match *t {
+            Timer::Retransmit { tid, attempt } => TimerKey::Re {
+                tid: lookup(tid),
+                attempt,
+            },
+            Timer::Probe { from, to, attempt } => TimerKey::Probe {
+                from: from.0,
+                to: to.0,
+                attempt,
+            },
+            Timer::DrainDeadline { host, attempt } => TimerKey::Drain {
+                host: host.0,
+                attempt,
+            },
+        })
+        .collect();
+    timers.sort_unstable();
+    let mut rescale = world.rescale.clone();
+    rescale.sort_unstable();
+    let canon = CanonState {
+        snap,
+        events,
+        timers,
+        budgets: (
+            world.crashes,
+            world.losses,
+            world.corruptions,
+            world.spurious,
+        ),
+        rescale,
+        retired: world.retired,
+        sabotaged: world.sabotaged,
+    };
+    let canon = if cfg.symmetry && cfg.symmetry_valid() {
+        let per = cfg.frags.first().copied().unwrap_or(0);
+        let mut best: Option<CanonState> = None;
+        for rot in 1..cfg.hosts {
+            let cand = canon.rotated(rot, per);
+            if best.as_ref().is_none_or(|b| cand < *b) {
+                best = Some(cand);
+            }
+        }
+        match best {
+            Some(b) if b < canon => b,
+            _ => canon,
+        }
+    } else {
+        canon
+    };
+    hash128(&canon)
+}
+
+/// Two independently-seeded 64-bit hashes, concatenated.
+fn hash128<T: Hash>(v: &T) -> u128 {
+    let mut a = DefaultHasher::new();
+    0u8.hash(&mut a);
+    v.hash(&mut a);
+    let mut b = DefaultHasher::new();
+    1u64.hash(&mut b);
+    v.hash(&mut b);
+    (u128::from(a.finish()) << 64) | u128::from(b.finish())
+}
+
+/// One node of the predecessor arena (trace reconstruction).
+struct Node {
+    parent: usize,
+    line: String,
+}
+
+const ROOT: usize = usize::MAX;
+
+fn trace_to(arena: &[Node], mut idx: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    while idx != ROOT {
+        let node = &arena[idx];
+        lines.push(node.line.clone());
+        idx = node.parent;
+    }
+    lines.reverse();
+    lines
+}
+
+/// Exhaustively explores `cfg`, breadth-first. Returns the report —
+/// with the shortest-trace violation if one exists — or an error if the
+/// state cap was exceeded.
+pub fn explore(cfg: &CheckConfig) -> Result<Report, ExploreError> {
+    let root = World::init(cfg);
+    let root_fp = fingerprint(&root, cfg);
+    let mut seen: HashSet<u128> = HashSet::new();
+    seen.insert(root_fp);
+    let mut arena: Vec<Node> = Vec::new();
+    let mut frontier: VecDeque<(World, usize, u128, usize)> = VecDeque::new();
+    frontier.push_back((root, ROOT, root_fp, 0));
+    let mut states = 1usize;
+    let mut transitions = 0usize;
+    let mut max_depth = 0usize;
+    let mut samples: Vec<(&'static str, Vec<String>)> = Vec::new();
+    let total_frags = cfg.total_frags();
+
+    while let Some((world, node, own_fp, depth)) = frontier.pop_front() {
+        max_depth = max_depth.max(depth);
+        let snap = world.proto.snapshot();
+        let parent_epoch = invariants::epoch_of(&snap);
+        let progress = world.progress_choices();
+        let mut moves = false;
+        let mut choices: Vec<(Choice, bool)> = progress.into_iter().map(|c| (c, true)).collect();
+        choices.extend(world.crash_choices().into_iter().map(|c| (c, false)));
+        for (choice, is_progress) in choices {
+            // Dry run with every send surviving: discovers the send
+            // count (which is fate-independent) and doubles as the
+            // all-`Ok` child.
+            let mut first = world.clone();
+            let first_outcome = first.apply(&choice, &[]);
+            let vectors = if first_outcome.sends == 0 || !cfg.reliable {
+                vec![Vec::new()]
+            } else {
+                fate_vectors(first_outcome.sends, world.losses, world.corruptions)
+            };
+            let mut first = Some((first, first_outcome));
+            for fates in vectors {
+                let (child, outcome) = match first.take() {
+                    Some(ok_child) => ok_child,
+                    None => {
+                        let mut child = world.clone();
+                        let outcome = child.apply(&choice, &fates);
+                        (child, outcome)
+                    }
+                };
+                transitions += 1;
+                let line = format_step(&choice, &fates);
+                let child_snap = child.proto.snapshot();
+                if let Some((family, detail)) =
+                    invariants::check(&child, &child_snap, &outcome, parent_epoch)
+                {
+                    let mut trace = trace_to(&arena, node);
+                    trace.push(line);
+                    return Ok(Report {
+                        config: cfg.clone(),
+                        states,
+                        transitions,
+                        max_depth,
+                        violation: Some(Violation {
+                            family,
+                            detail,
+                            trace,
+                        }),
+                        samples,
+                    });
+                }
+                let fp = fingerprint(&child, cfg);
+                if is_progress && fp != own_fp {
+                    moves = true;
+                }
+                let interesting: &[(&'static str, bool)] = &[
+                    (
+                        "completion",
+                        child.proto.fragments_completed() == total_frags,
+                    ),
+                    ("heal", outcome.healed),
+                    ("duplicate-drop", outcome.dup_dropped),
+                    ("departure", outcome.departed),
+                ];
+                for &(label, hit) in interesting {
+                    if hit && samples.iter().all(|(l, _)| *l != label) {
+                        let mut trace = trace_to(&arena, node);
+                        trace.push(line.clone());
+                        samples.push((label, trace));
+                    }
+                }
+                if seen.insert(fp) {
+                    states += 1;
+                    if states > cfg.max_states {
+                        return Err(ExploreError::StateLimit {
+                            explored: states,
+                            cap: cfg.max_states,
+                        });
+                    }
+                    arena.push(Node { parent: node, line });
+                    frontier.push_back((child, arena.len() - 1, fp, depth + 1));
+                }
+            }
+        }
+        // I5 — stuck-state: quiescent (no progress transition leaves
+        // this state) yet some live host still holds undelivered work.
+        if !moves {
+            if let Some(detail) = invariants::live_work(&snap) {
+                return Ok(Report {
+                    config: cfg.clone(),
+                    states,
+                    transitions,
+                    max_depth,
+                    violation: Some(Violation {
+                        family: "stuck-state",
+                        detail,
+                        trace: trace_to(&arena, node),
+                    }),
+                    samples,
+                });
+            }
+        }
+    }
+
+    Ok(Report {
+        config: cfg.clone(),
+        states,
+        transitions,
+        max_depth,
+        violation: None,
+        samples,
+    })
+}

@@ -1,0 +1,305 @@
+//! The five safety invariant families, checked at every explored state.
+//!
+//! Each check receives the [`World`] (for environment state: pending
+//! wires, the retire ledger), the freshly-taken [`StateSnapshot`] of the
+//! protocol, the [`StepOutcome`] of the transition that produced the
+//! state, and the parent state's membership epoch. A violation returns
+//! the family name plus a human-readable detail line; the explorer
+//! attaches the shortest input trace.
+
+use data_roundabout::protocol::StateSnapshot;
+
+use crate::model::{Ev, StepOutcome, World};
+
+/// Checks every per-state invariant family. Stuck-state detection (I5)
+/// lives in the explorer — it needs the state's outgoing transitions.
+pub fn check(
+    world: &World,
+    snap: &StateSnapshot,
+    outcome: &StepOutcome,
+    parent_epoch: u64,
+) -> Option<(&'static str, String)> {
+    if let Some(reason) = outcome.teardown {
+        // Budgets are sized so the failure detector can never
+        // legitimately exhaust a retransmission budget against a live
+        // host: any teardown in-bounds is a protocol failure.
+        return Some(("teardown", format!("protocol tore down: {reason}")));
+    }
+    if outcome.double_retire {
+        return Some((
+            "exactly-once-retire",
+            "a fragment emitted Retire twice".to_string(),
+        ));
+    }
+    credit_conservation(world, snap)
+        .or_else(|| exactly_once_copy(world, snap))
+        .or_else(|| role_ledger(world, snap))
+        .or_else(|| epoch_accounting(snap, parent_epoch))
+}
+
+/// I1 — credit conservation. Every occupied buffer-pool element of a
+/// live host is explained by a pooled held envelope or by an unaccepted
+/// in-flight transfer that reserved the slot at send time (on the
+/// classic path, by a pending wire copy); and no pool overflows.
+fn credit_conservation(world: &World, snap: &StateSnapshot) -> Option<(&'static str, String)> {
+    let cfg = world.proto.config();
+    let crashed = snap.fault.as_ref().map_or(0u64, |f| f.crashed);
+    for (h, host) in snap.hosts.iter().enumerate() {
+        if crashed & (1u64 << h) != 0 {
+            continue; // a corpse's frozen counters are settled by salvage
+        }
+        if host.pool_used > cfg.buffers_per_host {
+            return Some((
+                "credit-conservation",
+                format!(
+                    "host {h} pool overflow: {} used of {}",
+                    host.pool_used, cfg.buffers_per_host
+                ),
+            ));
+        }
+        let held: usize = host.incoming.iter().filter(|e| e.pooled).count()
+            + usize::from(host.processing.as_ref().is_some_and(|p| p.pooled));
+        let reserved = match &snap.fault {
+            Some(f) => {
+                let ledgered = f
+                    .in_flight
+                    .iter()
+                    .filter(|e| e.to == h && f.accepted.binary_search(&e.tid).is_err())
+                    .count();
+                // A sender's death can orphan a still-riding intact copy
+                // (the ledger entry is dropped, the wire copy delivers
+                // later): the receive slot reserved at send time stays
+                // reserved for it until delivery claims it. One slot per
+                // transfer, however many late copies ride.
+                let mut orphans: Vec<u64> = world
+                    .pending
+                    .iter()
+                    .filter_map(|e| match e {
+                        Ev::Wire {
+                            to,
+                            tid,
+                            intact: true,
+                            ..
+                        } if *to == h
+                            && f.in_flight.iter().all(|x| x.tid != *tid)
+                            && f.accepted.binary_search(tid).is_err()
+                            && f.requeued.binary_search(tid).is_err() =>
+                        {
+                            Some(*tid)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                orphans.sort_unstable();
+                orphans.dedup();
+                ledgered + orphans.len()
+            }
+            None => world
+                .pending
+                .iter()
+                .filter(|e| matches!(e, Ev::Wire { to, .. } if *to == h))
+                .count(),
+        };
+        if host.pool_used != held + reserved {
+            return Some((
+                "credit-conservation",
+                format!(
+                    "host {h} pool_used {} but {held} pooled envelope(s) + \
+                     {reserved} reserved in-flight slot(s)",
+                    host.pool_used
+                ),
+            ));
+        }
+    }
+    None
+}
+
+/// I2 — exactly-once join and delivery per fragment. At every state an
+/// unretired fragment has exactly one live copy: queued at some host
+/// (crashed-but-unconfirmed corpses included — their copies are the
+/// salvage source), held as an in-flight master, or riding an orphan
+/// wire whose ledger entry was dropped by a sender's death (counted once
+/// per transfer id — multiple pending copies of one transfer are
+/// attempts of the *same* delivery). A retired fragment has none.
+fn exactly_once_copy(world: &World, snap: &StateSnapshot) -> Option<(&'static str, String)> {
+    let cfg = world.proto.config();
+    let total = world.proto.fragments_total();
+    let all_hosts_mask = if cfg.hosts >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << cfg.hosts) - 1
+    };
+    for fid in 0..total {
+        let queued: usize = snap
+            .hosts
+            .iter()
+            .map(|h| {
+                h.incoming.iter().filter(|e| e.env.id == fid).count()
+                    + usize::from(h.processing.as_ref().is_some_and(|p| p.env.id == fid))
+                    + h.outgoing.iter().filter(|e| e.id == fid).count()
+            })
+            .sum();
+        let mut in_flight = 0usize;
+        let mut orphan_tids: Vec<u64> = Vec::new();
+        if let Some(f) = &snap.fault {
+            in_flight = f
+                .in_flight
+                .iter()
+                .filter(|e| e.env.id == fid && f.accepted.binary_search(&e.tid).is_err())
+                .count();
+            for ev in &world.pending {
+                let Ev::Wire {
+                    tid, intact, env, ..
+                } = ev
+                else {
+                    continue;
+                };
+                let settled =
+                    f.accepted.binary_search(tid).is_ok() || f.requeued.binary_search(tid).is_ok();
+                let ledgered = f.in_flight.iter().any(|e| e.tid == *tid);
+                if env.id.0 == fid && *intact && !settled && !ledgered {
+                    orphan_tids.push(*tid);
+                }
+            }
+            orphan_tids.sort_unstable();
+            orphan_tids.dedup();
+        } else {
+            // Classic path: the pending wire copy is the one copy.
+            orphan_tids.extend(world.pending.iter().enumerate().filter_map(|(i, e)| {
+                matches!(e, Ev::Wire { env, .. } if env.id.0 == fid).then_some(i as u64)
+            }));
+        }
+        let copies = queued + in_flight + orphan_tids.len();
+        let retired = world.retired & (1u64 << fid) != 0;
+        let want = usize::from(!retired);
+        if copies != want {
+            return Some((
+                "exactly-once-copy",
+                format!(
+                    "fragment {fid} ({}) has {copies} live copies \
+                     ({queued} queued, {in_flight} in flight, {} orphan wires)",
+                    if retired { "retired" } else { "unretired" },
+                    orphan_tids.len()
+                ),
+            ));
+        }
+        if let Some(f) = &snap.fault {
+            let bad_visited = snap
+                .hosts
+                .iter()
+                .flat_map(|h| {
+                    h.incoming
+                        .iter()
+                        .map(|e| e.env)
+                        .chain(h.processing.as_ref().map(|p| p.env))
+                        .chain(h.outgoing.iter().copied())
+                })
+                .chain(f.in_flight.iter().map(|e| e.env))
+                .find(|e| e.id == fid && e.visited & !all_hosts_mask != 0);
+            if let Some(e) = bad_visited {
+                return Some((
+                    "exactly-once-copy",
+                    format!(
+                        "fragment {fid} visited mask {:#b} exceeds the host universe",
+                        e.visited
+                    ),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// I3 — role-ledger exactly-once. Joins, drains, handoffs and crash
+/// healing move roles between hosts but never create or destroy one:
+/// the union of the per-host role tables is always a permutation of the
+/// initial member set.
+fn role_ledger(world: &World, snap: &StateSnapshot) -> Option<(&'static str, String)> {
+    let Some(f) = &snap.fault else {
+        return None;
+    };
+    let cfg = world.proto.config();
+    let expected: Vec<usize> = (0..cfg.hosts)
+        .filter(|h| cfg.standby & (1u64 << h) == 0)
+        .collect();
+    let mut actual: Vec<usize> = f.roles.iter().flatten().copied().collect();
+    actual.sort_unstable();
+    if actual != expected {
+        return Some((
+            "role-exactly-once",
+            format!("role multiset {actual:?} differs from initial members {expected:?}"),
+        ));
+    }
+    None
+}
+
+/// I4 — membership-epoch accounting. The epoch counts completed planned
+/// transitions exactly (joins + drains) and never moves backwards.
+fn epoch_accounting(snap: &StateSnapshot, parent_epoch: u64) -> Option<(&'static str, String)> {
+    let Some(f) = &snap.fault else {
+        return None;
+    };
+    let m = &f.membership;
+    if m.epoch != m.joins + m.drains {
+        return Some((
+            "epoch-accounting",
+            format!(
+                "epoch {} != joins {} + drains {}",
+                m.epoch, m.joins, m.drains
+            ),
+        ));
+    }
+    if m.epoch < parent_epoch {
+        return Some((
+            "epoch-accounting",
+            format!("epoch regressed from {parent_epoch} to {}", m.epoch),
+        ));
+    }
+    None
+}
+
+/// The membership epoch of a snapshot (0 on the classic path) — threaded
+/// through the search as `parent_epoch` for the monotonicity check.
+pub fn epoch_of(snap: &StateSnapshot) -> u64 {
+    snap.fault.as_ref().map_or(0, |f| f.membership.epoch)
+}
+
+/// I5 — the quiescence side of the stuck-state check: does this world
+/// still hold undelivered work reachable by a live host? The explorer
+/// flags a violation when a quiescent state (no enabled transition
+/// changes the fingerprint) answers yes. Work wedged solely on a
+/// crashed-but-undetectable corpse is the documented allowed stall: with
+/// nothing in flight toward it, no timeout can ever implicate it.
+pub fn live_work(snap: &StateSnapshot) -> Option<String> {
+    let crashed = snap.fault.as_ref().map_or(0u64, |f| f.crashed);
+    for (h, host) in snap.hosts.iter().enumerate() {
+        if crashed & (1u64 << h) != 0 {
+            continue;
+        }
+        if let Some(e) = host
+            .incoming
+            .iter()
+            .map(|e| e.env)
+            .chain(host.processing.as_ref().map(|p| p.env))
+            .chain(host.outgoing.iter().copied())
+            .next()
+        {
+            return Some(format!("fragment {} is queued at live host {h}", e.id));
+        }
+    }
+    if let Some(f) = &snap.fault {
+        // An in-flight transfer is live work only while its sender
+        // lives: the retransmission machinery (and the master copy) sit
+        // at the sender, so a crashed sender's entry is work wedged on
+        // the corpse — the allowed stall, unless a wire copy survives
+        // (a pending wire event keeps the state non-quiescent anyway).
+        if let Some(e) = f
+            .in_flight
+            .iter()
+            .find(|e| f.crashed & (1u64 << e.from) == 0)
+        {
+            return Some(format!("transfer {} is still in flight", e.tid));
+        }
+    }
+    None
+}

@@ -1,0 +1,50 @@
+//! Explicit-state model checking for the sans-IO ring protocol.
+//!
+//! PR 4 made [`data_roundabout::protocol::RingProtocol`] a pure state
+//! machine: typed [`Input`](data_roundabout::protocol::Input)s in, ordered
+//! [`Output`](data_roundabout::protocol::Output)s out, no IO, threads,
+//! clocks or randomness. That shape admits *exhaustive* verification: for
+//! a small bounded configuration (2–3 hosts, 1–2 fragments, a fault
+//! budget, optionally one planned join/drain) this crate enumerates every
+//! reachable protocol state — TLA+-style explicit-state exploration, but
+//! run directly against the shipping Rust code — and checks five safety
+//! invariant families on each one:
+//!
+//! 1. **credit conservation** — every occupied buffer-pool element of a
+//!    live host is explained by a held envelope, an unsettled in-flight
+//!    transfer, or a wire copy;
+//! 2. **exactly-once delivery per fragment** — at every instant each
+//!    unretired fragment has exactly one live copy (queued, in flight, or
+//!    salvageable on a wire), and each retires exactly once;
+//! 3. **role-ledger exactly-once** — the union of per-host role tables is
+//!    always a permutation of the initial member roles;
+//! 4. **membership-epoch accounting** — the epoch equals completed joins
+//!    plus drains and never decreases;
+//! 5. **no stuck states** — a quiescent frontier (no pending event, no
+//!    armed timer that changes state) with undelivered work on any *live*
+//!    host is a verification failure (work wedged on an undetectable
+//!    corpse is the documented, allowed stall).
+//!
+//! Any [`Output::Teardown`](data_roundabout::protocol::Output) is a
+//! violation by itself — bounded fault budgets are chosen so the failure
+//! detector can never legitimately kill a live host.
+//!
+//! The driver's fault dice are replaced by nondeterministic branching
+//! ([`model::Fate`]), and the search ([`explore`]) reduces the state
+//! space with canonical fingerprints ([`data_roundabout::protocol::
+//! snapshot`]): transfer-id renumbering, host-rotation symmetry on
+//! symmetric configs, eager wire-release, and pruning of provably inert
+//! events/timers. Counterexamples come back as shortest input traces in a
+//! one-line-per-step text format ([`trace`]) that replays as a regression
+//! fixture.
+
+pub mod configs;
+pub mod explore;
+pub mod invariants;
+pub mod model;
+pub mod trace;
+
+pub use configs::{CheckConfig, Rescale};
+pub use explore::{explore, ExploreError, Report, Violation};
+pub use model::{Choice, Ev, Fate, World};
+pub use trace::{format_step, parse_step, replay, ReplayOutcome};

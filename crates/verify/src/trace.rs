@@ -1,0 +1,309 @@
+//! The counterexample trace format: one line per transition, written by
+//! the explorer and replayed as a regression fixture.
+//!
+//! Grammar (tokens separated by single spaces; `<n>` is a decimal):
+//!
+//! ```text
+//! setup h<host>                      deliver t<tid> f<frag> h<to>
+//! join h<host>                       deliver-corrupt t<tid> f<frag> h<to>
+//! absorb h<host>                     ack t<tid> h<to>
+//! crash h<host>                      tick-re t<tid> a<attempt>
+//! join-req h<host>                   tick-probe h<from> h<to> a<attempt>
+//! drain-req h<host>                  tick-drain h<host> a<attempt>
+//! ```
+//!
+//! A step whose transition emitted sends carries the dealt fates as a
+//! suffix: ` ! ok,drop,corrupt` (one entry per send, in emission order).
+
+use data_roundabout::protocol::Timer;
+
+use crate::configs::{CheckConfig, Rescale};
+use crate::invariants;
+use crate::model::{Choice, Ev, Fate, World};
+
+/// Renders one applied transition (and the fates its sends were dealt)
+/// as a trace line.
+pub fn format_step(choice: &Choice, fates: &[Fate]) -> String {
+    let mut line = match choice {
+        Choice::Ev(Ev::Setup(h)) => format!("setup h{h}"),
+        Choice::Ev(Ev::JoinDone(h)) => format!("join h{h}"),
+        Choice::Ev(Ev::AbsorbDone(h)) => format!("absorb h{h}"),
+        Choice::Ev(Ev::Wire {
+            to,
+            tid,
+            intact,
+            env,
+        }) => {
+            let verb = if *intact {
+                "deliver"
+            } else {
+                "deliver-corrupt"
+            };
+            format!("{verb} t{tid} f{} h{to}", env.id.0)
+        }
+        Choice::Ev(Ev::AckWire { to, tid }) => format!("ack t{tid} h{to}"),
+        Choice::Tick(Timer::Retransmit { tid, attempt }) => format!("tick-re t{tid} a{attempt}"),
+        Choice::Tick(Timer::Probe { from, to, attempt }) => {
+            format!("tick-probe h{} h{} a{attempt}", from.0, to.0)
+        }
+        Choice::Tick(Timer::DrainDeadline { host, attempt }) => {
+            format!("tick-drain h{} a{attempt}", host.0)
+        }
+        Choice::Crash(h) => format!("crash h{h}"),
+        Choice::Rescale(Rescale::Join(h)) => format!("join-req h{h}"),
+        Choice::Rescale(Rescale::Drain(h)) => format!("drain-req h{h}"),
+    };
+    if !fates.is_empty() {
+        let dealt: Vec<&str> = fates
+            .iter()
+            .map(|f| match f {
+                Fate::Ok => "ok",
+                Fate::Lost => "drop",
+                Fate::Corrupt => "corrupt",
+            })
+            .collect();
+        line.push_str(" ! ");
+        line.push_str(&dealt.join(","));
+    }
+    line
+}
+
+/// A parsed trace line, matched against the enabled transitions of the
+/// replayed world (wire steps match on `(tid, to, intactness)` — the
+/// fragment id is redundant, kept in the format for readability).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// `setup h<host>`
+    Setup(usize),
+    /// `join h<host>`
+    Join(usize),
+    /// `absorb h<host>`
+    Absorb(usize),
+    /// `deliver[-corrupt] t<tid> f<frag> h<to>`
+    Deliver {
+        /// Transfer id.
+        tid: u64,
+        /// Receiving host.
+        to: usize,
+        /// False for `deliver-corrupt`.
+        intact: bool,
+    },
+    /// `ack t<tid> h<to>`
+    Ack {
+        /// Acknowledged transfer.
+        tid: u64,
+    },
+    /// `tick-re t<tid> a<attempt>`
+    TickRe {
+        /// Transfer id.
+        tid: u64,
+        /// Attempt the timer was armed for.
+        attempt: u32,
+    },
+    /// `tick-probe h<from> h<to> a<attempt>`
+    TickProbe {
+        /// Probing sender.
+        from: usize,
+        /// Probed receiver.
+        to: usize,
+        /// Probe attempt.
+        attempt: u32,
+    },
+    /// `tick-drain h<host> a<attempt>`
+    TickDrain {
+        /// Draining host.
+        host: usize,
+        /// Deadline attempt.
+        attempt: u32,
+    },
+    /// `crash h<host>`
+    Crash(usize),
+    /// `join-req h<host>`
+    JoinReq(usize),
+    /// `drain-req h<host>`
+    DrainReq(usize),
+}
+
+fn field(tok: Option<&str>, prefix: char) -> Result<u64, String> {
+    let tok = tok.ok_or_else(|| format!("missing {prefix}<n> field"))?;
+    tok.strip_prefix(prefix)
+        .ok_or_else(|| format!("expected {prefix}<n>, got {tok:?}"))?
+        .parse::<u64>()
+        .map_err(|_| format!("bad number in {tok:?}"))
+}
+
+/// Parses one trace line into the step and the fates its sends were
+/// dealt.
+pub fn parse_step(line: &str) -> Result<(Step, Vec<Fate>), String> {
+    let (head, fates) = match line.split_once(" ! ") {
+        Some((head, dealt)) => {
+            let fates = dealt
+                .split(',')
+                .map(|f| match f.trim() {
+                    "ok" => Ok(Fate::Ok),
+                    "drop" => Ok(Fate::Lost),
+                    "corrupt" => Ok(Fate::Corrupt),
+                    other => Err(format!("unknown fate {other:?}")),
+                })
+                .collect::<Result<Vec<Fate>, String>>()?;
+            (head, fates)
+        }
+        None => (line, Vec::new()),
+    };
+    let mut toks = head.split_whitespace();
+    let verb = toks.next().ok_or_else(|| "empty step".to_string())?;
+    let step = match verb {
+        "setup" => Step::Setup(field(toks.next(), 'h')? as usize),
+        "join" => Step::Join(field(toks.next(), 'h')? as usize),
+        "absorb" => Step::Absorb(field(toks.next(), 'h')? as usize),
+        "deliver" | "deliver-corrupt" => {
+            let tid = field(toks.next(), 't')?;
+            let _frag = field(toks.next(), 'f')?;
+            Step::Deliver {
+                tid,
+                to: field(toks.next(), 'h')? as usize,
+                intact: verb == "deliver",
+            }
+        }
+        "ack" => {
+            let tid = field(toks.next(), 't')?;
+            let _to = field(toks.next(), 'h')?;
+            Step::Ack { tid }
+        }
+        "tick-re" => Step::TickRe {
+            tid: field(toks.next(), 't')?,
+            attempt: field(toks.next(), 'a')? as u32,
+        },
+        "tick-probe" => Step::TickProbe {
+            from: field(toks.next(), 'h')? as usize,
+            to: field(toks.next(), 'h')? as usize,
+            attempt: field(toks.next(), 'a')? as u32,
+        },
+        "tick-drain" => Step::TickDrain {
+            host: field(toks.next(), 'h')? as usize,
+            attempt: field(toks.next(), 'a')? as u32,
+        },
+        "crash" => Step::Crash(field(toks.next(), 'h')? as usize),
+        "join-req" => Step::JoinReq(field(toks.next(), 'h')? as usize),
+        "drain-req" => Step::DrainReq(field(toks.next(), 'h')? as usize),
+        other => return Err(format!("unknown step verb {other:?}")),
+    };
+    Ok((step, fates))
+}
+
+fn matches_choice(step: &Step, choice: &Choice) -> bool {
+    match (step, choice) {
+        (Step::Setup(a), Choice::Ev(Ev::Setup(b))) => a == b,
+        (Step::Join(a), Choice::Ev(Ev::JoinDone(b))) => a == b,
+        (Step::Absorb(a), Choice::Ev(Ev::AbsorbDone(b))) => a == b,
+        (
+            Step::Deliver { tid, to, intact },
+            Choice::Ev(Ev::Wire {
+                to: cto,
+                tid: ctid,
+                intact: cintact,
+                ..
+            }),
+        ) => tid == ctid && to == cto && intact == cintact,
+        (Step::Ack { tid }, Choice::Ev(Ev::AckWire { tid: ctid, .. })) => tid == ctid,
+        (
+            Step::TickRe { tid, attempt },
+            Choice::Tick(Timer::Retransmit {
+                tid: ctid,
+                attempt: ca,
+            }),
+        ) => tid == ctid && attempt == ca,
+        (
+            Step::TickProbe { from, to, attempt },
+            Choice::Tick(Timer::Probe {
+                from: cf,
+                to: ct,
+                attempt: ca,
+            }),
+        ) => *from == cf.0 && *to == ct.0 && attempt == ca,
+        (
+            Step::TickDrain { host, attempt },
+            Choice::Tick(Timer::DrainDeadline {
+                host: ch,
+                attempt: ca,
+            }),
+        ) => *host == ch.0 && attempt == ca,
+        (Step::Crash(a), Choice::Crash(b)) => a == b,
+        (Step::JoinReq(a), Choice::Rescale(Rescale::Join(b))) => a == b,
+        (Step::DrainReq(a), Choice::Rescale(Rescale::Drain(b))) => a == b,
+        _ => false,
+    }
+}
+
+/// The result of replaying a trace: the first invariant violation (step
+/// index plus family name) if any, and the final world for further
+/// assertions.
+pub struct ReplayOutcome {
+    /// `(zero-based step index, invariant family)` of the first
+    /// violation, `None` when the whole trace replays clean.
+    pub violation: Option<(usize, &'static str)>,
+    /// The world after the last replayed step.
+    pub world: World,
+}
+
+/// Replays a trace (one step per non-empty, non-`#` line) against a
+/// fresh world of `cfg`, checking every invariant family after each
+/// step. `Err` means the trace no longer matches the protocol — a step
+/// failed to parse or named a transition that is not enabled.
+pub fn replay(cfg: &CheckConfig, trace: &str) -> Result<ReplayOutcome, String> {
+    let mut world = World::init(cfg);
+    for (idx, line) in trace
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .enumerate()
+    {
+        let (step, fates) = parse_step(line).map_err(|e| format!("step {idx} ({line:?}): {e}"))?;
+        let mut choices = world.progress_choices();
+        choices.extend(world.crash_choices());
+        let choice = choices
+            .into_iter()
+            .find(|c| matches_choice(&step, c))
+            .ok_or_else(|| format!("step {idx} ({line:?}): transition not enabled"))?;
+        let parent_epoch = invariants::epoch_of(&world.proto.snapshot());
+        let outcome = world.apply(&choice, &fates);
+        let snap = world.proto.snapshot();
+        if let Some((family, _detail)) = invariants::check(&world, &snap, &outcome, parent_epoch) {
+            return Ok(ReplayOutcome {
+                violation: Some((idx, family)),
+                world,
+            });
+        }
+    }
+    Ok(ReplayOutcome {
+        violation: None,
+        world,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_fates() {
+        let (step, fates) = parse_step("tick-re t3 a2 ! drop,ok").unwrap();
+        assert_eq!(step, Step::TickRe { tid: 3, attempt: 2 });
+        assert_eq!(fates, vec![Fate::Lost, Fate::Ok]);
+    }
+
+    #[test]
+    fn rejects_unknown_verbs_and_fates() {
+        assert!(parse_step("warp h0").is_err());
+        assert!(parse_step("deliver t1 f0 h1 ! sideways").is_err());
+    }
+
+    #[test]
+    fn replays_a_setup_prefix() {
+        let cfg = crate::configs::smoke();
+        let out = replay(&cfg, "setup h0\nsetup h1\n# comment\njoin h0 ! ok\n").unwrap();
+        assert_eq!(out.violation, None);
+        assert!(!out.world.pending.is_empty());
+        assert!(replay(&cfg, "deliver t9 f0 h1").is_err(), "not enabled");
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end checks of the explorer itself: the bounded smoke
+//! configurations verify clean, the seeded sabotage is caught with a
+//! minimal trace, and the reductions actually reduce.
+
+use ring_verify::{configs, explore, CheckConfig};
+
+#[test]
+fn smoke_bound_is_exhaustive_and_clean() {
+    let report = explore(&configs::smoke()).expect("within state cap");
+    assert!(
+        report.violation.is_none(),
+        "smoke violation: {:?}",
+        report.violation
+    );
+    // Regression floor: shrinking below this means exploration lost
+    // transitions, not that the protocol got simpler.
+    assert!(report.states > 500, "only {} states", report.states);
+    assert!(
+        report.samples.iter().any(|(l, _)| *l == "completion"),
+        "no run reached completion"
+    );
+    assert!(
+        report.samples.iter().any(|(l, _)| *l == "heal"),
+        "no run healed around the crash"
+    );
+}
+
+#[test]
+fn classic_bound_is_clean() {
+    let report = explore(&configs::classic()).expect("within state cap");
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+}
+
+#[test]
+fn sabotage_is_caught_with_a_minimal_trace() {
+    let report = explore(&configs::sabotage()).expect("within state cap");
+    let v = report
+        .violation
+        .expect("seeded double credit must be caught");
+    assert_eq!(v.family, "credit-conservation");
+    // BFS guarantees the shortest counterexample: setup, the join that
+    // emits the first send, and the delivery that triggers the grant.
+    assert_eq!(v.trace.len(), 3, "trace not minimal: {:?}", v.trace);
+}
+
+#[test]
+fn state_cap_is_a_hard_error() {
+    let tiny = CheckConfig {
+        max_states: 10,
+        ..configs::smoke()
+    };
+    assert!(explore(&tiny).is_err(), "cap must abort, never truncate");
+}
+
+#[test]
+fn rotation_symmetry_shrinks_the_symmetric_bound() {
+    let sym = configs::symmetric3();
+    let plain = CheckConfig {
+        symmetry: false,
+        ..sym.clone()
+    };
+    let with = explore(&sym).expect("within cap");
+    let without = explore(&plain).expect("within cap");
+    assert!(with.violation.is_none() && without.violation.is_none());
+    assert!(
+        with.states < without.states,
+        "symmetry reduction had no effect: {} vs {}",
+        with.states,
+        without.states
+    );
+}
+
+#[test]
+fn symmetry_flag_is_ignored_on_asymmetric_configs() {
+    let cfg = CheckConfig {
+        symmetry: true, // frags [1, 0] are not rotation-symmetric
+        ..configs::smoke()
+    };
+    assert!(!cfg.symmetry_valid());
+    let plain = explore(&configs::smoke()).expect("within cap");
+    let flagged = explore(&cfg).expect("within cap");
+    assert_eq!(plain.states, flagged.states);
+}

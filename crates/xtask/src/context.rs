@@ -73,7 +73,14 @@ pub struct FileModel {
 }
 
 /// Lint names an annotation may reference.
-pub const KNOWN_LINTS: &[&str] = &["panic", "wall-clock", "counter", "lock-order", "sans-io"];
+pub const KNOWN_LINTS: &[&str] = &[
+    "panic",
+    "wall-clock",
+    "counter",
+    "lock-order",
+    "sans-io",
+    "output-match",
+];
 
 /// Builds the [`FileModel`] for one lexed file.
 pub fn build(lexed: Lexed) -> FileModel {

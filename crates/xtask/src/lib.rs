@@ -35,6 +35,10 @@ pub const REGISTRY_PATH: &str = "crates/simnet/src/span.rs";
 ///   collector/tracer locks nest.
 /// - **L5 sans-io-protocol**: the shared ring-protocol core, which must
 ///   never grow a socket, thread, channel or clock dependency.
+/// - **L6 output-match-exhaustive**: the three backend drivers, whose
+///   `protocol::Output` dispatch loops must name every variant — a
+///   wildcard arm would let a future output silently vanish in one
+///   driver while the others act on it.
 pub fn policy_for(rel: &str) -> FilePolicy {
     let mut p = FilePolicy::default();
     let core_l1 = [
@@ -68,12 +72,23 @@ pub fn policy_for(rel: &str) -> FilePolicy {
     if rel.starts_with("crates/roundabout/src/protocol/") {
         p.sans_io = true;
     }
+    if rel == "crates/roundabout/src/thread_backend.rs"
+        || rel == "crates/roundabout/src/sim_backend.rs"
+        || rel == "crates/roundabout/src/tcp_backend.rs"
+    {
+        p.output_match = true;
+    }
     p
 }
 
 /// True when any lint applies.
 fn policy_is_active(p: &FilePolicy) -> bool {
-    p.no_panic || p.no_wall_clock || p.counter_registry || p.lock_ordering || p.sans_io
+    p.no_panic
+        || p.no_wall_clock
+        || p.counter_registry
+        || p.lock_ordering
+        || p.sans_io
+        || p.output_match
 }
 
 /// Analyzes the workspace rooted at `root` with the standard policy.
@@ -197,18 +212,22 @@ mod tests {
         let p = policy_for("crates/roundabout/src/thread_backend.rs");
         assert!(p.no_panic && p.counter_registry && p.lock_ordering && !p.no_wall_clock);
         assert!(!p.sans_io, "drivers are allowed to do IO");
+        assert!(p.output_match, "drivers must dispatch Output exhaustively");
         let p = policy_for("crates/roundabout/src/sim_backend.rs");
         assert!(p.no_panic && p.no_wall_clock && p.counter_registry && !p.lock_ordering);
+        assert!(p.output_match, "drivers must dispatch Output exhaustively");
         // The TCP driver: on the ring's data path (L1) and a counter
         // emitter (L3), but wall-clock and sockets are its whole job.
         let p = policy_for("crates/roundabout/src/tcp_backend.rs");
         assert!(p.no_panic && p.counter_registry && !p.no_wall_clock && !p.lock_ordering);
         assert!(!p.sans_io, "drivers are allowed to do IO");
+        assert!(p.output_match, "drivers must dispatch Output exhaustively");
         // The sans-IO core: L1 (it is library code) plus L5, and nothing
-        // that assumes a particular driver.
+        // that assumes a particular driver — L6 included: the core emits
+        // outputs, only drivers dispatch on them.
         let p = policy_for("crates/roundabout/src/protocol/ring.rs");
         assert!(p.no_panic && p.sans_io);
-        assert!(!p.no_wall_clock && !p.counter_registry && !p.lock_ordering);
+        assert!(!p.no_wall_clock && !p.counter_registry && !p.lock_ordering && !p.output_match);
         let p = policy_for("crates/roundabout/src/protocol/link.rs");
         assert!(p.sans_io);
         // With a real socket backend in the tree, L5 is the wall that

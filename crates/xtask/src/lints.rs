@@ -7,6 +7,7 @@
 //! | L3 | `counter-registry` | every counter name incremented in the backends is a key of the unified registry in `simnet::span::counter` |
 //! | L4 | `lock-ordering`    | nested lock acquisitions respect the declared lock-order table |
 //! | L5 | `sans-io-protocol` | the protocol core stays sans-IO: no `std::net`, `std::thread`, `crate::sync` or `simnet::time` paths and no `spawn` calls in `crates/roundabout/src/protocol/` |
+//! | L6 | `output-match-exhaustive` | backend drivers dispatch on `protocol::Output` without a wildcard `_` arm — every output variant is handled explicitly, so a new output fails the build instead of vanishing into a catch-all |
 //!
 //! A finding can be suppressed by `// analyze: allow(<lint>, reason = "…")`
 //! on the same line, the line above, or above the enclosing `fn` header
@@ -33,6 +34,8 @@ pub enum Lint {
     /// L5 — the protocol core is sans-IO: no sockets, threads, channels
     /// or clocks.
     SansIo,
+    /// L6 — driver matches over `protocol::Output` have no wildcard arm.
+    OutputMatch,
 }
 
 impl Lint {
@@ -44,6 +47,7 @@ impl Lint {
             Lint::CounterRegistry => "L3",
             Lint::LockOrdering => "L4",
             Lint::SansIo => "L5",
+            Lint::OutputMatch => "L6",
         }
     }
 
@@ -55,6 +59,7 @@ impl Lint {
             Lint::CounterRegistry => "counter",
             Lint::LockOrdering => "lock-order",
             Lint::SansIo => "sans-io",
+            Lint::OutputMatch => "output-match",
         }
     }
 
@@ -66,6 +71,7 @@ impl Lint {
             Lint::CounterRegistry => "counter-registry",
             Lint::LockOrdering => "lock-ordering",
             Lint::SansIo => "sans-io-protocol",
+            Lint::OutputMatch => "output-match-exhaustive",
         }
     }
 }
@@ -98,6 +104,8 @@ pub struct FilePolicy {
     pub lock_ordering: bool,
     /// Run L5 on this file.
     pub sans_io: bool,
+    /// Run L6 on this file.
+    pub output_match: bool,
 }
 
 /// The declared lock-order table for L4: a lock of class `i` may be
@@ -138,6 +146,9 @@ pub fn run_file(
     }
     if policy.sans_io {
         l5_sans_io(path, model, &mut findings);
+    }
+    if policy.output_match {
+        l6_output_match(path, model, &mut findings);
     }
     // Malformed annotations are findings of the lint they tried to touch
     // (reported unsuppressable — a broken allow cannot allow itself).
@@ -519,6 +530,142 @@ fn l5_sans_io(path: &Path, model: &FileModel, findings: &mut Vec<Finding>) {
     }
 }
 
+/// L6: matches that dispatch on `protocol::Output` must be exhaustive by
+/// variant. A wildcard `_` arm in a driver's output loop silently swallows
+/// any output the protocol core grows later — which is exactly how a
+/// driver drifts out of sync with the state machine. Without the wildcard,
+/// a new `Output` variant is a compile error in every backend at once.
+///
+/// A match is "over `Output`" when any arm pattern contains an
+/// `Output::Variant` path; the wildcard is an arm whose pattern *starts*
+/// with a bare `_` (nested `_` bindings inside variant patterns are fine,
+/// and so is a named catch-all binding — rustc's own exhaustiveness check
+/// covers that case once the wildcard is gone).
+fn l6_output_match(path: &Path, model: &FileModel, findings: &mut Vec<Finding>) {
+    let toks = &model.tokens;
+    for i in 0..toks.len() {
+        if model.in_test[i] || !toks[i].is_ident("match") {
+            continue;
+        }
+        let Some(open) = match_block_open(toks, i + 1) else {
+            continue;
+        };
+        let arms = match_arm_patterns(toks, open);
+        let over_output = arms.iter().any(|arm| {
+            arm.iter().enumerate().any(|(j, t)| {
+                t.is_ident("Output")
+                    && arm.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && arm.get(j + 2).is_some_and(|n| n.is_punct(':'))
+            })
+        });
+        if !over_output {
+            continue;
+        }
+        for arm in &arms {
+            let Some(first) = arm.first() else {
+                continue;
+            };
+            if first.is_ident("_") {
+                let ctx = model
+                    .enclosing_fn(first.line)
+                    .map(|f| format!(" in fn {f}"))
+                    .unwrap_or_default();
+                emit(
+                    findings,
+                    model,
+                    Lint::OutputMatch,
+                    path,
+                    first.line,
+                    format!(
+                        "wildcard `_` arm in a match over `protocol::Output`{ctx}: \
+                         handle every output variant explicitly so a new output \
+                         fails the build instead of disappearing"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Finds the `{` opening a match body, scanning from just past the `match`
+/// keyword. The scrutinee may contain parenthesised or bracketed
+/// sub-expressions but never a bare braced one (Rust bans struct literals
+/// in scrutinee position), so the first `{` at zero paren/bracket depth is
+/// the match block. A `;` or `}` first means the token stream was not a
+/// match expression after all — bail without a block.
+fn match_block_open(toks: &[crate::lexer::Tok], from: usize) -> Option<usize> {
+    let mut paren = 0isize;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+            TokKind::Punct('{') if paren == 0 => return Some(j),
+            TokKind::Punct(';') | TokKind::Punct('}') => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Collects each arm's pattern tokens (pattern plus any `if` guard) from
+/// the match body opening at `open`. Pattern mode runs from the block
+/// start — or from the end of the previous arm's body — up to the `=>`.
+/// Struct-pattern braces, tuple parens and slice brackets are depth
+/// tracked; an arm body ends at a `,` at arm level, or when a braced body
+/// closes back to arm level (Rust requires no comma there).
+fn match_arm_patterns(toks: &[crate::lexer::Tok], open: usize) -> Vec<Vec<&crate::lexer::Tok>> {
+    let mut arms = Vec::new();
+    let mut cur: Vec<&crate::lexer::Tok> = Vec::new();
+    let mut depth = 1isize; // brace depth relative to the match block
+    let mut paren = 0isize; // () and [] combined
+    let mut in_pattern = true;
+    let mut j = open + 1;
+    while j < toks.len() && depth > 0 {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 1 && paren == 0 && !in_pattern {
+                    // `=> { … }` (or `=> Struct { … },`) just closed: the
+                    // next tokens are the next arm's pattern, with the
+                    // struct-literal form carrying a mandatory comma.
+                    in_pattern = true;
+                    j += 1;
+                    if toks.get(j).is_some_and(|n| n.is_punct(',')) {
+                        j += 1;
+                    }
+                    continue;
+                }
+            }
+            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+            TokKind::Punct(',') if depth == 1 && paren == 0 && !in_pattern => {
+                in_pattern = true;
+                j += 1;
+                continue;
+            }
+            TokKind::Punct('=')
+                if in_pattern
+                    && depth == 1
+                    && paren == 0
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct('>')) =>
+            {
+                arms.push(std::mem::take(&mut cur));
+                in_pattern = false;
+                j += 2;
+                continue;
+            }
+            _ => {}
+        }
+        if in_pattern {
+            cur.push(t);
+        }
+        j += 1;
+    }
+    arms
+}
+
 /// Extracts the unified counter registry from `simnet/src/span.rs`: the
 /// string values of `pub const … : &str = "…";` items inside
 /// `pub mod counter { … }`.
@@ -749,6 +896,70 @@ fn g() {
             &[],
         );
         assert_eq!(findings.len(), 0, "{findings:?}");
+    }
+
+    fn l6() -> FilePolicy {
+        FilePolicy {
+            output_match: true,
+            ..FilePolicy::default()
+        }
+    }
+
+    #[test]
+    fn l6_flags_wildcards_only_in_output_matches() {
+        let findings = run(
+            "fn drive(out: Output) {\n    match out {\n        Output::Send { to, .. } => \
+             send(to),\n        Output::Ack(id) => ack(id),\n        _ => {}\n    }\n    \
+             match other {\n        Some(x) => use_it(x),\n        _ => {}\n    }\n}\n",
+            &l6(),
+            &[],
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, Lint::OutputMatch);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn l6_exhaustive_dispatch_is_clean() {
+        // Guards, struct patterns, struct literals in unbraced bodies and
+        // braced bodies without trailing commas must all parse cleanly —
+        // and nested `_` bindings are not wildcards.
+        let findings = run(
+            "fn drive(out: Output) {\n    match out {\n        Output::Send { env, .. } if \
+             env.live => Frame { data: env },\n        Output::Send { to: _, .. } => {}\n        \
+             Output::Retire(id) => retire(id),\n    };\n}\n",
+            &l6(),
+            &[],
+        );
+        assert_eq!(findings.len(), 0, "{findings:?}");
+    }
+
+    #[test]
+    fn l6_guarded_wildcard_and_nested_match_are_caught() {
+        // A `_ if …` arm still swallows unknown variants; a nested match
+        // in an arm body is analyzed on its own.
+        let findings = run(
+            "fn drive(out: Output) {\n    match out {\n        Output::Ack(id) => ack(id),\n        \
+             _ if quiet() => {}\n        Output::Retire(id) => match lookup(id) {\n            \
+             Output::Send { .. } => resend(),\n            _ => {}\n        },\n    }\n}\n",
+            &l6(),
+            &[],
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].line, 4);
+        assert_eq!(findings[1].line, 7);
+    }
+
+    #[test]
+    fn l6_annotations_suppress() {
+        let findings = run(
+            "fn drive(out: Output) {\n    match out {\n        Output::Ack(id) => ack(id),\n        \
+             _ => {} // analyze: allow(output-match, reason = \"migration shim\")\n    }\n}\n",
+            &l6(),
+            &[],
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].suppressed.is_some());
     }
 
     #[test]

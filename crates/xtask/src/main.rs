@@ -13,6 +13,11 @@
 //!   measures); `--smoke` writes a throwaway report under `target/` (the
 //!   CI gate); `--check` only re-validates the committed `BENCH_*.json`
 //!   files without running anything.
+//! * `verify --smoke|--deep [--root <dir>]` — the explicit-state model
+//!   checker over the sans-IO ring protocol (`ring-verify`). `--smoke`
+//!   exhaustively explores the 2-host bound plus the seeded-sabotage
+//!   self-check (the tier-1 gate); `--deep` adds the 3-host bounds with
+//!   membership changes and a second crash (the analyze-tier gate).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -24,15 +29,17 @@ fn main() -> ExitCode {
     let Some(cmd) = args.next() else {
         eprintln!(
             "usage: cargo xtask analyze [--root <dir>] [--fixtures]\n\
-             \x20      cargo xtask bench [--smoke] [--check] [--root <dir>]"
+             \x20      cargo xtask bench [--smoke] [--check] [--root <dir>]\n\
+             \x20      cargo xtask verify --smoke|--deep [--root <dir>]"
         );
         return ExitCode::from(2);
     };
     match cmd.as_str() {
         "analyze" => analyze_cmd(args),
         "bench" => bench_cmd(args),
+        "verify" => verify_cmd(args),
         other => {
-            eprintln!("unknown command {other:?}; commands are `analyze` and `bench`");
+            eprintln!("unknown command {other:?}; commands are `analyze`, `bench` and `verify`");
             ExitCode::from(2)
         }
     }
@@ -91,6 +98,7 @@ fn analyze_fixtures(root: &std::path::Path) -> std::io::Result<xtask::report::Re
         counter_registry: true,
         lock_ordering: true,
         sans_io: true,
+        output_match: true,
     };
     let registry = xtask::load_registry(root);
     let mut files = Vec::new();
@@ -102,6 +110,57 @@ fn analyze_fixtures(root: &std::path::Path) -> std::io::Result<xtask::report::Re
     }
     files.sort_by(|a, b| a.0.cmp(&b.0));
     xtask::analyze_files(&files, &registry)
+}
+
+/// Shells out to the `ring-verify` checker binary in release mode (the
+/// deep bounds explore hundreds of thousands of states — debug mode is an
+/// order of magnitude slower) and propagates its verdict.
+fn verify_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut root = xtask::workspace_root();
+    let mut mode: Option<&'static str> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--smoke" => mode = Some("--smoke"),
+            "--deep" => mode = Some("--deep"),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(mode) = mode else {
+        eprintln!("verify: pass --smoke (tier-1 gate) or --deep (full bounds)");
+        return ExitCode::from(2);
+    };
+    let mut cargo = std::process::Command::new("cargo");
+    cargo.current_dir(&root).args([
+        "run",
+        "--release",
+        "-p",
+        "ring-verify",
+        "--bin",
+        "verify",
+        "--",
+        mode,
+    ]);
+    match cargo.status() {
+        Ok(status) if status.success() => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("verify: model checking FAILED");
+            ExitCode::from(1)
+        }
+        Err(err) => {
+            eprintln!("verify: could not launch cargo: {err}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn bench_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {

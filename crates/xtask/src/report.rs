@@ -68,6 +68,7 @@ impl Report {
             Lint::CounterRegistry,
             Lint::LockOrdering,
             Lint::SansIo,
+            Lint::OutputMatch,
         ];
         for lint in lints {
             let live: Vec<&Finding> = self.live().filter(|f| f.lint == lint).collect();

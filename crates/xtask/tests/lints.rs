@@ -134,6 +134,38 @@ fn l5_fixture_counts_are_exact() {
 }
 
 #[test]
+fn l6_fixture_counts_are_exact() {
+    let report = run_fixture(
+        "l6_output_match.rs",
+        FilePolicy {
+            output_match: true,
+            ..FilePolicy::default()
+        },
+    );
+    assert_eq!(
+        report.live_count(Lint::OutputMatch),
+        2,
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.suppressed_count(Lint::OutputMatch), 1);
+    assert!(report.unused.is_empty());
+    let messages: Vec<&str> = report.live().map(|f| f.message.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("fn drive_with_a_catch_all")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("fn drive_with_a_guarded_catch_all")),
+        "{messages:?}"
+    );
+}
+
+#[test]
 fn fixtures_fail_under_the_full_policy() {
     // Mirror of `cargo run -p xtask -- analyze --fixtures`: every lint on
     // every fixture, which must exit non-zero.
@@ -143,6 +175,7 @@ fn fixtures_fail_under_the_full_policy() {
         counter_registry: true,
         lock_ordering: true,
         sans_io: true,
+        output_match: true,
     };
     let registry = xtask::load_registry(&xtask::workspace_root());
     let files: Vec<_> = [
@@ -151,6 +184,7 @@ fn fixtures_fail_under_the_full_policy() {
         "l3_counters.rs",
         "l4_locks.rs",
         "l5_sans_io.rs",
+        "l6_output_match.rs",
     ]
     .into_iter()
     .map(|n| (fixture(n), all.clone()))
@@ -162,6 +196,7 @@ fn fixtures_fail_under_the_full_policy() {
     assert!(report.live_count(Lint::CounterRegistry) >= 2);
     assert!(report.live_count(Lint::LockOrdering) >= 2);
     assert!(report.live_count(Lint::SansIo) >= 6);
+    assert!(report.live_count(Lint::OutputMatch) >= 2);
 }
 
 #[test]

@@ -25,6 +25,12 @@ cargo test -q -p integration-tests --test chaos crash_during_drain
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q --release -p xtask -- analyze
+# Model-checker gate: exhaustive exploration of the 2-host/1-fragment/
+# 1-crash bound over the sans-IO protocol core (all five invariant
+# families), plus the seeded-sabotage self-check that must be *caught*
+# with a minimal counterexample trace. The deep 3-host bounds run in
+# scripts/analyze.sh.
+cargo run -q --release -p xtask -- verify --smoke
 # Bench-harness gates: the smoke suite must run clean end to end (every
 # kernel/codec/e2e entry and every hot-path delta measured, JSON written
 # and schema-validated), and the committed BENCH_*.json baselines must
