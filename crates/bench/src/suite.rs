@@ -8,21 +8,25 @@
 //! * **codec** — `relation::wire` encode/decode and the TCP envelope
 //!   frame codec, in bytes/s.
 //! * **e2e** — a fixed seeded cyclo-join plan run to completion on each
-//!   backend (sim, threads, tcp), in revolutions/s (fragments completing
-//!   a full ring revolution per wall-clock second).
+//!   backend (sim, threads, tcp, reactor), in revolutions/s (fragments
+//!   completing a full ring revolution per wall-clock second).
 //!
 //! Each delta re-measures one *fixed* copy-amplification bug: the
 //! "before" is a bench-local reimplementation of the removed code path,
 //! run in the same process on the same input as the shipped "after"
 //! path, so the pair differs only by the fix.
 
-use data_roundabout::tcp_backend::{encode_envelope, encode_envelope_into, KIND_ENVELOPE};
+use data_roundabout::tcp_backend::{
+    encode_envelope, encode_envelope_into, write_frames_vectored, KIND_ENVELOPE,
+};
 use data_roundabout::{Envelope, FragmentId, FrameDecoder, WirePayload};
 use mem_joins::hash::{radix_bits_for, ChainedTable};
 use mem_joins::{CacheParams, HashJoinState, JoinCollector, RadixPartitioned};
 use mem_joins::{SortMergeState, SortedRun};
 use relation::{GenSpec, Relation};
 use simnet::topology::HostId;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 
 use crate::report::{Delta, Report};
 use crate::timing::{bench, bench_ab, bench_ab_with_setup, Budget};
@@ -179,6 +183,10 @@ fn e2e_group(report: &mut Report, smoke: bool) {
             "tcp",
             Box::new(|| plan.run_tcp().ok().map(|r| r.match_count())),
         ),
+        (
+            "reactor",
+            Box::new(|| plan.run_reactor().ok().map(|r| r.match_count())),
+        ),
     ] {
         let sample = bench(budget, &runner);
         let tput = sample.per_second(revolutions);
@@ -192,7 +200,8 @@ fn e2e_group(report: &mut Report, smoke: bool) {
     }
 }
 
-/// Before/after measurements of the three fixed copy-amplification bugs.
+/// Before/after measurements of the fixed hot paths: three removed
+/// copy-amplification bugs plus the writer's per-frame write syscalls.
 /// Every "before" reimplements the removed code path locally; a one-time
 /// equivalence assertion keeps the reimplementation honest.
 fn delta_group(report: &mut Report, budget: Budget, smoke: bool) {
@@ -255,6 +264,96 @@ fn delta_group(report: &mut Report, budget: Budget, smoke: bool) {
     report
         .deltas
         .push(Delta::from_samples("envelope_encode_buffer", before, after));
+
+    // --- tcp_backend.rs: one write syscall per frame on the writer hot
+    // path. The batching writer now submits queued frames as a single
+    // vectored write; the "before" is the removed loop of per-frame
+    // `write_all` calls. Byte-equivalence is asserted through an
+    // in-memory sink first (the vectored path is generic over `Write`),
+    // then both sides are measured over a real loopback connection with
+    // a drain thread on the far end, so the syscall count per batch is
+    // the only difference between them. If loopback sockets are
+    // unavailable the A/B degrades to the in-memory sink — still the
+    // same code paths, minus the kernel boundary. Frames are kept small
+    // (they are acks, heartbeats and modest envelopes on the real
+    // writer) so the measured difference is the per-frame syscall, not
+    // the shared memcpy of large payloads.
+    let frame_tuples = if smoke { 16 } else { 64 };
+    let frames: Vec<Vec<u8>> = (0..16u64)
+        .map(|i| {
+            let payload = GenSpec::uniform(frame_tuples, 37 + i).generate();
+            let env = Envelope::new(FragmentId(i as usize), HostId(0), 4, payload);
+            encode_envelope(i, &env).unwrap_or_default()
+        })
+        .collect();
+    let mut vectored_sink = Vec::new();
+    let _ = write_frames_vectored(&mut vectored_sink, &frames);
+    let mut sequential_sink = Vec::new();
+    for f in &frames {
+        let _ = Write::write_all(&mut sequential_sink, f);
+    }
+    assert_eq!(
+        vectored_sink, sequential_sink,
+        "the vectored writer must put the same bytes on the wire"
+    );
+    let (before, after) =
+        if let (Some(mut seq_tx), Some(mut vec_tx)) = (drained_loopback(), drained_loopback()) {
+            bench_ab(
+                budget,
+                || {
+                    for f in &frames {
+                        if seq_tx.write_all(f).is_err() {
+                            return false;
+                        }
+                    }
+                    true
+                },
+                || write_frames_vectored(&mut vec_tx, &frames).is_ok(),
+            )
+        } else {
+            bench_ab(
+                budget,
+                || {
+                    let mut sink = Vec::new();
+                    for f in &frames {
+                        let _ = Write::write_all(&mut sink, f);
+                    }
+                    sink.len()
+                },
+                || {
+                    let mut sink = Vec::new();
+                    let _ = write_frames_vectored(&mut sink, &frames);
+                    sink.len()
+                },
+            )
+        };
+    report.deltas.push(Delta::from_samples(
+        "writer_per_frame_syscalls",
+        before,
+        after,
+    ));
+}
+
+/// A connected loopback TCP stream whose far end is drained by a
+/// detached reader thread, so writes in the benchmark above never block
+/// on a full socket buffer for longer than the kernel takes to wake the
+/// reader. The drain thread exits at EOF when the write end drops.
+fn drained_loopback() -> Option<TcpStream> {
+    let listener = TcpListener::bind("127.0.0.1:0").ok()?;
+    let addr = listener.local_addr().ok()?;
+    let tx = TcpStream::connect(addr).ok()?;
+    let (rx, _) = listener.accept().ok()?;
+    std::thread::spawn(move || {
+        let mut rx = rx;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match Read::read(&mut rx, &mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+        }
+    });
+    Some(tx)
 }
 
 /// The envelope encoder as it was before the fix: a fresh body `Vec`
@@ -295,7 +394,7 @@ mod tests {
                 "missing group {group}"
             );
         }
-        for backend in ["sim", "threads", "tcp"] {
+        for backend in ["sim", "threads", "tcp", "reactor"] {
             assert!(
                 report
                     .entries
@@ -317,7 +416,7 @@ mod tests {
                 e.name
             );
         }
-        assert_eq!(report.deltas.len(), 3, "one delta per fixed hot path");
+        assert_eq!(report.deltas.len(), 4, "one delta per fixed hot path");
         for d in &report.deltas {
             assert!(d.before_ns > 0.0 && d.after_ns > 0.0 && d.speedup > 0.0);
             let ratio = d.before_ns / d.after_ns;

@@ -14,7 +14,7 @@ use cyclo_join::{
 use data_roundabout::render_timeline;
 use relation::GenSpec;
 use simnet::transport::TransportModel;
-use simnet::SimTime;
+use simnet::{SimDuration, SimTime};
 
 const HELP: &str = "\
 cyclo — distributed joins on the Data Roundabout ring
@@ -29,9 +29,10 @@ OPTIONS:
     --algorithm <A>      hash | sort-merge | nested (default: auto)
     --band <DELTA>       band join |r.key - s.key| <= DELTA (default: equi)
     --transport <T>      rdma | tcp | toe — simulated cost model (default rdma)
-    --backend <B>        sim | threads | tcp (default sim); `tcp` runs over
-                         real loopback sockets, unlike the simulated
-                         `--transport tcp` cost model
+    --backend <B>        sim | threads | tcp | reactor (default sim); `tcp`
+                         runs over real loopback sockets, unlike the
+                         simulated `--transport tcp` cost model; `reactor`
+                         uses the same sockets from one event-loop thread
     --threads <N>        join threads per host, 1-4 (default 4)
     --buffers <N>        ring buffer elements per host (default 2)
     --fragments <N>      rotation units per host (default 4)
@@ -42,7 +43,11 @@ OPTIONS:
                          with an ns/us/ms/s suffix (bare numbers are ms),
                          e.g. \"join:5@2ms,drain:0@8ms\"; hosts named by
                          join: start as standbys outside the ring
-                         (sim and tcp backends only)
+                         (sim, tcp and reactor backends only)
+    --handshake-timeout <D>  tcp/reactor mesh handshake deadline, D with an
+                         ns/us/ms/s suffix, bare numbers ms (default 5s)
+    --watchdog <D>       tcp/reactor stall watchdog — tear the ring down
+                         after D without protocol progress (default 10s)
     --measured           wall-clock-measure real compute instead of modeling
     --threaded           alias for --backend threads
     --no-verify          skip the reference-join verification
@@ -63,6 +68,9 @@ enum Backend {
     Threads,
     /// Real loopback TCP sockets and kernel networking.
     Tcp,
+    /// The same loopback sockets, driven by one readiness event loop
+    /// instead of four blocking threads per host.
+    Reactor,
 }
 
 /// One entry of a `--rescale-plan` schedule.
@@ -89,6 +97,8 @@ struct Options {
     rotate: RotateSide,
     seed: u64,
     rescale: Vec<RescaleEvent>,
+    handshake_timeout: Option<u64>,
+    watchdog: Option<u64>,
     measured: bool,
     backend: Backend,
     verify: bool,
@@ -113,6 +123,8 @@ impl Default for Options {
             rotate: RotateSide::Auto,
             seed: 42,
             rescale: Vec::new(),
+            handshake_timeout: None,
+            watchdog: None,
             measured: false,
             backend: Backend::Sim,
             verify: true,
@@ -144,6 +156,15 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Option<Options>
             "--fragments" => opts.fragments = parse(&value("--fragments")?, "--fragments")?,
             "--seed" => opts.seed = parse(&value("--seed")?, "--seed")?,
             "--rescale-plan" => opts.rescale = parse_rescale_plan(&value("--rescale-plan")?)?,
+            "--handshake-timeout" => {
+                opts.handshake_timeout = Some(parse_duration_flag(
+                    &value("--handshake-timeout")?,
+                    "--handshake-timeout",
+                )?)
+            }
+            "--watchdog" => {
+                opts.watchdog = Some(parse_duration_flag(&value("--watchdog")?, "--watchdog")?)
+            }
             "--algorithm" => {
                 opts.algorithm = Some(match value("--algorithm")?.as_str() {
                     "hash" => Algorithm::partitioned_hash(),
@@ -173,6 +194,7 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Option<Options>
                     "sim" => Backend::Sim,
                     "threads" => Backend::Threads,
                     "tcp" => Backend::Tcp,
+                    "reactor" => Backend::Reactor,
                     other => return Err(format!("unknown backend {other:?}")),
                 }
             }
@@ -223,6 +245,17 @@ fn parse_rescale_plan(spec: &str) -> Result<Vec<RescaleEvent>, String> {
         return Err("--rescale-plan needs at least one join: or drain: entry".to_string());
     }
     Ok(events)
+}
+
+/// Parses a duration-valued flag through [`parse_instant`], rejecting
+/// zero: the ring config validates positive timeouts anyway, but a CLI
+/// error here names the flag instead of the config field.
+fn parse_duration_flag(text: &str, flag: &str) -> Result<u64, String> {
+    match parse_instant(text) {
+        Some(0) => Err(format!("{flag} needs a positive duration, got {text:?}")),
+        Some(nanos) => Ok(nanos),
+        None => Err(format!("invalid duration {text:?} for {flag}")),
+    }
 }
 
 /// Parses an instant like `250us`, `8ms` or `1s` into nanoseconds; bare
@@ -286,13 +319,19 @@ fn main() {
         );
     }
 
-    let config = RingConfig {
+    let mut config = RingConfig {
         hosts: opts.hosts,
         buffers_per_host: opts.buffers,
         join_threads: opts.threads,
         transport: opts.transport,
         ..RingConfig::paper(opts.hosts)
     };
+    if let Some(nanos) = opts.handshake_timeout {
+        config = config.with_handshake_timeout(SimDuration::from_nanos(nanos));
+    }
+    if let Some(nanos) = opts.watchdog {
+        config = config.with_watchdog(SimDuration::from_nanos(nanos));
+    }
     let mut plan = CycloJoin::new(r, s)
         .predicate(predicate)
         .ring(config)
@@ -324,6 +363,7 @@ fn main() {
         Backend::Sim => plan.run_traced().map(|(r, t)| (r, Some(t))),
         Backend::Threads => plan.run_threaded().map(|r| (r, None)),
         Backend::Tcp => plan.run_tcp().map(|r| (r, None)),
+        Backend::Reactor => plan.run_reactor().map(|r| (r, None)),
     };
     let (report, trace) = match outcome {
         Ok(pair) => pair,
@@ -402,6 +442,10 @@ mod tests {
             "tcp",
             "--threads",
             "2",
+            "--handshake-timeout",
+            "750ms",
+            "--watchdog",
+            "30s",
             "--rotate",
             "s",
             "--measured",
@@ -419,6 +463,8 @@ mod tests {
         assert_eq!(opts.transport.name(), "TCP");
         assert_eq!(opts.backend, Backend::Tcp);
         assert_eq!(opts.threads, 2);
+        assert_eq!(opts.handshake_timeout, Some(750_000_000));
+        assert_eq!(opts.watchdog, Some(30_000_000_000));
         assert_eq!(opts.rotate, RotateSide::S);
         assert!(opts.measured);
         assert!(!opts.verify);
@@ -436,6 +482,28 @@ mod tests {
             Backend::Threads
         );
         assert_eq!(parse_ok(&[]).backend, Backend::Sim);
+    }
+
+    #[test]
+    fn reactor_backend_is_parsed() {
+        let opts = parse_ok(&["--backend", "reactor"]);
+        assert_eq!(opts.backend, Backend::Reactor);
+        // Timeout flags default to "leave the config's values alone".
+        assert_eq!(opts.handshake_timeout, None);
+        assert_eq!(opts.watchdog, None);
+    }
+
+    #[test]
+    fn duration_flags_accept_every_instant_suffix() {
+        assert_eq!(
+            parse_ok(&["--watchdog", "4"]).watchdog,
+            Some(4_000_000),
+            "bare numbers are milliseconds"
+        );
+        assert_eq!(
+            parse_ok(&["--handshake-timeout", "250us"]).handshake_timeout,
+            Some(250_000)
+        );
     }
 
     #[test]
@@ -500,6 +568,10 @@ mod tests {
             vec!["--transport", "carrier-pigeon"],
             vec!["--backend", "bogus"],
             vec!["--rotate", "both"],
+            vec!["--handshake-timeout", "soon"],
+            vec!["--handshake-timeout", "0s"],
+            vec!["--watchdog", "never"],
+            vec!["--watchdog", "0"],
             vec!["--hosts"],
             vec!["--trace"],
             vec!["--frobnicate"],

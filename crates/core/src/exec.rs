@@ -443,11 +443,22 @@ pub(crate) fn execute_threaded(
     })
 }
 
+/// Which driver realizes the loopback-TCP wire protocol: the blocking
+/// thread-per-endpoint driver, or the single-threaded event-loop reactor.
+/// Both speak identical frames and dice, so everything in
+/// [`execute_tcp`] above the driver construction is shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SocketBackend {
+    Blocking,
+    Reactor,
+}
+
 /// Runs cyclo-join over real loopback TCP sockets. Setup and span
 /// stitching follow the threaded path; unlike it, this path is role-aware
 /// so a seeded crash heals mid-revolution over actual connections (the
 /// survivor rebuilds the dead host's stationary state from the retained
-/// raw partitions, exactly as the simulated path prices it).
+/// raw partitions, exactly as the simulated path prices it). `flavor`
+/// picks the blocking or the reactor driver; nothing else differs.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_tcp(
     config: &RingConfig,
@@ -458,6 +469,7 @@ pub(crate) fn execute_tcp(
     fault_plan: Option<&FaultPlan>,
     rescale_plan: Option<&RescalePlan>,
     trace: bool,
+    flavor: SocketBackend,
 ) -> Result<ExecOutcome, RingError> {
     let predicate = if placement.swapped {
         mirror_predicate(predicate)
@@ -536,14 +548,28 @@ pub(crate) fn execute_tcp(
         }
     };
 
-    let mut driver = data_roundabout::TcpRingDriver::new(config).with_tracer(trace);
-    if let Some(plan) = fault_plan {
-        driver = driver.with_fault_plan(plan);
-    }
-    if let Some(plan) = rescale_plan {
-        driver = driver.with_rescale_plan(plan);
-    }
-    let (mut metrics, mut ring_spans) = driver.run_with_roles(fragments, join_visit, absorb)?;
+    let (mut metrics, mut ring_spans) = match flavor {
+        SocketBackend::Blocking => {
+            let mut driver = data_roundabout::TcpRingDriver::new(config).with_tracer(trace);
+            if let Some(plan) = fault_plan {
+                driver = driver.with_fault_plan(plan);
+            }
+            if let Some(plan) = rescale_plan {
+                driver = driver.with_rescale_plan(plan);
+            }
+            driver.run_with_roles(fragments, join_visit, absorb)?
+        }
+        SocketBackend::Reactor => {
+            let mut driver = data_roundabout::ReactorRingDriver::new(config).with_tracer(trace);
+            if let Some(plan) = fault_plan {
+                driver = driver.with_fault_plan(plan);
+            }
+            if let Some(plan) = rescale_plan {
+                driver = driver.with_rescale_plan(plan);
+            }
+            driver.run_with_roles(fragments, join_visit, absorb)?
+        }
+    };
     let mut spans = if trace {
         SpanTracer::enabled()
     } else {
@@ -760,28 +786,31 @@ mod tests {
             None,
             false,
         );
-        let tcp = execute_tcp(
-            &config,
-            Algorithm::partitioned_hash(),
-            &JoinPredicate::Equi,
-            OutputMode::Aggregate,
-            Placement::new(&r, &s, hosts, 2, RotateSide::R),
-            None,
-            None,
-            false,
-        )
-        .expect("tcp run");
-        assert_eq!(tcp.result.count(), sim.result.count());
-        assert_eq!(tcp.result.checksum(), sim.result.checksum());
-        assert_eq!(
-            tcp.metrics.fragments_completed,
-            sim.metrics.fragments_completed
-        );
-        assert!(tcp
-            .metrics
-            .hosts
-            .iter()
-            .all(|h| h.setup > SimDuration::ZERO));
+        for flavor in [SocketBackend::Blocking, SocketBackend::Reactor] {
+            let tcp = execute_tcp(
+                &config,
+                Algorithm::partitioned_hash(),
+                &JoinPredicate::Equi,
+                OutputMode::Aggregate,
+                Placement::new(&r, &s, hosts, 2, RotateSide::R),
+                None,
+                None,
+                false,
+                flavor,
+            )
+            .expect("socket run");
+            assert_eq!(tcp.result.count(), sim.result.count(), "{flavor:?}");
+            assert_eq!(tcp.result.checksum(), sim.result.checksum(), "{flavor:?}");
+            assert_eq!(
+                tcp.metrics.fragments_completed, sim.metrics.fragments_completed,
+                "{flavor:?}"
+            );
+            assert!(tcp
+                .metrics
+                .hosts
+                .iter()
+                .all(|h| h.setup > SimDuration::ZERO));
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use simnet::trace::Tracer;
 
 use crate::compute::ComputeMode;
 use crate::distribute::{Placement, RotateSide};
-use crate::exec::{execute_simulated, execute_tcp, execute_threaded};
+use crate::exec::{execute_simulated, execute_tcp, execute_threaded, SocketBackend};
 use crate::report::CycloJoinReport;
 
 /// A configured cyclo-join, built with the builder pattern and executed on
@@ -373,6 +373,23 @@ impl CycloJoin {
     ///
     /// Same as [`CycloJoin::run`].
     pub fn run_tcp(&self) -> Result<CycloJoinReport, PlanError> {
+        self.run_sockets(SocketBackend::Blocking)
+    }
+
+    /// Runs over the same loopback TCP wire protocol as
+    /// [`CycloJoin::run_tcp`], but driven by the single-threaded reactor
+    /// event loop instead of four OS threads per host — the backend that
+    /// scales to 64–256-host rings. Fault and rescale semantics are
+    /// identical; `config.ack_timeout` is wall-clock time here too.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CycloJoin::run`].
+    pub fn run_reactor(&self) -> Result<CycloJoinReport, PlanError> {
+        self.run_sockets(SocketBackend::Reactor)
+    }
+
+    fn run_sockets(&self, flavor: SocketBackend) -> Result<CycloJoinReport, PlanError> {
         let algorithm = self.validate()?;
         let placement = self.placement();
         let swapped = placement.swapped;
@@ -385,6 +402,7 @@ impl CycloJoin {
             self.fault_plan.as_ref(),
             self.rescale_plan.as_ref(),
             self.trace,
+            flavor,
         )
         .map_err(|e| match e {
             RingError::Config(c) => PlanError::InvalidConfig(c),

@@ -37,6 +37,24 @@ pub struct RingConfig {
     /// Retransmissions attempted (with exponential backoff) before the
     /// sender declares its successor dead and triggers ring healing.
     pub max_retransmits: u32,
+    /// How long the wall-clock TCP drivers wait for the hello/nonce
+    /// exchange on each mesh connection before declaring setup failed.
+    /// Ignored by the simulated and in-process thread backends.
+    pub handshake_timeout: SimDuration,
+    /// Wall-clock TCP driver watchdog: a run making no protocol progress
+    /// for this long is torn down as stalled instead of hanging the
+    /// process. Ignored by the simulated and in-process thread backends.
+    pub watchdog: SimDuration,
+}
+
+/// Default handshake timeout of [`RingConfig::paper`].
+fn default_handshake_timeout() -> SimDuration {
+    SimDuration::from_secs(5)
+}
+
+/// Default stall watchdog of [`RingConfig::paper`].
+fn default_watchdog() -> SimDuration {
+    SimDuration::from_secs(10)
 }
 
 impl RingConfig {
@@ -54,6 +72,8 @@ impl RingConfig {
             link_latency: SimDuration::from_micros(5),
             ack_timeout: SimDuration::from_millis(25),
             max_retransmits: 4,
+            handshake_timeout: default_handshake_timeout(),
+            watchdog: default_watchdog(),
         }
     }
 
@@ -95,6 +115,18 @@ impl RingConfig {
         self
     }
 
+    /// Builder-style override of the TCP mesh handshake timeout.
+    pub fn with_handshake_timeout(mut self, timeout: SimDuration) -> Self {
+        self.handshake_timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the TCP driver stall watchdog.
+    pub fn with_watchdog(mut self, watchdog: SimDuration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -122,6 +154,22 @@ impl RingConfig {
         if self.ack_timeout.is_zero() {
             return Err(ConfigError::new(
                 "the reliable transport needs a positive ack timeout",
+            ));
+        }
+        if self.handshake_timeout.is_zero() {
+            return Err(ConfigError::new(
+                "the TCP drivers need a positive handshake timeout",
+            ));
+        }
+        if self.watchdog.is_zero() {
+            return Err(ConfigError::new(
+                "the TCP drivers need a positive stall watchdog",
+            ));
+        }
+        if self.watchdog < self.ack_timeout {
+            return Err(ConfigError::new(
+                "a watchdog shorter than the ack timeout would tear down \
+                 runs that are still legitimately retransmitting",
             ));
         }
         Ok(())
@@ -253,5 +301,55 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(err.to_string().contains("ack timeout"));
+    }
+
+    #[test]
+    fn tcp_timeout_builders_override_fields() {
+        let cfg = RingConfig::paper(2)
+            .with_handshake_timeout(SimDuration::from_millis(750))
+            .with_watchdog(SimDuration::from_secs(30));
+        assert_eq!(cfg.handshake_timeout, SimDuration::from_millis(750));
+        assert_eq!(cfg.watchdog, SimDuration::from_secs(30));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_tcp_timeouts_are_rejected() {
+        let err = RingConfig::paper(2)
+            .with_handshake_timeout(SimDuration::ZERO)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("handshake timeout"));
+        let err = RingConfig::paper(2)
+            .with_watchdog(SimDuration::ZERO)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("watchdog"));
+    }
+
+    #[test]
+    fn watchdog_must_cover_the_ack_timeout() {
+        let err = RingConfig::paper(2)
+            .with_ack_timeout(SimDuration::from_secs(2))
+            .with_watchdog(SimDuration::from_secs(1))
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("watchdog"));
+        assert!(RingConfig::paper(2)
+            .with_ack_timeout(SimDuration::from_secs(2))
+            .with_watchdog(SimDuration::from_secs(2))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn default_timeouts_match_the_paper_config() {
+        // The documented defaults must equal what `paper()` bakes in, so
+        // a config built any other way starts from the same timeouts.
+        let cfg = RingConfig::paper(3);
+        assert_eq!(cfg.handshake_timeout, default_handshake_timeout());
+        assert_eq!(cfg.watchdog, default_watchdog());
+        assert_eq!(default_handshake_timeout(), SimDuration::from_secs(5));
+        assert_eq!(default_watchdog(), SimDuration::from_secs(10));
     }
 }

@@ -69,7 +69,9 @@ pub enum RingError {
     ///   classic mode);
     /// * **tcp** — link loss, corruption, delay spikes, host crashes,
     ///   pauses, and planned rescale; slowdowns are a simulator-only
-    ///   cost-model concept.
+    ///   cost-model concept;
+    /// * **reactor** — exactly the tcp backend's support (same wire
+    ///   protocol, same dice), realized on one event-loop thread.
     ///
     /// Rescale plans are additionally validated up front on every
     /// backend: at most 64 hosts (the exactly-once role bitmask), no

@@ -19,7 +19,13 @@
 //! * [`tcp_backend::TcpRingDriver`] — over real loopback TCP sockets
 //!   with length-prefixed framing, validating the protocol against an
 //!   actual kernel network stack (and giving the RDMA-vs-TCP exhibits a
-//!   measured column next to the modeled one).
+//!   measured column next to the modeled one);
+//! * [`reactor_backend::ReactorRingDriver`] — the same loopback TCP
+//!   wire protocol driven by a single nonblocking event-loop thread
+//!   (epoll on Linux, a portable readiness-polling fallback elsewhere)
+//!   with a hierarchical [`wheel::TimerWheel`] instead of a timer
+//!   thread, so the thread count stays bounded as the ring widens to
+//!   64–256 hosts.
 //!
 //! All backends are thin *drivers* over the same sans-IO [`protocol`]
 //! core, which owns every credit, acknowledgement and healing decision.
@@ -49,10 +55,12 @@ pub mod envelope;
 pub mod error;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor_backend;
 pub mod sim_backend;
 pub mod sync;
 pub mod tcp_backend;
 pub mod thread_backend;
+pub mod wheel;
 
 pub use app::{FixedCostApp, RingApp};
 pub use buffer::RegisteredPool;
@@ -60,6 +68,7 @@ pub use config::{ConfigError, RingConfig};
 pub use envelope::{Envelope, FragmentId, PayloadBytes};
 pub use error::{FrameError, RingError};
 pub use metrics::{render_timeline, HostMetrics, RingMetrics};
+pub use reactor_backend::ReactorRingDriver;
 pub use sim_backend::{SimOutcome, SimRing};
 pub use tcp_backend::{Frame, FrameDecoder, TcpRingDriver, WirePayload};
 pub use thread_backend::RingDriver;

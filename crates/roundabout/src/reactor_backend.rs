@@ -1,0 +1,2229 @@
+//! The reactor backend: the loopback-TCP ring on one event-loop thread.
+//!
+//! This is the fourth driver of the sans-IO [`crate::protocol`] core. It
+//! speaks exactly the wire protocol of [`crate::tcp_backend`] — port-0
+//! listeners, seeded hello handshakes, `[kind][len][body]` frames, the
+//! shared `(sender, wire-seq, attempt)` fault dice — but replaces the
+//! blocking driver's thread-per-endpoint concurrency model with a single
+//! reactor thread that owns every socket:
+//!
+//! * **Readiness, not threads** — all sockets are nonblocking and
+//!   registered with an epoll instance reached through a minimal vendored
+//!   syscall shim (no libc dependency; a portable readiness-sweep
+//!   fallback keeps non-Linux targets building). A readable socket feeds
+//!   the incremental [`FrameDecoder`]; decoded frames become protocol
+//!   [`Input`]s on the spot.
+//! * **Backpressure as queue depth** — [`Output::Send`] encodes into a
+//!   pooled buffer and lands on the connection's pending-write queue. The
+//!   reactor writes as far as the kernel accepts; `WouldBlock` parks the
+//!   frame at its exact byte offset and arms write-readiness. The
+//!   protocol's wire-free credit ([`Input::SendDone`]) is reported only
+//!   when the kernel accepted the last byte, so a full socket buffer
+//!   holds send credit exactly like the blocking driver's blocked
+//!   `write_all`.
+//! * **A timer wheel, not a timer thread** — [`Output::ArmTimer`]
+//!   deadlines, fault-plan schedules and delayed-frame release times all
+//!   land in a hand-rolled hierarchical [`TimerWheel`], polled between
+//!   readiness rounds. The epoll timeout is the earlier of the next
+//!   wheel deadline and the stall watchdog.
+//! * **A bounded join pool** — user join callbacks still need real
+//!   threads (they block), but the pool is sized to the machine, not the
+//!   ring: jobs are serialized per host (matching the one-job-per-host
+//!   worker threads of the blocking driver) and completions wake the
+//!   reactor through a loopback wake socket.
+//!
+//! The thread count is therefore `1 + min(hosts, cores)` plus nothing per
+//! connection — a 64-host ring that costs the blocking driver hundreds of
+//! threads runs here on a handful, and a 256-host ring (ring-neighbor
+//! mesh; full meshes are only built when a fault or rescale plan needs
+//! healing routes) stays inside the same budget.
+//!
+//! Crash semantics are byte-identical to the blocking driver: a scheduled
+//! crash queues a write-side FIN *behind* the host's pending frames (an
+//! attempt whose fate was reported live must still arrive), the dead
+//! host's read side stays open as the salvage path, and healing, rescale
+//! and the retransmission protocol run unchanged. The four-way parity
+//! suite pins this backend's fault counters to the sim, thread and
+//! blocking-TCP backends.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use simnet::fault::{FaultPlan, RescalePlan};
+use simnet::span::{counter, SpanKind, SpanTracer, Track};
+use simnet::time::{SimDuration, SimTime};
+use simnet::topology::HostId;
+
+use crate::config::RingConfig;
+use crate::envelope::{Envelope, FragmentId};
+use crate::error::{FrameError, RingError};
+use crate::metrics::{HostMetrics, RingMetrics};
+use crate::protocol::{
+    envelope_batches, teardown, Input, Output, ProtocolConfig, RingProtocol, Timer,
+};
+use crate::tcp_backend::{
+    build_mesh_pairs, encode_ack_into, encode_envelope_into, socket_err, Frame, FrameBufPool,
+    FrameDecoder, WirePayload,
+};
+use crate::thread_backend::{finish_spans, run_single_host, ErrorCollector, SharedSpans};
+use crate::wheel::{TimerId, TimerWheel};
+
+/// Watchdog teardown reason (driver-local; not part of the shared
+/// protocol cascade).
+const STALLED: &str = "reactor ring stalled: no event arrived within the watchdog window";
+/// Invariant: [`Output::StartJoin`] always has a payload in the slot.
+const EMPTY_SLOT: &str = "StartJoin with an empty processing slot";
+/// Invariant: [`Output::Ack`] is only emitted while a delivery is being
+/// processed, which names the acking host.
+const ACK_OUT_OF_CONTEXT: &str = "ack emitted outside a delivery context";
+
+/// Granularity of the reactor's timer wheel. Protocol backoffs are
+/// milliseconds-scale wall timeouts, so 100 µs keeps rounding error two
+/// orders of magnitude below the smallest deadline while level 0 of the
+/// wheel still spans 6.4 ms.
+const WHEEL_RESOLUTION: Duration = Duration::from_micros(100);
+
+/// Poll token of the worker-pool wake socket (never a connection index).
+const WAKE_TOKEN: usize = usize::MAX;
+
+/// How long one fallback readiness sweep pauses when nothing was ready,
+/// bounding the sweep loop's spin without epoll's blocking wait.
+const SWEEP_PAUSE: Duration = Duration::from_micros(500);
+
+// ---------------------------------------------------------------------------
+// Vendored epoll shim (Linux; raw syscalls, no libc)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    //! The four raw syscalls the reactor needs on Linux, vendored the way
+    //! `third_party/loom` vendors its shims: numbers and ABI straight
+    //! from the kernel headers, no libc crate in between.
+
+    use std::arch::asm;
+
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+    const EINTR: isize = -4;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 291;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_WAIT: usize = 232;
+        pub const CLOSE: usize = 3;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const EPOLL_CTL: usize = 21;
+        /// aarch64 has no plain `epoll_wait`; `epoll_pwait` with a null
+        /// sigmask is the same call.
+        pub const EPOLL_WAIT: usize = 22;
+        pub const CLOSE: usize = 57;
+    }
+
+    /// `struct epoll_event`. Packed on x86_64 (the kernel ABI there has
+    /// no padding between `events` and `data`), naturally aligned on
+    /// aarch64.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(target_arch = "aarch64", repr(C))]
+    #[derive(Clone, Copy, Default)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        // SAFETY: the x86_64 Linux syscall ABI — number in rax, args in
+        // rdi/rsi/rdx/r10, rcx/r11 clobbered. Every call site passes
+        // pointers that live across the call and lengths that match them.
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") n as isize => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        // SAFETY: the aarch64 Linux syscall ABI — number in x8, args in
+        // x0..x5, result in x0. x4/x5 are zeroed so `epoll_pwait` sees a
+        // null sigmask. Every call site passes pointers that live across
+        // the call and lengths that match them.
+        unsafe {
+            asm!(
+                "svc 0",
+                in("x8") n,
+                inlateout("x0") a1 as isize => ret,
+                in("x1") a2,
+                in("x2") a3,
+                in("x3") a4,
+                in("x4") 0usize,
+                in("x5") 0usize,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// An owned epoll instance.
+    pub struct Epoll {
+        epfd: i32,
+    }
+
+    impl Epoll {
+        /// A fresh epoll instance, or `None` when the kernel refuses
+        /// (seccomp sandboxes, exotic kernels) — the caller falls back to
+        /// readiness sweeps.
+        pub fn new() -> Option<Epoll> {
+            let fd = syscall4(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0);
+            if fd < 0 {
+                return None;
+            }
+            Some(Epoll { epfd: fd as i32 })
+        }
+
+        /// One `epoll_ctl` operation; `true` on success.
+        pub fn ctl(&self, op: i32, fd: i32, events: u32, data: u64) -> bool {
+            let ev = EpollEvent { events, data };
+            let ptr = if op == EPOLL_CTL_DEL {
+                0usize
+            } else {
+                (&ev as *const EpollEvent) as usize
+            };
+            syscall4(
+                nr::EPOLL_CTL,
+                self.epfd as usize,
+                op as usize,
+                fd as usize,
+                ptr,
+            ) == 0
+        }
+
+        /// Blocks up to `timeout_ms` (-1 blocks indefinitely) and fills
+        /// `events`; returns the ready count, 0 on timeout, negative
+        /// errno on failure. `EINTR` retries internally.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> isize {
+            loop {
+                let n = syscall4(
+                    nr::EPOLL_WAIT,
+                    self.epfd as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as isize as usize,
+                );
+                if n != EINTR {
+                    return n;
+                }
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            let _ = syscall4(nr::CLOSE, self.epfd as usize, 0, 0, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poller: epoll when available, readiness sweeps otherwise
+// ---------------------------------------------------------------------------
+
+/// What one poll round produced.
+enum Wait {
+    /// Readiness events were collected into the caller's buffer.
+    Ready,
+    /// The timeout elapsed with nothing ready.
+    Idle,
+    /// No readiness facility: the caller should sweep every connection
+    /// with nonblocking reads/writes (each bounded by `WouldBlock`).
+    Sweep,
+}
+
+/// The readiness source. Epoll owns an interest list keyed by token; the
+/// fallback has no kernel-side state at all — `wait` just paces the sweep.
+enum Poller {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Epoll {
+        ep: sys::Epoll,
+        /// Interest mask currently registered per token.
+        masks: HashMap<usize, u32>,
+        buf: Vec<sys::EpollEvent>,
+        /// A failed `epoll_ctl` degrades the whole poller to sweeps: a
+        /// half-registered interest list would silently starve sockets.
+        degraded: bool,
+    },
+    Fallback,
+}
+
+impl Poller {
+    fn new() -> Poller {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Some(ep) = sys::Epoll::new() {
+            return Poller::Epoll {
+                ep,
+                masks: HashMap::new(),
+                buf: vec![sys::EpollEvent::default(); 128],
+                degraded: false,
+            };
+        }
+        Poller::Fallback
+    }
+
+    /// Reconciles the kernel's interest in `stream` with what the caller
+    /// wants to hear about (ADD/MOD/DEL as the delta demands).
+    fn update(&mut self, stream: &TcpStream, token: usize, readable: bool, writable: bool) {
+        match self {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Poller::Epoll {
+                ep,
+                masks,
+                degraded,
+                ..
+            } => {
+                use std::os::fd::AsRawFd;
+                let mask = (if readable {
+                    sys::EPOLLIN | sys::EPOLLRDHUP
+                } else {
+                    0
+                }) | (if writable { sys::EPOLLOUT } else { 0 });
+                let fd = stream.as_raw_fd();
+                let ok = match (masks.get(&token).copied(), mask) {
+                    (None, 0) => true,
+                    (None, m) => {
+                        masks.insert(token, m);
+                        ep.ctl(sys::EPOLL_CTL_ADD, fd, m, token as u64)
+                    }
+                    (Some(_), 0) => {
+                        masks.remove(&token);
+                        ep.ctl(sys::EPOLL_CTL_DEL, fd, 0, token as u64)
+                    }
+                    (Some(prev), m) if prev == m => true,
+                    (Some(_), m) => {
+                        masks.insert(token, m);
+                        ep.ctl(sys::EPOLL_CTL_MOD, fd, m, token as u64)
+                    }
+                };
+                if !ok {
+                    *degraded = true;
+                }
+            }
+            Poller::Fallback => {
+                let _ = (stream, token, readable, writable);
+            }
+        }
+    }
+
+    /// One poll round. `out` receives `(token, readable, writable)`
+    /// triples on [`Wait::Ready`]. Error/hangup conditions are folded
+    /// into both directions so the owner discovers them with a
+    /// nonblocking read/write (which classifies them properly).
+    fn wait(&mut self, timeout: Duration, out: &mut Vec<(usize, bool, bool)>) -> Wait {
+        out.clear();
+        match self {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Poller::Epoll {
+                ep,
+                buf,
+                degraded: false,
+                ..
+            } => {
+                let ms = if timeout.is_zero() {
+                    0
+                } else {
+                    timeout.as_millis().clamp(1, i32::MAX as u128) as i32
+                };
+                let n = ep.wait(buf, ms);
+                if n <= 0 {
+                    return Wait::Idle;
+                }
+                for ev in buf.iter().take(n as usize) {
+                    // Copy out of the (possibly packed) struct by value;
+                    // references into it would be unaligned.
+                    let events = ev.events;
+                    let data = ev.data;
+                    let err = events & (sys::EPOLLERR | sys::EPOLLHUP);
+                    let readable = events & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 || err != 0;
+                    let writable = events & sys::EPOLLOUT != 0 || err != 0;
+                    out.push((data as usize, readable, writable));
+                }
+                Wait::Ready
+            }
+            _ => {
+                if !timeout.is_zero() {
+                    thread::sleep(timeout.min(SWEEP_PAUSE));
+                }
+                Wait::Sweep
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection state: one nonblocking socket + its pending-write queue
+// ---------------------------------------------------------------------------
+
+/// A queued write. `Sever` orders *behind* pending frames, so a crash's
+/// FIN goes out only after every already-committed byte flushed — the
+/// same contract as the blocking driver's writer queue.
+enum OutJob {
+    Frame {
+        bytes: Vec<u8>,
+        /// Fault-plan delay spike: the frame may not touch the socket
+        /// before this instant (and, FIFO queue, delays what's behind
+        /// it), mirroring the blocking writer's sleep.
+        not_before: Option<Instant>,
+        /// Host whose wire-free credit ([`Input::SendDone`]) this frame
+        /// releases once the kernel accepted its last byte.
+        notify: Option<HostId>,
+    },
+    Sever,
+}
+
+/// One mesh endpoint owned by the reactor: host `host`'s nonblocking
+/// socket toward one peer, with its incremental decoder and pending-write
+/// queue.
+///
+/// Invariants of the queue: jobs complete strictly in FIFO order;
+/// `head_written` counts bytes of the *head* frame already accepted by
+/// the kernel (reset to 0 when it completes); once `write_open` is false
+/// every queued frame completes immediately as lost-on-the-medium (its
+/// `SendDone` still fires — a dead peer is the retransmission protocol's
+/// business, not backpressure).
+struct Conn {
+    stream: TcpStream,
+    host: usize,
+    decoder: FrameDecoder,
+    outq: VecDeque<OutJob>,
+    head_written: usize,
+    read_open: bool,
+    write_open: bool,
+    /// The head of `outq` hit `WouldBlock`: write-readiness is needed.
+    want_out: bool,
+    /// Interest last registered with the poller (readable, writable).
+    registered: (bool, bool),
+}
+
+impl Conn {
+    fn new(stream: TcpStream, host: usize) -> Conn {
+        Conn {
+            stream,
+            host,
+            decoder: FrameDecoder::new(),
+            outq: VecDeque::new(),
+            head_written: 0,
+            read_open: true,
+            write_open: true,
+            want_out: false,
+            registered: (false, false),
+        }
+    }
+
+    /// Drains readable bytes into the decoder and appends every complete
+    /// frame to `frames`. Stops at `WouldBlock`; EOF or a socket error
+    /// closes the read side (the connection is gone — the reliable
+    /// transport repairs whatever was in flight).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FrameError`] the decoder reports — undecodable
+    /// bytes are fatal to the run, exactly as in the blocking driver.
+    fn pump_read<P: WirePayload>(&mut self, frames: &mut Vec<Frame<P>>) -> Result<(), FrameError> {
+        if !self.read_open {
+            return Ok(());
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_open = false;
+                    return Ok(());
+                }
+                Ok(n) => {
+                    self.decoder.feed(chunk.get(..n).unwrap_or_default());
+                    loop {
+                        match self.decoder.next_frame::<P>() {
+                            Ok(Some(frame)) => frames.push(frame),
+                            Ok(None) => break,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.read_open = false;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Flushes the pending-write queue as far as the kernel accepts.
+    /// Completed frames land in `done` as `(buffer, notify)` so the
+    /// caller can recycle the buffer and release the send credit. Returns
+    /// the head frame's release instant when it is still embargoed by a
+    /// delay spike (the caller arms a wheel timer for it).
+    fn pump_write(&mut self, done: &mut Vec<(Vec<u8>, Option<HostId>)>) -> Option<Instant> {
+        self.want_out = false;
+        loop {
+            let job = self.outq.pop_front()?;
+            match job {
+                OutJob::Frame {
+                    bytes,
+                    not_before,
+                    notify,
+                } => {
+                    if self.write_open {
+                        if let Some(release) = not_before {
+                            if release > Instant::now() {
+                                self.outq.push_front(OutJob::Frame {
+                                    bytes,
+                                    not_before,
+                                    notify,
+                                });
+                                return Some(release);
+                            }
+                        }
+                    }
+                    let mut blocked = false;
+                    while self.write_open && self.head_written < bytes.len() {
+                        match self
+                            .stream
+                            .write(bytes.get(self.head_written..).unwrap_or_default())
+                        {
+                            Ok(0) => self.write_open = false,
+                            Ok(n) => self.head_written = self.head_written.saturating_add(n),
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                blocked = true;
+                                break;
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                            // The peer is gone: this frame (and everything
+                            // queued behind it) is lost on the medium; the
+                            // reliable transport's timeout repairs it.
+                            Err(_) => self.write_open = false,
+                        }
+                    }
+                    if blocked {
+                        self.want_out = true;
+                        self.outq.push_front(OutJob::Frame {
+                            bytes,
+                            not_before,
+                            notify,
+                        });
+                        return None;
+                    }
+                    // Fully written, or lost with the write side: either
+                    // way the frame left the sender's hands and its wire
+                    // credit comes free.
+                    self.head_written = 0;
+                    done.push((bytes, notify));
+                }
+                OutJob::Sever => {
+                    let _ = self.stream.shutdown(Shutdown::Write);
+                    self.write_open = false;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded join-worker pool
+// ---------------------------------------------------------------------------
+
+/// Work for the join pool, mirroring the blocking driver's per-host
+/// worker jobs.
+enum WorkerJob<P> {
+    Join {
+        payload: P,
+        roles: Option<Vec<usize>>,
+        id: FragmentId,
+        hop: usize,
+    },
+    Absorb {
+        dead: HostId,
+        roles: Vec<usize>,
+        /// True for a planned rescale handoff (the donor is alive).
+        planned: bool,
+    },
+}
+
+/// A finished pool job, drained by the reactor after a wake.
+enum WorkerEvent {
+    JoinDone {
+        host: HostId,
+        id: FragmentId,
+        hop: usize,
+        spent: Duration,
+        panicked: bool,
+    },
+    AbsorbDone {
+        host: HostId,
+        dead: HostId,
+        roles: usize,
+        spent: Duration,
+        panicked: bool,
+        planned: bool,
+    },
+}
+
+struct PoolState<P> {
+    /// FIFO job queue per host. Jobs of one host never run concurrently
+    /// (the blocking driver's one-worker-per-host guarantee), so the
+    /// visit callback sees the same serialization on every backend.
+    queues: Vec<VecDeque<WorkerJob<P>>>,
+    running: Vec<bool>,
+    /// Host is already enqueued on `ready` (dedup flag).
+    queued: Vec<bool>,
+    ready: VecDeque<usize>,
+    shutdown: bool,
+}
+
+/// The bounded worker pool: `min(hosts, cores)` threads execute join and
+/// absorb callbacks, and a loopback wake socket tells the reactor a
+/// completion is waiting — the pool never touches protocol state itself.
+struct WorkerPool<P> {
+    state: Mutex<PoolState<P>>,
+    cv: Condvar,
+    done: Mutex<VecDeque<WorkerEvent>>,
+    wake_tx: Mutex<TcpStream>,
+    /// A wake byte is already in flight; cleared by the reactor after it
+    /// drains the wake socket. Keeps the wake channel at one pending
+    /// byte no matter how many completions pile up.
+    wake_armed: AtomicBool,
+}
+
+impl<P> WorkerPool<P> {
+    fn new(hosts: usize, wake_tx: TcpStream) -> WorkerPool<P> {
+        WorkerPool {
+            state: Mutex::new(PoolState {
+                queues: (0..hosts).map(|_| VecDeque::new()).collect(),
+                running: vec![false; hosts],
+                queued: vec![false; hosts],
+                ready: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            done: Mutex::new(VecDeque::new()),
+            wake_tx: Mutex::new(wake_tx),
+            wake_armed: AtomicBool::new(false),
+        }
+    }
+
+    fn submit(&self, host: usize, job: WorkerJob<P>) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.shutdown {
+            return;
+        }
+        if let Some(q) = st.queues.get_mut(host) {
+            q.push_back(job);
+        }
+        let idle = !st.running.get(host).copied().unwrap_or(false);
+        let enqueued = st.queued.get(host).copied().unwrap_or(true);
+        if idle && !enqueued {
+            if let Some(flag) = st.queued.get_mut(host) {
+                *flag = true;
+            }
+            st.ready.push_back(host);
+        }
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next runnable job; `None` means shutdown.
+    fn next_job(&self) -> Option<(usize, WorkerJob<P>)> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            if let Some(host) = st.ready.pop_front() {
+                if let Some(flag) = st.queued.get_mut(host) {
+                    *flag = false;
+                }
+                let job = st.queues.get_mut(host).and_then(VecDeque::pop_front);
+                if let Some(job) = job {
+                    if let Some(flag) = st.running.get_mut(host) {
+                        *flag = true;
+                    }
+                    return Some((host, job));
+                }
+                continue;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Marks `host`'s job finished and re-queues it if more work waits.
+    fn finished(&self, host: usize) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(flag) = st.running.get_mut(host) {
+            *flag = false;
+        }
+        let more = st.queues.get(host).is_some_and(|q| !q.is_empty());
+        let enqueued = st.queued.get(host).copied().unwrap_or(true);
+        if more && !enqueued && !st.shutdown {
+            if let Some(flag) = st.queued.get_mut(host) {
+                *flag = true;
+            }
+            st.ready.push_back(host);
+            drop(st);
+            self.cv.notify_one();
+        }
+    }
+
+    /// Publishes a completion and pokes the reactor's wake socket.
+    fn push_done(&self, event: WorkerEvent) {
+        self.done
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(event);
+        if !self.wake_armed.swap(true, Ordering::AcqRel) {
+            let mut tx = self.wake_tx.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = tx.write_all(&[1u8]);
+        }
+    }
+
+    fn pop_done(&self) -> Option<WorkerEvent> {
+        self.done
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+    }
+
+    /// Re-enables wake bytes after the reactor drained the wake socket.
+    fn disarm_wake(&self) {
+        self.wake_armed.store(false, Ordering::Release);
+    }
+
+    fn shutdown(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One pool thread: pull a job, run the guarded callback, publish the
+/// completion, release the host's serialization slot. Mirrors the
+/// blocking driver's `worker_loop` exactly (same timing, same
+/// `catch_unwind` policy).
+fn worker_thread<P, F, A>(pool: &WorkerPool<P>, visit: &F, absorb: &A)
+where
+    P: WirePayload,
+    F: Fn(HostId, &[usize], &P) + Sync,
+    A: Fn(HostId, usize) + Sync,
+{
+    while let Some((host, job)) = pool.next_job() {
+        let at = HostId(host);
+        let event = match job {
+            WorkerJob::Join {
+                payload,
+                roles,
+                id,
+                hop,
+            } => {
+                let started = Instant::now();
+                let own = [host];
+                // Guard the user callback: a panic inside it must become
+                // a typed teardown error, not a dead pool thread.
+                let outcome = catch_unwind(AssertUnwindSafe(|| match &roles {
+                    Some(rs) => visit(at, rs, &payload),
+                    None => visit(at, &own, &payload),
+                }));
+                WorkerEvent::JoinDone {
+                    host: at,
+                    id,
+                    hop,
+                    spent: started.elapsed(),
+                    panicked: outcome.is_err(),
+                }
+            }
+            WorkerJob::Absorb {
+                dead,
+                roles,
+                planned,
+            } => {
+                let started = Instant::now();
+                let count = roles.len();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    for &r in &roles {
+                        absorb(at, r);
+                    }
+                }));
+                WorkerEvent::AbsorbDone {
+                    host: at,
+                    dead,
+                    roles: count,
+                    spent: started.elapsed(),
+                    panicked: outcome.is_err(),
+                    planned,
+                }
+            }
+        };
+        pool.push_done(event);
+        pool.finished(host);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reactor: one thread owning every socket, timer and protocol input
+// ---------------------------------------------------------------------------
+
+/// Timers on the wheel: protocol backoffs, the fault and rescale plans'
+/// scheduled events, and a delayed frame's flush.
+#[derive(Clone, Copy)]
+enum TimerKind {
+    Protocol(Timer),
+    Crash(HostId),
+    Pause(HostId),
+    Resume(HostId),
+    JoinRequest(HostId),
+    DrainRequest(HostId),
+}
+
+enum WheelItem {
+    Kind(TimerKind),
+    /// Re-flush connection `token` (its head frame was embargoed by a
+    /// fault-plan delay spike).
+    Flush(usize),
+}
+
+struct Reactor<'a, P: WirePayload> {
+    proto: RingProtocol<P>,
+    plan: Option<&'a FaultPlan>,
+    conns: Vec<Conn>,
+    /// `lanes[from][to]` is the token of `from`'s connection toward `to`.
+    lanes: Vec<Vec<Option<usize>>>,
+    poller: Poller,
+    wheel: TimerWheel<WheelItem>,
+    /// Encode buffers recycled through the pending-write queues.
+    pool: FrameBufPool,
+    workers: &'a WorkerPool<P>,
+    /// Send credits freed synchronously while applying outputs (a dropped
+    /// attempt, a completed nonblocking write), processed before polling.
+    pending: VecDeque<HostId>,
+    errors: ErrorCollector,
+    fatal: bool,
+    tracer: SpanTracer,
+    epoch: Instant,
+    wall_ack_timeout: Duration,
+    join_threads: usize,
+    busy: Vec<Duration>,
+    last_done: Vec<Instant>,
+    bytes_forwarded: Vec<u64>,
+    last_progress: Instant,
+    crash_at: Vec<Option<Instant>>,
+    detection_latency: SimDuration,
+    /// Stall watchdog: the last instant any event reached the protocol.
+    last_event: Instant,
+}
+
+impl<P: WirePayload + Clone> Reactor<'_, P> {
+    fn now_ns(&self) -> u64 {
+        SimDuration::from(self.epoch.elapsed()).as_nanos()
+    }
+
+    fn now_stamp(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns())
+    }
+
+    fn stamp_before(&self, spent: Duration) -> SimTime {
+        SimTime::from_nanos(
+            SimDuration::from(self.epoch.elapsed().saturating_sub(spent)).as_nanos(),
+        )
+    }
+
+    fn fail(&mut self, error: RingError) {
+        self.errors.record(error);
+        self.fatal = true;
+    }
+
+    fn arm(&mut self, delay: Duration, kind: TimerKind) {
+        let deadline = self
+            .now_ns()
+            .saturating_add(SimDuration::from(delay).as_nanos());
+        self.wheel.insert(deadline, WheelItem::Kind(kind));
+    }
+
+    /// Reconciles the poller's interest in connection `t` with its state:
+    /// readable while the read side lives, writable only while a blocked
+    /// frame actually waits (level-triggered `EPOLLOUT` on an idle socket
+    /// would spin the loop).
+    fn sync_interest(&mut self, t: usize) {
+        let Some(conn) = self.conns.get_mut(t) else {
+            return;
+        };
+        let desired = (conn.read_open, conn.want_out && conn.write_open);
+        if desired == conn.registered {
+            return;
+        }
+        conn.registered = desired;
+        self.poller.update(&conn.stream, t, desired.0, desired.1);
+    }
+
+    /// Drains connection `t`'s readable bytes and feeds every decoded
+    /// frame to the protocol.
+    fn drain_read(&mut self, t: usize) {
+        let mut frames = Vec::new();
+        let (at, decode_err) = match self.conns.get_mut(t) {
+            Some(conn) => (HostId(conn.host), conn.pump_read::<P>(&mut frames).err()),
+            None => return,
+        };
+        self.sync_interest(t);
+        for frame in frames {
+            if self.fatal {
+                return;
+            }
+            self.on_frame(at, frame);
+        }
+        if let Some(e) = decode_err {
+            self.fail(RingError::Frame(e));
+        }
+    }
+
+    fn on_frame(&mut self, at: HostId, frame: Frame<P>) {
+        self.last_event = Instant::now();
+        match frame {
+            Frame::Envelope { tid, env } => {
+                let out = self.proto.input(Input::Delivered { to: at, env, tid });
+                self.apply(out, Some(at));
+            }
+            Frame::Ack { tid } => {
+                let out = self.proto.input(Input::Ack { tid });
+                self.apply(out, None);
+            }
+            Frame::Hello { .. } => self.fail(RingError::Socket("mid-run hello frame")),
+        }
+    }
+
+    /// Flushes connection `t`'s pending-write queue, recycling completed
+    /// buffers and queueing the freed send credits.
+    fn flush_conn(&mut self, t: usize) {
+        let mut done = Vec::new();
+        let embargo = match self.conns.get_mut(t) {
+            Some(conn) => conn.pump_write(&mut done),
+            None => return,
+        };
+        for (bytes, notify) in done {
+            self.pool.put(bytes);
+            if let Some(from) = notify {
+                self.pending.push_back(from);
+            }
+        }
+        if let Some(release) = embargo {
+            let delay = release.saturating_duration_since(Instant::now());
+            let deadline = self
+                .now_ns()
+                .saturating_add(SimDuration::from(delay).as_nanos());
+            self.wheel.insert(deadline, WheelItem::Flush(t));
+        }
+        self.sync_interest(t);
+    }
+
+    /// Queues one encoded frame on the `from → to` lane and flushes as
+    /// far as the kernel allows right away.
+    fn enqueue_frame(
+        &mut self,
+        from: HostId,
+        to: HostId,
+        bytes: Vec<u8>,
+        not_before: Option<Instant>,
+        notify: Option<HostId>,
+    ) {
+        let lane = self
+            .lanes
+            .get(from.0)
+            .and_then(|row| row.get(to.0))
+            .copied()
+            .flatten();
+        let Some(t) = lane else {
+            self.fail(RingError::Teardown(teardown::TX_GONE));
+            return;
+        };
+        if let Some(conn) = self.conns.get_mut(t) {
+            conn.outq.push_back(OutJob::Frame {
+                bytes,
+                not_before,
+                notify,
+            });
+        }
+        self.flush_conn(t);
+    }
+
+    /// Queues a write-side FIN behind every pending frame of `host`'s
+    /// outgoing connections.
+    fn sever_outgoing(&mut self, host: HostId) {
+        let tokens: Vec<usize> = self
+            .lanes
+            .get(host.0)
+            .map(|row| row.iter().copied().flatten().collect())
+            .unwrap_or_default();
+        for t in tokens {
+            if let Some(conn) = self.conns.get_mut(t) {
+                conn.outq.push_back(OutJob::Sever);
+            }
+            self.flush_conn(t);
+        }
+    }
+
+    /// Realizes a scheduled crash: sever the host's outgoing connections
+    /// (write-side FIN behind already-committed frames), then report the
+    /// ground truth to the protocol. The read side stays open as the
+    /// salvage path, matching the simulator's medium.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
+    fn crash(&mut self, host: HostId) {
+        if self.proto.is_crashed(host) {
+            return;
+        }
+        self.crash_at[host.0] = Some(Instant::now());
+        if self.tracer.is_enabled() {
+            self.tracer
+                .event(Some(host.0), Track::Control, "crashed", self.now_stamp());
+        }
+        self.sever_outgoing(host);
+        let out = self.proto.input(Input::PeerDead { host });
+        self.apply(out, None);
+    }
+
+    /// A wheel timer fired: protocol ticks always reach the protocol;
+    /// fault-plan and rescale events die with a crashed host, mirroring
+    /// the blocking driver's crash-guard policy.
+    fn fire(&mut self, item: WheelItem) {
+        self.last_event = Instant::now();
+        match item {
+            WheelItem::Flush(t) => self.flush_conn(t),
+            WheelItem::Kind(TimerKind::Protocol(timer)) => {
+                let out = self.proto.input(Input::Tick { timer });
+                self.apply(out, None);
+            }
+            WheelItem::Kind(TimerKind::Crash(host)) => self.crash(host),
+            WheelItem::Kind(TimerKind::Pause(host)) => {
+                if self.proto.is_crashed(host) {
+                    return;
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .event(Some(host.0), Track::Control, "paused", self.now_stamp());
+                }
+                let out = self.proto.input(Input::Paused { host });
+                self.apply(out, None);
+            }
+            WheelItem::Kind(TimerKind::Resume(host)) => {
+                if self.proto.is_crashed(host) {
+                    return;
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .event(Some(host.0), Track::Control, "resumed", self.now_stamp());
+                }
+                let out = self.proto.input(Input::Resumed { host });
+                self.apply(out, None);
+            }
+            WheelItem::Kind(TimerKind::JoinRequest(host)) => {
+                if self.proto.is_crashed(host) {
+                    return;
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer.event(
+                        Some(host.0),
+                        Track::Control,
+                        "join requested",
+                        self.now_stamp(),
+                    );
+                }
+                let out = self.proto.input(Input::JoinRequest { host });
+                self.apply(out, None);
+            }
+            WheelItem::Kind(TimerKind::DrainRequest(host)) => {
+                if self.proto.is_crashed(host) {
+                    return;
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer.event(
+                        Some(host.0),
+                        Track::Control,
+                        "drain requested",
+                        self.now_stamp(),
+                    );
+                }
+                let out = self.proto.input(Input::DrainRequest { host });
+                self.apply(out, None);
+            }
+        }
+    }
+
+    /// A join-pool completion reached the reactor. Same crash-guard and
+    /// tracing policy as the blocking driver's coordinator.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
+    fn on_worker_event(&mut self, event: WorkerEvent) {
+        self.last_event = Instant::now();
+        match event {
+            WorkerEvent::JoinDone {
+                host,
+                id,
+                hop,
+                spent,
+                panicked,
+            } => {
+                if self.proto.is_crashed(host) {
+                    // The join died with the host; healing salvages its
+                    // envelope.
+                    return;
+                }
+                if panicked {
+                    self.fail(RingError::Teardown(teardown::CALLBACK_PANICKED));
+                    return;
+                }
+                self.busy[host.0] += spent;
+                let now = Instant::now();
+                self.last_done[host.0] = now;
+                self.last_progress = self.last_progress.max(now);
+                if self.tracer.is_enabled() {
+                    let start = self.stamp_before(spent);
+                    self.tracer.span_with_hop(
+                        host.0,
+                        SpanKind::Join,
+                        format!("join {id}"),
+                        start,
+                        spent.into(),
+                        Some(hop),
+                    );
+                }
+                let out = self.proto.input(Input::JoinDone {
+                    host,
+                    app_finished: false,
+                });
+                self.apply(out, None);
+            }
+            WorkerEvent::AbsorbDone {
+                host,
+                dead,
+                roles,
+                spent,
+                panicked,
+                planned,
+            } => {
+                if self.proto.is_crashed(host) {
+                    return;
+                }
+                if panicked {
+                    self.fail(RingError::Teardown(teardown::CALLBACK_PANICKED));
+                    return;
+                }
+                self.busy[host.0] += spent;
+                let now = Instant::now();
+                self.last_done[host.0] = now;
+                self.last_progress = self.last_progress.max(now);
+                if self.tracer.is_enabled() {
+                    let start = self.stamp_before(spent);
+                    let name = if planned {
+                        format!("handoff {roles} role(s) from host {}", dead.0)
+                    } else {
+                        format!("absorb {roles} role(s) of host {}", dead.0)
+                    };
+                    self.tracer
+                        .span(host.0, SpanKind::Absorb, name, start, spent.into());
+                }
+                let out = self.proto.input(Input::AbsorbDone { host });
+                self.apply(out, None);
+            }
+        }
+    }
+
+    /// Applies protocol outputs strictly in emission order, mapping each
+    /// onto nonblocking writes, pool jobs, wheel timers and traces.
+    /// `ctx` names the host whose delivery is being processed — the only
+    /// context in which the protocol emits [`Output::Ack`].
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
+    fn apply(&mut self, outputs: Vec<Output<P>>, ctx: Option<HostId>) {
+        for output in outputs {
+            if self.fatal {
+                return;
+            }
+            match output {
+                Output::StartJoin {
+                    host,
+                    id,
+                    hop,
+                    roles,
+                    bytes: _,
+                } => {
+                    let Some(payload) = self.proto.processing_payload(host).cloned() else {
+                        self.fail(RingError::Teardown(EMPTY_SLOT));
+                        return;
+                    };
+                    self.workers.submit(
+                        host.0,
+                        WorkerJob::Join {
+                            payload,
+                            roles,
+                            id,
+                            hop,
+                        },
+                    );
+                }
+                Output::PassThrough { host, id } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Join,
+                            format!("pass-through {id}"),
+                            self.now_stamp(),
+                        );
+                    }
+                }
+                Output::Processed { .. } => {}
+                Output::Send {
+                    from,
+                    to,
+                    tid,
+                    attempt,
+                    env,
+                } => self.apply_send(from, to, tid, attempt, env),
+                Output::Ack { to, tid } => match ctx {
+                    Some(at) => {
+                        let mut bytes = self.pool.take();
+                        encode_ack_into(tid, &mut bytes);
+                        self.enqueue_frame(at, to, bytes, None, None);
+                    }
+                    None => self.fail(RingError::Teardown(ACK_OUT_OF_CONTEXT)),
+                },
+                Output::ArmTimer { timer, backoff_exp } => {
+                    let delay = self
+                        .wall_ack_timeout
+                        .saturating_mul(1u32 << backoff_exp.min(31));
+                    self.arm(delay, TimerKind::Protocol(timer));
+                }
+                Output::Delivered { host, id, bytes: _ } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Receiver,
+                            format!("recv {id}"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::ENVELOPES_RECEIVED, 1);
+                    }
+                }
+                Output::DuplicateDropped { host, id } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Receiver,
+                            format!("duplicate {id} dropped"),
+                            self.now_stamp(),
+                        );
+                    }
+                }
+                Output::ChecksumMismatch { host, id } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Receiver,
+                            format!("checksum mismatch {id}"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::CHECKSUM_MISMATCHES, 1);
+                    }
+                }
+                Output::Retire { host, id, salvaged } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        let name = if salvaged {
+                            format!("retired {id} (salvaged)")
+                        } else {
+                            format!("retired {id}")
+                        };
+                        self.tracer
+                            .event(Some(host.0), Track::Join, name, self.now_stamp());
+                        self.tracer.count(counter::FRAGMENTS_RETIRED, 1);
+                    }
+                }
+                Output::Heal { dead } => {
+                    let latency = match self.crash_at[dead.0] {
+                        Some(at) => SimDuration::from(at.elapsed()),
+                        None => SimDuration::ZERO,
+                    };
+                    self.detection_latency = self.detection_latency.max(latency);
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            None,
+                            Track::Control,
+                            format!("heal: host {} confirmed dead", dead.0),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::HEAL_EVENTS, 1);
+                    }
+                }
+                Output::Absorb {
+                    survivor,
+                    dead,
+                    roles,
+                } => {
+                    self.workers.submit(
+                        survivor.0,
+                        WorkerJob::Absorb {
+                            dead,
+                            roles,
+                            planned: false,
+                        },
+                    );
+                }
+                Output::Activate { host, epoch } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Control,
+                            format!("activated (epoch {epoch})"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::RESCALE_JOINS, 1);
+                    }
+                }
+                Output::Handoff { from, to, roles } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer
+                            .count(counter::RESCALE_HANDOFFS, roles.len() as u64);
+                    }
+                    self.workers.submit(
+                        to.0,
+                        WorkerJob::Absorb {
+                            dead: from,
+                            roles,
+                            planned: true,
+                        },
+                    );
+                }
+                Output::Departed { host, epoch } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    // The drainee left the ring for good: retire its
+                    // outgoing connections with a real FIN (queued behind
+                    // any bytes it still owed).
+                    self.sever_outgoing(host);
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(host.0),
+                            Track::Control,
+                            format!("departed (epoch {epoch})"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::RESCALE_DRAINS, 1);
+                    }
+                }
+                Output::Resent { target, id } => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            Some(target.0),
+                            Track::Control,
+                            format!("re-sent {id} from origin"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::FRAGMENTS_RESENT, 1);
+                    }
+                }
+                Output::Finished { .. } => {}
+                Output::Teardown { reason } => self.fail(RingError::Teardown(reason)),
+            }
+        }
+    }
+
+    /// Puts one attempt of a transfer toward its socket: rolls the fault
+    /// dice (the medium's business, not the protocol's), reports the fate
+    /// back, and queues the frame on the hop's pending-write queue.
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
+    fn apply_send(&mut self, from: HostId, to: HostId, tid: u64, attempt: u32, env: Envelope<P>) {
+        let bytes = env.bytes();
+        self.bytes_forwarded[from.0] += bytes;
+        let mut wire = env;
+        let mut dropped = false;
+        let mut delay = Duration::ZERO;
+        match self.plan {
+            Some(plan) => {
+                // Dice keyed on the per-sender wire sequence (`env.seq`),
+                // the numbering all four backends share — the parity
+                // suite depends on this.
+                let seq = wire.seq;
+                dropped = plan.should_drop(from, seq, attempt);
+                let corrupt = !dropped && plan.should_corrupt(from, seq, attempt);
+                delay = Duration::from(plan.delay_spike(from, seq, attempt));
+                self.proto.attempt_fate(tid, dropped, corrupt);
+                if corrupt {
+                    // In-flight bit flips: the receiver's checksum
+                    // verification rejects the copy and withholds the ack.
+                    wire.checksum = !wire.checksum;
+                }
+                if attempt == 1 {
+                    self.tracer.count(counter::ENVELOPES_SENT, 1);
+                } else if self.tracer.is_enabled() {
+                    self.tracer.event(
+                        Some(from.0),
+                        Track::Transmitter,
+                        format!("retransmit {} attempt {attempt}", wire.id),
+                        self.now_stamp(),
+                    );
+                    self.tracer.count(counter::RETRANSMITS, 1);
+                }
+            }
+            None => self.tracer.count(counter::ENVELOPES_SENT, 1),
+        }
+        if dropped {
+            // The medium ate this attempt before any byte hit the socket;
+            // the sender's NIC still reports its wire free.
+            self.pending.push_back(from);
+            return;
+        }
+        let not_before = (!delay.is_zero()).then(|| Instant::now() + delay);
+        let mut frame = self.pool.take();
+        match encode_envelope_into(tid, &wire, &mut frame) {
+            Ok(()) => self.enqueue_frame(from, to, frame, not_before, Some(from)),
+            Err(e) => self.fail(RingError::Frame(e)),
+        }
+    }
+
+    /// Converts the finished run into the common metrics shape and closes
+    /// out the tracer (materializing every well-known counter so trace
+    /// consumers see zeros observed rather than missing).
+    // analyze: allow(panic, reason = "protocol invariant: per-host tables are sized to the ring at construction and HostId never exceeds it")
+    fn into_result(self) -> (RingMetrics, SpanTracer) {
+        let n = self.proto.config().hosts;
+        let mut hosts = Vec::with_capacity(n);
+        for h in 0..n {
+            let busy = self.busy[h];
+            let window = self.last_done[h].saturating_duration_since(self.epoch);
+            let mut cpu = simnet::cpu::CpuAccount::new();
+            cpu.charge(
+                simnet::cpu::CostCategory::Compute,
+                SimDuration::from(busy) * self.join_threads as u64,
+            );
+            hosts.push(HostMetrics {
+                setup: SimDuration::ZERO,
+                join_busy: busy.into(),
+                sync: window.saturating_sub(busy).into(),
+                join_window: window.into(),
+                cpu,
+                fragments_processed: self.proto.host(HostId(h)).fragments_processed(),
+                bytes_forwarded: self.bytes_forwarded[h],
+                retransmits: self.proto.retransmits(HostId(h)),
+                checksum_mismatches: self.proto.checksum_mismatches(HostId(h)),
+            });
+        }
+        let metrics = RingMetrics {
+            hosts,
+            wall_clock: self
+                .last_progress
+                .saturating_duration_since(self.epoch)
+                .into(),
+            fragments_completed: self.proto.fragments_completed(),
+            heal_events: self.proto.heal_events(),
+            detection_latency: self.detection_latency,
+            fragments_resent: self.proto.fragments_resent(),
+            membership_epoch: self.proto.membership_epoch(),
+            rescale_joins: self.proto.rescale_joins(),
+            rescale_drains: self.proto.rescale_drains(),
+            rescale_handoffs: self.proto.rescale_handoffs(),
+            rescale_escalations: self.proto.rescale_escalations(),
+        };
+        let mut tracer = self.tracer;
+        if tracer.is_enabled() {
+            for name in [
+                counter::ENVELOPES_SENT,
+                counter::ENVELOPES_RECEIVED,
+                counter::FRAGMENTS_RETIRED,
+                counter::RETRANSMITS,
+                counter::CHECKSUM_MISMATCHES,
+                counter::HEAL_EVENTS,
+                counter::FRAGMENTS_RESENT,
+                counter::RESCALE_JOINS,
+                counter::RESCALE_DRAINS,
+                counter::RESCALE_HANDOFFS,
+            ] {
+                tracer.count(name, 0);
+            }
+        }
+        (metrics, tracer)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring assembly and the event loop
+// ---------------------------------------------------------------------------
+
+fn run_reactor_mesh<P, F, A>(
+    config: &RingConfig,
+    plan: Option<&FaultPlan>,
+    rescale: Option<&RescalePlan>,
+    trace: bool,
+    envelopes: Vec<Vec<Envelope<P>>>,
+    visit: &F,
+    absorb: &A,
+) -> Result<(RingMetrics, SpanTracer), RingError>
+where
+    P: WirePayload + Send + Clone,
+    F: Fn(HostId, &[usize], &P) + Sync,
+    A: Fn(HostId, usize) + Sync,
+{
+    let n = config.hosts;
+    // Rescale rides the reliable transport: without explicit adversity the
+    // medium still needs (quiet) dice and the acked hop protocol.
+    let quiet_dice;
+    let plan = match (plan, rescale) {
+        (None, Some(r)) => {
+            quiet_dice = FaultPlan::seeded(r.seed());
+            Some(&quiet_dice)
+        }
+        (p, _) => p,
+    };
+    let seed = plan.map(|p| p.seed()).unwrap_or(0x0dd0_ba11);
+    let watchdog = Duration::from(config.watchdog);
+    // Healing and rescale can route any surviving pair, so plans need the
+    // full mesh; classic plan-free runs only ever use ring-neighbor hops,
+    // and a neighbor-only mesh keeps a 256-host ring inside the process
+    // fd budget (n sockets instead of n²/2).
+    let full_mesh = plan.is_some();
+    let mesh = build_mesh_pairs(n, seed, Duration::from(config.handshake_timeout), |a, b| {
+        full_mesh || b == a + 1 || (a == 0 && b == n - 1)
+    })?;
+
+    // The wake channel: pool threads poke the reactor out of its poll
+    // wait through one more loopback socket, registered like any other.
+    let wake_listener =
+        TcpListener::bind(("127.0.0.1", 0)).map_err(socket_err("bind wake listener"))?;
+    let wake_addr = wake_listener
+        .local_addr()
+        .map_err(socket_err("resolve wake address"))?;
+    let wake_tx = TcpStream::connect(wake_addr).map_err(socket_err("connect wake socket"))?;
+    let (wake_rx, _) = wake_listener
+        .accept()
+        .map_err(socket_err("accept wake socket"))?;
+    wake_rx
+        .set_nonblocking(true)
+        .map_err(socket_err("set wake socket nonblocking"))?;
+
+    let mut conns = Vec::new();
+    let mut lanes: Vec<Vec<Option<usize>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for (h, row) in mesh.endpoints.into_iter().enumerate() {
+        for (p, endpoint) in row.into_iter().enumerate() {
+            if let Some(stream) = endpoint {
+                stream
+                    .set_nonblocking(true)
+                    .map_err(socket_err("set ring socket nonblocking"))?;
+                if let Some(slot) = lanes.get_mut(h).and_then(|r| r.get_mut(p)) {
+                    *slot = Some(conns.len());
+                }
+                conns.push(Conn::new(stream, h));
+            }
+        }
+    }
+
+    let proto_cfg = ProtocolConfig {
+        hosts: n,
+        buffers_per_host: config.buffers_per_host,
+        max_retransmits: config.max_retransmits,
+        continuous: false,
+        reliable: plan.is_some(),
+        standby: rescale.map_or(0, |p| p.standby_mask()),
+    };
+    let proto = RingProtocol::new(proto_cfg, envelopes);
+    let total = proto.fragments_total();
+
+    let workers = WorkerPool::<P>::new(n, wake_tx);
+    let pool_threads = n
+        .min(
+            thread::available_parallelism()
+                .map(std::num::NonZero::get)
+                .unwrap_or(2),
+        )
+        .max(1);
+
+    thread::scope(|s| {
+        for _ in 0..pool_threads {
+            let pool = &workers;
+            s.spawn(move || worker_thread(pool, visit, absorb));
+        }
+
+        let mut poller = Poller::new();
+        poller.update(&wake_rx, WAKE_TOKEN, true, false);
+
+        let epoch = Instant::now();
+        let mut rx = Reactor {
+            proto,
+            plan,
+            conns,
+            lanes,
+            poller,
+            wheel: TimerWheel::new(WHEEL_RESOLUTION),
+            pool: FrameBufPool::default(),
+            workers: &workers,
+            pending: VecDeque::new(),
+            errors: ErrorCollector::default(),
+            fatal: false,
+            tracer: if trace {
+                SpanTracer::enabled()
+            } else {
+                SpanTracer::disabled()
+            },
+            epoch,
+            wall_ack_timeout: Duration::from_secs_f64(config.ack_timeout.as_secs_f64()),
+            join_threads: config.join_threads,
+            busy: vec![Duration::ZERO; n],
+            last_done: vec![epoch; n],
+            bytes_forwarded: vec![0; n],
+            last_progress: epoch,
+            crash_at: vec![None; n],
+            detection_latency: SimDuration::ZERO,
+            last_event: epoch,
+        };
+        for t in 0..rx.conns.len() {
+            rx.sync_interest(t);
+        }
+        if let Some(plan) = plan {
+            for c in plan.crashes() {
+                let at = Duration::from(c.at.saturating_duration_since(SimTime::ZERO));
+                rx.arm(at, TimerKind::Crash(c.host));
+            }
+            for p in plan.pauses() {
+                let at = Duration::from(p.at.saturating_duration_since(SimTime::ZERO));
+                rx.arm(at, TimerKind::Pause(p.host));
+                rx.arm(at + Duration::from(p.duration), TimerKind::Resume(p.host));
+            }
+        }
+        if let Some(plan) = rescale {
+            for j in plan.joins() {
+                let at = Duration::from(j.at.saturating_duration_since(SimTime::ZERO));
+                rx.arm(at, TimerKind::JoinRequest(j.host));
+            }
+            for d in plan.drains() {
+                let at = Duration::from(d.at.saturating_duration_since(SimTime::ZERO));
+                rx.arm(at, TimerKind::DrainRequest(d.host));
+            }
+        }
+        for h in 0..n {
+            let out = rx.proto.input(Input::SetupDone { host: HostId(h) });
+            rx.apply(out, None);
+        }
+
+        let mut ready: Vec<(usize, bool, bool)> = Vec::new();
+        let mut fired: Vec<(TimerId, WheelItem)> = Vec::new();
+        let mut wake_buf = [0u8; 64];
+        let mut wake_rx = wake_rx;
+        while !rx.fatal && rx.proto.fragments_completed() < total {
+            // Synchronous backlog first: freed send credits, then pool
+            // completions, then due timers — only then does the loop pay
+            // for a kernel wait.
+            if let Some(from) = rx.pending.pop_front() {
+                rx.last_event = Instant::now();
+                let out = rx.proto.input(Input::SendDone { from });
+                rx.apply(out, None);
+                continue;
+            }
+            if let Some(event) = workers.pop_done() {
+                rx.on_worker_event(event);
+                continue;
+            }
+            let now_ns = rx.now_ns();
+            fired.clear();
+            rx.wheel.advance(now_ns, &mut fired);
+            if !fired.is_empty() {
+                for (_, item) in fired.drain(..) {
+                    if rx.fatal {
+                        break;
+                    }
+                    rx.fire(item);
+                }
+                continue;
+            }
+            let idle = rx.last_event.elapsed();
+            if idle >= watchdog {
+                rx.fail(RingError::Teardown(STALLED));
+                break;
+            }
+            let mut timeout = watchdog - idle;
+            if let Some(deadline) = rx.wheel.next_deadline() {
+                let until = Duration::from_nanos(deadline.saturating_sub(now_ns));
+                timeout = timeout.min(until.max(WHEEL_RESOLUTION));
+            }
+            match rx.poller.wait(timeout, &mut ready) {
+                Wait::Ready => {
+                    for &(token, readable, writable) in ready.iter() {
+                        if rx.fatal {
+                            break;
+                        }
+                        if token == WAKE_TOKEN {
+                            while matches!(wake_rx.read(&mut wake_buf), Ok(1..)) {}
+                            workers.disarm_wake();
+                            continue;
+                        }
+                        if writable {
+                            rx.flush_conn(token);
+                        }
+                        if readable {
+                            rx.drain_read(token);
+                        }
+                    }
+                }
+                Wait::Sweep => {
+                    while matches!(wake_rx.read(&mut wake_buf), Ok(1..)) {}
+                    workers.disarm_wake();
+                    for t in 0..rx.conns.len() {
+                        if rx.fatal {
+                            break;
+                        }
+                        let wants = rx
+                            .conns
+                            .get(t)
+                            .is_some_and(|c| c.want_out && c.write_open && !c.outq.is_empty());
+                        if wants {
+                            rx.flush_conn(t);
+                        }
+                        rx.drain_read(t);
+                    }
+                }
+                Wait::Idle => {}
+            }
+        }
+
+        workers.shutdown();
+        // Severing every socket lets any straggling peer bytes die on the
+        // closed connections; the conns drop with the reactor.
+        for conn in &rx.conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        match std::mem::take(&mut rx.errors).first() {
+            Some(err) => Err(err),
+            None => Ok(rx.into_result()),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
+
+/// Builder for an event-loop ring run over loopback TCP — the single
+/// entry point of this backend, mirroring [`crate::tcp_backend::TcpRingDriver`]
+/// but with one reactor thread owning every socket.
+///
+/// ```
+/// use data_roundabout::{ReactorRingDriver, RingConfig};
+///
+/// // Three hosts, two fragments each, over one nonblocking event loop.
+/// let fragments: Vec<Vec<Vec<u8>>> =
+///     (0..3).map(|_| vec![vec![0u8; 64]; 2]).collect();
+/// let (metrics, _spans) = ReactorRingDriver::new(&RingConfig::paper(3))
+///     .run(fragments, |_, _| {})
+///     .unwrap();
+/// assert_eq!(metrics.fragments_completed, 6);
+/// ```
+#[derive(Clone, Copy)]
+pub struct ReactorRingDriver<'a> {
+    config: &'a RingConfig,
+    fault_plan: Option<&'a FaultPlan>,
+    rescale_plan: Option<&'a RescalePlan>,
+    trace: bool,
+}
+
+impl<'a> ReactorRingDriver<'a> {
+    /// A driver for `config` with the classic transport and no tracing.
+    pub fn new(config: &'a RingConfig) -> Self {
+        ReactorRingDriver {
+            config,
+            fault_plan: None,
+            rescale_plan: None,
+            trace: false,
+        }
+    }
+
+    /// Runs the ring over the unreliable medium described by `plan`, with
+    /// every hop protected by the protocol core's acknowledged transport.
+    /// Scheduled crashes become real socket severs and mid-revolution
+    /// ring healing; `config.ack_timeout` is interpreted in wall-clock
+    /// time (choose it to comfortably exceed a loopback round trip plus
+    /// reactor latency, or losses masquerade as timeouts).
+    pub fn with_fault_plan(mut self, plan: &'a FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches a planned [`RescalePlan`]: standby hosts joining and
+    /// members draining out mid-workload over the live socket mesh, with
+    /// the same semantics as the blocking TCP driver. Attaching a rescale
+    /// plan switches the transport into its reliable mode even without a
+    /// fault plan. Schedule instants are interpreted in wall-clock time.
+    pub fn with_rescale_plan(mut self, plan: &'a RescalePlan) -> Self {
+        self.rescale_plan = Some(plan);
+        self
+    }
+
+    /// Enables structured span recording for this run.
+    pub fn with_tracer(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Runs the ring to completion. `fragments[h]` are host `h`'s local
+    /// fragments; `process` is invoked once per (host, envelope) visit.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReactorRingDriver::run_with_roles`].
+    pub fn run<P, F>(
+        self,
+        fragments: Vec<Vec<P>>,
+        process: F,
+    ) -> Result<(RingMetrics, SpanTracer), RingError>
+    where
+        P: WirePayload + Send + Clone,
+        F: Fn(HostId, &P) + Sync,
+    {
+        self.run_with_roles(
+            fragments,
+            |host, _roles, payload| process(host, payload),
+            |_, _| {},
+        )
+    }
+
+    /// Like [`ReactorRingDriver::run`], but role-aware for healing runs:
+    /// `visit(host, roles, payload)` applies the named logical stationary
+    /// roles (the host's own, plus any absorbed from dead hosts), and
+    /// `absorb(survivor, role)` performs the state takeover when the ring
+    /// heals around a confirmed death.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::Config`] for an invalid configuration,
+    /// [`RingError::Shape`] when `fragments.len() != config.hosts`,
+    /// [`RingError::UnsupportedFault`] for fault plans this backend cannot
+    /// realize (more than 64 hosts with a plan, a crash on a single-host
+    /// ring, or faults naming hosts outside the ring),
+    /// [`RingError::Socket`] when the loopback mesh cannot be built, and
+    /// [`RingError::Frame`] / [`RingError::Teardown`] when the run dies
+    /// mid-revolution (undecodable bytes, a panicking callback, an
+    /// exhausted retransmission budget on a live ring, or a stall).
+    pub fn run_with_roles<P, F, A>(
+        self,
+        fragments: Vec<Vec<P>>,
+        visit: F,
+        absorb: A,
+    ) -> Result<(RingMetrics, SpanTracer), RingError>
+    where
+        P: WirePayload + Send + Clone,
+        F: Fn(HostId, &[usize], &P) + Sync,
+        A: Fn(HostId, usize) + Sync,
+    {
+        self.config.validate()?;
+        let n = self.config.hosts;
+        if fragments.len() != n {
+            return Err(RingError::Shape {
+                expected: n,
+                got: fragments.len(),
+            });
+        }
+        if let Some(plan) = self.fault_plan {
+            if n > 64 {
+                return Err(RingError::UnsupportedFault(
+                    "the exactly-once role bitmask supports at most 64 hosts",
+                ));
+            }
+            if n == 1 && !plan.crashes().is_empty() {
+                return Err(RingError::UnsupportedFault(
+                    "a single-host ring cannot heal around its own crash",
+                ));
+            }
+            let in_ring = |h: HostId| h.0 < n;
+            if !plan.crashes().iter().all(|c| in_ring(c.host))
+                || !plan.pauses().iter().all(|p| in_ring(p.host))
+            {
+                return Err(RingError::UnsupportedFault(
+                    "fault plan names a host outside the ring",
+                ));
+            }
+        }
+        if let Some(plan) = self.rescale_plan {
+            if n > 64 {
+                return Err(RingError::UnsupportedFault(
+                    "the exactly-once role bitmask supports at most 64 hosts",
+                ));
+            }
+            if n == 1 && !plan.is_quiet() {
+                return Err(RingError::UnsupportedFault(
+                    "a single-host ring has no membership to rescale",
+                ));
+            }
+            let in_ring = |h: HostId| h.0 < n;
+            if !plan.joins().iter().all(|j| in_ring(j.host))
+                || !plan.drains().iter().all(|d| in_ring(d.host))
+            {
+                return Err(RingError::UnsupportedFault(
+                    "rescale plan names a host outside the ring",
+                ));
+            }
+            if plan
+                .joins()
+                .iter()
+                .any(|j| !fragments.get(j.host.0).is_none_or(Vec::is_empty))
+            {
+                return Err(RingError::UnsupportedFault(
+                    "a standby host must not contribute fragments before joining",
+                ));
+            }
+        }
+        let envelopes = envelope_batches(fragments, n);
+        if n == 1 {
+            // A single-host "ring" has no sockets to run; share the
+            // thread backend's local path.
+            let spans = self.trace.then(SharedSpans::new);
+            let backlog = envelopes.into_iter().next().unwrap_or_default();
+            let own = [0usize];
+            let metrics = run_single_host(backlog, |h, p| visit(h, &own, p), spans.as_ref())?;
+            let tracer = finish_spans(spans, &metrics);
+            return Ok((metrics, tracer));
+        }
+        run_reactor_mesh(
+            self.config,
+            self.fault_plan,
+            self.rescale_plan,
+            self.trace,
+            envelopes,
+            &visit,
+            &absorb,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn payloads(hosts: usize, per_host: usize, bytes: usize) -> Vec<Vec<Vec<u8>>> {
+        (0..hosts)
+            .map(|h| {
+                (0..per_host)
+                    .map(|i| vec![(h * 31 + i) as u8; bytes])
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn reactor_completes_a_classic_revolution() {
+        let config = RingConfig::paper(4);
+        let visits = AtomicUsize::new(0);
+        let (metrics, _spans) = ReactorRingDriver::new(&config)
+            .run(payloads(4, 2, 512), |_, _| {
+                visits.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, 8);
+        assert_eq!(visits.load(Ordering::Relaxed), 8 * 4);
+        assert!(metrics.hosts.iter().all(|h| h.fragments_processed == 8));
+    }
+
+    #[test]
+    fn reactor_single_host_shares_the_local_path() {
+        let config = RingConfig::paper(1);
+        let (metrics, _spans) = ReactorRingDriver::new(&config)
+            .run(payloads(1, 3, 64), |_, _| {})
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, 3);
+    }
+
+    #[test]
+    fn reactor_validation_mirrors_the_blocking_driver() {
+        let config = RingConfig::paper(3);
+        let err = ReactorRingDriver::new(&config)
+            .run(payloads(2, 1, 8), |_, _| {})
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RingError::Shape {
+                expected: 3,
+                got: 2
+            }
+        ));
+
+        let plan =
+            FaultPlan::seeded(1).crash_host(HostId(9), SimTime::ZERO + SimDuration::from_millis(1));
+        let err = ReactorRingDriver::new(&config)
+            .with_fault_plan(&plan)
+            .run(payloads(3, 1, 8), |_, _| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
+    }
+
+    #[test]
+    fn reactor_survives_loss_and_corruption() {
+        let mut config = RingConfig::paper(3);
+        config.ack_timeout = SimDuration::from_millis(120);
+        let plan = FaultPlan::seeded(7)
+            .lossy_link(HostId(0), 0.3)
+            .corrupt_link(HostId(1), 0.3);
+        let (metrics, _spans) = ReactorRingDriver::new(&config)
+            .with_fault_plan(&plan)
+            .run(payloads(3, 2, 256), |_, _| {})
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, 6);
+        let retransmits: u64 = metrics.hosts.iter().map(|h| h.retransmits).sum();
+        assert!(retransmits > 0, "a lossy link must force retransmissions");
+    }
+
+    #[test]
+    fn reactor_heals_a_mid_revolution_crash() {
+        let mut config = RingConfig::paper(4);
+        config.ack_timeout = SimDuration::from_millis(40);
+        let plan = FaultPlan::seeded(4242)
+            .crash_host(HostId(2), SimTime::ZERO + SimDuration::from_millis(5));
+        let absorbed = AtomicUsize::new(0);
+        let (metrics, _spans) = ReactorRingDriver::new(&config)
+            .with_fault_plan(&plan)
+            .run_with_roles(
+                payloads(4, 2, 256),
+                |_, _, _| {
+                    std::thread::sleep(Duration::from_millis(2));
+                },
+                |_, _| {
+                    absorbed.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .unwrap();
+        assert_eq!(metrics.heal_events, 1);
+        assert_eq!(metrics.fragments_completed, 8);
+        assert_eq!(absorbed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reactor_runs_a_planned_join_and_drain() {
+        let mut config = RingConfig::paper(3);
+        config.ack_timeout = SimDuration::from_millis(20);
+        let plan = RescalePlan::seeded(77)
+            .join_host(HostId(2), SimTime::ZERO + SimDuration::from_millis(1))
+            .drain_host(HostId(0), SimTime::ZERO + SimDuration::from_millis(8));
+        let mut fragments = payloads(3, 3, 128);
+        if let Some(standby) = fragments.get_mut(2) {
+            standby.clear();
+        }
+        let (metrics, _spans) = ReactorRingDriver::new(&config)
+            .with_rescale_plan(&plan)
+            .run_with_roles(
+                fragments,
+                |_, _, _| {
+                    std::thread::sleep(Duration::from_millis(2));
+                },
+                |_, _| {},
+            )
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, 6);
+        assert_eq!(metrics.membership_epoch, 2);
+        assert_eq!(metrics.rescale_joins, 1);
+        assert_eq!(metrics.rescale_drains, 1);
+        assert_eq!(metrics.heal_events, 0);
+    }
+
+    #[test]
+    fn wide_ring_completes_on_a_neighbor_mesh() {
+        // 64 hosts, one fragment each: the wide-ring shape the blocking
+        // driver cannot reach without hundreds of threads. Thread-count
+        // accounting lives in the wide-ring exhibit binary (a test
+        // process shares /proc counters with the whole harness).
+        let config = RingConfig::paper(64);
+        let (metrics, _spans) = ReactorRingDriver::new(&config)
+            .run(payloads(64, 1, 16), |_, _| {})
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, 64);
+        assert!(metrics.hosts.iter().all(|h| h.fragments_processed == 64));
+    }
+
+    #[test]
+    fn pump_read_reassembles_one_byte_arrivals() {
+        let (mut tx, rx) = loopback_pair();
+        rx.set_nonblocking(true).unwrap();
+        let mut conn = Conn::new(rx, 0);
+        let env = Envelope::new(FragmentId(3), HostId(1), 4, vec![0xabu8; 100]);
+        let mut wire = crate::tcp_backend::encode_envelope(9, &env).unwrap();
+        let mut ack = Vec::new();
+        encode_ack_into(17, &mut ack);
+        wire.extend_from_slice(&ack);
+
+        let mut frames: Vec<Frame<Vec<u8>>> = Vec::new();
+        for byte in wire {
+            tx.write_all(&[byte]).unwrap();
+            tx.flush().unwrap();
+            // Pump after every single byte: partial frames must buffer
+            // silently, never error.
+            thread::sleep(Duration::from_micros(20));
+            conn.pump_read(&mut frames).unwrap();
+        }
+        for _ in 0..1000 {
+            if frames.len() == 2 {
+                break;
+            }
+            conn.pump_read(&mut frames).unwrap();
+            thread::sleep(Duration::from_micros(50));
+        }
+        assert_eq!(frames.len(), 2);
+        assert!(matches!(
+            frames.first(),
+            Some(Frame::Envelope { tid: 9, env }) if env.id == FragmentId(3)
+        ));
+        assert!(matches!(frames.get(1), Some(Frame::Ack { tid: 17 })));
+        assert!(conn.read_open);
+    }
+
+    #[test]
+    fn pump_write_survives_short_writes_and_releases_credit_in_order() {
+        let (tx, mut rx) = loopback_pair();
+        tx.set_nonblocking(true).unwrap();
+        let mut conn = Conn::new(tx, 0);
+        // Enough bytes to overrun any loopback socket buffer, so the
+        // kernel forces WouldBlock mid-frame.
+        let env = Envelope::new(FragmentId(1), HostId(0), 2, vec![0x5au8; 4 * 1024 * 1024]);
+        let big = crate::tcp_backend::encode_envelope(1, &env).unwrap();
+        let mut ack = Vec::new();
+        encode_ack_into(2, &mut ack);
+        let expected: Vec<u8> = big.iter().chain(ack.iter()).copied().collect();
+        conn.outq.push_back(OutJob::Frame {
+            bytes: big,
+            not_before: None,
+            notify: Some(HostId(0)),
+        });
+        conn.outq.push_back(OutJob::Frame {
+            bytes: ack,
+            not_before: None,
+            notify: Some(HostId(1)),
+        });
+
+        let reader = thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut chunk = [0u8; 64 * 1024];
+            loop {
+                match rx.read(&mut chunk) {
+                    Ok(0) => return got,
+                    Ok(n) => got.extend_from_slice(chunk.get(..n).unwrap()),
+                    Err(_) => return got,
+                }
+            }
+        });
+
+        let mut done = Vec::new();
+        let mut spins = 0usize;
+        while done.len() < 2 {
+            assert!(conn.pump_write(&mut done).is_none());
+            if conn.want_out {
+                // The kernel said WouldBlock mid-frame: the head must
+                // stay parked at its exact offset.
+                assert!(!conn.outq.is_empty());
+                thread::sleep(Duration::from_micros(200));
+            }
+            spins += 1;
+            assert!(spins < 1_000_000, "pump_write made no progress");
+        }
+        assert!(conn.outq.is_empty());
+        let credits: Vec<Option<HostId>> = done.iter().map(|(_, n)| *n).collect();
+        assert_eq!(credits, vec![Some(HostId(0)), Some(HostId(1))]);
+        conn.stream.shutdown(Shutdown::Write).unwrap();
+        let got = reader.join().unwrap();
+        assert_eq!(got.len(), expected.len());
+        assert_eq!(got, expected, "short writes must resume at the exact byte");
+    }
+
+    #[test]
+    fn delayed_frames_hold_the_queue_and_report_the_release() {
+        let (tx, _rx) = loopback_pair();
+        tx.set_nonblocking(true).unwrap();
+        let mut conn = Conn::new(tx, 0);
+        let release = Instant::now() + Duration::from_secs(60);
+        conn.outq.push_back(OutJob::Frame {
+            bytes: vec![1, 2, 3],
+            not_before: Some(release),
+            notify: None,
+        });
+        conn.outq.push_back(OutJob::Frame {
+            bytes: vec![4, 5, 6],
+            not_before: None,
+            notify: None,
+        });
+        let mut done = Vec::new();
+        let embargo = conn.pump_write(&mut done);
+        assert_eq!(embargo, Some(release));
+        assert!(done.is_empty(), "a delayed head must hold FIFO order");
+        assert_eq!(conn.outq.len(), 2);
+    }
+
+    #[test]
+    fn severed_writes_complete_frames_as_lost() {
+        let (tx, rx) = loopback_pair();
+        tx.set_nonblocking(true).unwrap();
+        let mut conn = Conn::new(tx, 0);
+        conn.outq.push_back(OutJob::Sever);
+        conn.outq.push_back(OutJob::Frame {
+            bytes: vec![9u8; 32],
+            not_before: None,
+            notify: Some(HostId(2)),
+        });
+        let mut done = Vec::new();
+        assert!(conn.pump_write(&mut done).is_none());
+        // The frame behind the FIN is lost on the medium, but its send
+        // credit still comes free — a dead peer is the retransmission
+        // protocol's business, not backpressure.
+        assert!(!conn.write_open);
+        assert_eq!(done.len(), 1);
+        assert!(matches!(done.first(), Some((_, Some(h))) if *h == HostId(2)));
+        drop(rx);
+    }
+}

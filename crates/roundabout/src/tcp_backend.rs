@@ -94,12 +94,10 @@ const HELLO_BODY: usize = 12;
 /// Bytes of an ack body: the transfer id.
 const ACK_BODY: usize = 8;
 
-/// How long a handshake read may block before the setup is declared dead.
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
-
-/// How long the coordinator waits for *any* event before declaring the
-/// ring wedged. Generous against slow CI machines; tiny against a hang.
-const WATCHDOG: Duration = Duration::from_secs(10);
+/// Most frames a writer batches into one vectored submission. Bounds the
+/// pooled buffers held out of circulation per writer while still letting
+/// a burst of small acks/envelopes leave in a single syscall.
+pub(crate) const MAX_WRITE_BATCH: usize = 16;
 
 /// Watchdog teardown reason (driver-local; not part of the shared
 /// protocol cascade).
@@ -411,13 +409,13 @@ const MAX_POOLED_BUFS: usize = 64;
 /// `write_all` handed the bytes to the kernel — so the steady state
 /// allocates nothing per frame instead of a fresh `Vec` per envelope.
 #[derive(Default)]
-struct FrameBufPool {
+pub(crate) struct FrameBufPool {
     bufs: std::sync::Mutex<Vec<Vec<u8>>>,
 }
 
 impl FrameBufPool {
     /// A recycled buffer, or a fresh empty one when the pool is dry.
-    fn take(&self) -> Vec<u8> {
+    pub(crate) fn take(&self) -> Vec<u8> {
         // A poisoned lock only means some thread panicked mid-push; the
         // pool's contents are plain byte buffers, always safe to reuse.
         let mut bufs = self
@@ -428,7 +426,7 @@ impl FrameBufPool {
     }
 
     /// Returns a buffer to the pool (oversized or surplus ones are freed).
-    fn put(&self, mut buf: Vec<u8>) {
+    pub(crate) fn put(&self, mut buf: Vec<u8>) {
         if buf.capacity() > MAX_POOLED_CAPACITY {
             return;
         }
@@ -561,39 +559,56 @@ fn mix(mut x: u64) -> u64 {
 }
 
 /// The hello nonce the `from` side of pair (`from`, `to`) must present.
-fn pair_nonce(seed: u64, from: usize, to: usize) -> u64 {
+pub(crate) fn pair_nonce(seed: u64, from: usize, to: usize) -> u64 {
     mix(seed ^ ((from as u64) << 32) ^ (to as u64) ^ 0x5e17_ab1e_c0a5_7e11)
 }
 
 /// The full in-process mesh: `endpoints[h][p]` is host `h`'s end of its
 /// connection with `p` (None on the diagonal). Healing can route any
 /// surviving pair, so every pair gets a socket up front.
-struct Mesh {
-    endpoints: Vec<Vec<Option<TcpStream>>>,
+pub(crate) struct Mesh {
+    pub(crate) endpoints: Vec<Vec<Option<TcpStream>>>,
 }
 
-fn socket_err(what: &'static str) -> impl Fn(std::io::Error) -> RingError {
+pub(crate) fn socket_err(what: &'static str) -> impl Fn(std::io::Error) -> RingError {
     move |_| RingError::Socket(what)
 }
 
-/// Builds the loopback mesh. Every host binds `127.0.0.1:0` — the kernel
-/// assigns a fresh port, so concurrent runs (CI, proptests) never collide
-/// — and each connection is confirmed with a two-way seeded hello before
-/// it joins the ring.
-fn build_mesh(hosts: usize, seed: u64) -> Result<Mesh, RingError> {
+/// Builds the full loopback mesh (every pair connected). Every host binds
+/// `127.0.0.1:0` — the kernel assigns a fresh port, so concurrent runs
+/// (CI, proptests) never collide — and each connection is confirmed with
+/// a two-way seeded hello before it joins the ring.
+fn build_mesh(hosts: usize, seed: u64, handshake_timeout: Duration) -> Result<Mesh, RingError> {
+    build_mesh_pairs(hosts, seed, handshake_timeout, |_, _| true)
+}
+
+/// Builds the loopback mesh restricted to the pairs `want(a, b)` accepts
+/// (`a < b`). The reactor driver uses this to open only ring-neighbor
+/// sockets on plan-free wide rings, where a full 256-host mesh would
+/// exhaust the process fd budget for connections healing can never use.
+pub(crate) fn build_mesh_pairs(
+    hosts: usize,
+    seed: u64,
+    handshake_timeout: Duration,
+    mut want: impl FnMut(usize, usize) -> bool,
+) -> Result<Mesh, RingError> {
     let mut endpoints: Vec<Vec<Option<TcpStream>>> = (0..hosts)
         .map(|_| (0..hosts).map(|_| None).collect())
         .collect();
     for b in 1..hosts {
+        let wanted: Vec<usize> = (0..b).filter(|&a| want(a, b)).collect();
+        if wanted.is_empty() {
+            continue;
+        }
         let listener =
             TcpListener::bind(("127.0.0.1", 0)).map_err(socket_err("bind loopback listener"))?;
         let addr = listener
             .local_addr()
             .map_err(socket_err("resolve listener address"))?;
-        for a in 0..b {
+        for a in wanted {
             let connect = TcpStream::connect(addr).map_err(socket_err("connect to ring peer"))?;
             let (accept, _) = listener.accept().map_err(socket_err("accept ring peer"))?;
-            handshake(a, b, seed, &connect, &accept)?;
+            handshake(a, b, seed, &connect, &accept, handshake_timeout)?;
             if let Some(row) = endpoints.get_mut(a) {
                 if let Some(slot) = row.get_mut(b) {
                     *slot = Some(connect);
@@ -616,9 +631,10 @@ fn handshake(
     seed: u64,
     connect: &TcpStream,
     accept: &TcpStream,
+    timeout: Duration,
 ) -> Result<(), RingError> {
     for s in [connect, accept] {
-        s.set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+        s.set_read_timeout(Some(timeout))
             .map_err(socket_err("set handshake timeout"))?;
     }
     send_hello(connect, pair_nonce(seed, a, b), a)?;
@@ -783,6 +799,37 @@ fn reader_loop<P: WirePayload>(stream: TcpStream, at: HostId, events: Sender<Eve
     }
 }
 
+/// Writes every frame in `frames`, submitting them as one vectored
+/// `writev` whenever the kernel cooperates. Each frame is already a
+/// complete `[kind][len][body]` encoding from the pooled buffers, so the
+/// prefix and payload of many frames leave in a single syscall instead of
+/// one `write_all` per frame. Short writes resume from the exact byte
+/// offset; `Interrupted` retries; a zero-length write reports the peer
+/// gone as `WriteZero`.
+pub fn write_frames_vectored<W: Write>(stream: &mut W, frames: &[Vec<u8>]) -> std::io::Result<()> {
+    let total: usize = frames.iter().map(Vec::len).sum();
+    let mut written = 0usize;
+    while written < total {
+        let mut slices: Vec<std::io::IoSlice<'_>> = Vec::with_capacity(frames.len());
+        let mut skip = written;
+        for f in frames {
+            if skip >= f.len() {
+                skip -= f.len();
+                continue;
+            }
+            slices.push(std::io::IoSlice::new(f.get(skip..).unwrap_or_default()));
+            skip = 0;
+        }
+        match stream.write_vectored(&slices) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => written = written.saturating_add(n),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 fn writer_loop<P>(
     stream: TcpStream,
     jobs: Receiver<WriteJob>,
@@ -790,7 +837,18 @@ fn writer_loop<P>(
     pool: Arc<FrameBufPool>,
 ) {
     let mut stream = stream;
-    for job in jobs.iter() {
+    // A job the batching peek pulled off the queue but could not batch
+    // (a delayed frame or a sever); handled on the next iteration so
+    // FIFO order is preserved.
+    let mut carry: Option<WriteJob> = None;
+    loop {
+        let job = match carry.take() {
+            Some(job) => job,
+            None => match jobs.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            },
+        };
         match job {
             WriteJob::Frame {
                 bytes,
@@ -802,14 +860,38 @@ fn writer_loop<P>(
                     // medium (and, FIFO queue, delays what's behind it).
                     thread::sleep(delay);
                 }
-                // A blocked `write_all` on a full socket buffer IS the
-                // backpressure: the wire-free credit below is withheld
+                // Batch whatever undelayed frames are already queued
+                // behind this one into a single vectored submission.
+                let mut batch = vec![bytes];
+                let mut notifies = vec![notify];
+                while batch.len() < MAX_WRITE_BATCH {
+                    match jobs.try_recv() {
+                        Ok(WriteJob::Frame {
+                            bytes,
+                            delay,
+                            notify,
+                        }) if delay.is_zero() => {
+                            batch.push(bytes);
+                            notifies.push(notify);
+                        }
+                        Ok(job) => {
+                            carry = Some(job);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // A blocked write on a full socket buffer IS the
+                // backpressure: the wire-free credits below are withheld
                 // until the kernel accepted every byte. A write error
-                // means the peer is gone — the frame is lost on the
-                // medium and the reliable transport's timeout repairs it.
-                let _ = stream.write_all(&bytes);
-                pool.put(bytes);
-                if let Some(from) = notify {
+                // means the peer is gone — the frames are lost on the
+                // medium and the reliable transport's timeout repairs
+                // them.
+                let _ = write_frames_vectored(&mut stream, &batch);
+                for bytes in batch {
+                    pool.put(bytes);
+                }
+                for from in notifies.into_iter().flatten() {
                     if events.send(Event::SendDone { from }).is_err() {
                         return;
                     }
@@ -1726,7 +1808,8 @@ where
         (p, _) => p,
     };
     let seed = plan.map(|p| p.seed()).unwrap_or(0x0dd0_ba11);
-    let mesh = build_mesh(n, seed)?;
+    let watchdog = Duration::from(config.watchdog);
+    let mesh = build_mesh(n, seed, Duration::from(config.handshake_timeout))?;
     let mut lanes = Vec::new();
     for (h, row) in mesh.endpoints.iter().enumerate() {
         for (p, endpoint) in row.iter().enumerate() {
@@ -1846,7 +1929,7 @@ where
         while !co.fatal && co.proto.fragments_completed() < total {
             let event = match co.pending.pop_front() {
                 Some(ev) => ev,
-                None => match events_rx.recv_timeout(WATCHDOG) {
+                None => match events_rx.recv_timeout(watchdog) {
                     Ok(ev) => ev,
                     Err(RecvTimeoutError::Timeout) => {
                         co.fail(RingError::Teardown(STALLED));

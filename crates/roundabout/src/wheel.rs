@@ -1,0 +1,388 @@
+//! Hand-rolled hierarchical timer wheel for the reactor driver.
+//!
+//! The blocking TCP driver dedicates an OS thread to timers: a `Vec` of
+//! `(Instant, TimerKind)` scanned under a condvar. The reactor owns every
+//! socket from one event loop, so timers must become *data* the loop can
+//! ask two questions of: "how long may I sleep?" and "what fired?". A
+//! hierarchical timer wheel answers both in O(1) amortized per timer —
+//! the classic hashed-wheel design (Varghese & Lauck) with four levels of
+//! 64 slots, entries cascading toward level 0 as their deadline
+//! approaches.
+//!
+//! The wheel is deliberately clock-agnostic: deadlines are `u64`
+//! nanoseconds on an axis the *caller* defines (the reactor uses
+//! nanoseconds since its own epoch `Instant`). Nothing in here reads a
+//! clock, so the expiry ordering and cascade tests below run in pure
+//! virtual time.
+//!
+//! Guarantees:
+//!
+//! - **Never early.** An entry's tick is `deadline.div_ceil(resolution)`,
+//!   and [`TimerWheel::advance`] only fires ticks `<= now / resolution`,
+//!   so a timer fires at or after its deadline — a spuriously early
+//!   retransmit `Tick` would desynchronize the shared fault dice.
+//! - **Deadline order.** Each `advance` emits expired entries sorted by
+//!   `(deadline, insertion id)`, even when a cascade delivers several
+//!   levels' worth at once.
+//! - **Lazy cancellation.** [`TimerWheel::cancel`] is O(1): the entry is
+//!   unlinked from the pending index and physically dropped whenever its
+//!   slot is next drained.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Slots per wheel level (64 ⇒ 6 bits of the tick per level).
+const SLOT_BITS: u32 = 6;
+/// Number of slots in one level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; spans `64^4` ticks before overflow parking.
+const LEVELS: usize = 4;
+
+/// Handle returned by [`TimerWheel::insert`]; pass to
+/// [`TimerWheel::cancel`] to disarm before expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+#[derive(Debug)]
+struct Entry<T> {
+    id: u64,
+    /// Quantized deadline: the first tick at or after `deadline_ns`.
+    tick: u64,
+    deadline_ns: u64,
+    item: T,
+}
+
+/// Hierarchical timer wheel over a caller-defined `u64` nanosecond axis.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    resolution_ns: u64,
+    now_tick: u64,
+    next_id: u64,
+    /// `levels[l][s]` holds entries whose tick hashes to slot `s` of
+    /// level `l`; level 0 is exact, upper levels cascade downward.
+    levels: Vec<Vec<Vec<Entry<T>>>>,
+    /// Entries inserted with a deadline already in the past; fired by the
+    /// next [`TimerWheel::advance`] regardless of its `now`.
+    due: Vec<Entry<T>>,
+    /// Entries beyond the wheel horizon (`64^4` ticks); re-placed at the
+    /// start of every `advance`.
+    overflow: Vec<Entry<T>>,
+    /// Live (armed, not yet fired or cancelled) timers: id → deadline.
+    /// Doubles as the cancellation filter and the `next_deadline` index.
+    pending: HashMap<u64, u64>,
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates an empty wheel quantizing deadlines to `resolution`
+    /// (clamped to at least 1 ns).
+    pub fn new(resolution: Duration) -> Self {
+        let resolution_ns = u64::try_from(resolution.as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        TimerWheel {
+            resolution_ns,
+            now_tick: 0,
+            next_id: 0,
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            due: Vec::new(),
+            overflow: Vec::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Arms a timer for `deadline_ns` and returns its handle.
+    pub fn insert(&mut self, deadline_ns: u64, item: T) -> TimerId {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.pending.insert(id, deadline_ns);
+        let tick = deadline_ns.div_ceil(self.resolution_ns);
+        self.place(Entry {
+            id,
+            tick,
+            deadline_ns,
+            item,
+        });
+        TimerId(id)
+    }
+
+    /// Disarms `id`. Returns `true` when the timer was still pending
+    /// (not yet fired or cancelled). The slot entry is dropped lazily.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.pending.remove(&id.0).is_some()
+    }
+
+    /// Earliest armed deadline, in caller nanoseconds. The wheel fires
+    /// it on the first `advance(now)` with `now / resolution >=
+    /// deadline.div_ceil(resolution)`, so a driver sleeping until this
+    /// instant (plus one resolution quantum) never oversleeps a timer.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.pending.values().min().copied()
+    }
+
+    /// Advances virtual time to `now_ns`, appending every expired entry
+    /// to `out` in `(deadline, insertion id)` order. Cancelled entries
+    /// are dropped silently.
+    pub fn advance(&mut self, now_ns: u64, out: &mut Vec<(TimerId, T)>) {
+        let target = (now_ns / self.resolution_ns).max(self.now_tick);
+        let mut fired: Vec<Entry<T>> = Vec::new();
+        // Anything parked past the horizon may have come into range.
+        let overflow = std::mem::take(&mut self.overflow);
+        for e in overflow {
+            if self.pending.contains_key(&e.id) {
+                self.place(e);
+            }
+        }
+        for e in std::mem::take(&mut self.due) {
+            if self.pending.remove(&e.id).is_some() {
+                fired.push(e);
+            }
+        }
+        while self.now_tick < target {
+            if self.pending.is_empty() {
+                // Nothing armed: stale cancelled entries are GC'd when
+                // their slot is eventually revisited.
+                self.now_tick = target;
+                break;
+            }
+            self.now_tick += 1;
+            let t = self.now_tick;
+            // Cascade boundaries, highest level first so an entry can
+            // fall several levels in one step and still fire at `t`.
+            for level in (1..LEVELS).rev() {
+                let shift = SLOT_BITS * level as u32;
+                if t.trailing_zeros() >= shift {
+                    let slot = ((t >> shift) as usize) & (SLOTS - 1);
+                    for e in self.drain_slot(level, slot) {
+                        if self.pending.contains_key(&e.id) {
+                            self.place(e);
+                        }
+                    }
+                }
+            }
+            let slot = (t as usize) & (SLOTS - 1);
+            for e in self.drain_slot(0, slot) {
+                if e.tick <= t {
+                    if self.pending.remove(&e.id).is_some() {
+                        fired.push(e);
+                    } // else cancelled: dropped lazily
+                } else if self.pending.contains_key(&e.id) {
+                    // Same slot, a later lap (defensive; placement keeps
+                    // level 0 within one lap).
+                    self.place(e);
+                }
+            }
+            // A cascade can route an entry whose tick *is* this tick to
+            // the due list; it must fire now, not next call.
+            if !self.due.is_empty() {
+                for e in std::mem::take(&mut self.due) {
+                    if self.pending.remove(&e.id).is_some() {
+                        fired.push(e);
+                    }
+                }
+            }
+        }
+        fired.sort_by_key(|e| (e.deadline_ns, e.id));
+        out.extend(fired.into_iter().map(|e| (TimerId(e.id), e.item)));
+    }
+
+    /// Routes an entry to the level whose span covers its distance from
+    /// `now_tick`; overdue entries go to the `due` list, far entries to
+    /// `overflow`.
+    fn place(&mut self, e: Entry<T>) {
+        let delta = e.tick.saturating_sub(self.now_tick);
+        if delta == 0 {
+            self.due.push(e);
+            return;
+        }
+        let mut routed = None;
+        for level in 0..LEVELS {
+            let shift = SLOT_BITS * (level as u32 + 1);
+            if shift < u64::BITS && delta < 1u64 << shift {
+                routed = Some(level);
+                break;
+            }
+        }
+        match routed {
+            Some(level) => {
+                let shift = SLOT_BITS * level as u32;
+                let slot = ((e.tick >> shift) as usize) & (SLOTS - 1);
+                if let Some(v) = self
+                    .levels
+                    .get_mut(level)
+                    .and_then(|slots| slots.get_mut(slot))
+                {
+                    v.push(e);
+                } else {
+                    // Unreachable by construction (level < LEVELS,
+                    // slot < SLOTS); parking in `due` keeps the timer
+                    // from being lost rather than panicking.
+                    self.due.push(e);
+                }
+            }
+            None => self.overflow.push(e),
+        }
+    }
+
+    fn drain_slot(&mut self, level: usize, slot: usize) -> Vec<Entry<T>> {
+        self.levels
+            .get_mut(level)
+            .and_then(|slots| slots.get_mut(slot))
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn wheel() -> TimerWheel<&'static str> {
+        TimerWheel::new(Duration::from_micros(100))
+    }
+
+    fn fire(w: &mut TimerWheel<&'static str>, now_ns: u64) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        w.advance(now_ns, &mut out);
+        out.into_iter().map(|(_, item)| item).collect()
+    }
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = wheel();
+        w.insert(5 * MS, "c");
+        w.insert(MS, "a");
+        w.insert(3 * MS, "b");
+        assert_eq!(w.next_deadline(), Some(MS));
+        assert_eq!(fire(&mut w, 10 * MS), vec!["a", "b", "c"]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn never_fires_early() {
+        let mut w = wheel();
+        w.insert(2 * MS, "t");
+        assert_eq!(fire(&mut w, 2 * MS - 1), Vec::<&str>::new());
+        assert_eq!(w.len(), 1);
+        assert_eq!(fire(&mut w, 2 * MS), vec!["t"]);
+    }
+
+    #[test]
+    fn simultaneous_deadlines_fire_in_insertion_order() {
+        let mut w = wheel();
+        w.insert(MS, "first");
+        w.insert(MS, "second");
+        w.insert(MS, "third");
+        assert_eq!(fire(&mut w, MS), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cascades_across_levels() {
+        let mut w = wheel();
+        // 100 µs resolution ⇒ level 0 spans 6.4 ms, level 1 spans
+        // 409.6 ms, level 2 spans ~26.2 s. Mix entries across all three
+        // and step time in uneven jumps so every firing requires at
+        // least one cascade.
+        w.insert(3 * MS, "l0");
+        w.insert(50 * MS, "l1");
+        w.insert(7_000 * MS, "l2");
+        assert_eq!(fire(&mut w, 10 * MS), vec!["l0"]);
+        assert_eq!(fire(&mut w, 49 * MS), Vec::<&str>::new());
+        assert_eq!(fire(&mut w, 60 * MS), vec!["l1"]);
+        assert_eq!(fire(&mut w, 6_999 * MS), Vec::<&str>::new());
+        assert_eq!(w.len(), 1);
+        assert_eq!(fire(&mut w, 8_000 * MS), vec!["l2"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_advance() {
+        let mut w = wheel();
+        assert_eq!(fire(&mut w, 10 * MS), Vec::<&str>::new());
+        w.insert(MS, "late");
+        assert_eq!(w.next_deadline(), Some(MS));
+        // `now` has not moved, but the deadline is already behind us.
+        assert_eq!(fire(&mut w, 10 * MS), vec!["late"]);
+    }
+
+    #[test]
+    fn cancel_suppresses_expiry() {
+        let mut w = wheel();
+        let a = w.insert(MS, "a");
+        w.insert(2 * MS, "b");
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a), "second cancel reports not-pending");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.next_deadline(), Some(2 * MS));
+        assert_eq!(fire(&mut w, 5 * MS), vec!["b"]);
+    }
+
+    #[test]
+    fn cancelled_id_is_dead_after_firing() {
+        let mut w = wheel();
+        let a = w.insert(MS, "a");
+        assert_eq!(fire(&mut w, MS), vec!["a"]);
+        assert!(!w.cancel(a), "fired timers cannot be cancelled");
+    }
+
+    #[test]
+    fn rearm_after_cancel_is_a_fresh_timer() {
+        let mut w = wheel();
+        let a = w.insert(MS, "old");
+        w.cancel(a);
+        let b = w.insert(4 * MS, "new");
+        assert_ne!(a, b);
+        assert_eq!(fire(&mut w, 2 * MS), Vec::<&str>::new());
+        assert_eq!(fire(&mut w, 4 * MS), vec!["new"]);
+    }
+
+    #[test]
+    fn overflow_entries_come_back_into_range() {
+        // 1 ns resolution shrinks the horizon to 2^24 ns ≈ 16.8 ms, so a
+        // 20 ms deadline parks in overflow and must still fire on time.
+        let mut w: TimerWheel<&str> = TimerWheel::new(Duration::from_nanos(1));
+        w.insert(20 * MS, "far");
+        w.insert(MS, "near");
+        let mut out = Vec::new();
+        w.advance(MS, &mut out);
+        assert_eq!(out.len(), 1);
+        w.advance(19 * MS, &mut out);
+        assert_eq!(out.len(), 1, "20 ms timer must not fire at 19 ms");
+        w.advance(20 * MS, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn next_deadline_bounds_the_sleep() {
+        let mut w = wheel();
+        w.insert(250 * MS, "t");
+        let d = w.next_deadline().unwrap();
+        assert!(d <= 250 * MS, "sleep bound must never overshoot");
+        let mut out = Vec::new();
+        // Sleeping to the bound plus one quantum always observes the
+        // expiry.
+        w.advance(d + 100_000, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn zero_resolution_is_clamped() {
+        let mut w: TimerWheel<&'static str> = TimerWheel::new(Duration::from_nanos(0));
+        w.insert(5, "t");
+        assert_eq!(fire(&mut w, 5), vec!["t"]);
+    }
+}

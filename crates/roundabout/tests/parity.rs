@@ -1,12 +1,14 @@
-//! Cross-backend fault parity: the simulated, real-thread and loopback-TCP
-//! drivers sit on the same sans-IO protocol core and key the fault dice
-//! identically — per-sender wire sequence, attempt number — so an
-//! identical seeded [`FaultPlan`] must produce *identical* fault counters
-//! on all three, even though one runs in virtual time, one on live OS
-//! threads, and one over real kernel sockets.
+//! Cross-backend fault parity: the simulated, real-thread, loopback-TCP
+//! and reactor drivers sit on the same sans-IO protocol core and key the
+//! fault dice identically — per-sender wire sequence, attempt number — so
+//! an identical seeded [`FaultPlan`] must produce *identical* fault
+//! counters on all four, even though one runs in virtual time, one on
+//! live OS threads, and two over real kernel sockets (one blocking, one
+//! on a single readiness event loop).
 
 use data_roundabout::{
-    FaultPlan, FixedCostApp, HostId, RescalePlan, RingConfig, RingDriver, SimRing, TcpRingDriver,
+    FaultPlan, FixedCostApp, HostId, ReactorRingDriver, RescalePlan, RingConfig, RingDriver,
+    SimRing, TcpRingDriver,
 };
 use simnet::time::{SimDuration, SimTime};
 
@@ -23,7 +25,7 @@ fn fault_counters(hosts: &[data_roundabout::HostMetrics]) -> Vec<(u64, u64)> {
         .collect()
 }
 
-/// All three backends, one plan, equal counters. Loss on H0's outgoing
+/// All four backends, one plan, equal counters. Loss on H0's outgoing
 /// link and corruption on H1's: every (sender, seq, attempt) tuple rolls
 /// the same dice in every world, and stop-and-wait repairs each envelope
 /// independently, so per-host retransmit and checksum counters must agree
@@ -34,7 +36,7 @@ fn fault_counters(hosts: &[data_roundabout::HostMetrics]) -> Vec<(u64, u64)> {
 /// plans. The wall-clock backends get generous ack timeouts so a scheduler
 /// stall or a slow loopback round trip cannot masquerade as a drop.
 #[test]
-fn seeded_fault_plan_yields_identical_counters_on_all_three_backends() {
+fn seeded_fault_plan_yields_identical_counters_on_all_backends() {
     let hosts = 3;
     let per_host = 4;
     let plan = FaultPlan::seeded(7)
@@ -63,9 +65,15 @@ fn seeded_fault_plan_yields_identical_counters_on_all_three_backends() {
         .run(payloads(hosts, per_host, 64), |_, _: &Vec<u8>| {})
         .expect("reliable tcp run should recover from loss and corruption");
 
+    let (reactor, _) = ReactorRingDriver::new(&tcp_cfg)
+        .with_fault_plan(&plan)
+        .run(payloads(hosts, per_host, 64), |_, _: &Vec<u8>| {})
+        .expect("reliable reactor run should recover from loss and corruption");
+
     assert_eq!(sim.metrics.fragments_completed, hosts * per_host);
     assert_eq!(threaded.fragments_completed, hosts * per_host);
     assert_eq!(tcp.fragments_completed, hosts * per_host);
+    assert_eq!(reactor.fragments_completed, hosts * per_host);
 
     assert_eq!(
         fault_counters(&sim.metrics.hosts),
@@ -83,6 +91,14 @@ fn seeded_fault_plan_yields_identical_counters_on_all_three_backends() {
         sim.metrics.hosts,
         tcp.hosts
     );
+    assert_eq!(
+        fault_counters(&sim.metrics.hosts),
+        fault_counters(&reactor.hosts),
+        "sim and reactor drivers rolled different fault dice for the same plan:\n\
+         sim: {:?}\nreactor: {:?}",
+        sim.metrics.hosts,
+        reactor.hosts
+    );
     // The plan actually bit: a trivially quiet run would prove nothing.
     assert!(
         sim.metrics.total_retransmits() > 0,
@@ -94,7 +110,7 @@ fn seeded_fault_plan_yields_identical_counters_on_all_three_backends() {
     );
 }
 
-/// The same three-way parity holds with loss on every link at once — each
+/// The same four-way parity holds with loss on every link at once — each
 /// host is simultaneously a retransmitter and a dedup point.
 #[test]
 fn all_links_lossy_parity() {
@@ -123,9 +139,15 @@ fn all_links_lossy_parity() {
         .run(payloads(hosts, per_host, 64), |_, _: &Vec<u8>| {})
         .expect("reliable tcp run should recover from loss on every link");
 
+    let (reactor, _) = ReactorRingDriver::new(&tcp_cfg)
+        .with_fault_plan(&plan)
+        .run(payloads(hosts, per_host, 64), |_, _: &Vec<u8>| {})
+        .expect("reliable reactor run should recover from loss on every link");
+
     let sim_counts: Vec<u64> = sim.metrics.hosts.iter().map(|h| h.retransmits).collect();
     let thread_counts: Vec<u64> = threaded.hosts.iter().map(|h| h.retransmits).collect();
     let tcp_counts: Vec<u64> = tcp.hosts.iter().map(|h| h.retransmits).collect();
+    let reactor_counts: Vec<u64> = reactor.hosts.iter().map(|h| h.retransmits).collect();
     assert_eq!(
         sim_counts, thread_counts,
         "sim/thread per-host retransmits diverged"
@@ -134,17 +156,23 @@ fn all_links_lossy_parity() {
         sim_counts, tcp_counts,
         "sim/tcp per-host retransmits diverged"
     );
+    assert_eq!(
+        sim_counts, reactor_counts,
+        "sim/reactor per-host retransmits diverged"
+    );
     assert_eq!(sim.metrics.fragments_completed, hosts * per_host);
     assert_eq!(threaded.fragments_completed, hosts * per_host);
     assert_eq!(tcp.fragments_completed, hosts * per_host);
+    assert_eq!(reactor.fragments_completed, hosts * per_host);
 }
 
 /// Membership parity: one seeded rescale schedule — a standby joining at
 /// 1 ms and a founding member draining out at 8 ms — lands on identical
-/// membership epochs and `rescale_*` counters in all three worlds, and
+/// membership epochs and `rescale_*` counters in all four worlds, and
 /// none of them needs the crash-healing path to get there. The instants
-/// are virtual time in the sim and wall-clock time on the thread and TCP
-/// drivers; the protocol transitions they trigger are the same.
+/// are virtual time in the sim and wall-clock time on the thread, TCP
+/// and reactor drivers; the protocol transitions they trigger are the
+/// same.
 ///
 /// Escalation counters are deliberately *not* pinned to a fixed schedule
 /// position: a drain deadline races real scheduling on the wall-clock
@@ -152,7 +180,7 @@ fn all_links_lossy_parity() {
 /// asserts the planned path won in every world — which also forces
 /// `rescale_escalations == 0`.
 #[test]
-fn seeded_rescale_schedule_three_way_parity() {
+fn seeded_rescale_schedule_four_way_parity() {
     let hosts = 3;
     let per_host = 3;
     let plan = RescalePlan::seeded(77)
@@ -198,7 +226,21 @@ fn seeded_rescale_schedule_three_way_parity() {
         })
         .expect("tcp rescale run should complete");
 
-    for (world, m) in [("sim", &sim.metrics), ("thread", &threaded), ("tcp", &tcp)] {
+    let mut reactor_frags = payloads(hosts, per_host, 64);
+    reactor_frags[2].clear();
+    let (reactor, _) = ReactorRingDriver::new(&tcp_cfg)
+        .with_rescale_plan(&plan)
+        .run(reactor_frags, |_, _: &Vec<u8>| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        })
+        .expect("reactor rescale run should complete");
+
+    for (world, m) in [
+        ("sim", &sim.metrics),
+        ("thread", &threaded),
+        ("tcp", &tcp),
+        ("reactor", &reactor),
+    ] {
         assert_eq!(m.fragments_completed, total, "{world}: every fragment");
         assert_eq!(
             (

@@ -9,8 +9,11 @@
 //! * `entries` is non-empty; each entry has a `name`, a `group` in
 //!   {`kernel`, `codec`, `e2e`}, `iters >= 1`, `ns_per_iter > 0`,
 //!   `throughput > 0` and a string `throughput_unit`;
-//! * all three groups appear, and the `e2e` group covers every backend
-//!   (`e2e_sim`, `e2e_threads`, `e2e_tcp`);
+//! * all three groups appear, and the `e2e` group covers every required
+//!   backend (`e2e_sim`, `e2e_threads`, `e2e_tcp`); extra backend
+//!   entries such as `e2e_reactor` are accepted, so reports committed
+//!   before a backend existed keep validating and newer reports can
+//!   carry it;
 //! * each delta has a `name`, `before_ns > 0`, `after_ns > 0` and a
 //!   `speedup > 0` consistent with `before_ns / after_ns`.
 //!
@@ -480,6 +483,21 @@ mod tests {
     fn missing_backend_is_rejected() {
         let bad = mutate("e2e_tcp", "e2e_quic");
         assert!(validate_report(&bad).unwrap_err().0.contains("e2e_tcp"));
+    }
+
+    #[test]
+    fn extra_backend_entries_are_accepted() {
+        // Reports from before the reactor backend existed lack the
+        // entry; newer reports carry it. Both must validate.
+        let with_reactor = mutate(
+            r#"{ "name": "e2e_tcp", "group": "e2e", "iters": 1,
+          "ns_per_iter": 1000.0, "throughput": 8.0, "throughput_unit": "revolutions/s" }"#,
+            r#"{ "name": "e2e_tcp", "group": "e2e", "iters": 1,
+          "ns_per_iter": 1000.0, "throughput": 8.0, "throughput_unit": "revolutions/s" },
+        { "name": "e2e_reactor", "group": "e2e", "iters": 1,
+          "ns_per_iter": 1000.0, "throughput": 8.0, "throughput_unit": "revolutions/s" }"#,
+        );
+        validate_report(&with_reactor).unwrap();
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub const REGISTRY_PATH: &str = "crates/simnet/src/span.rs";
 ///   collector/tracer locks nest.
 /// - **L5 sans-io-protocol**: the shared ring-protocol core, which must
 ///   never grow a socket, thread, channel or clock dependency.
-/// - **L6 output-match-exhaustive**: the three backend drivers, whose
+/// - **L6 output-match-exhaustive**: the backend drivers, whose
 ///   `protocol::Output` dispatch loops must name every variant — a
 ///   wildcard arm would let a future output silently vanish in one
 ///   driver while the others act on it.
@@ -59,6 +59,7 @@ pub fn policy_for(rel: &str) -> FilePolicy {
     if rel == "crates/roundabout/src/thread_backend.rs"
         || rel == "crates/roundabout/src/sim_backend.rs"
         || rel == "crates/roundabout/src/tcp_backend.rs"
+        || rel == "crates/roundabout/src/reactor_backend.rs"
         || rel == "crates/core/src/exec.rs"
     {
         p.counter_registry = true;
@@ -75,6 +76,7 @@ pub fn policy_for(rel: &str) -> FilePolicy {
     if rel == "crates/roundabout/src/thread_backend.rs"
         || rel == "crates/roundabout/src/sim_backend.rs"
         || rel == "crates/roundabout/src/tcp_backend.rs"
+        || rel == "crates/roundabout/src/reactor_backend.rs"
     {
         p.output_match = true;
     }
@@ -222,6 +224,17 @@ mod tests {
         assert!(p.no_panic && p.counter_registry && !p.no_wall_clock && !p.lock_ordering);
         assert!(!p.sans_io, "drivers are allowed to do IO");
         assert!(p.output_match, "drivers must dispatch Output exhaustively");
+        // The reactor driver: the tcp policy verbatim — same data path
+        // (L1), same counters (L3), same exhaustive Output dispatch (L6)
+        // — and wall-clock/epoll readiness is its whole job.
+        let p = policy_for("crates/roundabout/src/reactor_backend.rs");
+        assert!(p.no_panic && p.counter_registry && !p.no_wall_clock && !p.lock_ordering);
+        assert!(!p.sans_io, "drivers are allowed to do IO");
+        assert!(p.output_match, "drivers must dispatch Output exhaustively");
+        // The timer wheel is library code inside the roundabout crate:
+        // on the no-panic data path, but it dispatches no outputs.
+        let p = policy_for("crates/roundabout/src/wheel.rs");
+        assert!(p.no_panic && !p.output_match && !p.counter_registry);
         // The sans-IO core: L1 (it is library code) plus L5, and nothing
         // that assumes a particular driver — L6 included: the core emits
         // outputs, only drivers dispatch on them.

@@ -7,21 +7,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
-# Explicit gates on the sans-IO protocol core and its real-socket driver:
-# direct proptests over the state machine and the TCP frame codec, the
-# three-way (sim/thread/tcp) fault-counter parity test, and the chaos
-# suite with its mid-revolution TCP connection sever. All are also part
-# of `cargo test -q` above; named here so a failure is obvious. The TCP
-# legs bind port 0 and handshake, so they never race on ports.
+# Explicit gates on the sans-IO protocol core and its real-socket
+# drivers: direct proptests over the state machine, the TCP frame codec
+# and the timer wheel, the four-way (sim/thread/tcp/reactor)
+# fault-counter parity test, and the chaos suite with its
+# mid-revolution connection severs on both socket backends. All are
+# also part of `cargo test -q` above; named here so a failure is
+# obvious. The socket legs bind port 0 and handshake, so they never
+# race on ports.
 cargo test -q -p data-roundabout --test proptests --test parity
 cargo test -q -p integration-tests --test chaos
 # Elastic-membership gate: the protocol-direct join/drain/crash
 # interleaving proptests, the seeded rescale schedule that must land on
-# identical membership counters in all three worlds, and the
+# identical membership counters in all four worlds, and the
 # crash-during-drain degradation ladder end to end.
 cargo test -q -p data-roundabout --test proptests protocol_core_rescale
-cargo test -q -p data-roundabout --test parity seeded_rescale_schedule_three_way_parity
+cargo test -q -p data-roundabout --test parity seeded_rescale_schedule_four_way_parity
 cargo test -q -p integration-tests --test chaos crash_during_drain
+# Reactor-driver gate: the event-loop backend's chaos legs — a
+# connection sever healed mid-revolution and a crash during a planned
+# drain — both of which exercise the timer wheel and the readiness
+# loop's teardown paths under faults.
+cargo test -q -p integration-tests --test chaos reactor_
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q --release -p xtask -- analyze

@@ -218,6 +218,73 @@ fn tcp_crash_during_drain_departs_exactly_once() {
     assert_exactly_once(&report);
 }
 
+/// The mid-revolution sever again, but on the reactor backend: the same
+/// crash plan lands on sockets owned by a single event-loop thread, so
+/// the sever surfaces as readiness (an EOF and dead writes) rather than
+/// a blocked I/O thread — and the exactly-once ledger must hold to the
+/// identical standard.
+#[test]
+fn reactor_connection_sever_mid_revolution_heals_exactly_once() {
+    let (r, s) = inputs();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+
+    let plan =
+        FaultPlan::seeded(4242).crash_host(HostId(2), SimTime::ZERO + SimDuration::from_millis(5));
+    let config = RingConfig::paper(4)
+        .with_ack_timeout(SimDuration::from_millis(8))
+        .with_max_retransmits(3);
+    let report = CycloJoin::new(r, s)
+        .ring(config)
+        .fault_plan(plan)
+        .run_reactor()
+        .expect("the healed ring should finish the join on the event loop");
+
+    assert_eq!(report.match_count(), reference.count);
+    assert_eq!(report.checksum(), reference.checksum);
+    assert_eq!(report.heal_events(), 1, "exactly one socket was severed");
+    assert!(report.detection_latency_seconds() > 0.0);
+    assert!(!report.fault_free());
+    assert_exactly_once(&report);
+}
+
+/// Crash-during-drain on the reactor backend: as with the blocking TCP
+/// driver, wall-clock scheduling picks which rung of the degradation
+/// ladder resolves the race, but host 1 leaves the ring exactly once
+/// either way and the join stays exact.
+#[test]
+fn reactor_crash_during_drain_departs_exactly_once() {
+    let (r, s) = inputs();
+    let reference = reference_join(&r, &s, &JoinPredicate::Equi);
+
+    let rescale = RescalePlan::seeded(4242)
+        .drain_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(5));
+    let faults =
+        FaultPlan::seeded(4242).crash_host(HostId(1), SimTime::ZERO + SimDuration::from_millis(6));
+    let config = RingConfig::paper(4)
+        .with_ack_timeout(SimDuration::from_millis(8))
+        .with_max_retransmits(3);
+    let report = CycloJoin::new(r, s)
+        .ring(config)
+        .rescale_plan(rescale)
+        .fault_plan(faults)
+        .run_reactor()
+        .expect("the reactor ring should survive a crash racing a planned drain");
+
+    assert_eq!(report.match_count(), reference.count);
+    assert_eq!(report.checksum(), reference.checksum);
+    assert_eq!(
+        report.heal_events() as u64 + report.rescale_drains(),
+        1,
+        "host 1 must leave exactly once — gracefully or by being declared dead"
+    );
+    assert_eq!(
+        report.membership_epoch(),
+        report.rescale_joins() + report.rescale_drains(),
+        "the epoch only counts completed transitions"
+    );
+    assert_exactly_once(&report);
+}
+
 /// A fault-free run over real sockets produces the same join as the
 /// simulated backend on identical inputs — the acceptance bar for the
 /// TCP driver, checked end to end through the planner.
