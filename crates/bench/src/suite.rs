@@ -357,11 +357,13 @@ fn drained_loopback() -> Option<TcpStream> {
 }
 
 /// The envelope encoder as it was before the fix: a fresh body `Vec`
-/// with the fixed `48 + 64`-byte capacity hint (reallocating on every
-/// real payload), then a second fresh `Vec` for the frame, copying the
-/// whole body behind the header.
+/// with a fixed small capacity hint (reallocating on every real
+/// payload), then a second fresh `Vec` for the frame, copying the
+/// whole body behind the header. Kept in step with the current wire
+/// layout (the query-id tail field included) so the byte-exactness
+/// assertion pins the *allocation* difference, not the format.
 fn old_encode_envelope(tid: u64, env: &Envelope<Relation>) -> Vec<u8> {
-    let mut body = Vec::with_capacity(48 + 64);
+    let mut body = Vec::with_capacity(52 + 64);
     body.extend_from_slice(&tid.to_le_bytes());
     body.extend_from_slice(&(env.id.0 as u64).to_le_bytes());
     body.extend_from_slice(&(env.origin.0 as u32).to_le_bytes());
@@ -369,6 +371,7 @@ fn old_encode_envelope(tid: u64, env: &Envelope<Relation>) -> Vec<u8> {
     body.extend_from_slice(&env.seq.to_le_bytes());
     body.extend_from_slice(&env.checksum.to_le_bytes());
     body.extend_from_slice(&env.visited.to_le_bytes());
+    body.extend_from_slice(&env.query.to_le_bytes());
     env.payload.encode_payload(&mut body);
     let mut out = Vec::with_capacity(5 + body.len());
     out.push(KIND_ENVELOPE);

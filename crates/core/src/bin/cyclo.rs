@@ -9,7 +9,7 @@
 
 use cyclo_join::{
     advise_from_data, reference_join, Algorithm, ComputeMode, CostModel, CycloJoin, HostId,
-    JoinPredicate, RescalePlan, RingConfig, RotateSide,
+    JoinPredicate, MultiTenantJoin, RescalePlan, RingConfig, RotateSide,
 };
 use data_roundabout::render_timeline;
 use relation::GenSpec;
@@ -38,6 +38,17 @@ OPTIONS:
     --fragments <N>      rotation units per host (default 4)
     --rotate <SIDE>      r | s | auto (default auto)
     --seed <N>           RNG seed (default 42)
+    --tenants <N>        multiplex N independent queries over one shared
+                         ring; every tenant gets its own R and S of
+                         --tuples tuples and the CLI predicate, and the
+                         run prints per-tenant results plus queries/s
+    --max-active <N>     admission bound for multi-tenant runs: at most
+                         N queries circulate at once, the rest queue in
+                         deficit-round-robin order (default 2)
+    --queries <FILE>     read tenant specs from FILE instead of
+                         --tenants: one query per line as
+                         \"ROTATING STATIONARY PREDICATE\" with
+                         PREDICATE equi or band:DELTA; # starts a comment
     --rescale-plan <P>   planned membership schedule: comma-separated
                          join:HOST@TIME / drain:HOST@TIME entries, TIME
                          with an ns/us/ms/s suffix (bare numbers are ms),
@@ -96,6 +107,9 @@ struct Options {
     fragments: usize,
     rotate: RotateSide,
     seed: u64,
+    tenants: usize,
+    max_active: usize,
+    queries: Option<String>,
     rescale: Vec<RescaleEvent>,
     handshake_timeout: Option<u64>,
     watchdog: Option<u64>,
@@ -122,6 +136,9 @@ impl Default for Options {
             fragments: 4,
             rotate: RotateSide::Auto,
             seed: 42,
+            tenants: 0,
+            max_active: 2,
+            queries: None,
             rescale: Vec::new(),
             handshake_timeout: None,
             watchdog: None,
@@ -155,6 +172,9 @@ fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Option<Options>
             "--buffers" => opts.buffers = parse(&value("--buffers")?, "--buffers")?,
             "--fragments" => opts.fragments = parse(&value("--fragments")?, "--fragments")?,
             "--seed" => opts.seed = parse(&value("--seed")?, "--seed")?,
+            "--tenants" => opts.tenants = parse(&value("--tenants")?, "--tenants")?,
+            "--max-active" => opts.max_active = parse(&value("--max-active")?, "--max-active")?,
+            "--queries" => opts.queries = Some(value("--queries")?),
             "--rescale-plan" => opts.rescale = parse_rescale_plan(&value("--rescale-plan")?)?,
             "--handshake-timeout" => {
                 opts.handshake_timeout = Some(parse_duration_flag(
@@ -275,6 +295,168 @@ fn parse_instant(text: &str) -> Option<u64> {
     digits.parse::<u64>().ok()?.checked_mul(scale)
 }
 
+/// One tenant of a multi-tenant run: relation sizes and a predicate.
+#[derive(Debug, Clone)]
+struct TenantQuery {
+    rotating: usize,
+    stationary: usize,
+    predicate: JoinPredicate,
+}
+
+/// Parses a `--queries` file: one `ROTATING STATIONARY PREDICATE` line
+/// per tenant, blank lines and `#` comments ignored.
+fn parse_queries_spec(text: &str) -> Result<Vec<TenantQuery>, String> {
+    let mut queries = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let bad = || {
+            format!(
+                "line {}: expected ROTATING STATIONARY PREDICATE",
+                number + 1
+            )
+        };
+        let rotating: usize = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let stationary: usize = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let predicate = match fields.next().ok_or_else(bad)? {
+            "equi" => JoinPredicate::Equi,
+            spec => match spec.strip_prefix("band:").and_then(|d| d.parse().ok()) {
+                Some(delta) => JoinPredicate::band(delta),
+                None => {
+                    return Err(format!(
+                        "line {}: unknown predicate {spec:?} (equi or band:DELTA)",
+                        number + 1
+                    ))
+                }
+            },
+        };
+        if fields.next().is_some() {
+            return Err(bad());
+        }
+        queries.push(TenantQuery {
+            rotating,
+            stationary,
+            predicate,
+        });
+    }
+    if queries.is_empty() {
+        return Err("the queries file names no tenants".to_string());
+    }
+    Ok(queries)
+}
+
+/// Builds the ring configuration shared by single- and multi-query runs.
+fn ring_config(opts: &Options) -> RingConfig {
+    let mut config = RingConfig {
+        hosts: opts.hosts,
+        buffers_per_host: opts.buffers,
+        join_threads: opts.threads,
+        transport: opts.transport,
+        ..RingConfig::paper(opts.hosts)
+    };
+    if let Some(nanos) = opts.handshake_timeout {
+        config = config.with_handshake_timeout(SimDuration::from_nanos(nanos));
+    }
+    if let Some(nanos) = opts.watchdog {
+        config = config.with_watchdog(SimDuration::from_nanos(nanos));
+    }
+    config
+}
+
+/// Runs `--tenants` / `--queries` mode: all tenants multiplexed over one
+/// ring, verified tenant-by-tenant against reference joins.
+fn run_multi_tenant(opts: &Options, config: RingConfig) {
+    let specs = match &opts.queries {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("error: could not read queries file {path}: {err}");
+                    std::process::exit(2);
+                }
+            };
+            match parse_queries_spec(&text) {
+                Ok(specs) => specs,
+                Err(message) => {
+                    eprintln!("error: {path}: {message}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            let predicate = match opts.band {
+                Some(delta) => JoinPredicate::band(delta),
+                None => JoinPredicate::Equi,
+            };
+            vec![
+                TenantQuery {
+                    rotating: opts.tuples,
+                    stationary: opts.tuples,
+                    predicate,
+                };
+                opts.tenants
+            ]
+        }
+    };
+
+    let gen = |tuples: usize, seed: u64| match opts.zipf {
+        Some(z) => GenSpec::zipf(tuples, z, seed).generate(),
+        None => GenSpec::uniform(tuples, seed).generate(),
+    };
+    let mut batch = MultiTenantJoin::new()
+        .ring(config)
+        .fragments_per_host(opts.fragments)
+        .max_active(opts.max_active);
+    let mut inputs = Vec::with_capacity(specs.len());
+    for (q, spec) in specs.iter().enumerate() {
+        let seed = opts.seed.wrapping_add(2 * q as u64);
+        let r = gen(spec.rotating, seed);
+        let s = gen(spec.stationary, seed.wrapping_add(1));
+        inputs.push((r.clone(), s.clone(), spec.predicate.clone()));
+        batch = batch.tenant(r, s, spec.predicate.clone());
+    }
+    if opts.measured {
+        batch = batch.compute(ComputeMode::Measured);
+    }
+
+    let report = match opts.backend {
+        Backend::Sim => batch.run(),
+        Backend::Threads => batch.run_threaded(),
+        Backend::Tcp => batch.run_tcp(),
+        Backend::Reactor => batch.run_reactor(),
+    };
+    let report = match report {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+    print!("{report}");
+    if opts.timeline {
+        print!("{}", render_timeline(&report.ring, 64));
+    }
+    if opts.verify {
+        for (tenant, (r, s, predicate)) in report.tenants.iter().zip(&inputs) {
+            let reference = reference_join(r, s, predicate);
+            if tenant.count != reference.count || tenant.checksum != reference.checksum {
+                eprintln!(
+                    "VERIFICATION FAILED: tenant {} got {} matches, reference has {}",
+                    tenant.tenant, tenant.count, reference.count
+                );
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "verified: all {} tenants equal their single-host reference joins",
+            report.tenants.len()
+        );
+    }
+}
+
 fn main() {
     let opts = match parse_args(std::env::args().skip(1)) {
         Ok(Some(opts)) => opts,
@@ -288,6 +470,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if opts.tenants > 0 || opts.queries.is_some() {
+        run_multi_tenant(&opts, ring_config(&opts));
+        return;
+    }
 
     let gen = |seed: u64| match opts.zipf {
         Some(z) => GenSpec::zipf(opts.tuples, z, seed).generate(),
@@ -319,19 +506,7 @@ fn main() {
         );
     }
 
-    let mut config = RingConfig {
-        hosts: opts.hosts,
-        buffers_per_host: opts.buffers,
-        join_threads: opts.threads,
-        transport: opts.transport,
-        ..RingConfig::paper(opts.hosts)
-    };
-    if let Some(nanos) = opts.handshake_timeout {
-        config = config.with_handshake_timeout(SimDuration::from_nanos(nanos));
-    }
-    if let Some(nanos) = opts.watchdog {
-        config = config.with_watchdog(SimDuration::from_nanos(nanos));
-    }
+    let config = ring_config(&opts);
     let mut plan = CycloJoin::new(r, s)
         .predicate(predicate)
         .ring(config)
@@ -550,6 +725,48 @@ mod tests {
             assert!(
                 parse_args(args.into_iter()).is_err(),
                 "{spec:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_tenant_flags_are_parsed() {
+        let opts = parse_ok(&["--tenants", "4", "--max-active", "3"]);
+        assert_eq!(opts.tenants, 4);
+        assert_eq!(opts.max_active, 3);
+        assert_eq!(opts.queries, None);
+        let opts = parse_ok(&["--queries", "plan.txt"]);
+        assert_eq!(opts.queries.as_deref(), Some("plan.txt"));
+        // Single-query mode stays the default.
+        let opts = parse_ok(&[]);
+        assert_eq!(opts.tenants, 0);
+        assert_eq!(opts.max_active, 2);
+    }
+
+    #[test]
+    fn queries_files_are_parsed() {
+        let specs =
+            parse_queries_spec("# two tenants\n5000 4000 equi\n\n3000 3000 band:2  # banded\n")
+                .expect("valid spec");
+        assert_eq!(specs.len(), 2);
+        assert_eq!((specs[0].rotating, specs[0].stationary), (5000, 4000));
+        assert!(matches!(specs[0].predicate, JoinPredicate::Equi));
+        assert_eq!((specs[1].rotating, specs[1].stationary), (3000, 3000));
+        assert!(matches!(
+            specs[1].predicate,
+            JoinPredicate::Band { delta: 2 }
+        ));
+        for bad in [
+            "",
+            "# only comments\n",
+            "5000 equi",
+            "5000 4000 theta",
+            "5000 4000 band:x",
+            "5000 4000 equi extra",
+        ] {
+            assert!(
+                parse_queries_spec(bad).is_err(),
+                "{bad:?} should be rejected"
             );
         }
     }

@@ -254,7 +254,7 @@ fn prepare_all(
 
 /// One-time registration cost of each host's ring-buffer pool (RDMA only:
 /// kernel TCP needs no pinned memory, §III-C).
-fn registration_cost(config: &RingConfig, element_bytes: u64) -> SimDuration {
+pub(crate) fn registration_cost(config: &RingConfig, element_bytes: u64) -> SimDuration {
     match config.transport {
         TransportModel::Rdma(rnic) => {
             RegisteredPool::new(config.buffers_per_host, element_bytes.max(1))

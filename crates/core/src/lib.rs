@@ -42,6 +42,8 @@
 //! * [`model`] — the analytic cost model and §V-E crossover analysis;
 //! * [`ternary`] / [`pipeline`] — multi-way joins via repeated revolutions;
 //! * [`concurrent`] — multiple queries sharing one rotation;
+//! * [`multiplex`] — independent tenants multiplexed on one ring with
+//!   per-query credits and admission control;
 //! * [`cyclotron`] — continuous rotation with ad-hoc query arrivals (the
 //!   full Data Cyclotron operational mode);
 //! * [`recovery`] — ring elasticity and failure absorption;
@@ -57,6 +59,7 @@ pub mod cyclotron;
 pub mod distribute;
 mod exec;
 pub mod model;
+pub mod multiplex;
 pub mod pipeline;
 pub mod plan;
 pub mod recovery;
@@ -74,6 +77,7 @@ pub use model::{
     advise, advise_from_data, crossover_ring_size, predict, predict_degraded, predict_rescale,
     Advice, PhasePrediction, Workload,
 };
+pub use multiplex::{MultiTenantJoin, MultiTenantReport, TenantReport};
 pub use pipeline::{JoinPipeline, PipelineReport};
 pub use plan::{CycloJoin, PlanError};
 pub use recovery::{absorb_host, rebalance, takeover, RecoveryError};

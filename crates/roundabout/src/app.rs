@@ -51,6 +51,24 @@ pub trait RingApp<P> {
         self.process(host, now, payload)
     }
 
+    /// Multi-tenant processing: like [`RingApp::process_roles`], but the
+    /// buffer belongs to in-flight query `query` of a multiplexed run. The
+    /// default ignores the query id and forwards to `process_roles`, which
+    /// is correct for apps whose per-buffer work does not depend on the
+    /// tenant. Apps that keep per-query state (e.g. separate result sets)
+    /// override this.
+    fn process_query(
+        &mut self,
+        host: HostId,
+        query: u32,
+        roles: &[usize],
+        now: SimTime,
+        payload: &P,
+    ) -> SimDuration {
+        let _ = query;
+        self.process_roles(host, roles, now, payload)
+    }
+
     /// Ring healing: `survivor` takes over the stationary partition of the
     /// logical role `failed` (rebuilding hash tables / sorted runs for the
     /// orphaned `S_i`). Returns the virtual duration of that takeover.

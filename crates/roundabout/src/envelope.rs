@@ -100,6 +100,10 @@ pub struct Envelope<P> {
     /// path, where ring healing makes hop counting insufficient; it is the
     /// exactly-once ledger that survives retransmissions and re-sends.
     pub visited: u64,
+    /// The in-flight query this fragment belongs to. `0` on single-query
+    /// rings; the multi-tenant coordinator assigns dense query ids and
+    /// keys its per-query credit partitions and ledgers on this field.
+    pub query: u32,
     /// The data.
     pub payload: P,
 }
@@ -120,6 +124,7 @@ impl<P: PayloadBytes> Envelope<P> {
             seq: 0,
             checksum,
             visited: 0,
+            query: 0,
             payload,
         }
     }

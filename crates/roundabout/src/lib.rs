@@ -67,7 +67,7 @@ pub use buffer::RegisteredPool;
 pub use config::{ConfigError, RingConfig};
 pub use envelope::{Envelope, FragmentId, PayloadBytes};
 pub use error::{FrameError, RingError};
-pub use metrics::{render_timeline, HostMetrics, RingMetrics};
+pub use metrics::{render_timeline, HostMetrics, QueryMetrics, RingMetrics};
 pub use reactor_backend::ReactorRingDriver;
 pub use sim_backend::{SimOutcome, SimRing};
 pub use tcp_backend::{Frame, FrameDecoder, TcpRingDriver, WirePayload};

@@ -50,6 +50,23 @@ impl HostMetrics {
     }
 }
 
+/// Per-query metrics of one multiplexed run. Single-query runs leave the
+/// list empty; multi-tenant runs report one entry per admitted query, in
+/// query-id order, so tenants can be billed and compared individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryMetrics {
+    /// Tenant that submitted this query.
+    pub tenant: u32,
+    /// Fragments of this query that completed a full revolution.
+    pub fragments_completed: usize,
+    /// Transfers of this query retransmitted after an ack timeout.
+    pub retransmits: u64,
+    /// Deliveries of this query rejected for a checksum mismatch.
+    pub checksum_mismatches: u64,
+    /// True once every fragment of the query retired.
+    pub completed: bool,
+}
+
 /// Metrics of a complete ring run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RingMetrics {
@@ -84,6 +101,9 @@ pub struct RingMetrics {
     /// crash-healing path. Timing-dependent: healthy schedules keep this
     /// zero, but it is *not* part of cross-backend parity.
     pub rescale_escalations: u64,
+    /// Per-query breakdown on multiplexed runs (empty on single-query
+    /// runs).
+    pub queries: Vec<QueryMetrics>,
 }
 
 impl RingMetrics {

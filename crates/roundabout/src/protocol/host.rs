@@ -67,6 +67,11 @@ pub struct HostProtocol<P> {
     processing: Option<Held<P>>,
     outgoing: VecDeque<Envelope<P>>,
     pool_used: usize,
+    /// Multi-tenant credit partitions: pool elements held per query.
+    /// Empty on single-query rings (tracking off); when enabled, the
+    /// per-query entries always sum to `pool_used` — the credit-partition
+    /// invariant the model checker verifies.
+    used_by_query: Vec<usize>,
     ready: bool,
     sending: bool,
     fragments_processed: usize,
@@ -84,6 +89,7 @@ impl<P: PayloadBytes> HostProtocol<P> {
             processing: None,
             outgoing: VecDeque::new(),
             pool_used: 0,
+            used_by_query: Vec::new(),
             ready: false,
             sending: false,
             fragments_processed: 0,
@@ -119,6 +125,9 @@ impl<P: PayloadBytes> HostProtocol<P> {
     pub fn deliver(&mut self, env: Envelope<P>, reserved: bool) {
         if !reserved {
             self.pool_used = (self.pool_used + 1).min(self.buffers);
+            if let Some(u) = self.used_by_query.get_mut(env.query as usize) {
+                *u += 1;
+            }
         }
         self.incoming.push_back(Held { env, pooled: true });
     }
@@ -132,6 +141,50 @@ impl<P: PayloadBytes> HostProtocol<P> {
         }
         self.pool_used += 1;
         true
+    }
+
+    /// Switches on multi-tenant credit partitioning for `queries`
+    /// concurrent queries (all counters start at zero).
+    pub fn enable_query_tracking(&mut self, queries: usize) {
+        self.used_by_query = vec![0; queries];
+    }
+
+    /// Multi-tenant credit check-and-take: reserves one pool element for
+    /// `query` if the pool has a free element *and* the query's credit
+    /// partition (`quota` elements wide) is not exhausted here.
+    pub fn reserve_slot_for(&mut self, query: u32, quota: usize) -> bool {
+        if !self.can_accept(query, quota) {
+            return false;
+        }
+        self.pool_used += 1;
+        if let Some(u) = self.used_by_query.get_mut(query as usize) {
+            *u += 1;
+        }
+        true
+    }
+
+    /// Could a `reserve_slot_for(query, quota)` succeed right now?
+    pub fn can_accept(&self, query: u32, quota: usize) -> bool {
+        self.pool_used < self.buffers
+            && self
+                .used_by_query
+                .get(query as usize)
+                .is_none_or(|&u| u < quota)
+    }
+
+    /// Multi-tenant release: returns one pool element held by `query`
+    /// without a join having run (pass-through, or settling a transfer
+    /// whose copy died with a corpse).
+    pub fn release_slot_for(&mut self, query: u32) {
+        self.pool_used = self.pool_used.saturating_sub(1);
+        if let Some(u) = self.used_by_query.get_mut(query as usize) {
+            *u = u.saturating_sub(1);
+        }
+    }
+
+    /// Per-query pool occupancy (empty unless query tracking is on).
+    pub fn used_by_query(&self) -> &[usize] {
+        &self.used_by_query
     }
 
     /// Is at least one buffer element free?
@@ -226,6 +279,9 @@ impl<P: PayloadBytes> HostProtocol<P> {
             // Saturating: a driver that delivers without reservation and
             // releases twice must not wrap the credit counter.
             self.pool_used = self.pool_used.saturating_sub(1);
+            if let Some(u) = self.used_by_query.get_mut(held.env.query as usize) {
+                *u = u.saturating_sub(1);
+            }
         }
         Some((held.env, held.pooled))
     }
@@ -254,6 +310,25 @@ impl<P: PayloadBytes> HostProtocol<P> {
     /// Next envelope to transmit, if the wire is free to take one.
     pub fn pop_outgoing(&mut self) -> Option<Envelope<P>> {
         self.outgoing.pop_front()
+    }
+
+    /// The distinct queries with envelopes in the transmitter queue, in
+    /// first-queued order (the fairness scheduler's candidate set).
+    pub fn outgoing_query_set(&self) -> Vec<u32> {
+        let mut qs = Vec::new();
+        for env in &self.outgoing {
+            if !qs.contains(&env.query) {
+                qs.push(env.query);
+            }
+        }
+        qs
+    }
+
+    /// Removes and returns the first queued envelope belonging to
+    /// `query` (the fairness scheduler picked it over the queue head).
+    pub fn pop_outgoing_query(&mut self, query: u32) -> Option<Envelope<P>> {
+        let idx = self.outgoing.iter().position(|e| e.query == query)?;
+        self.outgoing.remove(idx)
     }
 
     /// Anything queued for the transmitter?
@@ -303,6 +378,7 @@ impl<P: PayloadBytes> HostProtocol<P> {
         }
         lost.extend(self.outgoing.drain(..));
         self.pool_used = 0;
+        self.used_by_query.iter_mut().for_each(|u| *u = 0);
         self.sending = false;
         lost
     }

@@ -42,12 +42,14 @@ use simnet::topology::HostId;
 
 use crate::envelope::{Envelope, FragmentId, PayloadBytes};
 
+pub mod admission;
 mod host;
 mod link;
 mod membership;
 mod ring;
 pub mod snapshot;
 
+pub use admission::{QueryEntry, QueryLedger, QueryStatus};
 pub use host::{Held, HostProtocol, JoinTicket, Route};
 pub use link::{backoff_exponent, LinkReceiver, LinkSender, Receipt, TimeoutVerdict, BACKOFF_CAP};
 pub use membership::{rendezvous_owner, MembershipLedger};
@@ -217,7 +219,7 @@ pub enum Timer {
 /// Outputs are emitted in the exact order the driver must apply them;
 /// drivers map each onto their own transport/timer/cost mechanism and
 /// report the resulting observations back as [`Input`]s.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Output<P> {
     /// Begin the join computation for the envelope now at the head of
     /// `host`'s processing slot. The driver runs the application (via
@@ -391,6 +393,24 @@ pub enum Output<P> {
         /// The host whose join observed the finish.
         host: HostId,
     },
+    /// Multi-tenant mode: a pending query was admitted onto the ring —
+    /// its envelopes now circulate. Emitted at construction for the
+    /// initially admitted queries and whenever a completion frees an
+    /// active slot.
+    QueryAdmitted {
+        /// The admitted query.
+        query: u32,
+        /// The tenant that submitted it.
+        tenant: u32,
+    },
+    /// Multi-tenant mode: every fragment of `query` completed its
+    /// revolution.
+    QueryDone {
+        /// The completed query.
+        query: u32,
+        /// The tenant that submitted it.
+        tenant: u32,
+    },
     /// A fatal protocol invariant was violated; the driver must abort
     /// the run, surfacing `reason` (see [`teardown`]).
     Teardown {
@@ -465,6 +485,41 @@ pub fn envelope_batches<P: PayloadBytes>(
                     Envelope::new(id, HostId(h), ring_size, payload)
                 })
                 .collect()
+        })
+        .collect()
+}
+
+/// Numbers the fragments of many concurrent queries into ring envelopes:
+/// [`FragmentId`]s stay *globally* sequential across queries (so the
+/// exactly-once ledgers and the verify invariants keep one id space) and
+/// each envelope is stamped with its query id. `queries[q]` is
+/// `(tenant, fragments)` with `fragments[h]` host `h`'s local payloads.
+pub fn query_batches<P: PayloadBytes>(
+    queries: Vec<(u32, Vec<Vec<P>>)>,
+    ring_size: usize,
+) -> Vec<(u32, Vec<Vec<Envelope<P>>>)> {
+    let mut next_id = 0usize;
+    queries
+        .into_iter()
+        .enumerate()
+        .map(|(q, (tenant, fragments))| {
+            let batches = fragments
+                .into_iter()
+                .enumerate()
+                .map(|(h, locals)| {
+                    locals
+                        .into_iter()
+                        .map(|payload| {
+                            let id = FragmentId(next_id);
+                            next_id += 1;
+                            let mut env = Envelope::new(id, HostId(h), ring_size, payload);
+                            env.query = q as u32;
+                            env
+                        })
+                        .collect()
+                })
+                .collect();
+            (tenant, batches)
         })
         .collect()
 }

@@ -19,11 +19,13 @@ use simnet::topology::HostId;
 
 use crate::envelope::{Envelope, PayloadBytes};
 
+use super::admission::{QueryLedger, QueryStatus};
 use super::host::{HostProtocol, Route};
 use super::link::{backoff_exponent, on_timeout, TimeoutVerdict, BACKOFF_CAP};
 use super::membership::{rendezvous_owner, MembershipLedger};
 use super::snapshot::{
-    EnvSnap, FaultSnap, HeldSnap, HostSnap, InFlightSnap, MembershipSnap, StateSnapshot,
+    EnvSnap, FaultSnap, HeldSnap, HostSnap, InFlightSnap, MembershipSnap, QueriesSnap,
+    StateSnapshot,
 };
 use super::{teardown, Input, Output, ProtocolConfig, Timer};
 
@@ -212,6 +214,13 @@ pub struct RingProtocol<P> {
     fragments_completed: usize,
     stopped: bool,
     fault: Option<FaultLedger<P>>,
+    /// Multi-tenant mode: the per-query admission/credit/counter ledger.
+    /// `None` on single-query rings, which stay byte-identical to the
+    /// pre-multiplexing protocol.
+    queries: Option<QueryLedger<P>>,
+    /// Outputs produced before the first input (construction-time query
+    /// admissions); drained into the next `input` call's result.
+    startup: Vec<Output<P>>,
 }
 
 impl<P: PayloadBytes + Clone> RingProtocol<P> {
@@ -274,13 +283,86 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             fault: cfg
                 .reliable
                 .then(|| FaultLedger::new(cfg.hosts, cfg.standby)),
+            queries: None,
+            startup: Vec::new(),
+        }
+    }
+
+    /// Builds a *multiplexed* ring serving several concurrent queries.
+    /// `queries[q]` is `(tenant, batches)` with the envelopes pre-numbered
+    /// and query-stamped by [`super::query_batches`]. At most `max_active`
+    /// queries circulate at once; the rest wait in the tenant-fair
+    /// admission queue and enter as active queries complete. Each active
+    /// query is confined to a credit partition of the per-host buffer
+    /// pools; healing, membership and the fault dice stay ring-global.
+    ///
+    /// The initial [`Output::QueryAdmitted`]s are emitted with the result
+    /// of the first [`RingProtocol::input`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the configuration is reliable and non-continuous,
+    /// or when a query's batch list does not name every host.
+    // analyze: allow(panic, reason = "construction-time shape checks; every later host id indexes tables sized here")
+    pub fn new_multi(
+        cfg: ProtocolConfig,
+        queries: Vec<(u32, Vec<Vec<Envelope<P>>>)>,
+        max_active: usize,
+    ) -> Self {
+        assert!(
+            cfg.reliable,
+            "multi-tenant rings ride on the reliable transport"
+        );
+        assert!(
+            !cfg.continuous,
+            "continuous rotation and query multiplexing are exclusive"
+        );
+        assert!(cfg.hosts <= 64, "role bitmask supports at most 64 hosts");
+        for (_, batches) in &queries {
+            assert_eq!(
+                batches.len(),
+                cfg.hosts,
+                "need one envelope list per host per query"
+            );
+        }
+        let fragments_total = queries
+            .iter()
+            .map(|(_, b)| b.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        let n_queries = queries.len();
+        let mut hosts: Vec<HostProtocol<P>> = (0..cfg.hosts)
+            .map(|h| {
+                let mut host = HostProtocol::new(HostId(h), cfg.hosts, cfg.buffers_per_host);
+                host.enable_query_tracking(n_queries);
+                host
+            })
+            .collect();
+        let mut ledger = QueryLedger::new(queries, cfg.hosts, cfg.buffers_per_host, max_active);
+        let mut startup = Vec::new();
+        while let Some((query, tenant, batches)) = ledger.admit_next() {
+            startup.push(Output::QueryAdmitted { query, tenant });
+            for (h, envs) in batches.into_iter().enumerate() {
+                for env in envs {
+                    hosts[h].inject_local(env);
+                }
+            }
+        }
+        RingProtocol {
+            cfg,
+            hosts,
+            fragments_total,
+            fragments_completed: 0,
+            stopped: false,
+            fault: Some(FaultLedger::new(cfg.hosts, cfg.standby)),
+            queries: Some(ledger),
+            startup,
         }
     }
 
     /// Feeds one observation and returns the actions the driver must
     /// apply, in order.
     pub fn input(&mut self, input: Input<P>) -> Vec<Output<P>> {
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.startup);
         match self.fault.take() {
             Some(mut f) => {
                 self.input_fault(&mut f, input, &mut out);
@@ -327,6 +409,40 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
     /// Continuous mode: has the application declared itself finished?
     pub fn is_stopped(&self) -> bool {
         self.stopped
+    }
+
+    /// Multi-tenant mode: the per-query ledger (admission state, credit
+    /// quota, per-query counters). `None` on single-query rings.
+    pub fn query_ledger(&self) -> Option<&QueryLedger<P>> {
+        self.queries.as_ref()
+    }
+
+    /// Per-query metrics of a multiplexed run, in query-id order (empty
+    /// on single-query rings). Every backend's `into_result` calls this so
+    /// the per-tenant breakdown is assembled exactly one way.
+    pub fn query_metrics(&self) -> Vec<crate::metrics::QueryMetrics> {
+        let Some(q) = self.queries.as_ref() else {
+            return Vec::new();
+        };
+        (0..q.len() as u32)
+            .filter_map(|id| q.entry(id))
+            .map(|e| crate::metrics::QueryMetrics {
+                tenant: e.tenant,
+                fragments_completed: e.completed,
+                retransmits: e.retransmits,
+                checksum_mismatches: e.checksum_mismatches,
+                completed: e.status == super::admission::QueryStatus::Done,
+            })
+            .collect()
+    }
+
+    /// The query whose envelope `host` is currently joining (0 on
+    /// single-query rings).
+    // analyze: allow(panic, reason = "host ids index the per-ring table sized at construction")
+    pub fn processing_query(&self, host: HostId) -> u32 {
+        self.hosts[host.0]
+            .processing_env()
+            .map_or(0, |env| env.query)
     }
 
     /// Ground truth: has the driver reported `host` dead?
@@ -440,6 +556,7 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                     ready: h.is_ready(),
                     sending: h.is_sending(),
                     pool_used: h.pool_used(),
+                    used_by_query: h.used_by_query().to_vec(),
                     incoming: h.incoming_held().map(held_snap).collect(),
                     processing: h.processing_held().map(held_snap),
                     outgoing: h.outgoing_queue().map(env_snap).collect(),
@@ -447,6 +564,21 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                 .collect(),
             fragments_completed: self.fragments_completed,
             stopped: self.stopped,
+            queries: self.queries.as_ref().map(|q| QueriesSnap {
+                status: (0..q.len())
+                    .map(|i| match q.entry(i as u32).map(|e| e.status) {
+                        Some(QueryStatus::Pending) | None => 0,
+                        Some(QueryStatus::Active) => 1,
+                        Some(QueryStatus::Done) => 2,
+                    })
+                    .collect(),
+                completed: (0..q.len())
+                    .map(|i| q.entry(i as u32).map_or(0, |e| e.completed))
+                    .collect(),
+                quota: q.quota(),
+                admit_cursor: q.admit_cursor(),
+                send_cursor: q.send_cursors().to_vec(),
+            }),
             fault: self.fault.as_ref().map(|f| {
                 let mut accepted: Vec<u64> = f.accepted.iter().copied().collect();
                 accepted.sort_unstable();
@@ -774,6 +906,9 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
         }
         if !env.checksum_ok() {
             f.checksum_mismatches[to.0] += 1;
+            if let Some(q) = self.queries.as_mut() {
+                q.count_checksum_mismatch(env.query);
+            }
             out.push(Output::ChecksumMismatch {
                 host: to,
                 id: env.id,
@@ -871,7 +1006,11 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             TimeoutVerdict::Retry { .. } => {
                 let entry = f.in_flight.get_mut(&tid).expect("looked up above");
                 entry.attempts += 1;
+                let query = entry.env.query;
                 f.retransmits[from.0] += 1;
+                if let Some(q) = self.queries.as_mut() {
+                    q.count_retransmit(query);
+                }
                 self.transmit_attempt(f, tid, out);
             }
         }
@@ -893,12 +1032,24 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             f.probing[from.0] = None;
             return;
         }
+        // Multi-tenant: "the pool is full" widens to "no queued query can
+        // reserve a slot" — a partition-exhausted sender must keep probing
+        // so a corpse behind an exhausted quota is still detected.
+        let pool_blocked = match self.queries.as_ref() {
+            Some(q) => {
+                let queued = self.hosts[from.0].outgoing_query_set();
+                !queued
+                    .iter()
+                    .any(|&qid| self.hosts[to.0].can_accept(qid, q.quota()))
+            }
+            None => !self.hosts[to.0].has_free_slot(),
+        };
         let blocked = self.hosts[from.0].has_outgoing()
             && !self.hosts[from.0].is_sending()
             && f.awaiting[from.0].is_none()
             && !f.confirmed_dead[to.0]
             && f.next_alive(from) == to
-            && !self.hosts[to.0].has_free_slot();
+            && pool_blocked;
         if !blocked {
             f.probing[from.0] = None;
             self.try_send_fault(f, from, out);
@@ -1156,7 +1307,7 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                 // Every partition this host serves already joined this
                 // fragment (healed-route pass-through): forward unjoined.
                 if held.pooled {
-                    self.hosts[host.0].release_slot();
+                    self.hosts[host.0].release_slot_for(held.env.query);
                     let prev = f.prev_alive(host);
                     self.try_send_fault(f, prev, out);
                 }
@@ -1232,10 +1383,52 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                 salvaged: false,
             });
             self.fragments_completed += 1;
+            self.note_fragment_done(f, env.query, out);
             return;
         }
         self.hosts[host.0].queue_outgoing(env);
         self.try_send_fault(f, host, out);
+    }
+
+    /// Multi-tenant completion bookkeeping after a retire: counts the
+    /// fragment against its query, emits [`Output::QueryDone`] when the
+    /// query's last fragment retired, and admits pending queries into the
+    /// freed active slots (injecting their envelopes at each origin — or,
+    /// when an origin has died or departed, the nearest routable host
+    /// after it, mirroring `resend_from_origin`).
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the multiplexed path is exercised by the multi-tenant proptest and chaos suites")
+    fn note_fragment_done(&mut self, f: &mut FaultLedger<P>, query: u32, out: &mut Vec<Output<P>>) {
+        let mut admissions = Vec::new();
+        {
+            let Some(q) = self.queries.as_mut() else {
+                return;
+            };
+            if !q.note_completed(query) {
+                return;
+            }
+            let tenant = q.entry(query).map_or(0, |e| e.tenant);
+            out.push(Output::QueryDone { query, tenant });
+            while let Some(admitted) = q.admit_next() {
+                admissions.push(admitted);
+            }
+        }
+        for (query, tenant, batches) in admissions {
+            out.push(Output::QueryAdmitted { query, tenant });
+            for (h, envs) in batches.into_iter().enumerate() {
+                for env in envs {
+                    match f.inject_target(HostId(h)) {
+                        Some(target) => self.hosts[target.0].inject_local(env),
+                        None => {
+                            out.push(Output::Teardown {
+                                reason: teardown::NO_RESEND_SURVIVOR,
+                            });
+                            return;
+                        }
+                    }
+                }
+            }
+            self.kick_ring(f, out);
+        }
     }
 
     /// Reliable transmit: stop-and-wait per sender with the successor
@@ -1263,35 +1456,51 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             self.try_start_join_fault(f, host, out);
             return;
         }
-        if !self.hosts[next.0].has_free_slot() {
-            // Blocked on the successor's receive pool. Probe it so a
-            // corpse with a full pool is still detected (no data, no ack
-            // timeout).
-            if f.probing[host.0].is_none() {
-                f.probing[host.0] = Some((next, 1));
-                out.push(Output::ArmTimer {
-                    timer: Timer::Probe {
-                        from: host,
-                        to: next,
-                        attempt: 1,
-                    },
-                    backoff_exp: 0,
-                });
+        let mut env = if self.queries.is_some() {
+            match self.pick_outgoing_multi(f, host, next, out) {
+                Some(env) => env,
+                None => return,
             }
-            return;
-        }
-        f.probing[host.0] = None;
-        let mut env = match self.hosts[host.0].pop_outgoing() {
-            Some(env) => env,
-            None => return,
+        } else {
+            if !self.hosts[next.0].has_free_slot() {
+                // Blocked on the successor's receive pool. Probe it so a
+                // corpse with a full pool is still detected (no data, no
+                // ack timeout).
+                if f.probing[host.0].is_none() {
+                    f.probing[host.0] = Some((next, 1));
+                    out.push(Output::ArmTimer {
+                        timer: Timer::Probe {
+                            from: host,
+                            to: next,
+                            attempt: 1,
+                        },
+                        backoff_exp: 0,
+                    });
+                }
+                return;
+            }
+            f.probing[host.0] = None;
+            let env = match self.hosts[host.0].pop_outgoing() {
+                Some(env) => env,
+                None => return,
+            };
+            self.hosts[next.0].reserve_slot();
+            env
         };
-        self.hosts[next.0].reserve_slot();
         let tid = f.next_tid;
         f.next_tid += 1;
         // Per-sender wire sequence: the same numbering the live backend's
-        // LinkSender stamps, so fault dice agree across backends.
-        f.wire_seq[host.0] += 1;
-        env.seq = f.wire_seq[host.0];
+        // LinkSender stamps, so fault dice agree across backends. In
+        // multi-tenant mode the sequence space is per-(sender, query) —
+        // query id in the high bits — so each query's dice are private
+        // and independent of cross-query interleaving.
+        env.seq = match self.queries.as_mut() {
+            Some(q) => q.next_seq(host.0, env.query),
+            None => {
+                f.wire_seq[host.0] += 1;
+                f.wire_seq[host.0]
+            }
+        };
         f.awaiting[host.0] = Some(tid);
         f.in_flight.insert(
             tid,
@@ -1304,6 +1513,49 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
             },
         );
         self.transmit_attempt(f, tid, out);
+    }
+
+    /// Multi-tenant transmit selection: rotates the host's fairness
+    /// cursor over the queries with queued envelopes, picks the first
+    /// whose credit partition at `next` can take a slot (reserving it),
+    /// and charges a deficit tick to every eligible query passed over.
+    /// Arms the flow-control probe when *every* queued query is blocked.
+    // analyze: allow(panic, reason = "host ids index per-ring tables sized at construction; the multiplexed path is exercised by the multi-tenant proptest and chaos suites")
+    fn pick_outgoing_multi(
+        &mut self,
+        f: &mut FaultLedger<P>,
+        host: HostId,
+        next: HostId,
+        out: &mut Vec<Output<P>>,
+    ) -> Option<Envelope<P>> {
+        let queued = self.hosts[host.0].outgoing_query_set();
+        let q = self.queries.as_mut()?;
+        let chosen = q
+            .send_order(host.0, &queued)
+            .into_iter()
+            .find(|&qid| self.hosts[next.0].can_accept(qid, q.quota()));
+        let Some(qid) = chosen else {
+            // Every queued query is blocked on the successor (pool full
+            // or partition exhausted): probe so a corpse behind a full
+            // pool is still detected.
+            if !queued.is_empty() && f.probing[host.0].is_none() {
+                f.probing[host.0] = Some((next, 1));
+                out.push(Output::ArmTimer {
+                    timer: Timer::Probe {
+                        from: host,
+                        to: next,
+                        attempt: 1,
+                    },
+                    backoff_exp: 0,
+                });
+            }
+            return None;
+        };
+        f.probing[host.0] = None;
+        q.note_served(host.0, qid, &queued);
+        let quota = q.quota();
+        self.hosts[next.0].reserve_slot_for(qid, quota);
+        self.hosts[host.0].pop_outgoing_query(qid)
     }
 
     /// Emits one attempt of transfer `tid`; the driver rolls the fault
@@ -1421,7 +1673,7 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                     // copy reserves its own) and revive the fragment from
                     // the origin below. Any late wire copy of this tid
                     // must die at delivery.
-                    self.hosts[entry.to.0].release_slot();
+                    self.hosts[entry.to.0].release_slot_for(entry.env.query);
                     f.requeued.insert(tid);
                     lost.push(entry.env);
                 }
@@ -1460,6 +1712,7 @@ impl<P: PayloadBytes + Clone> RingProtocol<P> {
                 salvaged: true,
             });
             self.fragments_completed += 1;
+            self.note_fragment_done(f, env.query, out);
             return;
         }
         let Some(target) = f.inject_target(env.origin) else {

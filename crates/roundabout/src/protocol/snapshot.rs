@@ -61,6 +61,9 @@ pub struct HostSnap {
     pub sending: bool,
     /// Occupied buffer-pool elements.
     pub pool_used: usize,
+    /// Multi-tenant credit partitions: pool elements held per query
+    /// (empty on single-query rings).
+    pub used_by_query: Vec<usize>,
     /// Incoming pool queue, front to back.
     pub incoming: Vec<HeldSnap>,
     /// The processing slot.
@@ -136,6 +139,23 @@ pub struct FaultSnap {
     pub probing: Vec<Option<(usize, u32)>>,
 }
 
+/// Multi-tenant admission state (behavior-determining slice only: the
+/// deficit watermark and per-query fault counters are pure metrics and
+/// stay out of the fingerprint).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueriesSnap {
+    /// Per-query lifecycle: 0 = pending, 1 = active, 2 = done.
+    pub status: Vec<u8>,
+    /// Per-query completed-fragment counts.
+    pub completed: Vec<usize>,
+    /// The credit-partition width (constant per run).
+    pub quota: usize,
+    /// Tenant-fair admission cursor.
+    pub admit_cursor: usize,
+    /// Per-host transmit fairness cursors.
+    pub send_cursor: Vec<usize>,
+}
+
 /// The full protocol fingerprint.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StateSnapshot {
@@ -145,6 +165,8 @@ pub struct StateSnapshot {
     pub fragments_completed: usize,
     /// Continuous mode: application finished?
     pub stopped: bool,
+    /// Multi-tenant admission state (`None` on single-query rings).
+    pub queries: Option<QueriesSnap>,
     /// Reliable-mode ledger (`None` on the classic path).
     pub fault: Option<FaultSnap>,
 }
@@ -199,6 +221,7 @@ impl StateSnapshot {
                 ready: h.ready,
                 sending: h.sending,
                 pool_used: h.pool_used,
+                used_by_query: h.used_by_query.clone(),
                 incoming: h
                     .incoming
                     .iter()
@@ -272,6 +295,11 @@ impl StateSnapshot {
             hosts,
             fragments_completed: self.fragments_completed,
             stopped: self.stopped,
+            // Rotation symmetry is only sound on single-query symmetric
+            // configurations; multi-tenant admission state (keyed on
+            // per-host cursors) passes through unrotated, and the checker
+            // disables symmetry for multi-query configs.
+            queries: self.queries.clone(),
             fault,
         }
     }

@@ -65,11 +65,11 @@ use crate::envelope::{Envelope, FragmentId};
 use crate::error::{FrameError, RingError};
 use crate::metrics::{HostMetrics, RingMetrics};
 use crate::protocol::{
-    envelope_batches, teardown, Input, Output, ProtocolConfig, RingProtocol, Timer,
+    envelope_batches, query_batches, teardown, Input, Output, ProtocolConfig, RingProtocol, Timer,
 };
 use crate::tcp_backend::{
     build_mesh_pairs, encode_ack_into, encode_envelope_into, socket_err, Frame, FrameBufPool,
-    FrameDecoder, WirePayload,
+    FrameDecoder, MeshWorkload, WirePayload,
 };
 use crate::thread_backend::{finish_spans, run_single_host, ErrorCollector, SharedSpans};
 use crate::wheel::{TimerId, TimerWheel};
@@ -580,6 +580,9 @@ impl Conn {
 enum WorkerJob<P> {
     Join {
         payload: P,
+        /// Which multiplexed query the fragment belongs to (0 on
+        /// single-query runs).
+        query: u32,
         roles: Option<Vec<usize>>,
         id: FragmentId,
         hop: usize,
@@ -756,7 +759,7 @@ impl<P> WorkerPool<P> {
 fn worker_thread<P, F, A>(pool: &WorkerPool<P>, visit: &F, absorb: &A)
 where
     P: WirePayload,
-    F: Fn(HostId, &[usize], &P) + Sync,
+    F: Fn(HostId, u32, &[usize], &P) + Sync,
     A: Fn(HostId, usize) + Sync,
 {
     while let Some((host, job)) = pool.next_job() {
@@ -764,6 +767,7 @@ where
         let event = match job {
             WorkerJob::Join {
                 payload,
+                query,
                 roles,
                 id,
                 hop,
@@ -773,8 +777,8 @@ where
                 // Guard the user callback: a panic inside it must become
                 // a typed teardown error, not a dead pool thread.
                 let outcome = catch_unwind(AssertUnwindSafe(|| match &roles {
-                    Some(rs) => visit(at, rs, &payload),
-                    None => visit(at, &own, &payload),
+                    Some(rs) => visit(at, query, rs, &payload),
+                    None => visit(at, query, &own, &payload),
                 }));
                 WorkerEvent::JoinDone {
                     host: at,
@@ -1202,6 +1206,7 @@ impl<P: WirePayload + Clone> Reactor<'_, P> {
                         host.0,
                         WorkerJob::Join {
                             payload,
+                            query: self.proto.processing_query(host),
                             roles,
                             id,
                             hop,
@@ -1369,6 +1374,30 @@ impl<P: WirePayload + Clone> Reactor<'_, P> {
                     }
                 }
                 Output::Finished { .. } => {}
+                Output::QueryAdmitted { query, tenant } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            None,
+                            Track::Control,
+                            format!("query {query} admitted (tenant {tenant})"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::QUERIES_ADMITTED, 1);
+                    }
+                }
+                Output::QueryDone { query, tenant } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            None,
+                            Track::Control,
+                            format!("query {query} done (tenant {tenant})"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::QUERIES_COMPLETED, 1);
+                    }
+                }
                 Output::Teardown { reason } => self.fail(RingError::Teardown(reason)),
             }
         }
@@ -1469,6 +1498,7 @@ impl<P: WirePayload + Clone> Reactor<'_, P> {
             rescale_drains: self.proto.rescale_drains(),
             rescale_handoffs: self.proto.rescale_handoffs(),
             rescale_escalations: self.proto.rescale_escalations(),
+            queries: self.proto.query_metrics(),
         };
         let mut tracer = self.tracer;
         if tracer.is_enabled() {
@@ -1500,22 +1530,27 @@ fn run_reactor_mesh<P, F, A>(
     plan: Option<&FaultPlan>,
     rescale: Option<&RescalePlan>,
     trace: bool,
-    envelopes: Vec<Vec<Envelope<P>>>,
+    workload: MeshWorkload<P>,
     visit: &F,
     absorb: &A,
 ) -> Result<(RingMetrics, SpanTracer), RingError>
 where
     P: WirePayload + Send + Clone,
-    F: Fn(HostId, &[usize], &P) + Sync,
+    F: Fn(HostId, u32, &[usize], &P) + Sync,
     A: Fn(HostId, usize) + Sync,
 {
     let n = config.hosts;
-    // Rescale rides the reliable transport: without explicit adversity the
-    // medium still needs (quiet) dice and the acked hop protocol.
+    // Rescale and multiplexing ride the reliable transport: without
+    // explicit adversity the medium still needs (quiet) dice and the
+    // acked hop protocol.
     let quiet_dice;
     let plan = match (plan, rescale) {
         (None, Some(r)) => {
             quiet_dice = FaultPlan::seeded(r.seed());
+            Some(&quiet_dice)
+        }
+        (None, None) if matches!(workload, MeshWorkload::Multi { .. }) => {
+            quiet_dice = FaultPlan::seeded(0);
             Some(&quiet_dice)
         }
         (p, _) => p,
@@ -1571,7 +1606,13 @@ where
         reliable: plan.is_some(),
         standby: rescale.map_or(0, |p| p.standby_mask()),
     };
-    let proto = RingProtocol::new(proto_cfg, envelopes);
+    let proto = match workload {
+        MeshWorkload::Single(envelopes) => RingProtocol::new(proto_cfg, envelopes),
+        MeshWorkload::Multi {
+            queries,
+            max_active,
+        } => RingProtocol::new_multi(proto_cfg, queries, max_active),
+    };
     let total = proto.fragments_total();
 
     let workers = WorkerPool::<P>::new(n, wake_tx);
@@ -1931,7 +1972,93 @@ impl<'a> ReactorRingDriver<'a> {
             self.fault_plan,
             self.rescale_plan,
             self.trace,
-            envelopes,
+            MeshWorkload::Single(envelopes),
+            &|host, _query: u32, roles: &[usize], payload: &P| visit(host, roles, payload),
+            &absorb,
+        )
+    }
+
+    /// Run several concurrent queries over one shared reactor ring, at
+    /// most `max_active` admitted at a time. `visit(host, query, roles,
+    /// payload)` joins one fragment of `query` against the named
+    /// stationary roles; `absorb(survivor, role)` rebuilds a dead host's
+    /// state (for every query) when the ring heals. Always rides the
+    /// reliable transport — quiet dice are synthesized when no fault plan
+    /// is set.
+    pub fn run_queries<P, F, A>(
+        self,
+        queries: Vec<(u32, Vec<Vec<P>>)>,
+        max_active: usize,
+        visit: F,
+        absorb: A,
+    ) -> Result<(RingMetrics, SpanTracer), RingError>
+    where
+        P: WirePayload + Send + Clone,
+        F: Fn(HostId, u32, &[usize], &P) + Sync,
+        A: Fn(HostId, usize) + Sync,
+    {
+        self.config.validate()?;
+        let n = self.config.hosts;
+        if n < 2 {
+            return Err(RingError::UnsupportedFault(
+                "multiplexing needs a ring of at least two hosts",
+            ));
+        }
+        if n > 64 {
+            return Err(RingError::UnsupportedFault(
+                "the exactly-once role bitmask supports at most 64 hosts",
+            ));
+        }
+        if queries.is_empty() || max_active == 0 {
+            return Err(RingError::UnsupportedFault(
+                "a multi-tenant run needs at least one query and a positive admission bound",
+            ));
+        }
+        for (_, fragments) in &queries {
+            if fragments.len() != n {
+                return Err(RingError::Shape {
+                    expected: n,
+                    got: fragments.len(),
+                });
+            }
+        }
+        let in_ring = |h: HostId| h.0 < n;
+        if let Some(plan) = self.fault_plan {
+            if !plan.crashes().iter().all(|c| in_ring(c.host))
+                || !plan.pauses().iter().all(|p| in_ring(p.host))
+            {
+                return Err(RingError::UnsupportedFault(
+                    "fault plan names a host outside the ring",
+                ));
+            }
+        }
+        if let Some(plan) = self.rescale_plan {
+            if !plan.joins().iter().all(|j| in_ring(j.host))
+                || !plan.drains().iter().all(|d| in_ring(d.host))
+            {
+                return Err(RingError::UnsupportedFault(
+                    "rescale plan names a host outside the ring",
+                ));
+            }
+            if plan.joins().iter().any(|j| {
+                queries
+                    .iter()
+                    .any(|(_, f)| f.get(j.host.0).is_some_and(|b| !b.is_empty()))
+            }) {
+                return Err(RingError::UnsupportedFault(
+                    "a standby host must not contribute fragments before joining",
+                ));
+            }
+        }
+        run_reactor_mesh(
+            self.config,
+            self.fault_plan,
+            self.rescale_plan,
+            self.trace,
+            MeshWorkload::Multi {
+                queries: query_batches(queries, n),
+                max_active,
+            },
             &visit,
             &absorb,
         )
@@ -2225,5 +2352,69 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert!(matches!(done.first(), Some((_, Some(h))) if *h == HostId(2)));
         drop(rx);
+    }
+
+    #[test]
+    fn multiplexed_queries_complete_on_the_reactor() {
+        let hosts = 3;
+        let queries = 3;
+        let cfg = RingConfig::paper(hosts)
+            .with_ack_timeout(SimDuration::from_millis(50))
+            .with_max_retransmits(6);
+        let tenants: Vec<(u32, Vec<Vec<Vec<u8>>>)> = (0..queries)
+            .map(|q| (q as u32, payloads(hosts, 2, 64)))
+            .collect();
+        let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
+        let (metrics, spans) = ReactorRingDriver::new(&cfg)
+            .with_tracer(true)
+            .run_queries(
+                tenants,
+                2,
+                |h, _query, _roles: &[usize], _: &Vec<u8>| {
+                    counts[h.0].fetch_add(1, Ordering::SeqCst);
+                },
+                |_, _| {},
+            )
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, queries * hosts * 2);
+        assert_eq!(metrics.queries.len(), queries);
+        for (q, m) in metrics.queries.iter().enumerate() {
+            assert_eq!(m.tenant, q as u32);
+            assert!(m.completed, "query {q}: {m:?}");
+            assert_eq!(m.fragments_completed, hosts * 2);
+        }
+        for c in &counts {
+            assert_eq!(c.load(Ordering::SeqCst), queries * hosts * 2);
+        }
+        let counters = spans.counters();
+        assert_eq!(counters.get(counter::QUERIES_ADMITTED), queries as u64);
+        assert_eq!(counters.get(counter::QUERIES_COMPLETED), queries as u64);
+    }
+
+    #[test]
+    fn multiplexed_queries_survive_reactor_faults() {
+        let hosts = 3;
+        let queries = 4;
+        let mut plan = FaultPlan::seeded(23);
+        for h in 0..hosts {
+            plan = plan.lossy_link(HostId(h), 0.08);
+        }
+        let cfg = RingConfig::paper(hosts)
+            .with_ack_timeout(SimDuration::from_millis(40))
+            .with_max_retransmits(8);
+        let tenants: Vec<(u32, Vec<Vec<Vec<u8>>>)> = (0..queries)
+            .map(|q| (q as u32, payloads(hosts, 2, 48)))
+            .collect();
+        let (metrics, _) = ReactorRingDriver::new(&cfg)
+            .with_fault_plan(&plan)
+            .run_queries(
+                tenants,
+                queries,
+                |_, _, _: &[usize], _: &Vec<u8>| {},
+                |_, _| {},
+            )
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, queries * hosts * 2);
+        assert!(metrics.queries.iter().all(|m| m.completed));
     }
 }

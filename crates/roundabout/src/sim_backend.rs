@@ -41,7 +41,9 @@ use crate::app::RingApp;
 use crate::config::RingConfig;
 use crate::envelope::{Envelope, PayloadBytes};
 use crate::metrics::{HostMetrics, RingMetrics};
-use crate::protocol::{envelope_batches, Input, Output, ProtocolConfig, RingProtocol, Timer};
+use crate::protocol::{
+    envelope_batches, query_batches, Input, Output, ProtocolConfig, RingProtocol, Timer,
+};
 
 /// Safety valve: no legitimate run needs more events than this per fragment
 /// and host.
@@ -162,10 +164,17 @@ enum RingEvent<P> {
     },
 }
 
+/// Multi-tenant submission list: `(tenant, per-host fragment lists)`
+/// per query, in query-id order.
+pub type QuerySpecs<P> = Vec<(u32, Vec<Vec<P>>)>;
+
 /// A configured, ready-to-run simulated ring.
 pub struct SimRing<P, A> {
     config: RingConfig,
     fragments: Vec<Vec<P>>,
+    /// Multi-tenant mode: the submitted queries plus the admission
+    /// bound. `fragments` stays empty in this mode.
+    queries: Option<(QuerySpecs<P>, usize)>,
     app: A,
     trace: bool,
     continuous: bool,
@@ -195,6 +204,52 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> SimRing<P, A> {
         SimRing {
             config,
             fragments,
+            queries: None,
+            app,
+            trace: false,
+            continuous: false,
+            host_speed: None,
+            fault_plan: None,
+            rescale_plan: None,
+        }
+    }
+
+    /// Prepares a *multi-tenant* run: several queries multiplexed over one
+    /// ring. `queries[q]` is `(tenant, fragments)` where `fragments[h]`
+    /// are the local fragments host `h` contributes to query `q`; at most
+    /// `max_active` queries circulate concurrently, the rest wait in the
+    /// admission queue. Multi-tenant rotation always runs the reliable
+    /// transport (a quiet fault plan is synthesized when none is
+    /// attached), so per-query exactly-once delivery holds even when no
+    /// adversity is scheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, any query's fragment list
+    /// count differs from the host count, `queries` is empty or
+    /// `max_active` is zero (checks shared with [`RingProtocol::new_multi`]).
+    // analyze: allow(panic, reason = "construction-time shape checks, mirroring SimRing::new")
+    pub fn new_queries(
+        config: RingConfig,
+        queries: QuerySpecs<P>,
+        max_active: usize,
+        app: A,
+    ) -> Self {
+        config.validate().expect("invalid ring configuration");
+        assert!(!queries.is_empty(), "a multi-tenant ring needs queries");
+        for (q, (_, fragments)) in queries.iter().enumerate() {
+            assert_eq!(
+                fragments.len(),
+                config.hosts,
+                "query {q} needs one fragment list per host ({} hosts, {} lists)",
+                config.hosts,
+                fragments.len()
+            );
+        }
+        SimRing {
+            config,
+            fragments: Vec::new(),
+            queries: Some((queries, max_active)),
             app,
             trace: false,
             continuous: false,
@@ -400,15 +455,26 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
         };
         // Rescale rides the reliable transport: without explicit adversity
         // the medium still needs (quiet) dice and the acked hop protocol.
-        let fault_plan = ring.fault_plan.or_else(|| {
-            ring.rescale_plan
-                .as_ref()
-                .map(|p| FaultPlan::seeded(p.seed()))
-        });
+        let fault_plan = ring
+            .fault_plan
+            .or_else(|| {
+                ring.rescale_plan
+                    .as_ref()
+                    .map(|p| FaultPlan::seeded(p.seed()))
+            })
+            // Multi-tenant rotation rides the reliable transport even
+            // without scheduled adversity: the per-query exactly-once
+            // ledger needs the acked hop protocol.
+            .or_else(|| ring.queries.as_ref().map(|_| FaultPlan::seeded(0)));
         let network = RingNetwork::new(n, effective_link(&ring.config));
         let max_fragment_bytes = ring
             .fragments
             .iter()
+            .chain(
+                ring.queries
+                    .iter()
+                    .flat_map(|(qs, _)| qs.iter().flat_map(|(_, fragments)| fragments.iter())),
+            )
             .flat_map(|f| f.iter())
             .map(PayloadBytes::payload_bytes)
             .max()
@@ -427,17 +493,20 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                 _ => None,
             })
             .collect();
-        let proto = RingProtocol::new(
-            ProtocolConfig {
-                hosts: n,
-                buffers_per_host: ring.config.buffers_per_host,
-                max_retransmits: ring.config.max_retransmits,
-                continuous: ring.continuous,
-                reliable: fault_plan.is_some(),
-                standby,
-            },
-            envelope_batches(ring.fragments, n),
-        );
+        let proto_cfg = ProtocolConfig {
+            hosts: n,
+            buffers_per_host: ring.config.buffers_per_host,
+            max_retransmits: ring.config.max_retransmits,
+            continuous: ring.continuous,
+            reliable: fault_plan.is_some(),
+            standby,
+        };
+        let proto = match ring.queries {
+            Some((queries, max_active)) => {
+                RingProtocol::new_multi(proto_cfg, query_batches(queries, n), max_active)
+            }
+            None => RingProtocol::new(proto_cfg, envelope_batches(ring.fragments, n)),
+        };
         Runner {
             config: ring.config,
             app: ring.app,
@@ -688,11 +757,16 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                     bytes,
                 } => {
                     let d_base = {
+                        let query = self.proto.processing_query(host);
+                        let multi = self.proto.query_ledger().is_some();
                         let payload = self
                             .proto
                             .processing_payload(host)
                             .expect("StartJoin with an empty processing slot");
                         match &roles {
+                            Some(rs) if multi => {
+                                self.app.process_query(host, query, rs, sim.now(), payload)
+                            }
                             Some(rs) => self.app.process_roles(host, rs, sim.now(), payload),
                             None => self.app.process(host, sim.now(), payload),
                         }
@@ -963,6 +1037,40 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
                         .record(sim.now(), host, "application finished — stopping rotation");
                     self.stopped = true;
                 }
+                Output::QueryAdmitted { query, tenant } => {
+                    self.last_progress = self.last_progress.max(sim.now());
+                    self.tracer.record(
+                        sim.now(),
+                        HostId(0),
+                        format!("query {query} (tenant {tenant}) admitted"),
+                    );
+                    if self.spans.is_enabled() {
+                        self.spans.event(
+                            None,
+                            Track::Control,
+                            format!("query {query} (tenant {tenant}) admitted"),
+                            sim.now(),
+                        );
+                        self.spans.count(counter::QUERIES_ADMITTED, 1);
+                    }
+                }
+                Output::QueryDone { query, tenant } => {
+                    self.last_progress = self.last_progress.max(sim.now());
+                    self.tracer.record(
+                        sim.now(),
+                        HostId(0),
+                        format!("query {query} (tenant {tenant}) complete"),
+                    );
+                    if self.spans.is_enabled() {
+                        self.spans.event(
+                            None,
+                            Track::Control,
+                            format!("query {query} (tenant {tenant}) complete"),
+                            sim.now(),
+                        );
+                        self.spans.count(counter::QUERIES_COMPLETED, 1);
+                    }
+                }
                 Output::Teardown { reason } => panic!("{reason}"),
             }
         }
@@ -1164,6 +1272,7 @@ impl<P: PayloadBytes + Clone, A: RingApp<P>> Runner<P, A> {
             rescale_drains: self.proto.rescale_drains(),
             rescale_handoffs: self.proto.rescale_handoffs(),
             rescale_escalations: self.proto.rescale_escalations(),
+            queries: self.proto.query_metrics(),
         };
         SimOutcome {
             metrics,
@@ -1953,5 +2062,119 @@ mod tests {
         )
         .with_rescale_plan(plan)
         .run();
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-tenant multiplexing
+    // ------------------------------------------------------------------
+
+    fn tenant_queries(
+        hosts: usize,
+        queries: usize,
+        per_host: usize,
+        bytes: usize,
+    ) -> Vec<(u32, Vec<Vec<Vec<u8>>>)> {
+        (0..queries)
+            .map(|q| (q as u32, payloads(hosts, per_host, bytes)))
+            .collect()
+    }
+
+    #[test]
+    fn multiplexed_queries_all_complete() {
+        let hosts = 4;
+        let queries = 3;
+        let cfg = small_config(hosts).with_ack_timeout(SimDuration::from_millis(5));
+        let out = SimRing::new_queries(
+            cfg,
+            tenant_queries(hosts, queries, 2, 1 << 20),
+            2,
+            fixed_app(hosts),
+        )
+        .run();
+        assert_eq!(out.metrics.fragments_completed, queries * hosts * 2);
+        assert_eq!(out.metrics.queries.len(), queries);
+        for (q, m) in out.metrics.queries.iter().enumerate() {
+            assert_eq!(m.tenant, q as u32);
+            assert!(m.completed, "query {q} must finish: {m:?}");
+            assert_eq!(m.fragments_completed, hosts * 2);
+        }
+        // Every host processed every fragment of every query.
+        assert_eq!(out.app.processed, vec![queries * hosts * 2; hosts]);
+    }
+
+    #[test]
+    fn four_concurrent_queries_survive_faults() {
+        // The acceptance bar: one ring sustains >= 4 concurrently active
+        // queries with the fault dice hot (loss + corruption on every
+        // link) and still completes every query exactly once.
+        let hosts = 4;
+        let queries = 4;
+        let mut plan = FaultPlan::seeded(77);
+        for h in 0..hosts {
+            plan = plan
+                .lossy_link(HostId(h), 0.08)
+                .corrupt_link(HostId(h), 0.05);
+        }
+        let cfg = small_config(hosts)
+            .with_ack_timeout(SimDuration::from_millis(5))
+            .with_max_retransmits(6);
+        let out = SimRing::new_queries(
+            cfg,
+            tenant_queries(hosts, queries, 2, 1 << 20),
+            queries,
+            fixed_app(hosts),
+        )
+        .with_fault_plan(plan)
+        .run();
+        assert_eq!(out.metrics.fragments_completed, queries * hosts * 2);
+        assert!(out.metrics.queries.iter().all(|m| m.completed));
+        assert!(
+            out.metrics.total_retransmits() > 0,
+            "the dice must actually bite: {:?}",
+            out.metrics
+        );
+        assert_eq!(out.app.processed, vec![queries * hosts * 2; hosts]);
+    }
+
+    #[test]
+    fn admission_bound_serializes_queries() {
+        // max_active = 1: queries run strictly one at a time, yet all
+        // complete — the admission queue drains on each completion.
+        let hosts = 3;
+        let queries = 4;
+        let cfg = small_config(hosts).with_ack_timeout(SimDuration::from_millis(5));
+        let out = SimRing::new_queries(
+            cfg,
+            tenant_queries(hosts, queries, 1, 1 << 18),
+            1,
+            fixed_app(hosts),
+        )
+        .with_trace(true)
+        .run();
+        assert!(out.metrics.queries.iter().all(|m| m.completed));
+        let c = out.spans.counters();
+        assert_eq!(c.get(counter::QUERIES_ADMITTED), queries as u64);
+        assert_eq!(c.get(counter::QUERIES_COMPLETED), queries as u64);
+    }
+
+    #[test]
+    fn multiplexed_crash_heals_once_and_completes_all() {
+        let hosts = 4;
+        let queries = 2;
+        let plan = FaultPlan::seeded(11).crash_host(HostId(2), SimTime::from_nanos(5_000_000));
+        let cfg = small_config(hosts)
+            .with_ack_timeout(SimDuration::from_millis(5))
+            .with_max_retransmits(3);
+        let out = SimRing::new_queries(
+            cfg,
+            tenant_queries(hosts, queries, 2, 1 << 20),
+            queries,
+            fixed_app(hosts),
+        )
+        .with_fault_plan(plan)
+        .run();
+        assert_eq!(out.metrics.heal_events, 1);
+        assert!(out.metrics.queries.iter().all(|m| m.completed));
+        assert_eq!(out.metrics.fragments_completed, queries * hosts * 2);
     }
 }

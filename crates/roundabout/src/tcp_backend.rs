@@ -64,7 +64,7 @@ use crate::envelope::{Envelope, FragmentId, PayloadBytes};
 use crate::error::{FrameError, RingError};
 use crate::metrics::{HostMetrics, RingMetrics};
 use crate::protocol::{
-    envelope_batches, teardown, Input, Output, ProtocolConfig, RingProtocol, Timer,
+    envelope_batches, query_batches, teardown, Input, Output, ProtocolConfig, RingProtocol, Timer,
 };
 use crate::thread_backend::{finish_spans, run_single_host, ErrorCollector, SharedSpans};
 
@@ -87,8 +87,8 @@ pub const MAX_FRAME: u32 = 1 << 28;
 /// Bytes of the frame prefix: kind byte plus little-endian length.
 const FRAME_HEADER: usize = 5;
 /// Fixed bytes of an envelope body before the payload: tid, fragment id,
-/// origin, hops remaining, wire sequence, checksum, visited mask.
-const ENVELOPE_HEADER: usize = 48;
+/// origin, hops remaining, wire sequence, checksum, visited mask, query id.
+const ENVELOPE_HEADER: usize = 52;
 /// Bytes of a hello body: nonce plus host id.
 const HELLO_BODY: usize = 12;
 /// Bytes of an ack body: the transfer id.
@@ -393,6 +393,7 @@ pub fn encode_envelope_into<P: WirePayload>(
     out.extend_from_slice(&env.seq.to_le_bytes());
     out.extend_from_slice(&env.checksum.to_le_bytes());
     out.extend_from_slice(&env.visited.to_le_bytes());
+    out.extend_from_slice(&env.query.to_le_bytes());
     env.payload.encode_payload(out);
     close_frame(out)
 }
@@ -536,6 +537,7 @@ fn decode_body<P: WirePayload>(kind: u8, body: &[u8]) -> Result<Frame<P>, FrameE
                     seq: read_u64(body, 24).unwrap_or_default(),
                     checksum: read_u64(body, 32).unwrap_or_default(),
                     visited: read_u64(body, 40).unwrap_or_default(),
+                    query: read_u32(body, 48).unwrap_or_default(),
                     payload,
                 },
             })
@@ -756,6 +758,9 @@ enum WriteJob {
 enum JoinJob<P> {
     Join {
         payload: P,
+        /// Which multiplexed query the fragment belongs to (0 on
+        /// single-query runs).
+        query: u32,
         roles: Option<Vec<usize>>,
         id: FragmentId,
         hop: usize,
@@ -912,13 +917,14 @@ fn worker_loop<P, F, A>(
     absorb: &A,
 ) where
     P: WirePayload,
-    F: Fn(HostId, &[usize], &P) + Sync,
+    F: Fn(HostId, u32, &[usize], &P) + Sync,
     A: Fn(HostId, usize) + Sync,
 {
     for job in jobs.iter() {
         match job {
             JoinJob::Join {
                 payload,
+                query,
                 roles,
                 id,
                 hop,
@@ -928,8 +934,8 @@ fn worker_loop<P, F, A>(
                 // Guard the user callback: a panic inside it must become
                 // a typed teardown error, not a dead scope.
                 let outcome = catch_unwind(AssertUnwindSafe(|| match &roles {
-                    Some(rs) => visit(host, rs, &payload),
-                    None => visit(host, &own, &payload),
+                    Some(rs) => visit(host, query, rs, &payload),
+                    None => visit(host, query, &own, &payload),
                 }));
                 let done = Event::JoinDone {
                     host,
@@ -1251,6 +1257,7 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
                     };
                     let job = JoinJob::Join {
                         payload,
+                        query: self.proto.processing_query(host),
                         roles,
                         id,
                         hop,
@@ -1435,6 +1442,30 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
                     }
                 }
                 Output::Finished { .. } => {}
+                Output::QueryAdmitted { query, tenant } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            None,
+                            Track::Control,
+                            format!("query {query} admitted (tenant {tenant})"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::QUERIES_ADMITTED, 1);
+                    }
+                }
+                Output::QueryDone { query, tenant } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            None,
+                            Track::Control,
+                            format!("query {query} done (tenant {tenant})"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::QUERIES_COMPLETED, 1);
+                    }
+                }
                 Output::Teardown { reason } => self.fail(RingError::Teardown(reason)),
             }
         }
@@ -1553,6 +1584,7 @@ impl<P: WirePayload + Clone> Coordinator<'_, P> {
             rescale_drains: self.proto.rescale_drains(),
             rescale_handoffs: self.proto.rescale_handoffs(),
             rescale_escalations: self.proto.rescale_escalations(),
+            queries: self.proto.query_metrics(),
         };
         let mut tracer = self.tracer;
         if tracer.is_enabled() {
@@ -1765,11 +1797,115 @@ impl<'a> TcpRingDriver<'a> {
             self.fault_plan,
             self.rescale_plan,
             self.trace,
-            envelopes,
+            MeshWorkload::Single(envelopes),
+            &|host, _query: u32, roles: &[usize], payload: &P| visit(host, roles, payload),
+            &absorb,
+        )
+    }
+
+    /// Runs several queries multiplexed over one ring of real sockets.
+    /// `queries[q]` is `(tenant, fragments)` with `fragments[h]` host
+    /// `h`'s local fragments for query `q`; at most `max_active` queries
+    /// circulate concurrently, the rest wait in the admission queue.
+    /// `visit(host, query, roles, payload)` joins one fragment of `query`
+    /// against the named stationary roles; `absorb(survivor, role)`
+    /// rebuilds a dead host's state (for every query) when the ring
+    /// heals. Always uses the reliable acked transport (quiet dice are
+    /// synthesized without a fault plan).
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpRingDriver::run_with_roles`], plus
+    /// [`RingError::UnsupportedFault`] on a single-host ring, an empty
+    /// query list or a zero `max_active`.
+    pub fn run_queries<P, F, A>(
+        self,
+        queries: Vec<(u32, Vec<Vec<P>>)>,
+        max_active: usize,
+        visit: F,
+        absorb: A,
+    ) -> Result<(RingMetrics, SpanTracer), RingError>
+    where
+        P: WirePayload + Send + Clone,
+        F: Fn(HostId, u32, &[usize], &P) + Sync,
+        A: Fn(HostId, usize) + Sync,
+    {
+        self.config.validate()?;
+        let n = self.config.hosts;
+        if n < 2 {
+            return Err(RingError::UnsupportedFault(
+                "multiplexing needs a ring of at least two hosts",
+            ));
+        }
+        if n > 64 {
+            return Err(RingError::UnsupportedFault(
+                "the exactly-once role bitmask supports at most 64 hosts",
+            ));
+        }
+        if queries.is_empty() || max_active == 0 {
+            return Err(RingError::UnsupportedFault(
+                "a multi-tenant run needs at least one query and a positive admission bound",
+            ));
+        }
+        for (_, fragments) in &queries {
+            if fragments.len() != n {
+                return Err(RingError::Shape {
+                    expected: n,
+                    got: fragments.len(),
+                });
+            }
+        }
+        let in_ring = |h: HostId| h.0 < n;
+        if let Some(plan) = self.fault_plan {
+            if !plan.crashes().iter().all(|c| in_ring(c.host))
+                || !plan.pauses().iter().all(|p| in_ring(p.host))
+            {
+                return Err(RingError::UnsupportedFault(
+                    "fault plan names a host outside the ring",
+                ));
+            }
+        }
+        if let Some(plan) = self.rescale_plan {
+            if !plan.joins().iter().all(|j| in_ring(j.host))
+                || !plan.drains().iter().all(|d| in_ring(d.host))
+            {
+                return Err(RingError::UnsupportedFault(
+                    "rescale plan names a host outside the ring",
+                ));
+            }
+            if plan.joins().iter().any(|j| {
+                queries
+                    .iter()
+                    .any(|(_, f)| f.get(j.host.0).is_some_and(|b| !b.is_empty()))
+            }) {
+                return Err(RingError::UnsupportedFault(
+                    "a standby host must not contribute fragments before joining",
+                ));
+            }
+        }
+        run_mesh(
+            self.config,
+            self.fault_plan,
+            self.rescale_plan,
+            self.trace,
+            MeshWorkload::Multi {
+                queries: query_batches(queries, n),
+                max_active,
+            },
             &visit,
             &absorb,
         )
     }
+}
+
+/// What circulates on the mesh: one query's envelopes (the classic path)
+/// or several pre-numbered queries plus an admission bound.
+pub(crate) enum MeshWorkload<P> {
+    Single(Vec<Vec<Envelope<P>>>),
+    Multi {
+        queries: Vec<(u32, Vec<Vec<Envelope<P>>>)>,
+        max_active: usize,
+    },
 }
 
 /// One endpoint's thread material, cloned up front so no fallible IO
@@ -1787,22 +1923,27 @@ fn run_mesh<P, F, A>(
     plan: Option<&FaultPlan>,
     rescale: Option<&RescalePlan>,
     trace: bool,
-    envelopes: Vec<Vec<Envelope<P>>>,
+    workload: MeshWorkload<P>,
     visit: &F,
     absorb: &A,
 ) -> Result<(RingMetrics, SpanTracer), RingError>
 where
     P: WirePayload + Send + Clone,
-    F: Fn(HostId, &[usize], &P) + Sync,
+    F: Fn(HostId, u32, &[usize], &P) + Sync,
     A: Fn(HostId, usize) + Sync,
 {
     let n = config.hosts;
-    // Rescale rides the reliable transport: without explicit adversity the
-    // medium still needs (quiet) dice and the acked hop protocol.
+    // Rescale and multi-tenant rotation ride the reliable transport:
+    // without explicit adversity the medium still needs (quiet) dice and
+    // the acked hop protocol.
     let quiet_dice;
     let plan = match (plan, rescale) {
         (None, Some(r)) => {
             quiet_dice = FaultPlan::seeded(r.seed());
+            Some(&quiet_dice)
+        }
+        (None, None) if matches!(workload, MeshWorkload::Multi { .. }) => {
+            quiet_dice = FaultPlan::seeded(0);
             Some(&quiet_dice)
         }
         (p, _) => p,
@@ -1835,7 +1976,13 @@ where
         reliable: plan.is_some(),
         standby: rescale.map_or(0, |p| p.standby_mask()),
     };
-    let proto = RingProtocol::new(proto_cfg, envelopes);
+    let proto = match workload {
+        MeshWorkload::Single(envelopes) => RingProtocol::new(proto_cfg, envelopes),
+        MeshWorkload::Multi {
+            queries,
+            max_active,
+        } => RingProtocol::new_multi(proto_cfg, queries, max_active),
+    };
     let total = proto.fragments_total();
 
     let (events_tx, events_rx) = channel::<Event<P>>();
@@ -2406,5 +2553,69 @@ mod tests {
             );
         }
         assert_eq!(counters.get(counter::FRAGMENTS_RETIRED), 4);
+    }
+
+    #[test]
+    fn multiplexed_queries_complete_over_sockets() {
+        let hosts = 3;
+        let queries = 3;
+        let cfg = RingConfig::paper(hosts)
+            .with_ack_timeout(SimDuration::from_millis(50))
+            .with_max_retransmits(6);
+        let tenants: Vec<(u32, Vec<Vec<Vec<u8>>>)> = (0..queries)
+            .map(|q| (q as u32, payloads(hosts, 2, 64)))
+            .collect();
+        let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
+        let (metrics, spans) = TcpRingDriver::new(&cfg)
+            .with_tracer(true)
+            .run_queries(
+                tenants,
+                2,
+                |h, _query, _roles: &[usize], _: &Vec<u8>| {
+                    counts[h.0].fetch_add(1, Ordering::SeqCst);
+                },
+                |_, _| {},
+            )
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, queries * hosts * 2);
+        assert_eq!(metrics.queries.len(), queries);
+        for (q, m) in metrics.queries.iter().enumerate() {
+            assert_eq!(m.tenant, q as u32);
+            assert!(m.completed, "query {q}: {m:?}");
+            assert_eq!(m.fragments_completed, hosts * 2);
+        }
+        for c in &counts {
+            assert_eq!(c.load(Ordering::SeqCst), queries * hosts * 2);
+        }
+        let counters = spans.counters();
+        assert_eq!(counters.get(counter::QUERIES_ADMITTED), queries as u64);
+        assert_eq!(counters.get(counter::QUERIES_COMPLETED), queries as u64);
+    }
+
+    #[test]
+    fn multiplexed_queries_survive_socket_faults() {
+        let hosts = 3;
+        let queries = 4;
+        let mut plan = FaultPlan::seeded(19);
+        for h in 0..hosts {
+            plan = plan.lossy_link(HostId(h), 0.08);
+        }
+        let cfg = RingConfig::paper(hosts)
+            .with_ack_timeout(SimDuration::from_millis(40))
+            .with_max_retransmits(8);
+        let tenants: Vec<(u32, Vec<Vec<Vec<u8>>>)> = (0..queries)
+            .map(|q| (q as u32, payloads(hosts, 2, 48)))
+            .collect();
+        let (metrics, _) = TcpRingDriver::new(&cfg)
+            .with_fault_plan(&plan)
+            .run_queries(
+                tenants,
+                queries,
+                |_, _, _: &[usize], _: &Vec<u8>| {},
+                |_, _| {},
+            )
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, queries * hosts * 2);
+        assert!(metrics.queries.iter().all(|m| m.completed));
     }
 }

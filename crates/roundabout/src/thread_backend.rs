@@ -63,8 +63,8 @@ use crate::envelope::{Envelope, FragmentId, PayloadBytes};
 use crate::error::RingError;
 use crate::metrics::{HostMetrics, RingMetrics};
 use crate::protocol::{
-    backoff_exponent, envelope_batches, teardown, Input, LinkReceiver, LinkSender, Output,
-    ProtocolConfig, Receipt, RingProtocol, TimeoutVerdict, Timer,
+    backoff_exponent, envelope_batches, query_batches, teardown, Input, LinkReceiver, LinkSender,
+    Output, ProtocolConfig, Receipt, RingProtocol, TimeoutVerdict, Timer,
 };
 
 /// Collects worker errors, preferring root causes (a panicking callback, an
@@ -294,6 +294,122 @@ impl<'a> RingDriver<'a> {
             (None, None) => classic_run(self.config, fragments, process, self.trace),
         }
     }
+
+    /// Runs several queries multiplexed over one ring on the coordinated
+    /// engine. `queries[q]` is `(tenant, fragments)` with `fragments[h]`
+    /// host `h`'s local fragments for query `q`; at most `max_active`
+    /// queries circulate concurrently. Always uses the reliable acked
+    /// transport (quiet dice are synthesized without a fault plan), so
+    /// per-query exactly-once delivery holds.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingDriver::run`], plus [`RingError::Shape`] when any query's
+    /// fragment lists disagree with the host count and
+    /// [`RingError::UnsupportedFault`] on a single-host ring (nothing to
+    /// multiplex over) or a zero `max_active`.
+    pub fn run_queries<P, F>(
+        self,
+        queries: Vec<(u32, Vec<Vec<P>>)>,
+        max_active: usize,
+        process: F,
+    ) -> Result<(RingMetrics, SpanTracer), RingError>
+    where
+        P: PayloadBytes + Send + Clone,
+        F: Fn(HostId, u32, &P) + Sync,
+    {
+        coordinated_multi_run(
+            self.config,
+            self.fault_plan,
+            self.rescale_plan,
+            queries,
+            max_active,
+            process,
+            self.trace,
+        )
+    }
+}
+
+/// The coordinated engine behind [`RingDriver::run_queries`]: validates
+/// the query shapes, synthesizes quiet dice when no fault plan is
+/// attached, constructs the multi-query protocol core and drives it.
+fn coordinated_multi_run<P, F>(
+    config: &RingConfig,
+    fault_plan: Option<&FaultPlan>,
+    rescale: Option<&RescalePlan>,
+    queries: Vec<(u32, Vec<Vec<P>>)>,
+    max_active: usize,
+    process: F,
+    trace: bool,
+) -> Result<(RingMetrics, SpanTracer), RingError>
+where
+    P: PayloadBytes + Send + Clone,
+    F: Fn(HostId, u32, &P) + Sync,
+{
+    config.validate()?;
+    let n = config.hosts;
+    if n < 2 {
+        return Err(RingError::UnsupportedFault(
+            "multiplexing needs a ring of at least two hosts",
+        ));
+    }
+    if n > 64 {
+        return Err(RingError::UnsupportedFault(
+            "the exactly-once role bitmask supports at most 64 hosts",
+        ));
+    }
+    if queries.is_empty() || max_active == 0 {
+        return Err(RingError::UnsupportedFault(
+            "a multi-tenant run needs at least one query and a positive admission bound",
+        ));
+    }
+    for (_, fragments) in &queries {
+        if fragments.len() != n {
+            return Err(RingError::Shape {
+                expected: n,
+                got: fragments.len(),
+            });
+        }
+    }
+    if let Some(plan) = fault_plan {
+        if !plan.crashes().is_empty() || !plan.pauses().is_empty() {
+            return Err(RingError::UnsupportedFault(
+                "the threaded backend supports link loss, corruption and delay spikes; host \
+                 crashes and pauses need ring healing — use the simulated, tcp or reactor \
+                 backends",
+            ));
+        }
+    }
+    if let Some(plan) = rescale {
+        if plan.joins().iter().any(|j| {
+            queries
+                .iter()
+                .any(|(_, f)| f.get(j.host.0).is_some_and(|b| !b.is_empty()))
+        }) {
+            return Err(RingError::UnsupportedFault(
+                "a standby host must not contribute fragments before joining",
+            ));
+        }
+    }
+    let quiet_dice;
+    let plan = match fault_plan {
+        Some(p) => p,
+        None => {
+            quiet_dice = FaultPlan::seeded(rescale.map_or(0, RescalePlan::seed));
+            &quiet_dice
+        }
+    };
+    let proto_cfg = ProtocolConfig {
+        hosts: n,
+        buffers_per_host: config.buffers_per_host,
+        max_retransmits: config.max_retransmits,
+        continuous: false,
+        reliable: true,
+        standby: rescale.map_or(0, RescalePlan::standby_mask),
+    };
+    let proto = RingProtocol::new_multi(proto_cfg, query_batches(queries, n), max_active);
+    let total = proto.fragments_total();
+    drive_coordinated(config, plan, rescale, proto, total, process, trace)
 }
 
 /// The classic (unguarded-transport) engine behind [`RingDriver::run`].
@@ -653,6 +769,9 @@ enum CoTimer<P> {
 /// A join computation handed to a host's worker thread.
 struct CoJob<P> {
     payload: P,
+    /// Which multiplexed query the fragment belongs to (0 on
+    /// single-query runs).
+    query: u32,
     id: FragmentId,
     hop: usize,
 }
@@ -666,11 +785,11 @@ fn coordinated_worker<P, F>(
     process: &F,
 ) where
     P: PayloadBytes + Send,
-    F: Fn(HostId, &P) + Sync,
+    F: Fn(HostId, u32, &P) + Sync,
 {
     for job in jobs.iter() {
         let started = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| process(host, &job.payload)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| process(host, job.query, &job.payload)));
         let done = CoEvent::JoinDone {
             host,
             id: job.id,
@@ -863,7 +982,12 @@ impl<P: PayloadBytes + Clone> CoRing<'_, P> {
                         self.fail(RingError::Teardown(RESCALE_EMPTY_SLOT));
                         return;
                     };
-                    let job = CoJob { payload, id, hop };
+                    let job = CoJob {
+                        payload,
+                        query: self.proto.processing_query(host),
+                        id,
+                        hop,
+                    };
                     if self.jobs[host.0].send(job).is_err() {
                         self.fail(RingError::Teardown(teardown::RING_CLOSED));
                     }
@@ -1023,6 +1147,30 @@ impl<P: PayloadBytes + Clone> CoRing<'_, P> {
                     }
                 }
                 Output::Finished { .. } => {}
+                Output::QueryAdmitted { query, tenant } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            None,
+                            Track::Control,
+                            format!("query {query} (tenant {tenant}) admitted"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::QUERIES_ADMITTED, 1);
+                    }
+                }
+                Output::QueryDone { query, tenant } => {
+                    self.last_progress = self.last_progress.max(Instant::now());
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            None,
+                            Track::Control,
+                            format!("query {query} (tenant {tenant}) complete"),
+                            self.now_stamp(),
+                        );
+                        self.tracer.count(counter::QUERIES_COMPLETED, 1);
+                    }
+                }
                 Output::Teardown { reason } => self.fail(RingError::Teardown(reason)),
             }
         }
@@ -1117,6 +1265,7 @@ impl<P: PayloadBytes + Clone> CoRing<'_, P> {
             rescale_drains: self.proto.rescale_drains(),
             rescale_handoffs: self.proto.rescale_handoffs(),
             rescale_escalations: self.proto.rescale_escalations(),
+            queries: self.proto.query_metrics(),
         };
         let mut tracer = self.tracer;
         if tracer.is_enabled() {
@@ -1228,7 +1377,35 @@ where
         standby: rescale.standby_mask(),
     };
     let proto = RingProtocol::new(proto_cfg, batches);
+    drive_coordinated(
+        config,
+        plan,
+        Some(rescale),
+        proto,
+        total,
+        |host, _query, payload: &P| process(host, payload),
+        trace,
+    )
+}
 
+/// The channel-and-thread machinery shared by every coordinated run:
+/// spawns the per-host workers and the timer loop, feeds the protocol
+/// until `total` fragments retired, and converts the coordinator into
+/// metrics. `proto` arrives fully constructed (single- or multi-query).
+fn drive_coordinated<P, F>(
+    config: &RingConfig,
+    plan: &FaultPlan,
+    rescale: Option<&RescalePlan>,
+    proto: RingProtocol<P>,
+    total: usize,
+    process: F,
+    trace: bool,
+) -> Result<(RingMetrics, SpanTracer), RingError>
+where
+    P: PayloadBytes + Send + Clone,
+    F: Fn(HostId, u32, &P) + Sync,
+{
+    let n = config.hosts;
     let (events_tx, events_rx) = unbounded::<CoEvent<P>>();
     let (timer_tx, timer_rx) = unbounded::<(Instant, CoTimer<P>)>();
     crate::sync::thread::scope(|scope| {
@@ -1267,13 +1444,15 @@ where
             bytes_forwarded: vec![0; n],
             last_progress: epoch,
         };
-        for j in rescale.joins() {
-            let at = epoch + Duration::from(j.at.saturating_duration_since(SimTime::ZERO));
-            co.arm(at, CoTimer::JoinRequest(j.host));
-        }
-        for d in rescale.drains() {
-            let at = epoch + Duration::from(d.at.saturating_duration_since(SimTime::ZERO));
-            co.arm(at, CoTimer::DrainRequest(d.host));
+        if let Some(rescale) = rescale {
+            for j in rescale.joins() {
+                let at = epoch + Duration::from(j.at.saturating_duration_since(SimTime::ZERO));
+                co.arm(at, CoTimer::JoinRequest(j.host));
+            }
+            for d in rescale.drains() {
+                let at = epoch + Duration::from(d.at.saturating_duration_since(SimTime::ZERO));
+                co.arm(at, CoTimer::DrainRequest(d.host));
+            }
         }
         for h in 0..n {
             let out = co.proto.input(Input::SetupDone { host: HostId(h) });
@@ -2110,6 +2289,59 @@ mod tests {
             .with_fault_plan(&crash)
             .with_rescale_plan(&quiet)
             .run(payloads(3, 1, 8), |_, _: &Vec<u8>| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
+    }
+
+    #[test]
+    fn multiplexed_queries_complete_on_real_threads() {
+        let hosts = 3;
+        let queries = 3;
+        let cfg = RingConfig::paper(hosts)
+            .with_ack_timeout(SimDuration::from_millis(50))
+            .with_max_retransmits(6);
+        let tenants: Vec<(u32, Vec<Vec<Vec<u8>>>)> = (0..queries)
+            .map(|q| (q as u32, payloads(hosts, 2, 64)))
+            .collect();
+        let counts: Vec<AtomicUsize> = (0..hosts).map(|_| AtomicUsize::new(0)).collect();
+        let (metrics, spans) = RingDriver::new(&cfg)
+            .with_tracer(true)
+            .run_queries(tenants, 2, |h, _query, _: &Vec<u8>| {
+                counts[h.0].fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        assert_eq!(metrics.fragments_completed, queries * hosts * 2);
+        assert_eq!(metrics.queries.len(), queries);
+        for (q, m) in metrics.queries.iter().enumerate() {
+            assert_eq!(m.tenant, q as u32);
+            assert!(m.completed, "query {q}: {m:?}");
+            assert_eq!(m.fragments_completed, hosts * 2);
+        }
+        for c in &counts {
+            assert_eq!(c.load(Ordering::SeqCst), queries * hosts * 2);
+        }
+        let counters = spans.counters();
+        assert_eq!(counters.get(counter::QUERIES_ADMITTED), queries as u64);
+        assert_eq!(counters.get(counter::QUERIES_COMPLETED), queries as u64);
+    }
+
+    #[test]
+    fn multiplexed_query_shapes_are_validated() {
+        let cfg = RingConfig::paper(2);
+        let bad_shape = vec![(0u32, payloads(3, 1, 8))];
+        let err = RingDriver::new(&cfg)
+            .run_queries(bad_shape, 1, |_, _, _: &Vec<u8>| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::Shape { .. }));
+
+        let err = RingDriver::new(&cfg)
+            .run_queries(Vec::<(u32, Vec<Vec<Vec<u8>>>)>::new(), 1, |_, _, _| {})
+            .unwrap_err();
+        assert!(matches!(err, RingError::UnsupportedFault(_)));
+
+        let single = RingConfig::paper(1);
+        let err = RingDriver::new(&single)
+            .run_queries(vec![(0u32, payloads(1, 1, 8))], 1, |_, _, _: &Vec<u8>| {})
             .unwrap_err();
         assert!(matches!(err, RingError::UnsupportedFault(_)));
     }

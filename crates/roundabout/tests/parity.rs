@@ -166,6 +166,105 @@ fn all_links_lossy_parity() {
     assert_eq!(reactor.fragments_completed, hosts * per_host);
 }
 
+/// Multi-tenant parity: two queries multiplexed over one ring, one
+/// seeded fault plan, four worlds — identical **per-query** retransmit,
+/// checksum and completion counters everywhere. Each query's wire
+/// sequence space is private (`(sender, query, seq, attempt)` keys the
+/// dice), so the counters agree per query no matter how differently the
+/// backends interleave the two queries' envelopes on the shared ring.
+#[test]
+fn multi_tenant_fault_plan_four_way_parity() {
+    let hosts = 3;
+    let per_host = 2;
+    let max_active = 2;
+    let plan = FaultPlan::seeded(13)
+        .lossy_link(HostId(0), 0.3)
+        .corrupt_link(HostId(1), 0.3);
+    let queries = |bytes: usize| {
+        vec![
+            (0u32, payloads(hosts, per_host, bytes)),
+            (1u32, payloads(hosts, per_host, bytes)),
+        ]
+    };
+    let total = 2 * hosts * per_host;
+
+    let sim_cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(5));
+    let app = FixedCostApp::new(
+        hosts,
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(1),
+    );
+    let sim = SimRing::new_queries(sim_cfg, queries(1 << 18), max_active, app)
+        .with_fault_plan(plan.clone())
+        .run();
+
+    let wall_cfg = RingConfig::paper(hosts).with_ack_timeout(SimDuration::from_millis(150));
+    let (threaded, _) = RingDriver::new(&wall_cfg)
+        .with_fault_plan(&plan)
+        .run_queries(queries(64), max_active, |_, _, _: &Vec<u8>| {})
+        .expect("reliable thread run should recover from loss and corruption");
+
+    let (tcp, _) = TcpRingDriver::new(&wall_cfg)
+        .with_fault_plan(&plan)
+        .run_queries(
+            queries(64),
+            max_active,
+            |_, _, _: &[usize], _: &Vec<u8>| {},
+            |_, _| {},
+        )
+        .expect("reliable tcp run should recover from loss and corruption");
+
+    let (reactor, _) = ReactorRingDriver::new(&wall_cfg)
+        .with_fault_plan(&plan)
+        .run_queries(
+            queries(64),
+            max_active,
+            |_, _, _: &[usize], _: &Vec<u8>| {},
+            |_, _| {},
+        )
+        .expect("reliable reactor run should recover from loss and corruption");
+
+    for (world, m) in [
+        ("sim", &sim.metrics),
+        ("thread", &threaded),
+        ("tcp", &tcp),
+        ("reactor", &reactor),
+    ] {
+        assert_eq!(m.fragments_completed, total, "{world}: every fragment");
+        assert_eq!(m.queries.len(), 2, "{world}: two per-query ledgers");
+        assert!(
+            m.queries.iter().all(|q| q.completed),
+            "{world}: both queries complete"
+        );
+    }
+    assert_eq!(
+        sim.metrics.queries, threaded.queries,
+        "sim and thread drivers rolled different per-query dice"
+    );
+    assert_eq!(
+        sim.metrics.queries, tcp.queries,
+        "sim and tcp drivers rolled different per-query dice"
+    );
+    assert_eq!(
+        sim.metrics.queries, reactor.queries,
+        "sim and reactor drivers rolled different per-query dice"
+    );
+    // The plan actually bit — on *both* queries' private dice streams.
+    for q in &sim.metrics.queries {
+        assert!(
+            q.retransmits > 0,
+            "seed 13 must provoke a retransmission on every query: {q:?}"
+        );
+    }
+    assert!(
+        sim.metrics
+            .queries
+            .iter()
+            .any(|q| q.checksum_mismatches > 0),
+        "seed 13 must provoke at least one checksum mismatch"
+    );
+}
+
 /// Membership parity: one seeded rescale schedule — a standby joining at
 /// 1 ms and a founding member draining out at 8 ms — lands on identical
 /// membership epochs and `rescale_*` counters in all four worlds, and

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use data_roundabout::protocol::{
-    envelope_batches, Input, Output, ProtocolConfig, RingProtocol, Timer,
+    envelope_batches, query_batches, Input, Output, ProtocolConfig, RingProtocol, Timer,
 };
 use data_roundabout::{FixedCostApp, RingConfig, RingDriver, SimRing};
 use proptest::prelude::*;
@@ -352,6 +352,197 @@ fn drive_rescale(counts: &[usize], standbys: usize, buffers: usize, crash: bool,
     }
 }
 
+/// Drives a multi-tenant ring — 2–4 concurrent queries multiplexed over
+/// one reliable protocol core — through a random legal interleaving.
+/// Checked invariants, after every single input:
+///
+/// * the global credit invariant (pool occupancy within budget);
+/// * the **per-query credit partition**: no query ever holds more than
+///   its quota of any host's pool;
+/// * the admission bound: at most `max_active` queries active at once;
+/// * the fairness bound: a starved query's transmit deficit never
+///   exceeds `queries × pool depth` (DRR with quantum 1).
+///
+/// And at quiescence: exactly-once join and wire delivery per
+/// `(query, fragment)` pair, every query completes, nothing leaks.
+fn drive_multiplex(hosts: usize, n_queries: usize, buffers: usize, max_active: usize, seed: u64) {
+    let mut rng = seed | 1;
+    let mut next_rng = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    // Random per-(query, host) fragment counts; every query originates
+    // at least one fragment so it has a completion to report.
+    let per_query: Vec<Vec<usize>> = (0..n_queries)
+        .map(|_| {
+            let mut counts: Vec<usize> = (0..hosts).map(|_| (next_rng() as usize) % 3).collect();
+            let anchor = (next_rng() as usize) % hosts;
+            counts[anchor] = counts[anchor].max(1);
+            counts
+        })
+        .collect();
+    let total: usize = per_query.iter().flat_map(|c| c.iter()).sum();
+
+    let batches = query_batches(
+        per_query
+            .iter()
+            .enumerate()
+            .map(|(q, counts)| (q as u32, payloads(counts, 16)))
+            .collect(),
+        hosts,
+    );
+    // Global fragment numbering lets the invariants attribute every
+    // ledger event back to its (query, fragment) pair.
+    let mut id_query: HashMap<usize, u32> = HashMap::new();
+    for (_, per_host) in &batches {
+        for envs in per_host {
+            for env in envs {
+                id_query.insert(env.id.0, env.query);
+            }
+        }
+    }
+
+    let proto_cfg = ProtocolConfig {
+        hosts,
+        buffers_per_host: buffers,
+        max_retransmits: 8,
+        continuous: false,
+        reliable: true,
+        standby: 0,
+    };
+    let mut proto = RingProtocol::new_multi(proto_cfg, batches, max_active);
+    let deficit_bound = (n_queries * buffers) as u64;
+
+    let mut pending: Vec<Input<Vec<u8>>> = (0..hosts)
+        .map(|h| Input::SetupDone { host: HostId(h) })
+        .collect();
+    let mut joins: HashMap<(usize, u32, usize), usize> = HashMap::new();
+    let mut deliveries: HashMap<(usize, u32, usize), usize> = HashMap::new();
+    let mut active: Vec<u32> = Vec::new();
+    let mut admitted: Vec<u32> = Vec::new();
+    let mut done: Vec<u32> = Vec::new();
+    let mut steps = 0usize;
+    while !pending.is_empty() {
+        steps += 1;
+        assert!(steps < 200_000, "multiplexed interleaving did not quiesce");
+        let idx = (next_rng() as usize) % pending.len();
+        let input = pending.swap_remove(idx);
+        let mut fates: Vec<u64> = Vec::new();
+        for output in proto.input(input) {
+            match output {
+                Output::StartJoin { host, id, .. } => {
+                    let q = id_query[&id.0];
+                    assert_eq!(
+                        proto.processing_query(host),
+                        q,
+                        "processing slot misattributes fragment {} to another query",
+                        id.0
+                    );
+                    *joins.entry((host.0, q, id.0)).or_default() += 1;
+                    pending.push(Input::JoinDone {
+                        host,
+                        app_finished: false,
+                    });
+                }
+                Output::Send {
+                    from, to, tid, env, ..
+                } => {
+                    fates.push(tid);
+                    pending.push(Input::SendDone { from });
+                    pending.push(Input::Delivered { to, env, tid });
+                }
+                Output::Ack { tid, .. } => pending.push(Input::Ack { tid }),
+                Output::Delivered { host, id, .. } => {
+                    *deliveries
+                        .entry((host.0, id_query[&id.0], id.0))
+                        .or_default() += 1;
+                }
+                Output::QueryAdmitted { query, .. } => {
+                    assert!(!admitted.contains(&query), "query {query} admitted twice");
+                    admitted.push(query);
+                    active.push(query);
+                    assert!(
+                        active.len() <= max_active,
+                        "admission bound violated: {} active, bound {max_active}",
+                        active.len()
+                    );
+                }
+                Output::QueryDone { query, .. } => {
+                    assert!(!done.contains(&query), "query {query} completed twice");
+                    done.push(query);
+                    active.retain(|&q| q != query);
+                }
+                Output::Teardown { reason } => panic!("teardown: {reason}"),
+                _ => {}
+            }
+        }
+        for tid in fates {
+            proto.attempt_fate(tid, false, false);
+        }
+        let ledger = proto
+            .query_ledger()
+            .expect("multi-tenant ring has a ledger");
+        let quota = ledger.quota();
+        assert!(
+            ledger.max_deficit() <= deficit_bound,
+            "fairness bound violated: deficit {} exceeds {deficit_bound}",
+            ledger.max_deficit()
+        );
+        for h in 0..hosts {
+            let hp = proto.host(HostId(h));
+            assert!(
+                hp.pool_used() <= hp.buffers(),
+                "host {h} oversubscribed: {} of {} buffers",
+                hp.pool_used(),
+                hp.buffers()
+            );
+            for (q, &used) in hp.used_by_query().iter().enumerate() {
+                assert!(
+                    used <= quota,
+                    "query {q} holds {used} of host {h}'s pool, quota {quota}"
+                );
+            }
+        }
+    }
+
+    assert_eq!(proto.fragments_completed(), total, "every fragment retires");
+    assert_eq!(admitted.len(), n_queries, "every query was admitted");
+    assert_eq!(done.len(), n_queries, "every query completed");
+    let ledger = proto.query_ledger().unwrap();
+    assert_eq!(ledger.admitted_total(), n_queries as u64);
+    assert_eq!(ledger.completed_total(), n_queries as u64);
+    assert!(ledger.all_done());
+    for (q, m) in proto.query_metrics().iter().enumerate() {
+        assert!(m.completed, "query {q} did not complete");
+        assert_eq!(m.retransmits, 0, "quiet medium");
+    }
+    for h in 0..hosts {
+        let hp = proto.host(HostId(h));
+        assert_eq!(hp.pool_used(), 0, "host {h} leaked buffer slots");
+        assert!(
+            hp.used_by_query().iter().all(|&u| u == 0),
+            "host {h} leaked a per-query credit"
+        );
+    }
+    // Exactly-once join per (host, query, fragment): every host applied
+    // every query's every fragment once, and nothing was forked.
+    for (&(h, q, id), &n) in &joins {
+        assert_eq!(n, 1, "host {h} joined query {q} fragment {id} {n} times");
+    }
+    assert_eq!(
+        joins.len(),
+        hosts * total,
+        "every (host, query, fragment) joined"
+    );
+    // Exactly-once wire delivery per (query, fragment) and hop.
+    for (&(h, q, id), &n) in &deliveries {
+        assert_eq!(n, 1, "host {h} received query {q} fragment {id} {n} times");
+    }
+    assert_eq!(deliveries.len(), (hosts - 1) * total);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -491,6 +682,35 @@ proptest! {
         seed in any::<u64>(),
     ) {
         drive_rescale(&counts, standbys, buffers, true, seed);
+    }
+
+    /// Multi-tenant multiplexing: 2–4 concurrent queries on one reliable
+    /// ring, driven through random interleavings — the per-query credit
+    /// partition, the admission bound, the DRR fairness bound and
+    /// exactly-once join/delivery per (query, fragment) all hold.
+    #[test]
+    fn protocol_core_multiplex_survives_any_interleaving(
+        hosts in 2usize..5,
+        n_queries in 2usize..5,
+        buffers in 2usize..4,
+        max_active in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        drive_multiplex(hosts, n_queries, buffers, max_active, seed);
+    }
+
+    /// The same invariants under maximal admission pressure: a bound of
+    /// one serializes the queries through the admission queue, so every
+    /// pending tenant is starved until its predecessors finish — the
+    /// deficit and credit bounds must still hold.
+    #[test]
+    fn protocol_core_multiplex_single_slot_admission(
+        hosts in 2usize..5,
+        n_queries in 2usize..5,
+        buffers in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        drive_multiplex(hosts, n_queries, buffers, 1, seed);
     }
 
     /// Determinism: identical simulated runs produce identical metrics.

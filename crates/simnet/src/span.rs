@@ -56,6 +56,10 @@ pub mod counter {
     pub const RESCALE_DRAINS: &str = "rescale_drains";
     /// Stationary partitions moved by planned rescale handoffs.
     pub const RESCALE_HANDOFFS: &str = "rescale_handoffs";
+    /// Multi-tenant queries admitted onto the shared ring.
+    pub const QUERIES_ADMITTED: &str = "queries_admitted";
+    /// Multi-tenant queries whose every fragment completed its revolution.
+    pub const QUERIES_COMPLETED: &str = "queries_completed";
 }
 
 /// The per-host entity (or pseudo-entity) a span or event belongs to.

@@ -79,6 +79,7 @@ fn main() -> ExitCode {
     }
     let mut suite: Vec<(CheckConfig, Option<&str>)> = vec![
         (configs::smoke(), None),
+        (configs::multi_smoke(), None),
         (configs::sabotage(), Some("credit-conservation")),
     ];
     if deep {

@@ -51,17 +51,31 @@ pub struct CheckConfig {
     /// Self-check: grant one unearned receive credit at the first
     /// accepted delivery (must break invariant 1).
     pub sabotage: bool,
+    /// Multi-tenant mode: per-query, per-host local fragment counts.
+    /// Empty means a classic single-query ring (`frags` applies);
+    /// non-empty ignores `frags` and builds the protocol via
+    /// `RingProtocol::new_multi`.
+    pub queries: Vec<Vec<usize>>,
+    /// Admission bound for multi-tenant mode (ignored when `queries` is
+    /// empty).
+    pub max_active: usize,
 }
 
 impl CheckConfig {
-    /// Total fragments across all hosts.
+    /// Total fragments across all hosts (and, in multi-tenant mode,
+    /// across all queries).
     pub fn total_frags(&self) -> usize {
-        self.frags.iter().sum()
+        if self.queries.is_empty() {
+            self.frags.iter().sum()
+        } else {
+            self.queries.iter().flatten().sum()
+        }
     }
 
     /// Is host-rotation symmetry sound for this configuration?
     pub fn symmetry_valid(&self) -> bool {
-        self.standby == 0
+        self.queries.is_empty()
+            && self.standby == 0
             && self.rescale.is_empty()
             && self.frags.windows(2).all(|w| w.first() == w.last())
     }
@@ -89,6 +103,26 @@ pub fn smoke() -> CheckConfig {
         symmetry: false,
         max_states: 2_000_000,
         sabotage: false,
+        queries: Vec::new(),
+        max_active: 0,
+    }
+}
+
+/// The multi-tenant `--smoke` bound: 2 hosts, 2 queries of one fragment
+/// each (one originating at either host), admission bound 1 — so the
+/// second query waits in the admission queue and is only admitted when
+/// the first completes — with budgets of one crash, one loss, one
+/// corruption and one spurious timeout. Adds the per-query
+/// credit-partition invariant (I6) to everything the classic smoke
+/// bound checks; exactly-once copy/retire is checked per (query,
+/// fragment) because fragment ids stay globally unique across queries.
+pub fn multi_smoke() -> CheckConfig {
+    CheckConfig {
+        name: "smoke-2h-2q",
+        frags: Vec::new(),
+        queries: vec![vec![1, 0], vec![0, 1]],
+        max_active: 1,
+        ..smoke()
     }
 }
 
@@ -126,6 +160,8 @@ pub fn deep_drain() -> CheckConfig {
         symmetry: false,
         max_states: 8_000_000,
         sabotage: false,
+        queries: Vec::new(),
+        max_active: 0,
     }
 }
 
@@ -148,6 +184,8 @@ pub fn symmetric3() -> CheckConfig {
         symmetry: true,
         max_states: 8_000_000,
         sabotage: false,
+        queries: Vec::new(),
+        max_active: 0,
     }
 }
 
@@ -170,6 +208,8 @@ pub fn two_crash() -> CheckConfig {
         symmetry: false,
         max_states: 8_000_000,
         sabotage: false,
+        queries: Vec::new(),
+        max_active: 0,
     }
 }
 
@@ -191,6 +231,8 @@ pub fn deep_join() -> CheckConfig {
         symmetry: false,
         max_states: 8_000_000,
         sabotage: false,
+        queries: Vec::new(),
+        max_active: 0,
     }
 }
 
@@ -213,5 +255,7 @@ pub fn classic() -> CheckConfig {
         symmetry: false,
         max_states: 100_000,
         sabotage: false,
+        queries: Vec::new(),
+        max_active: 0,
     }
 }

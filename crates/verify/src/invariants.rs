@@ -7,7 +7,8 @@
 //! the family name plus a human-readable detail line; the explorer
 //! attaches the shortest input trace.
 
-use data_roundabout::protocol::StateSnapshot;
+use data_roundabout::protocol::{QueryStatus, StateSnapshot};
+use data_roundabout::HostId;
 
 use crate::model::{Ev, StepOutcome, World};
 
@@ -35,6 +36,7 @@ pub fn check(
         .or_else(|| exactly_once_copy(world, snap))
         .or_else(|| role_ledger(world, snap))
         .or_else(|| epoch_accounting(snap, parent_epoch))
+        .or_else(|| credit_partition(world, snap))
 }
 
 /// I1 — credit conservation. Every occupied buffer-pool element of a
@@ -169,7 +171,18 @@ fn exactly_once_copy(world: &World, snap: &StateSnapshot) -> Option<(&'static st
                 matches!(e, Ev::Wire { env, .. } if env.id.0 == fid).then_some(i as u64)
             }));
         }
-        let copies = queued + in_flight + orphan_tids.len();
+        // Multi-tenant rings park an unadmitted query's envelopes in the
+        // admission ledger: each is that fragment's one live copy until
+        // admission injects it into its origin host.
+        let held_pending = world.proto.query_ledger().map_or(0, |ledger| {
+            (0..ledger.len() as u32)
+                .filter_map(|q| ledger.entry(q))
+                .filter(|e| e.status == QueryStatus::Pending)
+                .flat_map(|e| e.batches.iter().flatten())
+                .filter(|env| env.id.0 == fid)
+                .count()
+        });
+        let copies = queued + in_flight + orphan_tids.len() + held_pending;
         let retired = world.retired & (1u64 << fid) != 0;
         let want = usize::from(!retired);
         if copies != want {
@@ -177,7 +190,8 @@ fn exactly_once_copy(world: &World, snap: &StateSnapshot) -> Option<(&'static st
                 "exactly-once-copy",
                 format!(
                     "fragment {fid} ({}) has {copies} live copies \
-                     ({queued} queued, {in_flight} in flight, {} orphan wires)",
+                     ({queued} queued, {in_flight} in flight, {} orphan wires, \
+                     {held_pending} held by admission)",
                     if retired { "retired" } else { "unretired" },
                     orphan_tids.len()
                 ),
@@ -254,6 +268,66 @@ fn epoch_accounting(snap: &StateSnapshot, parent_epoch: u64) -> Option<(&'static
             "epoch-accounting",
             format!("epoch regressed from {parent_epoch} to {}", m.epoch),
         ));
+    }
+    None
+}
+
+/// I6 — per-query credit partition (multi-tenant rings only). Every
+/// live host's per-query slot usage respects the partition width
+/// (`buffers / max_active`, at least one), the per-query usages sum to
+/// exactly the host's occupied pool, and a query never completes more
+/// fragments than it submitted. Single-query rings have no ledger and
+/// skip the check.
+fn credit_partition(world: &World, snap: &StateSnapshot) -> Option<(&'static str, String)> {
+    let ledger = world.proto.query_ledger()?;
+    let crashed = snap.fault.as_ref().map_or(0u64, |f| f.crashed);
+    for (h, host) in snap.hosts.iter().enumerate() {
+        if crashed & (1u64 << h) != 0 {
+            continue;
+        }
+        let used = world.proto.host(HostId(h)).used_by_query();
+        for (q, &n) in used.iter().enumerate() {
+            if n > ledger.quota() {
+                return Some((
+                    "credit-partition",
+                    format!(
+                        "host {h} holds {n} slot(s) for query {q}, quota {}",
+                        ledger.quota()
+                    ),
+                ));
+            }
+        }
+        let partitioned: usize = used.iter().sum();
+        if partitioned != host.pool_used {
+            return Some((
+                "credit-partition",
+                format!(
+                    "host {h} per-query usage sums to {partitioned} but pool_used is {}",
+                    host.pool_used
+                ),
+            ));
+        }
+    }
+    for q in 0..ledger.len() as u32 {
+        let entry = ledger.entry(q)?;
+        if entry.completed > entry.total {
+            return Some((
+                "credit-partition",
+                format!(
+                    "query {q} completed {} of {} fragments",
+                    entry.completed, entry.total
+                ),
+            ));
+        }
+        if entry.status == QueryStatus::Pending && entry.completed != 0 {
+            return Some((
+                "credit-partition",
+                format!(
+                    "query {q} is still pending but completed {} fragment(s)",
+                    entry.completed
+                ),
+            ));
+        }
     }
     None
 }

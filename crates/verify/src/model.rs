@@ -29,7 +29,7 @@
 
 use data_roundabout::envelope::Envelope;
 use data_roundabout::protocol::{
-    envelope_batches, Input, Output, ProtocolConfig, RingProtocol, Timer,
+    envelope_batches, query_batches, Input, Output, ProtocolConfig, RingProtocol, Timer,
 };
 use simnet::topology::HostId;
 
@@ -146,11 +146,6 @@ impl World {
     /// The initial state of a bounded configuration: every host has a
     /// pending setup event; nothing is armed or in flight.
     pub fn init(cfg: &CheckConfig) -> World {
-        let payloads: Vec<Vec<Vec<u8>>> = cfg
-            .frags
-            .iter()
-            .map(|&k| (0..k).map(|_| PAYLOAD.to_vec()).collect())
-            .collect();
         let pcfg = ProtocolConfig {
             hosts: cfg.hosts,
             buffers_per_host: cfg.buffers,
@@ -159,8 +154,25 @@ impl World {
             reliable: cfg.reliable,
             standby: cfg.standby,
         };
+        let per_host = |frags: &[usize]| -> Vec<Vec<Vec<u8>>> {
+            frags
+                .iter()
+                .map(|&k| (0..k).map(|_| PAYLOAD.to_vec()).collect())
+                .collect()
+        };
+        let proto = if cfg.queries.is_empty() {
+            RingProtocol::new(pcfg, envelope_batches(per_host(&cfg.frags), cfg.hosts))
+        } else {
+            let batches = cfg
+                .queries
+                .iter()
+                .enumerate()
+                .map(|(q, frags)| (q as u32, per_host(frags)))
+                .collect();
+            RingProtocol::new_multi(pcfg, query_batches(batches, cfg.hosts), cfg.max_active)
+        };
         World {
-            proto: RingProtocol::new(pcfg, envelope_batches(payloads, cfg.hosts)),
+            proto,
             pending: (0..cfg.hosts).map(Ev::Setup).collect(),
             timers: Vec::new(),
             crashes: cfg.crashes,
@@ -375,6 +387,8 @@ impl World {
                 | Output::ChecksumMismatch { .. }
                 | Output::Activate { .. }
                 | Output::Resent { .. }
+                | Output::QueryAdmitted { .. }
+                | Output::QueryDone { .. }
                 | Output::Finished { .. } => {}
             }
         }
@@ -512,6 +526,26 @@ mod tests {
         assert_eq!(w.pending.len(), 2);
         assert!(w.timers.is_empty());
         assert_eq!(w.proto.fragments_total(), 1);
+    }
+
+    #[test]
+    fn multi_init_parks_the_second_query_in_the_admission_queue() {
+        use data_roundabout::protocol::QueryStatus;
+        let w = World::init(&configs::multi_smoke());
+        // Both queries' fragments count toward the completion target...
+        assert_eq!(w.proto.fragments_total(), 2);
+        // ...but only the first is admitted under max_active = 1; the
+        // second waits in the ledger with its envelope parked.
+        let ledger = w.proto.query_ledger().expect("multi-tenant ledger");
+        assert_eq!(ledger.entry(0).map(|e| e.status), Some(QueryStatus::Active));
+        assert_eq!(
+            ledger.entry(1).map(|e| e.status),
+            Some(QueryStatus::Pending)
+        );
+        assert_eq!(
+            ledger.entry(1).map(|e| e.batches.iter().flatten().count()),
+            Some(1)
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! L3 fixture — counter names checked against the unified registry in
-//! `crates/simnet/src/span.rs` (`pub mod counter`).
-//! Expected under the L3 policy: 2 live findings, 1 suppressed.
+//! `crates/simnet/src/span.rs` (`pub mod counter`), in both spellings:
+//! string literals and `counter::NAME` constants.
+//! Expected under the L3 policy: 3 live findings, 1 suppressed.
 
 pub fn emit_counters(tracer: &mut Tracer) {
     tracer.count("envelopes_sent", 1); // registered: clean
@@ -9,5 +10,11 @@ pub fn emit_counters(tracer: &mut Tracer) {
     tracer.count("another_typo", 1); // seeded violation
     tracer.count("legacy_counter", 1); // analyze: allow(counter, reason = "fixture: migration window for renamed counter")
     let name = runtime_name();
-    tracer.count(name, 1); // non-literal: out of scope for a static lint
+    tracer.count(name, 1); // non-literal receiver name: out of scope for a static lint
+}
+
+pub fn emit_query_counters(tracer: &mut Tracer) {
+    tracer.count(counter::QUERIES_ADMITTED, 1); // registered constant: clean
+    tracer.count(counter::QUERIES_COMPLETED, 1); // registered constant: clean
+    tracer.count(counter::QUERIES_EVAPORATED, 1); // seeded violation: no such constant
 }

@@ -283,5 +283,18 @@ mod tests {
                 "registry should contain the membership counter {key}, got {reg:?}"
             );
         }
+        // The multi-tenant admission counters are emitted via their named
+        // constants, so the registry must expose both spellings.
+        for key in [
+            "queries_admitted",
+            "queries_completed",
+            "QUERIES_ADMITTED",
+            "QUERIES_COMPLETED",
+        ] {
+            assert!(
+                reg.iter().any(|k| k == key),
+                "registry should contain the admission counter key {key}, got {reg:?}"
+            );
+        }
     }
 }

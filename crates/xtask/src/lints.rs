@@ -360,6 +360,34 @@ fn l3_counter_registry(
                         ),
                     );
                 }
+                // `.count(counter::NAME, …)` — the named-constant spelling
+                // (the per-query admission counters are emitted this way):
+                // NAME must be a constant of the registry module.
+                if arg.is_ident("counter") {
+                    let mut j = i + 3;
+                    while toks.get(j).is_some_and(|t| t.is_punct(':')) {
+                        j += 1;
+                    }
+                    if let Some(name) = toks
+                        .get(j)
+                        .filter(|n| n.kind == TokKind::Ident && j > i + 3)
+                    {
+                        if !registry.contains(&name.text) {
+                            emit(
+                                findings,
+                                model,
+                                Lint::CounterRegistry,
+                                path,
+                                name.line,
+                                format!(
+                                    "counter constant `counter::{}` is not defined in the \
+                                     unified registry (simnet::span::counter)",
+                                    name.text
+                                ),
+                            );
+                        }
+                    }
+                }
             }
         }
     }
@@ -667,8 +695,11 @@ fn match_arm_patterns(toks: &[crate::lexer::Tok], open: usize) -> Vec<Vec<&crate
 }
 
 /// Extracts the unified counter registry from `simnet/src/span.rs`: the
-/// string values of `pub const … : &str = "…";` items inside
-/// `pub mod counter { … }`.
+/// string values *and* the constant names of `pub const … : &str = "…";`
+/// items inside `pub mod counter { … }`. Both spellings are keys — a
+/// backend may pass the literal (`"retransmits"`) or the named constant
+/// (`counter::RETRANSMITS`, how the per-query admission counters are
+/// emitted), and L3 resolves either against the same registry.
 pub fn parse_registry(span_rs: &str) -> Vec<String> {
     let lexed = crate::lexer::lex(span_rs);
     let toks = &lexed.tokens;
@@ -698,7 +729,10 @@ pub fn parse_registry(span_rs: &str) -> Vec<String> {
                 break;
             }
         } else if t.is_ident("const") {
-            // const NAME: &str = "value";
+            // const NAME: &str = "value"; — both NAME and "value" are keys.
+            if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                out.push(name.text.clone());
+            }
             let mut j = i + 1;
             while j < toks.len() && !toks[j].is_punct(';') {
                 if toks[j].kind == TokKind::Str {
@@ -966,6 +1000,8 @@ fn g() {
     fn registry_parses_span_module_shape() {
         let src = "pub mod counter {\n    /// Doc.\n    pub const A: &str = \"alpha\";\n    \
                    pub const B: &str = \"beta\";\n}\npub const OUTSIDE: &str = \"nope\";\n";
-        assert_eq!(parse_registry(src), ["alpha", "beta"]);
+        // Constant names and string values are both keys (literal and
+        // `counter::NAME` emission sites resolve against one registry).
+        assert_eq!(parse_registry(src), ["A", "alpha", "B", "beta"]);
     }
 }

@@ -78,7 +78,7 @@ fn l3_fixture_counts_are_exact() {
     );
     assert_eq!(
         report.live_count(Lint::CounterRegistry),
-        2,
+        3,
         "{}",
         report.render()
     );
@@ -86,6 +86,12 @@ fn l3_fixture_counts_are_exact() {
     let messages: Vec<&str> = report.live().map(|f| f.message.as_str()).collect();
     assert!(messages.iter().any(|m| m.contains("bogus_counter")));
     assert!(messages.iter().any(|m| m.contains("another_typo")));
+    // The named-constant spelling is in scope: registered per-query
+    // constants pass, an undefined one is flagged.
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("counter::QUERIES_EVAPORATED")));
+    assert!(!messages.iter().any(|m| m.contains("QUERIES_ADMITTED")));
 }
 
 #[test]

@@ -10,7 +10,7 @@ for bin in fig3_cpu_breakdown fig5_chunk_throughput fig7_hash_fixed \
            ablate_crossover ablate_setup_amortization ablate_buffer_depth \
            ablate_chunk_size ablate_rotation_choice ablate_shared_rotation ablate_disk_vs_ring ablate_radix_bits ablate_straggler \
            ablate_fault_recovery ablate_rescale ext_cyclotron \
-           wide_ring_reactor; do
+           wide_ring_reactor multi_tenant; do
   echo
   echo "================================================================"
   echo "== $bin"

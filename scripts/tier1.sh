@@ -29,14 +29,26 @@ cargo test -q -p integration-tests --test chaos crash_during_drain
 # drain — both of which exercise the timer wheel and the readiness
 # loop's teardown paths under faults.
 cargo test -q -p integration-tests --test chaos reactor_
+# Multi-tenant gate: protocol-direct proptests over random interleavings
+# of 2–4 concurrent queries (per-query credit partition, exactly-once
+# join/delivery per (query, fragment), bounded fairness deficit), the
+# seeded fault plan that must land on identical per-query
+# retransmit/checksum/completion counters in all four worlds, and the
+# chaos legs that crash a shared ring mid-revolution with two tenants
+# aboard and during a drain while a third query waits in admission.
+cargo test -q -p data-roundabout --test proptests protocol_core_multiplex
+cargo test -q -p data-roundabout --test parity multi_tenant_fault_plan_four_way_parity
+cargo test -q -p integration-tests --test chaos multi_tenant
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 cargo run -q --release -p xtask -- analyze
 # Model-checker gate: exhaustive exploration of the 2-host/1-fragment/
-# 1-crash bound over the sans-IO protocol core (all five invariant
-# families), plus the seeded-sabotage self-check that must be *caught*
-# with a minimal counterexample trace. The deep 3-host bounds run in
-# scripts/analyze.sh.
+# 1-crash bound over the sans-IO protocol core (all six invariant
+# families), the 2-host/2-query multiplexed bound (per-query credit
+# partition and exactly-once per (query, fragment), with the second
+# query held in admission), plus the seeded-sabotage self-check that
+# must be *caught* with a minimal counterexample trace. The deep 3-host
+# bounds run in scripts/analyze.sh.
 cargo run -q --release -p xtask -- verify --smoke
 # Bench-harness gates: the smoke suite must run clean end to end (every
 # kernel/codec/e2e entry and every hot-path delta measured, JSON written

@@ -465,3 +465,115 @@ fn fault_plans_are_validated_before_running() {
     assert!(matches!(err, PlanError::BadQuery(_)), "got: {err:?}");
     assert!(err.to_string().contains("targets host 9"), "got: {err}");
 }
+
+/// Multi-tenant chaos: two queries in flight on one multiplexed ring
+/// when a host dies mid-revolution. Healing is ring-global — the crash
+/// is detected once and the survivor absorbs the dead role's stationary
+/// state for *every* tenant in one takeover — so exactly one heal event
+/// appears, both queries complete, and both match their single-host
+/// references exactly.
+#[test]
+fn multi_tenant_crash_mid_revolution_heals_once_for_all_tenants() {
+    use cyclo_join::MultiTenantJoin;
+    let specs: Vec<_> = (0..2u64)
+        .map(|q| {
+            (
+                GenSpec::uniform(5_000 + 700 * q as usize, 910 + 2 * q).generate(),
+                GenSpec::uniform(4_000, 911 + 2 * q).generate(),
+            )
+        })
+        .collect();
+    let batch = {
+        let mut b = MultiTenantJoin::new().hosts(4).max_active(2);
+        for (r, s) in &specs {
+            b = b.tenant(r.clone(), s.clone(), JoinPredicate::Equi);
+        }
+        b
+    };
+
+    // Probe a quiet run to aim the crash at mid-revolution.
+    let quiet = batch
+        .clone()
+        .fault_plan(FaultPlan::seeded(55))
+        .run()
+        .expect("probe run");
+    assert_eq!(quiet.ring.heal_events, 0);
+    let mid = SimTime::from_nanos(quiet.ring.wall_clock.as_nanos() / 2);
+
+    let plan = FaultPlan::seeded(55).crash_host(HostId(2), mid);
+    let report = batch.fault_plan(plan).run().expect("healed run");
+    assert_eq!(report.ring.heal_events, 1, "one crash, one heal");
+    assert!(report.all_completed(), "both in-flight queries complete");
+    assert!(
+        report.ring.total_retransmits() > 0,
+        "death detection retransmits first"
+    );
+    for (tenant, (r, s)) in report.tenants.iter().zip(&specs) {
+        let reference = reference_join(r, s, &JoinPredicate::Equi);
+        assert_eq!(tenant.count, reference.count, "tenant {}", tenant.tenant);
+        assert_eq!(
+            tenant.checksum, reference.checksum,
+            "tenant {}",
+            tenant.tenant
+        );
+    }
+}
+
+/// Multi-tenant chaos, membership edition: three queries with an
+/// admission bound of two, so the third waits in the queue — then one
+/// host drains out (planned, epoch bump) while *another* host crashes.
+/// The queued query must still be admitted onto the reshaped ring and
+/// complete: admission is a protocol property, not a property of the
+/// membership snapshot the query was submitted under.
+#[test]
+fn multi_tenant_crash_during_drain_still_admits_the_queued_query() {
+    use cyclo_join::MultiTenantJoin;
+    let specs: Vec<_> = (0..3u64)
+        .map(|q| {
+            (
+                GenSpec::uniform(4_500, 920 + 2 * q).generate(),
+                GenSpec::uniform(3_500, 921 + 2 * q).generate(),
+            )
+        })
+        .collect();
+    let batch = {
+        let mut b = MultiTenantJoin::new().hosts(4).max_active(2);
+        for (r, s) in &specs {
+            b = b.tenant(r.clone(), s.clone(), JoinPredicate::Equi);
+        }
+        b
+    };
+
+    let quiet = batch
+        .clone()
+        .fault_plan(FaultPlan::seeded(66))
+        .run()
+        .expect("probe run");
+    let t = quiet.ring.wall_clock.as_nanos();
+    let drain_at = SimTime::from_nanos(t * 3 / 10);
+    let crash_at = SimTime::from_nanos(t * 4 / 10);
+
+    let report = batch
+        .rescale_plan(RescalePlan::seeded(66).drain_host(HostId(1), drain_at))
+        .fault_plan(FaultPlan::seeded(66).crash_host(HostId(3), crash_at))
+        .run()
+        .expect("drain + crash run");
+
+    assert_eq!(report.ring.rescale_drains, 1, "the planned drain completes");
+    assert_eq!(report.ring.membership_epoch, 1, "one epoch bump");
+    assert_eq!(report.ring.heal_events, 1, "the crash heals exactly once");
+    assert!(
+        report.all_completed(),
+        "the queued query is admitted onto the reshaped ring and completes"
+    );
+    assert_eq!(report.tenants.len(), 3);
+    for (tenant, (r, s)) in report.tenants.iter().zip(&specs) {
+        let reference = reference_join(r, s, &JoinPredicate::Equi);
+        assert_eq!(tenant.count, reference.count, "tenant {}", tenant.tenant);
+        assert_eq!(
+            tenant.checksum, reference.checksum,
+            "tenant {}",
+            tenant.tenant
+        );
+    }
+}
